@@ -1,0 +1,20 @@
+# Convenience targets; see README for details.
+
+.PHONY: install test bench experiments examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments: bench
+	python tools/gen_experiments.py
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; echo "all examples ran"
+
+all: install test experiments examples

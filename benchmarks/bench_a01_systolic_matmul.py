@@ -1,0 +1,60 @@
+"""Ablation A1: systolic forwarding vs broadcast — Section 3's "systolic
+arrays" prior art, expressed and measured inside the F&M model.
+
+The same matmul function is mapped output-stationary on an n x n grid two
+ways: MACs reading operands *directly* (broadcast — each A element's wires
+total Theta(n^2) mm) versus explicit one-hop *forwarding* chains (systolic
+— Theta(n) mm per element, paid for with copy ops and a longer schedule).
+The bench sweeps n and reports the energy/time crossover the model
+predicts; claim-wise this substantiates the paper's framing of systolic
+dataflows as communication-minimizing mappings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.matmul_fm import matmul_graph, owner_mapping, verify_against
+from repro.analysis.report import Table
+from repro.core.cost import evaluate_cost
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+
+
+def sweep():
+    rows = []
+    rng = np.random.default_rng(0)
+    for n in (2, 4, 6, 8):
+        grid = GridSpec(n, n)
+        a = rng.integers(0, 9, size=(n, n))
+        b = rng.integers(0, 9, size=(n, n))
+        per_variant = {}
+        for systolic in (False, True):
+            g = matmul_graph(n, systolic=systolic)
+            assert verify_against(g, a, b)
+            m = owner_mapping(g, n, grid)
+            assert check_legality(g, m, grid).ok
+            per_variant[systolic] = evaluate_cost(g, m, grid)
+        rows.append((n, per_variant[False], per_variant[True]))
+    return rows
+
+
+def test_bench_systolic_ablation(benchmark, record_table):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tbl = Table(
+        "A1: broadcast vs systolic matmul on an n x n grid (owner mapping)",
+        ["n", "variant", "cycles", "onchip wire fJ", "compute fJ",
+         "wire ratio (bc/sys)"],
+    )
+    prev_ratio = 0.0
+    for n, bc, sy in rows:
+        ratio = bc.energy_onchip_fj / max(sy.energy_onchip_fj, 1e-9)
+        tbl.add_row(n, "broadcast", bc.cycles, bc.energy_onchip_fj,
+                    bc.energy_compute_fj, "")
+        tbl.add_row(n, "systolic", sy.cycles, sy.energy_onchip_fj,
+                    sy.energy_compute_fj, round(ratio, 2))
+        if n >= 4:
+            assert ratio > 1.5  # forwarding wins on wires
+            assert ratio >= prev_ratio  # and the win grows with n
+            prev_ratio = ratio
+        assert sy.energy_compute_fj == pytest.approx(bc.energy_compute_fj)
+    record_table("a01_systolic", tbl)

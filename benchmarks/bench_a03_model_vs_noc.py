@@ -1,0 +1,81 @@
+"""Ablation A3: how optimistic is the pure F&M cost model under contention?
+
+The model charges transport by distance alone; a real fabric arbitrates.
+Dally's claim that the model yields "predictable execution time" holds
+only if the gap to a contended network stays small for reasonable
+mappings.  The grid machine's ``with_noc=True`` mode routes every mapped
+message through the XY mesh (one message per link per cycle) and reports
+the queueing delay the idealized model did not see.
+
+Sweep: workloads x placements; reported: total model transit vs NoC extra
+cycles.  Expectation (asserted): well-spread owner-computes mappings see
+single-digit-percent inflation, while deliberately convergent mappings
+(everything funnelled to one PE) see large inflation — the model is
+predictable exactly when the mapping respects the fabric.
+"""
+
+
+from repro.algorithms.stencil import owner_computes_mapping, stencil_graph
+from repro.analysis.report import Table
+from repro.core.default_mapper import schedule_asap
+from repro.core.function import DataflowGraph
+from repro.core.idioms import build_reduce
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+GRID = GridSpec(8, 1)
+
+
+def convergent_graph(n: int) -> tuple[DataflowGraph, "object"]:
+    """n values produced on one PE at the same cycle, consumed far away —
+    the burst pattern that maximizes link contention."""
+    g = DataflowGraph()
+    srcs = [g.const(i) for i in range(n)]
+    sinks = []
+    for k, s in enumerate(srcs):
+        sinks.append(g.op("copy", s, index=(k,)))
+        g.mark_output(sinks[-1], ("o", k))
+    place = {nid: (1, 0) for nid in srcs}
+    for k, s in enumerate(sinks):
+        place[s] = (6, 0)
+    m = schedule_asap(g, GRID, lambda nid: place.get(nid, (0, 0)),
+                      inputs_offchip=False)
+    return g, m
+
+
+def measure():
+    mach = GridMachine(GRID)
+    rows = []
+
+    sg = stencil_graph(32, 3)
+    sm = owner_computes_mapping(sg, 32, 8, GRID, inputs_offchip=False)
+    res = mach.run(sg, sm, {"x": {(i,): 1 for i in range(32)}}, with_noc=True)
+    rows.append(("stencil 32x3, owner", res.cycles, res.noc_extra_cycles))
+
+    idiom = build_reduce(64, 8, GRID)
+    res = mach.run(idiom.graph, idiom.mapping,
+                   {"A": {(i,): 1 for i in range(64)}}, with_noc=True)
+    rows.append(("reduce 64, tree", res.cycles, res.noc_extra_cycles))
+
+    cg, cm = convergent_graph(12)
+    res = mach.run(cg, cm, {}, with_noc=True)
+    rows.append(("convergent burst 12", res.cycles, res.noc_extra_cycles))
+    return rows
+
+
+def test_bench_model_vs_noc(benchmark, record_table):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    tbl = Table(
+        "A3: idealized model vs contended NoC (extra queueing cycles)",
+        ["workload / mapping", "model cycles", "NoC extra", "inflation"],
+    )
+    by_name = {}
+    for name, cycles, extra in rows:
+        tbl.add_row(name, cycles, extra, f"{extra / cycles:.1%}")
+        by_name[name] = (cycles, extra)
+    # spread mappings: the model is honest (small absolute queueing)
+    assert by_name["stencil 32x3, owner"][1] <= 0.1 * by_name["stencil 32x3, owner"][0]
+    assert by_name["reduce 64, tree"][1] <= 0.1 * by_name["reduce 64, tree"][0]
+    # convergent burst: the model misses real serialization
+    assert by_name["convergent burst 12"][1] > 0
+    record_table("a03_model_vs_noc", tbl)

@@ -1,0 +1,66 @@
+"""Ablation A4: PRAM depth vs physical distance — scan as the test case.
+
+The PRAM says a p-way scan's cross-processor phase takes Theta(log p)
+steps (Blelloch's tree) versus Theta(p) for a serial offset chain.  The
+F&M model adds what the PRAM hides (Dally's core complaint): information
+still has to *travel*.  On a 1-D row of PEs both algorithms need a signal
+to cross ~p pitches, so the tree's log-depth advantage evaporates; on a
+2-D grid (diameter ~ sqrt(p)) the tree's shorter critical path wins
+decisively.
+
+One algorithm family, two geometries, opposite verdicts — the panel's
+disagreement in a single table.
+"""
+
+import itertools
+
+
+from repro.analysis.report import Table
+from repro.core.idioms import build_scan, build_scan_tree
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+
+CASES = [
+    ("1-D row", GridSpec(16, 1), 64, 16),
+    ("2-D 4x4", GridSpec(4, 4), 64, 16),
+    ("2-D 8x8", GridSpec(8, 8), 256, 64),
+]
+
+
+def measure():
+    rows = []
+    for name, grid, n, p in CASES:
+        vals = [(i * 5) % 9 + 1 for i in range(n)]
+        want = list(itertools.accumulate(vals))
+        entry = {"name": name, "p": p}
+        for label, builder in (("chain", build_scan), ("tree", build_scan_tree)):
+            idiom = builder(n, p, grid)
+            assert check_legality(idiom.graph, idiom.mapping, grid).ok
+            res = GridMachine(grid).run(
+                idiom.graph, idiom.mapping,
+                {"A": {(i,): v for i, v in enumerate(vals)}},
+            )
+            assert [res.outputs[("scan", i)] for i in range(n)] == want
+            entry[label] = res.cycles
+        rows.append(entry)
+    return rows
+
+
+def test_bench_scan_geometry(benchmark, record_table):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    tbl = Table(
+        "A4: cross-PE scan, offset chain vs Blelloch tree, by grid geometry",
+        ["geometry", "p", "chain cycles", "tree cycles", "tree/chain"],
+    )
+    by_name = {}
+    for e in rows:
+        ratio = e["tree"] / e["chain"]
+        tbl.add_row(e["name"], e["p"], e["chain"], e["tree"], round(ratio, 2))
+        by_name[e["name"]] = ratio
+    # 1-D: no decisive tree win (physics caps the log-p advantage)
+    assert by_name["1-D row"] > 0.75
+    # 2-D at scale: tree wins big
+    assert by_name["2-D 8x8"] < 0.5
+    record_table("a04_scan_geometry", tbl)

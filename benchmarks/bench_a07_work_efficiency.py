@@ -1,0 +1,75 @@
+"""Ablation A7: work-efficient PRAM algorithms — Vishkin's bet, measured.
+
+Section 5: "I recall well how in 1979 these compiler and complexity
+backdrops did not prevent me from betting my career on an independent
+direction: work efficient PRAM algorithms."  List ranking is that
+direction's flagship problem.  Three ladder rungs on the same random
+lists:
+
+*  serial pointer chase — Theta(n) work, Theta(n) steps;
+*  Wyllie pointer jumping — Theta(log n) steps but Theta(n log n) work
+   (fast and wasteful);
+*  sparse ruling sets — Theta(n) work AND polylog steps: the
+   work-efficient algorithm that justified the research program.
+
+The table shows work-per-element flat for ruling sets and growing like
+log n for Wyllie, with both keeping step counts orders below n.
+"""
+
+import numpy as np
+
+from repro.algorithms.list_ranking import (
+    pointer_jumping_pram,
+    random_list,
+    rank_serial,
+    ruling_set_pram,
+)
+from repro.analysis.report import Table
+
+SIZES = (64, 256, 1024)
+
+
+def sweep():
+    rows = []
+    for n in SIZES:
+        nxt, _ = random_list(n, seed=n)
+        want = rank_serial(nxt)
+        ranks_w, wy = pointer_jumping_pram(nxt)
+        ranks_r, rs = ruling_set_pram(nxt, seed=0)
+        assert np.array_equal(ranks_w, want)
+        assert np.array_equal(ranks_r, want)
+        rows.append((n, n, wy.work, wy.steps, rs.work, rs.steps))
+    return rows
+
+
+def test_bench_work_efficiency_ladder(benchmark, record_table):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tbl = Table(
+        "A7: list ranking — serial vs Wyllie vs ruling sets",
+        ["n", "serial work", "wyllie work", "wyllie steps",
+         "ruling work", "ruling steps"],
+    )
+    for row in rows:
+        tbl.add_row(*row)
+    # work-efficiency: ruling-set work tracks n; Wyllie's diverges
+    first, last = rows[0], rows[-1]
+    growth = SIZES[-1] / SIZES[0]
+    assert last[4] / first[4] < 2 * growth       # ~linear in n
+    assert last[2] / first[2] > 1.3 * growth     # super-linear (n log n)
+    # both parallel algorithms stay far below n steps at scale
+    assert last[3] < SIZES[-1] / 5 and last[5] < SIZES[-1] / 5
+    record_table("a07_work_efficiency", tbl)
+
+
+def test_bench_per_element_view(benchmark, record_table):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tbl = Table(
+        "A7': work per element (the efficiency measure itself)",
+        ["n", "wyllie work/n", "ruling work/n"],
+    )
+    ruling = []
+    for n, _s, wy_w, _ws, rs_w, _rs in rows:
+        tbl.add_row(n, round(wy_w / n, 2), round(rs_w / n, 2))
+        ruling.append(rs_w / n)
+    assert max(ruling) - min(ruling) < 8  # flat within a small band
+    record_table("a07_per_element", tbl)

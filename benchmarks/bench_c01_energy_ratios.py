@@ -1,0 +1,117 @@
+"""Claims C1-C4: the 5 nm energy/delay ratios of Dally's statement.
+
+Paper (Section 3): an add is 0.5 fJ/bit and 200 ps; on-chip wire is
+80 fJ/bit-mm and 800 ps/mm; moving an add's result 1 mm costs 160x the
+add; across the diagonal of an 800 mm^2 GPU, 4500x; off-chip is an order
+of magnitude more again (50,000x an add).
+
+The bench computes every ratio from the :class:`Technology` model and a
+mapped two-node program on the grid machine (so the ratios demonstrably
+flow through the whole cost stack, not just the parameter table).
+"""
+
+
+from repro.analysis.claims import CLAIMS
+from repro.analysis.report import Table
+from repro.core.cost import evaluate_cost
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+from repro.machines.technology import TECH_5NM
+
+
+def measured_ratios() -> dict[str, float]:
+    t = TECH_5NM
+    out = {
+        "C1": t.transport_vs_add_ratio(1.0),
+        "C2": t.diagonal_vs_add_ratio(),
+        "C3": t.offchip_vs_add_ratio(),
+        "C3b": t.offchip_vs_diagonal_ratio(),
+        "C4a": t.add_energy_fj_per_bit,
+        "C4b": t.add_latency_ps,
+        "C4c": t.wire_energy_fj_per_bit_mm,
+        "C4d": t.wire_latency_ps_per_mm,
+    }
+    return out
+
+
+def end_to_end_1mm_ratio() -> float:
+    """The 160x ratio reproduced through graph -> mapping -> cost."""
+    g = DataflowGraph()
+    a = g.const(1)
+    b = g.const(2)
+    s = g.op("+", a, b)
+    c = g.op("copy", s)  # one grid hop away
+    g.mark_output(c, "o")
+    grid = GridSpec(2, 1)
+    m = Mapping(g.n_nodes)
+    m.set(a, (0, 0), 0)
+    m.set(b, (0, 0), 0)
+    m.set(s, (0, 0), 1)
+    m.set(c, (1, 0), 2 + grid.tech.hop_cycles())
+    cost = evaluate_cost(g, m, grid)
+    # the s -> c edge is the 1 mm transport; s itself is the add
+    return cost.energy_onchip_fj / TECH_5NM.add_energy_word_fj()
+
+
+def test_bench_energy_ratios(benchmark, record_table):
+    ratios = benchmark(measured_ratios)
+
+    tbl = Table(
+        "C1-C4: technology ratios (paper Section 3 vs model)",
+        ["claim", "paper says", "model measures", "ok"],
+    )
+    for cid in ("C1", "C2", "C3", "C3b", "C4a", "C4b", "C4c", "C4d"):
+        claim = CLAIMS[cid]
+        got = ratios[cid]
+        assert claim.check(got), f"{cid}: measured {got}, expected {claim.expected}"
+        tbl.add_row(cid, claim.expected, got, claim.check(got))
+
+    e2e = end_to_end_1mm_ratio()
+    assert CLAIMS["C1"].check(e2e)
+    tbl.add_row("C1 (via grid run)", CLAIMS["C1"].expected, e2e, True)
+    record_table("c01_energy_ratios", tbl)
+
+
+def test_bench_ratio_across_technology_nodes(benchmark, record_table):
+    """Figure-style series: the transport/compute gap widens every node —
+    the physical trend behind "modern computing engines are largely
+    communication limited".  Only the 5 nm point is the paper's; earlier
+    nodes are calibration-grade stand-ins (see machines/technology.py)."""
+    from repro.machines.technology import TECH_NODES
+
+    def series():
+        return [
+            (t.name, t.transport_vs_add_ratio(1.0), t.offchip_vs_add_ratio())
+            for t in TECH_NODES
+        ]
+
+    rows = benchmark(series)
+    tbl = Table(
+        "transport-vs-add ratio by technology node (1 mm wire)",
+        ["node", "1mm wire / add", "off-chip / add"],
+    )
+    prev = 0.0
+    for name, ratio, off in rows:
+        tbl.add_row(name, ratio, off)
+        assert ratio > prev  # the gap grows as nodes shrink
+        prev = ratio
+    record_table("c01_node_series", tbl)
+
+
+def test_bench_ratio_scaling_with_distance(benchmark, record_table):
+    """Figure-style series: transport/add ratio vs distance, 0.1..28.3 mm."""
+
+    def series():
+        return [
+            (d, TECH_5NM.transport_vs_add_ratio(d))
+            for d in (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, TECH_5NM.chip_diagonal_mm)
+        ]
+
+    rows = benchmark(series)
+    tbl = Table("transport-vs-add ratio by distance (mm)", ["mm", "ratio"])
+    prev = 0.0
+    for d, r in rows:
+        tbl.add_row(round(d, 2), r)
+        assert r > prev  # strictly increasing in distance
+        prev = r
+    record_table("c01_distance_series", tbl)

@@ -1,0 +1,74 @@
+"""Claim C5: "the energy overhead of an ADD instruction is 10,000x times
+more than the energy required to do the add" (Section 3).
+
+The bench executes the paper's own Section-2 program — summing a sequence
+on the RAM — on the conventional multicore model and reports energy by
+component.  The per-instruction ratio reproduces the stated 10,000x; the
+whole-program ratio is *worse* (loads, branches, and off-chip traffic are
+pure overhead for a single useful add per element), which is the point of
+Dally's argument.
+"""
+
+
+from repro.analysis.claims import CLAIMS
+from repro.analysis.report import Table
+from repro.machines.multicore import MulticoreMachine
+from repro.machines.technology import TECH_5NM
+from repro.models.ram import sum_program
+
+
+def run_sum(n: int):
+    mc = MulticoreMachine()
+    res, ram = mc.run_single(sum_program(), {1: 0, 2: n}, {0: [1] * n})
+    assert ram.registers[0] == n
+    return res
+
+
+def test_bench_instruction_overhead(benchmark, record_table):
+    res = benchmark(run_sum, 512)
+
+    per_instr_ratio = (
+        TECH_5NM.instruction_energy_word_fj() / TECH_5NM.add_energy_word_fj() - 1
+    )
+    assert CLAIMS["C5"].check(per_instr_ratio)
+    assert res.overhead_ratio >= CLAIMS["C5"].expected
+
+    tbl = Table(
+        "C5: multicore energy accounting, sum of 512 elements",
+        ["component", "energy (fJ)", "share"],
+    )
+    total = res.energy_total_fj
+    for label, e in (
+        ("instruction overhead", res.energy_instruction_overhead_fj),
+        ("useful ALU work", res.energy_useful_alu_fj),
+        ("memory movement", res.energy_memory_fj),
+    ):
+        tbl.add_row(label, e, f"{e / total:.2%}")
+    tbl.add_row("TOTAL", total, "100%")
+
+    tbl2 = Table(
+        "C5: overhead ratios (paper: 10,000x per ADD instruction)",
+        ["quantity", "paper", "measured"],
+    )
+    tbl2.add_row("per-instruction overhead / add", 10_000, per_instr_ratio)
+    tbl2.add_row("whole-program energy / useful add energy", ">= 10,000",
+                 res.overhead_ratio)
+    record_table("c05_multicore_overhead", tbl, tbl2)
+
+
+def test_bench_overhead_vs_problem_size(benchmark, record_table):
+    """Series: the ratio is scale-invariant — it's architectural, not a
+    startup effect."""
+
+    def sweep():
+        return [(n, run_sum(n).overhead_ratio) for n in (64, 128, 256)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tbl = Table("C5: overhead ratio vs n", ["n", "total/useful ratio"])
+    ratios = []
+    for n, r in rows:
+        tbl.add_row(n, r)
+        ratios.append(r)
+    spread = max(ratios) / min(ratios)
+    assert spread < 1.2  # flat within 20%
+    record_table("c05_size_series", tbl)

@@ -1,0 +1,123 @@
+"""Claim C6: "Adding two numbers that are co-located at a distant point
+requires first transporting them to the processor - again at a cost of
+1,000x or more the energy of doing the addition at the remote point"
+(Section 3).
+
+Construction: two operands resident at PE (d, 0); their sum is needed at
+PE (0, 0).  Mapping "haul": compute at (0, 0), paying two d-mm transports.
+Mapping "remote": compute at (d, 0) — the addition at the remote point —
+and ship one result.  The bench reports the haul/remote-add energy ratio
+(the claim) and the haul/remote total ratio (the engineering win).
+"""
+
+
+from repro.analysis.claims import check_at_least
+from repro.analysis.report import Table
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+from repro.core.recompute import auto_rematerialize
+from repro.machines.grid import GridMachine
+from repro.machines.technology import TECH_5NM
+
+
+def build(distance: int, compute_at_remote: bool):
+    g = DataflowGraph()
+    a = g.const(21)
+    b = g.const(21)
+    s = g.op("+", a, b)
+    out = g.op("copy", s)  # consumption point at PE 0
+    g.mark_output(out, "o")
+    grid = GridSpec(distance + 1, 1)
+    m = Mapping(g.n_nodes)
+    far = (distance, 0)
+    m.set(a, far, 0)
+    m.set(b, far, 0)
+    transit = grid.transit_cycles(far, (0, 0))
+    if compute_at_remote:
+        m.set(s, far, 1)
+        m.set(out, (0, 0), 2 + transit)
+    else:
+        m.set(s, (0, 0), 1 + transit)
+        m.set(out, (0, 0), 2 + transit)
+    return g, m, grid
+
+
+def energies(distance: int):
+    out = {}
+    for mode in (False, True):
+        g, m, grid = build(distance, mode)
+        res = GridMachine(grid).run(g, m, {})
+        assert res.outputs["o"] == 42
+        out["remote" if mode else "haul"] = res.cost
+    return out
+
+
+def test_bench_remote_add(benchmark, record_table):
+    costs = benchmark(energies, 10)
+    haul = costs["haul"]
+    add_fj = TECH_5NM.add_energy_word_fj()
+
+    # the claim: hauling the operands costs >= 1000x the remote add
+    haul_transport = haul.energy_onchip_fj
+    ratio = haul_transport / add_fj
+    assert check_at_least("C6", ratio), f"measured {ratio}"
+
+    tbl = Table(
+        "C6: haul operands vs add at the remote point (d = 10 mm)",
+        ["mapping", "transport fJ", "compute fJ", "total fJ"],
+    )
+    for name in ("haul", "remote"):
+        c = costs[name]
+        tbl.add_row(name, c.energy_transport_fj, c.energy_compute_fj,
+                    c.energy_total_fj)
+    tbl2 = Table("C6: the paper's ratio", ["quantity", "paper", "measured"])
+    tbl2.add_row("operand transport / remote add", ">= 1,000", ratio)
+    tbl2.add_row(
+        "haul total / remote total", "(engineering win)",
+        haul.energy_total_fj / costs["remote"].energy_total_fj,
+    )
+    record_table("c06_remote_add", tbl, tbl2)
+
+
+def build_misplaced(distance: int):
+    """Operands AND consumers live at the far PE; the add was (mis)placed at
+    PE 0 — the recompute optimizer should move the addition to the data,
+    which is exactly the paper's 'do the addition at the remote point'."""
+    g = DataflowGraph()
+    a = g.const(21)
+    b = g.const(21)
+    s = g.op("+", a, b)
+    u1 = g.op("copy", s)
+    u2 = g.op("+", s, s)
+    g.mark_output(u1, "o1")
+    g.mark_output(u2, "o2")
+    grid = GridSpec(distance + 1, 1)
+    far = (distance, 0)
+    from repro.core.default_mapper import schedule_asap
+
+    place = {a: far, b: far, s: (0, 0), u1: far, u2: far}
+    m = schedule_asap(g, grid, lambda nid: place.get(nid, (0, 0)),
+                      inputs_offchip=False)
+    return g, m, grid
+
+
+def test_bench_auto_remat_moves_add_to_the_data(benchmark, record_table):
+    """Ablation: the recompute optimizer relocates a misplaced addition to
+    the remote point where its operands and consumers live."""
+
+    def optimize():
+        g, m, grid = build_misplaced(10)
+        return auto_rematerialize(g, m, grid)
+
+    res = benchmark.pedantic(optimize, rounds=3, iterations=1)
+    assert res.clones_made >= 1
+    assert res.energy_saved_fj > 0
+    tbl = Table(
+        "C6 ablation: auto-rematerialization on the haul mapping",
+        ["metric", "value"],
+    )
+    tbl.add_row("clones made", res.clones_made)
+    tbl.add_row("energy before (fJ)", res.energy_before_fj)
+    tbl.add_row("energy after (fJ)", res.energy_after_fj)
+    tbl.add_row("saved (fJ)", res.energy_saved_fj)
+    record_table("c06_auto_remat", tbl)

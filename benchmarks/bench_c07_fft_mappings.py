@@ -1,0 +1,108 @@
+"""Claim C7: "When comparing two FFT algorithms that are both O(NlogN),
+the one that is 50,000x more efficient is preferred" (Section 3).
+
+Two axes, both invisible to asymptotic analysis:
+
+1.  *Function choice*: DIT vs DIF vs radix-4 have identical O(N log N) but
+    different multiply counts and different memory-boundary behaviour.
+2.  *Mapping choice*: for one function (radix-2 DIT), the placement sweep
+    produces mappings whose energy and time differ by large constant
+    factors — including the extreme comparison the quote is really about:
+    all-data-off-chip per stage (a conventional machine's working set
+    miss) versus on-chip operands, whose per-word energy gap is the
+    paper's 50,000x.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.fft import OpCount, fft_graph, fft_iterative, fft_radix4, fft_recursive_dit
+from repro.analysis.report import Table
+from repro.core.cost import evaluate_cost
+from repro.core.default_mapper import schedule_asap, serial_mapping
+from repro.core.mapping import GridSpec
+from repro.core.search import FigureOfMerit, sweep_placements
+from repro.machines.technology import TECH_5NM
+
+N = 64
+
+
+def function_comparison():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=N) + 1j * rng.normal(size=N)
+    rows = []
+    for name, fn in (
+        ("radix-2 DIT", fft_recursive_dit),
+        ("radix-4", fft_radix4),
+        ("iterative radix-2", fft_iterative),
+    ):
+        c = OpCount()
+        out = fn(x, c)
+        assert np.allclose(out, np.fft.fft(x))
+        rows.append((name, c.mul, c.add, c.weighted()))
+    return rows
+
+
+def mapping_sweep():
+    g = fft_graph(N, "dit")
+    grid = GridSpec(8, 1)
+    return g, grid, sweep_placements(g, grid, FigureOfMerit.edp())
+
+
+def test_bench_fft_functions(benchmark, record_table):
+    rows = benchmark.pedantic(function_comparison, rounds=2, iterations=1)
+    tbl = Table(
+        f"C7a: FFT functions at N={N} — same O(N log N), different constants",
+        ["function", "complex muls", "complex adds", "weighted ops"],
+    )
+    for r in rows:
+        tbl.add_row(*r)
+    muls = {r[0]: r[1] for r in rows}
+    assert muls["radix-4"] < muls["radix-2 DIT"]  # the radix constant factor
+    record_table("c07_fft_functions", tbl)
+
+
+def test_bench_fft_mapping_space(benchmark, record_table):
+    g, grid, results = benchmark.pedantic(mapping_sweep, rounds=1, iterations=1)
+    tbl = Table(
+        f"C7b: radix-2 DIT N={N} under the placement sweep (EDP order)",
+        ["mapping", "cycles", "energy fJ", "comm frac", "EDP"],
+    )
+    for r in results:
+        tbl.add_row(
+            r.label,
+            r.cost.cycles,
+            r.cost.energy_total_fj,
+            round(r.cost.communication_fraction, 3),
+            r.fom,
+        )
+    cycles = [r.cost.cycles for r in results]
+    assert max(cycles) / min(cycles) > 2  # mappings genuinely differ
+    record_table("c07_fft_mappings", tbl)
+
+
+def test_bench_onchip_vs_offchip_operand_gap(benchmark, record_table):
+    """The 50,000x itself: the same butterfly with on-chip vs off-chip
+    operands, end to end through the cost model."""
+
+    def gap():
+        g = fft_graph(8, "dit")
+        grid = GridSpec(1, 1)
+        onchip = schedule_asap(g, grid, lambda n: (0, 0), inputs_offchip=False)
+        offchip = serial_mapping(g, grid)  # inputs stream from bulk memory
+        c_on = evaluate_cost(g, onchip, grid)
+        c_off = evaluate_cost(g, offchip, grid)
+        return c_on, c_off
+
+    c_on, c_off = benchmark(gap)
+    per_word_gap = TECH_5NM.offchip_vs_add_ratio()
+    tbl = Table(
+        "C7c: operand residence for the same function (N=8 DIT)",
+        ["mapping", "offchip fJ", "total fJ"],
+    )
+    tbl.add_row("operands on-chip", c_on.energy_offchip_fj, c_on.energy_total_fj)
+    tbl.add_row("operands off-chip", c_off.energy_offchip_fj, c_off.energy_total_fj)
+    tbl.add_row("per-word energy gap (paper: 50,000x)", per_word_gap, "")
+    assert c_off.energy_total_fj > 20 * c_on.energy_total_fj
+    assert per_word_gap == pytest.approx(50_000.0)
+    record_table("c07_operand_residence", tbl)

@@ -1,0 +1,87 @@
+"""Claim C8: the paper's worked example — the edit-distance recurrence with
+the anti-diagonal mapping on P processors (Section 3).
+
+The bench:
+1.  shows the legality checker rejecting the *literal* printed formula
+    (``time floor(i/P)*N + j``) — dependent rows share a schedule;
+2.  runs the "marching anti-diagonals" mapping the prose describes, legal
+    and verified against the serial DP;
+3.  sweeps P and reports speedup over the fully-serial mapping — the
+    figure the example implies (speedup ~ P).
+"""
+
+import numpy as np
+
+from repro.algorithms.edit_distance import (
+    edit_distance_graph,
+    levenshtein,
+    paper_mapping_literal,
+    wavefront_mapping,
+)
+from repro.analysis.report import Table
+from repro.core.default_mapper import serial_mapping
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+N = 48
+
+
+def sweep_p():
+    rng = np.random.default_rng(1)
+    R = rng.integers(0, 4, size=N).tolist()
+    Q = rng.integers(0, 4, size=N).tolist()
+    d_ref = levenshtein(R, Q)[0]
+    g = edit_distance_graph(N, N, cell="lev")
+    rows = []
+    for p in (1, 2, 4):
+        grid = GridSpec(max(p, 1), 1)
+        ser = serial_mapping(g, grid)
+        t_serial = ser.makespan(g)
+        if p == 1:
+            rows.append((p, t_serial, t_serial, 1.0, True))
+            continue
+        m = wavefront_mapping(g, N, p, grid)
+        rep = check_legality(g, m, grid)
+        res = GridMachine(grid).run(
+            g, m,
+            {"R": {(i,): R[i] for i in range(N)},
+             "Q": {(j,): Q[j] for j in range(N)}},
+        )
+        assert res.outputs[("H", N - 1, N - 1)] == d_ref
+        rows.append((p, t_serial, res.cycles, t_serial / res.cycles, rep.ok))
+    return rows
+
+
+def test_bench_literal_mapping_rejected(benchmark, record_table):
+    def check():
+        g = edit_distance_graph(24, 24)
+        m = paper_mapping_literal(g, 24, 4)
+        return check_legality(g, m, GridSpec(4, 1))
+
+    rep = benchmark(check)
+    assert not rep.ok
+    assert rep.by_kind("causality")
+    tbl = Table(
+        "C8a: the printed mapping `time floor(i/P)*N + j` (N=24, P=4)",
+        ["check", "result"],
+    )
+    tbl.add_row("legal?", rep.ok)
+    tbl.add_row("causality violations", len(rep.by_kind("causality")))
+    tbl.add_row("first violation", str(rep.violations[0]))
+    record_table("c08_literal_mapping", tbl)
+
+
+def test_bench_wavefront_speedup(benchmark, record_table):
+    rows = benchmark.pedantic(sweep_p, rounds=1, iterations=1)
+    tbl = Table(
+        f"C8b: edit distance N={N}, marching anti-diagonals vs serial",
+        ["P", "serial cycles", "wavefront cycles", "speedup", "legal"],
+    )
+    for p, ts, tw, s, ok in rows:
+        tbl.add_row(p, ts, tw, round(s, 2), ok)
+        assert ok
+    # speedup approaches P
+    final_p, *_rest = rows[-1]
+    assert rows[-1][3] > 0.7 * final_p
+    record_table("c08_wavefront_speedup", tbl)

@@ -1,0 +1,61 @@
+"""Claim C9: "Programmers that don't want to bother with mapping can use a
+default mapper - with results no worse than with today's abstractions"
+(Section 3).
+
+Operationalization: across a workload suite (map, reduce, scan, stencil,
+FFT), the default mapper's schedule must be
+
+*  never slower than the fully serial mapping ("today's abstraction" on
+   one core), and
+*  within a bounded factor of the best mapping the structured sweep finds
+   (how much a careful mapping still buys — also reported).
+"""
+
+
+from repro.algorithms.fft import fft_graph
+from repro.algorithms.stencil import stencil_graph
+from repro.analysis.report import Table
+from repro.core.cost import evaluate_cost
+from repro.core.default_mapper import default_mapping, serial_mapping
+from repro.core.idioms import build_map, build_reduce, build_scan
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.core.search import FigureOfMerit, sweep_placements
+
+GRID = GridSpec(8, 1)
+
+
+def workloads():
+    return {
+        "map-64": build_map(64, 8, GRID).graph,
+        "reduce-64": build_reduce(64, 8, GRID).graph,
+        "scan-64": build_scan(64, 8, GRID).graph,
+        "stencil-32x3": stencil_graph(32, 3),
+        "fft-32": fft_graph(32, "dit"),
+    }
+
+
+def evaluate_suite():
+    rows = []
+    for name, g in workloads().items():
+        dm = default_mapping(g, GRID)
+        assert check_legality(g, dm, GRID).ok
+        t_default = evaluate_cost(g, dm, GRID).cycles
+        t_serial = evaluate_cost(g, serial_mapping(g, GRID), GRID).cycles
+        best = sweep_placements(g, GRID, FigureOfMerit.fastest())[0]
+        rows.append((name, t_serial, t_default, best.cost.cycles, best.label))
+    return rows
+
+
+def test_bench_default_mapper_no_worse(benchmark, record_table):
+    rows = benchmark.pedantic(evaluate_suite, rounds=1, iterations=1)
+    tbl = Table(
+        "C9: default mapper vs serial ('today') vs best swept mapping",
+        ["workload", "serial cycles", "default cycles", "best cycles",
+         "best label"],
+    )
+    for name, ts, td, tb, label in rows:
+        tbl.add_row(name, ts, td, tb, label)
+        assert td <= ts, f"{name}: default mapper slower than serial"
+        assert td <= 4 * tb, f"{name}: default mapper > 4x off the swept best"
+    record_table("c09_default_mapper", tbl)

@@ -1,0 +1,112 @@
+"""Claim C10: the work-depth model's "cost mappings down to the machine
+level that reasonably capture real performance" (Section 2) — Brent's
+theorem, measured.
+
+For fork-join programs (reduce, scan, mergesort) the bench schedules the
+recorded DAG on P workers with the greedy scheduler (must land inside
+Brent's bounds) and with randomized work stealing (allowed W/P + O(D); the
+constant is measured and reported).  An ablation sweeps the fork-join
+grain size — the knob that trades span for spawn overhead.
+"""
+
+import numpy as np
+
+from repro.algorithms.reduce_ import reduce_fork_join
+from repro.algorithms.scan import scan_fork_join
+from repro.algorithms.sort import mergesort_fork_join
+from repro.analysis.brent import check_schedule
+from repro.analysis.report import Table
+from repro.runtime.scheduler import greedy_schedule, work_stealing_schedule
+
+RNG = np.random.default_rng(7)
+VALS = RNG.integers(0, 1000, size=256).tolist()
+
+
+def programs():
+    return {
+        "reduce-256": reduce_fork_join(VALS),
+        "scan-256": scan_fork_join(VALS),
+        "mergesort-256": mergesort_fork_join(VALS),
+    }
+
+
+def brent_sweep():
+    rows = []
+    for name, res in programs().items():
+        for p in (1, 2, 4, 8, 16):
+            s = greedy_schedule(res.dag, p)
+            chk = check_schedule(res.dag, s)
+            ws = work_stealing_schedule(res.dag, p, seed=0)
+            rows.append(
+                (name, p, chk.work, chk.span, chk.lower, chk.t_p, chk.upper,
+                 ws.length, chk.within_greedy_bounds)
+            )
+    return rows
+
+
+def test_bench_brent_bounds(benchmark, record_table):
+    rows = benchmark.pedantic(brent_sweep, rounds=1, iterations=1)
+    tbl = Table(
+        "C10: Brent's bounds vs measured schedules (greedy & stealing)",
+        ["program", "P", "W", "D", "lower", "greedy T_P", "upper",
+         "stealing T_P", "greedy in bounds"],
+    )
+    for row in rows:
+        tbl.add_row(*row)
+        *_a, t_steal, ok = row
+        name, p, w, d, lo, tp, hi = row[:7]
+        assert ok, f"{name} P={p}: greedy outside Brent bounds"
+        assert t_steal <= w / p + 14 * d + 8, f"{name} P={p}: stealing too slow"
+    record_table("c10_brent", tbl)
+
+
+def test_bench_stealing_constant(benchmark, record_table):
+    """Measure the O(D) constant of work stealing across seeds."""
+
+    def measure():
+        res = mergesort_fork_join(VALS)
+        w, d = res.work, res.span
+        out = []
+        for p in (2, 4, 8):
+            excess = []
+            for seed in range(5):
+                s = work_stealing_schedule(res.dag, p, seed=seed)
+                excess.append((s.length - w / p) / d)
+            out.append((p, w, d, min(excess), sum(excess) / len(excess),
+                        max(excess)))
+        return out
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    tbl = Table(
+        "C10 ablation: work-stealing (T_P - W/P)/D constant over 5 seeds",
+        ["P", "W", "D", "min", "mean", "max"],
+    )
+    for row in rows:
+        tbl.add_row(row[0], row[1], row[2], round(row[3], 2),
+                    round(row[4], 2), round(row[5], 2))
+        assert row[5] < 14  # the constant stays modest
+    record_table("c10_stealing_constant", tbl)
+
+
+def test_bench_grain_ablation(benchmark, record_table):
+    """Grain size: span/work tradeoff of the fork-join DSL."""
+
+    def measure():
+        out = []
+        for grain in (1, 4, 16, 64):
+            res = reduce_fork_join(VALS, grain=grain)
+            t8 = greedy_schedule(res.dag, 8).length
+            out.append((grain, res.work, res.span, res.dag.n_nodes, t8))
+        return out
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    tbl = Table(
+        "C10 ablation: fork-join grain (reduce of 256, greedy P=8)",
+        ["grain", "work", "span", "dag nodes", "T_8"],
+    )
+    spans = []
+    for row in rows:
+        tbl.add_row(*row)
+        spans.append(row[2])
+    assert spans[0] <= spans[-1]  # coarser grain = longer span
+    record_table("c10_grain", tbl)

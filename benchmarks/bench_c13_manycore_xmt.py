@@ -1,0 +1,161 @@
+"""Claim C13: "many-core computing can offer improvement by 4-5 orders of
+magnitude over single cores" and XMT's competitiveness on "as-is complete
+PRAM algorithms", especially irregular ones (Section 5).
+
+Workloads: level-synchronous BFS and label-propagation connectivity — the
+irregular PRAM algorithms Vishkin's statement highlights.  The comparison:
+
+*  **XMT** runs per-vertex virtual threads with the hardware prefix-sum;
+   synchronization cost per level is the constant spawn overhead.
+*  **Conventional multicore** runs the same per-level work with static
+   chunking and a global barrier per level.
+
+Measured: cycles vs TCU count (the scaling trend toward the claimed
+orders of magnitude — the claim's full 10^4-10^5 needs the chip sizes the
+panel talks about, so the bench reports the measured scaling exponent and
+the extrapolation, and says so), plus the synchronization-cost gap that
+makes irregular parallelism viable at all.
+"""
+
+import numpy as np
+
+from repro.algorithms.bfs import bfs_serial, bfs_xmt, level_work_profile
+from repro.algorithms.connectivity import cc_serial, cc_xmt, labels_equivalent
+from repro.algorithms.graphs import random_gnp
+from repro.analysis.report import Table
+from repro.machines.multicore import MulticoreConfig, MulticoreMachine
+from repro.machines.xmt import XmtConfig, XmtMachine
+
+
+def graph():
+    # big enough that frontiers fill hundreds of TCUs; the UMA round-trip
+    # latency otherwise caps the measurable speedup (Amdahl on memory)
+    return random_gnp(1000, 0.01, seed=11)
+
+
+def tcu_sweep():
+    g = graph()
+    ref = bfs_serial(g, 0)
+    rows = []
+    serial_cycles = None
+    for tcus in (1, 4, 16, 64, 256):
+        xm = XmtMachine(4 * g.n + 1, XmtConfig(n_tcus=tcus))
+        res, xm = bfs_xmt(g, 0, xm)
+        assert np.array_equal(res.dist, ref.dist)
+        if tcus == 1:
+            serial_cycles = xm.result.cycles
+        mem_cycles = xm.result.rounds * xm.config.mem_latency_cycles
+        rows.append(
+            (tcus, xm.result.cycles, serial_cycles / xm.result.cycles,
+             mem_cycles / xm.result.cycles)
+        )
+    return rows
+
+
+def test_bench_xmt_scaling(benchmark, record_table):
+    rows = benchmark.pedantic(tcu_sweep, rounds=1, iterations=1)
+    tbl = Table(
+        "C13a: XMT BFS cycles vs TCU count (G(1000, 0.01))",
+        ["TCUs", "cycles", "speedup vs 1 TCU", "UMA latency share"],
+    )
+    for tcus, cycles, sp, mem_share in rows:
+        tbl.add_row(tcus, cycles, round(sp, 2), f"{mem_share:.0%}")
+    speedups = [r[2] for r in rows]
+    assert speedups == sorted(speedups)  # monotone scaling
+    assert speedups[-1] > 4  # real parallel speedup at this toy size
+    # the saturation is the uniform-memory round trip, not lack of
+    # parallelism: at 256 TCUs memory latency dominates the cycle count
+    assert rows[-1][3] > 0.5
+
+    # the claim's 4-5 orders combines throughput scaling with the per-op
+    # energy advantage of simple TCUs over OoO cores; report both factors
+    record_table("c13_xmt_scaling", tbl, _combined_factor_table(rows, XmtConfig()))
+
+
+def _combined_factor_table(rows, cfg):
+    from repro.machines.technology import TECH_5NM
+
+    per_op_ooo = TECH_5NM.instruction_energy_word_fj()
+    per_op_tcu = TECH_5NM.add_energy_word_fj() * (
+        1.0 + TECH_5NM.instruction_overhead_factor / cfg.overhead_reduction
+    )
+    energy_adv = per_op_ooo / per_op_tcu
+    throughput = rows[-1][2]
+    tbl2 = Table(
+        "C13a': factors toward the 4-5 orders-of-magnitude claim",
+        ["factor", "value"],
+    )
+    tbl2.add_row("measured throughput speedup (256 TCUs, this input)",
+                 round(throughput, 2))
+    tbl2.add_row("per-op energy advantage (TCU vs OoO core)",
+                 round(energy_adv, 1))
+    tbl2.add_row("combined energy-delay advantage",
+                 round(throughput * energy_adv, 1))
+    tbl2.add_row(
+        "note",
+        "full 4-5 orders needs frontiers >> TCUs (problem scaling); the "
+        "bench measures the trend and its limiting factor (UMA latency)",
+    )
+    return tbl2
+
+
+def sync_gap():
+    g = graph()
+    levels = level_work_profile(g, 0)
+    ref = bfs_serial(g, 0)
+
+    xm = XmtMachine(4 * g.n + 1, XmtConfig(n_tcus=64))
+    _, xm = bfs_xmt(g, 0, xm)
+
+    mc = MulticoreMachine(MulticoreConfig(n_cores=8))
+    mc_res = mc.run_phases(levels, instructions_per_item=8)
+
+    xmt_sync = xm.result.spawn_blocks * xm.config.spawn_overhead_cycles
+    mc_sync = mc_res.barriers * mc.config.barrier_cycles
+    return {
+        "levels": ref.levels,
+        "xmt_cycles": xm.result.cycles,
+        "xmt_sync": xmt_sync,
+        "mc_cycles": mc_res.cycles,
+        "mc_sync": mc_sync,
+    }
+
+
+def test_bench_sync_overhead_gap(benchmark, record_table):
+    r = benchmark.pedantic(sync_gap, rounds=1, iterations=1)
+    tbl = Table(
+        "C13b: synchronization cost, XMT spawn vs multicore barrier (BFS)",
+        ["machine", "levels", "sync cycles", "total cycles", "sync share"],
+    )
+    tbl.add_row("xmt (64 tcus)", r["levels"], r["xmt_sync"], r["xmt_cycles"],
+                f"{r['xmt_sync'] / r['xmt_cycles']:.1%}")
+    tbl.add_row("multicore (8 cores)", r["levels"], r["mc_sync"], r["mc_cycles"],
+                f"{r['mc_sync'] / r['mc_cycles']:.1%}")
+    assert r["mc_sync"] > 50 * r["xmt_sync"]
+    record_table("c13_sync_gap", tbl)
+
+
+def test_bench_connectivity_xmt(benchmark, record_table):
+    """The second irregular workload: connectivity matches the serial
+    oracle and scales with TCUs."""
+
+    def run():
+        g = random_gnp(200, 0.03, seed=5)
+        ser = cc_serial(g)
+        rows = []
+        for tcus in (8, 64):
+            xm = XmtMachine(g.n + 1, XmtConfig(n_tcus=tcus))
+            labels, xm = cc_xmt(g, xm)
+            assert labels_equivalent(ser, labels)
+            rows.append((tcus, xm.result.cycles, xm.result.ps_ops))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    tbl = Table(
+        "C13c: XMT connected components (G(200, 0.03))",
+        ["TCUs", "cycles", "ps ops"],
+    )
+    for row in rows:
+        tbl.add_row(*row)
+    assert rows[1][1] < rows[0][1]  # more TCUs, fewer cycles
+    record_table("c13_connectivity", tbl)

@@ -1,0 +1,147 @@
+"""Claim C14: "For each function there are many possible mappings that
+range from completely serial to minimum-depth parallel with many points
+between.  One can systematically search the space of possible mappings to
+optimize a given figure of merit: execution time, energy per op, memory
+footprint, or some combination" (Section 3).
+
+The bench searches the mapping space of two workloads (stencil and FFT)
+three ways — structured sweep, simulated annealing, exhaustive on a tiny
+kernel — and reports the time/energy/footprint Pareto frontier plus the
+per-FoM winners.  The "completely serial to minimum-depth" span of the
+space is checked explicitly: the sweep's fastest point must approach the
+function's inherent depth, and its serial point must equal the work.
+"""
+
+
+from repro.algorithms.fft import fft_graph
+from repro.algorithms.stencil import stencil_graph
+from repro.analysis.pareto import pareto_front
+from repro.analysis.report import Table
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec
+from repro.core.search import (
+    FigureOfMerit,
+    anneal,
+    exhaustive_search,
+    sweep_placements,
+)
+
+GRID = GridSpec(8, 1)
+
+
+def search_workload(graph):
+    swept = sweep_placements(graph, GRID, FigureOfMerit.edp())
+    annealed = anneal(graph, GRID, FigureOfMerit.edp(), steps=300, seed=1)
+    return swept, annealed
+
+
+def test_bench_pareto_frontier(benchmark, record_table):
+    g = stencil_graph(32, 3)
+    swept, annealed = benchmark.pedantic(
+        lambda: search_workload(g), rounds=1, iterations=1
+    )
+    points = swept + [annealed]
+    front = pareto_front(points, lambda r: r.metrics())
+    tbl = Table(
+        "C14a: stencil 32x3 — mapping space (frontier members marked)",
+        ["mapping", "cycles", "energy fJ", "footprint", "on frontier"],
+    )
+    front_set = {id(r) for r in front}
+    for r in points:
+        t, e, f = r.metrics()
+        tbl.add_row(r.label, int(t), e, int(f), id(r) in front_set)
+    assert len(front) >= 2  # a real tradeoff, not a single winner
+    record_table("c14_pareto", tbl)
+
+
+def test_bench_serial_to_min_depth_span(benchmark, record_table):
+    """The space spans 'completely serial' to near the function's depth."""
+
+    def measure():
+        g = fft_graph(32, "dit")
+        swept = sweep_placements(g, GRID, FigureOfMerit.fastest())
+        serial = next(r for r in swept if r.label == "serial")
+        fastest = swept[0]
+        return g, serial, fastest
+
+    g, serial, fastest = benchmark.pedantic(measure, rounds=1, iterations=1)
+    tbl = Table(
+        "C14b: FFT-32 — the serial-to-parallel span of the mapping space",
+        ["point", "cycles", "reference"],
+    )
+    offload = GRID.tech.offchip_cycles()
+    tbl.add_row("function work (ops)", g.work(), "serial lower bound")
+    tbl.add_row("serial mapping", serial.cost.cycles, "~ work + load latency")
+    tbl.add_row("fastest swept mapping", fastest.cost.cycles, "")
+    tbl.add_row("function depth (min-depth ideal)", g.depth(), "parallel lower bound")
+    # serial mapping executes one op per cycle after the first load
+    assert serial.cost.cycles >= g.work()
+    assert serial.cost.cycles <= g.work() + offload + 8
+    # parallelism buys a real factor
+    assert fastest.cost.cycles < serial.cost.cycles / 2
+    record_table("c14_span", tbl)
+
+
+def test_bench_fom_changes_the_winner(benchmark, record_table):
+    """Optimizing time, energy, and EDP elect different mappings —
+    the 'or some combination' clause has teeth."""
+
+    def measure():
+        g = stencil_graph(48, 2)
+        winners = {}
+        for name, fom in (
+            ("time", FigureOfMerit.fastest()),
+            ("energy", FigureOfMerit.lowest_energy()),
+            ("edp", FigureOfMerit.edp()),
+        ):
+            winners[name] = sweep_placements(g, GRID, fom)[0]
+        return winners
+
+    winners = benchmark.pedantic(measure, rounds=1, iterations=1)
+    tbl = Table(
+        "C14c: winner by figure of merit (stencil 48x2)",
+        ["figure of merit", "winning mapping", "cycles", "energy fJ"],
+    )
+    for name, r in winners.items():
+        tbl.add_row(name, r.label, r.cost.cycles, r.cost.energy_total_fj)
+    assert winners["time"].cost.cycles <= winners["energy"].cost.cycles
+    assert (
+        winners["energy"].cost.energy_total_fj
+        <= winners["time"].cost.energy_total_fj
+    )
+    # time and energy genuinely disagree on this workload
+    assert winners["time"].label != winners["energy"].label
+    record_table("c14_fom_winners", tbl)
+
+
+def test_bench_exhaustive_validates_heuristics(benchmark, record_table):
+    """Ground truth on a tiny kernel: the sweep/anneal winners are within
+    a small factor of the true optimum."""
+
+    def measure():
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        b = g.input("A", (1,))
+        s = g.op("+", a, b, index=(0,))
+        t = g.op("*", s, s, index=(1,))
+        u = g.op("+", t, s, index=(2,))
+        g.mark_output(u, "o")
+        grid = GridSpec(3, 1)
+        fom = FigureOfMerit.edp()
+        best = exhaustive_search(g, grid, fom)
+        swept = sweep_placements(g, grid, fom)[0]
+        ann = anneal(g, grid, fom, steps=200, seed=0)
+        return best, swept, ann
+
+    best, swept, ann = benchmark.pedantic(measure, rounds=1, iterations=1)
+    tbl = Table(
+        "C14d: heuristics vs exhaustive optimum (tiny kernel, EDP)",
+        ["searcher", "EDP"],
+    )
+    tbl.add_row("exhaustive", best.fom)
+    tbl.add_row("sweep", swept.fom)
+    tbl.add_row("anneal", ann.fom)
+    assert best.fom <= swept.fom
+    assert best.fom <= ann.fom
+    assert ann.fom <= 1.5 * best.fom
+    record_table("c14_exhaustive", tbl)

@@ -1,0 +1,97 @@
+"""Claim C15 (Yelick, Section 6): "we need simpler mechanisms for
+communication and synchronization ... Heavyweight communication mechanisms
+that imply global or pairwise synchronization and require more data
+aggregation to amortize overhead can consume precious fast memory
+resources", and simpler primitives should be "universally useful across
+algorithms and applications".
+
+The bench runs four traffic patterns spanning the regular-to-irregular
+spectrum through both primitive sets and reports time, messages, sync
+events, and — the clause usually skipped — the fast-memory buffer cost of
+the aggregation the heavyweight set needs to stay competitive.
+"""
+
+
+from repro.analysis.report import Table
+from repro.machines.primitives import (
+    OneSidedMachine,
+    TwoSidedMachine,
+    halo_exchange,
+    random_updates,
+    transpose,
+    tree_reduce_traffic,
+)
+
+WORKLOADS = {
+    "halo 16p x 10 steps": lambda: halo_exchange(16, 64, steps=10),
+    "transpose 16p": lambda: transpose(16, 64),
+    "tree reduce 16p": lambda: tree_reduce_traffic(16, 64),
+    "random updates 16p, 2000": lambda: random_updates(16, 2000, seed=1),
+}
+
+
+def run_all():
+    rows = []
+    for name, gen in WORKLOADS.items():
+        phases = gen()
+        one = OneSidedMachine().run(phases)
+        two = TwoSidedMachine().run(phases)
+        rows.append((name, one, two))
+    return rows
+
+
+def test_bench_primitive_sets(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    tbl = Table(
+        "C15a: one-sided vs two-sided across the workload spectrum",
+        ["workload", "machine", "time (cycles)", "messages", "sync events"],
+    )
+    for name, one, two in rows:
+        tbl.add_row(name, one.machine, one.time_cycles, one.messages,
+                    one.sync_events)
+        tbl.add_row(name, two.machine, two.time_cycles, two.messages,
+                    two.sync_events)
+        # "universally useful": the simple primitives win on every workload
+        assert one.time_cycles < two.time_cycles, name
+    # ...and win biggest on the irregular one
+    gains = {
+        name: two.time_cycles / one.time_cycles for name, one, two in rows
+    }
+    assert gains["random updates 16p, 2000"] == max(gains.values())
+    record_table("c15_primitives", tbl)
+
+
+def test_bench_aggregation_memory_cost(benchmark, record_table):
+    """The 'consume precious fast memory' clause: aggregation buys the
+    heavyweight set time at the price of coalescing buffers."""
+
+    def sweep():
+        phases = random_updates(16, 2000, seed=1)
+        one = OneSidedMachine().run(phases)
+        rows = [("one-sided", 0, one.time_cycles, one.messages, 0)]
+        for agg in (0, 32, 128, 512):
+            rep = TwoSidedMachine(aggregate=agg).run(phases)
+            rows.append(
+                ("two-sided", agg, rep.time_cycles, rep.messages,
+                 rep.buffer_words_peak)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tbl = Table(
+        "C15b: aggregation sweep on irregular updates",
+        ["machine", "aggregate", "time (cycles)", "messages",
+         "buffer words/proc"],
+    )
+    for row in rows:
+        tbl.add_row(*row)
+    two_rows = [r for r in rows if r[0] == "two-sided"]
+    # aggregation monotonically trades messages for buffer space
+    msgs = [r[3] for r in two_rows]
+    bufs = [r[4] for r in two_rows]
+    assert msgs[0] >= msgs[-1]
+    assert bufs == sorted(bufs)
+    # even the best aggregated point loses to plain one-sided
+    one_time = rows[0][2]
+    assert min(r[2] for r in two_rows) > one_time
+    record_table("c15_aggregation", tbl)

@@ -1,0 +1,33 @@
+"""Shared infrastructure for the claim benchmarks.
+
+Every bench regenerates the numbers behind one of the paper's quantitative
+claims (C1-C14 in DESIGN.md), asserts the claim's tolerance, and writes its
+table to ``benchmarks/out/<bench>.txt`` so the "tables the paper would have
+had" exist as artifacts.  Run with ``pytest benchmarks/ --benchmark-only``;
+add ``-s`` to see the tables inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import Table
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Print a table and persist it under benchmarks/out/."""
+
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, *tables: Table) -> None:
+        text = "\n\n".join(t.render() for t in tables)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

@@ -1,0 +1,72 @@
+"""Blelloch's locality ladder: RAM -> one-level cache -> multilevel cache.
+
+Section 2: the RAM "does not capture the locality that is needed to make
+effective use of caches", but "it is easy to add a one level cache", and
+cache-oblivious algorithms then "work effectively on a multilevel cache".
+This script walks matmul up that ladder, and finishes with the asymmetric
+read/write extension the section also mentions.
+
+Run:  python examples/cache_models_tour.py
+"""
+
+from repro.algorithms.matmul import trace_blocked, trace_naive, trace_recursive
+from repro.analysis.report import Table
+from repro.models.asymmetric import asymmetric_cache_cost
+from repro.models.cache import HierarchySpec, ideal_cache_misses, multilevel_misses
+
+N = 32  # power of two: the recursive variant requires it
+B = 4
+
+
+def main() -> None:
+    print(f"workload: {N}x{N} matmul, word traces, block size B={B}\n")
+
+    # rung 1: the RAM view — all variants identical
+    n_ops = 2 * N**3
+    print(f"RAM view: every variant performs {n_ops:,} operand reads — "
+          "the model cannot tell them apart.\n")
+
+    # rung 2: one-level ideal cache
+    tbl = Table(
+        "one-level (M, B) ideal cache: misses by algorithm",
+        ["M (words)", "naive ijk", "blocked bs=8", "recursive (oblivious)"],
+    )
+    for m_words in (64, 128, 256):
+        tbl.add_row(
+            m_words,
+            ideal_cache_misses(trace_naive(N), m_words, B),
+            ideal_cache_misses(trace_blocked(N, 8), m_words, B),
+            ideal_cache_misses(trace_recursive(N, 2), m_words, B),
+        )
+    tbl.print()
+
+    # rung 3: multilevel hierarchy, same untouched oblivious trace
+    specs = (
+        HierarchySpec(64, B, 0.5, "L1"),
+        HierarchySpec(256, B, 2.0, "L2"),
+        HierarchySpec(1024, B, 10.0, "L3"),
+    )
+    tbl2 = Table(
+        "three-level hierarchy: per-level misses",
+        ["algorithm", "L1", "L2", "L3"],
+    )
+    for name, trace in (
+        ("naive", trace_naive(N)),
+        ("recursive (oblivious)", trace_recursive(N, 2)),
+    ):
+        tbl2.add_row(name, *multilevel_misses(trace, specs))
+    tbl2.print()
+
+    # extension: asymmetric read/write costs (omega-charged writes)
+    tbl3 = Table(
+        "asymmetric (M, B, omega) cost of the oblivious trace",
+        ["omega", "block reads", "block writes", "cost"],
+    )
+    for omega in (1, 4, 16):
+        c = asymmetric_cache_cost(trace_recursive(N, 2), 128, B, omega=omega)
+        tbl3.add_row(omega, c.reads, c.writes, c.cost)
+    tbl3.print()
+
+
+if __name__ == "__main__":
+    main()

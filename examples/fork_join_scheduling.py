@@ -1,0 +1,64 @@
+"""Work-depth in practice: write fork-join code, measure W and D, schedule.
+
+Blelloch's preferred stack: a fork-join program is analyzed into a
+computation DAG; Brent's theorem brackets its running time on P workers;
+the schedulers then realize (or miss) the bound.  This script does all of
+it for parallel mergesort.
+
+Run:  python examples/fork_join_scheduling.py
+"""
+
+import numpy as np
+
+from repro.algorithms.sort import mergesort_fork_join
+from repro.analysis.brent import check_schedule
+from repro.analysis.report import Table
+from repro.models.workdepth import brent_bounds
+from repro.runtime.scheduler import (
+    centralized_queue_schedule,
+    greedy_schedule,
+    work_stealing_schedule,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    vals = rng.integers(0, 10_000, size=512).tolist()
+
+    res = mergesort_fork_join(vals)
+    assert res.value == sorted(vals)
+    w, d = res.work, res.span
+    print(f"mergesort of 512: work W = {w}, span D = {d}, "
+          f"parallelism W/D = {w / d:.1f}\n")
+
+    tbl = Table(
+        "schedulers vs Brent's bounds",
+        ["P", "lower", "greedy", "stealing", "central q (pen=20)", "upper",
+         "greedy speedup"],
+    )
+    for p in (1, 2, 4, 8, 16, 32):
+        lo, hi = brent_bounds(w, d, p)
+        g = greedy_schedule(res.dag, p)
+        ws = work_stealing_schedule(res.dag, p, seed=1)
+        cq = centralized_queue_schedule(res.dag, p, dequeue_penalty=20)
+        chk = check_schedule(res.dag, g)
+        assert chk.within_greedy_bounds
+        tbl.add_row(p, lo, g.length, ws.length, cq.length, hi,
+                    round(chk.speedup, 2))
+    tbl.print()
+
+    print("note the centralized queue: with a dequeue penalty, extra "
+          "workers stop helping — Yelick's 'heavyweight mechanisms' point.")
+
+    # serial vs parallel merge: the span ablation
+    par = mergesort_fork_join(vals, parallel_merge=True)
+    ser = mergesort_fork_join(vals, parallel_merge=False)
+    tbl2 = Table("merge strategy ablation", ["variant", "work", "span",
+                                             "parallelism"])
+    for name, r in (("parallel merge", par), ("serial merge", ser)):
+        tbl2.add_row(name, r.work, r.span, round(r.work / r.span, 1))
+    tbl2.print()
+
+
+if __name__ == "__main__":
+    main()

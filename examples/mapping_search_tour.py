@@ -1,0 +1,73 @@
+"""Tour of the mapping space: search, Pareto frontier, recomputation.
+
+Section 3's research agenda in one script: take one function (a 1-D
+stencil), enumerate mappings "from completely serial to minimum-depth
+parallel", search them against three figures of merit, extract the
+time/energy/footprint Pareto frontier, and let the recompute optimizer
+trade wires for arithmetic.
+
+Run:  python examples/mapping_search_tour.py
+"""
+
+from repro.algorithms.stencil import stencil_graph
+from repro.analysis.pareto import pareto_front
+from repro.analysis.report import Table
+from repro.core.mapping import GridSpec
+from repro.core.recompute import auto_rematerialize
+from repro.core.search import FigureOfMerit, anneal, sweep_placements
+
+
+def main() -> None:
+    g = stencil_graph(48, 3)
+    grid = GridSpec(8, 1)
+    print(f"function: 48-cell stencil, 3 timesteps — {g}")
+    print(f"  work {g.work()}, depth {g.depth()}, "
+          f"parallelism {g.parallelism():.1f}\n")
+
+    # 1. the structured sweep + annealing
+    swept = sweep_placements(g, grid, FigureOfMerit.edp())
+    annealed = anneal(g, grid, FigureOfMerit.edp(), steps=400, seed=0)
+    points = swept + [annealed]
+
+    tbl = Table(
+        "mapping space (sorted by energy-delay product)",
+        ["mapping", "cycles", "energy fJ", "footprint words", "EDP"],
+    )
+    for r in sorted(points, key=lambda r: r.fom):
+        tbl.add_row(r.label, r.cost.cycles, r.cost.energy_total_fj,
+                    r.cost.footprint_words, r.fom)
+    tbl.print()
+
+    # 2. the Pareto frontier over (time, energy, footprint)
+    front = pareto_front(points, lambda r: r.metrics())
+    tbl2 = Table(
+        "pareto frontier (no point improves one metric without losing another)",
+        ["mapping", "cycles", "energy fJ", "footprint words"],
+    )
+    for r in front:
+        tbl2.add_row(r.label, r.cost.cycles, r.cost.energy_total_fj,
+                     r.cost.footprint_words)
+    tbl2.print()
+
+    # 3. winner depends on what you optimize
+    tbl3 = Table("winner by figure of merit", ["FoM", "winner", "cycles",
+                                               "energy fJ"])
+    for name, fom in (("time", FigureOfMerit.fastest()),
+                      ("energy", FigureOfMerit.lowest_energy()),
+                      ("EDP", FigureOfMerit.edp())):
+        best = sweep_placements(g, grid, fom)[0]
+        tbl3.add_row(name, best.label, best.cost.cycles,
+                     best.cost.energy_total_fj)
+    tbl3.print()
+
+    # 4. recomputation instead of communication
+    best_time = sweep_placements(g, grid, FigureOfMerit.fastest())[0]
+    remat = auto_rematerialize(g, best_time.mapping, grid)
+    print("recompute-vs-communicate pass on the fastest mapping:")
+    print(f"  clones made: {remat.clones_made}")
+    print(f"  energy before: {remat.energy_before_fj:,.0f} fJ")
+    print(f"  energy after:  {remat.energy_after_fj:,.0f} fJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""The paper's own worked example, end to end.
+
+Section 3 of the panel paper gives one concrete program::
+
+    Forall i, j in (0:N-1, 0:N-1)
+      H(i,j) = min(H(i-1, j-1) + f(R[i],Q[j]), H(i-1,j)+D, H(i,j-1)+I, 0);
+    Map H(i,j) at i % P  time floor(i/P)*N + j
+
+This script builds that recurrence as a dataflow graph, tries the mapping
+exactly as printed (the legality checker rejects it — dependent rows share
+a schedule), then runs the "marching anti-diagonals" mapping the prose
+describes, verifies it against the serial DP, and reports the speedup and
+the implied hardware.
+
+Run:  python examples/paper_worked_example.py
+"""
+
+import numpy as np
+
+from repro.algorithms.edit_distance import (
+    edit_distance_graph,
+    levenshtein,
+    paper_mapping_literal,
+    wavefront_mapping,
+)
+from repro.analysis.report import Table
+from repro.core.default_mapper import serial_mapping
+from repro.core.legality import check_legality
+from repro.core.lowering import lower
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+N, P = 40, 4
+
+
+def main() -> None:
+    rng = np.random.default_rng(2021)
+    R = rng.integers(0, 4, size=N).tolist()
+    Q = rng.integers(0, 4, size=N).tolist()
+
+    g = edit_distance_graph(N, N, cell="lev")
+    grid = GridSpec(P, 1)
+    print(f"H(i,j) recurrence as dataflow: {g}\n")
+
+    # 1. the mapping exactly as printed
+    literal = paper_mapping_literal(g, N, P)
+    report = check_legality(g, literal, grid)
+    print("mapping as printed: `at i % P  time floor(i/P)*N + j`")
+    print(f"  legal? {report.ok}")
+    print(f"  example violation: {report.violations[0]}\n")
+
+    # 2. the marching anti-diagonals the prose describes
+    wave = wavefront_mapping(g, N, P, grid)
+    assert check_legality(g, wave, grid).ok
+    machine = GridMachine(grid)
+    res = machine.run(
+        g, wave,
+        {"R": {(i,): R[i] for i in range(N)},
+         "Q": {(j,): Q[j] for j in range(N)}},
+    )
+    d_serial, _ = levenshtein(R, Q)
+    assert res.outputs[("H", N - 1, N - 1)] == d_serial
+    print(f"marching anti-diagonals: legal, verified (distance = {d_serial})")
+
+    serial = serial_mapping(g, grid)
+    t_serial = serial.makespan(g)
+    tbl = Table("the example's numbers", ["metric", "value"])
+    tbl.add_row("serial mapping cycles", t_serial)
+    tbl.add_row(f"wavefront cycles (P={P})", res.cycles)
+    tbl.add_row("speedup", round(t_serial / res.cycles, 2))
+    tbl.add_row("energy (fJ)", res.cost.energy_total_fj)
+    tbl.add_row("communication share", f"{res.cost.communication_fraction:.1%}")
+    tbl.print()
+
+    # 3. see the anti-diagonals actually march
+    from repro.analysis.spacetime import render_spacetime
+
+    print(render_spacetime(
+        g, wave, grid, width=64,
+        title="space-time diagram (each PE lags its neighbour by hop+1):",
+    ))
+    print()
+
+    # 4. the mapping directly specifies a machine
+    spec = lower(g, wave, grid)
+    print("the mapping's implied domain-specific architecture:")
+    print(f"  {spec.n_pes} PEs, {spec.total_rom_entries} ROM entries, "
+          f"{len(spec.wires)} wires ({spec.total_wire_mm:.0f} mm)")
+
+
+if __name__ == "__main__":
+    main()

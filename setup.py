@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so `pip install -e .` works in offline environments where the PEP-517
+editable path is unavailable (it requires the `wheel` package).  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

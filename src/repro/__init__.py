@@ -1,0 +1,50 @@
+"""repro — executable reproduction of the SPAA'21 panel paper
+"Architecture-Friendly Algorithms versus Algorithm-Friendly Architectures"
+(Blelloch, Dally, Martonosi, Vishkin, Yelick).
+
+The paper is a position paper: its "system" is a set of computational cost
+models and its "evaluation" is a set of quantitative claims.  This package
+makes all of it executable:
+
+- :mod:`repro.core` — Dally's Function-and-Mapping model (dataflow graphs,
+  space-time mappings, legality, cost, idioms, composition, search,
+  lowering, recomputation);
+- :mod:`repro.models` — the classic cost models the panel argues over
+  (RAM, PRAM, work-depth, ideal cache, asymmetric read/write);
+- :mod:`repro.machines` — simulated substrates (technology parameters,
+  grid machine, NoC, conventional multicore, XMT PRAM-on-chip, caches);
+- :mod:`repro.runtime` — fork-join DSL and schedulers (greedy, work
+  stealing, centralized queue);
+- :mod:`repro.algorithms` — the algorithms the panelists name (scan,
+  reduce, FFT, edit distance, BFS, sorting, matmul, stencils,
+  connectivity), each in the formulations the panel contrasts;
+- :mod:`repro.analysis` — the paper's claims as data, Brent-bound
+  checking, Pareto frontiers, and table rendering.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every claim (C1-C14).
+"""
+
+from repro.machines.technology import Technology, TECH_5NM
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+from repro.core.legality import check_legality
+from repro.core.cost import evaluate_cost
+from repro.core.default_mapper import default_mapping, serial_mapping
+from repro.machines.grid import GridMachine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Technology",
+    "TECH_5NM",
+    "DataflowGraph",
+    "GridSpec",
+    "Mapping",
+    "check_legality",
+    "evaluate_cost",
+    "default_mapping",
+    "serial_mapping",
+    "GridMachine",
+    "__version__",
+]

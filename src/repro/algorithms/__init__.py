@@ -1,0 +1,31 @@
+"""Algorithms named by the panelists, in the formulations the panel contrasts.
+
+Every module provides (where meaningful) four views of the same algorithm:
+
+1.  a plain-Python/numpy **reference** (the mathematical answer);
+2.  a **serial RAM** or trace-generating version (Blelloch's Section 2
+    story, and fodder for the cache models);
+3.  a **PRAM / work-depth** version (Vishkin's and Blelloch's preferred
+    abstractions) with measured work and span;
+4.  an **F&M** version — a dataflow graph plus one or more mappings
+    (Dally's proposal), runnable on the grid machine.
+
+The claim benches compare these views on the same inputs.
+
+Modules: scan, reduce_, fft, edit_distance, bfs, sort, matmul, stencil,
+connectivity.
+"""
+
+from repro.algorithms import scan, reduce_, fft, edit_distance, bfs, sort, matmul, stencil, connectivity  # noqa: F401
+
+__all__ = [
+    "scan",
+    "reduce_",
+    "fft",
+    "edit_distance",
+    "bfs",
+    "sort",
+    "matmul",
+    "stencil",
+    "connectivity",
+]

@@ -1,0 +1,297 @@
+"""Breadth-first search: Vishkin's example of serialization without cause.
+
+Paper, Section 5 (bio): "breadth-first search on graphs had been tied to a
+first-in first-out queue for no good reason other than enforcing
+serialization, even where parallelism exists, in part because such
+parallelism would imply limited non-determinism."
+
+Formulations:
+
+*  :func:`bfs_serial` — the FIFO-queue textbook BFS (deterministic
+   parents, zero parallelism);
+*  :func:`bfs_level_sync` — level-synchronous parallel BFS over numpy
+   frontiers; parents are chosen by a CRCW-style rule (``priority`` =
+   lowest neighbour wins, ``arbitrary`` = seeded random winner) — the
+   "limited non-determinism" made concrete and testable: distances are
+   always equal to the serial ones, parent trees may differ but are always
+   *valid* BFS trees;
+*  :func:`bfs_pram` — the same algorithm performed step-by-step on the
+   vectorized PRAM with CRCW-arbitrary writes, yielding work/step counts;
+*  :func:`bfs_xmt` — per-vertex threads on the XMT machine using the
+   hardware prefix-sum for queue compaction (the irregular-parallelism
+   showcase of claim C13);
+*  :func:`level_work_profile` — per-level frontier work, the input the
+   multicore phase model consumes for its side of the C13 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.graphs import CsrGraph
+from repro.machines.xmt import XmtMachine, compute as xcompute, ps as xps, read as xread, write as xwrite
+from repro.models.pram import PRAM, ConcurrencyMode
+
+__all__ = [
+    "BfsResult",
+    "bfs_serial",
+    "bfs_level_sync",
+    "bfs_pram",
+    "bfs_xmt",
+    "level_work_profile",
+    "validate_bfs_tree",
+]
+
+UNREACHED = np.int64(-1)
+
+
+@dataclass
+class BfsResult:
+    """Distances, parents, and per-level accounting."""
+
+    dist: np.ndarray
+    parent: np.ndarray
+    frontier_sizes: list[int]
+    edge_inspections: int = 0
+
+    @property
+    def levels(self) -> int:
+        return len(self.frontier_sizes)
+
+
+def bfs_serial(g: CsrGraph, src: int) -> BfsResult:
+    """Textbook FIFO-queue BFS — the serialization the panel remark targets."""
+    if not (0 <= src < g.n):
+        raise ValueError(f"source {src} out of range")
+    dist = np.full(g.n, UNREACHED)
+    parent = np.full(g.n, UNREACHED)
+    dist[src] = 0
+    parent[src] = src
+    queue = [src]
+    head = 0
+    inspections = 0
+    frontier_sizes = []
+    level_end = 1
+    level_count = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        level_count += 1
+        for u in g.neighbors(v):
+            inspections += 1
+            if dist[u] == UNREACHED:
+                dist[u] = dist[v] + 1
+                parent[u] = v
+                queue.append(int(u))
+        if head == level_end:
+            frontier_sizes.append(level_count)
+            level_count = 0
+            level_end = len(queue)
+    return BfsResult(dist, parent, frontier_sizes, inspections)
+
+
+def bfs_level_sync(
+    g: CsrGraph, src: int, parent_rule: str = "priority", seed: int = 0
+) -> BfsResult:
+    """Level-synchronous parallel BFS (numpy-vectorized PRAM idealization).
+
+    Each level expands the whole frontier at once.  When several frontier
+    vertices discover the same neighbour, ``parent_rule`` picks the winner:
+    ``"priority"`` (lowest parent id — CRCW-priority) or ``"arbitrary"``
+    (seeded random — CRCW-arbitrary).  Distances are rule-independent.
+    """
+    if parent_rule not in ("priority", "arbitrary"):
+        raise ValueError("parent_rule must be 'priority' or 'arbitrary'")
+    if not (0 <= src < g.n):
+        raise ValueError(f"source {src} out of range")
+    rng = np.random.default_rng(seed)
+    dist = np.full(g.n, UNREACHED)
+    parent = np.full(g.n, UNREACHED)
+    dist[src] = 0
+    parent[src] = src
+    frontier = np.array([src], dtype=np.int64)
+    frontier_sizes = []
+    inspections = 0
+    level = 0
+    while frontier.size:
+        frontier_sizes.append(int(frontier.size))
+        # gather all (neighbor, proposed_parent) pairs of the frontier
+        starts = g.indptr[frontier]
+        ends = g.indptr[frontier + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        inspections += total
+        if total == 0:
+            break
+        # flatten neighbor lists
+        offsets = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        flat_pos = np.arange(total) + offsets
+        nbrs = g.indices[flat_pos]
+        props = np.repeat(frontier, counts)
+        fresh = dist[nbrs] == UNREACHED
+        nbrs, props = nbrs[fresh], props[fresh]
+        if nbrs.size == 0:
+            frontier = np.zeros(0, dtype=np.int64)
+            continue
+        if parent_rule == "arbitrary":
+            perm = rng.permutation(nbrs.size)
+            nbrs, props = nbrs[perm], props[perm]
+            order = np.argsort(nbrs, kind="stable")
+        else:
+            order = np.lexsort((props, nbrs))
+        nbrs, props = nbrs[order], props[order]
+        first = np.r_[True, nbrs[1:] != nbrs[:-1]]
+        winners, win_parents = nbrs[first], props[first]
+        level += 1
+        dist[winners] = level
+        parent[winners] = win_parents
+        frontier = winners
+    return BfsResult(dist, parent, frontier_sizes, inspections)
+
+
+def bfs_pram(
+    g: CsrGraph, src: int, n_processors: int = 64
+) -> tuple[BfsResult, PRAM]:
+    """Level-synchronous BFS executed op-by-op on the CRCW-arbitrary PRAM.
+
+    Memory layout: dist array at 0, parent at n; frontier materialized on
+    the host (the PRAM charges the reads/writes).  Returns (result, pram)
+    with work/step counters — the numbers Vishkin-style work-efficiency
+    arguments are about.
+    """
+    pram = PRAM(n_processors, 2 * g.n, mode=ConcurrencyMode.CRCW_ARBITRARY)
+    pram.memory[: g.n] = UNREACHED
+    pram.memory[g.n : 2 * g.n] = UNREACHED
+    pram.par_write([0], [src], [0])
+    pram.par_write([0], [g.n + src], [src])
+    frontier = np.array([src], dtype=np.int64)
+    frontier_sizes = []
+    inspections = 0
+    level = 0
+    while frontier.size:
+        frontier_sizes.append(int(frontier.size))
+        # edge expansion in rounds of p processors
+        pairs_n: list[np.ndarray] = []
+        pairs_p: list[np.ndarray] = []
+        for v in frontier:
+            nbrs = g.neighbors(int(v))
+            if nbrs.size:
+                pairs_n.append(nbrs.astype(np.int64))
+                pairs_p.append(np.full(nbrs.size, int(v), dtype=np.int64))
+        if not pairs_n:
+            break
+        nbrs = np.concatenate(pairs_n)
+        props = np.concatenate(pairs_p)
+        inspections += nbrs.size
+        level += 1
+        next_mask = np.zeros(g.n, dtype=bool)
+        for k in range(0, nbrs.size, pram.p):
+            chunk_n = nbrs[k : k + pram.p]
+            chunk_p = props[k : k + pram.p]
+            pids = np.arange(chunk_n.size)
+            seen = pram.par_read(pids, chunk_n)
+            fresh = seen == UNREACHED
+            if not fresh.any():
+                continue
+            # CRCW-arbitrary write of dist and parent for fresh neighbors
+            pram.par_write(pids[fresh], chunk_n[fresh], np.full(fresh.sum(), level))
+            pram.par_write(pids[fresh], g.n + chunk_n[fresh], chunk_p[fresh])
+            next_mask[chunk_n[fresh]] = True
+        frontier = np.flatnonzero(next_mask).astype(np.int64)
+    dist = pram.memory[: g.n].copy()
+    parent = pram.memory[g.n : 2 * g.n].copy()
+    return BfsResult(dist, parent, frontier_sizes, inspections), pram
+
+
+def bfs_xmt(g: CsrGraph, src: int, machine: XmtMachine | None = None) -> tuple[BfsResult, XmtMachine]:
+    """BFS on the XMT machine: one virtual thread per frontier vertex,
+    hardware prefix-sum builds the next frontier without a barrier scan.
+
+    Memory layout: dist[0:n], parent[n:2n], frontiers alternate in
+    [2n, 3n) / [3n, 4n), queue-size cell at 4n.
+    """
+    need = 4 * g.n + 1
+    xm = machine or XmtMachine(need)
+    if xm.memory.size < need:
+        raise ValueError(f"XMT memory too small: need {need}")
+    xm.memory[: g.n] = UNREACHED
+    xm.memory[g.n : 2 * g.n] = UNREACHED
+    xm.swrite(src, 0)
+    xm.swrite(g.n + src, src)
+    cur_base, nxt_base, size_cell = 2 * g.n, 3 * g.n, 4 * g.n
+    xm.swrite(cur_base, src)
+    cur_size = 1
+    frontier_sizes = []
+    inspections = 0
+    level = 0
+    while cur_size:
+        frontier_sizes.append(cur_size)
+        level += 1
+        xm.swrite(size_cell, 0)
+        lvl = level
+
+        def thread(tid: int):
+            nonlocal inspections
+            v = yield xread(cur_base + tid)
+            for u in g.neighbors(int(v)):
+                inspections += 1
+                seen = yield xread(int(u))
+                if seen == UNREACHED:
+                    yield xwrite(int(u), lvl)
+                    yield xwrite(g.n + int(u), int(v))
+                    slot = yield xps(size_cell, 1)
+                    yield xwrite(nxt_base + slot, int(u))
+                else:
+                    yield xcompute(1)
+
+        xm.spawn(cur_size, thread)
+        raw = int(xm.sread(size_cell))
+        # races may enqueue a vertex twice; dedup (standard for CRCW BFS)
+        if raw:
+            items = np.unique(xm.memory[nxt_base : nxt_base + raw])
+            # re-check: keep only vertices actually at this level
+            items = items[xm.memory[items] == lvl]
+            xm.memory[cur_base : cur_base + items.size] = items
+            cur_size = int(items.size)
+        else:
+            cur_size = 0
+    dist = xm.memory[: g.n].copy()
+    parent = xm.memory[g.n : 2 * g.n].copy()
+    return BfsResult(dist, parent, frontier_sizes, inspections), xm
+
+
+def level_work_profile(g: CsrGraph, src: int) -> list[list[int]]:
+    """Per-level per-frontier-vertex edge work — the multicore phase input.
+
+    ``profile[level]`` lists, for each vertex of that level's frontier, its
+    degree (the work items the conventional machine statically chunks).
+    """
+    res = bfs_serial(g, src)
+    levels: list[list[int]] = [[] for _ in range(res.levels)]
+    for v in range(g.n):
+        d = int(res.dist[v])
+        if d >= 0:
+            levels[d].append(g.degree(v))
+    return levels
+
+
+def validate_bfs_tree(g: CsrGraph, src: int, result: BfsResult) -> None:
+    """Check a BFS result is a valid BFS of g (any parent rule).
+
+    Distances must equal serial BFS distances; every reached vertex's
+    parent must be a true neighbour exactly one level closer.
+    Raises AssertionError on the first violation.
+    """
+    ref = bfs_serial(g, src)
+    assert np.array_equal(result.dist, ref.dist), "distances differ from BFS"
+    for v in range(g.n):
+        if v == src or result.dist[v] == UNREACHED:
+            continue
+        p = int(result.parent[v])
+        assert p >= 0, f"reached vertex {v} has no parent"
+        assert v in g.neighbors(p), f"parent {p} of {v} is not a neighbour"
+        assert result.dist[v] == result.dist[p] + 1, (
+            f"parent {p} of {v} not one level closer"
+        )

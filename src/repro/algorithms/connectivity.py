@@ -1,0 +1,129 @@
+"""Connected components: the second irregular PRAM workload (claim C13).
+
+Vishkin's statement credits XMT's "utility of especially irregular PRAM
+algorithms"; connectivity by label propagation is the canonical one after
+BFS.  Formulations:
+
+*  :func:`cc_serial` — union-find with path compression (the serial
+   baseline and correctness oracle);
+*  :func:`cc_label_propagation` — the CRCW min-label algorithm over numpy
+   (each round every vertex adopts the minimum label in its closed
+   neighbourhood; O(diameter) rounds), with per-round work counts;
+*  :func:`cc_xmt` — the same label propagation as XMT spawn blocks, using
+   the prefix-sum primitive to count changes (termination detection
+   without a barrier reduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.graphs import CsrGraph
+from repro.machines.xmt import XmtMachine, compute as xcompute, ps as xps, read as xread, write as xwrite
+
+__all__ = ["cc_serial", "cc_label_propagation", "cc_xmt", "labels_equivalent"]
+
+
+def cc_serial(g: CsrGraph) -> np.ndarray:
+    """Union-find connected components; labels are the min vertex id of
+    each component (canonical form shared by all implementations)."""
+    parent = np.arange(g.n, dtype=np.int64)
+
+    def find(v: int) -> int:
+        root = v
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[v] != root:
+            parent[v], v = root, int(parent[v])
+        return root
+
+    src = np.repeat(np.arange(g.n), np.diff(g.indptr))
+    for u, v in zip(src, g.indices):
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    return np.array([find(v) for v in range(g.n)], dtype=np.int64)
+
+
+def cc_label_propagation(g: CsrGraph) -> tuple[np.ndarray, list[int]]:
+    """Min-label propagation, vectorized (idealized CRCW rounds).
+
+    Returns (labels, per-round changed-vertex counts).  Converges in
+    O(diameter) rounds; each round costs O(n + m) work.
+    """
+    labels = np.arange(g.n, dtype=np.int64)
+    src = np.repeat(np.arange(g.n), np.diff(g.indptr))
+    dst = g.indices
+    rounds: list[int] = []
+    while True:
+        # every vertex proposes its label to each neighbour; CRCW-min wins
+        incoming = np.full(g.n, g.n, dtype=np.int64)
+        np.minimum.at(incoming, dst, labels[src])
+        new_labels = np.minimum(labels, incoming)
+        changed = int((new_labels != labels).sum())
+        rounds.append(changed)
+        labels = new_labels
+        if changed == 0:
+            break
+    # one round of zero changes marks convergence; drop it from the profile
+    rounds.pop()
+    return labels, rounds
+
+
+def cc_xmt(
+    g: CsrGraph, machine: XmtMachine | None = None
+) -> tuple[np.ndarray, XmtMachine]:
+    """Label propagation as XMT spawn blocks.
+
+    Memory: labels[0:n]; change counter at n.  Each round spawns one
+    thread per vertex; a thread scans its neighbours, adopts the minimum
+    label, and bumps the change counter via the hardware prefix-sum.
+    """
+    need = g.n + 1
+    xm = machine or XmtMachine(need)
+    if xm.memory.size < need:
+        raise ValueError(f"XMT memory too small: need {need}")
+    xm.memory[: g.n] = np.arange(g.n)
+    counter = g.n
+    while True:
+        xm.swrite(counter, 0)
+
+        def thread(tid: int):
+            best = yield xread(tid)
+            for u in g.neighbors(tid):
+                lab = yield xread(int(u))
+                if lab < best:
+                    best = lab
+            mine = yield xread(tid)
+            if best < mine:
+                yield xwrite(tid, int(best))
+                yield xps(counter, 1)
+            else:
+                yield xcompute(1)
+
+        xm.spawn(g.n, thread)
+        if xm.sread(counter) == 0:
+            break
+    return xm.memory[: g.n].copy(), xm
+
+
+def labels_equivalent(a: np.ndarray, b: np.ndarray) -> bool:
+    """Same partition? (labels may differ; the induced equivalence must not)."""
+    if a.shape != b.shape:
+        return False
+    seen: dict[int, int] = {}
+    for x, y in zip(a.tolist(), b.tolist()):
+        if x in seen:
+            if seen[x] != y:
+                return False
+        else:
+            seen[x] = y
+    # and the reverse direction
+    seen_rev: dict[int, int] = {}
+    for x, y in zip(b.tolist(), a.tolist()):
+        if x in seen_rev:
+            if seen_rev[x] != y:
+                return False
+        else:
+            seen_rev[x] = y
+    return True

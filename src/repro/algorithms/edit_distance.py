@@ -1,0 +1,301 @@
+"""The paper's worked example: dynamic-programming string alignment.
+
+Paper, Section 3::
+
+    Forall i, j in (0:N-1, 0:N-1)
+      H(i,j) = min(H(i-1, j-1) + f(R[i],Q[j]), H(i-1,j)+D, H(i,j-1)+I, 0);
+
+    Map H(i,j) at i % P  time floor(i/P)*N + j
+
+    "The function is just the recurrence equation for H(i,j).  The mapping
+    places this on array of P processors as marching anti-diagonals."
+
+We implement the recurrence **verbatim** (:func:`paper_table`,
+:func:`edit_distance_graph` with ``cell="paper"``; unit costs D = I =
+f_mismatch = 1, f_match = 0) plus the standard Levenshtein variant
+(``cell="lev"``) whose serial DP is the correctness oracle.
+
+About the mapping: the paper's *literal* time formula gives every row of a
+band of P rows the same schedule, so vertically-dependent cells land on
+the same cycle — the legality checker (correctly) rejects it, a nice
+demonstration that the model catches over-eager schedules
+(:func:`paper_mapping_literal`, and the C8 bench shows the violation).
+The mapping the prose describes — "marching anti-diagonals" — adds the
+skew that makes neighbouring rows lag by the inter-PE hop time:
+
+    time = floor(i/P) * N + hop * (i % P) + j
+
+(:func:`wavefront_mapping`), which is legal whenever the band height P and
+string length N satisfy N >= 2*hop*(P-1) + 1 (cross-band dependences need
+the next band to start late enough; checked and reported).
+
+PRAM formulation: :func:`wavefront_pram` sweeps anti-diagonals of the full
+table with one processor per cell of the diagonal — O(N^2) work, O(N)
+steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.function import DataflowGraph, OP_ENERGY_FACTOR, OP_TABLE
+from repro.core.mapping import GridSpec, Mapping
+from repro.models.pram import PRAM, ConcurrencyMode
+
+__all__ = [
+    "levenshtein",
+    "paper_table",
+    "wavefront_pram",
+    "edit_distance_graph",
+    "paper_mapping_literal",
+    "wavefront_mapping",
+    "min_length_for_wavefront",
+]
+
+# ---------------------------------------------------------------------------
+# cell operators, registered into the generic op table.
+# Unit costs: D = I = 1, f(r, q) = 0 if r == q else 1.
+# ---------------------------------------------------------------------------
+
+OP_TABLE["edcell_paper"] = (
+    5,
+    lambda hd, hu, hl, r, q: min(hd + (0 if r == q else 1), hu + 1, hl + 1, 0),
+)
+OP_TABLE["edcell_lev"] = (
+    5,
+    lambda hd, hu, hl, r, q: min(hd + (0 if r == q else 1), hu + 1, hl + 1),
+)
+# one compare, three adds, three mins ~ 7 word ops
+OP_ENERGY_FACTOR["edcell_paper"] = 7.0
+OP_ENERGY_FACTOR["edcell_lev"] = 7.0
+
+
+def levenshtein(r: str | list[int], q: str | list[int]) -> tuple[int, np.ndarray]:
+    """Serial Levenshtein DP (unit costs).  Returns (distance, full table).
+
+    ``table[i, j]`` is the edit distance between ``r[:i+1]`` and
+    ``q[:j+1]`` — the correctness oracle for every parallel formulation.
+    """
+    rs, qs = list(r), list(q)
+    n, m = len(rs), len(qs)
+    if n == 0 or m == 0:
+        raise ValueError("strings must be non-empty")
+    h = np.zeros((n, m), dtype=np.int64)
+    for i in range(n):
+        for j in range(m):
+            hd = h[i - 1, j - 1] if (i and j) else max(i, j)
+            hu = h[i - 1, j] if i else j + 1
+            hl = h[i, j - 1] if j else i + 1
+            sub = 0 if rs[i] == qs[j] else 1
+            h[i, j] = min(hd + sub, hu + 1, hl + 1)
+    return int(h[n - 1, m - 1]), h
+
+
+def paper_table(r: str | list[int], q: str | list[int]) -> np.ndarray:
+    """The paper's recurrence verbatim (min with 0; zero boundaries).
+
+    With non-negative costs the result is everywhere <= 0 — we reproduce
+    the formula as printed; the benches report it alongside the standard
+    Levenshtein variant.
+    """
+    rs, qs = list(r), list(q)
+    n, m = len(rs), len(qs)
+    if n == 0 or m == 0:
+        raise ValueError("strings must be non-empty")
+    h = np.zeros((n, m), dtype=np.int64)
+    for i in range(n):
+        for j in range(m):
+            hd = h[i - 1, j - 1] if (i and j) else 0
+            hu = h[i - 1, j] if i else 0
+            hl = h[i, j - 1] if j else 0
+            sub = 0 if rs[i] == qs[j] else 1
+            h[i, j] = min(hd + sub, hu + 1, hl + 1, 0)
+    return h
+
+
+# ---------------------------------------------------------------------------
+# PRAM wavefront
+# ---------------------------------------------------------------------------
+
+
+def wavefront_pram(
+    r: str | list[int],
+    q: str | list[int],
+    mode: ConcurrencyMode = ConcurrencyMode.CREW,
+) -> tuple[int, PRAM]:
+    """Anti-diagonal Levenshtein on the vectorized PRAM.
+
+    Diagonal d holds cells (i, j) with i + j = d; all are independent given
+    diagonals d-1 and d-2, so each diagonal is a constant number of PRAM
+    steps.  O(N*M) work, O(N+M) steps — the textbook wavefront.
+    """
+    rs = np.asarray([ord(c) if isinstance(c, str) else int(c) for c in r])
+    qs = np.asarray([ord(c) if isinstance(c, str) else int(c) for c in q])
+    n, m = rs.size, qs.size
+    if n == 0 or m == 0:
+        raise ValueError("strings must be non-empty")
+    # shared layout: table at [0, n*m), r at base_r, q at base_q
+    base_r, base_q = n * m, n * m + n
+    pram = PRAM(max(min(n, m), 1), n * m + n + m, mode=mode)
+    pram.memory[base_r : base_r + n] = rs
+    pram.memory[base_q : base_q + m] = qs
+
+    def addr(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return i * m + j
+
+    for d in range(n + m - 1):
+        i = np.arange(max(0, d - m + 1), min(n, d + 1), dtype=np.int64)
+        j = d - i
+        pids = np.arange(i.size) % pram.p
+        rv = pram.par_read(pids, base_r + i)
+        qv = pram.par_read(pids, base_q + j)
+        sub = (rv != qv).astype(np.int64)
+
+        inner = (i > 0) & (j > 0)
+        hd_vals = np.maximum(i, j).astype(np.int64)  # boundary value
+        if inner.any():
+            got = pram.par_read(pids[inner], addr(i[inner] - 1, j[inner] - 1))
+            hd_vals[inner] = got
+        hu_vals = (j + 1).astype(np.int64)
+        up = i > 0
+        if up.any():
+            hu_vals[up] = pram.par_read(pids[up], addr(i[up] - 1, j[up]))
+        hl_vals = (i + 1).astype(np.int64)
+        left = j > 0
+        if left.any():
+            hl_vals[left] = pram.par_read(pids[left], addr(i[left], j[left] - 1))
+
+        pram.par_compute(i.size, amount=4)
+        cell = np.minimum(np.minimum(hd_vals + sub, hu_vals + 1), hl_vals + 1)
+        pram.par_write(pids, addr(i, j), cell)
+
+    return int(pram.memory[(n - 1) * m + (m - 1)]), pram
+
+
+# ---------------------------------------------------------------------------
+# F&M formulation
+# ---------------------------------------------------------------------------
+
+
+def edit_distance_graph(n: int, m: int | None = None, cell: str = "paper") -> DataflowGraph:
+    """The recurrence as a dataflow graph: one ``edcell`` op per (i, j).
+
+    Inputs ``("R", (i,))`` and ``("Q", (j,))`` are integer symbols.
+    Outputs: every cell as ``("H", i, j)``.  Cell nodes carry
+    ``index=(i, j)``.  Boundary values are constants (0 for the paper
+    variant; i+1 / j+1 / max(i,j) for Levenshtein), carrying the consuming
+    row in their index so mappings can co-locate them.
+    """
+    m = n if m is None else m
+    if n < 1 or m < 1:
+        raise ValueError("table must be at least 1x1")
+    if cell == "paper":
+        op = "edcell_paper"
+
+        def hd_boundary(i: int, j: int) -> int:
+            return 0
+
+        def hu_boundary(j: int) -> int:
+            return 0
+
+        def hl_boundary(i: int) -> int:
+            return 0
+
+    elif cell == "lev":
+        op = "edcell_lev"
+
+        def hd_boundary(i: int, j: int) -> int:
+            return max(i, j)
+
+        def hu_boundary(j: int) -> int:
+            return j + 1
+
+        def hl_boundary(i: int) -> int:
+            return i + 1
+
+    else:
+        raise ValueError(f"cell must be 'paper' or 'lev', got {cell!r}")
+
+    g = DataflowGraph()
+    r_nodes = [g.input("R", (i,)) for i in range(n)]
+    q_nodes = [g.input("Q", (j,)) for j in range(m)]
+    h: dict[tuple[int, int], int] = {}
+    for i in range(n):
+        for j in range(m):
+            hd = (
+                h[(i - 1, j - 1)]
+                if (i and j)
+                else g.const(hd_boundary(i, j), index=(i, j))
+            )
+            hu = h[(i - 1, j)] if i else g.const(hu_boundary(j), index=(i, j))
+            hl = h[(i, j - 1)] if j else g.const(hl_boundary(i), index=(i, j))
+            node = g.op(op, hd, hu, hl, r_nodes[i], q_nodes[j],
+                        index=(i, j), group="H")
+            h[(i, j)] = node
+            g.mark_output(node, ("H", i, j))
+    return g
+
+
+def _edit_place_time(
+    graph: DataflowGraph,
+    n: int,
+    p: int,
+    time_of_cell,
+) -> Mapping:
+    """Shared builder: cells by formula, R at owner PE, Q at PE 0, t=0."""
+    mapping = Mapping(graph.n_nodes)
+    for nid in range(graph.n_nodes):
+        opn = graph.ops[nid]
+        idx = graph.index[nid]
+        if opn == "input":
+            name, iidx = graph.payload[nid]
+            if name == "R":
+                mapping.set(nid, (iidx[0] % p, 0), 0)
+            else:  # Q: resident at PE 0, streamed rightward by the skew
+                mapping.set(nid, (0, 0), 0)
+        elif opn == "const":
+            i = idx[0] if idx else 0
+            mapping.set(nid, (i % p, 0), 0)
+        else:
+            i, j = idx
+            mapping.set(nid, (i % p, 0), time_of_cell(i, j))
+    return mapping
+
+
+def paper_mapping_literal(graph: DataflowGraph, n: int, p: int) -> Mapping:
+    """``Map H(i,j) at i % P time floor(i/P)*N + j`` — exactly as printed.
+
+    Illegal under any non-zero inter-row latency (rows of a band share a
+    schedule but depend on each other); kept so the benches can show the
+    legality checker catching it.
+    """
+    return _edit_place_time(graph, n, p, lambda i, j: (i // p) * n + j)
+
+
+def wavefront_mapping(
+    graph: DataflowGraph, n: int, p: int, grid: GridSpec
+) -> Mapping:
+    """The "marching anti-diagonals" mapping the paper's prose describes.
+
+    time = floor(i/P)*N + (hop+1)*(i%P) + j, where ``hop`` is the inter-PE
+    transit in cycles (+1 for the producing cell's own compute cycle).
+    Legal iff N >= (2*hop+1)*(P-1) + 1 (see
+    :func:`min_length_for_wavefront`).
+    """
+    skew = grid.tech.hop_cycles() + 1
+    return _edit_place_time(
+        graph, n, p, lambda i, j: (i // p) * n + skew * (i % p) + j
+    )
+
+
+def min_length_for_wavefront(p: int, grid: GridSpec) -> int:
+    """Smallest N for which the wavefront mapping is legal on P PEs.
+
+    The binding constraint is the cross-band vertical dependence: row i
+    with i % P == 0 reads row i-1 on PE P-1, produced at local offset
+    (hop+1)*(P-1) + j, available a cycle later, and needing hop*(P-1)
+    transit; the next band starts N cycles later, so
+    N >= (2*hop+1)*(P-1) + 1.
+    """
+    hop = grid.tech.hop_cycles()
+    return (2 * hop + 1) * (p - 1) + 1

@@ -1,0 +1,242 @@
+"""FFT: same O(N log N), very different constants — the paper's example.
+
+Paper, Section 3: "For a given problem - there may be several functions
+that compute the result (e.g., decimation in time vs decimation in space
+FFT, or different radix FFT).  For each function there are many possible
+mappings..." and "When comparing two FFT algorithms that are both
+O(NlogN), the one that is 50,000x more efficient is preferred."
+
+Provided:
+
+*  numpy-checked reference implementations with exact op counts:
+   :func:`fft_recursive_dit`, :func:`fft_recursive_dif`,
+   :func:`fft_radix4`, :func:`fft_iterative` — the "several functions";
+*  F&M dataflow graphs :func:`fft_graph` for the radix-2 DIT and DIF
+   networks, with per-node position indices so the standard placement
+   sweeps apply — the "many possible mappings".  DIT does its short-
+   distance butterflies first and its long-distance ones last; DIF is the
+   mirror image.  Which one wins on a grid therefore depends on where the
+   data starts and ends — exactly the kind of constant-factor effect the
+   RAM/PRAM models cannot see (claim C7's bench measures it).
+
+Graphs carry complex values (the op table is generic over Python numbers).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.function import DataflowGraph
+
+__all__ = [
+    "OpCount",
+    "fft_recursive_dit",
+    "fft_recursive_dif",
+    "fft_radix4",
+    "fft_iterative",
+    "fft_graph",
+    "bit_reverse",
+]
+
+
+def _check_pow2(n: int) -> None:
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"FFT size must be a power of two, got {n}")
+
+
+def bit_reverse(i: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``i``."""
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+@dataclass
+class OpCount:
+    """Complex-arithmetic operation counts."""
+
+    mul: int = 0
+    add: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.mul + self.add
+
+    def weighted(self, mul_cost: float = 4.0, add_cost: float = 1.0) -> float:
+        """Energy-weighted ops (a complex mul is ~4 real mults + 2 adds;
+        we reuse the word-level factors of the F&M op table)."""
+        return self.mul * mul_cost + self.add * add_cost
+
+
+# --------------------------------------------------------------------------- #
+# reference implementations (the "several functions")
+# --------------------------------------------------------------------------- #
+
+
+def fft_recursive_dit(x: np.ndarray, count: OpCount | None = None) -> np.ndarray:
+    """Radix-2 decimation-in-time: split by even/odd index, twiddle last."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.size
+    _check_pow2(n)
+    if n == 1:
+        return x.copy()
+    count = count if count is not None else OpCount()
+    even = fft_recursive_dit(x[0::2], count)
+    odd = fft_recursive_dit(x[1::2], count)
+    k = np.arange(n // 2)
+    tw = np.exp(-2j * np.pi * k / n)
+    t = tw * odd
+    count.mul += n // 2
+    count.add += n  # one add and one sub per pair
+    return np.concatenate([even + t, even - t])
+
+
+def fft_recursive_dif(x: np.ndarray, count: OpCount | None = None) -> np.ndarray:
+    """Radix-2 decimation-in-frequency ("decimation in space"): split by
+    half, twiddle first, outputs interleave."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.size
+    _check_pow2(n)
+    if n == 1:
+        return x.copy()
+    count = count if count is not None else OpCount()
+    half = n // 2
+    a, b = x[:half], x[half:]
+    k = np.arange(half)
+    tw = np.exp(-2j * np.pi * k / n)
+    s = a + b
+    d = (a - b) * tw
+    count.add += n
+    count.mul += half
+    out = np.empty(n, dtype=np.complex128)
+    out[0::2] = fft_recursive_dif(s, count)
+    out[1::2] = fft_recursive_dif(d, count)
+    return out
+
+
+def fft_radix4(x: np.ndarray, count: OpCount | None = None) -> np.ndarray:
+    """Radix-4 DIT (requires n a power of 4): fewer multiplies per output.
+
+    The "different radix" alternative: ~25% fewer complex multiplies than
+    radix-2 — the classic constant-factor tradeoff invisible to O(N log N).
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.size
+    if n == 1:
+        return x.copy()
+    if n % 4:
+        raise ValueError(f"radix-4 FFT needs n a power of 4, got {n}")
+    count = count if count is not None else OpCount()
+    parts = [fft_radix4(x[r::4], count) for r in range(4)]
+    m = n // 4
+    k = np.arange(m)
+    w1 = np.exp(-2j * np.pi * k / n)
+    w2 = w1 * w1
+    w3 = w2 * w1
+    t0 = parts[0]
+    t1 = w1 * parts[1]
+    t2 = w2 * parts[2]
+    t3 = w3 * parts[3]
+    count.mul += 3 * m
+    # radix-4 butterfly: 8 complex adds per group of 4 outputs
+    a0 = t0 + t2
+    a1 = t0 - t2
+    a2 = t1 + t3
+    a3 = -1j * (t1 - t3)  # multiply by -j is a swap/negate, not a true mul
+    count.add += 8 * m
+    return np.concatenate([a0 + a2, a1 + a3, a0 - a2, a1 - a3])
+
+
+def fft_iterative(x: np.ndarray, count: OpCount | None = None) -> np.ndarray:
+    """Iterative in-place radix-2 DIT (bit-reversed input order) — the
+    direct executable twin of the DIT dataflow graph."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.size
+    _check_pow2(n)
+    count = count if count is not None else OpCount()
+    bits = n.bit_length() - 1
+    out = np.array([x[bit_reverse(i, bits)] for i in range(n)], dtype=np.complex128)
+    size = 2
+    while size <= n:
+        half = size // 2
+        tw = np.exp(-2j * np.pi * np.arange(half) / size)
+        for start in range(0, n, size):
+            a = out[start : start + half].copy()
+            b = out[start + half : start + size] * tw
+            count.mul += half
+            count.add += size
+            out[start : start + half] = a + b
+            out[start + half : start + size] = a - b
+        size *= 2
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# F&M dataflow graphs (the "many possible mappings")
+# --------------------------------------------------------------------------- #
+
+
+def fft_graph(n: int, variant: str = "dit") -> DataflowGraph:
+    """The radix-2 butterfly network as a dataflow graph.
+
+    Inputs are ``("x", (i,))`` in natural order; outputs ``("X", k)`` in
+    natural order.  Compute nodes carry ``index=(position, stage)`` so the
+    placement sweeps distribute by array position.
+
+    ``variant="dit"``: bit-reversed load, butterflies with distance 1, 2,
+    4, ..., n/2 — communication grows with stage.
+    ``variant="dif"``: natural load, distances n/2, ..., 2, 1 —
+    communication shrinks with stage; outputs unscrambled via labels.
+    """
+    _check_pow2(n)
+    if variant not in ("dit", "dif"):
+        raise ValueError(f"variant must be 'dit' or 'dif', got {variant!r}")
+    bits = n.bit_length() - 1
+    g = DataflowGraph()
+    inputs = [g.input("x", (i,)) for i in range(n)]
+
+    if variant == "dit":
+        cur = [inputs[bit_reverse(j, bits)] for j in range(n)]
+        sizes = [2 << s for s in range(bits)]
+    else:
+        cur = list(inputs)
+        sizes = [n >> s for s in range(bits)]
+
+    stage = 0
+    for size in sizes:
+        half = size // 2
+        nxt = list(cur)
+        for start in range(0, n, size):
+            for k in range(half):
+                j = start + k
+                ja, jb = j, j + half
+                if variant == "dit":
+                    w = cmath.exp(-2j * cmath.pi * k / size)
+                    tw = g.const(w, index=(jb, stage))
+                    t = g.op("*", tw, cur[jb], index=(jb, stage), group="tw")
+                    nxt[ja] = g.op("+", cur[ja], t, index=(ja, stage), group="bf")
+                    nxt[jb] = g.op("-", cur[ja], t, index=(jb, stage), group="bf")
+                else:  # dif: sum first, twiddle the difference
+                    w = cmath.exp(-2j * cmath.pi * k / size)
+                    s_node = g.op("+", cur[ja], cur[jb], index=(ja, stage), group="bf")
+                    d_node = g.op("-", cur[ja], cur[jb], index=(jb, stage), group="bf")
+                    tw = g.const(w, index=(jb, stage))
+                    nxt[ja] = s_node
+                    nxt[jb] = g.op("*", d_node, tw, index=(jb, stage), group="tw")
+        cur = nxt
+        stage += 1
+
+    if variant == "dit":
+        for k in range(n):
+            g.mark_output(cur[k], ("X", k))
+    else:
+        # DIF leaves results in bit-reversed positions
+        for j in range(n):
+            g.mark_output(cur[j], ("X", bit_reverse(j, bits)))
+    return g

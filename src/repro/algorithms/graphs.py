@@ -1,0 +1,119 @@
+"""Graph generators and the CSR representation shared by BFS/connectivity.
+
+Vishkin's statement centres on *irregular* algorithms ("the utility of
+especially irregular PRAM algorithms"); BFS and connected components are
+the package's irregular workloads.  Graphs are undirected and stored in
+CSR form — ``indptr`` of length n+1 and ``indices`` of length 2m — the
+layout every formulation (serial, PRAM, XMT) shares so that work counts
+are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CsrGraph", "from_edges", "random_gnp", "grid_graph", "path_graph",
+           "star_graph", "complete_graph"]
+
+
+@dataclass(frozen=True)
+class CsrGraph:
+    """Undirected graph in compressed sparse row form."""
+
+    n: int
+    indptr: np.ndarray  # int64, len n+1
+    indices: np.ndarray  # int64, len 2m (each undirected edge twice)
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self.indices.size // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def validate(self) -> None:
+        """Structural sanity: monotone indptr, in-range indices, symmetry."""
+        if self.indptr.size != self.n + 1 or self.indptr[0] != 0:
+            raise ValueError("malformed indptr")
+        if (np.diff(self.indptr) < 0).any():
+            raise ValueError("indptr not monotone")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n
+        ):
+            raise ValueError("neighbor index out of range")
+        # symmetry: multiset of (u, v) equals multiset of (v, u)
+        src = np.repeat(np.arange(self.n), np.diff(self.indptr))
+        fwd = np.stack([src, self.indices])
+        bwd = np.stack([self.indices, src])
+        if not np.array_equal(
+            fwd[:, np.lexsort(fwd)], bwd[:, np.lexsort(bwd)]
+        ):
+            raise ValueError("graph not symmetric")
+
+
+def from_edges(n: int, edges: np.ndarray | list[tuple[int, int]]) -> CsrGraph:
+    """Build an undirected CSR graph from an edge list (self-loops and
+    duplicate edges are removed)."""
+    e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if e.size:
+        if e.min() < 0 or e.max() >= n:
+            raise ValueError("edge endpoint out of range")
+        e = e[e[:, 0] != e[:, 1]]
+        lo = np.minimum(e[:, 0], e[:, 1])
+        hi = np.maximum(e[:, 0], e[:, 1])
+        e = np.unique(np.stack([lo, hi], axis=1), axis=0)
+    both = np.concatenate([e, e[:, ::-1]], axis=0) if e.size else e.reshape(0, 2)
+    order = np.lexsort((both[:, 1], both[:, 0])) if both.size else np.array([], int)
+    both = both[order] if both.size else both
+    counts = np.bincount(both[:, 0], minlength=n) if both.size else np.zeros(n, int)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = both[:, 1].astype(np.int64) if both.size else np.zeros(0, np.int64)
+    return CsrGraph(n=n, indptr=indptr, indices=indices)
+
+
+def random_gnp(n: int, p: float, seed: int = 0) -> CsrGraph:
+    """Erdos-Renyi G(n, p)."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError("p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    iu = np.triu_indices(n, k=1)
+    mask = rng.random(iu[0].size) < p
+    edges = np.stack([iu[0][mask], iu[1][mask]], axis=1)
+    return from_edges(n, edges)
+
+
+def grid_graph(w: int, h: int) -> CsrGraph:
+    """W x H 4-neighbour grid (large diameter — BFS's worst case)."""
+    edges = []
+    for y in range(h):
+        for x in range(w):
+            v = y * w + x
+            if x + 1 < w:
+                edges.append((v, v + 1))
+            if y + 1 < h:
+                edges.append((v, v + w))
+    return from_edges(w * h, edges)
+
+
+def path_graph(n: int) -> CsrGraph:
+    """A path: diameter n-1, zero parallelism for level-synchronous BFS."""
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def star_graph(n: int) -> CsrGraph:
+    """A star: diameter 2, maximal parallelism."""
+    return from_edges(n, [(0, i) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> CsrGraph:
+    return from_edges(n, [(i, j) for i in range(n) for j in range(i + 1, n)])

@@ -1,0 +1,355 @@
+"""Matrix multiplication: the communication-avoiding showcase.
+
+Paper, Section 3: "Much work has addressed communication costs: Demmel's
+communication avoiding algorithms, cache-oblivious algorithms, ..."; and
+Section 6 (Yelick): "Algorithms must also treat communication avoidance as
+a first-class optimization target, reducing both data movement volume and
+number of distinct events."
+
+Three families:
+
+**Cache-side (claim C11).**  Address-trace generators for naive (ijk),
+blocked, and recursive cache-oblivious matmul — fed to the cache
+simulators.  The same loop nests also run numerically
+(:func:`matmul_naive`, :func:`matmul_blocked`, :func:`matmul_recursive`)
+and are checked against numpy, so the traces demonstrably belong to a
+correct algorithm.
+
+**Distributed-side (claim C12).**  Executable simulations of SUMMA-style
+broadcast matmul, Cannon's algorithm, and 2.5D (replicated Cannon) over a
+virtual processor grid, counting every word a processor sends or receives.
+Communication volumes follow the known laws: SUMMA ~ n^2 * sqrt(p), Cannon
+~ n^2 * sqrt(p), 2.5D ~ n^2 * sqrt(p/c) + replication cost — measured, and
+checked against :func:`comm_volume_bound`.
+
+Matrices are word-addressed row-major at fixed bases for the traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "matmul_naive",
+    "matmul_blocked",
+    "matmul_recursive",
+    "trace_naive",
+    "trace_blocked",
+    "trace_recursive",
+    "DistStats",
+    "summa",
+    "cannon",
+    "matmul_25d",
+    "comm_volume_bound",
+]
+
+Trace = Iterator[tuple[str, int]]
+
+#: Default word bases of A, B, C for the trace generators (1 MiW apart so
+#: operand arrays never alias in any realistic cache configuration).
+BASE_A, BASE_B, BASE_C = 0, 1 << 20, 2 << 20
+
+
+# --------------------------------------------------------------------------- #
+# numeric kernels (verified against numpy in the tests)
+# --------------------------------------------------------------------------- #
+
+
+def matmul_naive(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Triple loop, ijk order."""
+    n, k = a.shape
+    k2, m = b.shape
+    if k != k2:
+        raise ValueError("inner dimensions differ")
+    c = np.zeros((n, m), dtype=np.result_type(a, b))
+    for i in range(n):
+        for j in range(m):
+            acc = c[i, j]
+            for kk in range(k):
+                acc += a[i, kk] * b[kk, j]
+            c[i, j] = acc
+    return c
+
+
+def matmul_blocked(a: np.ndarray, b: np.ndarray, bs: int) -> np.ndarray:
+    """Cache-aware tiling with block size ``bs`` (numpy inner blocks)."""
+    if bs < 1:
+        raise ValueError("block size must be >= 1")
+    n, k = a.shape
+    _, m = b.shape
+    c = np.zeros((n, m), dtype=np.result_type(a, b))
+    for i0 in range(0, n, bs):
+        for j0 in range(0, m, bs):
+            for k0 in range(0, k, bs):
+                c[i0 : i0 + bs, j0 : j0 + bs] += (
+                    a[i0 : i0 + bs, k0 : k0 + bs] @ b[k0 : k0 + bs, j0 : j0 + bs]
+                )
+    return c
+
+
+def matmul_recursive(a: np.ndarray, b: np.ndarray, cutoff: int = 16) -> np.ndarray:
+    """Cache-oblivious recursive quadrant multiply (square power-of-two n)."""
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n, n):
+        raise ValueError("square matrices required")
+    if n & (n - 1):
+        raise ValueError("power-of-two size required")
+    c = np.zeros((n, n), dtype=np.result_type(a, b))
+
+    def rec(ai, aj, bi, bj, ci, cj, size):
+        if size <= cutoff:
+            c[ci : ci + size, cj : cj + size] += (
+                a[ai : ai + size, aj : aj + size] @ b[bi : bi + size, bj : bj + size]
+            )
+            return
+        h = size // 2
+        for di in (0, h):
+            for dj in (0, h):
+                for dk in (0, h):
+                    rec(ai + di, aj + dk, bi + dk, bj + dj, ci + di, cj + dj, h)
+
+    rec(0, 0, 0, 0, 0, 0, n)
+    return c
+
+
+# --------------------------------------------------------------------------- #
+# trace generators (row-major word addressing)
+# --------------------------------------------------------------------------- #
+
+
+def _a(n: int, i: int, k: int) -> int:
+    return BASE_A + i * n + k
+
+
+def _b(n: int, k: int, j: int) -> int:
+    return BASE_B + k * n + j
+
+
+def _c(n: int, i: int, j: int) -> int:
+    return BASE_C + i * n + j
+
+
+def trace_naive(n: int) -> Trace:
+    """Addresses of the ijk triple loop (C kept in a register per (i, j))."""
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                yield ("r", _a(n, i, k))
+                yield ("r", _b(n, k, j))
+            yield ("w", _c(n, i, j))
+
+
+def trace_blocked(n: int, bs: int) -> Trace:
+    """Addresses of the tiled loop nest (accumulator tile re-read per k0)."""
+    if bs < 1:
+        raise ValueError("block size must be >= 1")
+    for i0 in range(0, n, bs):
+        for j0 in range(0, n, bs):
+            for k0 in range(0, n, bs):
+                for i in range(i0, min(i0 + bs, n)):
+                    for j in range(j0, min(j0 + bs, n)):
+                        if k0:
+                            yield ("r", _c(n, i, j))
+                        for k in range(k0, min(k0 + bs, n)):
+                            yield ("r", _a(n, i, k))
+                            yield ("r", _b(n, k, j))
+                        yield ("w", _c(n, i, j))
+
+
+def trace_recursive(n: int, cutoff: int = 8) -> Trace:
+    """Addresses of the cache-oblivious recursion (base case = tiny ijk)."""
+    if n & (n - 1):
+        raise ValueError("power-of-two size required")
+
+    def rec(ai, aj, bi, bj, ci, cj, size, accumulate):
+        if size <= cutoff:
+            for i in range(size):
+                for j in range(size):
+                    if accumulate:
+                        yield ("r", _c(n, ci + i, cj + j))
+                    for k in range(size):
+                        yield ("r", _a(n, ai + i, aj + k))
+                        yield ("r", _b(n, bi + k, bj + j))
+                    yield ("w", _c(n, ci + i, cj + j))
+            return
+        h = size // 2
+        for di in (0, h):
+            for dj in (0, h):
+                first = True
+                for dk in (0, h):
+                    yield from rec(
+                        ai + di, aj + dk, bi + dk, bj + dj,
+                        ci + di, cj + dj, h, accumulate or not first,
+                    )
+                    first = False
+
+    yield from rec(0, 0, 0, 0, 0, 0, n, False)
+
+
+# --------------------------------------------------------------------------- #
+# distributed algorithms with measured communication
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class DistStats:
+    """Word counts for one distributed matmul run."""
+
+    algorithm: str
+    p: int
+    words_total: int
+    messages: int
+    words_per_proc_max: int
+
+    @property
+    def words_per_proc_avg(self) -> float:
+        return self.words_total / self.p if self.p else 0.0
+
+
+def _check_grid(n: int, p: int) -> int:
+    s = math.isqrt(p)
+    if s * s != p:
+        raise ValueError(f"p={p} must be a perfect square")
+    if n % s:
+        raise ValueError(f"n={n} must be divisible by sqrt(p)={s}")
+    return s
+
+
+def summa(a: np.ndarray, b: np.ndarray, p: int) -> tuple[np.ndarray, DistStats]:
+    """SUMMA: in step k, row k of the A-blocks and column k of the B-blocks
+    are broadcast along their grid row/column.  The conventional baseline:
+    every processor receives 2 * (n^2/p) * sqrt(p) words."""
+    n = a.shape[0]
+    s = _check_grid(n, p)
+    bs = n // s
+    c = np.zeros_like(a, dtype=np.result_type(a, b))
+    words = 0
+    msgs = 0
+    per_proc = np.zeros((s, s), dtype=np.int64)
+    for k in range(s):
+        for i in range(s):
+            for j in range(s):
+                # (i, j) receives A(i, k) unless it owns it, and B(k, j) likewise
+                if j != k:
+                    words += bs * bs
+                    msgs += 1
+                    per_proc[i, j] += bs * bs
+                if i != k:
+                    words += bs * bs
+                    msgs += 1
+                    per_proc[i, j] += bs * bs
+                c[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs] += (
+                    a[i * bs : (i + 1) * bs, k * bs : (k + 1) * bs]
+                    @ b[k * bs : (k + 1) * bs, j * bs : (j + 1) * bs]
+                )
+    return c, DistStats("summa", p, words, msgs, int(per_proc.max()))
+
+
+def cannon(a: np.ndarray, b: np.ndarray, p: int) -> tuple[np.ndarray, DistStats]:
+    """Cannon's algorithm: skewed initial alignment, then sqrt(p) shift
+    rounds.  Nearest-neighbour only — same asymptotic volume as SUMMA but
+    point-to-point messages instead of broadcasts."""
+    n = a.shape[0]
+    s = _check_grid(n, p)
+    bs = n // s
+
+    def blk(m: np.ndarray, i: int, j: int) -> np.ndarray:
+        return m[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs]
+
+    # local block copies, pre-skewed: A(i, j) <- A(i, (i + j) mod s), etc.
+    A = [[blk(a, i, (i + j) % s).copy() for j in range(s)] for i in range(s)]
+    B = [[blk(b, (i + j) % s, j).copy() for j in range(s)] for i in range(s)]
+    C = [[np.zeros((bs, bs), dtype=np.result_type(a, b)) for _ in range(s)] for _ in range(s)]
+    words = 0
+    msgs = 0
+    per_proc = np.zeros((s, s), dtype=np.int64)
+    # initial skew counts as communication (each block moves once)
+    for i in range(s):
+        for j in range(s):
+            if (i + j) % s != j:
+                words += 2 * bs * bs
+                msgs += 2
+                per_proc[i, j] += 2 * bs * bs
+    for _step in range(s):
+        for i in range(s):
+            for j in range(s):
+                C[i][j] += A[i][j] @ B[i][j]
+        if s == 1:
+            break
+        # shift A left by one, B up by one (every proc sends+receives)
+        A = [[A[i][(j + 1) % s] for j in range(s)] for i in range(s)]
+        B = [[B[(i + 1) % s][j] for j in range(s)] for i in range(s)]
+        words += 2 * bs * bs * s * s
+        msgs += 2 * s * s
+        per_proc += 2 * bs * bs
+    c = np.zeros_like(a, dtype=np.result_type(a, b))
+    for i in range(s):
+        for j in range(s):
+            c[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs] = C[i][j]
+    return c, DistStats("cannon", p, words, msgs, int(per_proc.max()))
+
+
+def matmul_25d(
+    a: np.ndarray, b: np.ndarray, p: int, c_factor: int
+) -> tuple[np.ndarray, DistStats]:
+    """2.5D matmul: c-fold replication cuts shift traffic by sqrt(c).
+
+    Processors form a sqrt(p/c) x sqrt(p/c) x c torus; each layer holds a
+    full A, B replica (replication cost counted) and performs 1/c of the
+    Cannon shift rounds; layers sum-reduce C at the end (also counted).
+    """
+    n = a.shape[0]
+    if c_factor < 1 or p % c_factor:
+        raise ValueError("c must divide p")
+    base = p // c_factor
+    s = math.isqrt(base)
+    if s * s != base:
+        raise ValueError(f"p/c = {base} must be a perfect square")
+    if n % s:
+        raise ValueError(f"n must be divisible by sqrt(p/c) = {s}")
+    bs = n // s
+
+    def blk(m: np.ndarray, i: int, j: int) -> np.ndarray:
+        return m[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs]
+
+    words = 0
+    msgs = 0
+    # replication broadcast: (c - 1) extra copies of A and B
+    words += 2 * n * n * (c_factor - 1)
+    msgs += 2 * base * (c_factor - 1)
+
+    rounds_per_layer = -(-s // c_factor)
+    c_accum = np.zeros_like(a, dtype=np.result_type(a, b))
+    for layer in range(c_factor):
+        A = [[blk(a, i, (i + j + layer * rounds_per_layer) % s).copy() for j in range(s)] for i in range(s)]
+        B = [[blk(b, (i + j + layer * rounds_per_layer) % s, j).copy() for j in range(s)] for i in range(s)]
+        start = layer * rounds_per_layer
+        stop = min(s, start + rounds_per_layer)
+        for _step in range(start, stop):
+            for i in range(s):
+                for j in range(s):
+                    c_accum[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs] += (
+                        A[i][j] @ B[i][j]
+                    )
+            if _step + 1 < stop:
+                A = [[A[i][(j + 1) % s] for j in range(s)] for i in range(s)]
+                B = [[B[(i + 1) % s][j] for j in range(s)] for i in range(s)]
+                words += 2 * bs * bs * s * s
+                msgs += 2 * s * s
+    # final reduction of C across layers
+    words += n * n * (c_factor - 1)
+    msgs += base * (c_factor - 1)
+    per_proc_max = words // max(1, p)
+    return c_accum, DistStats("2.5d", p, words, msgs, int(per_proc_max))
+
+
+def comm_volume_bound(n: int, p: int, c_factor: int = 1) -> float:
+    """The communication lower-bound shape: Theta(n^2 * sqrt(p / c)).
+
+    Used by the C12 bench to check measured volumes scale correctly (the
+    constant is algorithm-dependent; the *shape* is the law)."""
+    return n * n * math.sqrt(p / c_factor)

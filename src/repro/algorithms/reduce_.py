@@ -1,0 +1,85 @@
+"""Reduction: the paper's own "summing the elements of a sequence" example.
+
+Section 2 uses summation as the canonical RAM-to-machine story; Section 3's
+idiom list includes ``reduce``.  Formulations:
+
+*  :func:`sequential_reduce` — the for-loop (and a RAM assembly twin lives
+   in :func:`repro.models.ram.sum_program`);
+*  :func:`tree_reduce_pram` — O(n) work, O(log n) steps on the PRAM;
+*  :func:`reduce_fork_join` — recursive halving in the fork-join DSL;
+*  F&M: :func:`repro.core.idioms.build_reduce`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.models.pram import PRAM, ConcurrencyMode
+from repro.runtime.fork_join import AnalysisResult, ForkJoin, analyze
+
+__all__ = ["sequential_reduce", "tree_reduce_pram", "reduce_fork_join"]
+
+
+def sequential_reduce(values: np.ndarray | list[int]) -> int:
+    """The serial loop: n-1 additions, depth n-1."""
+    acc = 0
+    for v in np.asarray(values, dtype=np.int64):
+        acc += int(v)
+    return acc
+
+
+def tree_reduce_pram(
+    values: np.ndarray | list[int],
+    n_processors: int | None = None,
+    mode: ConcurrencyMode = ConcurrencyMode.EREW,
+) -> tuple[int, PRAM]:
+    """Balanced binary-tree reduction on the vectorized PRAM.
+
+    Power-of-two n; EREW suffices.  Returns (sum, machine).
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    n = arr.size
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"requires power-of-two n, got {n}")
+    pram = PRAM(n_processors or max(n // 2, 1), n, mode=mode)
+    pram.memory[:n] = arr
+    stride = 1
+    while stride < n:
+        ks = np.arange(0, n, 2 * stride, dtype=np.int64)
+        a = pram.read_all(ks)
+        b = pram.read_all(ks + stride)
+        pram.write_all(ks, a + b)
+        stride *= 2
+    return int(pram.memory[0]), pram
+
+
+def reduce_fork_join(
+    values: list[int], grain: int = 1, combine: Callable[[int, int], int] | None = None
+) -> AnalysisResult:
+    """Recursive-halving reduction in the fork-join DSL.
+
+    W = Theta(n), D = Theta(log n) at grain 1; larger grains trade span for
+    lower spawn overhead (the classic granularity ablation, swept in the
+    C10 bench).
+    """
+    op = combine or (lambda a, b: a + b)
+
+    def rec(fj: ForkJoin, lo: int, hi: int) -> int:
+        if hi - lo <= grain:
+            acc = values[lo]
+            for i in range(lo + 1, hi):
+                acc = op(acc, values[i])
+            fj.work(max(1, hi - lo - 1))
+            return acc
+        mid = (lo + hi) // 2
+        left = fj.spawn(rec, lo, mid)
+        right = rec(fj, mid, hi)
+        fj.sync()
+        fj.work(1)
+        return op(left.value, right)
+
+    if not values:
+        raise ValueError("cannot reduce an empty sequence")
+    return analyze(rec, 0, len(values))

@@ -1,0 +1,197 @@
+"""Scan (prefix sums): Blelloch's signature primitive, in every formulation.
+
+The paper's bio for Blelloch: "His early work on implementations and
+algorithmic applications of the scan (prefix sums) operation has become
+influential in the design of parallel algorithms for a variety of
+platforms."
+
+Provided formulations:
+
+*  :func:`sequential_scan` — the O(n) serial loop (RAM view);
+*  :func:`blelloch_scan_pram` — the work-efficient two-phase (upsweep /
+   downsweep) scan on the vectorized PRAM: W = O(n), T = O(log n);
+*  :func:`hillis_steele_scan_pram` — the classic depth-optimal but
+   work-*inefficient* scan: W = O(n log n), T = O(log n) — kept precisely
+   because comparing it against Blelloch's scan on a work-limited machine
+   is the canonical work-efficiency lesson;
+*  :func:`scan_fork_join` — divide-and-conquer scan in the fork-join DSL,
+   giving a measured work/span DAG;
+*  :func:`segmented_scan` — scan within flagged segments (the building
+   block Blelloch's NESL used for nested parallelism).
+
+The F&M formulation lives in :func:`repro.core.idioms.build_scan`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.pram import PRAM, ConcurrencyMode
+from repro.runtime.fork_join import AnalysisResult, ForkJoin, analyze
+
+__all__ = [
+    "sequential_scan",
+    "blelloch_scan_pram",
+    "hillis_steele_scan_pram",
+    "scan_fork_join",
+    "segmented_scan",
+]
+
+
+def sequential_scan(values: np.ndarray | list[int]) -> np.ndarray:
+    """Inclusive prefix sums, one pass: the serial-RAM formulation."""
+    arr = np.asarray(values, dtype=np.int64)
+    out = np.empty_like(arr)
+    acc = 0
+    for i, v in enumerate(arr):
+        acc += int(v)
+        out[i] = acc
+    return out
+
+
+def _check_pow2(n: int) -> None:
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"PRAM scans here require power-of-two n, got {n}")
+
+
+def blelloch_scan_pram(
+    values: np.ndarray | list[int],
+    n_processors: int | None = None,
+    mode: ConcurrencyMode = ConcurrencyMode.EREW,
+) -> tuple[np.ndarray, PRAM]:
+    """Work-efficient scan: upsweep to a reduction tree, then downsweep.
+
+    Runs on the vectorized PRAM and returns (inclusive_scan, machine) so
+    callers can read work/step counters.  EREW throughout — the algorithm
+    needs no concurrency, which is the point.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    n = arr.size
+    _check_pow2(n)
+    p = n_processors or n
+    pram = PRAM(max(p, 1), 2 * n, mode=mode)
+    pram.memory[:n] = arr  # working array in shared memory
+
+    # upsweep: for d = 1, 2, 4, ...: x[k + 2d - 1] += x[k + d - 1]
+    # (read_all/write_all apply Brent emulation when the level is wider
+    # than the machine: ceil(width/p) steps per level)
+    d = 1
+    while d < n:
+        ks = np.arange(0, n, 2 * d, dtype=np.int64)
+        left = pram.read_all(ks + d - 1)
+        right = pram.read_all(ks + 2 * d - 1)
+        pram.write_all(ks + 2 * d - 1, left + right)
+        d *= 2
+
+    # total is at n-1; set identity for exclusive downsweep
+    total = int(pram.memory[n - 1])
+    pram.par_write([0], [n - 1], [0])
+
+    # downsweep
+    d = n // 2
+    while d >= 1:
+        ks = np.arange(0, n, 2 * d, dtype=np.int64)
+        left = pram.read_all(ks + d - 1)
+        right = pram.read_all(ks + 2 * d - 1)
+        pram.write_all(ks + d - 1, right)
+        pram.write_all(ks + 2 * d - 1, left + right)
+        d //= 2
+
+    exclusive = pram.memory[:n].copy()
+    inclusive = exclusive + arr
+    assert inclusive[-1] == total
+    return inclusive, pram
+
+
+def hillis_steele_scan_pram(
+    values: np.ndarray | list[int],
+    mode: ConcurrencyMode = ConcurrencyMode.CREW,
+) -> tuple[np.ndarray, PRAM]:
+    """Depth-optimal, work-inefficient scan: n log n work, log n steps.
+
+    Double-buffered in shared memory (reads at offset src, writes at offset
+    dst).  In every round all n processors stay active: processor i's
+    second read fetches its partner ``x[i - d]`` (or re-reads ``x[i]`` when
+    it has no partner), so the round's read set contains duplicates — the
+    algorithm genuinely requires concurrent reads.  Requesting EREW raises
+    through the PRAM's conflict detection, which doubles as a regression
+    test for the conflict checker.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    n = arr.size
+    _check_pow2(n)
+    pram = PRAM(n, 2 * n, mode=mode)
+    pram.memory[:n] = arr
+    src, dst = 0, n
+    d = 1
+    while d < n:
+        pids = np.arange(n, dtype=np.int64)
+        cur = pram.par_read(pids, src + pids)
+        # second read step, all processors: partner value (or own again) —
+        # addresses collide (i reads i-d, which i-d also re-reads), so this
+        # is the concurrent-read step of the classic algorithm
+        partner = np.where(pids >= d, pids - d, pids)
+        partner_vals = pram.par_read(pids, src + partner)
+        shifted = np.where(pids >= d, partner_vals, 0)
+        pram.par_write(pids, dst + pids, cur + shifted)
+        src, dst = dst, src
+        d *= 2
+    return pram.memory[src : src + n].copy(), pram
+
+
+def scan_fork_join(values: list[int], grain: int = 1) -> AnalysisResult:
+    """Divide-and-conquer inclusive scan in the fork-join DSL.
+
+    The standard three-phase recursive scan: recursively scan halves, then
+    add the left total into the right half with a parallel-for.  Work
+    O(n log n) in this simple form at grain 1 (each level touches n), span
+    O(log^2 n) — measured, and contrasted in the benches with the
+    work-efficient PRAM version.
+    """
+    out = list(values)
+
+    def add_offset(fj: ForkJoin, lo: int, hi: int, off: int) -> None:
+        def body(fj2: ForkJoin, k: int) -> None:
+            fj2.work(1)
+            out[lo + k] += off
+
+        fj.parallel_for(hi - lo, body, grain=grain)
+
+    def rec(fj: ForkJoin, lo: int, hi: int) -> None:
+        if hi - lo <= grain:
+            for i in range(lo + 1, hi):
+                out[i] += out[i - 1]
+            fj.work(max(1, hi - lo - 1))
+            return
+        mid = (lo + hi) // 2
+        fj.spawn(rec, lo, mid)
+        rec(fj, mid, hi)
+        fj.sync()
+        add_offset(fj, mid, hi, out[mid - 1])
+
+    res = analyze(rec, 0, len(values))
+    return AnalysisResult(value=out, dag=res.dag, work=res.work, span=res.span)
+
+
+def segmented_scan(
+    values: np.ndarray | list[int], flags: np.ndarray | list[int]
+) -> np.ndarray:
+    """Inclusive scan restarting wherever ``flags`` is 1.
+
+    The NESL building block: one segmented scan implements nested data
+    parallelism over irregular segment lengths.  Serial reference
+    implementation (the PRAM version composes from blelloch_scan on the
+    operator-lifted pairs; tests check the algebra against this).
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    flg = np.asarray(flags, dtype=np.int64)
+    if arr.shape != flg.shape:
+        raise ValueError("values and flags must have the same length")
+    out = np.empty_like(arr)
+    acc = 0
+    for i in range(arr.size):
+        if flg[i]:
+            acc = 0
+        acc += int(arr[i])
+        out[i] = acc
+    return out

@@ -1,0 +1,137 @@
+"""Parallel sorting: mergesort (fork-join) and sample sort (distributed).
+
+Sorting is SPAA's drosophila; the panel invokes it implicitly through the
+work-depth and communication arguments.  Two formulations:
+
+*  :func:`mergesort_fork_join` — recursive mergesort in the fork-join DSL.
+   With the parallel (divide-and-conquer, binary-search) merge the span is
+   O(log^3 n)-ish while work stays O(n log n); with serial merges the span
+   degrades to O(n) — the merge choice is the classic span ablation and
+   both variants are provided.
+*  :func:`sample_sort` — the distributed-memory workhorse: sample
+   splitters, partition, exchange, local sort.  Returns per-processor
+   bucket sizes and the exchanged word count — the communication-volume
+   figures Yelick's statement cares about.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.fork_join import AnalysisResult, ForkJoin, analyze
+
+__all__ = ["mergesort_fork_join", "sample_sort", "SampleSortStats"]
+
+
+def _merge_serial(fj: ForkJoin, a: list, b: list) -> list:
+    out = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    fj.work(max(1, len(a) + len(b)))
+    return out
+
+
+def _merge_parallel(fj: ForkJoin, a: list, b: list, grain: int) -> list:
+    """Divide-and-conquer merge: split a at its median, binary-search b.
+
+    Work O(n), span O(log^2 n) — the merge that makes mergesort's span
+    polylogarithmic.
+    """
+    if len(a) < len(b):
+        a, b = b, a
+    if len(a) + len(b) <= grain or not b:
+        return _merge_serial(fj, a, b)
+    mid = len(a) // 2
+    pivot = a[mid]
+    cut = bisect.bisect_left(b, pivot)
+    fj.work(max(1, int(np.log2(len(b) + 1))))
+    left = fj.spawn(lambda f: _merge_parallel(f, a[:mid], b[:cut], grain))
+    right = _merge_parallel(fj, a[mid:], b[cut:], grain)
+    fj.sync()
+    return left.value + right
+
+
+def mergesort_fork_join(
+    values: list, grain: int = 4, parallel_merge: bool = True
+) -> AnalysisResult:
+    """Fork-join mergesort; returns values + the measured work/span DAG."""
+
+    def rec(fj: ForkJoin, xs: list) -> list:
+        if len(xs) <= grain:
+            fj.work(max(1, len(xs)))
+            return sorted(xs)
+        mid = len(xs) // 2
+        left = fj.spawn(rec, xs[:mid])
+        right = rec(fj, xs[mid:])
+        fj.sync()
+        if parallel_merge:
+            return _merge_parallel(fj, left.value, right, grain)
+        return _merge_serial(fj, left.value, right)
+
+    return analyze(rec, list(values))
+
+
+@dataclass
+class SampleSortStats:
+    """Communication accounting for one sample-sort run."""
+
+    bucket_sizes: list[int]
+    words_exchanged: int
+    splitters: list
+
+    @property
+    def imbalance(self) -> float:
+        """max bucket / ideal bucket — 1.0 is perfect balance."""
+        total = sum(self.bucket_sizes)
+        if total == 0:
+            return 1.0
+        ideal = total / len(self.bucket_sizes)
+        return max(self.bucket_sizes) / ideal
+
+
+def sample_sort(
+    values: np.ndarray | list,
+    p: int,
+    oversample: int = 8,
+    seed: int = 0,
+) -> tuple[np.ndarray, SampleSortStats]:
+    """Sample sort over ``p`` virtual processors.
+
+    Each processor owns a contiguous n/p block; ``oversample * p`` samples
+    elect p-1 splitters; every element moves to its bucket's processor
+    (counted as one word unless it is already home); buckets sort locally.
+    Returns (sorted array, stats).
+    """
+    arr = np.asarray(values)
+    n = arr.size
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if n == 0:
+        return arr.copy(), SampleSortStats([0] * p, 0, [])
+    rng = np.random.default_rng(seed)
+    k = min(n, max(p * oversample, p))
+    sample = np.sort(rng.choice(arr, size=k, replace=False))
+    # p-1 evenly spaced splitters
+    pos = (np.arange(1, p) * k) // p
+    splitters = sample[pos]
+
+    bucket_of = np.searchsorted(splitters, arr, side="right")
+    home = np.minimum(np.arange(n) // max(1, -(-n // p)), p - 1)
+    words_exchanged = int((bucket_of != home).sum())
+    bucket_sizes = np.bincount(bucket_of, minlength=p).tolist()
+
+    out = np.concatenate(
+        [np.sort(arr[bucket_of == b]) for b in range(p)]
+    )
+    return out, SampleSortStats(bucket_sizes, words_exchanged, splitters.tolist())

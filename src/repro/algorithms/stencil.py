@@ -1,0 +1,137 @@
+"""Stencils and systolic dataflows.
+
+Paper, Section 3: "...weight-stationary dataflows for DNN accelerators,
+systolic arrays, among others" — the classic examples of mappings that
+keep the heavy operand still and march the data past it.
+
+Provided:
+
+*  :func:`stencil_reference` — T timesteps of a 3-point weighted stencil
+   (the 1-D heat/convolution kernel) in numpy;
+*  :func:`stencil_graph` — the same computation as a dataflow graph with
+   ``index=(i, t)``;
+*  two mapping builders over a 1-D grid of P PEs:
+
+   -  :func:`owner_computes_mapping` — cell i always at PE owner(i); each
+      timestep, edge cells exchange halos with neighbours (communication
+      every step, weights implicitly resident — the *weight-stationary*
+      layout);
+   -  :func:`time_multiplexed_mapping` — the "today's abstraction"
+      strawman: everything on one PE (no communication, no parallelism).
+
+   The C14 search bench also runs the generic placement sweep over this
+   graph; the owner-computes mapping should be on the Pareto frontier.
+
+*  :func:`halo_words` — analytic halo-exchange volume: P * 2 * T words
+   regardless of n, versus the time-multiplexed mapping's zero — the
+   surface-to-volume argument in one number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.default_mapper import schedule_asap, serial_mapping
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+
+__all__ = [
+    "stencil_reference",
+    "stencil_graph",
+    "owner_computes_mapping",
+    "time_multiplexed_mapping",
+    "halo_words",
+]
+
+
+def stencil_reference(
+    x: np.ndarray, steps: int, w: tuple[float, float, float] = (1, 2, 1)
+) -> np.ndarray:
+    """T steps of ``y[i] = wl*x[i-1] + wc*x[i] + wr*x[i+1]`` with zero
+    boundaries (integer weights keep exact arithmetic for verification)."""
+    cur = np.asarray(x).astype(np.int64)
+    wl, wc, wr = (int(v) for v in w)
+    for _ in range(steps):
+        nxt = wc * cur.copy()
+        nxt[1:] += wl * cur[:-1]
+        nxt[:-1] += wr * cur[1:]
+        cur = nxt
+    return cur
+
+
+def stencil_graph(
+    n: int, steps: int, w: tuple[int, int, int] = (1, 2, 1)
+) -> DataflowGraph:
+    """The stencil as a dataflow graph.
+
+    Each cell (i, t) is built from three multiplies and two adds; weight
+    constants carry the cell's index so mappings co-locate them (weight-
+    stationary by construction).  Outputs: ``("y", i)`` after the last
+    step.
+    """
+    if n < 1 or steps < 0:
+        raise ValueError("need n >= 1 and steps >= 0")
+    wl, wc, wr = (int(v) for v in w)
+    g = DataflowGraph()
+    cur = [g.input("x", (i,)) for i in range(n)]
+    for t in range(steps):
+        nxt: list[int] = []
+        for i in range(n):
+            idx = (i, t)
+            cw = g.const(wc, index=idx)
+            acc = g.op("*", cw, cur[i], index=idx, group="st")
+            if i > 0:
+                lw = g.const(wl, index=idx)
+                lt = g.op("*", lw, cur[i - 1], index=idx, group="st")
+                acc = g.op("+", acc, lt, index=idx, group="st")
+            if i < n - 1:
+                rw = g.const(wr, index=idx)
+                rt = g.op("*", rw, cur[i + 1], index=idx, group="st")
+                acc = g.op("+", acc, rt, index=idx, group="st")
+            nxt.append(acc)
+        cur = nxt
+    for i in range(n):
+        g.mark_output(cur[i], ("y", i))
+    return g
+
+
+def owner_computes_mapping(
+    graph: DataflowGraph,
+    n: int,
+    p: int,
+    grid: GridSpec,
+    *,
+    inputs_offchip: bool = True,
+) -> Mapping:
+    """Block-owner placement: all of cell i's nodes at PE floor(i/(n/p)).
+
+    ASAP-scheduled, so halo transit (one hop per step at block edges) is
+    accounted exactly.  With ``inputs_offchip=False`` the initial state is
+    pre-staged at its owners, so every timestep (including the first)
+    exchanges halos on chip.
+    """
+    if p < 1 or p > grid.n_places:
+        raise ValueError(f"p must be in [1, {grid.n_places}]")
+    block = max(1, -(-n // p))
+
+    def place(nid: int) -> tuple[int, int]:
+        idx = graph.index[nid]
+        if idx is None:
+            return (0, 0)
+        pe = min(int(idx[0]) // block, p - 1)
+        return (pe % grid.width, pe // grid.width)
+
+    return schedule_asap(graph, grid, place, inputs_offchip=inputs_offchip)
+
+
+def time_multiplexed_mapping(graph: DataflowGraph, grid: GridSpec) -> Mapping:
+    """Everything on PE (0, 0): zero communication, zero parallelism."""
+    return serial_mapping(graph, grid)
+
+
+def halo_words(p: int, steps: int) -> int:
+    """Words crossing PE boundaries under owner-computes: two per internal
+    boundary per step."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return 2 * (p - 1) * steps

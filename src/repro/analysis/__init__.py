@@ -1,0 +1,21 @@
+"""Analysis and reporting utilities.
+
+``claims`` encodes the paper's numeric claims as checkable records;
+``brent`` verifies scheduler runs against the work-depth bounds;
+``pareto`` extracts frontiers from mapping-search results; ``report``
+renders the fixed-width tables every benchmark harness prints.
+"""
+
+from repro.analysis.brent import BrentCheck, check_schedule
+from repro.analysis.claims import CLAIMS, Claim
+from repro.analysis.pareto import pareto_front
+from repro.analysis.report import Table
+
+__all__ = [
+    "BrentCheck",
+    "check_schedule",
+    "CLAIMS",
+    "Claim",
+    "pareto_front",
+    "Table",
+]

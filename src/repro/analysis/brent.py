@@ -1,0 +1,73 @@
+"""Brent-bound verification of actual schedules (claim C10's machinery).
+
+Blelloch's statement rests on the work-depth model having "cost mappings
+down to the machine level that reasonably capture real performance"; the
+mapping is Brent's theorem.  :func:`check_schedule` takes a DAG and a
+measured schedule and reports where T_P sits inside (or outside) the
+theoretical envelope — greedy schedules must land inside, work-stealing
+schedules are allowed the O(D) slack with a measured constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.workdepth import Dag, brent_bounds
+from repro.runtime.scheduler import Schedule
+
+__all__ = ["BrentCheck", "check_schedule"]
+
+
+@dataclass(frozen=True)
+class BrentCheck:
+    """Where one schedule lands relative to Brent's bounds."""
+
+    work: int
+    span: int
+    p: int
+    t_p: int
+    lower: int
+    upper: int
+
+    @property
+    def within_greedy_bounds(self) -> bool:
+        return self.lower <= self.t_p <= self.upper
+
+    @property
+    def speedup(self) -> float:
+        return self.work / self.t_p if self.t_p else float("inf")
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup / P: 1.0 means perfect linear speedup."""
+        return self.speedup / self.p
+
+    @property
+    def slack_vs_upper(self) -> float:
+        """(T_P - upper) / span: the measured 'O(D)' constant for schedulers
+        (like work stealing) that are allowed to exceed the greedy bound."""
+        if self.span == 0:
+            return 0.0
+        return (self.t_p - self.upper) / self.span
+
+    def describe(self) -> str:
+        tag = "within" if self.within_greedy_bounds else "outside"
+        return (
+            f"P={self.p}: T_P={self.t_p} {tag} "
+            f"[{self.lower}, {self.upper}] (W={self.work}, D={self.span}, "
+            f"speedup={self.speedup:.2f}, eff={self.efficiency:.2f})"
+        )
+
+
+def check_schedule(dag: Dag, schedule: Schedule) -> BrentCheck:
+    """Compare a schedule's makespan with Brent's bounds for its DAG."""
+    w, d = dag.work(), dag.span()
+    lower, upper = brent_bounds(w, d, schedule.p)
+    return BrentCheck(
+        work=w,
+        span=d,
+        p=schedule.p,
+        t_p=schedule.length,
+        lower=lower,
+        upper=upper,
+    )

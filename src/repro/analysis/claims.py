@@ -1,0 +1,149 @@
+"""The paper's quantitative claims, as data.
+
+This panel paper has no tables or figures; its evaluation surface is the
+set of numeric claims in the panelists' prose.  Each is recorded here with
+its section, quoted text, and the expected value/tolerance, so the claim
+benches and EXPERIMENTS.md are generated against one registry rather than
+scattered literals.
+
+Tolerances are deliberately loose where the paper says "about" or "an
+order of magnitude", and tight where the constant is arithmetic (160x is
+exactly 80/0.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One falsifiable statement from the paper."""
+
+    cid: str
+    section: str
+    quote: str
+    expected: float
+    rel_tol: float
+
+    def check(self, measured: float) -> bool:
+        """Is the measured value within the claim's tolerance?"""
+        if self.expected == 0:
+            return abs(measured) <= self.rel_tol
+        return abs(measured - self.expected) <= self.rel_tol * abs(self.expected)
+
+    def ratio(self, measured: float) -> float:
+        return measured / self.expected if self.expected else float("inf")
+
+
+CLAIMS: dict[str, Claim] = {
+    c.cid: c
+    for c in [
+        Claim(
+            "C1",
+            "3",
+            "Transporting the result of an add 1mm costs 160x as much as "
+            "performing the add",
+            160.0,
+            0.01,
+        ),
+        Claim(
+            "C2",
+            "3",
+            "Sending it across the diagonal of an 800mm2 GPU costs 4500x as much",
+            4500.0,
+            0.05,
+        ),
+        Claim(
+            "C3",
+            "3",
+            "the off-chip access is 50,000x more expensive [than an add]",
+            50_000.0,
+            0.01,
+        ),
+        Claim(
+            "C3b",
+            "3",
+            "Going off chip is an order of magnitude more expensive "
+            "[than cross-chip]",
+            10.0,
+            0.5,
+        ),
+        Claim(
+            "C4a",
+            "3",
+            "an add costs about 0.5fJ/bit",
+            0.5,
+            0.01,
+        ),
+        Claim(
+            "C4b",
+            "3",
+            "a 32-bit add takes about 200ps",
+            200.0,
+            0.01,
+        ),
+        Claim(
+            "C4c",
+            "3",
+            "On-chip communication costs 80fJ/bit-mm",
+            80.0,
+            0.01,
+        ),
+        Claim(
+            "C4d",
+            "3",
+            "traveling 1mm takes about 800ps",
+            800.0,
+            0.01,
+        ),
+        Claim(
+            "C5",
+            "3",
+            "The energy overhead of an ADD instruction is 10,000x times more "
+            "than the energy required to do the add",
+            10_000.0,
+            0.05,
+        ),
+        Claim(
+            "C6",
+            "3",
+            "Adding two numbers that are co-located at a distant point ... "
+            "at a cost of 1,000x or more the energy of doing the addition at "
+            "the remote point",
+            1_000.0,
+            # "or more": benches check measured >= expected; tolerance is for
+            # the >= comparison's slack, handled by check_at_least below
+            0.0,
+        ),
+        Claim(
+            "C13",
+            "5",
+            "many-core computing can offer improvement by 4-5 orders of "
+            "magnitude over single cores",
+            10_000.0,
+            0.0,  # '4-5 orders': benches check the scaling trend toward it
+        ),
+        Claim(
+            "C17a",
+            "3",
+            "Such programs can be mapped to accelerators that are >10,000x "
+            "or more efficient than conventional architectures",
+            10_000.0,
+            0.0,  # "or more": checked with check_at_least
+        ),
+        Claim(
+            "C17b",
+            "3",
+            "Alternatively, they can be targeted to programmable "
+            "architectures that are 100s of times more efficient",
+            100.0,
+            0.0,  # "100s of times": checked with check_at_least
+        ),
+    ]
+}
+
+
+def check_at_least(cid: str, measured: float) -> bool:
+    """For "X or more" claims: measured must meet or exceed the figure."""
+    return measured >= CLAIMS[cid].expected

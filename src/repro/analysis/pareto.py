@@ -1,0 +1,44 @@
+"""Pareto frontiers over mapping-search results (claim C14).
+
+The paper: mappings "range from completely serial to minimum-depth
+parallel with many points between", optimized for "execution time, energy
+per op, memory footprint, or some combination".  A combination is only
+meaningful relative to the Pareto frontier of the underlying metrics, so
+the C14 bench reports the frontier itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["pareto_front", "dominates"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Is point ``a`` <= ``b`` everywhere and < somewhere (minimization)?"""
+    if len(a) != len(b):
+        raise ValueError("points must have equal dimension")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    better = any(x < y for x, y in zip(a, b))
+    return no_worse and better
+
+
+def pareto_front(
+    items: Sequence[T],
+    metrics: Callable[[T], Sequence[float]],
+) -> list[T]:
+    """Non-dominated subset of ``items`` under minimization of ``metrics``.
+
+    O(n^2) — search result sets are small.  Duplicate metric points are
+    all kept (they are equally good); order of the input is preserved.
+    """
+    pts = [tuple(metrics(it)) for it in items]
+    front: list[T] = []
+    for i, it in enumerate(items):
+        if not any(
+            dominates(pts[j], pts[i]) for j in range(len(items)) if j != i
+        ):
+            front.append(it)
+    return front

@@ -1,0 +1,71 @@
+"""Fixed-width table rendering for the benchmark harnesses.
+
+Every claim bench prints its results as one of these tables so the output
+reads like the table the paper *would* have had.  No dependencies, plain
+monospace, stable column order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["Table", "fmt_num"]
+
+
+def fmt_num(v: Any, sig: int = 4) -> str:
+    """Compact numeric formatting: ints plain, floats to ``sig`` figures,
+    big numbers with thousands separators."""
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, int):
+        return f"{v:,}"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        a = abs(v)
+        if a >= 10_000 or a < 1e-3:
+            return f"{v:.{sig - 1}e}"
+        if a >= 100:
+            return f"{v:,.1f}"
+        return f"{v:.{sig}g}"
+    return str(v)
+
+
+class Table:
+    """A fixed-width text table.
+
+    >>> t = Table("demo", ["x", "x^2"])
+    >>> t.add_row(2, 4); t.add_row(3, 9)
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([fmt_num(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for k, cell in enumerate(row):
+                widths[k] = max(widths[k], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), len(sep))]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())
+        print()

@@ -1,0 +1,40 @@
+"""The Function-and-Mapping (F&M) model — the paper's core proposal.
+
+Dally's panel statement (Section 3) proposes replacing "centralized serial
+program execution and the RAM or PRAM model" with a model that separates:
+
+*  the **function** — "a functional program that describes how each element
+   of a computation is computed from earlier elements.  No ordering — other
+   than that imposed by data dependencies — is specified" — here,
+   :class:`~repro.core.function.DataflowGraph`;
+*  the **mapping** — "when and where each element is computed and where
+   elements reside from definition to last use", with time discretized
+   into cycles and location onto a grid — here,
+   :class:`~repro.core.mapping.Mapping`.
+
+The rest of the subpackage supplies everything the statement promises of
+the model: legality checking (causality, transit time, storage bounds),
+cost evaluation (time, energy, footprint — "communication ... is made
+explicit, to the granularity of the grid"), common idioms (map, reduce,
+scan, gather, scatter, shuffle), modular composition with remapping,
+a default mapper, mapping-space search, recomputation-instead-of-
+communication, and mechanical lowering to a hardware description.
+"""
+
+from repro.core.function import DataflowGraph, OP_TABLE
+from repro.core.mapping import Mapping, GridSpec
+from repro.core.legality import check_legality, LegalityReport
+from repro.core.cost import evaluate_cost, CostReport
+from repro.core.default_mapper import default_mapping
+
+__all__ = [
+    "DataflowGraph",
+    "OP_TABLE",
+    "Mapping",
+    "GridSpec",
+    "check_legality",
+    "LegalityReport",
+    "evaluate_cost",
+    "CostReport",
+    "default_mapping",
+]

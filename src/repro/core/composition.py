@@ -1,0 +1,151 @@
+"""Modular composition of mapped programs, with explicit remapping.
+
+Paper, Section 3: "The F&M model supports modular program composition, but
+with constraints on mappings of input and output data structures.
+Functions compose as usual.  Mappings, however, must be aligned to compose
+modules.  The output of module A must have the same mapping as the input of
+module B for the two to be composed in series, or a remapping module must
+be inserted between the two to shuffle the data."
+
+We model a module boundary as a :class:`DataLayout` — where each element of
+a logical array resides.  :func:`compose` checks alignment; on mismatch it
+inserts (and costs) a :class:`RemapModule` that moves every element from
+its producer place to its consumer place.  The remap's cost is pure
+communication — there is nothing to compute — which is precisely why the
+paper wants it visible rather than hidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.mapping import GridSpec
+
+__all__ = ["DataLayout", "RemapModule", "ComposedCost", "compose", "remap_cost"]
+
+
+@dataclass(frozen=True)
+class DataLayout:
+    """Where each element of a logical length-``n`` array lives.
+
+    ``place_of(i)`` -> grid place.  Standard constructors cover the layouts
+    the idioms produce.
+    """
+
+    n: int
+    place_of: Callable[[int], tuple[int, int]]
+    name: str = "custom"
+
+    @staticmethod
+    def blocked(n: int, p: int, grid: GridSpec, name: str = "blocked") -> "DataLayout":
+        from repro.core.idioms import block_owner
+
+        return DataLayout(n, block_owner(n, p, grid), name)
+
+    @staticmethod
+    def cyclic(n: int, p: int, grid: GridSpec, name: str = "cyclic") -> "DataLayout":
+        if p < 1 or p > grid.n_places:
+            raise ValueError(f"p must be in [1, {grid.n_places}]")
+
+        def owner(i: int) -> tuple[int, int]:
+            linear = i % p
+            return (linear % grid.width, linear // grid.width)
+
+        return DataLayout(n, owner, name)
+
+    @staticmethod
+    def single(n: int, place: tuple[int, int] = (0, 0), name: str = "single") -> "DataLayout":
+        return DataLayout(n, lambda _i: place, name)
+
+    def places(self) -> list[tuple[int, int]]:
+        return [self.place_of(i) for i in range(self.n)]
+
+    def aligned_with(self, other: "DataLayout") -> bool:
+        """Element-for-element identical placement."""
+        if self.n != other.n:
+            return False
+        return all(self.place_of(i) == other.place_of(i) for i in range(self.n))
+
+
+@dataclass
+class RemapModule:
+    """The inserted shuffle: element i moves ``distance_mm[i]`` on chip."""
+
+    n: int
+    moved: int
+    energy_fj: float
+    cycles: int
+
+    @property
+    def is_noop(self) -> bool:
+        return self.moved == 0
+
+
+@dataclass
+class ComposedCost:
+    """Cost of running A then (remap then) B in series."""
+
+    a_name: str
+    b_name: str
+    remap: RemapModule | None
+    aligned: bool
+
+    @property
+    def remap_energy_fj(self) -> float:
+        return self.remap.energy_fj if self.remap else 0.0
+
+    @property
+    def remap_cycles(self) -> int:
+        return self.remap.cycles if self.remap else 0
+
+
+def remap_cost(src: DataLayout, dst: DataLayout, grid: GridSpec) -> RemapModule:
+    """Cost of moving an array from layout ``src`` to layout ``dst``.
+
+    Energy: one word over the manhattan distance per moved element.
+    Time: moves to the same destination PE serialize on its ingress port
+    (one word per cycle), plus the flight time of the longest move — the
+    same conventions the cost model uses for dataflow edges.
+    """
+    if src.n != dst.n:
+        raise ValueError(
+            f"cannot remap length-{src.n} layout into length-{dst.n} layout"
+        )
+    tech = grid.tech
+    energy = 0.0
+    moved = 0
+    max_transit = 0
+    ingress: dict[tuple[int, int], int] = {}
+    for i in range(src.n):
+        a, b = src.place_of(i), dst.place_of(i)
+        if a == b:
+            continue
+        moved += 1
+        d = grid.distance_mm(a, b)
+        energy += tech.transport_energy_fj(d)
+        ingress[b] = ingress.get(b, 0) + 1
+        t = tech.transport_cycles(d)
+        if t > max_transit:
+            max_transit = t
+    serialization = max(ingress.values(), default=0)
+    cycles = max_transit + max(0, serialization - 1)
+    return RemapModule(n=src.n, moved=moved, energy_fj=energy, cycles=cycles)
+
+
+def compose(
+    a_output: DataLayout, b_input: DataLayout, grid: GridSpec
+) -> ComposedCost:
+    """Series-compose two modules across a layout boundary.
+
+    If aligned, composition is free.  Otherwise the returned cost carries
+    the remapping module the paper requires.
+    """
+    if a_output.aligned_with(b_input):
+        return ComposedCost(
+            a_name=a_output.name, b_name=b_input.name, remap=None, aligned=True
+        )
+    remap = remap_cost(a_output, b_input, grid)
+    return ComposedCost(
+        a_name=a_output.name, b_name=b_input.name, remap=remap, aligned=False
+    )

@@ -1,0 +1,190 @@
+"""Cost evaluation of a mapped program: time, energy, footprint.
+
+Paper, Section 3: "One can systematically search the space of possible
+mappings to optimize a given figure of merit: execution time, energy per
+op, memory footprint, or some combination" and "this model makes it
+possible to write algorithms (function + mapping) with predictable
+execution time and energy because communication - the major source of
+delay and energy consumption - is made explicit."
+
+Charging rules (all constants from :class:`~repro.machines.technology.
+Technology`; see that module for the paper's numbers):
+
+time
+    The makespan in cycles: ``max(time + duration)`` over all nodes.
+compute energy
+    Each op node costs ``OP_ENERGY_FACTOR[op] x add_energy_word``.
+transport energy
+    Each dataflow edge whose endpoints sit at different on-chip places
+    costs ``wire_energy x manhattan_distance x word_bits``; a same-place
+    use costs one local-SRAM word access; an edge touching an off-chip
+    node costs the off-chip word energy.  Nothing is hidden: this *is* the
+    explicitness the model exists for.
+footprint
+    Peak resident words per place and the sum of per-place peaks, from the
+    legality module's liveness sweep.
+
+Figure-of-merit helpers (:meth:`CostReport.figure_of_merit`) combine these
+for the mapping search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.function import DataflowGraph, OP_ENERGY_FACTOR
+from repro.core.legality import LivenessSummary, compute_liveness
+from repro.core.mapping import GridSpec, Mapping
+
+__all__ = ["CostReport", "evaluate_cost"]
+
+
+@dataclass
+class CostReport:
+    """Everything the F&M model predicts about one mapped execution."""
+
+    cycles: int
+    time_ps: float
+    energy_compute_fj: float
+    energy_local_fj: float
+    energy_onchip_fj: float
+    energy_offchip_fj: float
+    liveness: LivenessSummary
+    n_compute: int = 0
+    n_edges: int = 0
+    places_used: int = 0
+
+    @property
+    def energy_total_fj(self) -> float:
+        return (
+            self.energy_compute_fj
+            + self.energy_local_fj
+            + self.energy_onchip_fj
+            + self.energy_offchip_fj
+        )
+
+    @property
+    def energy_transport_fj(self) -> float:
+        """All data-movement energy (the paper's 'communication')."""
+        return self.energy_local_fj + self.energy_onchip_fj + self.energy_offchip_fj
+
+    @property
+    def communication_fraction(self) -> float:
+        """Fraction of energy spent moving data rather than computing."""
+        tot = self.energy_total_fj
+        return self.energy_transport_fj / tot if tot else 0.0
+
+    @property
+    def footprint_words(self) -> int:
+        return self.liveness.footprint_words
+
+    @property
+    def energy_per_op_fj(self) -> float:
+        return self.energy_total_fj / self.n_compute if self.n_compute else 0.0
+
+    def figure_of_merit(
+        self,
+        time_weight: float = 1.0,
+        energy_weight: float = 0.0,
+        footprint_weight: float = 0.0,
+    ) -> float:
+        """Weighted-product FoM (geometric, scale-free): lower is better.
+
+        ``time^wt * energy^we * footprint^wf`` with 1 substituted for any
+        zero metric, matching the paper's "execution time, energy per op,
+        memory footprint, or some combination".
+        """
+        t = max(1.0, float(self.cycles))
+        e = max(1.0, self.energy_total_fj)
+        f = max(1.0, float(self.footprint_words))
+        return (t ** time_weight) * (e ** energy_weight) * (f ** footprint_weight)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in fJ*ps."""
+        return self.energy_total_fj * self.time_ps
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "time_ps": self.time_ps,
+            "energy_compute_fj": self.energy_compute_fj,
+            "energy_local_fj": self.energy_local_fj,
+            "energy_onchip_fj": self.energy_onchip_fj,
+            "energy_offchip_fj": self.energy_offchip_fj,
+            "energy_total_fj": self.energy_total_fj,
+            "communication_fraction": self.communication_fraction,
+            "footprint_words": self.footprint_words,
+            "places_used": self.places_used,
+        }
+
+
+def evaluate_cost(
+    graph: DataflowGraph,
+    mapping: Mapping,
+    grid: GridSpec,
+) -> CostReport:
+    """Predict time, energy, and footprint of a mapped program.
+
+    Purely a model evaluation — does not run the program or check
+    legality; pair with :func:`repro.core.legality.check_legality`, or use
+    :meth:`repro.machines.grid.GridMachine.run`, which does both and also
+    verifies values.
+    """
+    tech = grid.tech
+    n = graph.n_nodes
+    if mapping.n_nodes != n:
+        raise ValueError("mapping/graph size mismatch")
+
+    # --- time --------------------------------------------------------- #
+    cycles = mapping.makespan(graph)
+    time_ps = cycles * tech.cycle_ps
+
+    # --- compute energy ------------------------------------------------ #
+    add_word = tech.add_energy_word_fj()
+    energy_compute = 0.0
+    n_compute = 0
+    for nid in range(n):
+        op = graph.ops[nid]
+        if op in ("input", "const"):
+            continue
+        n_compute += 1
+        energy_compute += OP_ENERGY_FACTOR.get(op, 1.0) * add_word
+
+    # --- transport energy ----------------------------------------------#
+    energy_local = 0.0
+    energy_onchip = 0.0
+    energy_offchip = 0.0
+    offchip_word = tech.offchip_energy_word_fj()
+    sram_word = tech.sram_energy_word_fj()
+    n_edges = 0
+    for u, v in graph.edges():
+        n_edges += 1
+        if mapping.offchip[u] or mapping.offchip[v]:
+            energy_offchip += offchip_word
+            continue
+        dist = grid.distance_mm(
+            (int(mapping.x[u]), int(mapping.y[u])),
+            (int(mapping.x[v]), int(mapping.y[v])),
+        )
+        if dist == 0:
+            energy_local += sram_word
+        else:
+            energy_onchip += tech.transport_energy_fj(dist)
+
+    liveness = compute_liveness(graph, mapping, grid)
+
+    return CostReport(
+        cycles=cycles,
+        time_ps=time_ps,
+        energy_compute_fj=energy_compute,
+        energy_local_fj=energy_local,
+        energy_onchip_fj=energy_onchip,
+        energy_offchip_fj=energy_offchip,
+        liveness=liveness,
+        n_compute=n_compute,
+        n_edges=n_edges,
+        places_used=len(mapping.places_used()),
+    )

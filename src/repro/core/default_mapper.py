@@ -1,0 +1,165 @@
+"""The default mapper: legal mappings for programmers who don't write one.
+
+Paper, Section 3: "Programmers that don't want to bother with mapping can
+use a default mapper - with results no worse than with today's
+abstractions."
+
+The default mapper is owner-computes + ASAP list scheduling:
+
+1.  **Placement.**  Every node with a logical index is assigned a home PE
+    by block-distributing the *first* index component over the grid,
+    row-major (the layout "today's abstractions" — OpenMP static loops,
+    BLAS blocking — would pick).  Index-less compute nodes inherit the
+    place of their first operand; inputs go to the bulk-memory layer.
+2.  **Scheduling.**  Nodes are scheduled ASAP in dependency order: each
+    compute node starts at the first cycle at which (a) all operands have
+    arrived (availability + transit) and (b) its home PE is free.
+
+The result is always **legal by construction** (bounds, causality,
+occupancy; storage is whatever it is and is reported, not bounded), which
+is why the search module also uses this scheduler to turn candidate
+*placements* into full mappings.
+
+Claim C9's bench compares this mapper against hand mappings and search
+results: "no worse than today's abstractions" is operationalized as
+"never worse than the serial (1-PE) mapping, and within the measured
+envelope of a conventional multicore running the same function".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+
+__all__ = ["default_mapping", "schedule_asap", "serial_mapping", "block_place_fn"]
+
+
+def block_place_fn(
+    graph: DataflowGraph, grid: GridSpec
+) -> Callable[[int], tuple[int, int]]:
+    """Owner-computes placement: block-distribute index[0] over the grid.
+
+    The extent of the first index component is taken from the graph itself
+    (max over nodes), so the blocks are balanced for the program actually
+    being mapped.
+    """
+    max_i = 0
+    for nid in range(graph.n_nodes):
+        idx = graph.index[nid]
+        if idx:
+            if idx[0] > max_i:
+                max_i = int(idx[0])
+    extent = max_i + 1
+    n_places = grid.n_places
+    block = max(1, -(-extent // n_places))  # ceil division
+
+    def place(nid: int) -> tuple[int, int]:
+        idx = graph.index[nid]
+        if idx:
+            linear = min(int(idx[0]) // block, n_places - 1)
+            return (linear % grid.width, linear // grid.width)
+        return (0, 0)
+
+    return place
+
+
+def schedule_asap(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    place_of: Callable[[int], tuple[int, int]],
+    *,
+    inputs_offchip: bool = True,
+    input_port: tuple[int, int] = (0, 0),
+) -> Mapping:
+    """ASAP list scheduling over a fixed placement; legal by construction.
+
+    Compute nodes are visited in id order (a topological order by
+    construction of :class:`DataflowGraph`).  Occupancy is resolved with a
+    per-PE "next free cycle" union-find (amortized near-constant per node);
+    operand arrival accounts for transit and off-chip latency exactly as
+    the legality checker does.
+    """
+    mapping = Mapping(graph.n_nodes)
+    # per place: union-find over cycles; parent[t] = first candidate >= t
+    next_free: dict[tuple[int, int], dict[int, int]] = {}
+
+    def claim(p: tuple[int, int], t: int) -> int:
+        """First free cycle >= t at place p; marks it busy."""
+        parent = next_free.setdefault(p, {})
+        # find with path compression
+        root = t
+        path = []
+        while root in parent:
+            path.append(root)
+            root = parent[root]
+        for s in path:
+            parent[s] = root
+        parent[root] = root + 1
+        return root
+
+    offchip_cyc = grid.tech.offchip_cycles()
+
+    for nid in range(graph.n_nodes):
+        op = graph.ops[nid]
+        if op == "input":
+            if inputs_offchip:
+                mapping.set(nid, input_port, 0, offchip=True)
+            else:
+                mapping.set(nid, place_of(nid), 0)
+            continue
+        if op == "const":
+            # constants are materialized at their consumer-home place at t=0
+            mapping.set(nid, place_of(nid), 0)
+            continue
+
+        p = place_of(nid)
+        if not grid.in_bounds(*p):
+            raise ValueError(f"placement put node {nid} at {p}, off-grid")
+        earliest = 0
+        for u in graph.args[nid]:
+            avail = int(mapping.time[u]) + (1 if graph.is_compute(u) else 0)
+            if mapping.offchip[u]:
+                transit = offchip_cyc
+            else:
+                pu = (int(mapping.x[u]), int(mapping.y[u]))
+                transit = grid.transit_cycles(pu, p)
+            arrive = avail + transit
+            if arrive > earliest:
+                earliest = arrive
+        t = claim(p, earliest)
+        mapping.set(nid, p, t)
+    return mapping
+
+
+def default_mapping(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    *,
+    inputs_offchip: bool = True,
+) -> Mapping:
+    """The paper's default mapper: owner-computes blocks + ASAP schedule."""
+    return schedule_asap(
+        graph, grid, block_place_fn(graph, grid), inputs_offchip=inputs_offchip
+    )
+
+
+def serial_mapping(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    place: tuple[int, int] = (0, 0),
+    *,
+    inputs_offchip: bool = True,
+) -> Mapping:
+    """The fully serial point of the mapping space: one PE does everything.
+
+    This is the paper's "completely serial" end of the spectrum of
+    mappings, and doubles as the baseline conventional-execution stand-in
+    for speedup figures.
+    """
+    return schedule_asap(
+        graph, grid, lambda _nid: place, inputs_offchip=inputs_offchip
+    )

@@ -1,0 +1,748 @@
+"""A tiny language for Function-and-Mapping programs — the paper's notation.
+
+Section 3 closes with research questions, the first of which is: "What
+languages best express functions and mapping and facilitate abstraction
+and modular composition of programs?"  This module is a minimal answer
+shaped exactly like the paper's own code fragment::
+
+    Forall i, j in (0:N-1, 0:N-1)
+      H(i,j) = min(H(i-1, j-1) + f(R[i],Q[j]), H(i-1,j)+D, H(i,j-1)+I, 0);
+
+    Map H(i,j) at i % P  time floor(i/P)*N + j
+
+Grammar (case-insensitive keywords; ``#`` or ``//`` start comments)::
+
+    program   := (param | input | boundary | forall | map)*
+    param     := "param" NAME "=" expr
+    input     := "input" NAME "[" expr ("," expr)* "]"
+    boundary  := "boundary" NAME "=" expr          # value outside the domain
+    forall    := "forall" NAME ("," NAME)* "in" "(" range ("," range)* ")"
+                 NAME "(" idx ("," idx)* ")" "=" expr ";"?
+    range     := expr ":" expr                      # inclusive bounds
+    map       := "map" NAME "(" NAME ("," NAME)* ")"
+                 "at" expr ("," expr)?              # place (x[, y])
+                 "time" expr
+    expr      := arithmetic over + - * / % and calls:
+                 min(...), max(...), floor(a / b), eq(a, b), ne(a, b),
+                 select(c, a, b), abs(a)
+                 atoms: NUMBER, parameter, loop index, INPUT[expr, ...],
+                 TENSOR(expr, ...), "(" expr ")"
+
+Semantics
+---------
+``compile_program(source, params)`` elaborates every ``forall`` over its
+(parameter-sized) domain into a :class:`~repro.core.function.DataflowGraph`
+node per element.  References to *earlier* elements of the same (or a
+previously defined) tensor become dataflow edges; references outside the
+domain become the tensor's ``boundary`` constant (default 0).  Recurrences
+must reference lexicographically earlier elements (row-major), which is
+the standard elaboration order for DP-style ``Forall``s and holds for the
+paper's example.  Each ``map`` clause compiles to place/time closures that
+:meth:`CompiledProgram.build_mapping` applies per element, with inputs
+off-chip and boundary constants co-located with their first consumer.
+
+Index expressions inside tensor/input references and mapping clauses are
+evaluated with Python integer arithmetic (``/`` is floor division there,
+matching the paper's ``floor(i/P)``); *value* expressions compile to
+dataflow ops.  Mapping-clause expressions may use the element's indices
+and any parameter.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping as TMapping
+
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+
+__all__ = ["DslError", "CompiledProgram", "compile_program", "PAPER_EXAMPLE"]
+
+
+class DslError(Exception):
+    """Syntax or elaboration error, with line information where possible."""
+
+
+# --------------------------------------------------------------------------- #
+# lexer
+# --------------------------------------------------------------------------- #
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*|//[^\n]*)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op>[(),:;=\[\]+\-*/%])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {"forall", "in", "map", "at", "time", "param", "input", "boundary"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "num" | "name" | "kw" | "op"
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise DslError(f"line {line}: cannot tokenize {source[pos:pos+10]!r}")
+        pos = m.end()
+        text = m.group(0)
+        line += text.count("\n")
+        if m.lastgroup in ("ws", "comment"):
+            continue
+        kind = m.lastgroup
+        if kind == "name" and text.lower() in KEYWORDS:
+            tokens.append(Token("kw", text.lower(), line))
+        else:
+            tokens.append(Token(kind, text, line))  # type: ignore[arg-type]
+    return tokens
+
+
+# --------------------------------------------------------------------------- #
+# AST
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str  # loop index or parameter
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    fn: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class InputRef:
+    name: str
+    indices: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    name: str
+    indices: tuple["Expr", ...]
+
+
+Expr = Num | Var | BinOp | Call | InputRef | TensorRef
+
+
+@dataclass(frozen=True)
+class ForallDecl:
+    loop_vars: tuple[str, ...]
+    ranges: tuple[tuple[Expr, Expr], ...]
+    tensor: str
+    tensor_indices: tuple[str, ...]
+    rhs: Expr
+    line: int
+
+
+@dataclass(frozen=True)
+class MapDecl:
+    tensor: str
+    index_names: tuple[str, ...]
+    place: tuple[Expr, ...]
+    time: Expr
+    line: int
+
+
+@dataclass
+class ProgramAst:
+    params: dict[str, Expr] = field(default_factory=dict)
+    inputs: dict[str, tuple[Expr, ...]] = field(default_factory=dict)
+    boundaries: dict[str, Expr] = field(default_factory=dict)
+    foralls: list[ForallDecl] = field(default_factory=list)
+    maps: dict[str, MapDecl] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------- #
+# parser (recursive descent)
+# --------------------------------------------------------------------------- #
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------- #
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise DslError("unexpected end of program")
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = f"{kind} {text!r}" if text else kind
+            raise DslError(f"line {tok.line}: expected {want}, got {tok.text!r}")
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok and tok.kind == kind and (text is None or tok.text == text):
+            self.pos += 1
+            return tok
+        return None
+
+    # -- grammar -------------------------------------------------------- #
+
+    def parse_program(self) -> ProgramAst:
+        ast = ProgramAst()
+        while (tok := self.peek()) is not None:
+            if tok.kind != "kw":
+                raise DslError(
+                    f"line {tok.line}: expected a declaration, got {tok.text!r}"
+                )
+            if tok.text == "param":
+                self.next()
+                name = self.expect("name").text
+                self.expect("op", "=")
+                ast.params[name] = self.parse_expr()
+            elif tok.text == "input":
+                self.next()
+                name = self.expect("name").text
+                self.expect("op", "[")
+                dims = [self.parse_expr()]
+                while self.accept("op", ","):
+                    dims.append(self.parse_expr())
+                self.expect("op", "]")
+                ast.inputs[name] = tuple(dims)
+            elif tok.text == "boundary":
+                self.next()
+                name = self.expect("name").text
+                self.expect("op", "=")
+                ast.boundaries[name] = self.parse_expr()
+            elif tok.text == "forall":
+                ast.foralls.append(self.parse_forall())
+            elif tok.text == "map":
+                decl = self.parse_map()
+                if decl.tensor in ast.maps:
+                    raise DslError(
+                        f"line {decl.line}: duplicate map for {decl.tensor}"
+                    )
+                ast.maps[decl.tensor] = decl
+            else:
+                raise DslError(f"line {tok.line}: unexpected keyword {tok.text!r}")
+        return ast
+
+    def parse_forall(self) -> ForallDecl:
+        start = self.expect("kw", "forall")
+        loop_vars = [self.expect("name").text]
+        while self.accept("op", ","):
+            loop_vars.append(self.expect("name").text)
+        self.expect("kw", "in")
+        self.expect("op", "(")
+        ranges = [self.parse_range()]
+        while self.accept("op", ","):
+            ranges.append(self.parse_range())
+        self.expect("op", ")")
+        if len(ranges) != len(loop_vars):
+            raise DslError(
+                f"line {start.line}: {len(loop_vars)} loop variables but "
+                f"{len(ranges)} ranges"
+            )
+        tensor = self.expect("name").text
+        self.expect("op", "(")
+        idx = [self.expect("name").text]
+        while self.accept("op", ","):
+            idx.append(self.expect("name").text)
+        self.expect("op", ")")
+        if tuple(idx) != tuple(loop_vars):
+            raise DslError(
+                f"line {start.line}: definition indices {idx} must match the "
+                f"loop variables {loop_vars}"
+            )
+        self.expect("op", "=")
+        rhs = self.parse_expr()
+        self.accept("op", ";")
+        return ForallDecl(
+            tuple(loop_vars), tuple(ranges), tensor, tuple(idx), rhs, start.line
+        )
+
+    def parse_range(self) -> tuple[Expr, Expr]:
+        lo = self.parse_expr()
+        self.expect("op", ":")
+        hi = self.parse_expr()
+        return (lo, hi)
+
+    def parse_map(self) -> MapDecl:
+        start = self.expect("kw", "map")
+        tensor = self.expect("name").text
+        self.expect("op", "(")
+        names = [self.expect("name").text]
+        while self.accept("op", ","):
+            names.append(self.expect("name").text)
+        self.expect("op", ")")
+        self.expect("kw", "at")
+        place = [self.parse_expr()]
+        if self.accept("op", ","):
+            place.append(self.parse_expr())
+        time_kw = self.expect("kw", "time")
+        time = self.parse_expr()
+        return MapDecl(tensor, tuple(names), tuple(place), time, start.line)
+
+    # expression precedence: (+ -) < (* / %) < unary - < atoms
+    def parse_expr(self) -> Expr:
+        node = self.parse_term()
+        while (tok := self.peek()) and tok.kind == "op" and tok.text in "+-":
+            self.next()
+            node = BinOp(tok.text, node, self.parse_term())
+        return node
+
+    def parse_term(self) -> Expr:
+        node = self.parse_unary()
+        while (tok := self.peek()) and tok.kind == "op" and tok.text in "*/%":
+            self.next()
+            node = BinOp(tok.text, node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> Expr:
+        if self.accept("op", "-"):
+            return BinOp("-", Num(0), self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "num":
+            return Num(int(tok.text))
+        if tok.kind == "op" and tok.text == "(":
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if tok.kind == "name":
+            name = tok.text
+            if self.accept("op", "("):
+                args = [self.parse_expr()]
+                while self.accept("op", ","):
+                    args.append(self.parse_expr())
+                self.expect("op", ")")
+                if name.lower() in _BUILTINS:
+                    return Call(name.lower(), tuple(args))
+                return TensorRef(name, tuple(args))
+            if self.accept("op", "["):
+                args = [self.parse_expr()]
+                while self.accept("op", ","):
+                    args.append(self.parse_expr())
+                self.expect("op", "]")
+                return InputRef(name, tuple(args))
+            return Var(name)
+        raise DslError(f"line {tok.line}: unexpected token {tok.text!r}")
+
+
+_BUILTINS = {"min", "max", "floor", "eq", "ne", "select", "abs"}
+
+
+# --------------------------------------------------------------------------- #
+# elaboration
+# --------------------------------------------------------------------------- #
+
+
+def _eval_index(expr: Expr, env: TMapping[str, int]) -> int:
+    """Integer evaluation for index/range/mapping expressions."""
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Var):
+        if expr.name not in env:
+            raise DslError(f"unknown name {expr.name!r} in index expression")
+        return int(env[expr.name])
+    if isinstance(expr, BinOp):
+        a, b = _eval_index(expr.lhs, env), _eval_index(expr.rhs, env)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        if expr.op == "/":
+            if b == 0:
+                raise DslError("division by zero in index expression")
+            return a // b
+        if expr.op == "%":
+            if b == 0:
+                raise DslError("modulo by zero in index expression")
+            return a % b
+    if isinstance(expr, Call):
+        args = [_eval_index(a, env) for a in expr.args]
+        if expr.fn == "min":
+            return min(args)
+        if expr.fn == "max":
+            return max(args)
+        if expr.fn == "abs":
+            return abs(args[0])
+        if expr.fn == "floor":
+            return args[0]  # floor(a / b) already floor-divided by "/"
+        raise DslError(f"{expr.fn}() is not usable in index expressions")
+    raise DslError(f"{type(expr).__name__} not allowed in index expressions")
+
+
+@dataclass
+class CompiledProgram:
+    """The elaborated program: graph + per-tensor mapping closures."""
+
+    graph: DataflowGraph
+    ast: ProgramAst
+    params: dict[str, int]
+    #: (tensor, index tuple) -> node id for every defined element
+    elements: dict[tuple[str, tuple[int, ...]], int]
+    #: tensor -> domain extents
+    domains: dict[str, tuple[tuple[int, int], ...]]
+
+    def cell_cycles(self, tensor: str) -> int:
+        """PE cycles one element's compute takes (ops per cell, maximized
+        over the tensor's domain).
+
+        The paper maps one *element* per (place, time); DSL elaboration
+        produces several primitive ops per element, so the time axis of a
+        map clause is scaled by this factor.
+        """
+        counts: dict[tuple[int, ...], int] = {}
+        g = self.graph
+        for nid in range(g.n_nodes):
+            if g.group[nid] == tensor and g.is_compute(nid):
+                idx = g.index[nid]
+                if idx is not None:
+                    counts[idx] = counts.get(idx, 0) + 1
+        return max(counts.values(), default=1)
+
+    def build_mapping(
+        self,
+        grid: GridSpec,
+        *,
+        input_port: tuple[int, int] = (0, 0),
+        inputs_offchip: bool = True,
+    ) -> Mapping:
+        """Apply the program's ``map`` clauses.
+
+        Each element's primitive ops share the declared place and occupy
+        consecutive cycles starting at ``time(idx) * cell_cycles`` (the map
+        clause's time unit is *one element*, as in the paper; elaborated
+        ops are finer-grained, so the axis is scaled uniformly — relative
+        schedules, and hence legality structure, are preserved).  Inputs go
+        off-chip at ``input_port`` by default; with
+        ``inputs_offchip=False`` each input element is pre-staged on chip
+        at its first consumer's place (available at t=0).  Boundary
+        constants are co-located with their consumer so they never travel.
+        Raises :class:`DslError` for tensors without a map clause.
+        """
+        g = self.graph
+        unmapped = {t for t in self.domains if t not in self.ast.maps}
+        if unmapped:
+            raise DslError(f"no map clause for tensor(s): {sorted(unmapped)}")
+        mapping = Mapping(g.n_nodes)
+        scale = {t: self.cell_cycles(t) for t in self.domains}
+
+        # group every compute node by (tensor, element index); id order is
+        # intra-cell dependency order by construction
+        cell_nodes: dict[tuple[str, tuple[int, ...]], list[int]] = {}
+        for nid in range(g.n_nodes):
+            grp, idx = g.group[nid], g.index[nid]
+            if grp in self.domains and idx is not None and g.is_compute(nid):
+                cell_nodes.setdefault((grp, idx), []).append(nid)
+
+        def clause_place_time(tensor: str, idx: tuple[int, ...]) -> tuple[tuple[int, int], int]:
+            decl = self.ast.maps[tensor]
+            if len(decl.index_names) != len(idx):
+                raise DslError(
+                    f"map for {tensor} names {len(decl.index_names)} indices, "
+                    f"tensor has {len(idx)}"
+                )
+            env = dict(self.params)
+            env.update(zip(decl.index_names, idx))
+            px = _eval_index(decl.place[0], env)
+            py = _eval_index(decl.place[1], env) if len(decl.place) > 1 else 0
+            t0 = _eval_index(decl.time, env) * scale[tensor]
+            return (px, py), t0
+
+        for (tensor, idx), nodes in cell_nodes.items():
+            place, t0 = clause_place_time(tensor, idx)
+            for k, nid in enumerate(nodes):
+                mapping.set(nid, place, t0 + k)
+
+        # elements that folded to constants (no compute nodes) still obey
+        # their clause — the value has to live somewhere
+        element_nodes = set(self.elements.values())
+        for (tensor, idx), nid in self.elements.items():
+            if not g.is_compute(nid):
+                place, t0 = clause_place_time(tensor, idx)
+                mapping.set(nid, place, t0)
+
+        # inputs and non-element boundary constants
+        cons = g.consumers()
+        for nid in range(g.n_nodes):
+            op = g.ops[nid]
+            if op == "input":
+                users = cons[nid]
+                if inputs_offchip or not users:
+                    mapping.set(nid, input_port, 0, offchip=True)
+                else:
+                    first = users[0]
+                    mapping.set(
+                        nid,
+                        (int(mapping.x[first]), int(mapping.y[first])),
+                        0,
+                    )
+            elif op == "const" and nid not in element_nodes:
+                users = cons[nid]
+                if users:
+                    first = users[0]
+                    mapping.set(
+                        nid,
+                        (int(mapping.x[first]), int(mapping.y[first])),
+                        0,
+                    )
+        return mapping
+
+    def element(self, tensor: str, *idx: int) -> int:
+        """Node id of one tensor element."""
+        key = (tensor, tuple(idx))
+        if key not in self.elements:
+            raise KeyError(f"{tensor}{idx} is not a defined element")
+        return self.elements[key]
+
+
+class _Elaborator:
+    def __init__(self, ast: ProgramAst, params: dict[str, int]) -> None:
+        self.ast = ast
+        self.params = dict(params)
+        for name, expr in ast.params.items():
+            if name not in self.params:
+                self.params[name] = _eval_index(expr, self.params)
+        self.graph = DataflowGraph()
+        self.elements: dict[tuple[str, tuple[int, ...]], int] = {}
+        self.domains: dict[str, tuple[tuple[int, int], ...]] = {}
+        self.input_nodes: dict[tuple[str, tuple[int, ...]], int] = {}
+        self.input_dims: dict[str, tuple[int, ...]] = {
+            name: tuple(_eval_index(d, self.params) for d in dims)
+            for name, dims in ast.inputs.items()
+        }
+        self.const_cache: dict[tuple[Any, tuple[int, ...] | None], int] = {}
+
+    def run(self) -> CompiledProgram:
+        for decl in self.ast.foralls:
+            self._elaborate_forall(decl)
+        # outputs: every element of the last-defined tensor
+        if self.ast.foralls:
+            last = self.ast.foralls[-1].tensor
+            for (tensor, idx), nid in self.elements.items():
+                if tensor == last:
+                    self.graph.mark_output(nid, (tensor, *idx))
+        return CompiledProgram(
+            graph=self.graph,
+            ast=self.ast,
+            params=self.params,
+            elements=self.elements,
+            domains=self.domains,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _const(self, value: int, index: tuple[int, ...] | None) -> int:
+        key = (value, index)
+        if key not in self.const_cache:
+            self.const_cache[key] = self.graph.const(value, index=index)
+        return self.const_cache[key]
+
+    def _input_node(self, name: str, idx: tuple[int, ...]) -> int:
+        dims = self.input_dims.get(name)
+        if dims is None:
+            raise DslError(f"undeclared input {name!r}")
+        if len(idx) != len(dims):
+            raise DslError(f"input {name} has {len(dims)} dims, got index {idx}")
+        for k, d in zip(idx, dims):
+            if not (0 <= k < d):
+                raise DslError(f"input reference {name}{list(idx)} out of bounds")
+        key = (name, idx)
+        if key not in self.input_nodes:
+            self.input_nodes[key] = self.graph.input(name, idx)
+        return self.input_nodes[key]
+
+    def _elaborate_forall(self, decl: ForallDecl) -> None:
+        if decl.tensor in self.domains:
+            raise DslError(f"line {decl.line}: tensor {decl.tensor} redefined")
+        bounds = tuple(
+            (_eval_index(lo, self.params), _eval_index(hi, self.params))
+            for lo, hi in decl.ranges
+        )
+        for lo, hi in bounds:
+            if hi < lo:
+                raise DslError(f"line {decl.line}: empty range {lo}:{hi}")
+        self.domains[decl.tensor] = bounds
+
+        def domain() -> Iterator[tuple[int, ...]]:
+            def rec(k: int, prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+                if k == len(bounds):
+                    yield prefix
+                    return
+                lo, hi = bounds[k]
+                for v in range(lo, hi + 1):
+                    yield from rec(k + 1, prefix + (v,))
+
+            yield from rec(0, ())
+
+        boundary = self.ast.boundaries.get(decl.tensor, Num(0))
+        for idx in domain():
+            env = dict(self.params)
+            env.update(zip(decl.loop_vars, idx))
+            nid = self._compile_expr(decl.rhs, env, decl, idx, boundary)
+            self.elements[(decl.tensor, idx)] = nid
+
+    def _tensor_ref(
+        self,
+        name: str,
+        idx: tuple[int, ...],
+        decl: ForallDecl,
+        at: tuple[int, ...],
+        boundary: Expr,
+    ) -> int:
+        bounds = self.domains.get(name)
+        if bounds is None:
+            raise DslError(
+                f"line {decl.line}: reference to undefined tensor {name!r}"
+            )
+        if len(idx) != len(bounds):
+            raise DslError(
+                f"line {decl.line}: {name} has {len(bounds)} dims, got {idx}"
+            )
+        in_range = all(lo <= k <= hi for k, (lo, hi) in zip(idx, bounds))
+        if not in_range:
+            bval = _eval_index(boundary if name == decl.tensor
+                               else self.ast.boundaries.get(name, Num(0)),
+                               dict(self.params))
+            return self._const(bval, at)
+        key = (name, idx)
+        if key not in self.elements:
+            raise DslError(
+                f"line {decl.line}: {name}{list(idx)} referenced before "
+                f"definition at {list(at)} — recurrences must reference "
+                "lexicographically earlier elements"
+            )
+        return self.elements[key]
+
+    def _compile_expr(
+        self,
+        expr: Expr,
+        env: dict[str, int],
+        decl: ForallDecl,
+        at: tuple[int, ...],
+        boundary: Expr,
+    ) -> int:
+        g = self.graph
+        # constant-fold anything expressible in pure index arithmetic
+        # (numbers, params, loop vars, + - * / % min max abs) — this is what
+        # makes `i % 2` etc. usable inside value expressions
+        try:
+            return self._const(_eval_index(expr, env), at)
+        except DslError:
+            pass
+        if isinstance(expr, Num):
+            return self._const(expr.value, at)
+        if isinstance(expr, Var):
+            raise DslError(f"line {decl.line}: unknown name {expr.name!r}")
+        if isinstance(expr, InputRef):
+            idx = tuple(_eval_index(e, env) for e in expr.indices)
+            return self._input_node(expr.name, idx)
+        if isinstance(expr, TensorRef):
+            idx = tuple(_eval_index(e, env) for e in expr.indices)
+            return self._tensor_ref(expr.name, idx, decl, at, boundary)
+        if isinstance(expr, BinOp):
+            lhs = self._compile_expr(expr.lhs, env, decl, at, boundary)
+            rhs = self._compile_expr(expr.rhs, env, decl, at, boundary)
+            op = {"+": "+", "-": "-", "*": "*", "/": "/"}.get(expr.op)
+            if op is None:
+                raise DslError(
+                    f"line {decl.line}: operator {expr.op!r} not supported in "
+                    "value expressions"
+                )
+            return g.op(op, lhs, rhs, index=at, group=decl.tensor)
+        if isinstance(expr, Call):
+            if expr.fn == "floor":
+                # floor(a / b): "/" already compiles to integer division
+                return self._compile_expr(expr.args[0], env, decl, at, boundary)
+            args = [
+                self._compile_expr(a, env, decl, at, boundary) for a in expr.args
+            ]
+            if expr.fn in ("min", "max"):
+                if len(args) < 2:
+                    raise DslError(f"line {decl.line}: {expr.fn} needs >= 2 args")
+                acc = args[0]
+                for a in args[1:]:
+                    acc = g.op(expr.fn, acc, a, index=at, group=decl.tensor)
+                return acc
+            if expr.fn == "eq":
+                return g.op("eq", args[0], args[1], index=at, group=decl.tensor)
+            if expr.fn == "ne":
+                e = g.op("eq", args[0], args[1], index=at, group=decl.tensor)
+                one = self._const(1, at)
+                return g.op("-", one, e, index=at, group=decl.tensor)
+            if expr.fn == "select":
+                if len(args) != 3:
+                    raise DslError(f"line {decl.line}: select needs 3 args")
+                return g.op("select", args[0], args[1], args[2], index=at,
+                            group=decl.tensor)
+            if expr.fn == "abs":
+                neg = g.op("neg", args[0], index=at, group=decl.tensor)
+                return g.op("max", args[0], neg, index=at, group=decl.tensor)
+            raise DslError(f"line {decl.line}: unknown function {expr.fn!r}")
+        raise DslError(f"line {decl.line}: cannot compile {expr!r}")
+
+
+def compile_program(
+    source: str, params: TMapping[str, int] | None = None
+) -> CompiledProgram:
+    """Parse and elaborate a DSL program into graph + mapping closures.
+
+    ``params`` supplies (or overrides) ``param`` declarations — e.g.
+    ``compile_program(PAPER_EXAMPLE, {"N": 16, "P": 4})``.
+    """
+    ast = _Parser(tokenize(source)).parse_program()
+    return _Elaborator(ast, dict(params or {})).run()
+
+
+#: The paper's Section-3 fragment, expressed in the DSL.  ``f`` is unit
+#: mismatch cost (ne); D and I are parameters defaulting to 1; the map
+#: clause is the paper's, verbatim — which the legality checker rejects
+#: (see bench C8); pass your own skewed clause for a legal schedule.
+PAPER_EXAMPLE = """
+param D = 1
+param I = 1
+input R[N]
+input Q[N]
+
+forall i, j in (0:N-1, 0:N-1)
+  H(i, j) = min(H(i-1, j-1) + ne(R[i], Q[j]), H(i-1, j) + D, H(i, j-1) + I, 0);
+
+map H(i, j) at i % P  time floor(i / P) * N + j
+"""

@@ -1,0 +1,383 @@
+"""The *function* half of Function-and-Mapping: pure dataflow graphs.
+
+Paper, Section 3: "The function can be specified by a functional program
+that describes how each element of a computation is computed from earlier
+elements.  No ordering - other than that imposed by data dependencies - is
+specified.  By its nature, a definition exposes all available parallelism
+in the computation."
+
+A :class:`DataflowGraph` is exactly that: a DAG of *element computations*.
+Nodes are either external **inputs**, **constants**, or **operations**
+drawn from :data:`OP_TABLE`.  Every node may carry a logical *index* (e.g.
+``(i, j)`` for the element H(i, j) it computes) which mapping helpers use
+to assign places and times, and a *group* label (e.g. ``"H"``) naming the
+logical tensor it belongs to.
+
+The graph knows nothing about places, times, processors, or caches — that
+is the mapping's job.  It can, however, be **evaluated** (to verify any
+mapped execution against the mathematical definition) and **analyzed**
+(inherent work and depth — the parallelism the function "exposes").
+
+Storage is struct-of-arrays (parallel Python lists, converted to numpy on
+demand) because graphs reach 10^5+ nodes in the FFT and edit-distance
+benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterator, Mapping as TMapping
+
+import numpy as np
+
+__all__ = ["DataflowGraph", "OP_TABLE", "OP_ENERGY_FACTOR", "FunctionError", "forall"]
+
+
+class FunctionError(Exception):
+    """Malformed dataflow graph or evaluation failure."""
+
+
+def _safe_div(a: Any, b: Any) -> Any:
+    if b == 0:
+        raise FunctionError("division by zero in dataflow evaluation")
+    if isinstance(a, int) and isinstance(b, int):
+        return int(a / b)
+    return a / b
+
+
+#: Operation semantics: name -> (arity, callable).
+OP_TABLE: dict[str, tuple[int, Callable[..., Any]]] = {
+    "+": (2, lambda a, b: a + b),
+    "-": (2, lambda a, b: a - b),
+    "*": (2, lambda a, b: a * b),
+    "/": (2, _safe_div),
+    "min": (2, min),
+    "max": (2, max),
+    "neg": (1, lambda a: -a),
+    "copy": (1, lambda a: a),
+    "lt": (2, lambda a, b: 1 if a < b else 0),
+    "eq": (2, lambda a, b: 1 if a == b else 0),
+    "select": (3, lambda c, a, b: a if c else b),
+}
+
+#: Relative energy of each op in units of one word-wide add.  Multipliers
+#: are the textbook full-adder-array ratios; inputs/constants cost nothing
+#: to "compute" (their cost is transport, which the mapping pays for).
+OP_ENERGY_FACTOR: dict[str, float] = {
+    "+": 1.0,
+    "-": 1.0,
+    "*": 4.0,
+    "/": 8.0,
+    "min": 1.0,
+    "max": 1.0,
+    "neg": 0.5,
+    "copy": 0.0,
+    "lt": 1.0,
+    "eq": 1.0,
+    "select": 0.5,
+    "input": 0.0,
+    "const": 0.0,
+}
+
+
+def forall(*extents: int) -> Iterator[tuple[int, ...]]:
+    """Iterate an index space, row-major: ``forall(N, M)`` yields (i, j).
+
+    Mirrors the paper's ``Forall i, j in (0:N-1, 0:N-1)`` syntax.
+    """
+    if any(e < 0 for e in extents):
+        raise ValueError("extents must be non-negative")
+    return np.ndindex(*extents)  # type: ignore[return-value]
+
+
+class DataflowGraph:
+    """A functional (dataflow) program: the F&M *function*.
+
+    Construction API::
+
+        g = DataflowGraph()
+        r = g.input("R", (i,))          # external input element
+        q = g.input("Q", (j,))
+        d = g.const(2)
+        s = g.op("+", r, q, index=(i, j), group="S")
+        g.mark_output(s, ("S", (i, j)))
+
+    Node ids are dense ints in creation order (which is *one* topological
+    order, since operands must exist before use — the graph is acyclic by
+    construction).
+    """
+
+    def __init__(self) -> None:
+        self.ops: list[str] = []
+        self.args: list[tuple[int, ...]] = []
+        self.payload: list[Any] = []          # const value / input key
+        self.index: list[tuple[int, ...] | None] = []
+        self.group: list[str | None] = []
+        self.outputs: dict[Any, int] = {}      # label -> node id
+        self._consumers_dirty = True
+        self._consumers: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _add(
+        self,
+        op: str,
+        args: tuple[int, ...],
+        payload: Any = None,
+        index: tuple[int, ...] | None = None,
+        group: str | None = None,
+    ) -> int:
+        nid = len(self.ops)
+        for a in args:
+            if not (0 <= a < nid):
+                raise FunctionError(
+                    f"operand {a} of new node {nid} does not exist yet "
+                    "(graphs are built in dependency order)"
+                )
+        self.ops.append(op)
+        self.args.append(args)
+        self.payload.append(payload)
+        self.index.append(index)
+        self.group.append(group)
+        self._consumers_dirty = True
+        return nid
+
+    def input(
+        self,
+        name: str,
+        index: tuple[int, ...] | int | None = None,
+        group: str | None = None,
+    ) -> int:
+        """An external input element, identified by ``(name, index)``."""
+        if isinstance(index, int):
+            index = (index,)
+        return self._add("input", (), payload=(name, index), index=index,
+                         group=group or name)
+
+    def const(self, value: Any, index: tuple[int, ...] | None = None) -> int:
+        """A literal constant (materialized wherever the mapping wants it)."""
+        return self._add("const", (), payload=value, index=index, group="const")
+
+    def op(
+        self,
+        name: str,
+        *args: int,
+        index: tuple[int, ...] | None = None,
+        group: str | None = None,
+    ) -> int:
+        """An operation node applying ``OP_TABLE[name]`` to operand nodes."""
+        if name not in OP_TABLE:
+            raise FunctionError(f"unknown op {name!r}; known: {sorted(OP_TABLE)}")
+        arity, _fn = OP_TABLE[name]
+        if len(args) != arity:
+            raise FunctionError(f"op {name!r} takes {arity} operands, got {len(args)}")
+        return self._add(name, tuple(args), index=index, group=group)
+
+    def mark_output(self, node: int, label: Any) -> None:
+        """Name ``node`` as a program output."""
+        if not (0 <= node < self.n_nodes):
+            raise FunctionError(f"no node {node}")
+        if label in self.outputs:
+            raise FunctionError(f"duplicate output label {label!r}")
+        self.outputs[label] = node
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.ops)
+
+    def is_compute(self, nid: int) -> bool:
+        """Does this node consume a processor cycle? (inputs/consts don't.)"""
+        return self.ops[nid] not in ("input", "const")
+
+    def compute_nodes(self) -> list[int]:
+        return [i for i in range(self.n_nodes) if self.is_compute(i)]
+
+    def input_nodes(self) -> list[int]:
+        return [i for i in range(self.n_nodes) if self.ops[i] == "input"]
+
+    def consumers(self) -> list[list[int]]:
+        """Node -> list of nodes that read it (cached)."""
+        if self._consumers_dirty or self._consumers is None:
+            cons: list[list[int]] = [[] for _ in range(self.n_nodes)]
+            for v in range(self.n_nodes):
+                for u in self.args[v]:
+                    cons[u].append(v)
+            self._consumers = cons
+            self._consumers_dirty = False
+        return self._consumers
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """All dataflow edges (producer, consumer)."""
+        for v in range(self.n_nodes):
+            for u in self.args[v]:
+                yield u, v
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(a) for a in self.args)
+
+    # ------------------------------------------------------------------ #
+    # analysis: the parallelism the function exposes
+    # ------------------------------------------------------------------ #
+
+    def work(self) -> int:
+        """Number of operation (compute) nodes — the function's work."""
+        return sum(1 for i in range(self.n_nodes) if self.is_compute(i))
+
+    def depth(self) -> int:
+        """Longest chain of compute nodes — the function's inherent depth.
+
+        This is the minimum-depth-parallel execution time the paper's
+        mapping space bottoms out at.
+        """
+        n = self.n_nodes
+        d = np.zeros(n, dtype=np.int64)
+        for v in range(n):
+            dur = 1 if self.is_compute(v) else 0
+            best = 0
+            for u in self.args[v]:
+                if d[u] > best:
+                    best = d[u]
+            d[v] = best + dur
+        return int(d.max()) if n else 0
+
+    def parallelism(self) -> float:
+        dep = self.depth()
+        return self.work() / dep if dep else float("inf")
+
+    # ------------------------------------------------------------------ #
+    # evaluation (the mathematical meaning; used to verify mappings)
+    # ------------------------------------------------------------------ #
+
+    def evaluate(
+        self,
+        inputs: TMapping[str, TMapping[tuple[int, ...] | None, Any] | Callable[..., Any]]
+        | None = None,
+    ) -> dict[Any, Any]:
+        """Evaluate the function; returns ``{output label: value}``.
+
+        ``inputs`` maps each input name to either a dict from index to
+        value or a callable applied to the index components.
+        """
+        inputs = inputs or {}
+        values = self.evaluate_all(inputs)
+        return {label: values[nid] for label, nid in self.outputs.items()}
+
+    def _evaluation_order(self) -> range | list[int]:
+        """Ids are a topo order for graphs built through the public API; a
+        transformed graph (e.g. rematerialization) may contain forward
+        operand references, in which case fall back to a Kahn order."""
+        n = self.n_nodes
+        if all(a < v for v in range(n) for a in self.args[v]):
+            return range(n)
+        indeg = [len(self.args[v]) for v in range(n)]
+        consumers = self.consumers()
+        stack = [v for v in range(n) if indeg[v] == 0]
+        order: list[int] = []
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            for v in consumers[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    stack.append(v)
+        if len(order) != n:
+            raise FunctionError("dataflow graph contains a cycle")
+        return order
+
+    def evaluate_all(
+        self,
+        inputs: TMapping[str, Any] | None = None,
+    ) -> list[Any]:
+        """Evaluate and return the value of *every* node, id-indexed."""
+        inputs = inputs or {}
+        values: list[Any] = [None] * self.n_nodes
+        for nid in self._evaluation_order():
+            op = self.ops[nid]
+            if op == "const":
+                values[nid] = self.payload[nid]
+            elif op == "input":
+                name, idx = self.payload[nid]
+                if name not in inputs:
+                    raise FunctionError(f"no binding for input {name!r}")
+                src = inputs[name]
+                if callable(src):
+                    values[nid] = src(*idx) if idx is not None else src()
+                else:
+                    if idx not in src:
+                        raise FunctionError(f"input {name!r} missing index {idx}")
+                    values[nid] = src[idx]
+            else:
+                _arity, fn = OP_TABLE[op]
+                values[nid] = fn(*(values[a] for a in self.args[nid]))
+        return values
+
+    # ------------------------------------------------------------------ #
+    # composition: "functions compose as usual" (paper, Section 3)
+    # ------------------------------------------------------------------ #
+
+    def splice(
+        self,
+        other: "DataflowGraph",
+        bindings: TMapping[tuple[str, tuple[int, ...] | None], int],
+        output_prefix: str | None = None,
+    ) -> dict[int, int]:
+        """Inline ``other`` into this graph, wiring its inputs to nodes here.
+
+        ``bindings`` maps ``(input name, index)`` of ``other`` to node ids
+        of ``self``; unbound inputs of ``other`` are imported as fresh
+        inputs of the composite.  ``other``'s outputs are re-marked here
+        (optionally namespaced by ``output_prefix`` to avoid label
+        clashes).  Returns ``{other node id: new node id}``.
+
+        This is function-level composition — the mapping-level alignment
+        story (remapping modules) lives in :mod:`repro.core.composition`.
+        """
+        idmap: dict[int, int] = {}
+        for nid in range(other.n_nodes):
+            op = other.ops[nid]
+            if op == "input":
+                name, idx = other.payload[nid]
+                key = (name, idx)
+                if key in bindings:
+                    bound = bindings[key]
+                    if not (0 <= bound < self.n_nodes):
+                        raise FunctionError(
+                            f"binding for {key} references unknown node {bound}"
+                        )
+                    idmap[nid] = bound
+                else:
+                    idmap[nid] = self._add(
+                        "input", (), payload=(name, idx), index=idx,
+                        group=other.group[nid],
+                    )
+            elif op == "const":
+                idmap[nid] = self._add(
+                    "const", (), payload=other.payload[nid],
+                    index=other.index[nid], group=other.group[nid],
+                )
+            else:
+                idmap[nid] = self._add(
+                    op,
+                    tuple(idmap[a] for a in other.args[nid]),
+                    index=other.index[nid],
+                    group=other.group[nid],
+                )
+        for label, nid in other.outputs.items():
+            new_label = (output_prefix, label) if output_prefix else label
+            self.mark_output(idmap[nid], new_label)
+        return idmap
+
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:
+        return (
+            f"DataflowGraph(nodes={self.n_nodes}, edges={self.n_edges}, "
+            f"work={self.work()}, outputs={len(self.outputs)})"
+        )

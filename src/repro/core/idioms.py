@@ -1,0 +1,386 @@
+"""Common mapped idioms: map, reduce, scan, gather, scatter, shuffle.
+
+Paper, Section 3: "Common idioms such as map, reduce, gather, scatter, and
+shuffle can be used by many programs to realize common communication
+patterns."
+
+Each builder returns a ``(graph, mapping)`` pair over a 1-D array of ``n``
+elements block-distributed across the first ``p`` PEs of a grid:
+
+*  the graph is the pure function (so it can be evaluated and verified);
+*  the mapping is the idiom's *known-good* communication pattern (local
+   work at full parallelism; trees for reductions; explicit routes for the
+   data-movement idioms), scheduled with the ASAP engine so it is legal by
+   construction.
+
+These are the reusable building blocks the composition module stitches
+together, and the vocabulary in which the algorithm modules express their
+F&M formulations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.default_mapper import schedule_asap
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+
+__all__ = [
+    "IdiomResult",
+    "build_map",
+    "build_reduce",
+    "build_scan",
+    "build_scan_tree",
+    "build_gather",
+    "build_scatter",
+    "build_shuffle",
+    "block_owner",
+]
+
+
+class IdiomResult:
+    """A (function, mapping) pair plus the placement it used."""
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        mapping: Mapping,
+        owner: Callable[[int], tuple[int, int]],
+        n: int,
+        p: int,
+    ) -> None:
+        self.graph = graph
+        self.mapping = mapping
+        self.owner = owner
+        self.n = n
+        self.p = p
+
+
+def _linear_place(grid: GridSpec, linear: int) -> tuple[int, int]:
+    if not (0 <= linear < grid.n_places):
+        raise ValueError(f"PE index {linear} outside grid of {grid.n_places}")
+    return (linear % grid.width, linear // grid.width)
+
+
+def block_owner(n: int, p: int, grid: GridSpec) -> Callable[[int], tuple[int, int]]:
+    """Block distribution: element i lives at PE floor(i / ceil(n/p))."""
+    if p < 1 or p > grid.n_places:
+        raise ValueError(f"p must be in [1, {grid.n_places}]")
+    block = max(1, -(-n // p))
+
+    def owner(i: int) -> tuple[int, int]:
+        return _linear_place(grid, min(i // block, p - 1))
+
+    return owner
+
+
+def _schedule(graph: DataflowGraph, grid: GridSpec,
+              place_of_node: Callable[[int], tuple[int, int]]) -> Mapping:
+    return schedule_asap(graph, grid, place_of_node, inputs_offchip=True)
+
+
+def build_map(
+    n: int, p: int, grid: GridSpec, op: str = "+", operand: int = 1
+) -> IdiomResult:
+    """Elementwise ``out[i] = op(in[i], operand)`` — owner computes.
+
+    The simplest idiom: no inter-PE communication at all (beyond loading
+    inputs from the bulk layer), total parallelism n.
+    """
+    g = DataflowGraph()
+    owner = block_owner(n, p, grid)
+    places: dict[int, tuple[int, int]] = {}
+    for i in range(n):
+        a = g.input("A", (i,))
+        c = g.const(operand, index=(i,))
+        r = g.op(op, a, c, index=(i,), group="out")
+        g.mark_output(r, ("out", i))
+        places[a] = places[c] = places[r] = owner(i)
+    mapping = _schedule(g, grid, lambda nid: places.get(nid, (0, 0)))
+    return IdiomResult(g, mapping, owner, n, p)
+
+
+def build_reduce(n: int, p: int, grid: GridSpec, op: str = "+") -> IdiomResult:
+    """Tree reduction: local serial reduce per PE, then a binary tree across
+    PEs (the classic latency-optimal pattern)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    g = DataflowGraph()
+    owner = block_owner(n, p, grid)
+    places: dict[int, tuple[int, int]] = {}
+
+    # local phase
+    per_pe: dict[tuple[int, int], int] = {}
+    for i in range(n):
+        a = g.input("A", (i,))
+        pl = owner(i)
+        places[a] = pl
+        if pl in per_pe:
+            acc = g.op(op, per_pe[pl], a, group="partial")
+            places[acc] = pl
+            per_pe[pl] = acc
+        else:
+            per_pe[pl] = a
+
+    # cross-PE binary tree (pairs nearest first to keep wires short)
+    frontier = sorted(per_pe.items())  # [(place, node)]
+    while len(frontier) > 1:
+        nxt = []
+        for k in range(0, len(frontier) - 1, 2):
+            (pl_a, na), (_pl_b, nb) = frontier[k], frontier[k + 1]
+            merged = g.op(op, na, nb, group="tree")
+            places[merged] = pl_a
+            nxt.append((pl_a, merged))
+        if len(frontier) % 2:
+            nxt.append(frontier[-1])
+        frontier = nxt
+    g.mark_output(frontier[0][1], "reduce")
+    mapping = _schedule(g, grid, lambda nid: places.get(nid, (0, 0)))
+    return IdiomResult(g, mapping, owner, n, p)
+
+
+def build_scan(n: int, p: int, grid: GridSpec, op: str = "+") -> IdiomResult:
+    """Inclusive scan: local scan, serial exchange of block sums, local add.
+
+    The three-phase distributed scan (Blelloch's own idiom): each PE scans
+    its block, block sums are combined across PEs, each PE adds its prefix
+    offset.  Work Theta(n), cross-PE depth Theta(p) in this simple variant
+    (a tree variant would be Theta(log p); kept linear for clarity and
+    tested against the tree reduce for contrast).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    g = DataflowGraph()
+    owner = block_owner(n, p, grid)
+    places: dict[int, tuple[int, int]] = {}
+
+    # local inclusive scans
+    block_nodes: dict[tuple[int, int], list[int]] = {}
+    inputs_by_i: list[int] = []
+    for i in range(n):
+        a = g.input("A", (i,))
+        inputs_by_i.append(a)
+        pl = owner(i)
+        places[a] = pl
+        nodes = block_nodes.setdefault(pl, [])
+        if nodes:
+            s = g.op(op, nodes[-1], a, index=(i,), group="local")
+            places[s] = pl
+            nodes.append(s)
+        else:
+            c = g.op("copy", a, index=(i,), group="local")
+            places[c] = pl
+            nodes.append(c)
+
+    # exclusive scan of block sums across PEs (serial chain over p blocks);
+    # ordered by linear PE index, which matches element-block order
+    pls = sorted(block_nodes, key=lambda pl: pl[1] * grid.width + pl[0])
+    offsets: dict[tuple[int, int], int | None] = {pls[0]: None}
+    running: int | None = None
+    for k in range(1, len(pls)):
+        prev_sum = block_nodes[pls[k - 1]][-1]
+        if running is None:
+            running = prev_sum
+        else:
+            nx = g.op(op, running, prev_sum, group="offsets")
+            places[nx] = pls[k]
+            running = nx
+        offsets[pls[k]] = running
+
+    # apply offsets
+    idx_in_block: dict[tuple[int, int], int] = {}
+    for i in range(n):
+        pl = owner(i)
+        j = idx_in_block.get(pl, 0)
+        idx_in_block[pl] = j + 1
+        local = block_nodes[pl][j]
+        off = offsets[pl]
+        if off is None:
+            out = local
+        else:
+            out = g.op(op, off, local, index=(i,), group="scan")
+            places[out] = pl
+        g.mark_output(out, ("scan", i))
+    mapping = _schedule(g, grid, lambda nid: places.get(nid, (0, 0)))
+    return IdiomResult(g, mapping, owner, n, p)
+
+
+def build_scan_tree(n: int, p: int, grid: GridSpec, op: str = "+") -> IdiomResult:
+    """Inclusive scan with a Blelloch up/down sweep across PEs.
+
+    Same three-phase structure as :func:`build_scan`, but the cross-PE
+    offset computation is the work-efficient tree (upsweep to partial
+    sums, downsweep distributing exclusive prefixes) — cross-PE depth
+    Theta(log p) instead of the serial chain's Theta(p).  The tests and
+    the C14 ablation compare the two directly; this is Blelloch's own
+    algorithm applied at the between-PE level.
+
+    Requires power-of-two ``p`` (the classic formulation).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if p < 1 or p & (p - 1):
+        raise ValueError(f"tree scan needs power-of-two p, got {p}")
+    if n < p:
+        raise ValueError(f"tree scan needs n >= p (got n={n}, p={p})")
+    g = DataflowGraph()
+    owner = block_owner(n, p, grid)
+    places: dict[int, tuple[int, int]] = {}
+
+    def pe(linear: int) -> tuple[int, int]:
+        return _linear_place(grid, linear)
+
+    # phase 1: local inclusive scans (same as build_scan)
+    block_nodes: dict[int, list[int]] = {}
+    owner_linear: list[int] = []
+    for i in range(n):
+        a = g.input("A", (i,))
+        pl = owner(i)
+        linear = pl[1] * grid.width + pl[0]
+        owner_linear.append(linear)
+        places[a] = pl
+        nodes = block_nodes.setdefault(linear, [])
+        if nodes:
+            s = g.op(op, nodes[-1], a, index=(i,), group="local")
+            places[s] = pl
+            nodes.append(s)
+        else:
+            c = g.op("copy", a, index=(i,), group="local")
+            places[c] = pl
+            nodes.append(c)
+
+    used = sorted(block_nodes)
+    n_blocks = len(used)
+
+    # phase 2: Blelloch up/down sweep over the block sums
+    # tree[] holds the working value per participating block slot
+    tree: dict[int, int] = {b: block_nodes[b][-1] for b in used}
+    d = 1
+    while d < n_blocks:
+        for k in range(0, n_blocks - d, 2 * d):
+            lo, hi = used[k + d - 1], used[k + 2 * d - 1]
+            merged = g.op(op, tree[lo], tree[hi], group="upsweep")
+            places[merged] = pe(hi)
+            tree[hi] = merged
+        d *= 2
+    # downsweep: replace the root with identity, then swap-and-add down
+    zero = g.const(0)
+    places[zero] = pe(used[-1])
+    tree[used[-1]] = zero
+    d = max(1, n_blocks // 2)
+    while d >= 1:
+        for k in range(0, n_blocks - d, 2 * d):
+            lo, hi = used[k + d - 1], used[k + 2 * d - 1]
+            left_val = tree[lo]
+            right_val = tree[hi]
+            moved = g.op("copy", right_val, group="downsweep")
+            places[moved] = pe(lo)
+            summed = g.op(op, left_val, right_val, group="downsweep")
+            places[summed] = pe(hi)
+            tree[lo] = moved
+            tree[hi] = summed
+        d //= 2
+    # tree[b] now holds the exclusive prefix of block b
+
+    # phase 3: apply offsets
+    idx_in_block: dict[int, int] = {}
+    for i in range(n):
+        linear = owner_linear[i]
+        j = idx_in_block.get(linear, 0)
+        idx_in_block[linear] = j + 1
+        local = block_nodes[linear][j]
+        out = g.op(op, tree[linear], local, index=(i,), group="scan")
+        places[out] = pe(linear)
+        g.mark_output(out, ("scan", i))
+    mapping = _schedule(g, grid, lambda nid: places.get(nid, (0, 0)))
+    return IdiomResult(g, mapping, owner, n, p)
+
+
+def _movement_idiom(
+    n: int,
+    p: int,
+    grid: GridSpec,
+    dest_of: Callable[[int], int],
+    name: str,
+) -> IdiomResult:
+    """Shared machinery: out[dest_of(i)] = in[i], placed at the destination.
+
+    Movement idioms are *remapping* modules: their inputs are assumed
+    already resident on chip at their owners (that is what makes them pure
+    communication), so the edge input -> copy is exactly the on-chip
+    traffic the idiom performs.
+    """
+    g = DataflowGraph()
+    owner = block_owner(n, p, grid)
+    places: dict[int, tuple[int, int]] = {}
+    seen: set[int] = set()
+    for i in range(n):
+        d = dest_of(i)
+        if not (0 <= d < n):
+            raise ValueError(f"{name}: destination {d} for element {i} out of range")
+        if d in seen:
+            raise ValueError(f"{name}: destination {d} written twice")
+        seen.add(d)
+        a = g.input("A", (i,))
+        places[a] = owner(i)
+        c = g.op("copy", a, index=(d,), group=name)
+        places[c] = owner(d)
+        g.mark_output(c, (name, d))
+    mapping = schedule_asap(
+        g, grid, lambda nid: places.get(nid, (0, 0)), inputs_offchip=False
+    )
+    return IdiomResult(g, mapping, owner, n, p)
+
+
+def build_gather(
+    n: int, p: int, grid: GridSpec, indices: Sequence[int]
+) -> IdiomResult:
+    """``out[j] = in[indices[j]]`` — data-dependent reads.
+
+    ``indices`` must be a permutation-free gather of length n (each output
+    written once; sources may repeat).
+    """
+    if len(indices) != n:
+        raise ValueError("indices must have length n")
+    g = DataflowGraph()
+    owner = block_owner(n, p, grid)
+    places: dict[int, tuple[int, int]] = {}
+    src_nodes: dict[int, int] = {}
+    for j, src in enumerate(indices):
+        if not (0 <= src < n):
+            raise ValueError(f"gather index {src} out of range")
+        if src not in src_nodes:
+            a = g.input("A", (int(src),))
+            places[a] = owner(int(src))
+            src_nodes[src] = a
+        c = g.op("copy", src_nodes[src], index=(j,), group="gather")
+        places[c] = owner(j)
+        g.mark_output(c, ("gather", j))
+    mapping = schedule_asap(
+        g, grid, lambda nid: places.get(nid, (0, 0)), inputs_offchip=False
+    )
+    return IdiomResult(g, mapping, owner, n, p)
+
+
+def build_scatter(
+    n: int, p: int, grid: GridSpec, destinations: Sequence[int]
+) -> IdiomResult:
+    """``out[destinations[i]] = in[i]`` — destinations must be a permutation."""
+    if sorted(destinations) != list(range(n)):
+        raise ValueError("scatter destinations must form a permutation of 0..n-1")
+    return _movement_idiom(n, p, grid, lambda i: int(destinations[i]), "scatter")
+
+
+def build_shuffle(n: int, p: int, grid: GridSpec) -> IdiomResult:
+    """The perfect shuffle: out[(2i) mod (n-1)] = in[i] (n even, classic FFT
+    wiring; element n-1 maps to itself)."""
+    if n < 2 or n % 2:
+        raise ValueError("shuffle needs even n >= 2")
+
+    def dest(i: int) -> int:
+        if i == n - 1:
+            return n - 1
+        return (2 * i) % (n - 1)
+
+    return _movement_idiom(n, p, grid, dest, "shuffle")

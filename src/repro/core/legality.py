@@ -1,0 +1,259 @@
+"""Legal-mapping checking: causality, transit time, storage bounds.
+
+Paper, Section 3: "A legal mapping is one that preserves causality -
+scheduling element computations after their inputs have been computed,
+allows time for elements to move from definition to use, and does not
+exceed storage bounds for elements in transit."
+
+:func:`check_legality` verifies all three conditions (plus grid bounds and
+PE occupancy, which the paper's discretization implies) and returns a
+:class:`LegalityReport` listing every violation with enough detail to fix
+it.  The same liveness sweep that powers the storage check is exposed as
+:func:`compute_liveness` because the cost model's *footprint* figure of
+merit is exactly the same quantity.
+
+Timing conventions (shared with :mod:`repro.core.cost` and the grid
+machine):
+
+*  a compute node scheduled at cycle ``t`` reads its operands at ``t`` and
+   its result exists from ``t + 1``;
+*  an input/const at cycle ``t`` is available from ``t``;
+*  a value travelling distance ``d`` needs ``tech.transport_cycles(d)``
+   cycles; off-chip endpoints need ``tech.offchip_cycles()`` instead;
+*  a value produced at place ``p`` and consumed at time ``t_v`` is resident
+   at ``p`` from production until its last consumer's read cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+
+__all__ = ["Violation", "LegalityReport", "check_legality", "compute_liveness"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One legality violation.
+
+    ``kind`` is one of ``bounds``, ``causality``, ``occupancy``,
+    ``storage``, ``transit``.
+    """
+
+    kind: str
+    node: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] node {self.node}: {self.detail}"
+
+
+@dataclass
+class LivenessSummary:
+    """Storage-relevant facts about a mapping."""
+
+    max_live_per_place: dict[tuple[int, int], int] = field(default_factory=dict)
+    max_in_flight: int = 0
+
+    @property
+    def footprint_words(self) -> int:
+        """Peak on-chip residency summed over places at the single worst cycle
+        is expensive to compute exactly; we report the standard surrogate:
+        the sum of per-place peaks (an upper bound on true peak footprint)."""
+        return sum(self.max_live_per_place.values())
+
+    @property
+    def max_live_any_place(self) -> int:
+        return max(self.max_live_per_place.values(), default=0)
+
+
+@dataclass
+class LegalityReport:
+    """Outcome of :func:`check_legality`."""
+
+    violations: list[Violation]
+    liveness: LivenessSummary
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_kind(self, kind: str) -> list[Violation]:
+        return [v for v in self.violations if v.kind == kind]
+
+    def raise_if_illegal(self) -> None:
+        if self.violations:
+            head = "\n  ".join(str(v) for v in self.violations[:10])
+            more = (
+                f"\n  ... and {len(self.violations) - 10} more"
+                if len(self.violations) > 10
+                else ""
+            )
+            raise ValueError(f"illegal mapping:\n  {head}{more}")
+
+
+def _edge_transit_cycles(
+    grid: GridSpec, mapping: Mapping, u: int, v: int
+) -> int:
+    """Cycles for u's value to reach v's place."""
+    if mapping.offchip[u] or mapping.offchip[v]:
+        return grid.tech.offchip_cycles()
+    pu = (int(mapping.x[u]), int(mapping.y[u]))
+    pv = (int(mapping.x[v]), int(mapping.y[v]))
+    return grid.transit_cycles(pu, pv)
+
+
+def compute_liveness(
+    graph: DataflowGraph, mapping: Mapping, grid: GridSpec
+) -> LivenessSummary:
+    """Sweep-line liveness: peak resident words per place and peak in-flight.
+
+    A value is resident at its producer's place over
+    ``[avail_time, last_consumer_read_time]`` (production counts even with
+    no consumers — outputs must exist somewhere).  A value is in flight on
+    ``[depart, arrive)`` for each consumer, where ``depart`` is its
+    availability and ``arrive`` is ``depart + transit``; same-place uses
+    are never in flight.
+    """
+    cons = graph.consumers()
+    # events per place: (time, +1/-1)
+    place_events: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    flight_events: list[tuple[int, int]] = []
+
+    for u in range(graph.n_nodes):
+        if mapping.offchip[u]:
+            continue  # bulk memory is unbounded; its cost is energy/latency
+        avail = int(mapping.time[u]) + (1 if graph.is_compute(u) else 0)
+        last_use = avail
+        for v in cons[u]:
+            if int(mapping.time[v]) > last_use:
+                last_use = int(mapping.time[v])
+        p = (int(mapping.x[u]), int(mapping.y[u]))
+        ev = place_events.setdefault(p, [])
+        ev.append((avail, +1))
+        ev.append((last_use + 1, -1))
+
+    for u, v in graph.edges():
+        transit = _edge_transit_cycles(grid, mapping, u, v)
+        if transit <= 0:
+            continue
+        depart = int(mapping.time[u]) + (1 if graph.is_compute(u) else 0)
+        flight_events.append((depart, +1))
+        flight_events.append((depart + transit, -1))
+
+    summary = LivenessSummary()
+    for p, events in place_events.items():
+        events.sort()
+        live = peak = 0
+        for _t, delta in events:
+            live += delta
+            if live > peak:
+                peak = live
+        summary.max_live_per_place[p] = peak
+
+    flight_events.sort()
+    live = 0
+    for _t, delta in flight_events:
+        live += delta
+        if live > summary.max_in_flight:
+            summary.max_in_flight = live
+    return summary
+
+
+def check_legality(
+    graph: DataflowGraph,
+    mapping: Mapping,
+    grid: GridSpec,
+    max_violations: int = 1000,
+) -> LegalityReport:
+    """Check the paper's three legality conditions plus bounds/occupancy.
+
+    Stops collecting after ``max_violations`` (the report notes truncation
+    via a final sentinel violation).
+    """
+    if mapping.n_nodes != graph.n_nodes:
+        raise ValueError(
+            f"mapping covers {mapping.n_nodes} nodes, graph has {graph.n_nodes}"
+        )
+    violations: list[Violation] = []
+
+    def add(v: Violation) -> bool:
+        violations.append(v)
+        return len(violations) >= max_violations
+
+    truncated = False
+
+    # 1. grid bounds
+    for nid in range(graph.n_nodes):
+        if mapping.offchip[nid]:
+            continue
+        x, y = int(mapping.x[nid]), int(mapping.y[nid])
+        if not grid.in_bounds(x, y):
+            if add(Violation("bounds", nid, f"place ({x}, {y}) outside "
+                             f"{grid.width}x{grid.height} grid")):
+                truncated = True
+                break
+
+    # 2. causality + transit time
+    if not truncated:
+        for v in range(graph.n_nodes):
+            if not graph.is_compute(v):
+                continue
+            tv = int(mapping.time[v])
+            for u in graph.args[v]:
+                avail = int(mapping.time[u]) + (1 if graph.is_compute(u) else 0)
+                transit = _edge_transit_cycles(grid, mapping, u, v)
+                required = avail + transit
+                if tv < required:
+                    if add(Violation(
+                        "causality", v,
+                        f"scheduled at t={tv} but operand {u} "
+                        f"(avail t={avail}, transit {transit}) arrives at "
+                        f"t={required}")):
+                        truncated = True
+                        break
+            if truncated:
+                break
+
+    # 3. PE occupancy: one compute per place per cycle
+    if not truncated:
+        seen: dict[tuple[int, int, int], int] = {}
+        for nid in range(graph.n_nodes):
+            if not graph.is_compute(nid) or mapping.offchip[nid]:
+                continue
+            key = (int(mapping.x[nid]), int(mapping.y[nid]), int(mapping.time[nid]))
+            if key in seen:
+                if add(Violation(
+                    "occupancy", nid,
+                    f"PE ({key[0]}, {key[1]}) already executes node "
+                    f"{seen[key]} at cycle {key[2]}")):
+                    truncated = True
+                    break
+            else:
+                seen[key] = nid
+
+    # 4 + 5. storage at rest and in transit
+    liveness = compute_liveness(graph, mapping, grid)
+    if not truncated and grid.pe_memory_words is not None:
+        for p, peak in sorted(liveness.max_live_per_place.items()):
+            if peak > grid.pe_memory_words:
+                if add(Violation(
+                    "storage", -1,
+                    f"place {p} holds {peak} live words > "
+                    f"pe_memory_words={grid.pe_memory_words}")):
+                    truncated = True
+                    break
+    if not truncated and grid.max_in_flight is not None:
+        if liveness.max_in_flight > grid.max_in_flight:
+            add(Violation(
+                "transit", -1,
+                f"{liveness.max_in_flight} values in flight > "
+                f"max_in_flight={grid.max_in_flight}"))
+
+    if truncated:
+        violations.append(Violation(
+            "truncated", -1, f"stopped after {max_violations} violations"))
+    return LegalityReport(violations=violations, liveness=liveness)

@@ -1,0 +1,184 @@
+"""The *mapping* half of Function-and-Mapping: space-time assignment.
+
+Paper, Section 3: "The mapping specifies when and where each element is
+computed and where elements reside from definition to last use.  The time
+axis can be discretized into cycles.  Location can be discretized onto a
+grid of two or more dimensions.  The delay and energy of bulk memory
+(DRAM, SSD, etc.) can be modeled by adding a layer to the grid."
+
+A :class:`Mapping` gives every node of a :class:`~repro.core.function.
+DataflowGraph` a place ``(x, y)`` on a :class:`GridSpec` and an integer
+cycle time.  The bulk-memory "layer" is modelled by an ``offchip`` flag per
+node: off-chip residents have a port position but pay the off-chip energy
+and latency for every edge that touches them.
+
+The worked example from the paper —
+
+    ``Map H(i,j) at i % P  time floor(i/P)*N + j``
+
+— is an :func:`affine_by_index` mapping; the edit-distance module builds it
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.function import DataflowGraph
+from repro.machines.technology import Technology, TECH_5NM
+
+__all__ = ["GridSpec", "Mapping", "MappingError", "affine_by_index"]
+
+
+class MappingError(Exception):
+    """Malformed or incomplete mapping."""
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """The target: a W x H grid of processors with per-PE memory tiles.
+
+    Parameters
+    ----------
+    width, height:
+        Grid extent; places are ``(x, y)`` with ``0 <= x < width``,
+        ``0 <= y < height``.
+    tech:
+        Technology parameters used for distance, energy, latency.
+    pe_memory_words:
+        Storage bound per grid point ("surrounding it with many 'tiles' of
+        memory" — a parameter "adjusted to tailor the architecture").
+        ``None`` disables the storage legality check.
+    max_in_flight:
+        Bound on values simultaneously in transit ("does not exceed storage
+        bounds for elements in transit").  ``None`` disables the check.
+    """
+
+    width: int
+    height: int = 1
+    tech: Technology = field(default_factory=lambda: TECH_5NM)
+    pe_memory_words: int | None = None
+    max_in_flight: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("grid must have positive extent")
+
+    @property
+    def n_places(self) -> int:
+        return self.width * self.height
+
+    def places(self) -> Iterable[tuple[int, int]]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def distance_mm(self, p: tuple[int, int], q: tuple[int, int]) -> float:
+        """Manhattan (XY-routed) wire distance between two grid points."""
+        return (abs(p[0] - q[0]) + abs(p[1] - q[1])) * self.tech.grid_pitch_mm
+
+    def transit_cycles(self, p: tuple[int, int], q: tuple[int, int]) -> int:
+        return self.tech.transport_cycles(self.distance_mm(p, q))
+
+
+class Mapping:
+    """Space-time assignment for every node of a graph.
+
+    Struct-of-arrays: ``x[nid], y[nid], time[nid], offchip[nid]``.
+    ``time`` for an input/const is the cycle at which the value is
+    *available* at its place; for a compute node it is the cycle the
+    operation executes (occupying its PE for that cycle).
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        self.x = np.zeros(n_nodes, dtype=np.int64)
+        self.y = np.zeros(n_nodes, dtype=np.int64)
+        self.time = np.zeros(n_nodes, dtype=np.int64)
+        self.offchip = np.zeros(n_nodes, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_nodes(self) -> int:
+        return self.x.size
+
+    def set(self, nid: int, place: tuple[int, int], time: int,
+            offchip: bool = False) -> None:
+        self.x[nid], self.y[nid] = place
+        self.time[nid] = time
+        self.offchip[nid] = offchip
+
+    def place_of(self, nid: int) -> tuple[int, int]:
+        return (int(self.x[nid]), int(self.y[nid]))
+
+    def time_of(self, nid: int) -> int:
+        return int(self.time[nid])
+
+    def copy(self) -> "Mapping":
+        m = Mapping(self.n_nodes)
+        m.x[:] = self.x
+        m.y[:] = self.y
+        m.time[:] = self.time
+        m.offchip[:] = self.offchip
+        return m
+
+    def places_used(self) -> set[tuple[int, int]]:
+        """Distinct on-chip places touched by the mapping."""
+        on = ~self.offchip
+        return set(zip(self.x[on].tolist(), self.y[on].tolist()))
+
+    def makespan(self, graph: DataflowGraph) -> int:
+        """Completion cycle: compute nodes finish at time+1, data at time."""
+        if self.n_nodes == 0:
+            return 0
+        dur = np.fromiter(
+            (1 if graph.is_compute(i) else 0 for i in range(graph.n_nodes)),
+            dtype=np.int64,
+            count=graph.n_nodes,
+        )
+        return int((self.time + dur).max())
+
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:
+        return (
+            f"Mapping(nodes={self.n_nodes}, places={len(self.places_used())}, "
+            f"t_max={int(self.time.max()) if self.n_nodes else 0})"
+        )
+
+
+def affine_by_index(
+    graph: DataflowGraph,
+    place_fn: Callable[[tuple[int, ...]], tuple[int, int]],
+    time_fn: Callable[[tuple[int, ...]], int],
+    *,
+    input_offchip: bool = True,
+    input_port: tuple[int, int] = (0, 0),
+    fallback_place: tuple[int, int] = (0, 0),
+) -> Mapping:
+    """Build a mapping from per-index affine rules — the paper's notation.
+
+    ``place_fn(idx)`` and ``time_fn(idx)`` are applied to every node that
+    carries an index (e.g. the ``Map H(i,j) at i % P time (i//P)*N + j``
+    example).  Inputs are placed off-chip at ``input_port`` available at
+    time 0 when ``input_offchip`` (the DRAM layer); index-less nodes
+    (constants, glue) go to ``fallback_place`` at time 0 — run the result
+    through the legality checker, or use the default mapper for a
+    guaranteed-legal schedule.
+    """
+    m = Mapping(graph.n_nodes)
+    for nid in range(graph.n_nodes):
+        idx = graph.index[nid]
+        if graph.ops[nid] == "input" and input_offchip:
+            m.set(nid, input_port, 0, offchip=True)
+        elif idx is not None:
+            m.set(nid, tuple(map(int, place_fn(idx))), int(time_fn(idx)))
+        else:
+            m.set(nid, fallback_place, 0)
+    return m

@@ -1,0 +1,249 @@
+"""Recomputation instead of communication (claim C6's mechanism).
+
+Paper, Section 3: "A mapping may compute the same element at multiple
+points in time and/or space - rather than storing it or communicating it
+between those points" and "Adding two numbers that are co-located at a
+distant point requires first transporting them to the processor - again at
+a cost of 1,000x or more the energy of doing the addition at the remote
+point."
+
+:func:`rematerialize` is the graph transformation: clone a producer node at
+a consumer's place so the value no longer travels; the clone's *operands*
+now travel instead (or are themselves recursively rematerialized).
+:func:`auto_rematerialize` applies the transformation greedily wherever the
+model says it wins — which, with the paper's constants, is almost always,
+because an add (16 fJ) is cheaper to redo than almost any wire.
+
+The benches use this to reproduce the compute-at-the-remote-point argument
+quantitatively: summing two co-located far-away values by (a) hauling both
+to the consumer versus (b) adding remotely and shipping one result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import evaluate_cost
+from repro.core.default_mapper import schedule_asap
+from repro.core.function import DataflowGraph, OP_ENERGY_FACTOR
+from repro.core.mapping import GridSpec, Mapping
+
+__all__ = ["RematResult", "rematerialize", "auto_rematerialize", "edge_transport_fj"]
+
+
+def edge_transport_fj(
+    mapping: Mapping, grid: GridSpec, u: int, v: int
+) -> float:
+    """Model energy of moving u's value to v's place (matches cost.py)."""
+    tech = grid.tech
+    if mapping.offchip[u] or mapping.offchip[v]:
+        return tech.offchip_energy_word_fj()
+    d = grid.distance_mm(mapping.place_of(u), mapping.place_of(v))
+    if d == 0:
+        return tech.sram_energy_word_fj()
+    return tech.transport_energy_fj(d)
+
+
+@dataclass
+class RematResult:
+    """Outcome of a rematerialization pass."""
+
+    graph: DataflowGraph
+    mapping: Mapping
+    clones_made: int
+    energy_before_fj: float
+    energy_after_fj: float
+
+    @property
+    def energy_saved_fj(self) -> float:
+        return self.energy_before_fj - self.energy_after_fj
+
+
+def _clone_graph(graph: DataflowGraph) -> DataflowGraph:
+    g = DataflowGraph()
+    g.ops = list(graph.ops)
+    g.args = list(graph.args)
+    g.payload = list(graph.payload)
+    g.index = list(graph.index)
+    g.group = list(graph.group)
+    g.outputs = dict(graph.outputs)
+    return g
+
+
+def rematerialize(
+    graph: DataflowGraph,
+    mapping: Mapping,
+    node: int,
+    consumer: int,
+) -> tuple[DataflowGraph, dict[int, int]]:
+    """Clone ``node`` at ``consumer``'s place, rewiring that one use.
+
+    Returns the new graph and a {old: new} id map (only the clone is new;
+    ids of existing nodes are unchanged because clones are appended).
+    The caller re-schedules; this function only performs the *functional*
+    transformation, which preserves semantics by construction (the clone
+    has identical op and operands).
+    """
+    if node not in graph.args[consumer]:
+        raise ValueError(f"node {node} is not an operand of {consumer}")
+    if not graph.is_compute(node):
+        raise ValueError(
+            f"node {node} is an {graph.ops[node]} node; only computed values "
+            "can be rematerialized"
+        )
+    g = _clone_graph(graph)
+    clone = len(g.ops)
+    g.ops.append(graph.ops[node])
+    g.args.append(graph.args[node])
+    g.payload.append(graph.payload[node])
+    g.index.append(graph.index[node])
+    g.group.append(graph.group[node])
+    # rewire exactly this consumer's use
+    new_args = tuple(clone if a == node else a for a in g.args[consumer])
+    g.args[consumer] = new_args
+    g._consumers_dirty = True
+
+    # NOTE: the clone is appended *after* its consumer in id order, so the
+    # graph is no longer in dependency-id order.  Downstream code that
+    # assumes id order (the ASAP scheduler) must use a topological order;
+    # auto_rematerialize handles this by rebuilding in topo order.
+    return g, {node: clone}
+
+
+def _rebuild_in_topo_order(g: DataflowGraph) -> tuple[DataflowGraph, list[int]]:
+    """Renumber live nodes so ids are again a topological order.
+
+    Nodes no longer reachable from any output (originals orphaned by
+    rewiring) are pruned — a dead value should not occupy a PE cycle or
+    count toward energy.
+    """
+    n = len(g.ops)
+    # liveness: reachable from outputs
+    live = [False] * n
+    stack = list(g.outputs.values())
+    while stack:
+        u = stack.pop()
+        if live[u]:
+            continue
+        live[u] = True
+        stack.extend(g.args[u])
+
+    indeg = [0] * n
+    consumers: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        if not live[v]:
+            continue
+        indeg[v] = len(g.args[v])
+        for u in g.args[v]:
+            consumers[u].append(v)
+    stack = [i for i in range(n) if live[i] and indeg[i] == 0]
+    order: list[int] = []
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        for v in consumers[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                stack.append(v)
+    if len(order) != sum(live):
+        raise ValueError("rematerialized graph has a cycle (bug)")
+    new_id = {old: k for k, old in enumerate(order)}
+    out = DataflowGraph()
+    for old in order:
+        out.ops.append(g.ops[old])
+        out.args.append(tuple(new_id[a] for a in g.args[old]))
+        out.payload.append(g.payload[old])
+        out.index.append(g.index[old])
+        out.group.append(g.group[old])
+    out.outputs = {label: new_id[nid] for label, nid in g.outputs.items()}
+    out._consumers_dirty = True
+    return out, order
+
+
+def auto_rematerialize(
+    graph: DataflowGraph,
+    mapping: Mapping,
+    grid: GridSpec,
+    max_rounds: int = 4,
+) -> RematResult:
+    """Greedy recompute-vs-communicate optimization.
+
+    For every cross-PE use u -> v where recomputing u at v's place is
+    cheaper than the wire (compute energy + operand hauling < transport),
+    clone u there.  Repeats up to ``max_rounds`` times (cloned nodes'
+    operand edges may themselves become candidates), then reschedules ASAP
+    with every node pinned to its (possibly new) place.
+    """
+    tech = grid.tech
+    add_word = tech.add_energy_word_fj()
+    before = evaluate_cost(graph, mapping, grid).energy_total_fj
+
+    g = _clone_graph(graph)
+    place: dict[int, tuple[int, int]] = {
+        nid: mapping.place_of(nid) for nid in range(graph.n_nodes)
+    }
+    offchip = {nid for nid in range(graph.n_nodes) if mapping.offchip[nid]}
+    clones = 0
+
+    for _round in range(max_rounds):
+        changed = False
+        for v in range(len(g.ops)):
+            if g.ops[v] in ("input", "const"):
+                continue
+            for slot, u in enumerate(g.args[v]):
+                if g.ops[u] in ("input", "const"):
+                    continue
+                if u in offchip or v in offchip:
+                    continue
+                pu, pv = place[u], place[v]
+                if pu == pv:
+                    continue
+                wire = tech.transport_energy_fj(grid.distance_mm(pu, pv))
+                # cost of the clone: its compute + hauling its operands to pv
+                clone_cost = OP_ENERGY_FACTOR.get(g.ops[u], 1.0) * add_word
+                for w in g.args[u]:
+                    if w in offchip:
+                        clone_cost += tech.offchip_energy_word_fj()
+                    else:
+                        dw = grid.distance_mm(place[w], pv)
+                        clone_cost += (
+                            tech.transport_energy_fj(dw)
+                            if dw
+                            else tech.sram_energy_word_fj()
+                        )
+                if clone_cost < wire:
+                    cid = len(g.ops)
+                    g.ops.append(g.ops[u])
+                    g.args.append(g.args[u])
+                    g.payload.append(g.payload[u])
+                    g.index.append(g.index[u])
+                    g.group.append(g.group[u])
+                    args = list(g.args[v])
+                    args[slot] = cid
+                    g.args[v] = tuple(args)
+                    place[cid] = pv
+                    clones += 1
+                    changed = True
+        if not changed:
+            break
+
+    g._consumers_dirty = True
+    g2, order = _rebuild_in_topo_order(g)
+    new_id = {old: k for k, old in enumerate(order)}
+    place2 = {new_id[old]: pl for old, pl in place.items() if old in new_id}
+    offchip2 = {new_id[o] for o in offchip if o in new_id}
+
+    m2 = schedule_asap(
+        g2,
+        grid,
+        lambda nid: place2.get(nid, (0, 0)),
+        inputs_offchip=bool(offchip2),
+    )
+    after = evaluate_cost(g2, m2, grid).energy_total_fj
+    return RematResult(
+        graph=g2,
+        mapping=m2,
+        clones_made=clones,
+        energy_before_fj=before,
+        energy_after_fj=after,
+    )

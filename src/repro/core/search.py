@@ -1,0 +1,294 @@
+"""Mapping-space search: "systematically search ... to optimize a figure of merit".
+
+Paper, Section 3: "For each function there are many possible mappings that
+range from completely serial to minimum-depth parallel with many points
+between.  One can systematically search the space of possible mappings to
+optimize a given figure of merit: execution time, energy per op, memory
+footprint, or some combination."
+
+Three searchers, in increasing ambition:
+
+``sweep_placements``
+    The structured sweep: serial, block-p and cyclic-p owner-computes
+    placements for p in powers of two up to the grid size, each ASAP
+    scheduled.  Covers the "completely serial ... to minimum-depth" axis
+    the paper describes; this is the workhorse for the benches.
+``exhaustive_search``
+    All ``n_places ** n_compute`` placements for tiny graphs — ground
+    truth to validate the heuristics against.
+``anneal``
+    Simulated annealing over per-node placements (seeded, reproducible),
+    re-scheduled ASAP each step.  Finds irregular mappings the structured
+    sweep can't express.
+
+All return :class:`SearchResult` rows; :func:`pareto_front` lives in
+:mod:`repro.analysis.pareto` and consumes them directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.cost import CostReport, evaluate_cost
+from repro.core.default_mapper import schedule_asap, serial_mapping
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+
+__all__ = [
+    "SearchResult",
+    "FigureOfMerit",
+    "sweep_placements",
+    "exhaustive_search",
+    "anneal",
+]
+
+
+@dataclass(frozen=True)
+class FigureOfMerit:
+    """Weights for the weighted-product FoM; lower is better."""
+
+    time: float = 1.0
+    energy: float = 0.0
+    footprint: float = 0.0
+
+    def __call__(self, cost: CostReport) -> float:
+        return cost.figure_of_merit(self.time, self.energy, self.footprint)
+
+    @staticmethod
+    def fastest() -> "FigureOfMerit":
+        return FigureOfMerit(1.0, 0.0, 0.0)
+
+    @staticmethod
+    def lowest_energy() -> "FigureOfMerit":
+        return FigureOfMerit(0.0, 1.0, 0.0)
+
+    @staticmethod
+    def edp() -> "FigureOfMerit":
+        """Energy-delay product."""
+        return FigureOfMerit(1.0, 1.0, 0.0)
+
+
+@dataclass
+class SearchResult:
+    """One evaluated point of the mapping space."""
+
+    label: str
+    mapping: Mapping
+    cost: CostReport
+    fom: float
+
+    def metrics(self) -> tuple[float, float, float]:
+        """(time, energy, footprint) for Pareto analysis."""
+        return (
+            float(self.cost.cycles),
+            self.cost.energy_total_fj,
+            float(self.cost.footprint_words),
+        )
+
+
+def _linear_place(grid: GridSpec, k: int) -> tuple[int, int]:
+    return (k % grid.width, k // grid.width)
+
+
+def _owner_place_fn(
+    graph: DataflowGraph, grid: GridSpec, p: int, cyclic: bool
+) -> Callable[[int], tuple[int, int]]:
+    max_i = 0
+    for nid in range(graph.n_nodes):
+        idx = graph.index[nid]
+        if idx and idx[0] > max_i:
+            max_i = int(idx[0])
+    extent = max_i + 1
+    block = max(1, -(-extent // p))
+
+    def place(nid: int) -> tuple[int, int]:
+        idx = graph.index[nid]
+        if not idx:
+            return (0, 0)
+        i = int(idx[0])
+        linear = (i % p) if cyclic else min(i // block, p - 1)
+        return _linear_place(grid, linear)
+
+    return place
+
+
+def _grid2d_place_fn(
+    graph: DataflowGraph, grid: GridSpec
+) -> Callable[[int], tuple[int, int]] | None:
+    """2-D owner-computes for graphs whose nodes carry >= 2 index
+    components: block index[0] over grid rows and index[1] over columns.
+    Returns None when the graph has no 2-D-indexed nodes or the grid has
+    a single row (nothing to gain)."""
+    if grid.height < 2:
+        return None
+    max_i = max_j = -1
+    for nid in range(graph.n_nodes):
+        idx = graph.index[nid]
+        if idx and len(idx) >= 2:
+            max_i = max(max_i, int(idx[0]))
+            max_j = max(max_j, int(idx[1]))
+    if max_i < 0:
+        return None
+    bi = max(1, -(-(max_i + 1) // grid.height))
+    bj = max(1, -(-(max_j + 1) // grid.width))
+
+    def place(nid: int) -> tuple[int, int]:
+        idx = graph.index[nid]
+        if idx and len(idx) >= 2:
+            y = min(int(idx[0]) // bi, grid.height - 1)
+            x = min(int(idx[1]) // bj, grid.width - 1)
+            return (x, y)
+        if idx:
+            return (0, min(int(idx[0]) // bi, grid.height - 1))
+        return (0, 0)
+
+    return place
+
+
+def sweep_placements(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    fom: FigureOfMerit | None = None,
+) -> list[SearchResult]:
+    """Evaluate serial + block/cyclic placements for p = 1, 2, 4, ...,
+    plus a 2-D block placement when the graph carries 2-D indices and the
+    grid has rows to use.
+
+    Returns all evaluated points sorted by FoM (best first).
+    """
+    fom = fom or FigureOfMerit.fastest()
+    results: list[SearchResult] = []
+
+    m = serial_mapping(graph, grid)
+    c = evaluate_cost(graph, m, grid)
+    results.append(SearchResult("serial", m, c, fom(c)))
+
+    place2d = _grid2d_place_fn(graph, grid)
+    if place2d is not None:
+        m = schedule_asap(graph, grid, place2d)
+        c = evaluate_cost(graph, m, grid)
+        results.append(SearchResult("block-2d", m, c, fom(c)))
+
+    p = 2
+    while p <= grid.n_places:
+        for cyclic in (False, True):
+            place = _owner_place_fn(graph, grid, p, cyclic)
+            m = schedule_asap(graph, grid, place)
+            c = evaluate_cost(graph, m, grid)
+            label = f"{'cyclic' if cyclic else 'block'}-p{p}"
+            results.append(SearchResult(label, m, c, fom(c)))
+        p *= 2
+    # odd grid sizes: also try using every place
+    if grid.n_places not in {1 << k for k in range(32)}:
+        for cyclic in (False, True):
+            place = _owner_place_fn(graph, grid, grid.n_places, cyclic)
+            m = schedule_asap(graph, grid, place)
+            c = evaluate_cost(graph, m, grid)
+            label = f"{'cyclic' if cyclic else 'block'}-p{grid.n_places}"
+            results.append(SearchResult(label, m, c, fom(c)))
+    results.sort(key=lambda r: r.fom)
+    return results
+
+
+def exhaustive_search(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    fom: FigureOfMerit | None = None,
+    max_points: int = 200_000,
+) -> SearchResult:
+    """Ground-truth search: every placement of every compute node.
+
+    Refuses (ValueError) when the space exceeds ``max_points`` — this is a
+    validation tool for tiny graphs, not a practical mapper.
+    """
+    fom = fom or FigureOfMerit.fastest()
+    compute = graph.compute_nodes()
+    n_points = grid.n_places ** len(compute)
+    if n_points > max_points:
+        raise ValueError(
+            f"search space {grid.n_places}^{len(compute)} = {n_points} exceeds "
+            f"max_points={max_points}"
+        )
+    best: SearchResult | None = None
+    assignment = [0] * len(compute)
+    while True:
+        node_place = {
+            nid: _linear_place(grid, assignment[k]) for k, nid in enumerate(compute)
+        }
+        m = schedule_asap(graph, grid, lambda nid: node_place.get(nid, (0, 0)))
+        c = evaluate_cost(graph, m, grid)
+        f = fom(c)
+        if best is None or f < best.fom:
+            best = SearchResult(f"exhaustive{assignment}", m, c, f)
+        # increment mixed-radix counter
+        k = 0
+        while k < len(assignment):
+            assignment[k] += 1
+            if assignment[k] < grid.n_places:
+                break
+            assignment[k] = 0
+            k += 1
+        else:
+            break
+        if k == len(assignment):
+            break
+    assert best is not None
+    return best
+
+
+def anneal(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    fom: FigureOfMerit | None = None,
+    steps: int = 2_000,
+    seed: int = 0,
+    t_start: float = 0.30,
+    t_end: float = 0.002,
+    initial: Mapping | None = None,
+) -> SearchResult:
+    """Simulated annealing over per-node placement, ASAP-rescheduled.
+
+    Moves relocate one random compute node to a random place.  Acceptance
+    uses the relative FoM change (scale-free, so one temperature schedule
+    works across problems).  Deterministic for a fixed seed.
+    """
+    fom = fom or FigureOfMerit.fastest()
+    rng = np.random.default_rng(seed)
+    compute = graph.compute_nodes()
+    if not compute:
+        m = serial_mapping(graph, grid)
+        c = evaluate_cost(graph, m, grid)
+        return SearchResult("anneal-empty", m, c, fom(c))
+
+    # start from the default block placement (or the supplied mapping)
+    if initial is None:
+        place_fn = _owner_place_fn(graph, grid, min(grid.n_places, 8), False)
+        placement = {nid: place_fn(nid) for nid in compute}
+    else:
+        placement = {nid: initial.place_of(nid) for nid in compute}
+
+    def evaluate(pl: dict[int, tuple[int, int]]) -> tuple[Mapping, CostReport, float]:
+        m = schedule_asap(graph, grid, lambda nid: pl.get(nid, (0, 0)))
+        c = evaluate_cost(graph, m, grid)
+        return m, c, fom(c)
+
+    cur_m, cur_c, cur_f = evaluate(placement)
+    best = SearchResult("anneal", cur_m, cur_c, cur_f)
+    for step in range(steps):
+        temp = t_start * (t_end / t_start) ** (step / max(1, steps - 1))
+        nid = compute[int(rng.integers(len(compute)))]
+        old = placement[nid]
+        placement[nid] = _linear_place(grid, int(rng.integers(grid.n_places)))
+        new_m, new_c, new_f = evaluate(placement)
+        delta = (new_f - cur_f) / max(cur_f, 1e-12)
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
+            cur_m, cur_c, cur_f = new_m, new_c, new_f
+            if cur_f < best.fom:
+                best = SearchResult("anneal", cur_m, cur_c, cur_f)
+        else:
+            placement[nid] = old
+    return best

@@ -1,0 +1,30 @@
+"""Simulated machine substrates.
+
+The panel paper argues about machines more than it argues about code: Dally's
+grid of processors with explicit data movement, Vishkin's XMT PRAM-on-chip,
+and the conventional out-of-order multicore both of them criticize.  This
+subpackage provides executable stand-ins for all of them, plus the shared
+technology parameters and cache simulators they are built on.
+
+Modules
+-------
+technology
+    Energy/delay parameter sets; the 5 nm defaults encode the numbers in
+    Dally's panel statement (Section 3 of the paper) exactly.
+grid
+    The Function-and-Mapping target machine: processors at grid points,
+    memory tiles, and a bulk-memory layer; executes mapped programs.
+noc
+    Network-on-chip with XY routing and contention, used for in-transit
+    storage accounting.
+multicore
+    Conventional multicore model with per-instruction overhead energy.
+xmt
+    XMT-style PRAM-on-chip with a hardware prefix-sum primitive.
+cachesim
+    Trace-driven LRU / set-associative / multilevel cache simulators.
+"""
+
+from repro.machines.technology import Technology, TECH_5NM
+
+__all__ = ["Technology", "TECH_5NM"]

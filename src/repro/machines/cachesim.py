@@ -1,0 +1,290 @@
+"""Trace-driven cache simulators.
+
+Blelloch's statement: "The RAM by itself ... does not capture the locality
+that is needed to make effective use of caches ... it is easy to add a one
+level cache to the RAM model, and hundreds of algorithms have been
+developed in such a model.  When algorithms developed in this model satisfy
+a property of being cache oblivious, they will also work effectively on a
+multilevel cache."
+
+These simulators make that claim checkable (claim C11).  They consume
+address traces — sequences of ``('r'|'w', word_address)`` — produced either
+by the instrumented RAM (:class:`repro.models.ram.Memory` with tracing) or
+by the trace generators in :mod:`repro.algorithms.matmul` et al.
+
+Design choices
+--------------
+*  Word-addressed; ``block_words`` groups addresses into cache blocks
+   (lines).  The *ideal cache model*'s (M, B) parameters are
+   ``capacity_words`` and ``block_words``.
+*  Replacement is LRU.  Fully-associative LRU is the standard executable
+   surrogate for the ideal cache (it is within a constant factor of
+   optimal by the classic Sleator-Tarjan resource augmentation bound).
+*  Write-back, write-allocate.  Writebacks are counted as traffic to the
+   next level but do not recursively disturb its recency order (a common
+   and conservative simplification; documented so results are
+   interpretable).
+*  Multilevel hierarchies install a missing block at every level on the
+   path (mostly-inclusive behaviour).  The LRU *inclusion property*
+   guarantees a larger same-block-size LRU cache never misses more —
+   property-tested in ``tests/machines/test_cachesim.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.machines.technology import Technology
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "CacheHierarchy",
+    "ideal_cache",
+    "run_trace",
+]
+
+Trace = Iterable[tuple[str, int]]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        d = {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "read_misses": self.read_misses,
+            "write_misses": self.write_misses,
+            "miss_rate": self.miss_rate,
+        }
+        return d
+
+
+class LRUCache:
+    """A set-associative LRU cache over word addresses.
+
+    Parameters
+    ----------
+    capacity_words:
+        Total capacity M in words.  Must be a positive multiple of
+        ``block_words``.
+    block_words:
+        Block (line) size B in words.
+    assoc:
+        Associativity; ``None`` (default) means fully associative — the
+        ideal-cache surrogate.  Otherwise the number of sets is
+        ``capacity / (block * assoc)`` and must come out integral.
+    name:
+        Label used in reports (e.g. ``"L1"``).
+    distance_mm:
+        Optional physical distance of this cache from the consuming
+        processor; used by :meth:`CacheHierarchy.energy_fj` to charge
+        transport energy per Dally's "all the cost in accessing memory is
+        data movement".
+    """
+
+    def __init__(
+        self,
+        capacity_words: int,
+        block_words: int = 1,
+        assoc: int | None = None,
+        name: str = "L?",
+        distance_mm: float = 0.5,
+    ) -> None:
+        if block_words < 1:
+            raise ValueError("block_words must be >= 1")
+        if capacity_words < block_words or capacity_words % block_words:
+            raise ValueError(
+                f"capacity ({capacity_words}) must be a positive multiple of "
+                f"block size ({block_words})"
+            )
+        n_blocks = capacity_words // block_words
+        if assoc is None:
+            assoc = n_blocks
+        if assoc < 1 or n_blocks % assoc:
+            raise ValueError(
+                f"associativity {assoc} must divide block count {n_blocks}"
+            )
+        self.capacity_words = capacity_words
+        self.block_words = block_words
+        self.assoc = assoc
+        self.n_sets = n_blocks // assoc
+        self.name = name
+        self.distance_mm = distance_mm
+        self.stats = CacheStats()
+        # per set: block_number -> dirty flag, in LRU order (oldest first)
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+
+    def block_of(self, addr: int) -> int:
+        return addr // self.block_words
+
+    def access(self, addr: int, write: bool = False) -> tuple[bool, bool]:
+        """Access one word.  Returns ``(hit, evicted_dirty_block)``."""
+        if addr < 0:
+            raise ValueError(f"negative address {addr}")
+        block = self.block_of(addr)
+        s = self._sets[block % self.n_sets]
+        self.stats.accesses += 1
+        writeback = False
+        if block in s:
+            self.stats.hits += 1
+            s.move_to_end(block)
+            if write:
+                s[block] = True
+            return True, False
+        self.stats.misses += 1
+        if write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        if len(s) >= self.assoc:
+            _victim, dirty = s.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+                writeback = True
+        s[block] = write
+        return False, writeback
+
+    def contains(self, addr: int) -> bool:
+        """Is the block holding ``addr`` resident (no recency update)?"""
+        block = self.block_of(addr)
+        return block in self._sets[block % self.n_sets]
+
+    def resident_blocks(self) -> set[int]:
+        """All resident block numbers (for inclusion-property tests)."""
+        out: set[int] = set()
+        for s in self._sets:
+            out.update(s.keys())
+        return out
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+
+class CacheHierarchy:
+    """A stack of caches backed by bulk (off-chip) memory.
+
+    ``levels`` is ordered nearest-first (L1, L2, ...).  An access probes
+    levels in order; a miss at every level is a bulk-memory access.  The
+    missing block is installed at every level probed.
+    """
+
+    def __init__(self, levels: Sequence[LRUCache]) -> None:
+        if not levels:
+            raise ValueError("need at least one cache level")
+        self.levels = list(levels)
+        self.mem_accesses = 0
+        self.mem_writebacks = 0
+
+    def access(self, addr: int, write: bool = False) -> int:
+        """Access one word; returns the level index that hit (len(levels)
+        meaning bulk memory)."""
+        hit_level = len(self.levels)
+        for i, lvl in enumerate(self.levels):
+            block = lvl.block_of(addr)
+            s = lvl._sets[block % lvl.n_sets]
+            lvl.stats.accesses += 1
+            if block in s:
+                lvl.stats.hits += 1
+                s.move_to_end(block)
+                if write and i == 0:
+                    s[block] = True
+                hit_level = i
+                break
+            lvl.stats.misses += 1
+            if write:
+                lvl.stats.write_misses += 1
+            else:
+                lvl.stats.read_misses += 1
+        else:
+            self.mem_accesses += 1
+        # install into all levels above the hit
+        for i in range(min(hit_level, len(self.levels)) - 1, -1, -1):
+            lvl = self.levels[i]
+            block = lvl.block_of(addr)
+            s = lvl._sets[block % lvl.n_sets]
+            if block not in s:
+                if len(s) >= lvl.assoc:
+                    _victim, dirty = s.popitem(last=False)
+                    if dirty:
+                        lvl.stats.writebacks += 1
+                        if i + 1 == len(self.levels):
+                            self.mem_writebacks += 1
+                s[block] = write and i == 0
+            elif write and i == 0:
+                s[block] = True
+        return hit_level
+
+    # ------------------------------------------------------------------ #
+
+    def miss_counts(self) -> list[int]:
+        """Misses at each level, nearest first."""
+        return [lvl.stats.misses for lvl in self.levels]
+
+    def energy_fj(self, tech: Technology) -> float:
+        """Total data-movement energy of the trace so far.
+
+        Charges, per the panel's physics: a hit at level i costs the SRAM
+        bit-cell energy plus round-trip transport over that level's
+        distance; a bulk-memory access costs the off-chip energy.  All
+        per-block-word, since whole blocks move.
+        """
+        total = 0.0
+        for i, lvl in enumerate(self.levels):
+            hits = lvl.stats.hits
+            word_fj = tech.sram_energy_word_fj() + 2 * tech.transport_energy_fj(
+                lvl.distance_mm
+            )
+            total += hits * word_fj
+            # misses move a whole block from the next level / memory;
+            # charged at the *next* hop below
+        block_words = self.levels[-1].block_words
+        total += (self.mem_accesses + self.mem_writebacks) * block_words * (
+            tech.offchip_energy_word_fj()
+        )
+        # inter-level block refills
+        for i in range(1, len(self.levels)):
+            upper, lower = self.levels[i - 1], self.levels[i]
+            refills = upper.stats.misses
+            total += (
+                refills
+                * upper.block_words
+                * 2
+                * tech.transport_energy_fj(lower.distance_mm)
+            )
+        return total
+
+
+def ideal_cache(capacity_words: int, block_words: int, name: str = "ideal") -> LRUCache:
+    """The (M, B) ideal-cache surrogate: fully-associative LRU."""
+    return LRUCache(capacity_words, block_words, assoc=None, name=name)
+
+
+def run_trace(cache: LRUCache | CacheHierarchy, trace: Trace) -> LRUCache | CacheHierarchy:
+    """Feed a ``('r'|'w', addr)`` trace through a cache or hierarchy."""
+    if isinstance(cache, CacheHierarchy):
+        for kind, addr in trace:
+            cache.access(addr, write=(kind == "w"))
+    else:
+        for kind, addr in trace:
+            cache.access(addr, write=(kind == "w"))
+    return cache

@@ -1,0 +1,216 @@
+"""The F&M target machine: processors on a grid, executing mapped programs.
+
+Paper, Section 3: "A programmable target can be realized by putting a
+programmable processor at each grid point and surrounding it with many
+'tiles' of memory. ... The amount of memory per processor is also a
+parameter that can be adjusted to tailor the architecture to a family of
+applications."
+
+:class:`GridMachine` takes a (function, mapping) pair and actually runs it:
+
+1.  checks legality (the paper's causality / transit / storage conditions);
+2.  executes the dataflow cycle-accurately in mapped time order, moving
+    real values between grid points and verifying each arrives before use
+    (an independent re-check of causality, by construction of the engine);
+3.  verifies outputs against the pure functional evaluation — a mapped
+    execution that disagrees with the mathematical definition is a bug in
+    the mapping layer, and the machine refuses to report costs for it;
+4.  returns the :class:`~repro.core.cost.CostReport` for the run.
+
+An optional contention-aware mode routes every message through the
+:class:`~repro.machines.noc.Noc` and reports queueing delay on top of the
+model's idealized transit times — quantifying how optimistic the pure
+model is for a given mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping as TMapping
+
+from repro.core.cost import CostReport, evaluate_cost
+from repro.core.function import DataflowGraph, OP_TABLE
+from repro.core.legality import LegalityReport, check_legality
+from repro.core.mapping import GridSpec, Mapping
+
+__all__ = ["ExecutionResult", "GridMachine", "GridExecutionError"]
+
+
+class GridExecutionError(Exception):
+    """A mapped execution failed (illegal mapping or value mismatch)."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one mapped run."""
+
+    outputs: dict[Any, Any]
+    cost: CostReport
+    legality: LegalityReport
+    verified: bool
+    noc_extra_cycles: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.cost.cycles
+
+    @property
+    def energy_total_fj(self) -> float:
+        return self.cost.energy_total_fj
+
+
+class GridMachine:
+    """Executes (function, mapping) pairs on a :class:`GridSpec`.
+
+    Parameters
+    ----------
+    grid:
+        The grid geometry, technology, and storage bounds.
+    strict:
+        If true (default), an illegal mapping or an output mismatch raises
+        :class:`GridExecutionError`; if false, the result records the
+        failure and costs are still reported (useful in search loops that
+        want to penalize rather than crash).
+    """
+
+    def __init__(self, grid: GridSpec, strict: bool = True) -> None:
+        self.grid = grid
+        self.strict = strict
+
+    def run(
+        self,
+        graph: DataflowGraph,
+        mapping: Mapping,
+        inputs: TMapping[str, Any] | None = None,
+        with_noc: bool = False,
+    ) -> ExecutionResult:
+        """Run the mapped program; see class docstring for the phases."""
+        legality = check_legality(graph, mapping, self.grid)
+        if not legality.ok and self.strict:
+            legality.raise_if_illegal()
+
+        # --- phase 2: cycle-ordered execution with arrival checking ----- #
+        values = self._execute(graph, mapping, inputs or {})
+
+        # --- phase 3: verification against the pure function ------------ #
+        reference = graph.evaluate_all(inputs or {})
+        verified = True
+        for label, nid in graph.outputs.items():
+            got, want = values[nid], reference[nid]
+            if not _values_equal(got, want):
+                verified = False
+                if self.strict:
+                    raise GridExecutionError(
+                        f"output {label!r}: mapped execution produced {got!r}, "
+                        f"function says {want!r}"
+                    )
+
+        cost = evaluate_cost(graph, mapping, self.grid)
+        noc_extra = 0
+        if with_noc:
+            noc_extra = self._noc_extra_cycles(graph, mapping)
+        outputs = {label: values[nid] for label, nid in graph.outputs.items()}
+        return ExecutionResult(
+            outputs=outputs,
+            cost=cost,
+            legality=legality,
+            verified=verified,
+            noc_extra_cycles=noc_extra,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(
+        self,
+        graph: DataflowGraph,
+        mapping: Mapping,
+        inputs: TMapping[str, Any],
+    ) -> list[Any]:
+        """Execute nodes in mapped-time order, checking operand arrival.
+
+        This does not trust node-id order: it sorts by scheduled time, so a
+        mapping that violates causality fails *here* too (belt and braces
+        with the legality checker).
+        """
+        n = graph.n_nodes
+        values: list[Any] = [None] * n
+        computed = [False] * n
+        order = sorted(range(n), key=lambda i: (int(mapping.time[i]), i))
+        tech = self.grid.tech
+        for nid in order:
+            op = graph.ops[nid]
+            t = int(mapping.time[nid])
+            if op == "const":
+                values[nid] = graph.payload[nid]
+                computed[nid] = True
+                continue
+            if op == "input":
+                name, idx = graph.payload[nid]
+                if name not in inputs:
+                    raise GridExecutionError(f"no binding for input {name!r}")
+                src = inputs[name]
+                if callable(src):
+                    values[nid] = src(*idx) if idx is not None else src()
+                else:
+                    values[nid] = src[idx]
+                computed[nid] = True
+                continue
+            # operand arrival check
+            for u in graph.args[nid]:
+                if not computed[u]:
+                    raise GridExecutionError(
+                        f"node {nid} at t={t} reads operand {u} that has not "
+                        "been produced (causality violation at execution time)"
+                    )
+                avail = int(mapping.time[u]) + (1 if graph.is_compute(u) else 0)
+                if mapping.offchip[u] or mapping.offchip[nid]:
+                    transit = tech.offchip_cycles()
+                else:
+                    transit = self.grid.transit_cycles(
+                        mapping.place_of(u), mapping.place_of(nid)
+                    )
+                if t < avail + transit:
+                    raise GridExecutionError(
+                        f"node {nid} at t={t} reads operand {u} arriving at "
+                        f"t={avail + transit}"
+                    )
+            _arity, fn = OP_TABLE[op]
+            values[nid] = fn(*(values[u] for u in graph.args[nid]))
+            computed[nid] = True
+        return values
+
+    def _noc_extra_cycles(self, graph: DataflowGraph, mapping: Mapping) -> int:
+        """Route every inter-PE edge through the NoC; return added latency.
+
+        Measures total (sum over messages) queueing delay beyond the
+        idealized distance/velocity transit the cost model assumes.
+        """
+        from repro.machines.noc import Message, Noc
+
+        noc = Noc(self.grid.width, self.grid.height, tech=self.grid.tech)
+        messages = []
+        mid = 0
+        for u, v in graph.edges():
+            if mapping.offchip[u] or mapping.offchip[v]:
+                continue
+            pu, pv = mapping.place_of(u), mapping.place_of(v)
+            if pu == pv:
+                continue
+            depart = int(mapping.time[u]) + (1 if graph.is_compute(u) else 0)
+            messages.append(
+                Message(mid=mid, src=pu, dst=pv, inject_cycle=depart)
+            )
+            mid += 1
+        if not messages:
+            return 0
+        report = noc.simulate(messages)
+        ideal = sum(
+            self.grid.transit_cycles(m.src, m.dst) for m in messages
+        )
+        return max(0, report.total_latency - ideal)
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, complex) or isinstance(b, complex) or isinstance(a, float) or isinstance(b, float):
+        return abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+    return a == b

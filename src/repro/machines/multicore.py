@@ -1,0 +1,234 @@
+"""Conventional multicore CPU model: what the panel is arguing *against*.
+
+Paper, Section 3 (Dally): "A modern multicore CPU hides the two physical
+realities of parallelism and spatially distributed memory.  Each core is a
+parallel engine - issuing up to 8 instructions per cycle and having
+hundreds of instructions (size of ROB) in flight at a time.  The cost of
+this is a 10,000x loss of efficiency.  The energy overhead of an ADD
+instruction is 10,000x times more than the energy required to do the add."
+
+This module is an *accounting* model, not a microarchitectural simulator:
+it executes real programs on the instrumented RAM and charges each
+instruction the paper's overhead energy, plus data-movement energy through
+a cache hierarchy whose levels sit at physical distances.  That is exactly
+the level of abstraction at which the paper's 10,000x claim lives, so the
+model reproduces the claim *by measurement over a real instruction stream*
+(claim C5) rather than by restating the constant.
+
+For parallel executions it provides a bulk-synchronous phase executor
+(static chunking + barrier cost per phase) — the standard multicore
+execution style that Vishkin's XMT comparison (claim C13) needs a baseline
+for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.machines.cachesim import CacheHierarchy, LRUCache
+from repro.machines.technology import Technology, TECH_5NM
+from repro.models.ram import RAM, InstructionCounts, Program
+
+__all__ = ["MulticoreConfig", "MulticoreResult", "MulticoreMachine"]
+
+
+@dataclass(frozen=True)
+class MulticoreConfig:
+    """Parameters of the conventional-multicore accounting model.
+
+    ``issue_width`` models the "up to 8 instructions per cycle" engine: the
+    cycle count is instruction count / issue_width plus memory stalls.
+    ``barrier_cycles`` is the cost of a bulk-synchronous barrier (global
+    synchronization is the "heavyweight mechanism" of Yelick's statement).
+    Cache level sizes are in words; distances in mm feed transport energy.
+    """
+
+    n_cores: int = 8
+    issue_width: int = 8
+    barrier_cycles: int = 2_000
+    l1_words: int = 4 * 1024
+    l2_words: int = 64 * 1024
+    l3_words: int = 1024 * 1024
+    block_words: int = 8
+    l1_distance_mm: float = 0.5
+    l2_distance_mm: float = 2.0
+    l3_distance_mm: float = 10.0
+    l1_hit_cycles: int = 1
+    l2_hit_cycles: int = 4
+    l3_hit_cycles: int = 12
+
+    def build_hierarchy(self) -> CacheHierarchy:
+        return CacheHierarchy(
+            [
+                LRUCache(self.l1_words, self.block_words, assoc=8,
+                         name="L1", distance_mm=self.l1_distance_mm),
+                LRUCache(self.l2_words, self.block_words, assoc=8,
+                         name="L2", distance_mm=self.l2_distance_mm),
+                LRUCache(self.l3_words, self.block_words, assoc=16,
+                         name="L3", distance_mm=self.l3_distance_mm),
+            ]
+        )
+
+
+@dataclass
+class MulticoreResult:
+    """Cycles and energy of one multicore execution."""
+
+    cycles: int
+    instructions: int
+    energy_instruction_overhead_fj: float
+    energy_useful_alu_fj: float
+    energy_memory_fj: float
+    counts: InstructionCounts | None = None
+    miss_counts: list[int] = field(default_factory=list)
+    mem_accesses: int = 0
+    barriers: int = 0
+
+    @property
+    def energy_total_fj(self) -> float:
+        return (
+            self.energy_instruction_overhead_fj
+            + self.energy_useful_alu_fj
+            + self.energy_memory_fj
+        )
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Total energy per unit of *useful* arithmetic energy.
+
+        The paper's 10,000x claim is about this ratio: what the machine
+        spends versus what the arithmetic intrinsically costs.
+        """
+        if self.energy_useful_alu_fj == 0:
+            return math.inf
+        return self.energy_total_fj / self.energy_useful_alu_fj
+
+
+class MulticoreMachine:
+    """The conventional-architecture baseline."""
+
+    def __init__(
+        self,
+        config: MulticoreConfig | None = None,
+        tech: Technology = TECH_5NM,
+    ) -> None:
+        self.config = config or MulticoreConfig()
+        self.tech = tech
+
+    # ------------------------------------------------------------------ #
+    # single-core instrumented execution
+    # ------------------------------------------------------------------ #
+
+    def run_single(
+        self,
+        program: Program,
+        registers: Mapping[int, int] | None = None,
+        memory_image: Mapping[int, Sequence[int]] | None = None,
+    ) -> tuple[MulticoreResult, RAM]:
+        """Execute a RAM program on one core with full accounting.
+
+        ``memory_image`` maps base addresses to arrays stored before the
+        run.  Returns (result, ram) so callers can read outputs from the
+        RAM's memory/registers.
+        """
+        ram = RAM(trace_memory=True)
+        if memory_image:
+            for base, values in memory_image.items():
+                ram.memory.store_array(base, values)
+        counts = ram.run(program, registers)
+
+        hier = self.config.build_hierarchy()
+        stall_cycles = 0
+        hit_cost = (
+            self.config.l1_hit_cycles,
+            self.config.l2_hit_cycles,
+            self.config.l3_hit_cycles,
+        )
+        for kind, addr in ram.memory.trace:
+            level = hier.access(addr, write=(kind == "w"))
+            if level >= len(hit_cost):
+                stall_cycles += self.tech.offchip_cycles()
+            else:
+                stall_cycles += hit_cost[level]
+
+        cycles = -(-counts.total // self.config.issue_width) + stall_cycles
+        result = self._account(counts, hier, cycles)
+        result.counts = counts
+        return result, ram
+
+    def _account(
+        self, counts: InstructionCounts, hier: CacheHierarchy, cycles: int
+    ) -> MulticoreResult:
+        add_word = self.tech.add_energy_word_fj()
+        overhead = counts.total * add_word * self.tech.instruction_overhead_factor
+        useful = counts.alu * add_word
+        memory = hier.energy_fj(self.tech)
+        return MulticoreResult(
+            cycles=cycles,
+            instructions=counts.total,
+            energy_instruction_overhead_fj=overhead,
+            energy_useful_alu_fj=useful,
+            energy_memory_fj=memory,
+            miss_counts=hier.miss_counts(),
+            mem_accesses=hier.mem_accesses,
+        )
+
+    # ------------------------------------------------------------------ #
+    # bulk-synchronous parallel phases
+    # ------------------------------------------------------------------ #
+
+    def run_phases(
+        self,
+        phase_work: Iterable[Sequence[int]],
+        instructions_per_item: int = 1,
+    ) -> MulticoreResult:
+        """Analytic bulk-synchronous execution.
+
+        ``phase_work`` is, per phase, the list of work-item costs (in
+        items).  Items are statically chunked over the cores (OpenMP
+        ``schedule(static)`` style), each phase ends with a barrier, so
+
+            cycles(phase) = max over cores of (sum of its items)
+                            * instructions_per_item / issue_width
+                            + barrier_cycles.
+
+        Energy charges every instruction the overhead factor.  No cache
+        model here — this executor is for load-imbalance / synchronization
+        studies where the memory side is held equal between machines.
+        """
+        cfg = self.config
+        total_items = 0
+        cycles = 0
+        barriers = 0
+        for items in phase_work:
+            items = list(items)
+            barriers += 1
+            if not items:
+                cycles += cfg.barrier_cycles
+                continue
+            total_items += sum(items)
+            # static chunking: core c gets items [c*chunk, (c+1)*chunk)
+            chunk = -(-len(items) // cfg.n_cores)
+            worst = 0
+            for c in range(cfg.n_cores):
+                load = sum(items[c * chunk : (c + 1) * chunk])
+                if load > worst:
+                    worst = load
+            cycles += (
+                -(-worst * instructions_per_item // cfg.issue_width)
+                + cfg.barrier_cycles
+            )
+        instructions = total_items * instructions_per_item
+        add_word = self.tech.add_energy_word_fj()
+        return MulticoreResult(
+            cycles=cycles,
+            instructions=instructions,
+            energy_instruction_overhead_fj=(
+                instructions * add_word * self.tech.instruction_overhead_factor
+            ),
+            energy_useful_alu_fj=instructions * add_word,
+            energy_memory_fj=0.0,
+            barriers=barriers,
+        )

@@ -1,0 +1,286 @@
+"""Data-movement and synchronization primitive sets — Yelick's agenda.
+
+Paper, Section 6: "we need simpler mechanisms for communication and
+synchronization, avoiding unnecessary memory copying, ordering
+constraints, and blocking of useful work.  Heavyweight communication
+mechanisms that imply global or pairwise synchronization and require more
+data aggregation to amortize overhead can consume precious fast memory
+resources. ... Algorithm designers could have significant influence in
+showing that a simpler set of data movement and synchronization primitives
+are universally useful across algorithms and applications."
+
+This module makes the comparison executable.  A workload is a **traffic
+batch** — a list of (src, dst, words) transfers between ``p`` processors —
+plus the number of bulk-synchronous phases it needs.  Two primitive sets
+cost the same batch:
+
+``TwoSidedMachine`` (the heavyweight baseline)
+    MPI-style rendezvous send/recv: every message costs a handshake
+    (2 alpha) plus payload (beta * words) at the sender and a matching
+    cost (alpha) at the receiver; each phase ends in a tree barrier
+    (2 alpha log2 p).  Optional **aggregation** coalesces the messages of
+    each (src, dst) pair into bounded-size batches — fewer messages, but
+    the coalescing buffers occupy fast memory, which the model reports
+    (the "consume precious fast memory resources" clause).
+``OneSidedMachine`` (the simple primitives)
+    Put/get RMA: a message costs alpha + beta * words with no matching and
+    no handshake; a phase ends with a flush (alpha) plus a signal per
+    communicating peer pair — pairwise-lightweight instead of global.
+
+Per-processor time is computed from each processor's actual send/receive
+load (max over processors per phase, summed over phases), so imbalanced
+patterns are costed honestly.  Workload generators cover the panel's
+spread: regular halo exchange, all-to-all transpose, irregular random
+updates (the GUPS-style access pattern UPC-era machines were judged by),
+and a tree reduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "CommConfig",
+    "Traffic",
+    "CommReport",
+    "TwoSidedMachine",
+    "OneSidedMachine",
+    "halo_exchange",
+    "transpose",
+    "random_updates",
+    "tree_reduce_traffic",
+]
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """LogP-flavoured cost constants (cycles).
+
+    The default alpha is the *two-sided* software path (tag matching,
+    rendezvous, completion queues — the microsecond-class overhead real
+    MPI stacks carry).  :data:`ONE_SIDED_DEFAULT` is the hardware-RMA
+    issue cost, an order of magnitude lower — the classic GASNet-vs-MPI
+    gap, and precisely the "simpler mechanisms" dividend Yelick's
+    statement argues for.  Pass explicit configs to study other points.
+    """
+
+    alpha: float = 1_000.0  # per-message latency/overhead
+    beta: float = 2.0       # per-word transfer cost
+
+
+#: Default cost point for one-sided RMA (see :class:`CommConfig`).
+ONE_SIDED_DEFAULT = CommConfig(alpha=100.0, beta=2.0)
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """One bulk phase of point-to-point transfers.
+
+    ``transfers`` holds (src, dst, words) with ``src != dst``; same-place
+    data never enters the network.
+    """
+
+    p: int
+    transfers: tuple[tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        for s, d, w in self.transfers:
+            if not (0 <= s < self.p and 0 <= d < self.p):
+                raise ValueError(f"transfer ({s}, {d}) outside {self.p} procs")
+            if s == d:
+                raise ValueError("same-source-and-destination transfer")
+            if w <= 0:
+                raise ValueError("transfers must move at least one word")
+
+    @property
+    def total_words(self) -> int:
+        return sum(w for _s, _d, w in self.transfers)
+
+    @property
+    def n_messages(self) -> int:
+        return len(self.transfers)
+
+
+@dataclass
+class CommReport:
+    """Cost of a workload under one primitive set."""
+
+    machine: str
+    time_cycles: float = 0.0
+    messages: int = 0
+    sync_events: int = 0
+    buffer_words_peak: int = 0
+    words: int = 0
+
+    def add(self, other: "CommReport") -> None:
+        self.time_cycles += other.time_cycles
+        self.messages += other.messages
+        self.sync_events += other.sync_events
+        self.buffer_words_peak = max(self.buffer_words_peak, other.buffer_words_peak)
+        self.words += other.words
+
+
+def _per_proc_loads(
+    traffic: Traffic, send_cost_fn, recv_cost_fn
+) -> tuple[np.ndarray, np.ndarray]:
+    send = np.zeros(traffic.p)
+    recv = np.zeros(traffic.p)
+    for s, d, w in traffic.transfers:
+        send[s] += send_cost_fn(w)
+        recv[d] += recv_cost_fn(w)
+    return send, recv
+
+
+class TwoSidedMachine:
+    """Rendezvous send/recv with per-phase global barrier."""
+
+    name = "two-sided"
+
+    def __init__(self, config: CommConfig | None = None, aggregate: int = 0) -> None:
+        """``aggregate`` > 0 coalesces each (src, dst) pair's messages into
+        batches of at most that many words (0 = no aggregation)."""
+        self.config = config or CommConfig()
+        self.aggregate = int(aggregate)
+
+    def _coalesce(self, traffic: Traffic) -> tuple[Traffic, int]:
+        """Merge per-pair messages into aggregated batches; returns the new
+        traffic and the peak buffer words any processor dedicates to
+        coalescing."""
+        if self.aggregate <= 0:
+            return traffic, 0
+        pair_words: dict[tuple[int, int], int] = {}
+        for s, d, w in traffic.transfers:
+            pair_words[(s, d)] = pair_words.get((s, d), 0) + w
+        out: list[tuple[int, int, int]] = []
+        buffer_per_proc = np.zeros(traffic.p, dtype=np.int64)
+        for (s, d), words in sorted(pair_words.items()):
+            buffer_per_proc[s] += min(words, self.aggregate)
+            while words > 0:
+                chunk = min(words, self.aggregate)
+                out.append((s, d, chunk))
+                words -= chunk
+        return Traffic(traffic.p, tuple(out)), int(buffer_per_proc.max())
+
+    def phase(self, traffic: Traffic) -> CommReport:
+        cfg = self.config
+        coalesced, buffer_peak = self._coalesce(traffic)
+        send, recv = _per_proc_loads(
+            coalesced,
+            send_cost_fn=lambda w: 2 * cfg.alpha + cfg.beta * w,
+            recv_cost_fn=lambda _w: cfg.alpha,
+        )
+        barrier = 2 * cfg.alpha * max(1.0, math.log2(max(2, traffic.p)))
+        time = float((send + recv).max(initial=0.0)) + barrier
+        return CommReport(
+            machine=self.name,
+            time_cycles=time,
+            messages=coalesced.n_messages,
+            sync_events=1,  # the barrier
+            buffer_words_peak=buffer_peak,
+            words=coalesced.total_words,
+        )
+
+    def run(self, phases: Sequence[Traffic]) -> CommReport:
+        total = CommReport(machine=self.name)
+        for t in phases:
+            total.add(self.phase(t))
+        return total
+
+
+class OneSidedMachine:
+    """Put/get RMA with per-phase flush + pairwise signals."""
+
+    name = "one-sided"
+
+    def __init__(self, config: CommConfig | None = None) -> None:
+        self.config = config or ONE_SIDED_DEFAULT
+
+    def phase(self, traffic: Traffic) -> CommReport:
+        cfg = self.config
+        send, recv = _per_proc_loads(
+            traffic,
+            send_cost_fn=lambda w: cfg.alpha + cfg.beta * w,
+            recv_cost_fn=lambda _w: 0.0,  # no matching at the target
+        )
+        pairs = {(s, d) for s, d, _w in traffic.transfers}
+        # completion: one flush per processor (alpha) + one signal per pair
+        signal_load = np.zeros(traffic.p)
+        for s, _d in pairs:
+            signal_load[s] += cfg.alpha
+        time = float((send + signal_load).max(initial=0.0)) + cfg.alpha
+        return CommReport(
+            machine=self.name,
+            time_cycles=time,
+            messages=traffic.n_messages,
+            sync_events=len(pairs),
+            buffer_words_peak=0,
+            words=traffic.total_words,
+        )
+
+    def run(self, phases: Sequence[Traffic]) -> CommReport:
+        total = CommReport(machine=self.name)
+        for t in phases:
+            total.add(self.phase(t))
+        return total
+
+
+# --------------------------------------------------------------------------- #
+# workload generators
+# --------------------------------------------------------------------------- #
+
+
+def halo_exchange(p: int, words: int, steps: int = 1) -> list[Traffic]:
+    """1-D nearest-neighbour halo swap, ``steps`` bulk phases."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    transfers = []
+    for k in range(p - 1):
+        transfers.append((k, k + 1, words))
+        transfers.append((k + 1, k, words))
+    t = Traffic(p, tuple(transfers))
+    return [t] * steps
+
+
+def transpose(p: int, block_words: int) -> list[Traffic]:
+    """All-to-all: every processor sends a block to every other."""
+    transfers = [
+        (s, d, block_words) for s in range(p) for d in range(p) if s != d
+    ]
+    return [Traffic(p, tuple(transfers))]
+
+
+def random_updates(
+    p: int, n_updates: int, seed: int = 0, words: int = 1
+) -> list[Traffic]:
+    """GUPS-style irregular updates: each update targets a random processor.
+
+    The pattern fine-grained one-sided primitives exist for: many tiny
+    messages to unpredictable targets.
+    """
+    rng = np.random.default_rng(seed)
+    transfers = []
+    src = rng.integers(0, p, size=n_updates)
+    dst = rng.integers(0, p, size=n_updates)
+    for s, d in zip(src, dst):
+        if s != d:
+            transfers.append((int(s), int(d), words))
+    return [Traffic(p, tuple(transfers))]
+
+
+def tree_reduce_traffic(p: int, words: int) -> list[Traffic]:
+    """Binary-tree reduction: log2(p) phases of pairwise sends."""
+    if p < 1 or p & (p - 1):
+        raise ValueError("p must be a power of two")
+    phases = []
+    stride = 1
+    while stride < p:
+        transfers = []
+        for k in range(0, p, 2 * stride):
+            transfers.append((k + stride, k, words))
+        phases.append(Traffic(p, tuple(transfers)))
+        stride *= 2
+    return phases

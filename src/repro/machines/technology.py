@@ -1,0 +1,231 @@
+"""Technology parameters: the physical constants behind the panel debate.
+
+Dally's panel statement (paper Section 3) grounds the Function-and-Mapping
+argument in concrete 5 nm numbers:
+
+    "In 5nm technology, an add costs about 0.5fJ/bit and a 32-bit add takes
+    about 200ps.  On-chip communication costs 80fJ/bit-mm and traveling 1mm
+    takes about 800ps.  Transporting the result of an add 1mm costs 160x as
+    much as performing the add.  Sending it across the diagonal of an
+    800mm2 GPU costs 4500x as much.  Going off chip is an order of
+    magnitude more expensive."
+
+and later:
+
+    "An add operation costs the same as transporting data from off-chip
+    memory - even though the off-chip access is 50,000x more expensive."
+
+This module encodes those constants in a single frozen dataclass so that
+every simulator in the package charges energy and delay from the same
+source of truth, and so the claim benchmarks (C1-C4 in DESIGN.md) can check
+the stated ratios against the model rather than against magic numbers
+scattered through the code.
+
+Geometry note: the paper's arithmetic for the 4500x figure treats the
+"diagonal" of an 800 mm^2 die as sqrt(area) ~= 28.3 mm (28.3 mm x
+80 fJ/bit-mm ~= 2263 fJ/bit ~= 4525 x 0.5 fJ/bit).  We follow the same
+convention: :attr:`Technology.chip_diagonal_mm` is ``sqrt(chip_area_mm2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A self-consistent set of energy/delay parameters for one process node.
+
+    All energies are femtojoules, all times picoseconds, all distances
+    millimetres.  Per-bit quantities are multiplied by ``word_bits`` by the
+    ``*_word`` helpers.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label, e.g. ``"5nm"``.
+    add_energy_fj_per_bit:
+        Energy of one full-adder bit operation (0.5 fJ at 5 nm).
+    wire_energy_fj_per_bit_mm:
+        On-chip transport energy per bit per millimetre (80 fJ at 5 nm).
+    offchip_energy_fj_per_bit:
+        Energy to move one bit to/from bulk (off-chip) memory.  The 5 nm
+        default of 25 000 fJ/bit makes an off-chip word access exactly
+        50 000x a word add, matching the paper.
+    add_latency_ps:
+        Latency of a ``word_bits``-wide add (200 ps at 5 nm).  Also used as
+        the machine cycle time: one add per cycle.
+    wire_latency_ps_per_mm:
+        On-chip signal propagation delay (800 ps/mm at 5 nm).
+    offchip_latency_ps:
+        Latency of a bulk-memory access.
+    chip_area_mm2:
+        Die area; the paper's GPU example uses 800 mm^2.
+    grid_pitch_mm:
+        Distance between adjacent grid points of the F&M target machine.
+    word_bits:
+        Machine word width in bits.
+    instruction_overhead_factor:
+        Energy overhead of executing an ADD *instruction* on a conventional
+        out-of-order core, relative to the energy of the add itself
+        (fetch/decode/rename/ROB/scheduling).  The paper says 10 000x.
+    sram_energy_fj_per_bit:
+        Energy to read or write a local SRAM bit-cell.  The paper notes
+        "reading or writing a bit-cell is extremely fast and efficient; all
+        the cost in accessing memory is data movement", so the default is
+        small relative to wire energy at any distance.
+    """
+
+    name: str = "5nm"
+    add_energy_fj_per_bit: float = 0.5
+    wire_energy_fj_per_bit_mm: float = 80.0
+    offchip_energy_fj_per_bit: float = 25_000.0
+    add_latency_ps: float = 200.0
+    wire_latency_ps_per_mm: float = 800.0
+    offchip_latency_ps: float = 10_000.0
+    chip_area_mm2: float = 800.0
+    grid_pitch_mm: float = 1.0
+    word_bits: int = 32
+    instruction_overhead_factor: float = 10_000.0
+    sram_energy_fj_per_bit: float = 0.1
+
+    # ------------------------------------------------------------------ #
+    # derived geometry and rates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def chip_diagonal_mm(self) -> float:
+        """Chip "diagonal" as used by the paper's arithmetic: sqrt(area)."""
+        return math.sqrt(self.chip_area_mm2)
+
+    @property
+    def cycle_ps(self) -> float:
+        """Machine cycle time: one word add per cycle."""
+        return self.add_latency_ps
+
+    @property
+    def wire_mm_per_cycle(self) -> float:
+        """How far a signal travels in one cycle (0.25 mm at 5 nm)."""
+        return self.cycle_ps / self.wire_latency_ps_per_mm
+
+    # ------------------------------------------------------------------ #
+    # per-word energies
+    # ------------------------------------------------------------------ #
+
+    def add_energy_word_fj(self) -> float:
+        """Energy of one word-wide add (fJ)."""
+        return self.add_energy_fj_per_bit * self.word_bits
+
+    def transport_energy_fj(self, distance_mm: float, bits: int | None = None) -> float:
+        """Energy to move ``bits`` (default one word) ``distance_mm`` on chip."""
+        if distance_mm < 0:
+            raise ValueError(f"distance must be non-negative, got {distance_mm}")
+        b = self.word_bits if bits is None else bits
+        return self.wire_energy_fj_per_bit_mm * distance_mm * b
+
+    def offchip_energy_word_fj(self) -> float:
+        """Energy of one word moved to/from bulk memory (fJ)."""
+        return self.offchip_energy_fj_per_bit * self.word_bits
+
+    def sram_energy_word_fj(self) -> float:
+        """Energy of one word read/written in a local memory tile (fJ)."""
+        return self.sram_energy_fj_per_bit * self.word_bits
+
+    # ------------------------------------------------------------------ #
+    # latencies in cycles
+    # ------------------------------------------------------------------ #
+
+    def transport_cycles(self, distance_mm: float) -> int:
+        """Cycles for a signal to travel ``distance_mm`` (ceiling; 0 for 0 mm)."""
+        if distance_mm < 0:
+            raise ValueError(f"distance must be non-negative, got {distance_mm}")
+        if distance_mm == 0:
+            return 0
+        return max(1, math.ceil(distance_mm * self.wire_latency_ps_per_mm / self.cycle_ps))
+
+    def hop_cycles(self) -> int:
+        """Cycles for one grid hop (``grid_pitch_mm``)."""
+        return self.transport_cycles(self.grid_pitch_mm)
+
+    def offchip_cycles(self) -> int:
+        """Cycles for one bulk-memory access."""
+        return max(1, math.ceil(self.offchip_latency_ps / self.cycle_ps))
+
+    # ------------------------------------------------------------------ #
+    # the paper's ratios (claims C1-C5); see benchmarks/bench_c01..c05
+    # ------------------------------------------------------------------ #
+
+    def transport_vs_add_ratio(self, distance_mm: float) -> float:
+        """Energy ratio: moving a result ``distance_mm`` vs computing it.
+
+        The paper states this is 160x at 1 mm (claim C1).
+        """
+        return self.transport_energy_fj(distance_mm) / self.add_energy_word_fj()
+
+    def diagonal_vs_add_ratio(self) -> float:
+        """Energy ratio of a cross-chip transport vs an add (claim C2, 4500x)."""
+        return self.transport_vs_add_ratio(self.chip_diagonal_mm)
+
+    def offchip_vs_add_ratio(self) -> float:
+        """Energy ratio of an off-chip access vs an add (claim C3, 50 000x)."""
+        return self.offchip_energy_word_fj() / self.add_energy_word_fj()
+
+    def offchip_vs_diagonal_ratio(self) -> float:
+        """Off-chip vs cross-chip transport ("an order of magnitude more")."""
+        return self.offchip_energy_word_fj() / self.transport_energy_fj(self.chip_diagonal_mm)
+
+    def instruction_energy_word_fj(self) -> float:
+        """Energy of one ADD *instruction* on a conventional core (claim C5).
+
+        The paper: "The energy overhead of an ADD instruction is 10,000x
+        times more than the energy required to do the add."
+        """
+        return self.add_energy_word_fj() * (1.0 + self.instruction_overhead_factor)
+
+    # ------------------------------------------------------------------ #
+    # variants
+    # ------------------------------------------------------------------ #
+
+    def with_(self, **changes) -> "Technology":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: The paper's 5 nm technology point (Section 3).
+TECH_5NM = Technology()
+
+#: A coarser node for sensitivity studies: wires relatively cheaper.
+TECH_16NM = Technology(
+    name="16nm",
+    add_energy_fj_per_bit=2.0,
+    wire_energy_fj_per_bit_mm=120.0,
+    offchip_energy_fj_per_bit=40_000.0,
+    add_latency_ps=300.0,
+    wire_latency_ps_per_mm=1_000.0,
+)
+
+TECH_7NM = Technology(
+    name="7nm",
+    add_energy_fj_per_bit=0.8,
+    wire_energy_fj_per_bit_mm=90.0,
+    offchip_energy_fj_per_bit=30_000.0,
+    add_latency_ps=230.0,
+    wire_latency_ps_per_mm=850.0,
+)
+
+TECH_45NM = Technology(
+    name="45nm",
+    add_energy_fj_per_bit=10.0,
+    wire_energy_fj_per_bit_mm=200.0,
+    offchip_energy_fj_per_bit=80_000.0,
+    add_latency_ps=500.0,
+    wire_latency_ps_per_mm=1_400.0,
+)
+
+#: Illustrative scaling series, oldest node first.  Only the 5 nm point is
+#: the paper's; the others are calibration-grade stand-ins chosen so the
+#: well-known trend holds: logic energy scales down much faster than wire
+#: energy, so the transport/compute ratio *grows* every node — the
+#: "communication limited" trajectory the panel statement rests on.
+TECH_NODES = (TECH_45NM, TECH_16NM, TECH_7NM, TECH_5NM)

@@ -1,0 +1,239 @@
+"""XMT-style PRAM-on-chip: Vishkin's algorithm-friendly many-core.
+
+Paper, Section 5: "the extensive FPGA-based prototyping of the XMT
+PRAM-on-chip platform at UMD ... have shown feasibility of a competitive
+scalable general-purpose many-core ... for as-is complete PRAM algorithms"
+and (bio) "the XMT architecture, which to a first approximation is about
+reducing overheads of PRAM algorithms using hardware primitives".
+
+The signature hardware primitive is **prefix-sum (ps)**: an atomic
+fetch-and-add that completes in constant time per round regardless of how
+many threads participate, giving O(1) dynamic load balancing and compaction
+— the thing that makes *irregular* PRAM algorithms (BFS, connectivity)
+cheap on XMT and expensive on a barrier-everything multicore.
+
+Model
+-----
+*  A **master thread** executes serial sections (charged per instruction).
+*  ``spawn(n, kernel)`` starts ``n`` virtual threads executed by ``n_tcus``
+   thread-control units.  Virtual threads are Python generators yielding
+   :func:`read` / :func:`write` / :func:`ps` / :func:`compute` effects.
+*  Execution proceeds in rounds; each live thread performs one effect per
+   round, and a round costs ``ceil(live / n_tcus)`` TCU cycles plus the
+   uniform memory latency for rounds touching memory (UMA via the
+   interconnection network — XMT trades locality for uniformity).
+*  Thread start costs ``spawn_overhead_cycles`` *per spawn block* (constant
+   hardware broadcast) plus ``thread_start_cycles`` per ceil(n/n_tcus)
+   wave — the "low overhead" the architecture is about.
+*  ``ps`` effects in the same round to the same location serialize
+   *semantically* (each gets a distinct old value, in thread-id order) but
+   cost one round — the constant-time hardware prefix-sum.
+
+Energy is charged per executed effect at a light decode overhead
+(``instruction_overhead_factor`` of the technology divided by
+``overhead_reduction``), reflecting that XMT TCUs are simple in-order
+engines, not 8-wide OoO cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.machines.technology import Technology, TECH_5NM
+
+__all__ = ["XmtConfig", "XmtResult", "XmtMachine", "read", "write", "ps", "compute"]
+
+
+@dataclass(frozen=True)
+class _Read:
+    addr: int
+
+
+@dataclass(frozen=True)
+class _Write:
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class _Ps:
+    addr: int
+    delta: int
+
+
+@dataclass(frozen=True)
+class _Compute:
+    amount: int = 1
+
+
+def read(addr: int) -> _Read:
+    """Effect: read shared memory (value is sent back into the generator)."""
+    return _Read(int(addr))
+
+
+def write(addr: int, value: int) -> _Write:
+    """Effect: write shared memory (arbitrary-CRCW on collisions)."""
+    return _Write(int(addr), int(value))
+
+
+def ps(addr: int, delta: int = 1) -> _Ps:
+    """Effect: hardware prefix-sum — atomic fetch-and-add, old value returned."""
+    return _Ps(int(addr), int(delta))
+
+
+def compute(amount: int = 1) -> _Compute:
+    """Effect: local computation."""
+    return _Compute(int(amount))
+
+
+@dataclass(frozen=True)
+class XmtConfig:
+    """XMT machine parameters."""
+
+    n_tcus: int = 64
+    mem_latency_cycles: int = 24       # uniform (UMA) interconnect round trip
+    spawn_overhead_cycles: int = 8     # hardware spawn broadcast, per block
+    thread_start_cycles: int = 1       # per wave of n_tcus threads
+    overhead_reduction: float = 100.0  # TCU decode energy vs OoO-core overhead
+
+
+@dataclass
+class XmtResult:
+    """Counters of one XMT execution."""
+
+    cycles: int = 0
+    serial_instructions: int = 0
+    parallel_effects: int = 0
+    spawn_blocks: int = 0
+    ps_ops: int = 0
+    rounds: int = 0
+
+    def energy_total_fj(self, tech: Technology, config: XmtConfig) -> float:
+        """Instruction energy under the lighter TCU decode overhead."""
+        add_word = tech.add_energy_word_fj()
+        per_instr = add_word * (
+            1.0 + tech.instruction_overhead_factor / config.overhead_reduction
+        )
+        return (self.serial_instructions + self.parallel_effects) * per_instr
+
+
+class XmtMachine:
+    """The PRAM-on-chip: serial master thread + spawn blocks on TCUs."""
+
+    def __init__(
+        self,
+        size: int,
+        config: XmtConfig | None = None,
+        tech: Technology = TECH_5NM,
+    ) -> None:
+        self.config = config or XmtConfig()
+        self.tech = tech
+        self.memory = np.zeros(int(size), dtype=np.int64)
+        self.result = XmtResult()
+
+    # ------------------------------------------------------------------ #
+
+    def serial(self, instructions: int) -> None:
+        """Master thread executes ``instructions`` serial operations."""
+        if instructions < 0:
+            raise ValueError("instruction count must be non-negative")
+        self.result.cycles += instructions
+        self.result.serial_instructions += instructions
+
+    def sread(self, addr: int) -> int:
+        """Master-thread memory read (charged one memory round trip)."""
+        self.result.cycles += self.config.mem_latency_cycles
+        self.result.serial_instructions += 1
+        return int(self.memory[addr])
+
+    def swrite(self, addr: int, value: int) -> None:
+        """Master-thread memory write."""
+        self.result.cycles += self.config.mem_latency_cycles
+        self.result.serial_instructions += 1
+        self.memory[addr] = value
+
+    def spawn(self, n_threads: int, kernel: Callable[[int], Generator]) -> None:
+        """Run ``kernel(tid)`` for tid in [0, n_threads) to completion.
+
+        See the module docstring for round semantics and costs.
+        """
+        if n_threads < 0:
+            raise ValueError("n_threads must be non-negative")
+        cfg = self.config
+        self.result.spawn_blocks += 1
+        self.result.cycles += cfg.spawn_overhead_cycles
+        if n_threads == 0:
+            return
+        waves = -(-n_threads // cfg.n_tcus)
+        self.result.cycles += waves * cfg.thread_start_cycles
+
+        gens: dict[int, Generator] = {}
+        pending: dict[int, object] = {}
+        for tid in range(n_threads):
+            g = kernel(tid)
+            try:
+                pending[tid] = next(g)
+                gens[tid] = g
+            except StopIteration:
+                pass
+
+        while gens:
+            live = len(gens)
+            round_tcu_cycles = -(-live // cfg.n_tcus)
+            touches_memory = False
+            results: dict[int, int] = {}
+
+            # read phase: all reads see memory before this round's writes
+            for tid in sorted(pending):
+                eff = pending[tid]
+                if isinstance(eff, _Read):
+                    touches_memory = True
+                    results[tid] = int(self.memory[eff.addr])
+            # ps phase: serialized semantics, constant-time hardware
+            for tid in sorted(pending):
+                eff = pending[tid]
+                if isinstance(eff, _Ps):
+                    touches_memory = True
+                    old = int(self.memory[eff.addr])
+                    self.memory[eff.addr] = old + eff.delta
+                    results[tid] = old
+                    self.result.ps_ops += 1
+            # write phase: arbitrary CRCW -> lowest tid wins, deterministic
+            written: set[int] = set()
+            for tid in sorted(pending):
+                eff = pending[tid]
+                if isinstance(eff, _Write):
+                    touches_memory = True
+                    if eff.addr not in written:
+                        self.memory[eff.addr] = eff.value
+                        written.add(eff.addr)
+
+            self.result.rounds += 1
+            self.result.parallel_effects += live
+            self.result.cycles += round_tcu_cycles + (
+                cfg.mem_latency_cycles if touches_memory else 0
+            )
+
+            nxt: dict[int, object] = {}
+            for tid in list(pending):
+                g = gens[tid]
+                try:
+                    if tid in results:
+                        nxt[tid] = g.send(results[tid])
+                    else:
+                        eff = pending[tid]
+                        if isinstance(eff, _Compute):
+                            nxt[tid] = next(g)
+                        elif isinstance(eff, (_Write, _Read, _Ps)):
+                            nxt[tid] = next(g)
+                        else:
+                            raise TypeError(
+                                f"thread {tid} yielded {eff!r}; expected an "
+                                "xmt effect (read/write/ps/compute)"
+                            )
+                except StopIteration:
+                    del gens[tid]
+            pending = nxt

@@ -1,0 +1,41 @@
+"""Abstract machine cost models.
+
+Blelloch's panel statement (paper Section 2) frames the whole debate around
+the Random Access Machine and its parallel successors: the RAM "has served
+the computing community amazingly well as a bridge from algorithms, through
+programming languages, to machines"; it is "easy to add a one level cache";
+and for parallelism "the fork-join work-depth (or work-span) model" with
+"reasonably simple extensions that support accounting for locality, as well
+as asymmetry in read-write costs".
+
+This subpackage makes each of those models executable and instrumented:
+
+ram
+    A word-RAM register machine with an assembler and instruction counters.
+pram
+    Lock-step PRAM with EREW/CREW/CRCW conflict semantics and work/step
+    accounting.
+workdepth
+    Computation DAGs with work/span analysis and the Brent bound.
+cache
+    The RAM + ideal-cache extension (one-level and multilevel) for
+    cache-aware and cache-oblivious analysis.
+asymmetric
+    The asymmetric read/write cost extension (NVM-style writes cost omega).
+"""
+
+from repro.models.ram import RAM, Program, assemble
+from repro.models.pram import PRAM, ConflictError, ConcurrencyMode
+from repro.models.workdepth import Dag, brent_bounds, greedy_schedule_length
+
+__all__ = [
+    "RAM",
+    "Program",
+    "assemble",
+    "PRAM",
+    "ConflictError",
+    "ConcurrencyMode",
+    "Dag",
+    "brent_bounds",
+    "greedy_schedule_length",
+]

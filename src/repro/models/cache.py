@@ -1,0 +1,128 @@
+"""The RAM-plus-cache model and cache-oblivious analysis (claim C11).
+
+Blelloch, Section 2: "it is easy to add a one level cache to the RAM model,
+and hundreds of algorithms have been developed in such a model.  When
+algorithms developed in this model satisfy a property of being cache
+oblivious, they will also work effectively on a multilevel cache."
+
+This module is the thin analytical layer over the trace-driven simulators
+in :mod:`repro.machines.cachesim`:
+
+*  :func:`ideal_cache_misses` — Q(trace; M, B) in the one-level ideal-cache
+   model;
+*  :func:`multilevel_misses` — per-level misses on an arbitrary hierarchy,
+   used to check the "also work effectively on a multilevel cache" claim;
+*  closed-form miss bounds for the matmul variants the benches sweep, so
+   measured curves can be compared against theory shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.machines.cachesim import (
+    CacheHierarchy,
+    LRUCache,
+    ideal_cache,
+    run_trace,
+)
+
+__all__ = [
+    "ideal_cache_misses",
+    "multilevel_misses",
+    "HierarchySpec",
+    "bound_matmul_naive",
+    "bound_matmul_oblivious",
+    "bound_scan",
+]
+
+Trace = Iterable[tuple[str, int]]
+
+
+def ideal_cache_misses(trace: Trace, capacity_words: int, block_words: int) -> int:
+    """Q(trace; M, B): misses of the trace on an (M, B) ideal cache."""
+    cache = ideal_cache(capacity_words, block_words)
+    run_trace(cache, trace)
+    return cache.stats.misses
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """One level of a multilevel hierarchy: (capacity M_i, block B_i, distance)."""
+
+    capacity_words: int
+    block_words: int
+    distance_mm: float = 0.5
+    name: str = "L?"
+
+    def build(self) -> LRUCache:
+        return LRUCache(
+            self.capacity_words,
+            self.block_words,
+            assoc=None,
+            name=self.name,
+            distance_mm=self.distance_mm,
+        )
+
+
+#: A plausible laptop-like hierarchy in words (32 KiB / 256 KiB / 8 MiB with
+#: 8-byte words and 64-byte lines -> 8-word blocks).
+DEFAULT_HIERARCHY = (
+    HierarchySpec(4 * 1024, 8, 0.5, "L1"),
+    HierarchySpec(32 * 1024, 8, 2.0, "L2"),
+    HierarchySpec(1024 * 1024, 8, 10.0, "L3"),
+)
+
+
+def multilevel_misses(
+    trace: Trace, specs: Sequence[HierarchySpec] = DEFAULT_HIERARCHY
+) -> list[int]:
+    """Misses at each level of a multilevel LRU hierarchy, nearest first.
+
+    The trace is materialized once so callers can pass generators.
+    """
+    hier = CacheHierarchy([s.build() for s in specs])
+    run_trace(hier, trace)
+    return hier.miss_counts()
+
+
+# --------------------------------------------------------------------------- #
+# closed-form shapes for the bench comparisons
+# --------------------------------------------------------------------------- #
+
+
+def bound_matmul_naive(n: int, capacity_words: int, block_words: int) -> float:
+    """Ideal-cache miss bound shape for naive (ijk) n x n matmul.
+
+    When a row of B no longer fits, the inner product streams B with no
+    block reuse across k: Q = Theta(n^3) for n > M (word-per-miss on the
+    column-major-strided operand), Theta(n^3 / B) when rows fit.
+    We return the standard coarse bound n^3 / B + n^2, adequate for
+    shape comparison (who wins / crossover), not absolute prediction.
+    """
+    if n <= 0:
+        return 0.0
+    if n * block_words > capacity_words:
+        return float(n**3)  # strided operand misses every access
+    return n**3 / block_words + n**2
+
+
+def bound_matmul_oblivious(n: int, capacity_words: int, block_words: int) -> float:
+    """Ideal-cache bound for recursive cache-oblivious matmul.
+
+    Q(n) = Theta(n^3 / (B * sqrt(M)) + n^2 / B + 1) — Frigo et al.'s bound;
+    the first term dominates for n^2 > M.
+    """
+    if n <= 0:
+        return 0.0
+    m, b = float(capacity_words), float(block_words)
+    return n**3 / (b * math.sqrt(m)) + n**2 / b + 1.0
+
+
+def bound_scan(n: int, block_words: int) -> float:
+    """Streaming lower bound: a single pass misses ~ n / B times."""
+    if n <= 0:
+        return 0.0
+    return n / block_words

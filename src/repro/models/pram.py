@@ -1,0 +1,436 @@
+"""The PRAM: a lock-step shared-memory machine with conflict semantics.
+
+Vishkin's panel statement (Section 5) is a defence of the PRAM as the
+algorithm-friendly abstraction: "work efficient PRAM algorithms" and the
+XMT "PRAM-on-chip" platform that supports them.  Dally's statement attacks
+the same model: "the RAM and PRAM models ... hide the reality of spatial
+distribution".  To have the argument at all we need an executable PRAM,
+which this module provides.
+
+The model: ``p`` processors proceed in lock step over a shared word memory.
+Each step every active processor performs one operation — a shared-memory
+read, a shared-memory write, or a local compute.  Within a step all reads
+happen before all writes (the standard PRAM step = read / compute / write
+convention).  Access conflicts are policed according to the machine's
+:class:`ConcurrencyMode`:
+
+=================  ==========================================================
+``EREW``           no two processors may touch the same address in a step
+``CREW``           concurrent reads allowed, writes must be exclusive
+``CRCW_COMMON``    concurrent writes allowed iff all write the same value
+``CRCW_ARBITRARY`` an arbitrary (seeded, reproducible) writer wins
+``CRCW_PRIORITY``  the lowest-numbered processor wins
+=================  ==========================================================
+
+Accounting follows the theory: **time** is the number of lock-step rounds,
+**work** is the total number of operations performed (so an algorithm is
+work-efficient when its work matches the best serial RAM count
+asymptotically).
+
+Two APIs are provided:
+
+*  a **vectorized step API** (:meth:`PRAM.par_read` / :meth:`PRAM.par_write`
+   / :meth:`PRAM.par_compute`) where each call is one PRAM step executed by
+   an explicit set of processors — convenient for data-parallel algorithms
+   written with numpy;
+*  an **SPMD API** (:meth:`PRAM.run_spmd`) where every processor runs a
+   Python generator yielding :func:`read` / :func:`write` / :func:`compute`
+   effects, and the machine advances all of them in lock step — convenient
+   for irregular per-processor code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ConcurrencyMode",
+    "ConflictError",
+    "PRAM",
+    "read",
+    "write",
+    "compute",
+]
+
+
+class ConcurrencyMode(enum.Enum):
+    """PRAM conflict-resolution discipline."""
+
+    EREW = "erew"
+    CREW = "crew"
+    CRCW_COMMON = "crcw-common"
+    CRCW_ARBITRARY = "crcw-arbitrary"
+    CRCW_PRIORITY = "crcw-priority"
+
+    @property
+    def allows_concurrent_reads(self) -> bool:
+        return self is not ConcurrencyMode.EREW
+
+    @property
+    def allows_concurrent_writes(self) -> bool:
+        return self in (
+            ConcurrencyMode.CRCW_COMMON,
+            ConcurrencyMode.CRCW_ARBITRARY,
+            ConcurrencyMode.CRCW_PRIORITY,
+        )
+
+
+class ConflictError(Exception):
+    """A step violated the machine's concurrency mode.
+
+    Attributes
+    ----------
+    kind:
+        ``"read"`` or ``"write"``.
+    address:
+        One offending address.
+    processors:
+        The processors that collided there.
+    """
+
+    def __init__(self, kind: str, address: int, processors: Sequence[int]) -> None:
+        self.kind = kind
+        self.address = int(address)
+        self.processors = [int(p) for p in processors]
+        super().__init__(
+            f"illegal concurrent {kind} of address {self.address} by "
+            f"processors {self.processors}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# SPMD effect constructors (what kernels yield)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _Read:
+    addr: int
+
+
+@dataclass(frozen=True)
+class _Write:
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class _Compute:
+    amount: int = 1
+
+
+def read(addr: int) -> _Read:
+    """SPMD effect: read shared memory at ``addr`` (value is sent back)."""
+    return _Read(int(addr))
+
+
+def write(addr: int, value: int) -> _Write:
+    """SPMD effect: write ``value`` to shared memory at ``addr``."""
+    return _Write(int(addr), int(value))
+
+
+def compute(amount: int = 1) -> _Compute:
+    """SPMD effect: perform ``amount`` units of local computation."""
+    return _Compute(int(amount))
+
+
+class PRAM:
+    """A ``p``-processor PRAM over ``size`` words of shared memory.
+
+    Parameters
+    ----------
+    n_processors:
+        Number of lock-step processors ``p``.
+    size:
+        Shared-memory size in words.
+    mode:
+        Conflict discipline (default CREW, the textbook middle ground).
+    seed:
+        Seed for the CRCW-arbitrary winner choice, making runs reproducible
+        while still exercising the non-determinism the model permits.
+    """
+
+    def __init__(
+        self,
+        n_processors: int,
+        size: int,
+        mode: ConcurrencyMode = ConcurrencyMode.CREW,
+        seed: int = 0,
+    ) -> None:
+        if n_processors < 1:
+            raise ValueError("need at least one processor")
+        if size < 0:
+            raise ValueError("memory size must be non-negative")
+        self.p = int(n_processors)
+        self.mode = mode
+        self.memory = np.zeros(int(size), dtype=np.int64)
+        self.steps = 0
+        self.work = 0
+        self.max_active = 0
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _validate_pids(self, pids: np.ndarray) -> np.ndarray:
+        pids = np.asarray(pids, dtype=np.int64)
+        if pids.size == 0:
+            return pids
+        if pids.min() < 0 or pids.max() >= self.p:
+            raise ValueError(f"processor ids must lie in [0, {self.p})")
+        if np.unique(pids).size != pids.size:
+            raise ValueError("duplicate processor ids in one step")
+        return pids
+
+    def _validate_addrs(self, addrs: np.ndarray) -> np.ndarray:
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self.memory.size):
+            bad = addrs[(addrs < 0) | (addrs >= self.memory.size)][0]
+            raise IndexError(f"address {bad} out of range [0, {self.memory.size})")
+        return addrs
+
+    def _account(self, active: int) -> None:
+        if active:
+            self.steps += 1
+            self.work += active
+            self.max_active = max(self.max_active, active)
+
+    @staticmethod
+    def _first_duplicate(addrs: np.ndarray, pids: np.ndarray) -> tuple[int, np.ndarray] | None:
+        if addrs.size < 2:
+            return None
+        order = np.argsort(addrs, kind="stable")
+        sorted_addrs = addrs[order]
+        dup = sorted_addrs[1:] == sorted_addrs[:-1]
+        if not dup.any():
+            return None
+        a = sorted_addrs[:-1][dup][0]
+        return int(a), pids[addrs == a]
+
+    # ------------------------------------------------------------------ #
+    # vectorized step API
+    # ------------------------------------------------------------------ #
+
+    def par_read(self, pids: Iterable[int], addrs: Iterable[int]) -> np.ndarray:
+        """One PRAM step in which processors ``pids`` read ``addrs``.
+
+        Returns the values read, aligned with ``pids``.  Raises
+        :class:`ConflictError` if two processors read the same address on an
+        EREW machine.
+        """
+        pids_a = self._validate_pids(np.asarray(list(pids) if not isinstance(pids, np.ndarray) else pids))
+        addrs_a = self._validate_addrs(np.asarray(list(addrs) if not isinstance(addrs, np.ndarray) else addrs))
+        if pids_a.size != addrs_a.size:
+            raise ValueError("pids and addrs must have equal length")
+        if not self.mode.allows_concurrent_reads:
+            hit = self._first_duplicate(addrs_a, pids_a)
+            if hit is not None:
+                raise ConflictError("read", hit[0], hit[1])
+        self._account(pids_a.size)
+        return self.memory[addrs_a].copy()
+
+    def par_write(
+        self, pids: Iterable[int], addrs: Iterable[int], values: Iterable[int]
+    ) -> None:
+        """One PRAM step in which processors ``pids`` write ``values`` to ``addrs``.
+
+        Conflicts are resolved per the machine's mode; EREW/CREW machines
+        raise :class:`ConflictError` on any collision, CRCW-common raises if
+        colliding writers disagree.
+        """
+        pids_a = self._validate_pids(np.asarray(list(pids) if not isinstance(pids, np.ndarray) else pids))
+        addrs_a = self._validate_addrs(np.asarray(list(addrs) if not isinstance(addrs, np.ndarray) else addrs))
+        vals_a = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=np.int64)
+        if not (pids_a.size == addrs_a.size == vals_a.size):
+            raise ValueError("pids, addrs and values must have equal length")
+        self._account(pids_a.size)
+        if pids_a.size == 0:
+            return
+        self._resolve_writes(pids_a, addrs_a, vals_a)
+
+    def par_compute(self, n_active: int, amount: int = 1) -> None:
+        """One PRAM step of local computation by ``n_active`` processors.
+
+        ``amount`` scales the work charged per processor (the step count
+        still advances by one, matching the lock-step convention).
+        """
+        if n_active < 0 or n_active > self.p:
+            raise ValueError(f"n_active must lie in [0, {self.p}]")
+        if n_active:
+            self.steps += 1
+            self.work += n_active * max(1, int(amount))
+            self.max_active = max(self.max_active, n_active)
+
+    def _resolve_writes(
+        self, pids: np.ndarray, addrs: np.ndarray, vals: np.ndarray
+    ) -> None:
+        if not self.mode.allows_concurrent_writes:
+            hit = self._first_duplicate(addrs, pids)
+            if hit is not None:
+                raise ConflictError("write", hit[0], hit[1])
+            self.memory[addrs] = vals
+            return
+
+        # group colliding writers; resolve per mode
+        order = np.lexsort((pids, addrs))
+        a_s, p_s, v_s = addrs[order], pids[order], vals[order]
+        boundaries = np.flatnonzero(np.r_[True, a_s[1:] != a_s[:-1]])
+        group_ends = np.r_[boundaries[1:], a_s.size]
+
+        if self.mode is ConcurrencyMode.CRCW_COMMON:
+            for start, end in zip(boundaries, group_ends):
+                group_vals = v_s[start:end]
+                if not (group_vals == group_vals[0]).all():
+                    raise ConflictError("write", a_s[start], p_s[start:end])
+            self.memory[a_s[boundaries]] = v_s[boundaries]
+        elif self.mode is ConcurrencyMode.CRCW_PRIORITY:
+            # lexsort put lowest pid first within each address group
+            self.memory[a_s[boundaries]] = v_s[boundaries]
+        else:  # CRCW_ARBITRARY: seeded random winner per group
+            sizes = group_ends - boundaries
+            offsets = (self._rng.random(boundaries.size) * sizes).astype(np.int64)
+            winners = boundaries + np.minimum(offsets, sizes - 1)
+            self.memory[a_s[winners]] = v_s[winners]
+
+    # ------------------------------------------------------------------ #
+    # Brent-style emulation: n > p parallel ops in ceil(n/p) steps
+    # ------------------------------------------------------------------ #
+
+    def read_all(self, addrs: Iterable[int]) -> np.ndarray:
+        """Read ``len(addrs)`` cells using all p processors in rounds.
+
+        This is the standard Brent emulation of an n-processor step on a
+        p-processor machine: ceil(n/p) actual steps.  Conflict rules apply
+        within each round.
+        """
+        addrs_a = np.asarray(
+            list(addrs) if not isinstance(addrs, np.ndarray) else addrs,
+            dtype=np.int64,
+        )
+        out = np.empty(addrs_a.size, dtype=np.int64)
+        for k in range(0, addrs_a.size, self.p):
+            chunk = addrs_a[k : k + self.p]
+            out[k : k + self.p] = self.par_read(np.arange(chunk.size), chunk)
+        return out
+
+    def write_all(self, addrs: Iterable[int], values: Iterable[int]) -> None:
+        """Write ``len(addrs)`` cells using all p processors in rounds."""
+        addrs_a = np.asarray(
+            list(addrs) if not isinstance(addrs, np.ndarray) else addrs,
+            dtype=np.int64,
+        )
+        vals_a = np.asarray(
+            list(values) if not isinstance(values, np.ndarray) else values,
+            dtype=np.int64,
+        )
+        if addrs_a.size != vals_a.size:
+            raise ValueError("addrs and values must have equal length")
+        for k in range(0, addrs_a.size, self.p):
+            chunk = addrs_a[k : k + self.p]
+            self.par_write(
+                np.arange(chunk.size), chunk, vals_a[k : k + self.p]
+            )
+
+    # ------------------------------------------------------------------ #
+    # SPMD API
+    # ------------------------------------------------------------------ #
+
+    def run_spmd(
+        self,
+        kernel: Callable[[int], Generator],
+        n_threads: int | None = None,
+    ) -> None:
+        """Run ``kernel(pid)`` on processors ``0..n_threads-1`` in lock step.
+
+        ``kernel`` is a generator function yielding :func:`read`,
+        :func:`write`, or :func:`compute` effects.  The value of a ``yield
+        read(a)`` expression is the word read.  All processors advance by
+        exactly one effect per step; a processor whose generator returns
+        simply drops out.  Reads in a step observe memory *before* that
+        step's writes.
+        """
+        n = self.p if n_threads is None else int(n_threads)
+        if n < 0 or n > self.p:
+            raise ValueError(f"n_threads must lie in [0, {self.p}]")
+        gens: dict[int, Generator] = {pid: kernel(pid) for pid in range(n)}
+        pending: dict[int, object] = {}
+        # prime the generators
+        for pid in list(gens):
+            try:
+                pending[pid] = next(gens[pid])
+            except StopIteration:
+                del gens[pid]
+
+        while gens:
+            reads: list[tuple[int, _Read]] = []
+            writes: list[tuple[int, _Write]] = []
+            compute_work = 0
+            for pid, eff in pending.items():
+                if isinstance(eff, _Read):
+                    reads.append((pid, eff))
+                elif isinstance(eff, _Write):
+                    writes.append((pid, eff))
+                elif isinstance(eff, _Compute):
+                    compute_work += eff.amount
+                else:
+                    raise TypeError(
+                        f"processor {pid} yielded {eff!r}; expected read/write/compute"
+                    )
+
+            active = len(pending)
+            self.steps += 1
+            self.work += len(reads) + len(writes) + compute_work
+            self.max_active = max(self.max_active, active)
+
+            # read phase (before writes land)
+            results: dict[int, int] = {}
+            if reads:
+                r_pids = np.array([p for p, _ in reads], dtype=np.int64)
+                r_addrs = self._validate_addrs(
+                    np.array([e.addr for _, e in reads], dtype=np.int64)
+                )
+                if not self.mode.allows_concurrent_reads:
+                    hit = self._first_duplicate(r_addrs, r_pids)
+                    if hit is not None:
+                        raise ConflictError("read", hit[0], hit[1])
+                vals = self.memory[r_addrs]
+                for (pid, _), v in zip(reads, vals):
+                    results[pid] = int(v)
+
+            # write phase
+            if writes:
+                w_pids = np.array([p for p, _ in writes], dtype=np.int64)
+                w_addrs = self._validate_addrs(
+                    np.array([e.addr for _, e in writes], dtype=np.int64)
+                )
+                w_vals = np.array([e.value for _, e in writes], dtype=np.int64)
+                self._resolve_writes(w_pids, w_addrs, w_vals)
+
+            # advance every processor by one effect
+            new_pending: dict[int, object] = {}
+            for pid in list(pending):
+                gen = gens[pid]
+                try:
+                    if pid in results:
+                        new_pending[pid] = gen.send(results[pid])
+                    else:
+                        new_pending[pid] = next(gen)
+                except StopIteration:
+                    del gens[pid]
+            pending = new_pending
+
+    # ------------------------------------------------------------------ #
+
+    def counters(self) -> dict[str, int]:
+        """Work/time counters as a plain dict (for reports)."""
+        return {
+            "steps": self.steps,
+            "work": self.work,
+            "processors": self.p,
+            "max_active": self.max_active,
+        }

@@ -1,0 +1,136 @@
+"""Classic PRAM kernels and the separations between its variants.
+
+Part of making the PRAM "executable enough to argue about" (the Section 2
+/ Section 5 debate) is exhibiting the model-theoretic folklore as runnable
+code.  The canonical separation: computing the OR of n bits takes **one
+step** on a common-CRCW PRAM (everyone whose bit is set writes 1 to the
+same cell — they agree, so the write is legal) but **Omega(log n)** steps
+on EREW (information can only fan in by constant factors per step).  Both
+sides are implemented here and the gap is asserted in the tests — and,
+symmetrically, the EREW implementation *raises* on the CRCW trick, because
+the conflict checker knows the difference.
+
+Also here: broadcast (the dual separation — O(1) with concurrent reads,
+Theta(log n) by doubling on EREW) and max-finding (constant-time on
+common-CRCW with n^2 processors, the other textbook surprise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.pram import PRAM, ConcurrencyMode
+
+__all__ = [
+    "or_crcw",
+    "or_erew",
+    "broadcast_crew",
+    "broadcast_erew",
+    "max_crcw_quadratic",
+]
+
+
+def or_crcw(bits: np.ndarray) -> tuple[int, PRAM]:
+    """OR of n bits in O(1) steps on common-CRCW.
+
+    Step 1: processor 0 clears the result cell.  Step 2: every processor
+    whose bit is set writes 1 — all writers agree, so common-CRCW allows
+    it.  Two steps, independent of n.
+    """
+    bits = np.asarray(bits, dtype=np.int64)
+    n = bits.size
+    if n < 1:
+        raise ValueError("need at least one bit")
+    pram = PRAM(n, n + 1, mode=ConcurrencyMode.CRCW_COMMON)
+    pram.memory[:n] = bits
+    pram.par_write([0], [n], [0])
+    writers = np.flatnonzero(bits != 0)
+    if writers.size:
+        pram.par_write(writers, np.full(writers.size, n), np.ones(writers.size, dtype=np.int64))
+    return int(pram.memory[n]), pram
+
+
+def or_erew(bits: np.ndarray) -> tuple[int, PRAM]:
+    """OR of n bits on EREW: binary-tree combining, Theta(log n) steps.
+
+    (power-of-two n for the clean tree.)
+    """
+    bits = np.asarray(bits, dtype=np.int64)
+    n = bits.size
+    if n < 1 or n & (n - 1):
+        raise ValueError("need power-of-two n")
+    pram = PRAM(max(n // 2, 1), n, mode=ConcurrencyMode.EREW)
+    pram.memory[:n] = (bits != 0).astype(np.int64)
+    stride = 1
+    while stride < n:
+        ks = np.arange(0, n, 2 * stride, dtype=np.int64)
+        a = pram.read_all(ks)
+        b = pram.read_all(ks + stride)
+        pram.write_all(ks, np.maximum(a, b))
+        stride *= 2
+    return int(pram.memory[0]), pram
+
+
+def broadcast_crew(value: int, n: int) -> tuple[np.ndarray, PRAM]:
+    """One value to n cells in O(1) steps with concurrent reads."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    pram = PRAM(n, n + 1, mode=ConcurrencyMode.CREW)
+    pram.par_write([0], [n], [int(value)])
+    pids = np.arange(n, dtype=np.int64)
+    vals = pram.par_read(pids, np.full(n, n, dtype=np.int64))  # concurrent!
+    pram.par_write(pids, pids, vals)
+    return pram.memory[:n].copy(), pram
+
+
+def broadcast_erew(value: int, n: int) -> tuple[np.ndarray, PRAM]:
+    """One value to n cells on EREW: recursive doubling, Theta(log n).
+
+    Round k copies cells [0, 2^k) to [2^k, 2^{k+1}) — every address is
+    touched by exactly one processor per round.
+    """
+    if n < 1 or n & (n - 1):
+        raise ValueError("need power-of-two n")
+    pram = PRAM(n, n, mode=ConcurrencyMode.EREW)
+    pram.par_write([0], [0], [int(value)])
+    have = 1
+    while have < n:
+        src = np.arange(have, dtype=np.int64)
+        vals = pram.par_read(np.arange(src.size), src)
+        pram.par_write(np.arange(src.size), src + have, vals)
+        have *= 2
+    return pram.memory[:n].copy(), pram
+
+
+def max_crcw_quadratic(values: np.ndarray) -> tuple[int, PRAM]:
+    """Maximum of n values in O(1) steps on common-CRCW with n^2 processors.
+
+    The textbook surprise: every ordered pair (i, j) with values[i] <
+    values[j] knocks out candidate i; the survivors all hold the maximum
+    (ties allowed — all agreeing writers write 1, which common-CRCW
+    permits).  Steps: constant; work: Theta(n^2) — a work/time tradeoff
+    no work-efficient algorithm would make, which is the point.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    n = values.size
+    if n < 1:
+        raise ValueError("need at least one value")
+    pram = PRAM(n * n, 2 * n + 1, mode=ConcurrencyMode.CRCW_COMMON)
+    pram.memory[:n] = values
+    loser_base = n
+    # step 1: clear loser flags (n processors)
+    pram.par_write(np.arange(n), loser_base + np.arange(n), np.zeros(n, dtype=np.int64))
+    # step 2: pair (i, j) marks i a loser when values[i] < values[j]
+    i_idx, j_idx = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    i_flat, j_flat = i_idx.ravel(), j_idx.ravel()
+    losers = values[i_flat] < values[j_flat]
+    if losers.any():
+        pids = np.flatnonzero(losers)  # one processor per losing pair
+        pram.par_write(pids, loser_base + i_flat[losers],
+                       np.ones(int(losers.sum()), dtype=np.int64))
+    pram.par_compute(n * n)  # the comparisons themselves
+    # step 3: each surviving candidate writes the answer (all agree)
+    survivors = np.flatnonzero(pram.memory[loser_base : loser_base + n] == 0)
+    pram.par_write(survivors, np.full(survivors.size, 2 * n),
+                   values[survivors])
+    return int(pram.memory[2 * n]), pram

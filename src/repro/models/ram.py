@@ -1,0 +1,410 @@
+"""The Random Access Machine: an instrumented word-RAM interpreter.
+
+Paper Section 2 (Blelloch):
+
+    "It is easy to understand, for example, how the algorithmic concept of
+    summing the elements of a sequence can be converted to a for loop at
+    the language level, and a sequence of RAM instructions roughly
+    consisting of a load, add to a register, increment a register, compare,
+    and conditional jump."
+
+This module implements exactly that machine: a register machine over an
+unbounded word-addressed memory, with a tiny assembler so programs can be
+written the way textbooks write them.  The interpreter counts instructions
+by class (loads, stores, ALU ops, branches) so the unit-cost RAM measure —
+and refinements that charge loads/stores differently — can be computed from
+one execution.
+
+The instruction set (three-address, register-register):
+
+======================  =====================================================
+``li rd, imm``          load immediate
+``mv rd, ra``           register move
+``ld rd, (ra)``         load from memory address in ``ra``
+``st (ra), rs``         store ``rs`` to memory address in ``ra``
+``add/sub/mul rd, ra, rb``  arithmetic
+``div/mod rd, ra, rb``  integer division / remainder (toward zero)
+``min/max rd, ra, rb``  minimum / maximum
+``addi rd, ra, imm``    add immediate (also the canonical "increment")
+``muli rd, ra, imm``    multiply by immediate
+``beq/bne/blt/bge ra, rb, label``  conditional branches
+``jmp label``           unconditional branch
+``halt``                stop
+======================  =====================================================
+
+Example — the paper's "sum the elements of a sequence"::
+
+    prog = assemble('''
+        ; r1 = base, r2 = n  ->  r0 = sum
+            li   r0, 0
+            li   r3, 0          ; i = 0
+    loop:   bge  r3, r2, done
+            add  r4, r1, r3
+            ld   r5, (r4)       ; load
+            add  r0, r0, r5     ; add to a register
+            addi r3, r3, 1      ; increment a register
+            jmp  loop           ; compare + conditional jump
+    done:   halt
+    ''')
+    ram = RAM()
+    ram.memory.store_array(100, [3, 1, 4, 1, 5])
+    ram.run(prog, registers={1: 100, 2: 5})
+    assert ram.registers[0] == 14
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "Instruction",
+    "Program",
+    "Memory",
+    "RAM",
+    "RAMError",
+    "assemble",
+    "sum_program",
+]
+
+ALU_OPS = {"add", "sub", "mul", "div", "mod", "min", "max"}
+ALU_IMM_OPS = {"addi", "muli"}
+BRANCH_OPS = {"beq", "bne", "blt", "bge"}
+OPCODES = (
+    {"li", "mv", "ld", "st", "jmp", "halt"} | ALU_OPS | ALU_IMM_OPS | BRANCH_OPS
+)
+
+
+class RAMError(Exception):
+    """Raised on malformed programs or runtime faults (bad opcode, div by 0)."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded RAM instruction.
+
+    ``args`` holds register numbers and immediates positionally, already
+    resolved (labels become instruction indices at assembly time).
+    """
+
+    op: str
+    args: tuple[int, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.op} {', '.join(map(str, self.args))}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled RAM program: instructions plus the label table."""
+
+    instructions: tuple[Instruction, ...]
+    labels: Mapping[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+_LINE_RE = re.compile(
+    r"^\s*(?:(?P<label>[A-Za-z_]\w*)\s*:)?\s*(?P<body>[^;]*?)\s*(?:;.*)?$"
+)
+
+
+def _parse_operand(tok: str, labels: Mapping[str, int]) -> tuple[str, int | str]:
+    tok = tok.strip()
+    if m := re.fullmatch(r"r(\d+)", tok):
+        return "reg", int(m.group(1))
+    if m := re.fullmatch(r"\(\s*r(\d+)\s*\)", tok):
+        return "mem", int(m.group(1))
+    if re.fullmatch(r"-?\d+", tok):
+        return "imm", int(tok)
+    if re.fullmatch(r"[A-Za-z_]\w*", tok):
+        return "label", tok
+    raise RAMError(f"cannot parse operand {tok!r}")
+
+
+def assemble(source: str) -> Program:
+    """Assemble textual RAM assembly into a :class:`Program`.
+
+    Two passes: the first collects labels, the second resolves operands.
+    Comments start with ``;``.  Raises :class:`RAMError` on syntax errors,
+    unknown opcodes, or undefined labels.
+    """
+    lines: list[tuple[str | None, str]] = []
+    for raw in source.splitlines():
+        m = _LINE_RE.match(raw)
+        if m is None:  # pragma: no cover - regex matches everything
+            raise RAMError(f"unparseable line: {raw!r}")
+        label, body = m.group("label"), m.group("body").strip()
+        if label is None and not body:
+            continue
+        lines.append((label, body))
+
+    # pass 1: label -> instruction index
+    labels: dict[str, int] = {}
+    idx = 0
+    for label, body in lines:
+        if label is not None:
+            if label in labels:
+                raise RAMError(f"duplicate label {label!r}")
+            labels[label] = idx
+        if body:
+            idx += 1
+
+    # pass 2: decode
+    instructions: list[Instruction] = []
+    for _label, body in lines:
+        if not body:
+            continue
+        parts = body.split(None, 1)
+        op = parts[0].lower()
+        if op not in OPCODES:
+            raise RAMError(f"unknown opcode {op!r} in {body!r}")
+        operand_str = parts[1] if len(parts) > 1 else ""
+        operands = [s for s in (t.strip() for t in operand_str.split(",")) if s]
+        parsed = [_parse_operand(tok, labels) for tok in operands]
+
+        def expect(kinds: Sequence[str]) -> tuple[int, ...]:
+            if len(parsed) != len(kinds):
+                raise RAMError(f"{op}: expected {len(kinds)} operands in {body!r}")
+            out = []
+            for (kind, val), want in zip(parsed, kinds):
+                if want == "target":
+                    if kind == "label":
+                        if val not in labels:
+                            raise RAMError(f"undefined label {val!r}")
+                        out.append(labels[val])  # type: ignore[index]
+                    elif kind == "imm":
+                        out.append(val)
+                    else:
+                        raise RAMError(f"{op}: bad branch target in {body!r}")
+                elif kind != want:
+                    raise RAMError(
+                        f"{op}: expected {want}, got {kind} ({val!r}) in {body!r}"
+                    )
+                else:
+                    out.append(val)  # type: ignore[arg-type]
+            return tuple(out)  # type: ignore[return-value]
+
+        if op == "li":
+            args = expect(["reg", "imm"])
+        elif op == "mv":
+            args = expect(["reg", "reg"])
+        elif op == "ld":
+            args = expect(["reg", "mem"])
+        elif op == "st":
+            args = expect(["mem", "reg"])
+        elif op in ALU_OPS:
+            args = expect(["reg", "reg", "reg"])
+        elif op in ALU_IMM_OPS:
+            args = expect(["reg", "reg", "imm"])
+        elif op in BRANCH_OPS:
+            args = expect(["reg", "reg", "target"])
+        elif op == "jmp":
+            args = expect(["target"])
+        else:  # halt
+            args = expect([])
+        instructions.append(Instruction(op, args))
+
+    return Program(tuple(instructions), labels)
+
+
+class Memory:
+    """Unbounded word-addressed memory (sparse, integer words).
+
+    Also records the address trace when ``trace=True`` so the same program
+    run can feed the cache simulators in :mod:`repro.machines.cachesim`.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self._words: dict[int, int] = {}
+        self.trace_enabled = trace
+        self.trace: list[tuple[str, int]] = []
+
+    def load(self, addr: int) -> int:
+        if addr < 0:
+            raise RAMError(f"negative address {addr}")
+        if self.trace_enabled:
+            self.trace.append(("r", addr))
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        if addr < 0:
+            raise RAMError(f"negative address {addr}")
+        if self.trace_enabled:
+            self.trace.append(("w", addr))
+        self._words[addr] = int(value)
+
+    def store_array(self, base: int, values: Iterable[int]) -> None:
+        """Bulk-initialize memory without touching counters or the trace."""
+        for i, v in enumerate(values):
+            self._words[base + i] = int(v)
+
+    def load_array(self, base: int, n: int) -> list[int]:
+        """Bulk-read memory without touching counters or the trace."""
+        return [self._words.get(base + i, 0) for i in range(n)]
+
+
+@dataclass
+class InstructionCounts:
+    """Instruction counts by class; ``total`` is the unit-cost RAM time."""
+
+    loads: int = 0
+    stores: int = 0
+    alu: int = 0
+    branches: int = 0
+    moves: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores + self.alu + self.branches + self.moves
+
+    @property
+    def memory_ops(self) -> int:
+        return self.loads + self.stores
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "loads": self.loads,
+            "stores": self.stores,
+            "alu": self.alu,
+            "branches": self.branches,
+            "moves": self.moves,
+            "total": self.total,
+        }
+
+
+class RAM:
+    """The word-RAM interpreter.
+
+    Parameters
+    ----------
+    trace_memory:
+        If true, every load/store is appended to ``memory.trace`` as
+        ``('r'|'w', addr)`` for cache simulation.
+    max_steps:
+        Safety bound on executed instructions (default 10 million).
+    """
+
+    def __init__(self, trace_memory: bool = False, max_steps: int = 10_000_000) -> None:
+        self.memory = Memory(trace=trace_memory)
+        self.registers: dict[int, int] = {}
+        self.counts = InstructionCounts()
+        self.max_steps = max_steps
+
+    # ------------------------------------------------------------------ #
+
+    def _reg(self, r: int) -> int:
+        return self.registers.get(r, 0)
+
+    def run(self, program: Program, registers: Mapping[int, int] | None = None) -> InstructionCounts:
+        """Execute ``program`` to ``halt`` (or off the end) and return counts.
+
+        ``registers`` pre-loads register values (e.g. argument pointers).
+        Counts accumulate across calls; use a fresh :class:`RAM` per
+        measurement.
+        """
+        if registers:
+            for r, v in registers.items():
+                self.registers[r] = int(v)
+        pc = 0
+        n = len(program.instructions)
+        steps = 0
+        while 0 <= pc < n:
+            steps += 1
+            if steps > self.max_steps:
+                raise RAMError(f"exceeded max_steps={self.max_steps}")
+            ins = program.instructions[pc]
+            op, a = ins.op, ins.args
+            pc += 1
+            if op == "ld":
+                self.registers[a[0]] = self.memory.load(self._reg(a[1]))
+                self.counts.loads += 1
+            elif op == "st":
+                self.memory.store(self._reg(a[0]), self._reg(a[1]))
+                self.counts.stores += 1
+            elif op == "add":
+                self.registers[a[0]] = self._reg(a[1]) + self._reg(a[2])
+                self.counts.alu += 1
+            elif op == "sub":
+                self.registers[a[0]] = self._reg(a[1]) - self._reg(a[2])
+                self.counts.alu += 1
+            elif op == "mul":
+                self.registers[a[0]] = self._reg(a[1]) * self._reg(a[2])
+                self.counts.alu += 1
+            elif op == "div":
+                d = self._reg(a[2])
+                if d == 0:
+                    raise RAMError("division by zero")
+                self.registers[a[0]] = int(self._reg(a[1]) / d)
+                self.counts.alu += 1
+            elif op == "mod":
+                d = self._reg(a[2])
+                if d == 0:
+                    raise RAMError("modulo by zero")
+                q = int(self._reg(a[1]) / d)
+                self.registers[a[0]] = self._reg(a[1]) - q * d
+                self.counts.alu += 1
+            elif op == "min":
+                self.registers[a[0]] = min(self._reg(a[1]), self._reg(a[2]))
+                self.counts.alu += 1
+            elif op == "max":
+                self.registers[a[0]] = max(self._reg(a[1]), self._reg(a[2]))
+                self.counts.alu += 1
+            elif op == "addi":
+                self.registers[a[0]] = self._reg(a[1]) + a[2]
+                self.counts.alu += 1
+            elif op == "muli":
+                self.registers[a[0]] = self._reg(a[1]) * a[2]
+                self.counts.alu += 1
+            elif op == "li":
+                self.registers[a[0]] = a[1]
+                self.counts.moves += 1
+            elif op == "mv":
+                self.registers[a[0]] = self._reg(a[1])
+                self.counts.moves += 1
+            elif op == "beq":
+                self.counts.branches += 1
+                if self._reg(a[0]) == self._reg(a[1]):
+                    pc = a[2]
+            elif op == "bne":
+                self.counts.branches += 1
+                if self._reg(a[0]) != self._reg(a[1]):
+                    pc = a[2]
+            elif op == "blt":
+                self.counts.branches += 1
+                if self._reg(a[0]) < self._reg(a[1]):
+                    pc = a[2]
+            elif op == "bge":
+                self.counts.branches += 1
+                if self._reg(a[0]) >= self._reg(a[1]):
+                    pc = a[2]
+            elif op == "jmp":
+                self.counts.branches += 1
+                pc = a[0]
+            elif op == "halt":
+                break
+            else:  # pragma: no cover - assembler rejects unknown ops
+                raise RAMError(f"unknown opcode {op!r}")
+        return self.counts
+
+
+#: Source of the paper's "sum a sequence" program (Section 2's example).
+SUM_SOURCE = """
+; inputs: r1 = base address, r2 = n ; output: r0 = sum
+        li   r0, 0
+        li   r3, 0
+loop:   bge  r3, r2, done
+        add  r4, r1, r3
+        ld   r5, (r4)
+        add  r0, r0, r5
+        addi r3, r3, 1
+        jmp  loop
+done:   halt
+"""
+
+
+def sum_program() -> Program:
+    """The paper's canonical example: sum a sequence on the RAM."""
+    return assemble(SUM_SOURCE)

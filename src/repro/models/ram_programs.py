@@ -1,0 +1,157 @@
+"""A small library of RAM assembly programs.
+
+Section 2's argument for the RAM is pedagogical: "The RAM abstraction ...
+has allowed us to educate innumerable students in the art of algorithm
+design."  This module is that curriculum in miniature — the classic
+kernels as assembly for the instrumented word-RAM, each with a documented
+register calling convention, used by the multicore benches (instruction
+mixes, cache behaviour) and by tests that check the *measured* instruction
+counts against the theory the algorithms are taught with (linear scans are
+linear, binary search is logarithmic, bubble sort is quadratic).
+
+Conventions: inputs in low registers as documented per program; results in
+``r0`` unless stated; memory is caller-prepared.  All programs terminate
+with ``halt``.
+"""
+
+from __future__ import annotations
+
+from repro.models.ram import Program, assemble
+
+__all__ = [
+    "memcpy_program",
+    "binary_search_program",
+    "fibonacci_program",
+    "bubble_sort_program",
+    "strided_sum_program",
+    "dot_product_program",
+]
+
+
+def memcpy_program() -> Program:
+    """Copy ``r3`` words from address ``r1`` to address ``r2``."""
+    return assemble("""
+        ; r1 = src, r2 = dst, r3 = n
+            li   r4, 0
+    loop:   bge  r4, r3, done
+            add  r5, r1, r4
+            ld   r6, (r5)
+            add  r7, r2, r4
+            st   (r7), r6
+            addi r4, r4, 1
+            jmp  loop
+    done:   halt
+    """)
+
+
+def binary_search_program() -> Program:
+    """Find ``r3`` in the sorted array at base ``r1`` of length ``r2``.
+
+    Returns the index in ``r0``, or -1 if absent.  O(log n) iterations —
+    the measured branch count is checked against that in the tests.
+    """
+    return assemble("""
+        ; r1 = base, r2 = n, r3 = key -> r0 = index or -1
+            li   r4, 0          ; lo
+            mv   r5, r2         ; hi (exclusive)
+            li   r0, -1
+    loop:   bge  r4, r5, done
+            add  r6, r4, r5
+            li   r7, 2
+            div  r6, r6, r7     ; mid
+            add  r8, r1, r6
+            ld   r9, (r8)
+            beq  r9, r3, found
+            blt  r9, r3, right
+            mv   r5, r6         ; hi = mid
+            jmp  loop
+    right:  addi r4, r6, 1      ; lo = mid + 1
+            jmp  loop
+    found:  mv   r0, r6
+    done:   halt
+    """)
+
+
+def fibonacci_program() -> Program:
+    """Iterative Fibonacci: ``r0 = fib(r1)`` (fib(0)=0, fib(1)=1)."""
+    return assemble("""
+        ; r1 = n -> r0 = fib(n)
+            li   r0, 0
+            li   r2, 1
+            li   r3, 0          ; i
+    loop:   bge  r3, r1, done
+            add  r4, r0, r2
+            mv   r0, r2
+            mv   r2, r4
+            addi r3, r3, 1
+            jmp  loop
+    done:   halt
+    """)
+
+
+def bubble_sort_program() -> Program:
+    """In-place bubble sort of ``r2`` words at base ``r1``.
+
+    O(n^2) — the RAM curriculum's canonical bad example, measured as such.
+    """
+    return assemble("""
+        ; r1 = base, r2 = n
+            li   r3, 0          ; i
+    outer:  addi r4, r2, -1
+            bge  r3, r4, done
+            li   r5, 0          ; j
+    inner:  sub  r6, r2, r3
+            addi r6, r6, -1
+            bge  r5, r6, next
+            add  r7, r1, r5
+            ld   r8, (r7)
+            addi r9, r7, 1
+            ld   r10, (r9)
+            bge  r10, r8, skip
+            st   (r7), r10
+            st   (r9), r8
+    skip:   addi r5, r5, 1
+            jmp  inner
+    next:   addi r3, r3, 1
+            jmp  outer
+    done:   halt
+    """)
+
+
+def strided_sum_program() -> Program:
+    """Sum every ``r3``-th word of the ``r2``-word array at ``r1``.
+
+    Same instruction mix as the contiguous sum but a cache-hostile access
+    pattern — the pair the multicore cache studies compare.
+    """
+    return assemble("""
+        ; r1 = base, r2 = n (words), r3 = stride -> r0 = sum
+            li   r0, 0
+            li   r4, 0          ; offset
+    loop:   bge  r4, r2, done
+            add  r5, r1, r4
+            ld   r6, (r5)
+            add  r0, r0, r6
+            add  r4, r4, r3
+            jmp  loop
+    done:   halt
+    """)
+
+
+def dot_product_program() -> Program:
+    """``r0 = sum(a[i] * b[i])`` for arrays at ``r1`` and ``r2`` of length ``r3``."""
+    return assemble("""
+        ; r1 = base a, r2 = base b, r3 = n -> r0
+            li   r0, 0
+            li   r4, 0
+    loop:   bge  r4, r3, done
+            add  r5, r1, r4
+            ld   r6, (r5)
+            add  r7, r2, r4
+            ld   r8, (r7)
+            mul  r9, r6, r8
+            add  r0, r0, r9
+            addi r4, r4, 1
+            jmp  loop
+    done:   halt
+    """)

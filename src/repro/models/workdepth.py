@@ -1,0 +1,242 @@
+"""The work-depth (work-span) model: computation DAGs and Brent's bound.
+
+Blelloch's panel statement (Section 2) names this model as the RAM's
+rightful parallel successor:
+
+    "At least for multicore machines, there are parallel models that are
+    simple, use simple constructs in programming languages, and support
+    cost mappings down to the machine level that reasonably capture real
+    performance.  This includes the fork-join work-depth (or work-span)
+    model."
+
+A computation is a directed acyclic graph of tasks; **work** W is the total
+task time and **span** (depth) D is the weight of the longest path.  The
+model's "cost mapping down to the machine level" is Brent's theorem: any
+greedy schedule on P processors finishes in time
+
+    max(W/P, D)  <=  T_P  <=  W/P + D            (unit tasks: (W-D)/P + D)
+
+Claim C10 in DESIGN.md checks this bound empirically against the greedy and
+work-stealing schedulers in :mod:`repro.runtime.scheduler`.
+
+This module owns the :class:`Dag` structure used across the package (the
+fork-join recorder in :mod:`repro.runtime.fork_join` produces one, the
+schedulers consume one) and the analytical work/span computations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+import numpy as np
+
+__all__ = ["Dag", "DagError", "brent_bounds", "greedy_schedule_length"]
+
+
+class DagError(Exception):
+    """Raised for malformed DAGs (cycles, unknown nodes, bad durations)."""
+
+
+class Dag:
+    """A computation DAG with weighted (integer-duration) task nodes.
+
+    Nodes are dense integer ids assigned by :meth:`add_node`.  Edges point
+    from a task to tasks that depend on it.  The structure is append-only,
+    which keeps analyses (work, span, topological order) cacheable.
+    """
+
+    def __init__(self) -> None:
+        self.durations: list[int] = []
+        self.successors: list[list[int]] = []
+        self.predecessors: list[list[int]] = []
+        self._topo_cache: list[int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, duration: int = 1) -> int:
+        """Add a task taking ``duration`` time units; returns its id."""
+        if duration < 0:
+            raise DagError(f"duration must be non-negative, got {duration}")
+        self.durations.append(int(duration))
+        self.successors.append([])
+        self.predecessors.append([])
+        self._topo_cache = None
+        return len(self.durations) - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add dependence ``u -> v`` (v cannot start until u completes)."""
+        n = len(self.durations)
+        if not (0 <= u < n and 0 <= v < n):
+            raise DagError(f"edge ({u}, {v}) references unknown node")
+        if u == v:
+            raise DagError(f"self-loop on node {u}")
+        self.successors[u].append(v)
+        self.predecessors[v].append(u)
+        self._topo_cache = None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.durations)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(s) for s in self.successors)
+
+    # ------------------------------------------------------------------ #
+    # analysis
+    # ------------------------------------------------------------------ #
+
+    def topological_order(self) -> list[int]:
+        """Kahn topological order; raises :class:`DagError` on a cycle."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        n = self.n_nodes
+        indeg = np.array([len(p) for p in self.predecessors], dtype=np.int64)
+        stack = [i for i in range(n) if indeg[i] == 0]
+        order: list[int] = []
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            for v in self.successors[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    stack.append(v)
+        if len(order) != n:
+            raise DagError("graph contains a cycle")
+        self._topo_cache = order
+        return order
+
+    def work(self) -> int:
+        """W: total duration over all tasks."""
+        return int(sum(self.durations))
+
+    def span(self) -> int:
+        """D: weight of the heaviest path (the model's 'depth')."""
+        dist = self._longest_finish_times()
+        return int(dist.max()) if self.n_nodes else 0
+
+    def _longest_finish_times(self) -> np.ndarray:
+        """Earliest possible finish time of each node with unbounded processors."""
+        n = self.n_nodes
+        finish = np.zeros(n, dtype=np.int64)
+        for u in self.topological_order():
+            start = 0
+            for p in self.predecessors[u]:
+                if finish[p] > start:
+                    start = finish[p]
+            finish[u] = start + self.durations[u]
+        return finish
+
+    def critical_path(self) -> list[int]:
+        """One heaviest path, as a list of node ids from a source to a sink."""
+        if self.n_nodes == 0:
+            return []
+        finish = self._longest_finish_times()
+        node = int(np.argmax(finish))
+        path = [node]
+        while self.predecessors[node]:
+            preds = self.predecessors[node]
+            node = max(preds, key=lambda p: finish[p])
+            path.append(node)
+        path.reverse()
+        return path
+
+    def parallelism(self) -> float:
+        """W/D — the model's measure of available parallelism."""
+        d = self.span()
+        return self.work() / d if d else float("inf")
+
+    # ------------------------------------------------------------------ #
+    # generators for tests/benches
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def chain(n: int, duration: int = 1) -> "Dag":
+        """A fully serial chain: W = n*duration = D."""
+        d = Dag()
+        prev = None
+        for _ in range(n):
+            node = d.add_node(duration)
+            if prev is not None:
+                d.add_edge(prev, node)
+            prev = node
+        return d
+
+    @staticmethod
+    def independent(n: int, duration: int = 1) -> "Dag":
+        """n independent tasks: W = n*duration, D = duration."""
+        d = Dag()
+        for _ in range(n):
+            d.add_node(duration)
+        return d
+
+    @staticmethod
+    def binary_tree_reduction(n_leaves: int, duration: int = 1) -> "Dag":
+        """A balanced reduction tree over ``n_leaves`` leaves."""
+        if n_leaves < 1:
+            raise DagError("need at least one leaf")
+        d = Dag()
+        frontier = [d.add_node(duration) for _ in range(n_leaves)]
+        while len(frontier) > 1:
+            nxt = []
+            for i in range(0, len(frontier) - 1, 2):
+                parent = d.add_node(duration)
+                d.add_edge(frontier[i], parent)
+                d.add_edge(frontier[i + 1], parent)
+                nxt.append(parent)
+            if len(frontier) % 2:
+                nxt.append(frontier[-1])
+            frontier = nxt
+        return d
+
+    @staticmethod
+    def random_dag(
+        n: int, edge_prob: float, seed: int = 0, max_duration: int = 1
+    ) -> "Dag":
+        """A random DAG (edges only forward in id order) for property tests."""
+        rng = np.random.default_rng(seed)
+        d = Dag()
+        for _ in range(n):
+            d.add_node(int(rng.integers(1, max_duration + 1)))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < edge_prob:
+                    d.add_edge(u, v)
+        return d
+
+
+def brent_bounds(work: int, span: int, p: int) -> tuple[int, int]:
+    """Brent's theorem bounds on greedy P-processor schedule length.
+
+    Returns ``(lower, upper)`` with
+
+        lower = max(ceil(W/P), D)
+        upper = floor((W - D) / P) + D
+
+    Any greedy schedule satisfies ``lower <= T_P <= upper`` (the upper form
+    is the unit-task statement; for weighted tasks ``W/P + D`` also holds
+    and is implied since ``floor((W-D)/P) + D <= W/P + D``).
+    """
+    if p < 1:
+        raise ValueError("p must be positive")
+    if span > work:
+        raise ValueError(f"span {span} cannot exceed work {work}")
+    lower = max(math.ceil(work / p), span)
+    upper = (work - span) // p + span
+    return lower, upper
+
+
+def greedy_schedule_length(dag: Dag, p: int) -> int:
+    """Length of the canonical greedy (level-by-level) schedule on P workers.
+
+    Semantics: at every time step, if k tasks are ready, min(k, P) of them
+    execute (FIFO among ready tasks).  Tasks with duration d occupy a worker
+    for d consecutive steps (non-preemptive).  This is the schedule Brent's
+    theorem reasons about; the richer simulators (with utilization traces
+    and work stealing) live in :mod:`repro.runtime.scheduler`.
+    """
+    from repro.runtime.scheduler import greedy_schedule
+
+    return greedy_schedule(dag, p).length

@@ -1,0 +1,25 @@
+"""Fork-join runtime: the programming model Blelloch's statement advocates.
+
+``fork_join`` provides a spawn/sync DSL that records a series-parallel
+computation DAG while computing real values; ``scheduler`` maps such DAGs
+onto P workers (greedy list scheduling, randomized work stealing, and a
+centralized queue) so Brent's bound and scheduler overheads can be measured
+rather than assumed; ``tasks`` holds the ready-set bookkeeping they share.
+"""
+
+from repro.runtime.fork_join import ForkJoin, analyze
+from repro.runtime.scheduler import (
+    Schedule,
+    greedy_schedule,
+    work_stealing_schedule,
+    centralized_queue_schedule,
+)
+
+__all__ = [
+    "ForkJoin",
+    "analyze",
+    "Schedule",
+    "greedy_schedule",
+    "work_stealing_schedule",
+    "centralized_queue_schedule",
+]

@@ -1,0 +1,231 @@
+"""Fork-join DSL: write the algorithm once, get values *and* a work-span DAG.
+
+Blelloch's statement argues the fork-join work-depth model is "simple, uses
+simple constructs in programming languages, and supports cost mappings down
+to the machine level".  This module supplies those constructs for Python:
+
+*  ``fj.spawn(fn, *args)`` — fork ``fn`` as a logically-parallel child;
+   returns a :class:`Future` whose ``.value`` is available after ``sync``;
+*  ``fj.sync()`` — join all children spawned in the current activation;
+*  ``fj.work(k)`` — charge ``k`` units of computation to the current strand;
+*  ``fj.parallel_for(n, body, grain=...)`` — divide-and-conquer parallel
+   loop with span ``O(log n)`` plus the body span.
+
+Execution is ordinary depth-first Python (deterministic, debuggable), but a
+series-parallel :class:`~repro.models.workdepth.Dag` of *strands* is
+recorded on the side.  The DAG's work/span feed Brent's bound and the
+schedulers, giving the model's promised "clear translation of costs" —
+measured, not asserted.
+
+Semantics notes
+---------------
+*  A *strand* is a maximal run of serial work between fork/join points; its
+   duration is whatever ``fj.work`` charged to it.
+*  Each spawned activation (and the root) owns a frame; ``sync`` joins the
+   children of the innermost frame.  Spawned activations auto-sync on
+   return, as in Cilk, so a child's outstanding grandchildren can never
+   leak past it.
+*  Helper functions called *inline* (ordinary Python calls) share the
+   caller's frame: their spawns become the caller's children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.models.workdepth import Dag
+
+__all__ = ["Future", "ForkJoin", "AnalysisResult", "analyze"]
+
+
+class Future:
+    """Result cell for a spawned computation.
+
+    Reading ``.value`` before the owning frame has synced raises — that is
+    a determinacy race in the fork-join model, and we make it a hard error.
+    """
+
+    __slots__ = ("_value", "_ready")
+
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._ready = False
+
+    def _set(self, value: Any) -> None:
+        self._value = value
+        self._ready = True
+
+    @property
+    def value(self) -> Any:
+        if not self._ready:
+            raise RuntimeError(
+                "future read before sync(): this is a determinacy race"
+            )
+        return self._value
+
+
+@dataclass
+class _Frame:
+    pending: list[int]  # end-strand node ids of un-synced children
+    pending_futures: list[Future]
+
+
+class ForkJoin:
+    """A fork-join computation recorder.
+
+    Use :func:`analyze` for the common run-and-measure case; instantiate
+    directly when the caller wants to inspect the DAG mid-flight.
+    """
+
+    def __init__(self) -> None:
+        self.dag = Dag()
+        self._current: int = self.dag.add_node(0)
+        self._frames: list[_Frame] = [_Frame([], [])]
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # DSL
+    # ------------------------------------------------------------------ #
+
+    def work(self, amount: int = 1) -> None:
+        """Charge ``amount`` units of serial work to the current strand."""
+        if amount < 0:
+            raise ValueError(f"work must be non-negative, got {amount}")
+        self.dag.durations[self._current] += int(amount)
+
+    def spawn(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Fork ``fn(self, *args, **kwargs)`` as a parallel child.
+
+        The child executes immediately (depth-first) for value purposes,
+        but in the recorded DAG it runs in parallel with the caller's
+        continuation.  The child gets its own frame and auto-syncs on
+        return.
+        """
+        fork_point = self._current
+        # child strand
+        child_start = self.dag.add_node(0)
+        self.dag.add_edge(fork_point, child_start)
+        self._current = child_start
+        self._frames.append(_Frame([], []))
+        try:
+            result = fn(self, *args, **kwargs)
+            self._auto_sync()
+        finally:
+            child_end = self._current
+            self._frames.pop()
+            # continuation strand of the parent
+            cont = self.dag.add_node(0)
+            self.dag.add_edge(fork_point, cont)
+            self._current = cont
+        fut = Future()
+        fut._value = result  # stored, but not readable until sync()
+        frame = self._frames[-1]
+        frame.pending.append(child_end)
+        frame.pending_futures.append(fut)
+        return fut
+
+    def sync(self) -> None:
+        """Join all children spawned (and not yet synced) in this frame."""
+        frame = self._frames[-1]
+        if not frame.pending:
+            return
+        join = self.dag.add_node(0)
+        self.dag.add_edge(self._current, join)
+        for end in frame.pending:
+            self.dag.add_edge(end, join)
+        for fut in frame.pending_futures:
+            fut._ready = True
+        frame.pending.clear()
+        frame.pending_futures.clear()
+        self._current = join
+
+    def _auto_sync(self) -> None:
+        self.sync()
+
+    def parallel_for(
+        self,
+        n: int,
+        body: Callable[["ForkJoin", int], Any],
+        grain: int = 1,
+    ) -> None:
+        """Run ``body(fj, i)`` for i in [0, n) with logarithmic span.
+
+        ``grain`` controls the serial leaf size (larger grain = less
+        fork-join overhead, more serial work per strand — the classic
+        granularity knob).
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if grain < 1:
+            raise ValueError("grain must be >= 1")
+        if n == 0:
+            return
+
+        def recurse(fj: "ForkJoin", lo: int, hi: int) -> None:
+            if hi - lo <= grain:
+                for i in range(lo, hi):
+                    body(fj, i)
+                return
+            mid = (lo + hi) // 2
+            fj.spawn(recurse, lo, mid)
+            fj.spawn(recurse, mid, hi)
+            fj.sync()
+
+        recurse(self, 0, n)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Execute ``fn(self, ...)`` as the root activation and return its value."""
+        if self._running:
+            raise RuntimeError("ForkJoin.run is not reentrant")
+        self._running = True
+        try:
+            result = fn(self, *args, **kwargs)
+            self.sync()
+            return result
+        finally:
+            self._running = False
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything the work-depth model says about one computation."""
+
+    value: Any
+    dag: Dag
+    work: int
+    span: int
+
+    @property
+    def parallelism(self) -> float:
+        return self.work / self.span if self.span else float("inf")
+
+
+def analyze(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> AnalysisResult:
+    """Run a fork-join computation and return value + work/span analysis.
+
+    Example::
+
+        def sum_rec(fj, a):
+            if len(a) == 1:
+                fj.work(1)
+                return a[0]
+            mid = len(a) // 2
+            left = fj.spawn(sum_rec, a[:mid])
+            right = sum_rec(fj, a[mid:])
+            fj.sync()
+            fj.work(1)
+            return left.value + right
+
+        res = analyze(sum_rec, [1, 2, 3, 4])
+        res.value        # 10
+        res.work         # Theta(n)
+        res.span         # Theta(log n)
+    """
+    fj = ForkJoin()
+    value = fj.run(fn, *args, **kwargs)
+    return AnalysisResult(
+        value=value, dag=fj.dag, work=fj.dag.work(), span=fj.dag.span()
+    )

@@ -1,0 +1,272 @@
+"""Schedulers: mapping computation DAGs onto P workers.
+
+Blelloch's statement leans on the existence of "a scheduler that maps
+abstract tasks to actual processors" with "some clear translation of costs
+from the model to the machine".  This module provides three such schedulers
+with full instrumentation, so the translation can be *measured*:
+
+``greedy_schedule``
+    Canonical list scheduling — never leaves a worker idle while a task is
+    ready.  This is the schedule Brent's theorem bounds.
+``work_stealing_schedule``
+    Randomized work stealing (Cilk-style): per-worker deques, owners pop
+    from the bottom, thieves steal from the top of a uniformly random
+    victim.  Seeded and reproducible.  Satisfies T_P <= W/P + O(D) in
+    expectation; claim C10's bench measures the constant.
+``centralized_queue_schedule``
+    A single shared FIFO with an optional per-dequeue contention penalty —
+    the "heavyweight mechanism" Yelick's statement warns about.
+
+All three return a :class:`Schedule` carrying the makespan, per-task start
+times, a per-step utilization trace, and (for stealing) steal statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.workdepth import Dag
+from repro.runtime.tasks import ReadyTracker
+
+__all__ = [
+    "Schedule",
+    "greedy_schedule",
+    "work_stealing_schedule",
+    "centralized_queue_schedule",
+]
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling a DAG on ``p`` workers.
+
+    Attributes
+    ----------
+    length:
+        Makespan T_P in time steps.
+    p:
+        Number of workers.
+    start_times:
+        Task id -> start step.
+    assignments:
+        Task id -> worker id.
+    busy_steps:
+        Total worker-steps spent executing tasks (equals DAG work).
+    utilization:
+        busy_steps / (length * p); 1.0 means no idling at all.
+    steal_attempts / successful_steals:
+        Work-stealing statistics (zero for the other schedulers).
+    """
+
+    length: int
+    p: int
+    start_times: dict[int, int] = field(default_factory=dict)
+    assignments: dict[int, int] = field(default_factory=dict)
+    busy_steps: int = 0
+    steal_attempts: int = 0
+    successful_steals: int = 0
+
+    @property
+    def utilization(self) -> float:
+        if self.length == 0:
+            return 1.0
+        return self.busy_steps / (self.length * self.p)
+
+    def validate_against(self, dag: Dag) -> None:
+        """Check the schedule respects dependences and worker capacity.
+
+        Raises ``AssertionError`` with a description on the first violation;
+        used by tests and by the claim benches as a self-check.
+        """
+        assert len(self.start_times) == dag.n_nodes, "not all tasks scheduled"
+        finish = {
+            u: self.start_times[u] + dag.durations[u] for u in self.start_times
+        }
+        for u in range(dag.n_nodes):
+            for v in dag.successors[u]:
+                assert self.start_times[v] >= finish[u], (
+                    f"task {v} starts at {self.start_times[v]} before "
+                    f"predecessor {u} finishes at {finish[u]}"
+                )
+        # capacity: no more than p tasks running at any step
+        events: dict[int, int] = {}
+        for u, s in self.start_times.items():
+            events[s] = events.get(s, 0) + 1
+            events[finish[u]] = events.get(finish[u], 0) - 1
+        running = 0
+        for t in sorted(events):
+            running += events[t]
+            assert running <= self.p, f"{running} tasks running at step {t} > p={self.p}"
+        assert max(finish.values(), default=0) == self.length, "length mismatch"
+
+
+def greedy_schedule(dag: Dag, p: int) -> Schedule:
+    """Greedy (Brent) list scheduling: FIFO among ready tasks.
+
+    Event-driven: maintains a heap of (finish_time, worker) for running
+    tasks and a FIFO of ready tasks; whenever a worker frees up, it takes
+    the oldest ready task.  O((V + E) log V).
+    """
+    if p < 1:
+        raise ValueError("p must be positive")
+    tracker = ReadyTracker(dag)
+    ready: deque[int] = deque(tracker.initial_ready())
+    sched = Schedule(length=0, p=p)
+    running: list[tuple[int, int, int]] = []  # (finish_time, worker, task)
+    free_workers = list(range(p - 1, -1, -1))
+    now = 0
+    while ready or running:
+        # dispatch
+        while ready and free_workers:
+            task = ready.popleft()
+            w = free_workers.pop()
+            dur = dag.durations[task]
+            sched.start_times[task] = now
+            sched.assignments[task] = w
+            sched.busy_steps += dur
+            heapq.heappush(running, (now + dur, w, task))
+        if not running:
+            if ready:  # all tasks zero-duration handled below
+                continue
+            break
+        # advance to next completion time
+        now = running[0][0]
+        while running and running[0][0] == now:
+            _, w, task = heapq.heappop(running)
+            free_workers.append(w)
+            ready.extend(tracker.complete(task))
+    if not tracker.all_done:
+        raise ValueError("DAG not fully scheduled (disconnected cycle?)")
+    sched.length = now
+    return sched
+
+
+def work_stealing_schedule(dag: Dag, p: int, seed: int = 0) -> Schedule:
+    """Randomized work stealing, simulated step-by-step.
+
+    Per step, each worker with a current task executes one unit of it.  A
+    worker with an empty deque and no current task makes one steal attempt
+    at a uniformly random other worker, taking the *top* (oldest) task of
+    the victim's deque; the attempt costs the step.  When a task completes,
+    its newly-ready successors are pushed on the *bottom* of the finishing
+    worker's deque (preserving the depth-first order Cilk relies on).
+    """
+    if p < 1:
+        raise ValueError("p must be positive")
+    rng = np.random.default_rng(seed)
+    tracker = ReadyTracker(dag)
+    deques: list[deque[int]] = [deque() for _ in range(p)]
+    # scatter the initial sources round-robin (cold start)
+    for i, t in enumerate(tracker.initial_ready()):
+        deques[i % p].append(t)
+
+    current: list[int | None] = [None] * p
+    remaining = list(dag.durations)
+    sched = Schedule(length=0, p=p)
+    n_done = 0
+    now = 0
+    total = dag.n_nodes
+    # guard against infinite loops from bugs (generous: stealing is random)
+    max_steps = 1000 * (dag.work() + dag.span() + total + p) + 10_000
+    while n_done < total:
+        now += 1
+        if now > max_steps:  # pragma: no cover - defensive
+            raise RuntimeError("work-stealing simulation did not converge")
+        completed_this_step: list[tuple[int, int]] = []  # (worker, task)
+        stealers: list[int] = []
+        for w in range(p):
+            # acquire work, absorbing zero-duration bookkeeping strands
+            # for free within the step (their successors enqueue inline)
+            while current[w] is None and deques[w]:
+                task = deques[w].pop()  # bottom = newest (LIFO for owner)
+                sched.start_times[task] = now - 1
+                sched.assignments[task] = w
+                if remaining[task] == 0:
+                    n_done += 1
+                    for v in tracker.complete(task):
+                        deques[w].append(v)
+                else:
+                    current[w] = task
+            if current[w] is None:
+                stealers.append(w)
+                continue
+            task = current[w]
+            remaining[task] -= 1
+            sched.busy_steps += 1
+            if remaining[task] == 0:
+                completed_this_step.append((w, task))
+                current[w] = None
+        # steal phase: steals land at end of step (victim set snapshot)
+        for w in stealers:
+            sched.steal_attempts += 1
+            if p == 1:
+                continue
+            victim = int(rng.integers(0, p - 1))
+            if victim >= w:
+                victim += 1
+            if deques[victim]:
+                stolen = deques[victim].popleft()  # top = oldest
+                deques[w].append(stolen)
+                sched.successful_steals += 1
+        # completion phase
+        for w, task in completed_this_step:
+            n_done += 1
+            for v in tracker.complete(task):
+                deques[w].append(v)
+    sched.length = now
+    return sched
+
+
+def centralized_queue_schedule(
+    dag: Dag, p: int, dequeue_penalty: int = 0
+) -> Schedule:
+    """A single shared FIFO queue with an optional per-dequeue penalty.
+
+    ``dequeue_penalty`` models the serialization cost of a heavyweight
+    shared structure: each dispatch occupies the queue for ``1 +
+    dequeue_penalty`` steps, during which no other worker can dequeue.
+    With penalty 0 this coincides with greedy scheduling (and is checked
+    against it in the tests).
+    """
+    if p < 1:
+        raise ValueError("p must be positive")
+    if dequeue_penalty < 0:
+        raise ValueError("penalty must be non-negative")
+    tracker = ReadyTracker(dag)
+    ready: deque[int] = deque(tracker.initial_ready())
+    sched = Schedule(length=0, p=p)
+    worker_free_at = [0] * p
+    queue_free_at = 0
+    finish_heap: list[tuple[int, int]] = []  # (finish_time, task)
+    scheduled = 0
+    total = dag.n_nodes
+    while scheduled < total:
+        if ready:
+            task = ready.popleft()
+            w = min(range(p), key=lambda i: worker_free_at[i])
+            grab = max(worker_free_at[w], queue_free_at)
+            queue_free_at = grab + 1 + dequeue_penalty if dequeue_penalty else grab
+            start = grab
+            dur = dag.durations[task]
+            sched.start_times[task] = start
+            sched.assignments[task] = w
+            sched.busy_steps += dur
+            worker_free_at[w] = start + dur
+            heapq.heappush(finish_heap, (start + dur, task))
+            scheduled += 1
+        else:
+            if not finish_heap:
+                raise ValueError("DAG not fully schedulable")
+            t, task = heapq.heappop(finish_heap)
+            queue_free_at = max(queue_free_at, t)
+            ready.extend(tracker.complete(task))
+    # drain completions
+    while finish_heap:
+        t, task = heapq.heappop(finish_heap)
+        ready.extend(tracker.complete(task))
+    sched.length = max(worker_free_at) if total else 0
+    return sched

@@ -1,0 +1,64 @@
+"""Ready-set bookkeeping shared by the schedulers.
+
+A :class:`ReadyTracker` watches a :class:`~repro.models.workdepth.Dag` and
+maintains the set of tasks whose predecessors have all completed.  The
+schedulers in :mod:`repro.runtime.scheduler` differ only in *which* ready
+task runs *where*; the dependence bookkeeping is identical, so it lives
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.models.workdepth import Dag
+
+__all__ = ["ReadyTracker"]
+
+
+class ReadyTracker:
+    """Incremental ready-set maintenance over a fixed DAG.
+
+    ``complete(u)`` marks ``u`` done and returns the tasks newly enabled by
+    it, in successor order (deterministic given the DAG).
+    """
+
+    def __init__(self, dag: Dag) -> None:
+        self.dag = dag
+        self._remaining = np.array(
+            [len(p) for p in dag.predecessors], dtype=np.int64
+        )
+        self._done = np.zeros(dag.n_nodes, dtype=bool)
+        self.n_completed = 0
+
+    def initial_ready(self) -> list[int]:
+        """All source tasks (no predecessors), in id order."""
+        return [i for i in range(self.dag.n_nodes) if self._remaining[i] == 0]
+
+    def complete(self, u: int) -> list[int]:
+        """Mark ``u`` complete; return newly-ready successors."""
+        if self._done[u]:
+            raise ValueError(f"task {u} completed twice")
+        self._done[u] = True
+        self.n_completed += 1
+        newly = []
+        for v in self.dag.successors[u]:
+            self._remaining[v] -= 1
+            if self._remaining[v] == 0:
+                newly.append(v)
+            elif self._remaining[v] < 0:  # pragma: no cover - defensive
+                raise ValueError(f"task {v} enabled more times than it has deps")
+        return newly
+
+    def complete_many(self, tasks: Iterable[int]) -> list[int]:
+        """Complete several tasks; return the union of newly-ready sets."""
+        out: list[int] = []
+        for u in tasks:
+            out.extend(self.complete(u))
+        return out
+
+    @property
+    def all_done(self) -> bool:
+        return self.n_completed == self.dag.n_nodes

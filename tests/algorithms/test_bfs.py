@@ -1,0 +1,160 @@
+"""BFS: all formulations, non-determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import (
+    UNREACHED,
+    bfs_level_sync,
+    bfs_pram,
+    bfs_serial,
+    bfs_xmt,
+    level_work_profile,
+    validate_bfs_tree,
+)
+from repro.algorithms.graphs import (
+    grid_graph,
+    path_graph,
+    random_gnp,
+    star_graph,
+)
+
+
+class TestSerial:
+    def test_path_distances(self):
+        g = path_graph(6)
+        r = bfs_serial(g, 0)
+        assert r.dist.tolist() == [0, 1, 2, 3, 4, 5]
+        assert r.levels == 6
+
+    def test_star_two_levels(self):
+        g = star_graph(10)
+        r = bfs_serial(g, 0)
+        assert r.frontier_sizes == [1, 9]
+
+    def test_disconnected_unreached(self):
+        from repro.algorithms.graphs import from_edges
+
+        g = from_edges(4, [(0, 1)])
+        r = bfs_serial(g, 0)
+        assert r.dist[2] == UNREACHED and r.dist[3] == UNREACHED
+
+    def test_edge_inspections_bounded_by_2m(self):
+        g = random_gnp(40, 0.2, seed=1)
+        r = bfs_serial(g, 0)
+        assert r.edge_inspections <= 2 * g.m
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            bfs_serial(path_graph(3), 9)
+
+
+class TestLevelSync:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_bfs_tree_both_rules(self, seed):
+        g = random_gnp(60, 0.07, seed=seed)
+        for rule in ("priority", "arbitrary"):
+            r = bfs_level_sync(g, 0, rule, seed=seed)
+            validate_bfs_tree(g, 0, r)
+
+    def test_distances_deterministic_across_rules(self):
+        g = random_gnp(50, 0.1, seed=2)
+        d1 = bfs_level_sync(g, 0, "priority").dist
+        d2 = bfs_level_sync(g, 0, "arbitrary", seed=1).dist
+        d3 = bfs_level_sync(g, 0, "arbitrary", seed=99).dist
+        assert np.array_equal(d1, d2) and np.array_equal(d1, d3)
+
+    def test_parents_can_differ_between_rules(self):
+        """The 'limited non-determinism' the panel mentions: valid trees
+        may differ in parent choice."""
+        g = grid_graph(6, 6)
+        p_pri = bfs_level_sync(g, 0, "priority").parent
+        differs = False
+        for seed in range(10):
+            p_arb = bfs_level_sync(g, 0, "arbitrary", seed=seed).parent
+            if not np.array_equal(p_pri, p_arb):
+                differs = True
+                break
+        assert differs
+
+    def test_priority_rule_picks_lowest_parent(self):
+        g = grid_graph(3, 3)
+        r = bfs_level_sync(g, 0, "priority")
+        # vertex 4 (center) reachable from 1 and 3 at level 1: parent = 1
+        assert r.parent[4] == 1
+
+    def test_frontier_profile_matches_serial(self):
+        g = random_gnp(50, 0.08, seed=5)
+        assert bfs_level_sync(g, 0).frontier_sizes == bfs_serial(g, 0).frontier_sizes
+
+    def test_bad_rule(self):
+        with pytest.raises(ValueError):
+            bfs_level_sync(path_graph(3), 0, "quantum")
+
+
+class TestPram:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid_tree(self, seed):
+        g = random_gnp(50, 0.08, seed=seed)
+        r, _ = bfs_pram(g, 0)
+        validate_bfs_tree(g, 0, r)
+
+    def test_counters_populated(self):
+        g = random_gnp(50, 0.1, seed=0)
+        _, pram = bfs_pram(g, 0, n_processors=16)
+        assert pram.steps > 0 and pram.work > 0
+        assert pram.p == 16
+
+    def test_work_scales_with_edges(self):
+        sparse = random_gnp(60, 0.03, seed=1)
+        dense = random_gnp(60, 0.3, seed=1)
+        _, p1 = bfs_pram(sparse, 0)
+        _, p2 = bfs_pram(dense, 0)
+        assert p2.work > p1.work
+
+
+class TestXmt:
+    @pytest.mark.parametrize("maker,args", [
+        (random_gnp, (40, 0.1, 3)),
+        (grid_graph, (5, 5)),
+        (star_graph, (20,)),
+        (path_graph, (15,)),
+    ])
+    def test_valid_tree_on_varied_graphs(self, maker, args):
+        g = maker(*args)
+        r, _ = bfs_xmt(g, 0)
+        validate_bfs_tree(g, 0, r)
+
+    def test_ps_used_for_queue_building(self):
+        g = random_gnp(40, 0.1, seed=3)
+        _, xm = bfs_xmt(g, 0)
+        assert xm.result.ps_ops > 0
+        assert xm.result.spawn_blocks == bfs_serial(g, 0).levels
+
+    def test_more_tcus_fewer_cycles(self):
+        from repro.machines.xmt import XmtConfig, XmtMachine
+
+        g = random_gnp(80, 0.08, seed=4)
+        cyc = {}
+        for tcus in (4, 64):
+            xm = XmtMachine(4 * g.n + 1, XmtConfig(n_tcus=tcus))
+            _, xm = bfs_xmt(g, 0, xm)
+            cyc[tcus] = xm.result.cycles
+        assert cyc[64] < cyc[4]
+
+
+class TestLevelWorkProfile:
+    def test_profile_shape(self):
+        g = star_graph(8)
+        prof = level_work_profile(g, 0)
+        assert len(prof) == 2
+        assert prof[0] == [7]           # hub degree
+        assert sorted(prof[1]) == [1] * 7
+
+    def test_total_degree_conserved(self):
+        g = random_gnp(40, 0.1, seed=7)
+        prof = level_work_profile(g, 0)
+        reached_deg = sum(sum(level) for level in prof)
+        r = bfs_serial(g, 0)
+        want = sum(g.degree(v) for v in range(g.n) if r.dist[v] != UNREACHED)
+        assert reached_deg == want

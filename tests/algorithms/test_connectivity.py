@@ -1,0 +1,97 @@
+"""Connected components: serial, label propagation, XMT."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.connectivity import (
+    cc_label_propagation,
+    cc_serial,
+    cc_xmt,
+    labels_equivalent,
+)
+from repro.algorithms.graphs import (
+    from_edges,
+    grid_graph,
+    path_graph,
+    random_gnp,
+    star_graph,
+)
+
+
+class TestSerial:
+    def test_two_components(self):
+        g = from_edges(5, [(0, 1), (2, 3)])
+        labels = cc_serial(g)
+        assert labels.tolist() == [0, 0, 2, 2, 4]
+
+    def test_connected_single_label(self):
+        g = star_graph(10)
+        assert (cc_serial(g) == 0).all()
+
+    def test_isolated_vertices(self):
+        g = from_edges(3, [])
+        assert cc_serial(g).tolist() == [0, 1, 2]
+
+
+class TestLabelPropagation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_serial_partition(self, seed):
+        g = random_gnp(60, 0.04, seed=seed)
+        ser = cc_serial(g)
+        lp, _ = cc_label_propagation(g)
+        assert labels_equivalent(ser, lp)
+        assert np.array_equal(ser, lp)  # both canonicalize to min-id
+
+    def test_rounds_scale_with_diameter(self):
+        short = star_graph(64)   # diameter 2
+        long = path_graph(64)    # diameter 63
+        _, r_short = cc_label_propagation(short)
+        _, r_long = cc_label_propagation(long)
+        assert len(r_long) > len(r_short)
+
+    def test_round_profile_monotone_total(self):
+        g = grid_graph(8, 8)
+        _, rounds = cc_label_propagation(g)
+        assert all(r > 0 for r in rounds)  # converged round dropped
+
+
+class TestXmt:
+    @pytest.mark.parametrize(
+        "maker,args",
+        [
+            (random_gnp, (40, 0.05, 1)),
+            (grid_graph, (5, 4)),
+            (path_graph, (20,)),
+        ],
+    )
+    def test_matches_serial(self, maker, args):
+        g = maker(*args)
+        ser = cc_serial(g)
+        labels, _ = cc_xmt(g)
+        assert labels_equivalent(ser, labels)
+
+    def test_counts_cycles_and_ps(self):
+        g = grid_graph(4, 4)
+        _, xm = cc_xmt(g)
+        assert xm.result.cycles > 0
+        assert xm.result.ps_ops > 0
+
+
+class TestLabelsEquivalent:
+    def test_relabeling_ok(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 9, 9])
+        assert labels_equivalent(a, b)
+
+    def test_merge_not_ok(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 5, 5])
+        assert not labels_equivalent(a, b)
+
+    def test_split_not_ok(self):
+        a = np.array([0, 0, 0])
+        b = np.array([1, 2, 1])
+        assert not labels_equivalent(a, b)
+
+    def test_shape_mismatch(self):
+        assert not labels_equivalent(np.array([0]), np.array([0, 1]))

@@ -1,0 +1,159 @@
+"""Edit distance: the paper's worked example end to end."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.edit_distance import (
+    edit_distance_graph,
+    levenshtein,
+    min_length_for_wavefront,
+    paper_mapping_literal,
+    paper_table,
+    wavefront_mapping,
+    wavefront_pram,
+)
+from repro.core.default_mapper import serial_mapping
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+
+class TestSerialOracles:
+    @pytest.mark.parametrize(
+        "r,q,d",
+        [
+            ("kitten", "sitting", 3),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("a", "b", 1),
+            ("ab", "ba", 2),
+            ("abcdef", "azced", 3),
+        ],
+    )
+    def test_levenshtein_known_distances(self, r, q, d):
+        assert levenshtein(r, q)[0] == d
+
+    def test_levenshtein_symmetry(self, rng):
+        a = rng.integers(0, 3, size=12).tolist()
+        b = rng.integers(0, 3, size=9).tolist()
+        assert levenshtein(a, b)[0] == levenshtein(b, a)[0]
+
+    def test_paper_recurrence_nonpositive(self, rng):
+        """The formula as printed (min with 0, non-negative costs) can never
+        exceed zero — we reproduce it verbatim and say so."""
+        a = rng.integers(0, 3, size=10).tolist()
+        b = rng.integers(0, 3, size=10).tolist()
+        assert paper_table(a, b).max() <= 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            levenshtein("", "a")
+
+
+class TestWavefrontPram:
+    @pytest.mark.parametrize(
+        "r,q", [("kitten", "sitting"), ("aaaa", "aaaa"), ("abcde", "vwxyz")]
+    )
+    def test_matches_serial(self, r, q):
+        d, pram = wavefront_pram(r, q)
+        assert d == levenshtein(r, q)[0]
+
+    def test_steps_linear_in_diagonals(self):
+        n = 16
+        a = "a" * n
+        _, pram = wavefront_pram(a, a)
+        # 2n-1 diagonals, constant PRAM steps each
+        assert pram.steps <= 8 * (2 * n - 1)
+
+    def test_random_strings(self, rng):
+        for _ in range(5):
+            a = rng.integers(0, 4, size=int(rng.integers(2, 15))).tolist()
+            b = rng.integers(0, 4, size=int(rng.integers(2, 15))).tolist()
+            assert wavefront_pram(a, b)[0] == levenshtein(a, b)[0]
+
+
+class TestGraph:
+    def test_graph_evaluates_to_serial_table(self, rng):
+        n = 8
+        R = rng.integers(0, 3, size=n).tolist()
+        Q = rng.integers(0, 3, size=n).tolist()
+        g = edit_distance_graph(n, n, cell="lev")
+        out = g.evaluate(
+            {"R": {(i,): R[i] for i in range(n)}, "Q": {(j,): Q[j] for j in range(n)}}
+        )
+        _, table = levenshtein(R, Q)
+        for i in range(n):
+            for j in range(n):
+                assert out[("H", i, j)] == table[i, j]
+
+    def test_paper_cell_graph_evaluates(self, rng):
+        n = 6
+        R = rng.integers(0, 2, size=n).tolist()
+        Q = rng.integers(0, 2, size=n).tolist()
+        g = edit_distance_graph(n, n, cell="paper")
+        out = g.evaluate(
+            {"R": {(i,): R[i] for i in range(n)}, "Q": {(j,): Q[j] for j in range(n)}}
+        )
+        table = paper_table(R, Q)
+        assert out[("H", n - 1, n - 1)] == table[n - 1, n - 1]
+
+    def test_one_op_per_cell(self):
+        n = 5
+        g = edit_distance_graph(n, n)
+        assert g.work() == n * n  # the paper's one-element-one-op granularity
+
+    def test_bad_cell_kind(self):
+        with pytest.raises(ValueError):
+            edit_distance_graph(4, 4, cell="smith")
+
+
+class TestMappings:
+    def test_literal_paper_mapping_is_illegal(self):
+        """`time floor(i/P)*N + j` gives dependent rows identical schedules;
+        the checker must reject it — the model catching an over-eager
+        schedule, exactly as Section 3 says it should."""
+        n, p = 16, 4
+        g = edit_distance_graph(n, n)
+        m = paper_mapping_literal(g, n, p)
+        rep = check_legality(g, m, GridSpec(p, 1))
+        assert not rep.ok
+        assert rep.by_kind("causality")
+
+    def test_wavefront_legal_above_threshold(self):
+        p = 4
+        grid = GridSpec(p, 1)
+        n = min_length_for_wavefront(p, grid)
+        g = edit_distance_graph(n, n)
+        m = wavefront_mapping(g, n, p, grid)
+        assert check_legality(g, m, grid).ok
+
+    def test_wavefront_illegal_below_threshold(self):
+        p = 4
+        grid = GridSpec(p, 1)
+        n = min_length_for_wavefront(p, grid) - 4
+        g = edit_distance_graph(n, n)
+        m = wavefront_mapping(g, n, p, grid)
+        assert not check_legality(g, m, grid).ok
+
+    def test_wavefront_executes_correctly(self, rng):
+        n, p = 32, 4
+        grid = GridSpec(p, 1)
+        R = rng.integers(0, 4, size=n).tolist()
+        Q = rng.integers(0, 4, size=n).tolist()
+        g = edit_distance_graph(n, n, cell="lev")
+        m = wavefront_mapping(g, n, p, grid)
+        res = GridMachine(grid).run(
+            g,
+            m,
+            {"R": {(i,): R[i] for i in range(n)}, "Q": {(j,): Q[j] for j in range(n)}},
+        )
+        assert res.outputs[("H", n - 1, n - 1)] == levenshtein(R, Q)[0]
+
+    def test_speedup_approaches_p(self):
+        n, p = 40, 4
+        grid = GridSpec(p, 1)
+        g = edit_distance_graph(n, n)
+        wf = wavefront_mapping(g, n, p, grid)
+        ser = serial_mapping(g, grid)
+        speedup = ser.makespan(g) / wf.makespan(g)
+        assert speedup > 0.75 * p

@@ -1,0 +1,78 @@
+"""Graph generators and CSR structure."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.graphs import (
+    complete_graph,
+    from_edges,
+    grid_graph,
+    path_graph,
+    random_gnp,
+    star_graph,
+)
+
+
+class TestFromEdges:
+    def test_symmetric_and_valid(self):
+        g = from_edges(4, [(0, 1), (1, 2)])
+        g.validate()
+        assert g.m == 2
+        assert set(g.neighbors(1).tolist()) == {0, 2}
+
+    def test_self_loops_removed(self):
+        g = from_edges(3, [(0, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_duplicates_removed(self):
+        g = from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(2, [(0, 5)])
+
+    def test_degrees(self):
+        g = star_graph(5)
+        assert g.degree(0) == 4
+        assert g.degrees().tolist() == [4, 1, 1, 1, 1]
+
+    def test_empty_graph(self):
+        g = from_edges(3, [])
+        g.validate()
+        assert g.m == 0
+
+
+class TestGenerators:
+    def test_gnp_reproducible(self):
+        a = random_gnp(30, 0.2, seed=5)
+        b = random_gnp(30, 0.2, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_gnp_density_scales(self):
+        sparse = random_gnp(60, 0.02, seed=1)
+        dense = random_gnp(60, 0.4, seed=1)
+        assert dense.m > sparse.m
+
+    def test_gnp_probability_bounds(self):
+        with pytest.raises(ValueError):
+            random_gnp(10, 1.5)
+
+    def test_grid_degrees(self):
+        g = grid_graph(3, 3)
+        g.validate()
+        assert g.degree(4) == 4  # center
+        assert g.degree(0) == 2  # corner
+        assert g.m == 12
+
+    def test_path_and_star(self):
+        path_graph(10).validate()
+        star_graph(10).validate()
+        assert path_graph(10).m == 9
+        assert star_graph(10).m == 9
+
+    def test_complete(self):
+        g = complete_graph(6)
+        g.validate()
+        assert g.m == 15
+        assert all(g.degree(v) == 5 for v in range(6))

@@ -1,0 +1,106 @@
+"""Random-order incremental algorithms: correctness + depth scaling."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.graphs import grid_graph, path_graph, random_gnp
+from repro.algorithms.incremental import (
+    bst_depth,
+    greedy_coloring,
+    greedy_mis,
+    random_order,
+)
+
+
+class TestGreedyColoring:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_coloring_valid(self, seed):
+        g = random_gnp(60, 0.1, seed=seed)
+        res = greedy_coloring(g, random_order(g.n, seed))
+        colors = res.result
+        src = np.repeat(np.arange(g.n), np.diff(g.indptr))
+        assert (colors[src] != colors[g.indices]).all()
+        assert colors.min() >= 0
+
+    def test_color_count_bounded_by_degree(self):
+        g = grid_graph(6, 6)  # max degree 4
+        res = greedy_coloring(g, random_order(g.n, 1))
+        assert res.result.max() <= 4  # first-fit uses <= maxdeg+1 colors
+
+    def test_sorted_order_on_path_is_serial(self):
+        """Identity order on a path: every vertex waits for its
+        predecessor — depth n, the hidden-parallelism-free case."""
+        n = 128
+        g = path_graph(n)
+        res = greedy_coloring(g, np.arange(n))
+        assert res.depth == n
+
+    def test_random_order_on_path_is_shallow(self):
+        """Random order: depth O(log n) w.h.p. — the paper's 'sequential
+        algorithms are actually parallel' claim, measured."""
+        n = 1024
+        g = path_graph(n)
+        depths = [
+            greedy_coloring(g, random_order(n, seed)).depth
+            for seed in range(5)
+        ]
+        assert max(depths) <= 6 * np.log2(n)
+
+    def test_bad_order_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError, match="permutation"):
+            greedy_coloring(g, np.array([0, 0, 1, 2]))
+
+    def test_parallelism_metric(self):
+        g = path_graph(64)
+        res = greedy_coloring(g, random_order(64, 0))
+        assert res.parallelism == pytest.approx(res.work / res.depth)
+
+
+class TestGreedyMis:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_independent_and_maximal(self, seed):
+        g = random_gnp(50, 0.1, seed=seed)
+        res = greedy_mis(g, random_order(g.n, seed))
+        mis = res.result
+        src = np.repeat(np.arange(g.n), np.diff(g.indptr))
+        # independent: no edge inside the set
+        assert not ((mis[src] == 1) & (mis[g.indices] == 1)).any()
+        # maximal: every non-member has a member neighbour
+        for v in range(g.n):
+            if mis[v] == 0:
+                assert any(mis[u] for u in g.neighbors(v))
+
+    def test_depth_gap_between_orders(self):
+        n = 512
+        g = path_graph(n)
+        serial = greedy_mis(g, np.arange(n)).depth
+        rand = greedy_mis(g, random_order(n, 3)).depth
+        assert serial == n
+        assert rand < serial / 10
+
+
+class TestBstDepth:
+    def test_inorder_is_sorted(self, rng):
+        keys = rng.choice(10_000, size=200, replace=False)
+        res = bst_depth(keys)
+        assert np.array_equal(res.result, np.sort(keys))
+
+    def test_sorted_insertion_linear_depth(self):
+        res = bst_depth(np.arange(128))
+        assert res.depth == 128
+
+    def test_random_insertion_log_depth(self, rng):
+        n = 1024
+        keys = rng.permutation(n)
+        res = bst_depth(keys)
+        # expected height ~ 3 log2 n; allow slack
+        assert res.depth <= 6 * np.log2(n)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            bst_depth(np.array([1, 1, 2]))
+
+    def test_singleton(self):
+        res = bst_depth(np.array([5]))
+        assert res.depth == 1 and res.result.tolist() == [5]

@@ -1,0 +1,158 @@
+"""Mini-Ligra: edge_map/vertex_map and the applications on top."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs_serial, validate_bfs_tree, BfsResult
+from repro.algorithms.graphs import grid_graph, path_graph, random_gnp, star_graph
+from repro.algorithms.ligra import (
+    EdgeMapStats,
+    Frontier,
+    bellman_ford,
+    bfs,
+    edge_map,
+    vertex_map,
+)
+
+
+class TestFrontier:
+    def test_of_dedups_and_sorts(self):
+        f = Frontier.of(3, 1, 3, 2)
+        assert f.vertices.tolist() == [1, 2, 3]
+        assert f.size == 3 and not f.empty
+
+    def test_empty(self):
+        assert Frontier(np.array([], dtype=np.int64)).empty
+
+
+class TestEdgeMap:
+    def test_sparse_mode_for_small_frontier(self):
+        g = random_gnp(100, 0.05, seed=0)
+        stats = EdgeMapStats()
+        hits = []
+        edge_map(g, Frontier.of(0), lambda s, d: hits.append(d) or True,
+                 stats=stats)
+        assert stats.modes == ["sparse"]
+        assert sorted(hits) == sorted(g.neighbors(0).tolist())
+
+    def test_dense_mode_for_big_frontier(self):
+        g = random_gnp(60, 0.2, seed=1)
+        stats = EdgeMapStats()
+        big = Frontier(np.arange(g.n, dtype=np.int64))
+        edge_map(g, big, lambda s, d: False, stats=stats)
+        assert stats.modes == ["dense"]
+
+    def test_output_frontier_unique(self):
+        g = star_graph(10)
+        out = edge_map(g, Frontier.of(1, 2, 3), lambda s, d: True)
+        assert out.vertices.tolist() == sorted(set(out.vertices.tolist()))
+
+    def test_cond_gates_destinations(self):
+        g = path_graph(5)
+        out = edge_map(g, Frontier.of(2), lambda s, d: True,
+                       cond=lambda v: v > 2)
+        assert out.vertices.tolist() == [3]
+
+    def test_threshold_controls_switch(self):
+        g = random_gnp(60, 0.2, seed=1)
+        f = Frontier.of(*range(10))
+        s_low = EdgeMapStats()
+        edge_map(g, f, lambda s, d: False, stats=s_low,
+                 threshold_fraction=0.0001)
+        s_high = EdgeMapStats()
+        edge_map(g, f, lambda s, d: False, stats=s_high,
+                 threshold_fraction=0.99)
+        assert s_low.modes == ["dense"] and s_high.modes == ["sparse"]
+
+
+class TestVertexMap:
+    def test_filters_and_side_effects(self):
+        marked = []
+        f = Frontier.of(1, 2, 3, 4)
+        out = vertex_map(f, lambda v: (marked.append(v), v % 2 == 0)[1])
+        assert out.vertices.tolist() == [2, 4]
+        assert marked == [1, 2, 3, 4]
+
+
+class TestBfsApplication:
+    @pytest.mark.parametrize(
+        "maker,args",
+        [(random_gnp, (80, 0.06, 2)), (grid_graph, (7, 5)), (star_graph, (30,))],
+    )
+    def test_matches_standalone_bfs(self, maker, args):
+        g = maker(*args)
+        dist, parent, stats = bfs(g, 0)
+        ref = bfs_serial(g, 0)
+        assert np.array_equal(dist, ref.dist)
+        res = BfsResult(dist, parent, ref.frontier_sizes)
+        validate_bfs_tree(g, 0, res)
+
+    def test_direction_switching_happens(self):
+        """On a dense-ish graph the middle frontier is big enough to flip
+        edge_map into dense mode at least once."""
+        g = random_gnp(200, 0.08, seed=4)
+        _d, _p, stats = bfs(g, 0)
+        assert stats.dense_calls >= 1 and stats.sparse_calls >= 1
+
+    def test_dense_early_exit_saves_edges(self):
+        g = random_gnp(200, 0.08, seed=4)
+        _d, _p, stats = bfs(g, 0)
+        # with early exit the dense scans examine fewer than all 2m edges
+        # per dense call on average
+        assert stats.edges_examined < (stats.dense_calls + 1) * 2 * g.m
+
+
+class TestBellmanFord:
+    def test_unit_weights_match_bfs(self):
+        g = random_gnp(80, 0.06, seed=5)
+        dist, _ = bellman_ford(g, 0)
+        ref = bfs_serial(g, 0)
+        reached = ref.dist >= 0
+        assert np.array_equal(dist[reached], ref.dist[reached])
+
+    def test_weighted_shortest_path(self):
+        # path 0-1-2 plus a heavy shortcut 0-2
+        from repro.algorithms.graphs import from_edges
+
+        g = from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+        def w(u, v):
+            return 5 if {u, v} == {0, 2} else 1
+
+        dist, _ = bellman_ford(g, 0, weight=w)
+        assert dist.tolist() == [0, 1, 2]  # via the two cheap hops
+
+    def test_weighted_vs_networkx_oracle(self, rng):
+        import networkx as nx
+
+        from repro.algorithms.graphs import from_edges
+
+        n = 40
+        edges = [
+            (int(a), int(b))
+            for a, b in rng.integers(0, n, size=(120, 2))
+            if a != b
+        ]
+        g = from_edges(n, edges)
+        weights = {}
+
+        def w(u, v):
+            key = (min(u, v), max(u, v))
+            if key not in weights:
+                weights[key] = (key[0] * 7 + key[1] * 13) % 9 + 1
+            return weights[key]
+
+        dist, _ = bellman_ford(g, 0)
+        # unit-weight check against networkx shortest paths
+        G = nx.Graph()
+        G.add_nodes_from(range(n))
+        src = np.repeat(np.arange(g.n), np.diff(g.indptr))
+        G.add_edges_from(zip(src.tolist(), g.indices.tolist()))
+        lengths = nx.single_source_shortest_path_length(G, 0)
+        for v in range(n):
+            want = lengths.get(v)
+            got = int(dist[v])
+            if want is None:
+                assert got >= 2**61  # unreachable sentinel
+            else:
+                assert got == want

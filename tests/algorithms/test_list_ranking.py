@@ -1,0 +1,120 @@
+"""List ranking: pointer jumping vs the serial chase."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.list_ranking import (
+    pointer_jumping_pram,
+    random_list,
+    rank_serial,
+    ruling_set_pram,
+)
+from repro.models.pram import ConcurrencyMode, ConflictError
+
+
+class TestRandomList:
+    def test_visits_every_node(self):
+        nxt, head = random_list(20, seed=1)
+        seen = set()
+        node = head
+        while node not in seen:
+            seen.add(node)
+            node = int(nxt[node])
+        assert seen == set(range(20))
+
+    def test_reproducible(self):
+        a, _ = random_list(16, seed=4)
+        b, _ = random_list(16, seed=4)
+        assert np.array_equal(a, b)
+
+
+class TestSerial:
+    def test_straight_list(self):
+        nxt = np.array([1, 2, 3, 3])
+        assert rank_serial(nxt).tolist() == [3, 2, 1, 0]
+
+    def test_singleton(self):
+        assert rank_serial(np.array([0])).tolist() == [0]
+
+    def test_rejects_two_tails(self):
+        with pytest.raises(ValueError):
+            rank_serial(np.array([0, 1]))
+
+    def test_rejects_shared_successor(self):
+        with pytest.raises(ValueError):
+            rank_serial(np.array([2, 2, 2]))
+
+
+class TestPointerJumping:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 64, 100])
+    def test_matches_serial(self, n):
+        nxt, _ = random_list(n, seed=n)
+        ranks, _ = pointer_jumping_pram(nxt)
+        assert np.array_equal(ranks, rank_serial(nxt))
+
+    def test_logarithmic_steps(self):
+        nxt, _ = random_list(256, seed=0)
+        _, pram = pointer_jumping_pram(nxt)
+        # ceil(log2 256) = 8 rounds x 6 sweeps (each 1 step at p = n)
+        assert pram.steps <= 8 * 6
+
+    def test_not_work_efficient(self):
+        """Wyllie does Theta(n log n) work; serial does Theta(n) — the
+        work-efficiency gap Vishkin's program is about."""
+        n = 256
+        nxt, _ = random_list(n, seed=2)
+        _, pram = pointer_jumping_pram(nxt)
+        assert pram.work > 4 * n  # well above any linear-work constant here
+        assert pram.work <= 8 * n * np.log2(n)
+
+    def test_needs_concurrent_reads(self):
+        nxt, _ = random_list(32, seed=3)
+        with pytest.raises(ConflictError):
+            pointer_jumping_pram(nxt, mode=ConcurrencyMode.EREW)
+
+    def test_straight_vs_random_same_ranks_multiset(self):
+        """Ranks are always a permutation of 0..n-1 regardless of order."""
+        for seed in range(3):
+            nxt, _ = random_list(40, seed=seed)
+            ranks, _ = pointer_jumping_pram(nxt)
+            assert sorted(ranks.tolist()) == list(range(40))
+
+
+class TestRulingSets:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 64, 300])
+    def test_matches_serial(self, n):
+        nxt, _ = random_list(n, seed=n)
+        ranks, _ = ruling_set_pram(nxt, seed=1)
+        assert np.array_equal(ranks, rank_serial(nxt))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_seed_independent_results(self, seed):
+        nxt, _ = random_list(100, seed=7)
+        ranks, _ = ruling_set_pram(nxt, seed=seed)
+        assert np.array_equal(ranks, rank_serial(nxt))
+
+    def test_work_efficient_vs_wyllie(self):
+        """The point of the whole construction: ruling-set work per element
+        stays flat as n grows while Wyllie's grows like log n."""
+        per_elem = {}
+        for n in (64, 1024):
+            nxt, _ = random_list(n, seed=n)
+            _, rs = ruling_set_pram(nxt, seed=0)
+            _, wy = pointer_jumping_pram(nxt)
+            per_elem[n] = (rs.work / n, wy.work / n)
+        # ruling sets: bounded constant (allow slack for small-n noise)
+        assert per_elem[1024][0] <= per_elem[64][0] * 1.5
+        assert per_elem[1024][0] < 20
+        # Wyllie: grows by ~6 work per element per 4 doublings
+        assert per_elem[1024][1] - per_elem[64][1] >= 12
+
+    def test_beats_wyllie_on_total_work_at_scale(self):
+        n = 1024
+        nxt, _ = random_list(n, seed=3)
+        _, rs = ruling_set_pram(nxt, seed=0)
+        _, wy = pointer_jumping_pram(nxt)
+        assert rs.work < wy.work / 3
+
+    def test_rejects_malformed_lists(self):
+        with pytest.raises(ValueError):
+            ruling_set_pram(np.array([0, 1]))  # two tails

@@ -1,0 +1,147 @@
+"""Matmul: numeric kernels, trace generators, distributed comm volumes."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.matmul import (
+    cannon,
+    comm_volume_bound,
+    matmul_25d,
+    matmul_blocked,
+    matmul_naive,
+    matmul_recursive,
+    summa,
+    trace_blocked,
+    trace_naive,
+    trace_recursive,
+)
+from repro.models.cache import ideal_cache_misses
+
+
+def mats(rng, n):
+    return (
+        rng.integers(0, 10, size=(n, n)).astype(np.int64),
+        rng.integers(0, 10, size=(n, n)).astype(np.int64),
+    )
+
+
+class TestNumericKernels:
+    @pytest.mark.parametrize("n", [1, 4, 8, 16])
+    def test_naive(self, rng, n):
+        a, b = mats(rng, n)
+        assert np.array_equal(matmul_naive(a, b), a @ b)
+
+    @pytest.mark.parametrize("bs", [1, 3, 4, 16])
+    def test_blocked_any_block_size(self, rng, bs):
+        a, b = mats(rng, 12)
+        assert np.array_equal(matmul_blocked(a, b, bs), a @ b)
+
+    @pytest.mark.parametrize("cutoff", [1, 2, 8])
+    def test_recursive(self, rng, cutoff):
+        a, b = mats(rng, 16)
+        assert np.array_equal(matmul_recursive(a, b, cutoff), a @ b)
+
+    def test_recursive_needs_pow2(self, rng):
+        a, b = mats(rng, 12)
+        with pytest.raises(ValueError):
+            matmul_recursive(a, b)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            matmul_naive(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+class TestTraces:
+    def test_trace_lengths(self):
+        n = 8
+        assert len(list(trace_naive(n))) == 2 * n**3 + n**2
+        blocked = list(trace_blocked(n, 4))
+        recur = list(trace_recursive(n, 4))
+        # 2n^3 operand reads, plus C writes/rereads per k-block
+        assert len(blocked) >= 2 * n**3
+        assert len(recur) >= 2 * n**3
+
+    def test_all_traces_touch_same_operand_cells(self):
+        """Every variant must read exactly the same multiset of A and B
+        cells — same function, different order."""
+        n = 8
+        def reads(tr):
+            from collections import Counter
+
+            return Counter(a for k, a in tr if k == "r" and a < (2 << 20))
+
+        rn = reads(trace_naive(n))
+        rb = reads(trace_blocked(n, 4))
+        rr = reads(trace_recursive(n, 4))
+        assert rn == rb == rr
+
+    def test_blocking_reduces_misses(self):
+        """The locality ladder: naive > blocked on a small cache."""
+        n, m_words, b_words = 16, 128, 4
+        q_naive = ideal_cache_misses(trace_naive(n), m_words, b_words)
+        q_blk = ideal_cache_misses(trace_blocked(n, 4), m_words, b_words)
+        assert q_blk < q_naive
+
+    def test_recursive_close_to_blocked_without_knowing_m(self):
+        n, m_words, b_words = 16, 128, 4
+        q_blk = ideal_cache_misses(trace_blocked(n, 4), m_words, b_words)
+        q_rec = ideal_cache_misses(trace_recursive(n, 2), m_words, b_words)
+        assert q_rec <= 3 * q_blk  # oblivious within a small factor of aware
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            list(trace_blocked(8, 0))
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    def test_summa_correct(self, rng, p):
+        a, b = mats(rng, 16)
+        c, stats = summa(a.astype(float), b.astype(float), p)
+        assert np.allclose(c, a @ b)
+        assert stats.p == p
+
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    def test_cannon_correct(self, rng, p):
+        a, b = mats(rng, 16)
+        c, stats = cannon(a.astype(float), b.astype(float), p)
+        assert np.allclose(c, a @ b)
+
+    @pytest.mark.parametrize("p,c", [(4, 1), (16, 4), (8, 2)])
+    def test_25d_correct(self, rng, p, c):
+        a, b = mats(rng, 16)
+        got, stats = matmul_25d(a.astype(float), b.astype(float), p, c)
+        assert np.allclose(got, a @ b)
+
+    def test_replication_cuts_shift_traffic(self, rng):
+        """2.5D with c=4 on p=16 moves fewer shift words than Cannon on
+        p=16 for big enough n (replication amortizes)."""
+        n = 32
+        a, b = mats(rng, n)
+        af, bf = a.astype(float), b.astype(float)
+        _, s_cannon = cannon(af, bf, 16)
+        _, s_25d = matmul_25d(af, bf, 16, 4)
+        assert s_25d.words_total < s_cannon.words_total
+
+    def test_volume_scales_with_sqrt_p(self, rng):
+        n = 32
+        a, b = mats(rng, n)
+        af, bf = a.astype(float), b.astype(float)
+        _, s4 = cannon(af, bf, 4)
+        _, s16 = cannon(af, bf, 16)
+        ratio = s16.words_total / max(1, s4.words_total)
+        want = comm_volume_bound(n, 16) / comm_volume_bound(n, 4)
+        assert ratio == pytest.approx(want, rel=0.5)
+
+    def test_bad_grid(self, rng):
+        a, b = mats(rng, 16)
+        with pytest.raises(ValueError):
+            summa(a, b, 5)  # not a perfect square
+        with pytest.raises(ValueError):
+            matmul_25d(a, b, 16, 3)  # c does not divide p
+
+    def test_messages_counted(self, rng):
+        a, b = mats(rng, 16)
+        _, stats = summa(a.astype(float), b.astype(float), 16)
+        assert stats.messages > 0
+        assert stats.words_per_proc_avg > 0

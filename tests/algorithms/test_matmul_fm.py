@@ -1,0 +1,110 @@
+"""F&M matmul: broadcast vs systolic dataflows on the grid machine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.matmul_fm import matmul_graph, owner_mapping, verify_against
+from repro.core.cost import evaluate_cost
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+
+def mats(rng, n):
+    return rng.integers(0, 9, size=(n, n)), rng.integers(0, 9, size=(n, n))
+
+
+class TestGraphs:
+    @pytest.mark.parametrize("systolic", [False, True])
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_evaluates_to_product(self, rng, systolic, n):
+        a, b = mats(rng, n)
+        g = matmul_graph(n, systolic=systolic)
+        assert verify_against(g, a, b)
+
+    def test_mac_count_identical(self):
+        n = 4
+        plain = matmul_graph(n, systolic=False)
+        syst = matmul_graph(n, systolic=True)
+        count = lambda g, grp: sum(1 for x in g.group if x == grp)
+        assert count(plain, "mac") == count(syst, "mac") == n**3
+        assert count(syst, "fwdA") == count(syst, "fwdB") == n**3
+        assert count(plain, "fwdA") == 0
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            matmul_graph(0)
+
+
+class TestOwnerMapping:
+    @pytest.mark.parametrize("systolic", [False, True])
+    def test_legal_and_correct_on_machine(self, rng, systolic):
+        n = 4
+        a, b = mats(rng, n)
+        grid = GridSpec(n, n)
+        g = matmul_graph(n, systolic=systolic)
+        m = owner_mapping(g, n, grid)
+        assert check_legality(g, m, grid).ok
+        res = GridMachine(grid).run(
+            g, m,
+            {"A": {(i, k): int(a[i, k]) for i in range(n) for k in range(n)},
+             "B": {(k, j): int(b[k, j]) for k in range(n) for j in range(n)}},
+        )
+        want = a @ b
+        for i in range(n):
+            for j in range(n):
+                assert res.outputs[("C", i, j)] == want[i, j]
+
+    def test_grid_too_small(self):
+        g = matmul_graph(4)
+        with pytest.raises(ValueError, match="too small"):
+            owner_mapping(g, 4, GridSpec(2, 2))
+
+    def test_inputs_at_array_edges(self):
+        n = 3
+        g = matmul_graph(n, systolic=True)
+        m = owner_mapping(g, n, GridSpec(n, n))
+        for nid in g.input_nodes():
+            name, idx = g.payload[nid]
+            x, y = m.place_of(nid)
+            if name == "A":
+                assert x == 0 and y == idx[0]  # west edge of its row
+            else:
+                assert y == 0 and x == idx[1]  # north edge of its column
+
+
+class TestSystolicTradeoff:
+    def test_forwarding_cuts_wire_energy(self, rng):
+        n = 6
+        grid = GridSpec(n, n)
+        energies = {}
+        for systolic in (False, True):
+            g = matmul_graph(n, systolic=systolic)
+            m = owner_mapping(g, n, grid)
+            energies[systolic] = evaluate_cost(g, m, grid).energy_onchip_fj
+        assert energies[True] < energies[False] / 2
+
+    def test_wire_advantage_grows_with_n(self):
+        ratios = []
+        for n in (3, 6):
+            grid = GridSpec(n, n)
+            e = {}
+            for systolic in (False, True):
+                g = matmul_graph(n, systolic=systolic)
+                m = owner_mapping(g, n, grid)
+                e[systolic] = evaluate_cost(g, m, grid).energy_onchip_fj
+            ratios.append(e[False] / e[True])
+        assert ratios[1] > ratios[0]
+
+    def test_compute_energy_gap_is_zero(self, rng):
+        """copy forwarding is free arithmetic; only wires differ."""
+        n = 4
+        grid = GridSpec(n, n)
+        costs = {}
+        for systolic in (False, True):
+            g = matmul_graph(n, systolic=systolic)
+            m = owner_mapping(g, n, grid)
+            costs[systolic] = evaluate_cost(g, m, grid)
+        assert costs[True].energy_compute_fj == pytest.approx(
+            costs[False].energy_compute_fj
+        )

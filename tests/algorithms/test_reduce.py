@@ -1,0 +1,65 @@
+"""Reduction algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reduce_ import (
+    reduce_fork_join,
+    sequential_reduce,
+    tree_reduce_pram,
+)
+
+
+class TestSequential:
+    def test_sum(self, rng):
+        a = rng.integers(-100, 100, size=50)
+        assert sequential_reduce(a) == a.sum()
+
+
+class TestTreePram:
+    @pytest.mark.parametrize("n", [1, 2, 16, 128])
+    def test_correct(self, rng, n):
+        a = rng.integers(-10, 10, size=n)
+        s, _ = tree_reduce_pram(a)
+        assert s == a.sum()
+
+    def test_logarithmic_steps(self, rng):
+        a = rng.integers(0, 9, size=256)
+        _, pram = tree_reduce_pram(a)
+        # log2(256) = 8 levels x 3 ops (2 reads + write)
+        assert pram.steps <= 3 * 8
+
+    def test_linear_work(self, rng):
+        a = rng.integers(0, 9, size=256)
+        _, pram = tree_reduce_pram(a)
+        assert pram.work <= 4 * 256
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            tree_reduce_pram([1, 2, 3])
+
+
+class TestForkJoin:
+    @pytest.mark.parametrize("n", [1, 3, 17, 64])
+    def test_correct_any_length(self, rng, n):
+        vals = rng.integers(-9, 9, size=n).tolist()
+        res = reduce_fork_join(vals)
+        assert res.value == sum(vals)
+
+    def test_custom_combine(self):
+        res = reduce_fork_join([3, 1, 4, 1, 5], combine=max)
+        assert res.value == 5
+
+    def test_work_linear_span_log(self):
+        res = reduce_fork_join([1] * 128)
+        assert res.work <= 4 * 128
+        assert res.span <= 40
+
+    def test_grain_sweep_preserves_value(self, rng):
+        vals = rng.integers(0, 99, size=70).tolist()
+        answers = {reduce_fork_join(vals, grain=g).value for g in (1, 4, 16, 70)}
+        assert answers == {sum(vals)}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_fork_join([])

@@ -1,0 +1,129 @@
+"""Scan algorithms: correctness, work-efficiency, conflict behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.scan import (
+    blelloch_scan_pram,
+    hillis_steele_scan_pram,
+    scan_fork_join,
+    segmented_scan,
+    sequential_scan,
+)
+from repro.models.pram import ConcurrencyMode, ConflictError
+
+
+@pytest.fixture
+def data(rng):
+    return rng.integers(-50, 50, size=64)
+
+
+class TestSequential:
+    def test_matches_numpy(self, data):
+        assert np.array_equal(sequential_scan(data), np.cumsum(data))
+
+    def test_singleton(self):
+        assert sequential_scan([7]).tolist() == [7]
+
+
+class TestBlelloch:
+    @pytest.mark.parametrize("n", [1, 2, 8, 64, 256])
+    def test_correct(self, rng, n):
+        a = rng.integers(-10, 10, size=n)
+        inc, _ = blelloch_scan_pram(a)
+        assert np.array_equal(inc, np.cumsum(a))
+
+    def test_erew_suffices(self, data):
+        inc, pram = blelloch_scan_pram(data, mode=ConcurrencyMode.EREW)
+        assert np.array_equal(inc, np.cumsum(data))
+        assert pram.mode is ConcurrencyMode.EREW
+
+    def test_work_efficient(self, rng):
+        """Blelloch scan does O(n) work: measure the constant."""
+        n = 256
+        a = rng.integers(0, 5, size=n)
+        _, pram = blelloch_scan_pram(a)
+        assert pram.work <= 8 * n  # reads+writes of up/down sweeps ~ 6n
+
+    def test_steps_logarithmic(self, rng):
+        steps = []
+        for n in (64, 256):
+            _, pram = blelloch_scan_pram(rng.integers(0, 5, size=n))
+            steps.append(pram.steps)
+        # 4x the data, only ~+6 steps (2 sweeps x log4 levels x 3 ops)
+        assert steps[1] - steps[0] <= 14
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            blelloch_scan_pram([1, 2, 3])
+
+    def test_limited_processors_same_answer(self, data):
+        inc, pram = blelloch_scan_pram(data, n_processors=4)
+        assert np.array_equal(inc, np.cumsum(data))
+        assert pram.p == 4
+
+
+class TestHillisSteele:
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_correct(self, rng, n):
+        a = rng.integers(-10, 10, size=n)
+        out, _ = hillis_steele_scan_pram(a)
+        assert np.array_equal(out, np.cumsum(a))
+
+    def test_requires_concurrent_reads(self, data):
+        with pytest.raises(ConflictError):
+            hillis_steele_scan_pram(data, mode=ConcurrencyMode.EREW)
+
+    def test_work_inefficient_vs_blelloch(self, rng):
+        """The canonical lesson: same answer, Theta(n log n) vs Theta(n)."""
+        n = 256
+        a = rng.integers(0, 5, size=n)
+        _, hs = hillis_steele_scan_pram(a)
+        _, bl = blelloch_scan_pram(a)
+        assert hs.work > 2 * bl.work
+
+    def test_fewer_steps_than_blelloch(self, rng):
+        """...but Hillis-Steele wins on depth (single sweep)."""
+        a = rng.integers(0, 5, size=256)
+        _, hs = hillis_steele_scan_pram(a)
+        _, bl = blelloch_scan_pram(a)
+        assert hs.steps < bl.steps
+
+
+class TestForkJoinScan:
+    @pytest.mark.parametrize("n", [1, 2, 10, 64, 100])
+    def test_correct_any_length(self, rng, n):
+        vals = rng.integers(-5, 5, size=n).tolist()
+        res = scan_fork_join(vals)
+        assert res.value == np.cumsum(vals).tolist()
+
+    def test_span_polylog(self):
+        res = scan_fork_join([1] * 256)
+        assert res.span <= 200  # << n, the serial span
+        assert res.work >= 256
+
+    def test_grain_tradeoff(self):
+        fine = scan_fork_join([1] * 128, grain=1)
+        coarse = scan_fork_join([1] * 128, grain=32)
+        assert coarse.dag.n_nodes < fine.dag.n_nodes
+        assert coarse.span >= fine.span // 4  # coarse grain trades span
+
+
+class TestSegmented:
+    def test_restarts_at_flags(self):
+        out = segmented_scan([1, 2, 3, 4, 5], [1, 0, 1, 0, 0])
+        assert out.tolist() == [1, 3, 3, 7, 12]
+
+    def test_all_flags_identity(self):
+        vals = [4, 5, 6]
+        assert segmented_scan(vals, [1, 1, 1]).tolist() == vals
+
+    def test_no_flags_is_plain_scan(self, rng):
+        vals = rng.integers(0, 9, size=32)
+        flags = np.zeros(32, dtype=int)
+        flags[0] = 1
+        assert np.array_equal(segmented_scan(vals, flags), np.cumsum(vals))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            segmented_scan([1, 2], [1])

@@ -1,0 +1,73 @@
+"""Sorting: fork-join mergesort and sample sort."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sort import mergesort_fork_join, sample_sort
+
+
+class TestMergesort:
+    @pytest.mark.parametrize("n", [0, 1, 2, 13, 64, 200])
+    def test_sorts(self, rng, n):
+        vals = rng.integers(-100, 100, size=n).tolist()
+        res = mergesort_fork_join(vals)
+        assert res.value == sorted(vals)
+
+    def test_duplicates_preserved(self):
+        vals = [3, 1, 3, 1, 3]
+        assert mergesort_fork_join(vals).value == [1, 1, 3, 3, 3]
+
+    def test_work_nlogn_ish(self, rng):
+        n = 256
+        res = mergesort_fork_join(rng.integers(0, 999, size=n).tolist())
+        assert res.work <= 6 * n * np.log2(n)
+        assert res.work >= n
+
+    def test_parallel_merge_shrinks_span(self, rng):
+        vals = rng.integers(0, 999, size=256).tolist()
+        par = mergesort_fork_join(vals, parallel_merge=True)
+        ser = mergesort_fork_join(vals, parallel_merge=False)
+        assert par.value == ser.value == sorted(vals)
+        assert par.span < ser.span
+
+    def test_serial_merge_span_linear(self, rng):
+        n = 128
+        res = mergesort_fork_join(
+            rng.integers(0, 999, size=n).tolist(), parallel_merge=False
+        )
+        assert res.span >= n  # the top-level serial merge alone is ~n
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("n,p", [(0, 4), (1, 1), (50, 4), (500, 8), (100, 1)])
+    def test_sorts(self, rng, n, p):
+        vals = rng.integers(-1000, 1000, size=n)
+        out, stats = sample_sort(vals, p)
+        assert np.array_equal(out, np.sort(vals))
+        assert len(stats.bucket_sizes) == p
+
+    def test_buckets_partition_everything(self, rng):
+        vals = rng.integers(0, 9999, size=300)
+        _, stats = sample_sort(vals, 8)
+        assert sum(stats.bucket_sizes) == 300
+
+    def test_oversampling_improves_balance(self, rng):
+        vals = rng.integers(0, 10**6, size=4096)
+        _, light = sample_sort(vals, 16, oversample=1, seed=0)
+        _, heavy = sample_sort(vals, 16, oversample=64, seed=0)
+        assert heavy.imbalance <= light.imbalance + 0.25
+
+    def test_exchange_volume_less_than_n(self, rng):
+        vals = rng.integers(0, 10**6, size=1000)
+        _, stats = sample_sort(vals, 8)
+        assert 0 <= stats.words_exchanged <= 1000
+
+    def test_presorted_input_exchanges_little(self):
+        """Already-sorted data mostly stays home under blocked ownership."""
+        vals = np.arange(1000)
+        _, stats = sample_sort(vals, 8, oversample=64)
+        assert stats.words_exchanged < 500
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            sample_sort([1, 2], 0)

@@ -1,0 +1,104 @@
+"""Stencils: reference, graph, mappings, halo accounting."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.stencil import (
+    halo_words,
+    owner_computes_mapping,
+    stencil_graph,
+    stencil_reference,
+    time_multiplexed_mapping,
+)
+from repro.core.cost import evaluate_cost
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+
+class TestReference:
+    def test_single_step_weights(self):
+        out = stencil_reference(np.array([0, 1, 0]), 1, (1, 2, 1))
+        assert out.tolist() == [1, 2, 1]
+
+    def test_zero_steps_identity(self):
+        x = np.arange(5)
+        assert np.array_equal(stencil_reference(x, 0), x)
+
+    def test_mass_grows_with_weight_sum(self):
+        x = np.ones(8, dtype=int)
+        out = stencil_reference(x, 1, (1, 1, 1))
+        assert out[3] == 3  # interior: three ones
+
+
+class TestGraph:
+    @pytest.mark.parametrize("n,steps", [(4, 1), (8, 3), (12, 2)])
+    def test_matches_reference(self, rng, n, steps):
+        x = rng.integers(-3, 4, size=n)
+        g = stencil_graph(n, steps)
+        out = g.evaluate({"x": {(i,): int(x[i]) for i in range(n)}})
+        want = stencil_reference(x, steps)
+        assert [out[("y", i)] for i in range(n)] == want.tolist()
+
+    def test_zero_steps_copies_inputs(self, rng):
+        x = rng.integers(0, 5, size=4)
+        g = stencil_graph(4, 0)
+        out = g.evaluate({"x": {(i,): int(x[i]) for i in range(4)}})
+        assert [out[("y", i)] for i in range(4)] == x.tolist()
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            stencil_graph(0, 1)
+
+
+class TestMappings:
+    def test_owner_computes_legal_and_correct(self, rng):
+        n, steps, p = 16, 3, 4
+        grid = GridSpec(p, 1)
+        x = rng.integers(0, 5, size=n)
+        g = stencil_graph(n, steps)
+        m = owner_computes_mapping(g, n, p, grid)
+        assert check_legality(g, m, grid).ok
+        res = GridMachine(grid).run(g, m, {"x": {(i,): int(x[i]) for i in range(n)}})
+        want = stencil_reference(x, steps)
+        assert [res.outputs[("y", i)] for i in range(n)] == want.tolist()
+
+    def test_time_multiplexed_no_wires(self, rng):
+        n, steps = 8, 2
+        grid = GridSpec(4, 1)
+        g = stencil_graph(n, steps)
+        m = time_multiplexed_mapping(g, grid)
+        cost = evaluate_cost(g, m, grid)
+        assert cost.energy_onchip_fj == 0
+        assert cost.places_used == 1
+
+    def test_owner_computes_faster_but_pays_wires(self, rng):
+        n, steps, p = 32, 2, 8
+        grid = GridSpec(p, 1)
+        g = stencil_graph(n, steps)
+        own = evaluate_cost(g, owner_computes_mapping(g, n, p, grid), grid)
+        tm = evaluate_cost(g, time_multiplexed_mapping(g, grid), grid)
+        assert own.cycles < tm.cycles
+        assert own.energy_onchip_fj > tm.energy_onchip_fj
+
+    def test_halo_traffic_matches_analytic_count(self):
+        """Cross-PE words in the mapped graph equal the halo formula."""
+        n, steps, p = 16, 3, 4
+        grid = GridSpec(p, 1)
+        g = stencil_graph(n, steps)
+        # pre-staged inputs: every step (including the first) crosses on chip
+        m = owner_computes_mapping(g, n, p, grid, inputs_offchip=False)
+        cross = sum(
+            1
+            for u, v in g.edges()
+            if not m.offchip[u]
+            and not m.offchip[v]
+            and m.place_of(u) != m.place_of(v)
+        )
+        assert cross == halo_words(p, steps)
+
+    def test_halo_words_formula(self):
+        assert halo_words(1, 10) == 0
+        assert halo_words(4, 3) == 18
+        with pytest.raises(ValueError):
+            halo_words(0, 1)

@@ -1,0 +1,113 @@
+"""Analysis utilities: claims registry, Brent checks, Pareto, tables."""
+
+import pytest
+
+from repro.analysis.brent import check_schedule
+from repro.analysis.claims import CLAIMS, Claim, check_at_least
+from repro.analysis.pareto import dominates, pareto_front
+from repro.analysis.report import Table, fmt_num
+from repro.machines.technology import TECH_5NM
+from repro.models.workdepth import Dag
+from repro.runtime.scheduler import greedy_schedule, work_stealing_schedule
+
+
+class TestClaims:
+    def test_registry_covers_energy_claims(self):
+        for cid in ("C1", "C2", "C3", "C3b", "C4a", "C5", "C6", "C13",
+                    "C17a", "C17b"):
+            assert cid in CLAIMS
+
+    def test_claims_check_against_the_model(self):
+        assert CLAIMS["C1"].check(TECH_5NM.transport_vs_add_ratio(1.0))
+        assert CLAIMS["C2"].check(TECH_5NM.diagonal_vs_add_ratio())
+        assert CLAIMS["C3"].check(TECH_5NM.offchip_vs_add_ratio())
+        assert CLAIMS["C3b"].check(TECH_5NM.offchip_vs_diagonal_ratio())
+
+    def test_tolerance_boundaries(self):
+        c = Claim("T", "0", "test", 100.0, 0.1)
+        assert c.check(105.0)
+        assert not c.check(115.0)
+        assert c.ratio(50.0) == 0.5
+
+    def test_at_least(self):
+        assert check_at_least("C6", 3200.0)
+        assert not check_at_least("C6", 10.0)
+
+    def test_quotes_preserved(self):
+        assert "160x" in CLAIMS["C1"].quote
+
+
+class TestBrentCheck:
+    def test_greedy_within_bounds(self):
+        d = Dag.random_dag(40, 0.1, seed=0)
+        s = greedy_schedule(d, 4)
+        chk = check_schedule(d, s)
+        assert chk.within_greedy_bounds
+        assert chk.speedup >= 1.0
+        assert 0 < chk.efficiency <= 1.0
+
+    def test_stealing_slack_reported(self):
+        d = Dag.random_dag(60, 0.08, seed=1)
+        s = work_stealing_schedule(d, 4, seed=0)
+        chk = check_schedule(d, s)
+        assert chk.slack_vs_upper >= -chk.upper  # computable, finite
+        assert "P=4" in chk.describe()
+
+
+class TestPareto:
+    def test_dominates(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 2), (2, 1))
+        assert not dominates((1, 1), (1, 1))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    def test_front_extraction(self):
+        pts = [(1, 5), (2, 2), (5, 1), (3, 3), (6, 6)]
+        front = pareto_front(pts, lambda p: p)
+        assert front == [(1, 5), (2, 2), (5, 1)]
+
+    def test_duplicates_kept(self):
+        pts = [(1, 1), (1, 1), (2, 2)]
+        assert pareto_front(pts, lambda p: p) == [(1, 1), (1, 1)]
+
+    def test_single_point(self):
+        assert pareto_front([(3, 3)], lambda p: p) == [(3, 3)]
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("demo", ["name", "value"])
+        t.add_row("x", 1)
+        t.add_row("longer", 123456)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "123,456" in text
+        assert all(len(l) == len(lines[2]) for l in lines[2:])
+
+    def test_row_arity_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    @pytest.mark.parametrize(
+        "value,expect",
+        [
+            (True, "yes"),
+            (12345, "12,345"),
+            (0.0, "0"),
+            (1.5, "1.5"),
+            (123456.789, "1.235e+05"),
+            ("txt", "txt"),
+        ],
+    )
+    def test_fmt_num(self, value, expect):
+        assert fmt_num(value) == expect

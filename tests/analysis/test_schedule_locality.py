@@ -1,0 +1,80 @@
+"""Schedule-aware locality: replaying schedules through private caches."""
+
+import pytest
+
+from repro.analysis.schedule_locality import (
+    LocalityReport,
+    chain_workload,
+    replay_schedule,
+)
+from repro.runtime.scheduler import greedy_schedule, work_stealing_schedule
+
+
+class TestChainWorkload:
+    def test_shape(self):
+        dag, addrs = chain_workload(4, 8, block_words_per_chain=10)
+        assert dag.n_nodes == 32 and len(addrs) == 32
+        assert dag.span() == 8 * 4  # one chain's duration
+        assert all(len(a) == 10 for a in addrs)
+
+    def test_chains_are_independent(self):
+        dag, _ = chain_workload(3, 5)
+        # three sources, three sinks
+        sources = [v for v in range(dag.n_nodes) if not dag.predecessors[v]]
+        assert len(sources) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chain_workload(0, 4)
+
+
+class TestReplay:
+    def test_needs_matching_addr_lists(self):
+        dag, addrs = chain_workload(2, 2)
+        s = greedy_schedule(dag, 2)
+        with pytest.raises(ValueError, match="address list"):
+            replay_schedule(dag, s, addrs[:-1])
+
+    def test_single_chain_one_worker_cold_only(self):
+        dag, addrs = chain_workload(1, 10, block_words_per_chain=8)
+        s = greedy_schedule(dag, 1)
+        rep = replay_schedule(dag, s, addrs, cache_words=32)
+        assert rep.misses == 8  # one cold working set
+        assert rep.accesses == 10 * 8
+        assert rep.miss_rate == pytest.approx(8 / 80)
+
+    def test_tiny_cache_always_misses(self):
+        dag, addrs = chain_workload(1, 4, block_words_per_chain=8)
+        s = greedy_schedule(dag, 1)
+        rep = replay_schedule(dag, s, addrs, cache_words=4)
+        assert rep.misses == 4 * 8  # working set never fits
+
+    def test_per_worker_misses_sum(self):
+        dag, addrs = chain_workload(4, 6)
+        s = greedy_schedule(dag, 4)
+        rep = replay_schedule(dag, s, addrs)
+        assert sum(rep.per_worker_misses) == rep.misses
+        assert len(rep.per_worker_misses) == 4
+
+
+class TestSchedulerLocalityGap:
+    def test_brent_identical_locality_different(self):
+        """The point of the extension: two schedules with the SAME makespan
+        (Brent cannot tell them apart) can differ by an order of magnitude
+        in cache misses."""
+        dag, addrs = chain_workload(8, 16, block_words_per_chain=16)
+        g = greedy_schedule(dag, 1)        # FIFO = breadth-first interleave
+        ws = work_stealing_schedule(dag, 1, seed=0)  # depth-first chains
+        assert g.length == ws.length       # identical work-depth cost
+        rg = replay_schedule(dag, g, addrs, cache_words=64)
+        rw = replay_schedule(dag, ws, addrs, cache_words=64)
+        assert rw.misses * 8 <= rg.misses  # stealing is >= 8x better here
+
+    def test_depth_first_pays_once_per_chain(self):
+        dag, addrs = chain_workload(8, 16, block_words_per_chain=16)
+        ws = work_stealing_schedule(dag, 4, seed=1)
+        rep = replay_schedule(dag, ws, addrs, cache_words=64)
+        # lower bound: every chain's working set is cold once
+        assert rep.misses >= 8 * 16
+        # and stays within 4x of that (occasional migrations)
+        assert rep.misses <= 4 * 8 * 16

@@ -1,0 +1,96 @@
+"""Space-time diagram rendering."""
+
+import pytest
+
+from repro.algorithms.edit_distance import edit_distance_graph, wavefront_mapping
+from repro.analysis.spacetime import occupancy_grid, render_spacetime
+from repro.core.default_mapper import serial_mapping
+from repro.core.function import DataflowGraph
+from repro.core.idioms import build_reduce
+from repro.core.mapping import GridSpec, Mapping
+
+
+class TestOccupancyGrid:
+    def test_maps_compute_only(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        b = g.op("copy", a)
+        grid = GridSpec(2, 1)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0)
+        m.set(b, (1, 0), 5)
+        occ = occupancy_grid(g, m, grid)
+        assert (1, 0) in occ and occ[(1, 0)] == {5: b}
+        assert (0, 0) not in occ  # const is not compute
+
+    def test_offchip_excluded(self):
+        g = DataflowGraph()
+        x = g.input("X", (0,))
+        y = g.op("copy", x)
+        m = Mapping(g.n_nodes)
+        m.set(x, (0, 0), 0, offchip=True)
+        m.set(y, (0, 0), 60)
+        occ = occupancy_grid(g, m, GridSpec(1, 1))
+        assert list(occ) == [(0, 0)]
+
+
+class TestRender:
+    def test_wavefront_shape(self):
+        """Each PE's first busy cycle lags its neighbour by hop+1."""
+        n, p = 16, 4
+        grid = GridSpec(p, 1)
+        g = edit_distance_graph(n, n)
+        m = wavefront_mapping(g, n, p, grid)
+        occ = occupancy_grid(g, m, grid)
+        starts = [min(occ[(k, 0)]) for k in range(p)]
+        skew = grid.tech.hop_cycles() + 1
+        assert starts == [k * skew for k in range(p)]
+        text = render_spacetime(g, m, grid, width=40)
+        assert "H" in text and "(3, 0)" in text
+
+    def test_serial_mapping_single_row(self):
+        idiom = build_reduce(8, 4, GridSpec(4, 1))
+        m = serial_mapping(idiom.graph, GridSpec(4, 1))
+        text = render_spacetime(idiom.graph, m, GridSpec(4, 1), width=30)
+        pe_rows = [l for l in text.splitlines() if l.strip().startswith("(")]
+        assert len(pe_rows) == 1
+
+    def test_window_bounds(self):
+        idiom = build_reduce(8, 4, GridSpec(4, 1))
+        text = render_spacetime(idiom.graph, idiom.mapping, GridSpec(4, 1),
+                                t_start=50, width=10)
+        rows = [l for l in text.splitlines() if "|" in l]
+        body = rows[1].split("|", 1)[1]
+        assert len(body) == 10
+
+    def test_legend_lists_groups(self):
+        idiom = build_reduce(8, 4, GridSpec(4, 1))
+        text = render_spacetime(idiom.graph, idiom.mapping, GridSpec(4, 1),
+                                width=120)
+        assert "legend:" in text
+        assert "partial" in text or "tree" in text
+
+    def test_empty_graph(self):
+        g = DataflowGraph()
+        assert "no on-chip compute" in render_spacetime(
+            g, Mapping(0), GridSpec(1, 1)
+        )
+
+    def test_bad_width(self):
+        g = DataflowGraph()
+        with pytest.raises(ValueError):
+            render_spacetime(g, Mapping(0), GridSpec(1, 1), width=0)
+
+    def test_glyph_collisions_disambiguated(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        x = g.op("copy", a, group="tree")
+        y = g.op("copy", x, group="Trunk")
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0)
+        m.set(x, (0, 0), 1)
+        m.set(y, (0, 0), 2)
+        text = render_spacetime(g, m, GridSpec(1, 1), width=5)
+        # two distinct glyphs assigned
+        assert "t=tree" in text or "t=Trunk" in text
+        assert "T=" in text

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import GridSpec
+from repro.machines.technology import TECH_5NM, Technology
+
+
+@pytest.fixture
+def tech() -> Technology:
+    return TECH_5NM
+
+
+@pytest.fixture
+def grid8() -> GridSpec:
+    """An 8-PE row, the workhorse topology of the tests."""
+    return GridSpec(8, 1)
+
+
+@pytest.fixture
+def grid4x4() -> GridSpec:
+    return GridSpec(4, 4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,91 @@
+"""Module composition: layout alignment and remapping cost."""
+
+import pytest
+
+from repro.core.composition import DataLayout, compose, remap_cost
+from repro.core.mapping import GridSpec
+from repro.machines.technology import TECH_5NM
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(8, 1)
+
+
+class TestLayouts:
+    def test_blocked(self, grid):
+        lay = DataLayout.blocked(16, 4, grid)
+        assert lay.place_of(0) == (0, 0)
+        assert lay.place_of(15) == (3, 0)
+
+    def test_cyclic(self, grid):
+        lay = DataLayout.cyclic(16, 4, grid)
+        assert lay.place_of(0) == (0, 0)
+        assert lay.place_of(5) == (1, 0)
+
+    def test_single(self):
+        lay = DataLayout.single(8, (2, 0))
+        assert all(lay.place_of(i) == (2, 0) for i in range(8))
+
+    def test_alignment(self, grid):
+        a = DataLayout.blocked(16, 4, grid)
+        b = DataLayout.blocked(16, 4, grid)
+        c = DataLayout.cyclic(16, 4, grid)
+        assert a.aligned_with(b)
+        assert not a.aligned_with(c)
+
+    def test_alignment_needs_same_length(self, grid):
+        a = DataLayout.blocked(16, 4, grid)
+        b = DataLayout.blocked(8, 4, grid)
+        assert not a.aligned_with(b)
+
+
+class TestRemapCost:
+    def test_identity_remap_free(self, grid):
+        a = DataLayout.blocked(16, 4, grid)
+        r = remap_cost(a, a, grid)
+        assert r.is_noop and r.energy_fj == 0 and r.cycles == 0
+
+    def test_blocked_to_cyclic_moves_most_elements(self, grid):
+        a = DataLayout.blocked(16, 4, grid)
+        b = DataLayout.cyclic(16, 4, grid)
+        r = remap_cost(a, b, grid)
+        assert r.moved > 8
+        assert r.energy_fj > 0
+
+    def test_energy_matches_manhattan_sum(self, grid):
+        a = DataLayout.single(4, (0, 0))
+        b = DataLayout.single(4, (3, 0))
+        r = remap_cost(a, b, grid)
+        assert r.energy_fj == pytest.approx(4 * TECH_5NM.transport_energy_fj(3.0))
+        assert r.moved == 4
+
+    def test_ingress_serialization_counted(self, grid):
+        """Four words converging on one PE serialize on its port."""
+        a = DataLayout.cyclic(4, 4, grid)
+        b = DataLayout.single(4, (0, 0))
+        r = remap_cost(a, b, grid)
+        # 3 movers (element 0 already home), flight of farthest = 12 cycles,
+        # plus 2 extra serialization cycles
+        assert r.cycles >= 12 + 2
+
+    def test_length_mismatch(self, grid):
+        with pytest.raises(ValueError):
+            remap_cost(DataLayout.single(4), DataLayout.single(5), grid)
+
+
+class TestCompose:
+    def test_aligned_composition_free(self, grid):
+        a = DataLayout.blocked(16, 4, grid, "A.out")
+        b = DataLayout.blocked(16, 4, grid, "B.in")
+        c = compose(a, b, grid)
+        assert c.aligned and c.remap is None
+        assert c.remap_energy_fj == 0 and c.remap_cycles == 0
+
+    def test_misaligned_inserts_remap(self, grid):
+        a = DataLayout.blocked(16, 4, grid, "A.out")
+        b = DataLayout.cyclic(16, 4, grid, "B.in")
+        c = compose(a, b, grid)
+        assert not c.aligned and c.remap is not None
+        assert c.remap_energy_fj > 0
+        assert c.a_name == "A.out" and c.b_name == "B.in"

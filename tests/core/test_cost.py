@@ -1,0 +1,118 @@
+"""Cost model: energy charging rules and figures of merit."""
+
+import pytest
+
+from repro.core.cost import evaluate_cost
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+from repro.machines.technology import TECH_5NM
+
+
+def mapped_pair(distance_pes: int, grid_width: int = 8):
+    """const -> copy with the copy `distance_pes` hops away."""
+    g = DataflowGraph()
+    a = g.const(1)
+    b = g.op("+", a, a)
+    g.mark_output(b, "o")
+    grid = GridSpec(grid_width, 1)
+    m = Mapping(g.n_nodes)
+    m.set(a, (0, 0), 0)
+    m.set(b, (distance_pes, 0), max(1, grid.transit_cycles((0, 0), (distance_pes, 0))))
+    return g, m, grid
+
+
+class TestEnergyCharging:
+    def test_local_use_charges_sram(self):
+        g, m, grid = mapped_pair(0)
+        c = evaluate_cost(g, m, grid)
+        # two operand reads of the same local value
+        assert c.energy_local_fj == pytest.approx(2 * TECH_5NM.sram_energy_word_fj())
+        assert c.energy_onchip_fj == 0
+
+    def test_remote_use_charges_wire(self):
+        g, m, grid = mapped_pair(3)
+        c = evaluate_cost(g, m, grid)
+        assert c.energy_onchip_fj == pytest.approx(
+            2 * TECH_5NM.transport_energy_fj(3.0)
+        )
+
+    def test_energy_grows_with_distance(self):
+        e = []
+        for d in (1, 2, 4):
+            g, m, grid = mapped_pair(d)
+            e.append(evaluate_cost(g, m, grid).energy_onchip_fj)
+        assert e[0] < e[1] < e[2]
+        assert e[2] == pytest.approx(4 * e[0])
+
+    def test_offchip_input_charged(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        b = g.op("copy", a)
+        grid = GridSpec(2, 1)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0, offchip=True)
+        m.set(b, (0, 0), grid.tech.offchip_cycles())
+        c = evaluate_cost(g, m, grid)
+        assert c.energy_offchip_fj == pytest.approx(TECH_5NM.offchip_energy_word_fj())
+
+    def test_compute_energy_by_op_class(self):
+        g = DataflowGraph()
+        a, b = g.const(2), g.const(3)
+        g.op("+", a, b)
+        g.op("*", a, b)
+        grid = GridSpec(1, 1)
+        m = Mapping(g.n_nodes)
+        m.set(2, (0, 0), 1)
+        m.set(3, (0, 0), 2)
+        c = evaluate_cost(g, m, grid)
+        add = TECH_5NM.add_energy_word_fj()
+        assert c.energy_compute_fj == pytest.approx(add + 4 * add)
+
+    def test_inputs_consts_cost_nothing_to_compute(self):
+        g = DataflowGraph()
+        g.const(1)
+        g.input("A", (0,))
+        grid = GridSpec(1, 1)
+        c = evaluate_cost(g, Mapping(g.n_nodes), grid)
+        assert c.energy_compute_fj == 0
+        assert c.n_compute == 0
+
+
+class TestAggregates:
+    def test_cycles_is_makespan(self):
+        g, m, grid = mapped_pair(2)
+        c = evaluate_cost(g, m, grid)
+        assert c.cycles == m.makespan(g)
+        assert c.time_ps == pytest.approx(c.cycles * TECH_5NM.cycle_ps)
+
+    def test_communication_fraction(self):
+        g, m, grid = mapped_pair(4)
+        c = evaluate_cost(g, m, grid)
+        assert 0.9 < c.communication_fraction < 1.0  # wire >> one add
+
+    def test_fom_weighted_product(self):
+        g, m, grid = mapped_pair(1)
+        c = evaluate_cost(g, m, grid)
+        assert c.figure_of_merit(1, 0, 0) == pytest.approx(float(c.cycles))
+        assert c.figure_of_merit(0, 1, 0) == pytest.approx(c.energy_total_fj)
+        assert c.figure_of_merit(1, 1, 0) == pytest.approx(
+            c.cycles * c.energy_total_fj
+        )
+
+    def test_edp(self):
+        g, m, grid = mapped_pair(1)
+        c = evaluate_cost(g, m, grid)
+        assert c.edp == pytest.approx(c.energy_total_fj * c.time_ps)
+
+    def test_as_dict_complete(self):
+        g, m, grid = mapped_pair(1)
+        d = evaluate_cost(g, m, grid).as_dict()
+        for key in ("cycles", "energy_total_fj", "communication_fraction",
+                    "footprint_words", "places_used"):
+            assert key in d
+
+    def test_size_mismatch_rejected(self):
+        g = DataflowGraph()
+        g.const(1)
+        with pytest.raises(ValueError):
+            evaluate_cost(g, Mapping(5), GridSpec(1, 1))

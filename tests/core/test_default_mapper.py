@@ -1,0 +1,107 @@
+"""Default mapper: legal-by-construction ASAP schedules."""
+
+import pytest
+
+from repro.core.default_mapper import (
+    block_place_fn,
+    default_mapping,
+    schedule_asap,
+    serial_mapping,
+)
+from repro.core.function import DataflowGraph
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+
+
+def chain_graph(n=12):
+    g = DataflowGraph()
+    acc = g.input("A", (0,))
+    for i in range(n):
+        acc = g.op("+", acc, g.const(1, index=(i,)), index=(i,))
+    g.mark_output(acc, "out")
+    return g
+
+
+def wide_graph(n=16):
+    g = DataflowGraph()
+    for i in range(n):
+        a = g.input("A", (i,))
+        r = g.op("+", a, g.const(i, index=(i,)), index=(i,))
+        g.mark_output(r, ("o", i))
+    return g
+
+
+class TestLegalByConstruction:
+    @pytest.mark.parametrize("builder", [chain_graph, wide_graph])
+    @pytest.mark.parametrize("shape", [(1, 1), (4, 1), (2, 2), (8, 1)])
+    def test_default_mapping_always_legal(self, builder, shape):
+        g = builder()
+        grid = GridSpec(*shape)
+        m = default_mapping(g, grid)
+        rep = check_legality(g, m, grid)
+        assert rep.ok, [str(v) for v in rep.violations[:5]]
+
+    def test_serial_mapping_legal(self):
+        g = wide_graph()
+        grid = GridSpec(4, 1)
+        m = serial_mapping(g, grid)
+        assert check_legality(g, m, grid).ok
+        assert m.places_used() <= {(0, 0)}
+
+    def test_inputs_onchip_mode(self):
+        g = wide_graph(4)
+        grid = GridSpec(2, 1)
+        m = default_mapping(g, grid, inputs_offchip=False)
+        assert not m.offchip.any()
+        assert check_legality(g, m, grid).ok
+
+
+class TestScheduleQuality:
+    def test_wide_graph_parallelizes(self):
+        g = wide_graph(16)
+        grid1 = GridSpec(1, 1)
+        grid8 = GridSpec(8, 1)
+        t1 = default_mapping(g, grid1).makespan(g)
+        t8 = default_mapping(g, grid8).makespan(g)
+        assert t8 < t1
+
+    def test_serial_packs_back_to_back(self):
+        """On one PE the compute nodes occupy consecutive cycles."""
+        g = wide_graph(8)
+        grid = GridSpec(1, 1)
+        m = serial_mapping(g, grid, inputs_offchip=False)
+        times = sorted(
+            int(m.time[nid]) for nid in range(g.n_nodes) if g.is_compute(nid)
+        )
+        assert times == list(range(times[0], times[0] + len(times)))
+
+    def test_offchip_latency_delays_start(self):
+        g = wide_graph(2)
+        grid = GridSpec(1, 1)
+        m = default_mapping(g, grid)  # inputs offchip
+        first = min(
+            int(m.time[nid]) for nid in range(g.n_nodes) if g.is_compute(nid)
+        )
+        assert first >= grid.tech.offchip_cycles()
+
+
+class TestBlockPlacement:
+    def test_blocks_balanced(self):
+        g = wide_graph(16)
+        grid = GridSpec(4, 1)
+        place = block_place_fn(g, grid)
+        # each of the 4 PEs owns 4 consecutive indices
+        seen = {}
+        for nid in range(g.n_nodes):
+            idx = g.index[nid]
+            if idx:
+                seen.setdefault(place(nid), set()).add(idx[0])
+        assert len(seen) == 4
+        for owned in seen.values():
+            assert len(owned) == 4
+
+    def test_off_grid_placement_rejected(self):
+        g = wide_graph(4)
+        grid = GridSpec(2, 1)
+        with pytest.raises(ValueError, match="off-grid"):
+            schedule_asap(g, grid, lambda nid: (5, 0))

@@ -1,0 +1,290 @@
+"""The F&M DSL: lexing, parsing, elaboration, mapping clauses."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.edit_distance import paper_table
+from repro.core.dsl import (
+    PAPER_EXAMPLE,
+    DslError,
+    compile_program,
+    tokenize,
+)
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+
+class TestLexer:
+    def test_tokens_and_comments(self):
+        toks = tokenize("param N = 8  # eight\nforall i in (0:N-1) A(i) = 1")
+        kinds = [t.kind for t in toks]
+        assert "kw" in kinds and "num" in kinds and "op" in kinds
+        assert all(t.text != "# eight" for t in toks)
+
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("Forall MAP Param")
+        assert [t.kind for t in toks] == ["kw", "kw", "kw"]
+
+    def test_bad_character(self):
+        with pytest.raises(DslError, match="cannot tokenize"):
+            tokenize("param N = @")
+
+    def test_line_numbers(self):
+        toks = tokenize("param N = 1\nparam M = 2")
+        assert toks[0].line == 1
+        assert toks[-1].line == 2
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "src,msg",
+        [
+            ("forall i in (0:3) B(j) = 1", "must match the loop"),
+            ("forall i in (0:3, 0:3) A(i) = 1", "loop variables but"),
+            ("blah", "expected a declaration"),
+            ("param N", "expected"),
+            ("forall i in (0:3) A(i) = frob(i)", "undefined tensor"),
+            ("map A(i) at i", "unexpected end"),
+        ],
+    )
+    def test_rejects(self, src, msg):
+        with pytest.raises(DslError, match=msg):
+            compile_program(src)
+
+    def test_duplicate_map(self):
+        src = """
+        forall i in (0:3) A(i) = 1
+        map A(i) at 0 time i
+        map A(i) at 1 time i
+        """
+        with pytest.raises(DslError, match="duplicate map"):
+            compile_program(src)
+
+    def test_tensor_redefinition(self):
+        src = "forall i in (0:1) A(i) = 1\nforall i in (0:1) A(i) = 2"
+        with pytest.raises(DslError, match="redefined"):
+            compile_program(src)
+
+    def test_forward_reference_rejected(self):
+        src = "forall i in (0:3) A(i) = A(i+1)"
+        with pytest.raises(DslError, match="referenced before definition"):
+            compile_program(src)
+
+    def test_empty_range(self):
+        with pytest.raises(DslError, match="empty range"):
+            compile_program("forall i in (3:1) A(i) = 1")
+
+
+class TestElaboration:
+    def test_prefix_sum_program(self):
+        src = """
+        param N = 8
+        input X[N]
+        forall i in (0:N-1)  S(i) = S(i-1) + X[i]
+        map S(i) at 0 time i
+        """
+        prog = compile_program(src)
+        out = prog.graph.evaluate({"X": lambda i: i + 1})
+        assert [out[("S", i)] for i in range(8)] == list(
+            np.cumsum(range(1, 9))
+        )
+
+    def test_boundary_value(self):
+        src = """
+        boundary S = 100
+        forall i in (0:3) S(i) = min(S(i-1), 7)
+        map S(i) at 0 time i
+        """
+        prog = compile_program(src)
+        out = prog.graph.evaluate({})
+        assert out[("S", 0)] == 7  # min(100, 7)
+
+    def test_params_overridable(self):
+        src = "param N = 4\nforall i in (0:N-1) A(i) = i\nmap A(i) at 0 time i"
+        small = compile_program(src)
+        big = compile_program(src, {"N": 16})
+        assert len(small.elements) == 4
+        assert len(big.elements) == 16
+
+    def test_builtins(self):
+        src = """
+        forall i in (0:5)
+          A(i) = select(eq(i % 2, 0), abs(0 - i), max(i, 3))
+        map A(i) at 0 time i
+        """
+        prog = compile_program(src)
+        out = prog.graph.evaluate({})
+        for i in range(6):
+            want = abs(-i) if i % 2 == 0 else max(i, 3)
+            assert out[("A", i)] == want
+
+    def test_two_tensors_chain(self):
+        src = """
+        param N = 4
+        input X[N]
+        forall i in (0:N-1) A(i) = X[i] * 2
+        forall i in (0:N-1) B(i) = A(i) + 1
+        map A(i) at 0 time i
+        map B(i) at 0 time N + i
+        """
+        prog = compile_program(src)
+        out = prog.graph.evaluate({"X": lambda i: i})
+        assert [out[("B", i)] for i in range(4)] == [1, 3, 5, 7]
+
+    def test_matmul_as_3d_recurrence(self, rng):
+        """C(i,j) = sum_k A[i,k]*B[k,j] via a k-recurrence — the language
+        is not edit-distance-specific."""
+        src = """
+        param N = 4
+        input A[N, N]
+        input B[N, N]
+        boundary ACC = 0
+        forall i, j, k in (0:N-1, 0:N-1, 0:N-1)
+          ACC(i, j, k) = ACC(i, j, k-1) + A[i, k] * B[k, j]
+        map ACC(i, j, k) at i, j time k
+        """
+        prog = compile_program(src)
+        n = 4
+        a = rng.integers(0, 9, size=(n, n))
+        b = rng.integers(0, 9, size=(n, n))
+        out = prog.graph.evaluate({
+            "A": {(i, k): int(a[i, k]) for i in range(n) for k in range(n)},
+            "B": {(k, j): int(b[k, j]) for k in range(n) for j in range(n)},
+        })
+        want = a @ b
+        for i in range(n):
+            for j in range(n):
+                assert out[("ACC", i, j, n - 1)] == want[i, j]
+
+    def test_matmul_mapping_runs_on_grid(self, rng):
+        src = """
+        param N = 3
+        input A[N, N]
+        input B[N, N]
+        boundary ACC = 0
+        forall i, j, k in (0:N-1, 0:N-1, 0:N-1)
+          ACC(i, j, k) = ACC(i, j, k-1) + A[i, k] * B[k, j]
+        # skew by 2*(i+j): operands staged at the array edge need i+j hops
+        # (4 cycles each) to reach PE (i, j); the cell scale is 2 ops
+        map ACC(i, j, k) at i, j time k + 2 * (i + j)
+        """
+        prog = compile_program(src)
+        grid = GridSpec(3, 3)
+        m = prog.build_mapping(grid, inputs_offchip=False)
+        rep = check_legality(prog.graph, m, grid)
+        assert rep.ok, [str(v) for v in rep.violations[:3]]
+        n = 3
+        a = rng.integers(0, 5, size=(n, n))
+        b = rng.integers(0, 5, size=(n, n))
+        res = GridMachine(grid).run(prog.graph, m, {
+            "A": {(i, k): int(a[i, k]) for i in range(n) for k in range(n)},
+            "B": {(k, j): int(b[k, j]) for k in range(n) for j in range(n)},
+        })
+        want = a @ b
+        for i in range(n):
+            for j in range(n):
+                assert res.outputs[("ACC", i, j, n - 1)] == want[i, j]
+
+    def test_input_bounds_checked(self):
+        src = "param N = 2\ninput X[N]\nforall i in (0:3) A(i) = X[i]\nmap A(i) at 0 time i"
+        with pytest.raises(DslError, match="out of bounds"):
+            compile_program(src)
+
+    def test_element_lookup(self):
+        prog = compile_program(
+            "forall i in (0:3) A(i) = i\nmap A(i) at 0 time i"
+        )
+        assert prog.element("A", 2) == prog.elements[("A", (2,))]
+        with pytest.raises(KeyError):
+            prog.element("A", 9)
+
+
+class TestPaperExample:
+    def test_compiles_and_matches_reference(self, rng):
+        n = 8
+        prog = compile_program(PAPER_EXAMPLE, {"N": n, "P": 4})
+        R = rng.integers(0, 3, size=n).tolist()
+        Q = rng.integers(0, 3, size=n).tolist()
+        out = prog.graph.evaluate(
+            {"R": {(i,): R[i] for i in range(n)},
+             "Q": {(j,): Q[j] for j in range(n)}}
+        )
+        tab = paper_table(R, Q)
+        assert all(
+            out[("H", i, j)] == tab[i, j] for i in range(n) for j in range(n)
+        )
+
+    def test_literal_map_clause_rejected(self):
+        prog = compile_program(PAPER_EXAMPLE, {"N": 8, "P": 4})
+        grid = GridSpec(4, 1)
+        m = prog.build_mapping(grid)
+        rep = check_legality(prog.graph, m, grid)
+        assert not rep.ok
+        assert rep.by_kind("causality")
+
+    def test_skewed_clause_legal_and_verified(self, rng):
+        n = 32
+        skewed = PAPER_EXAMPLE.replace(
+            "map H(i, j) at i % P  time floor(i / P) * N + j",
+            "map H(i, j) at i % P  time floor(i / P) * N + 2 * (i % P) + j",
+        )
+        prog = compile_program(skewed, {"N": n, "P": 4})
+        grid = GridSpec(4, 1)
+        m = prog.build_mapping(grid, inputs_offchip=False)
+        assert check_legality(prog.graph, m, grid).ok
+        R = rng.integers(0, 3, size=n).tolist()
+        Q = rng.integers(0, 3, size=n).tolist()
+        res = GridMachine(grid).run(
+            prog.graph, m,
+            {"R": {(i,): R[i] for i in range(n)},
+             "Q": {(j,): Q[j] for j in range(n)}},
+        )
+        tab = paper_table(R, Q)
+        assert res.outputs[("H", n - 1, n - 1)] == tab[n - 1, n - 1]
+
+
+class TestMappingClauses:
+    def test_2d_place(self):
+        src = """
+        param P = 2
+        forall i, j in (0:3, 0:3) A(i, j) = i + j
+        map A(i, j) at i % P, j % P time (i / P) * 4 + j
+        """
+        prog = compile_program(src)
+        m = prog.build_mapping(GridSpec(2, 2))
+        nid = prog.element("A", 3, 2)
+        assert m.place_of(nid) == (1, 0)
+
+    def test_unmapped_tensor_rejected(self):
+        prog = compile_program("forall i in (0:3) A(i) = i")
+        with pytest.raises(DslError, match="no map clause"):
+            prog.build_mapping(GridSpec(1, 1))
+
+    def test_cell_cycles_scaling(self):
+        """Multi-op cells scale the time axis so occupancy is legal."""
+        src = """
+        param N = 8
+        input X[N]
+        forall i in (0:N-1) A(i) = min(X[i] + 1, X[i] * 2, 9)
+        map A(i) at 0 time i
+        """
+        prog = compile_program(src)
+        cc = prog.cell_cycles("A")
+        assert cc >= 2  # several primitive ops per element
+        grid = GridSpec(1, 1)
+        m = prog.build_mapping(grid, inputs_offchip=False)
+        rep = check_legality(prog.graph, m, grid)
+        assert not rep.by_kind("occupancy")
+
+    def test_mapping_legal_for_local_chain(self):
+        src = """
+        param N = 16
+        input X[N]
+        forall i in (0:N-1) S(i) = S(i-1) + X[i]
+        map S(i) at 0 time i
+        """
+        prog = compile_program(src)
+        grid = GridSpec(1, 1)
+        m = prog.build_mapping(grid, inputs_offchip=False)
+        assert check_legality(prog.graph, m, grid).ok

@@ -1,0 +1,158 @@
+"""DataflowGraph: construction, evaluation, analysis."""
+
+import pytest
+
+from repro.core.function import DataflowGraph, FunctionError, forall
+
+
+class TestConstruction:
+    def test_ids_dense_in_order(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        c = g.const(5)
+        s = g.op("+", a, c)
+        assert (a, c, s) == (0, 1, 2)
+
+    def test_forward_reference_rejected(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        with pytest.raises(FunctionError):
+            g.op("+", a, 5)  # node 5 doesn't exist
+
+    def test_unknown_op(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        with pytest.raises(FunctionError, match="unknown op"):
+            g.op("frobnicate", a)
+
+    def test_arity_checked(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        with pytest.raises(FunctionError, match="takes 2 operands"):
+            g.op("+", a)
+
+    def test_duplicate_output_label(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        g.mark_output(a, "x")
+        with pytest.raises(FunctionError, match="duplicate"):
+            g.mark_output(a, "x")
+
+    def test_int_index_normalized(self):
+        g = DataflowGraph()
+        a = g.input("A", 3)
+        assert g.index[a] == (3,)
+
+    def test_forall_row_major(self):
+        assert list(forall(2, 2)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_forall_negative_extent(self):
+        with pytest.raises(ValueError):
+            forall(-1)
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        b = g.input("B", (0,))
+        s = g.op("+", a, b)
+        p = g.op("*", s, s)
+        g.mark_output(p, "out")
+        out = g.evaluate({"A": {(0,): 2}, "B": {(0,): 3}})
+        assert out["out"] == 25
+
+    def test_callable_inputs(self):
+        g = DataflowGraph()
+        nodes = [g.input("A", (i,)) for i in range(4)]
+        acc = nodes[0]
+        for n in nodes[1:]:
+            acc = g.op("+", acc, n)
+        g.mark_output(acc, "sum")
+        out = g.evaluate({"A": lambda i: i * 10})
+        assert out["sum"] == 60
+
+    def test_missing_input_binding(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        g.mark_output(a, "x")
+        with pytest.raises(FunctionError, match="no binding"):
+            g.evaluate({})
+
+    def test_missing_index(self):
+        g = DataflowGraph()
+        a = g.input("A", (5,))
+        g.mark_output(a, "x")
+        with pytest.raises(FunctionError, match="missing index"):
+            g.evaluate({"A": {(0,): 1}})
+
+    def test_select_and_compare(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        b = g.input("B", (0,))
+        lt = g.op("lt", a, b)
+        m = g.op("select", lt, a, b)  # min via select
+        g.mark_output(m, "min")
+        assert g.evaluate({"A": {(0,): 3}, "B": {(0,): 7}})["min"] == 3
+        assert g.evaluate({"A": {(0,): 9}, "B": {(0,): 7}})["min"] == 7
+
+    def test_division_by_zero_caught(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        z = g.const(0)
+        d = g.op("/", a, z)
+        g.mark_output(d, "q")
+        with pytest.raises(FunctionError, match="division by zero"):
+            g.evaluate({})
+
+    def test_complex_values_flow(self):
+        g = DataflowGraph()
+        a = g.const(1 + 2j)
+        b = g.const(3 - 1j)
+        m = g.op("*", a, b)
+        g.mark_output(m, "z")
+        assert g.evaluate({})["z"] == (1 + 2j) * (3 - 1j)
+
+
+class TestAnalysis:
+    def test_work_counts_compute_only(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        c = g.const(1)
+        g.op("+", a, c)
+        assert g.work() == 1 and g.n_nodes == 3
+
+    def test_depth_of_chain_vs_tree(self):
+        # chain of 4 adds
+        g = DataflowGraph()
+        acc = g.const(0)
+        for _ in range(4):
+            acc = g.op("+", acc, g.const(1))
+        assert g.depth() == 4
+
+        # balanced tree of 4 leaves: depth 2
+        t = DataflowGraph()
+        leaves = [t.const(1) for _ in range(4)]
+        l1 = t.op("+", leaves[0], leaves[1])
+        l2 = t.op("+", leaves[2], leaves[3])
+        t.op("+", l1, l2)
+        assert t.depth() == 2
+
+    def test_consumers_cache_invalidation(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        assert g.consumers()[a] == []
+        b = g.op("copy", a)
+        assert g.consumers()[a] == [b]
+
+    def test_edges_iteration(self):
+        g = DataflowGraph()
+        a, b = g.const(1), g.const(2)
+        s = g.op("+", a, b)
+        assert sorted(g.edges()) == [(a, s), (b, s)]
+        assert g.n_edges == 2
+
+    def test_repr(self):
+        g = DataflowGraph()
+        g.const(1)
+        assert "DataflowGraph" in repr(g)

@@ -1,0 +1,206 @@
+"""Idioms: map/reduce/scan/gather/scatter/shuffle (function + mapping)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.idioms import (
+    block_owner,
+    build_gather,
+    build_map,
+    build_reduce,
+    build_scan,
+    build_scan_tree,
+    build_scatter,
+    build_shuffle,
+)
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(8, 1)
+
+
+def run(idiom, grid, inputs):
+    return GridMachine(grid).run(idiom.graph, idiom.mapping, inputs)
+
+
+def arr_input(values):
+    return {"A": {(i,): int(v) for i, v in enumerate(values)}}
+
+
+class TestBlockOwner:
+    def test_contiguous_blocks(self, grid):
+        owner = block_owner(16, 4, grid)
+        assert owner(0) == owner(3) == (0, 0)
+        assert owner(4) == (1, 0)
+        assert owner(15) == (3, 0)
+
+    def test_uneven_n(self, grid):
+        owner = block_owner(10, 4, grid)
+        places = {owner(i) for i in range(10)}
+        assert len(places) == 4  # all PEs used
+
+    def test_p_out_of_range(self, grid):
+        with pytest.raises(ValueError):
+            block_owner(8, 9, grid)
+
+
+class TestMapIdiom:
+    @pytest.mark.parametrize("n,p", [(8, 2), (16, 8), (7, 3)])
+    def test_values_and_legality(self, grid, n, p):
+        vals = list(range(n))
+        idiom = build_map(n, p, grid, "+", 100)
+        assert check_legality(idiom.graph, idiom.mapping, grid).ok
+        res = run(idiom, grid, arr_input(vals))
+        assert all(res.outputs[("out", i)] == i + 100 for i in range(n))
+
+    def test_map_has_no_cross_pe_wires(self, grid):
+        idiom = build_map(16, 4, grid)
+        res = run(idiom, grid, arr_input(range(16)))
+        assert res.cost.energy_onchip_fj == 0  # owner computes: local only
+
+
+class TestReduceIdiom:
+    @pytest.mark.parametrize("n,p", [(16, 4), (32, 8), (5, 2)])
+    def test_sum(self, grid, n, p):
+        vals = [3 * i + 1 for i in range(n)]
+        idiom = build_reduce(n, p, grid, "+")
+        assert check_legality(idiom.graph, idiom.mapping, grid).ok
+        res = run(idiom, grid, arr_input(vals))
+        assert res.outputs["reduce"] == sum(vals)
+
+    def test_max_reduce(self, grid):
+        vals = [5, 2, 9, 1, 7, 7, 0, 3]
+        idiom = build_reduce(8, 4, grid, "max")
+        res = run(idiom, grid, arr_input(vals))
+        assert res.outputs["reduce"] == 9
+
+    def test_more_pes_shorter_critical_path(self, grid):
+        # n large enough that local work dominates the off-chip load latency
+        t = {}
+        for p in (1, 8):
+            idiom = build_reduce(128, p, grid)
+            t[p] = idiom.mapping.makespan(idiom.graph)
+        assert t[8] < t[1]
+
+    def test_empty_rejected(self, grid):
+        with pytest.raises(ValueError):
+            build_reduce(0, 2, grid)
+
+
+class TestScanIdiom:
+    @pytest.mark.parametrize("n,p", [(16, 4), (24, 8), (9, 3)])
+    def test_inclusive_scan(self, grid, n, p):
+        vals = [(i * 7) % 5 + 1 for i in range(n)]
+        idiom = build_scan(n, p, grid, "+")
+        assert check_legality(idiom.graph, idiom.mapping, grid).ok
+        res = run(idiom, grid, arr_input(vals))
+        want = list(itertools.accumulate(vals))
+        got = [res.outputs[("scan", i)] for i in range(n)]
+        assert got == want
+
+    def test_scan_on_2d_grid_block_order(self):
+        """Regression: block offsets must follow linear PE order on
+        multi-row grids."""
+        grid = GridSpec(2, 2)
+        n, p = 16, 4
+        vals = list(range(1, n + 1))
+        idiom = build_scan(n, p, grid)
+        res = run(idiom, grid, arr_input(vals))
+        want = list(itertools.accumulate(vals))
+        assert [res.outputs[("scan", i)] for i in range(n)] == want
+
+
+class TestScanTreeIdiom:
+    @pytest.mark.parametrize("n,p", [(8, 8), (32, 8), (64, 4), (17, 4)])
+    def test_correct_and_legal(self, grid, n, p):
+        vals = [(i * 3) % 7 + 1 for i in range(n)]
+        idiom = build_scan_tree(n, p, grid)
+        assert check_legality(idiom.graph, idiom.mapping, grid).ok
+        res = run(idiom, grid, arr_input(vals))
+        want = list(itertools.accumulate(vals))
+        assert [res.outputs[("scan", i)] for i in range(n)] == want
+
+    def test_requires_pow2_p_and_n_ge_p(self, grid):
+        with pytest.raises(ValueError, match="power-of-two"):
+            build_scan_tree(16, 3, grid)
+        with pytest.raises(ValueError, match="n >= p"):
+            build_scan_tree(4, 8, grid)
+
+    def test_tree_wins_on_2d_grids(self):
+        """The geometry lesson: on a 2-D grid (diameter ~ sqrt(p)) the
+        log-depth tree beats the serial offset chain decisively..."""
+        grid = GridSpec(8, 8)
+        n, p = 256, 64
+        chain = build_scan(n, p, grid)
+        tree = build_scan_tree(n, p, grid)
+        t_chain = chain.mapping.makespan(chain.graph)
+        t_tree = tree.mapping.makespan(tree.graph)
+        assert t_tree < t_chain / 2
+
+    def test_chain_holds_its_own_on_1d(self):
+        """...but on a 1-D row both need information to travel distance ~p,
+        so the PRAM's log-p advantage evaporates — Dally's physics point,
+        measured."""
+        grid = GridSpec(16, 1)
+        n, p = 64, 16
+        chain = build_scan(n, p, grid)
+        tree = build_scan_tree(n, p, grid)
+        t_chain = chain.mapping.makespan(chain.graph)
+        t_tree = tree.mapping.makespan(tree.graph)
+        assert t_tree > 0.75 * t_chain  # no decisive tree win in 1-D
+
+
+class TestMovementIdioms:
+    def test_gather(self, grid):
+        indices = [7, 0, 0, 3, 5, 2, 6, 1]
+        idiom = build_gather(8, 4, grid, indices)
+        res = run(idiom, grid, arr_input([10 * i for i in range(8)]))
+        assert [res.outputs[("gather", j)] for j in range(8)] == [
+            10 * indices[j] for j in range(8)
+        ]
+
+    def test_gather_index_out_of_range(self, grid):
+        with pytest.raises(ValueError):
+            build_gather(4, 2, grid, [0, 1, 9, 2])
+
+    def test_scatter_permutation(self, grid):
+        dest = [3, 1, 0, 2]
+        idiom = build_scatter(4, 2, grid, dest)
+        res = run(idiom, grid, arr_input([10, 20, 30, 40]))
+        out = [res.outputs[("scatter", d)] for d in range(4)]
+        # out[dest[i]] = in[i]
+        want = [0] * 4
+        for i, d in enumerate(dest):
+            want[d] = [10, 20, 30, 40][i]
+        assert out == want
+
+    def test_scatter_requires_permutation(self, grid):
+        with pytest.raises(ValueError, match="permutation"):
+            build_scatter(4, 2, grid, [0, 0, 1, 2])
+
+    def test_shuffle_is_perfect_shuffle(self, grid):
+        n = 8
+        idiom = build_shuffle(n, 4, grid)
+        res = run(idiom, grid, arr_input(range(n)))
+        for i in range(n - 1):
+            assert res.outputs[("shuffle", (2 * i) % (n - 1))] == i
+        assert res.outputs[("shuffle", n - 1)] == n - 1
+
+    def test_shuffle_needs_even_n(self, grid):
+        with pytest.raises(ValueError):
+            build_shuffle(7, 2, grid)
+
+    def test_movement_costs_scale_with_displacement(self, grid):
+        """A full reversal moves data farther than a cyclic shift by one."""
+        n = 16
+        rev = build_gather(n, 8, grid, list(reversed(range(n))))
+        shift = build_gather(n, 8, grid, [(i + 1) % n for i in range(n)])
+        e_rev = run(rev, grid, arr_input(range(n))).cost.energy_onchip_fj
+        e_shift = run(shift, grid, arr_input(range(n))).cost.energy_onchip_fj
+        assert e_rev > e_shift

@@ -1,0 +1,181 @@
+"""Legality checking: causality, transit, occupancy, storage."""
+
+import pytest
+
+from repro.core.function import DataflowGraph
+from repro.core.legality import check_legality, compute_liveness
+from repro.core.mapping import GridSpec, Mapping
+
+
+def two_node_graph():
+    g = DataflowGraph()
+    a = g.const(1)
+    b = g.op("copy", a)
+    g.mark_output(b, "out")
+    return g, a, b
+
+
+class TestCausality:
+    def test_same_place_needs_one_cycle_gap_from_compute(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        b = g.op("copy", a)
+        c = g.op("copy", b)
+        grid = GridSpec(2, 1)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0)
+        m.set(b, (0, 0), 0)
+        m.set(c, (0, 0), 0)  # reads b in the cycle b executes: illegal
+        rep = check_legality(g, m, grid)
+        assert not rep.ok
+        assert any(v.kind == "causality" and v.node == c for v in rep.violations)
+
+        m.set(c, (0, 0), 1)  # b available at 1
+        assert check_legality(g, m, grid).ok
+
+    def test_transit_time_enforced(self):
+        g, a, b = two_node_graph()
+        grid = GridSpec(4, 1)  # hop = 4 cycles
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0)
+        m.set(b, (3, 0), 5)  # 3 hops = 12 cycles; too early
+        rep = check_legality(g, m, grid)
+        assert rep.by_kind("causality")
+        m.set(b, (3, 0), 12)
+        assert check_legality(g, m, grid).ok
+
+    def test_offchip_latency_enforced(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        b = g.op("copy", a)
+        grid = GridSpec(2, 1)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0, offchip=True)
+        m.set(b, (0, 0), 1)
+        rep = check_legality(g, m, grid)
+        assert not rep.ok
+        m.set(b, (0, 0), grid.tech.offchip_cycles())
+        assert check_legality(g, m, grid).ok
+
+
+class TestBoundsAndOccupancy:
+    def test_out_of_grid_flagged(self):
+        g, a, b = two_node_graph()
+        grid = GridSpec(2, 1)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0)
+        m.set(b, (5, 0), 10)
+        rep = check_legality(g, m, grid)
+        assert rep.by_kind("bounds")
+
+    def test_two_computes_same_pe_same_cycle(self):
+        g = DataflowGraph()
+        a, b = g.const(1), g.const(2)
+        x = g.op("copy", a)
+        y = g.op("copy", b)
+        grid = GridSpec(2, 1)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0)
+        m.set(b, (0, 0), 0)
+        m.set(x, (0, 0), 1)
+        m.set(y, (0, 0), 1)  # same PE, same cycle
+        rep = check_legality(g, m, grid)
+        assert rep.by_kind("occupancy")
+        # move y one hop away, late enough for b's value to arrive (4 cycles)
+        m.set(y, (1, 0), 4)
+        assert check_legality(g, m, grid).ok
+
+    def test_consts_do_not_occupy(self):
+        g = DataflowGraph()
+        a, b = g.const(1), g.const(2)
+        grid = GridSpec(1, 1)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0)
+        m.set(b, (0, 0), 0)
+        assert check_legality(g, m, grid).ok
+
+
+class TestStorage:
+    def test_pe_memory_bound(self):
+        # 4 values resident at one PE forever, bound of 2
+        g = DataflowGraph()
+        consts = [g.const(i) for i in range(4)]
+        acc = consts[0]
+        for c in consts[1:]:
+            acc = g.op("+", acc, c)
+        g.mark_output(acc, "s")
+        grid = GridSpec(1, 1, pe_memory_words=2)
+        m = Mapping(g.n_nodes)
+        for i, c in enumerate(consts):
+            m.set(c, (0, 0), 0)
+        t = 1
+        for nid in range(g.n_nodes):
+            if g.is_compute(nid):
+                m.set(nid, (0, 0), t)
+                t += 1
+        rep = check_legality(g, m, grid)
+        assert rep.by_kind("storage")
+        # loosen the bound: legal
+        grid2 = GridSpec(1, 1, pe_memory_words=16)
+        assert check_legality(g, m, grid2).ok
+
+    def test_in_flight_bound(self):
+        g = DataflowGraph()
+        srcs = [g.const(i) for i in range(4)]
+        sinks = [g.op("copy", s) for s in srcs]
+        grid = GridSpec(4, 1, max_in_flight=2)
+        m = Mapping(g.n_nodes)
+        for k, (s, d) in enumerate(zip(srcs, sinks)):
+            m.set(s, (0, 0), 0)
+            m.set(d, (3, 0), 12 + k)  # all four in flight together
+        rep = check_legality(g, m, grid)
+        assert rep.by_kind("transit")
+
+    def test_liveness_summary(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        b = g.op("copy", a)
+        g.mark_output(b, "o")
+        grid = GridSpec(2, 1)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0)
+        m.set(b, (1, 0), 4)
+        live = compute_liveness(g, m, grid)
+        assert live.max_live_per_place[(0, 0)] == 1
+        assert live.max_in_flight == 1
+        assert live.footprint_words == 2  # a at PE0, b at PE1
+
+    def test_offchip_values_not_counted(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        b = g.op("copy", a)
+        grid = GridSpec(1, 1, pe_memory_words=1)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0, offchip=True)
+        m.set(b, (0, 0), 100)
+        rep = check_legality(g, m, grid)
+        assert rep.ok
+
+
+class TestReportMechanics:
+    def test_mismatched_sizes(self):
+        g, *_ = two_node_graph()
+        with pytest.raises(ValueError, match="mapping covers"):
+            check_legality(g, Mapping(1), GridSpec(1, 1))
+
+    def test_truncation(self):
+        g = DataflowGraph()
+        prev = g.const(0)
+        for _ in range(50):
+            prev = g.op("copy", prev)
+        m = Mapping(g.n_nodes)  # everything at t=0: mass causality violation
+        rep = check_legality(g, m, GridSpec(1, 1), max_violations=5)
+        assert any(v.kind == "truncated" for v in rep.violations)
+
+    def test_raise_if_illegal_message(self):
+        g, a, b = two_node_graph()
+        m = Mapping(g.n_nodes)
+        m.set(b, (5, 0), 0)  # off a 1x1 grid
+        rep = check_legality(g, m, GridSpec(1, 1))
+        with pytest.raises(ValueError, match="illegal mapping"):
+            rep.raise_if_illegal()

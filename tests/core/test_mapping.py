@@ -1,0 +1,110 @@
+"""GridSpec and Mapping."""
+
+import pytest
+
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping, affine_by_index
+from repro.machines.technology import TECH_5NM
+
+
+class TestGridSpec:
+    def test_places_enumeration(self):
+        g = GridSpec(2, 2)
+        assert list(g.places()) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+        assert g.n_places == 4
+
+    def test_bounds(self):
+        g = GridSpec(3, 2)
+        assert g.in_bounds(2, 1)
+        assert not g.in_bounds(3, 0)
+        assert not g.in_bounds(0, -1)
+
+    def test_manhattan_distance(self):
+        g = GridSpec(8, 8)
+        assert g.distance_mm((0, 0), (3, 4)) == pytest.approx(7.0)
+
+    def test_distance_scales_with_pitch(self):
+        g = GridSpec(8, 1, tech=TECH_5NM.with_(grid_pitch_mm=0.5))
+        assert g.distance_mm((0, 0), (4, 0)) == pytest.approx(2.0)
+
+    def test_transit_cycles(self):
+        g = GridSpec(8, 1)
+        assert g.transit_cycles((0, 0), (0, 0)) == 0
+        assert g.transit_cycles((0, 0), (1, 0)) == 4  # 1mm at 0.25mm/cycle
+
+    def test_positive_extent_required(self):
+        with pytest.raises(ValueError):
+            GridSpec(0, 4)
+
+
+class TestMapping:
+    def test_set_and_get(self):
+        m = Mapping(3)
+        m.set(1, (2, 3), 17)
+        assert m.place_of(1) == (2, 3)
+        assert m.time_of(1) == 17
+        assert not m.offchip[1]
+
+    def test_offchip_flag(self):
+        m = Mapping(2)
+        m.set(0, (0, 0), 0, offchip=True)
+        assert m.offchip[0]
+
+    def test_copy_is_deep(self):
+        m = Mapping(2)
+        m.set(0, (1, 1), 5)
+        m2 = m.copy()
+        m2.set(0, (2, 2), 9)
+        assert m.place_of(0) == (1, 1) and m.time_of(0) == 5
+
+    def test_places_used_excludes_offchip(self):
+        m = Mapping(3)
+        m.set(0, (0, 0), 0)
+        m.set(1, (1, 0), 0)
+        m.set(2, (5, 5), 0, offchip=True)
+        assert m.places_used() == {(0, 0), (1, 0)}
+
+    def test_makespan_counts_compute_duration(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        s = g.op("copy", a)
+        m = Mapping(g.n_nodes)
+        m.set(a, (0, 0), 0)
+        m.set(s, (0, 0), 10)
+        assert m.makespan(g) == 11  # compute occupies cycle 10, done at 11
+
+
+class TestAffineByIndex:
+    def test_paper_notation(self):
+        """Map by the paper's `at i % P, time (i // P) * N + j` rule."""
+        g = DataflowGraph()
+        nodes = {}
+        for i in range(4):
+            for j in range(3):
+                nodes[(i, j)] = g.const(0, index=(i, j))
+        P, N = 2, 3
+        m = affine_by_index(
+            g,
+            place_fn=lambda idx: (idx[0] % P, 0),
+            time_fn=lambda idx: (idx[0] // P) * N + idx[1],
+        )
+        assert m.place_of(nodes[(3, 1)]) == (1, 0)
+        assert m.time_of(nodes[(3, 1)]) == 1 * 3 + 1
+
+    def test_inputs_go_offchip(self):
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        c = g.op("copy", a, index=(0,))
+        m = affine_by_index(g, lambda i: (0, 0), lambda i: 5)
+        assert m.offchip[a]
+        assert not m.offchip[c]
+        assert m.time_of(c) == 5
+
+    def test_indexless_fallback(self):
+        g = DataflowGraph()
+        k = g.const(3)
+        m = affine_by_index(
+            g, lambda i: (1, 0), lambda i: 9, fallback_place=(2, 0)
+        )
+        assert m.place_of(k) == (2, 0)
+        assert m.time_of(k) == 0

@@ -1,0 +1,111 @@
+"""Coverage for smaller API surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro.core.composition import DataLayout
+from repro.core.cost import evaluate_cost
+from repro.core.default_mapper import default_mapping
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec
+from repro.core.search import FigureOfMerit, anneal, sweep_placements
+from repro.machines.technology import TECH_16NM, TECH_45NM, TECH_5NM, TECH_7NM, TECH_NODES
+
+
+class TestTechnologyNodes:
+    def test_series_ordering(self):
+        assert [t.name for t in TECH_NODES] == ["45nm", "16nm", "7nm", "5nm"]
+
+    def test_logic_scales_faster_than_wires(self):
+        """The physical trend the series encodes: compute energy falls
+        faster than wire energy node over node."""
+        for older, newer in zip(TECH_NODES, TECH_NODES[1:]):
+            logic_gain = older.add_energy_fj_per_bit / newer.add_energy_fj_per_bit
+            wire_gain = (
+                older.wire_energy_fj_per_bit_mm / newer.wire_energy_fj_per_bit_mm
+            )
+            assert logic_gain > wire_gain
+
+    def test_ratio_monotone_across_nodes(self):
+        ratios = [t.transport_vs_add_ratio(1.0) for t in TECH_NODES]
+        assert ratios == sorted(ratios)
+
+    def test_each_node_self_consistent(self):
+        for t in (TECH_45NM, TECH_16NM, TECH_7NM, TECH_5NM):
+            assert t.hop_cycles() >= 1
+            assert t.offchip_vs_add_ratio() > t.diagonal_vs_add_ratio()
+
+
+class TestCostOnOtherNodes:
+    def test_same_mapping_cheaper_on_newer_node(self):
+        """Evaluate one mapped program at two technology points: the newer
+        node lowers absolute energy but raises the communication share."""
+        g = DataflowGraph()
+        a = g.const(1)
+        b = g.op("+", a, a)
+        c = g.op("copy", b)
+        g.mark_output(c, "o")
+        costs = {}
+        for tech in (TECH_45NM, TECH_5NM):
+            grid = GridSpec(4, 1, tech=tech)
+            from repro.core.mapping import Mapping
+
+            m = Mapping(g.n_nodes)
+            m.set(a, (0, 0), 0)
+            m.set(b, (0, 0), 1)
+            m.set(c, (3, 0), 2 + grid.transit_cycles((0, 0), (3, 0)))
+            costs[tech.name] = evaluate_cost(g, m, grid)
+        assert costs["5nm"].energy_total_fj < costs["45nm"].energy_total_fj
+        assert (
+            costs["5nm"].communication_fraction
+            > costs["45nm"].communication_fraction
+        )
+
+
+class TestSearchExtras:
+    def _graph(self):
+        g = DataflowGraph()
+        for i in range(8):
+            x = g.input("A", (i,))
+            g.mark_output(g.op("*", x, x, index=(i,)), ("o", i))
+        return g
+
+    def test_footprint_weighted_fom(self):
+        g = self._graph()
+        results = sweep_placements(
+            g, GridSpec(4, 1), FigureOfMerit(0.0, 0.0, 1.0)
+        )
+        foms = [r.fom for r in results]
+        assert foms == sorted(foms)
+        # the footprint-optimal point has the smallest summed footprint
+        best = results[0]
+        assert best.cost.footprint_words == min(
+            r.cost.footprint_words for r in results
+        )
+
+    def test_anneal_accepts_initial_mapping(self):
+        g = self._graph()
+        grid = GridSpec(4, 1)
+        start = default_mapping(g, grid)
+        res = anneal(g, grid, steps=50, seed=2, initial=start)
+        from repro.core.legality import check_legality
+
+        assert check_legality(g, res.mapping, grid).ok
+
+    def test_fom_factories(self):
+        assert FigureOfMerit.fastest().time == 1.0
+        assert FigureOfMerit.lowest_energy().energy == 1.0
+        edp = FigureOfMerit.edp()
+        assert edp.time == edp.energy == 1.0
+
+
+class TestDataLayoutExtras:
+    def test_places_materializes(self):
+        grid = GridSpec(4, 1)
+        lay = DataLayout.blocked(8, 4, grid)
+        places = lay.places()
+        assert len(places) == 8
+        assert places[0] == (0, 0) and places[-1] == (3, 0)
+
+    def test_cyclic_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            DataLayout.cyclic(8, 9, GridSpec(4, 1))

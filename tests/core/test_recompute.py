@@ -1,0 +1,120 @@
+"""Recomputation instead of communication."""
+
+import pytest
+
+from repro.core.cost import evaluate_cost
+from repro.core.default_mapper import schedule_asap
+from repro.core.function import DataflowGraph
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec, Mapping
+from repro.core.recompute import auto_rematerialize, edge_transport_fj, rematerialize
+from repro.machines.grid import GridMachine
+
+
+def far_consumer_graph():
+    """a+b computed at PE0, consumed twice at the far end of the row."""
+    g = DataflowGraph()
+    a = g.const(5)
+    b = g.const(7)
+    s = g.op("+", a, b)          # will sit at PE 0
+    u1 = g.op("*", s, s)         # far away
+    u2 = g.op("+", s, s)         # far away
+    g.mark_output(u1, "sq")
+    g.mark_output(u2, "dbl")
+    return g, (a, b, s, u1, u2)
+
+
+def far_mapping(g, nodes, grid):
+    a, b, s, u1, u2 = nodes
+    place = {a: (7, 0), b: (7, 0), s: (0, 0), u1: (7, 0), u2: (7, 0)}
+    return schedule_asap(g, grid, lambda nid: place.get(nid, (0, 0)),
+                         inputs_offchip=False)
+
+
+class TestRematerializeOne:
+    def test_clone_preserves_semantics(self):
+        g, nodes = far_consumer_graph()
+        a, b, s, u1, u2 = nodes
+        g2, idmap = rematerialize(g, Mapping(g.n_nodes), s, u1)
+        assert g2.evaluate({})["sq"] == 144
+        assert g2.evaluate({})["dbl"] == 24
+        # the original node still feeds the other consumer
+        assert s in g2.args[u2]
+        assert idmap[s] not in g2.args[u2]
+
+    def test_only_operands_can_be_rematerialized(self):
+        g, nodes = far_consumer_graph()
+        a, b, s, u1, u2 = nodes
+        with pytest.raises(ValueError, match="not an operand"):
+            rematerialize(g, Mapping(g.n_nodes), u1, u2)
+
+    def test_inputs_cannot_be_rematerialized(self):
+        g = DataflowGraph()
+        x = g.input("X", (0,))
+        y = g.op("copy", x)
+        with pytest.raises(ValueError, match="only computed values"):
+            rematerialize(g, Mapping(g.n_nodes), x, y)
+
+
+class TestAutoRemat:
+    def test_moves_computation_to_data(self):
+        """The compute-at-the-remote-point transformation (claim C6's
+        mechanism): s's operands live at PE7, its consumers live at PE7,
+        but s was mapped at PE0 — recomputing s at PE7 kills two 7-hop
+        wires."""
+        g, nodes = far_consumer_graph()
+        grid = GridSpec(8, 1)
+        m = far_mapping(g, nodes, grid)
+        before = evaluate_cost(g, m, grid).energy_total_fj
+        res = auto_rematerialize(g, m, grid)
+        assert res.clones_made >= 1
+        assert res.energy_after_fj < before
+        assert res.energy_saved_fj > 0
+
+    def test_result_legal_and_correct(self):
+        g, nodes = far_consumer_graph()
+        grid = GridSpec(8, 1)
+        m = far_mapping(g, nodes, grid)
+        res = auto_rematerialize(g, m, grid)
+        assert check_legality(res.graph, res.mapping, grid).ok
+        out = GridMachine(grid).run(res.graph, res.mapping, {})
+        assert out.outputs["sq"] == 144 and out.outputs["dbl"] == 24
+
+    def test_noop_when_everything_local(self):
+        g = DataflowGraph()
+        a = g.const(1)
+        b = g.op("+", a, a)
+        g.mark_output(b, "o")
+        grid = GridSpec(2, 1)
+        m = schedule_asap(g, grid, lambda nid: (0, 0), inputs_offchip=False)
+        res = auto_rematerialize(g, m, grid)
+        assert res.clones_made == 0
+        assert res.energy_saved_fj == 0
+
+    def test_does_not_chase_offchip_operands(self):
+        """Recomputing is pointless when the operands are off-chip: hauling
+        them again costs more than the wire it saves."""
+        g = DataflowGraph()
+        x = g.input("X", (0,))
+        s = g.op("+", x, x)
+        far = g.op("*", s, s)
+        g.mark_output(far, "o")
+        grid = GridSpec(8, 1)
+        place = {s: (0, 0), far: (2, 0)}
+        m = schedule_asap(g, grid, lambda nid: place.get(nid, (0, 0)))
+        res = auto_rematerialize(g, m, grid)
+        # cloning s at PE2 would haul X off-chip again (800k fJ) to save a
+        # 2 mm wire (5k fJ): must not happen
+        assert res.clones_made == 0
+
+
+class TestEdgeTransport:
+    def test_matches_cost_model_conventions(self):
+        g, nodes = far_consumer_graph()
+        grid = GridSpec(8, 1)
+        m = far_mapping(g, nodes, grid)
+        a, b, s, u1, u2 = nodes
+        e = edge_transport_fj(m, grid, s, u1)
+        assert e == pytest.approx(grid.tech.transport_energy_fj(7.0))
+        e_local = edge_transport_fj(m, grid, a, s)
+        assert e_local == pytest.approx(grid.tech.transport_energy_fj(7.0))

@@ -1,0 +1,156 @@
+"""Mapping search: sweeps, exhaustive ground truth, annealing."""
+
+import pytest
+
+from repro.core.function import DataflowGraph
+from repro.core.idioms import build_reduce
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.core.search import (
+    FigureOfMerit,
+    anneal,
+    exhaustive_search,
+    sweep_placements,
+)
+
+
+def wide_graph(n=16):
+    g = DataflowGraph()
+    for i in range(n):
+        a = g.input("A", (i,))
+        r = g.op("+", a, g.const(1, index=(i,)), index=(i,))
+        g.mark_output(r, ("o", i))
+    return g
+
+
+def tiny_graph():
+    g = DataflowGraph()
+    a = g.input("A", (0,))
+    b = g.input("A", (1,))
+    s = g.op("+", a, b, index=(0,))
+    t = g.op("*", s, s, index=(1,))
+    g.mark_output(t, "o")
+    return g
+
+
+class TestSweep:
+    def test_all_points_legal(self):
+        g = wide_graph()
+        grid = GridSpec(8, 1)
+        for r in sweep_placements(g, grid):
+            assert check_legality(g, r.mapping, grid).ok, r.label
+
+    def test_sorted_by_fom(self):
+        g = wide_graph()
+        results = sweep_placements(g, GridSpec(8, 1))
+        foms = [r.fom for r in results]
+        assert foms == sorted(foms)
+
+    def test_covers_serial_and_parallel(self):
+        g = wide_graph()
+        labels = {r.label for r in sweep_placements(g, GridSpec(8, 1))}
+        assert "serial" in labels
+        assert "block-p8" in labels and "cyclic-p2" in labels
+
+    def test_parallel_beats_serial_for_wide_graph(self):
+        g = wide_graph(32)
+        results = sweep_placements(g, GridSpec(8, 1), FigureOfMerit.fastest())
+        best = results[0]
+        serial = next(r for r in results if r.label == "serial")
+        assert best.cost.cycles < serial.cost.cycles
+
+    def test_serial_wins_on_energy_for_local_chain(self):
+        """A fully serial dependence chain gains nothing from spreading out,
+        and spreading pays wire energy — the energy FoM must prefer fewer
+        places."""
+        g = DataflowGraph()
+        acc = g.input("A", (0,))
+        for i in range(12):
+            acc = g.op("+", acc, g.const(1, index=(i,)), index=(i,))
+        g.mark_output(acc, "o")
+        results = sweep_placements(g, GridSpec(8, 1), FigureOfMerit.lowest_energy())
+        assert results[0].cost.places_used == 1
+
+    def test_metrics_tuple(self):
+        g = wide_graph(4)
+        r = sweep_placements(g, GridSpec(2, 1))[0]
+        t, e, f = r.metrics()
+        assert t == r.cost.cycles and e == r.cost.energy_total_fj
+
+    def test_2d_block_offered_for_2d_graphs(self):
+        from repro.algorithms.edit_distance import edit_distance_graph
+
+        g = edit_distance_graph(8, 8)
+        labels = {r.label for r in sweep_placements(g, GridSpec(4, 4))}
+        assert "block-2d" in labels
+
+    def test_2d_block_absent_without_rows_or_2d_indices(self):
+        g = wide_graph(8)  # 1-D indices
+        labels = {r.label for r in sweep_placements(g, GridSpec(4, 4))}
+        assert "block-2d" not in labels
+        from repro.algorithms.edit_distance import edit_distance_graph
+
+        g2 = edit_distance_graph(8, 8)
+        labels2 = {r.label for r in sweep_placements(g2, GridSpec(8, 1))}
+        assert "block-2d" not in labels2
+
+    def test_2d_block_legal_and_fastest_on_matmul(self):
+        """1-D placements of an n x n computation can only use n PEs of an
+        n x n grid (they block index[0] alone); the 2-D placement uses all
+        n^2 and wins the sweep outright."""
+        from repro.algorithms.matmul_fm import matmul_graph
+        from repro.core.legality import check_legality
+
+        g = matmul_graph(4, systolic=False)
+        grid = GridSpec(4, 4)
+        results = sweep_placements(g, grid, FigureOfMerit.fastest())
+        assert results[0].label == "block-2d"
+        assert check_legality(g, results[0].mapping, grid).ok
+        assert results[0].cost.places_used > 4  # beyond any 1-D placement
+
+
+class TestExhaustive:
+    def test_matches_or_beats_sweep_on_tiny_graph(self):
+        g = tiny_graph()
+        grid = GridSpec(2, 1)
+        fom = FigureOfMerit.fastest()
+        best = exhaustive_search(g, grid, fom)
+        swept = sweep_placements(g, grid, fom)[0]
+        assert best.fom <= swept.fom
+
+    def test_refuses_big_spaces(self):
+        g = wide_graph(16)
+        with pytest.raises(ValueError, match="exceeds"):
+            exhaustive_search(g, GridSpec(4, 4), max_points=100)
+
+    def test_result_legal(self):
+        g = tiny_graph()
+        grid = GridSpec(2, 1)
+        best = exhaustive_search(g, grid)
+        assert check_legality(g, best.mapping, grid).ok
+
+
+class TestAnneal:
+    def test_legal_and_reproducible(self):
+        idiom = build_reduce(16, 4, GridSpec(4, 1))
+        grid = GridSpec(4, 1)
+        a = anneal(idiom.graph, grid, steps=150, seed=3)
+        b = anneal(idiom.graph, grid, steps=150, seed=3)
+        assert a.fom == b.fom
+        assert check_legality(idiom.graph, a.mapping, grid).ok
+
+    def test_never_worse_than_default_start(self):
+        g = wide_graph(8)
+        grid = GridSpec(4, 1)
+        fom = FigureOfMerit.edp()
+        from repro.core.cost import evaluate_cost
+        from repro.core.default_mapper import default_mapping
+
+        start = fom(evaluate_cost(g, default_mapping(g, grid), grid))
+        best = anneal(g, grid, fom, steps=200, seed=0)
+        assert best.fom <= start * 1.05  # annealing keeps the best seen
+
+    def test_empty_graph(self):
+        g = DataflowGraph()
+        r = anneal(g, GridSpec(2, 1), steps=10)
+        assert r.cost.cycles == 0

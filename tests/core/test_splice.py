@@ -1,0 +1,94 @@
+"""Function-level composition: DataflowGraph.splice."""
+
+import pytest
+
+from repro.core.default_mapper import default_mapping
+from repro.core.function import DataflowGraph, FunctionError
+from repro.core.idioms import build_map, build_reduce
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.machines.grid import GridMachine
+
+
+def square_graph(n):
+    g = DataflowGraph()
+    for i in range(n):
+        x = g.input("x", (i,))
+        g.mark_output(g.op("*", x, x, index=(i,)), ("sq", i))
+    return g
+
+
+class TestSplice:
+    def test_bound_inputs_wire_through(self):
+        # stage 1: y = x + 1; stage 2 (spliced): z = y * y
+        g = DataflowGraph()
+        x = g.input("x", (0,))
+        y = g.op("+", x, g.const(1))
+        stage2 = DataflowGraph()
+        yin = stage2.input("y", (0,))
+        stage2.mark_output(stage2.op("*", yin, yin), "z")
+        g.splice(stage2, {("y", (0,)): y})
+        out = g.evaluate({"x": {(0,): 4}})
+        assert out["z"] == 25
+
+    def test_unbound_inputs_imported(self):
+        g = DataflowGraph()
+        a = g.input("a", (0,))
+        stage2 = DataflowGraph()
+        p = stage2.input("a2", (0,))
+        q = stage2.input("b", (0,))
+        stage2.mark_output(stage2.op("+", p, q), "s")
+        g.splice(stage2, {("a2", (0,)): a})
+        out = g.evaluate({"a": {(0,): 3}, "b": {(0,): 4}})
+        assert out["s"] == 7
+
+    def test_output_prefix_avoids_clashes(self):
+        g = square_graph(2)
+        g2 = square_graph(2)
+        g.splice(g2, {}, output_prefix="second")
+        labels = set(g.outputs)
+        assert ("sq", 0) in labels and ("second", ("sq", 0)) in labels
+
+    def test_clashing_labels_rejected_without_prefix(self):
+        g = square_graph(2)
+        with pytest.raises(FunctionError, match="duplicate"):
+            g.splice(square_graph(2), {})
+
+    def test_bad_binding_rejected(self):
+        g = DataflowGraph()
+        s2 = DataflowGraph()
+        s2.input("y", (0,))
+        with pytest.raises(FunctionError, match="unknown node"):
+            g.splice(s2, {("y", (0,)): 99})
+
+    def test_idmap_covers_all_nodes(self):
+        g = DataflowGraph()
+        s2 = square_graph(3)
+        idmap = g.splice(s2, {})
+        assert set(idmap) == set(range(s2.n_nodes))
+
+
+class TestFusedPipeline:
+    def test_map_then_reduce_single_graph_on_machine(self):
+        """Fuse the map and reduce idioms into ONE graph via splice and run
+        the composite end to end — true function composition, then one
+        mapping for the whole pipeline."""
+        n, p = 16, 4
+        grid = GridSpec(4, 1)
+        m_idiom = build_map(n, p, grid, "+", 10)
+        r_idiom = build_reduce(n, p, grid)
+
+        fused = DataflowGraph()
+        idmap1 = fused.splice(m_idiom.graph, {})
+        bindings = {
+            ("A", (i,)): idmap1[m_idiom.graph.outputs[("out", i)]]
+            for i in range(n)
+        }
+        fused.splice(r_idiom.graph, bindings, output_prefix="stage2")
+
+        mapping = default_mapping(fused, grid)
+        assert check_legality(fused, mapping, grid).ok
+        res = GridMachine(grid).run(
+            fused, mapping, {"A": {(i,): i for i in range(n)}}
+        )
+        assert res.outputs[("stage2", "reduce")] == sum(i + 10 for i in range(n))

@@ -1,0 +1,89 @@
+"""Full-stack verification: translation validation and mutation testing."""
+
+import pytest
+
+from repro.algorithms.stencil import stencil_graph
+from repro.core.default_mapper import default_mapping
+from repro.core.idioms import build_reduce, build_scan
+from repro.core.lowering import lower
+from repro.core.mapping import GridSpec
+from repro.core.verify import (
+    MUTATION_KINDS,
+    mutate_spec,
+    verify_lowering,
+)
+
+GRID = GridSpec(4, 1)
+
+
+def lowered(workload: str):
+    if workload == "reduce":
+        idiom = build_reduce(16, 4, GRID)
+        g, m = idiom.graph, idiom.mapping
+    elif workload == "scan":
+        idiom = build_scan(12, 4, GRID)
+        g, m = idiom.graph, idiom.mapping
+    else:
+        g = stencil_graph(12, 2)
+        m = default_mapping(g, GRID)
+    return g, m, lower(g, m, GRID)
+
+
+class TestCleanDesignsVerify:
+    @pytest.mark.parametrize("workload", ["reduce", "scan", "stencil"])
+    def test_all_checks_pass(self, workload):
+        g, m, spec = lowered(workload)
+        res = verify_lowering(g, m, spec, GRID)
+        assert res.ok, res.describe()
+        assert res.outputs  # hardware-level outputs produced
+
+    def test_hardware_outputs_match_reference(self):
+        g, m, spec = lowered("reduce")
+        inputs = {"A": {(i,): i + 1 for i in range(16)}}
+        res = verify_lowering(g, m, spec, GRID, inputs)
+        assert res.ok
+        assert res.outputs["reduce"] == sum(range(1, 17))
+
+    def test_order_independence_is_checked(self):
+        g, m, spec = lowered("stencil")
+        res = verify_lowering(g, m, spec, GRID,
+                              orders=("id", "reverse", "shuffle-7"))
+        assert res.ok
+
+
+class TestMutationsCaught:
+    @pytest.mark.parametrize("kind", MUTATION_KINDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_single_faults_detected(self, kind, seed):
+        g, m, spec = lowered("reduce")
+        try:
+            mutant = mutate_spec(spec, kind, seed=seed)
+        except ValueError:
+            pytest.skip(f"no site for {kind} in this spec")
+        res = verify_lowering(g, m, mutant, GRID)
+        assert not res.ok, f"{kind} seed={seed} slipped through"
+
+    def test_failed_checks_named(self):
+        g, m, spec = lowered("reduce")
+        mutant = mutate_spec(spec, "drop_wire", seed=0)
+        res = verify_lowering(g, m, mutant, GRID)
+        names = {c.name for c in res.failed()}
+        assert "wiring" in names
+
+    def test_corrupt_op_caught_functionally(self):
+        g, m, spec = lowered("reduce")
+        mutant = mutate_spec(spec, "corrupt_op", seed=0)
+        res = verify_lowering(g, m, mutant, GRID)
+        names = {c.name for c in res.failed()}
+        assert "functional" in names
+
+    def test_unknown_mutation_kind(self):
+        g, m, spec = lowered("reduce")
+        with pytest.raises(ValueError, match="unknown mutation"):
+            mutate_spec(spec, "bitflip")
+
+    def test_describe_is_readable(self):
+        g, m, spec = lowered("reduce")
+        res = verify_lowering(g, m, spec, GRID)
+        text = res.describe()
+        assert "coverage" in text and "functional" in text

@@ -1,0 +1,172 @@
+"""Trace-driven cache simulators: LRU, set-associative, hierarchies."""
+
+import pytest
+
+from repro.machines.cachesim import CacheHierarchy, LRUCache, ideal_cache, run_trace
+from repro.machines.technology import TECH_5NM
+
+
+class TestLRUBasics:
+    def test_cold_miss_then_hit(self):
+        c = LRUCache(4, 1)
+        assert c.access(0) == (False, False)
+        assert c.access(0) == (True, False)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_block_granularity(self):
+        c = LRUCache(16, 4)
+        c.access(0)
+        assert c.access(3)[0]  # same block
+        assert not c.access(4)[0]  # next block
+
+    def test_lru_evicts_oldest(self):
+        c = LRUCache(2, 1)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # refresh 0; LRU is now 1
+        c.access(2)  # evicts 1
+        assert c.contains(0) and c.contains(2) and not c.contains(1)
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = LRUCache(1, 1)
+        c.access(0, write=True)
+        _, wb = c.access(1)
+        assert wb and c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = LRUCache(1, 1)
+        c.access(0)
+        _, wb = c.access(1)
+        assert not wb and c.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = LRUCache(1, 1)
+        c.access(0)          # clean fill
+        c.access(0, write=True)  # dirty on hit
+        _, wb = c.access(1)
+        assert wb
+
+    def test_read_write_miss_breakdown(self):
+        c = LRUCache(8, 1)
+        c.access(0)
+        c.access(1, write=True)
+        assert c.stats.read_misses == 1 and c.stats.write_misses == 1
+
+    def test_miss_rate(self):
+        c = LRUCache(8, 1)
+        for a in (0, 0, 0, 1):
+            c.access(a)
+        assert c.stats.miss_rate == pytest.approx(0.5)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(4, 1).access(-1)
+
+
+class TestGeometry:
+    def test_capacity_must_be_multiple_of_block(self):
+        with pytest.raises(ValueError):
+            LRUCache(10, 4)
+
+    def test_assoc_must_divide(self):
+        with pytest.raises(ValueError):
+            LRUCache(16, 1, assoc=3)
+
+    def test_fully_associative_default(self):
+        c = LRUCache(16, 1)
+        assert c.assoc == 16 and c.n_sets == 1
+
+    def test_direct_mapped_conflicts(self):
+        """Direct-mapped: two blocks mapping to the same set thrash even
+        though capacity would hold both."""
+        dm = LRUCache(4, 1, assoc=1)
+        fa = LRUCache(4, 1)
+        for _ in range(10):
+            for a in (0, 4):  # same set in the 4-set direct-mapped cache
+                dm.access(a)
+                fa.access(a)
+        assert dm.stats.misses == 20
+        assert fa.stats.misses == 2
+
+    def test_resident_blocks(self):
+        c = LRUCache(8, 2)
+        c.access(0)
+        c.access(5)
+        assert c.resident_blocks() == {0, 2}
+
+
+class TestInclusionProperty:
+    def test_bigger_lru_never_misses_more(self):
+        """The LRU inclusion property — the theoretical basis for claim C11's
+        'works on any cache size' story."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        trace = [("r", int(a)) for a in rng.integers(0, 128, size=2000)]
+        small = ideal_cache(16, 1)
+        big = ideal_cache(64, 1)
+        run_trace(small, trace)
+        run_trace(big, trace)
+        assert big.stats.misses <= small.stats.misses
+
+    def test_resident_set_nested(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        small = ideal_cache(8, 1)
+        big = ideal_cache(32, 1)
+        for a in rng.integers(0, 64, size=500):
+            small.access(int(a))
+            big.access(int(a))
+            assert small.resident_blocks() <= big.resident_blocks()
+
+
+class TestHierarchy:
+    def _hier(self):
+        return CacheHierarchy(
+            [LRUCache(4, 1, name="L1"), LRUCache(16, 1, name="L2")]
+        )
+
+    def test_hit_levels(self):
+        h = self._hier()
+        assert h.access(0) == 2  # memory
+        assert h.access(0) == 0  # L1
+        # push 0 out of L1 (cap 4) but not out of L2 (cap 16)
+        for a in range(1, 5):
+            h.access(a)
+        assert h.access(0) == 1  # L2 hit
+
+    def test_mem_access_count(self):
+        h = self._hier()
+        for a in range(8):
+            h.access(a)
+        assert h.mem_accesses == 8
+
+    def test_install_on_all_levels(self):
+        h = self._hier()
+        h.access(7)
+        assert h.levels[0].contains(7) and h.levels[1].contains(7)
+
+    def test_miss_counts_vector(self):
+        h = self._hier()
+        for a in range(6):
+            h.access(a)
+        m = h.miss_counts()
+        assert m[0] == 6 and m[1] == 6
+
+    def test_energy_positive_and_memory_dominated(self):
+        h = self._hier()
+        for a in range(32):
+            h.access(a)
+        e = h.energy_fj(TECH_5NM)
+        # 32 memory accesses at 800k fJ each dominate everything
+        assert e > 32 * TECH_5NM.offchip_energy_word_fj() * 0.9
+
+    def test_needs_a_level(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_run_trace_on_hierarchy(self):
+        h = self._hier()
+        run_trace(h, [("r", 0), ("w", 1), ("r", 0)])
+        assert h.levels[0].stats.accesses == 3

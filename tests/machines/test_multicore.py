@@ -1,0 +1,111 @@
+"""Multicore accounting model: the 10,000x overhead story, measured."""
+
+import pytest
+
+from repro.machines.multicore import MulticoreConfig, MulticoreMachine
+from repro.machines.technology import TECH_5NM
+from repro.models.ram import assemble, sum_program
+
+
+class TestSingleCore:
+    def test_runs_programs_correctly(self):
+        mc = MulticoreMachine()
+        res, ram = mc.run_single(
+            sum_program(), {1: 1000, 2: 32}, {1000: list(range(32))}
+        )
+        assert ram.registers[0] == sum(range(32))
+        assert res.instructions == res.counts.total
+
+    def test_overhead_ratio_at_least_the_papers_factor(self):
+        """Claim C5: total energy per useful ALU energy >= 10,000x.
+
+        The per-instruction overhead alone is 10,000x; loads, branches and
+        memory traffic push the whole-program ratio higher, never lower.
+        """
+        mc = MulticoreMachine()
+        res, _ = mc.run_single(
+            sum_program(), {1: 1000, 2: 64}, {1000: [1] * 64}
+        )
+        assert res.overhead_ratio >= TECH_5NM.instruction_overhead_factor
+
+    def test_energy_breakdown_positive(self):
+        mc = MulticoreMachine()
+        res, _ = mc.run_single(sum_program(), {1: 0, 2: 8}, {0: [1] * 8})
+        assert res.energy_instruction_overhead_fj > 0
+        assert res.energy_useful_alu_fj > 0
+        assert res.energy_memory_fj > 0
+        assert res.energy_total_fj == pytest.approx(
+            res.energy_instruction_overhead_fj
+            + res.energy_useful_alu_fj
+            + res.energy_memory_fj
+        )
+
+    def test_cache_locality_reduces_cycles(self):
+        """Summing the same small array twice: second pass hits in cache."""
+        src = """
+            li r0, 0
+            li r3, 0
+        loop: bge r3, r2, done
+            add r4, r1, r3
+            ld r5, (r4)
+            add r0, r0, r5
+            addi r3, r3, 1
+            jmp loop
+        done: halt
+        """
+        prog = assemble(src)
+        mc = MulticoreMachine()
+        res1, _ = mc.run_single(prog, {1: 0, 2: 64}, {0: [1] * 64})
+
+        # strided access: each load a new block -> more memory stalls
+        src_strided = src.replace("addi r3, r3, 1", "addi r3, r3, 8")
+        prog_s = assemble(src_strided)
+        res2, _ = mc.run_single(prog_s, {1: 0, 2: 512}, {0: [1] * 512})
+        # same number of loads (64), strided version misses more
+        assert res2.mem_accesses > res1.mem_accesses
+
+    def test_zero_alu_program_infinite_ratio(self):
+        mc = MulticoreMachine()
+        res, _ = mc.run_single(assemble("li r0, 1\nhalt"), {}, {})
+        assert res.overhead_ratio == float("inf")
+
+
+class TestPhases:
+    def test_balanced_phase(self):
+        mc = MulticoreMachine(MulticoreConfig(n_cores=4, issue_width=1,
+                                              barrier_cycles=100))
+        res = mc.run_phases([[10] * 4])
+        assert res.cycles == 10 + 100
+        assert res.barriers == 1
+
+    def test_imbalance_costs(self):
+        cfg = MulticoreConfig(n_cores=4, issue_width=1, barrier_cycles=0)
+        mc = MulticoreMachine(cfg)
+        balanced = mc.run_phases([[10, 10, 10, 10]])
+        skewed = mc.run_phases([[40, 0, 0, 0]])
+        assert skewed.cycles > balanced.cycles
+        assert skewed.instructions == balanced.instructions
+
+    def test_barrier_dominates_tiny_phases(self):
+        """Many small levels: the barrier cost swamps the work — Yelick's
+        heavyweight-synchronization point."""
+        cfg = MulticoreConfig(n_cores=8, issue_width=1, barrier_cycles=2000)
+        mc = MulticoreMachine(cfg)
+        res = mc.run_phases([[1]] * 50)
+        assert res.cycles >= 50 * 2000
+
+    def test_empty_phase_costs_barrier(self):
+        cfg = MulticoreConfig(barrier_cycles=77)
+        mc = MulticoreMachine(cfg)
+        res = mc.run_phases([[]])
+        assert res.cycles == 77
+
+    def test_energy_charged_per_instruction(self):
+        cfg = MulticoreConfig(n_cores=2, issue_width=1, barrier_cycles=0)
+        mc = MulticoreMachine(cfg)
+        res = mc.run_phases([[5, 5]], instructions_per_item=3)
+        assert res.instructions == 30
+        add = TECH_5NM.add_energy_word_fj()
+        assert res.energy_instruction_overhead_fj == pytest.approx(
+            30 * add * TECH_5NM.instruction_overhead_factor
+        )

@@ -1,0 +1,92 @@
+"""Network-on-chip: routing, latency, contention."""
+
+import pytest
+
+from repro.machines.noc import Message, Noc, xy_route
+from repro.machines.technology import TECH_5NM
+
+
+class TestRouting:
+    def test_xy_route_shape(self):
+        hops = xy_route((0, 0), (2, 1))
+        assert hops == [(((0, 0)), (1, 0)), ((1, 0), (2, 0)), ((2, 0), (2, 1))]
+
+    def test_x_before_y(self):
+        hops = xy_route((1, 1), (0, 3))
+        assert hops[0] == ((1, 1), (0, 1))  # x first, decreasing
+
+    def test_empty_route(self):
+        assert xy_route((2, 2), (2, 2)) == []
+
+
+class TestLatency:
+    def test_uncontended_latency_is_distance(self):
+        noc = Noc(8, 8)
+        rep = noc.simulate([Message(0, (0, 0), (3, 2), 0)])
+        assert rep.latency[0] == 5 * TECH_5NM.hop_cycles()
+
+    def test_contention_serializes_shared_link(self):
+        """Four messages from the same source over the same first link
+        leave one per cycle."""
+        noc = Noc(8, 1)
+        msgs = [Message(i, (0, 0), (4, 0), 0) for i in range(4)]
+        rep = noc.simulate(msgs)
+        lats = sorted(rep.latency.values())
+        base = 4 * TECH_5NM.hop_cycles()
+        assert lats == [base, base + 1, base + 2, base + 3]
+
+    def test_disjoint_paths_no_interference(self):
+        noc = Noc(8, 2)
+        msgs = [
+            Message(0, (0, 0), (7, 0), 0),
+            Message(1, (0, 1), (7, 1), 0),
+        ]
+        rep = noc.simulate(msgs)
+        assert rep.latency[0] == rep.latency[1] == 7 * TECH_5NM.hop_cycles()
+
+    def test_order_independence(self):
+        noc = Noc(4, 4)
+        msgs = [
+            Message(0, (0, 0), (3, 3), 0),
+            Message(1, (1, 0), (3, 3), 2),
+            Message(2, (0, 1), (3, 3), 1),
+        ]
+        a = noc.simulate(msgs)
+        b = noc.simulate(list(reversed(msgs)))
+        assert a.delivery_cycle == b.delivery_cycle
+
+    def test_inject_cycle_respected(self):
+        noc = Noc(4, 1)
+        rep = noc.simulate([Message(0, (0, 0), (1, 0), 100)])
+        assert rep.delivery_cycle[0] == 100 + TECH_5NM.hop_cycles()
+
+
+class TestStats:
+    def test_makespan_and_totals(self):
+        noc = Noc(4, 1)
+        msgs = [Message(i, (0, 0), (2, 0), 0) for i in range(3)]
+        rep = noc.simulate(msgs)
+        assert rep.makespan == max(rep.delivery_cycle.values())
+        assert rep.total_latency == sum(rep.latency.values())
+        assert rep.max_latency == max(rep.latency.values())
+
+    def test_busiest_link(self):
+        noc = Noc(4, 1)
+        msgs = [Message(i, (0, 0), (3, 0), 0) for i in range(5)]
+        rep = noc.simulate(msgs)
+        assert rep.busiest_link_messages == 5
+
+    def test_waiting_counted(self):
+        noc = Noc(4, 1)
+        msgs = [Message(i, (0, 0), (3, 0), 0) for i in range(5)]
+        rep = noc.simulate(msgs)
+        assert rep.max_link_waiting >= 1
+
+    def test_out_of_mesh_rejected(self):
+        noc = Noc(2, 2)
+        with pytest.raises(ValueError):
+            noc.simulate([Message(0, (0, 0), (5, 0), 0)])
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Noc(0, 4)

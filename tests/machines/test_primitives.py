@@ -1,0 +1,117 @@
+"""Communication primitive sets: one-sided vs two-sided cost models."""
+
+import pytest
+
+from repro.machines.primitives import (
+    CommConfig,
+    OneSidedMachine,
+    Traffic,
+    TwoSidedMachine,
+    halo_exchange,
+    random_updates,
+    transpose,
+    tree_reduce_traffic,
+)
+
+
+class TestTraffic:
+    def test_validates_endpoints(self):
+        with pytest.raises(ValueError):
+            Traffic(2, ((0, 5, 1),))
+        with pytest.raises(ValueError):
+            Traffic(2, ((0, 0, 1),))
+        with pytest.raises(ValueError):
+            Traffic(2, ((0, 1, 0),))
+
+    def test_totals(self):
+        t = Traffic(4, ((0, 1, 5), (2, 3, 7)))
+        assert t.total_words == 12 and t.n_messages == 2
+
+
+class TestWorkloadGenerators:
+    def test_halo_shape(self):
+        phases = halo_exchange(4, 8, steps=3)
+        assert len(phases) == 3
+        assert phases[0].n_messages == 2 * 3  # both directions, 3 boundaries
+        assert phases[0].total_words == 6 * 8
+
+    def test_transpose_all_pairs(self):
+        (t,) = transpose(4, 2)
+        assert t.n_messages == 12  # 4*3 ordered pairs
+
+    def test_random_updates_reproducible(self):
+        a = random_updates(8, 100, seed=1)[0]
+        b = random_updates(8, 100, seed=1)[0]
+        assert a.transfers == b.transfers
+
+    def test_tree_reduce_phases(self):
+        phases = tree_reduce_traffic(8, 4)
+        assert len(phases) == 3
+        assert [p.n_messages for p in phases] == [4, 2, 1]
+
+    def test_tree_reduce_pow2_only(self):
+        with pytest.raises(ValueError):
+            tree_reduce_traffic(6, 1)
+
+
+class TestMachines:
+    def test_one_sided_cheaper_per_message(self):
+        t = Traffic(2, ((0, 1, 10),))
+        one = OneSidedMachine().phase(t)
+        two = TwoSidedMachine().phase(t)
+        assert one.time_cycles < two.time_cycles
+        assert one.buffer_words_peak == 0
+
+    def test_barrier_dominates_sparse_phases(self):
+        """A phase with one tiny message still pays the full barrier on the
+        two-sided machine (default cost points: MPI-ish vs RMA-ish)."""
+        t = Traffic(64, ((0, 1, 1),))
+        two = TwoSidedMachine().phase(t)
+        one = OneSidedMachine().phase(t)
+        assert two.time_cycles > 10 * one.time_cycles
+
+    def test_per_proc_load_not_total(self):
+        """Time reflects the busiest processor, not the sum."""
+        cfg = CommConfig(alpha=10, beta=1)
+        balanced = Traffic(4, ((0, 1, 10), (2, 3, 10)))
+        skewed = Traffic(4, ((0, 1, 10), (0, 2, 10)))
+        m = OneSidedMachine(cfg)
+        assert m.phase(skewed).time_cycles > m.phase(balanced).time_cycles
+
+    def test_sync_events_pairwise_vs_global(self):
+        t = transpose(8, 1)[0]
+        one = OneSidedMachine().phase(t)
+        two = TwoSidedMachine().phase(t)
+        assert two.sync_events == 1  # one global barrier
+        assert one.sync_events == t.n_messages  # one signal per pair
+
+    def test_run_accumulates_phases(self):
+        phases = halo_exchange(4, 8, steps=5)
+        rep = OneSidedMachine().run(phases)
+        single = OneSidedMachine().phase(phases[0])
+        assert rep.time_cycles == pytest.approx(5 * single.time_cycles)
+        assert rep.messages == 5 * single.messages
+
+
+class TestAggregation:
+    def test_aggregation_cuts_messages_but_buys_buffers(self):
+        t = random_updates(8, 400, seed=0)[0]
+        plain = TwoSidedMachine().phase(t)
+        agg = TwoSidedMachine(aggregate=64).phase(t)
+        assert agg.messages < plain.messages
+        assert agg.time_cycles < plain.time_cycles
+        assert agg.buffer_words_peak > 0  # the fast-memory cost
+        assert plain.buffer_words_peak == 0
+
+    def test_aggregation_preserves_words(self):
+        t = random_updates(8, 200, seed=2)[0]
+        plain = TwoSidedMachine().phase(t)
+        agg = TwoSidedMachine(aggregate=32).phase(t)
+        assert agg.words == plain.words
+
+    def test_even_aggregated_two_sided_loses_to_one_sided_on_irregular(self):
+        """Yelick's thesis on the canonical irregular pattern."""
+        t = random_updates(16, 1000, seed=3)[0]
+        one = OneSidedMachine().phase(t)
+        agg = TwoSidedMachine(aggregate=128).phase(t)
+        assert one.time_cycles < agg.time_cycles

@@ -1,0 +1,119 @@
+"""Technology parameters: the paper's constants and derived ratios."""
+
+import math
+
+import pytest
+
+from repro.machines.technology import TECH_16NM, TECH_5NM, Technology
+
+
+class TestPaperConstants:
+    """Claim C4: the raw 5 nm numbers quoted in Section 3."""
+
+    def test_add_energy_per_bit(self):
+        assert TECH_5NM.add_energy_fj_per_bit == 0.5
+
+    def test_add_latency(self):
+        assert TECH_5NM.add_latency_ps == 200.0
+
+    def test_wire_energy(self):
+        assert TECH_5NM.wire_energy_fj_per_bit_mm == 80.0
+
+    def test_wire_latency(self):
+        assert TECH_5NM.wire_latency_ps_per_mm == 800.0
+
+    def test_gpu_area(self):
+        assert TECH_5NM.chip_area_mm2 == 800.0
+
+
+class TestPaperRatios:
+    """Claims C1-C3b: the ratios the panel statement derives."""
+
+    def test_c1_one_mm_transport_is_160x(self):
+        assert TECH_5NM.transport_vs_add_ratio(1.0) == pytest.approx(160.0)
+
+    def test_c2_diagonal_transport_is_about_4500x(self):
+        assert TECH_5NM.diagonal_vs_add_ratio() == pytest.approx(4500.0, rel=0.05)
+
+    def test_c3_offchip_is_50000x_an_add(self):
+        assert TECH_5NM.offchip_vs_add_ratio() == pytest.approx(50_000.0)
+
+    def test_c3b_offchip_is_order_of_magnitude_over_diagonal(self):
+        assert TECH_5NM.offchip_vs_diagonal_ratio() == pytest.approx(10.0, rel=0.5)
+
+    def test_c5_instruction_overhead(self):
+        ratio = TECH_5NM.instruction_energy_word_fj() / TECH_5NM.add_energy_word_fj()
+        assert ratio == pytest.approx(10_001.0)
+
+
+class TestDerivedGeometry:
+    def test_diagonal_is_sqrt_area(self):
+        assert TECH_5NM.chip_diagonal_mm == pytest.approx(math.sqrt(800.0))
+
+    def test_cycle_is_add_latency(self):
+        assert TECH_5NM.cycle_ps == TECH_5NM.add_latency_ps
+
+    def test_wire_speed(self):
+        # 200 ps cycle / 800 ps-per-mm = 0.25 mm per cycle
+        assert TECH_5NM.wire_mm_per_cycle == pytest.approx(0.25)
+
+    def test_hop_cycles(self):
+        # 1 mm pitch at 0.25 mm/cycle = 4 cycles
+        assert TECH_5NM.hop_cycles() == 4
+
+
+class TestEnergyHelpers:
+    def test_add_energy_word(self):
+        assert TECH_5NM.add_energy_word_fj() == pytest.approx(16.0)
+
+    def test_transport_energy_scales_linearly(self):
+        e1 = TECH_5NM.transport_energy_fj(1.0)
+        e5 = TECH_5NM.transport_energy_fj(5.0)
+        assert e5 == pytest.approx(5 * e1)
+
+    def test_transport_energy_custom_bits(self):
+        assert TECH_5NM.transport_energy_fj(2.0, bits=1) == pytest.approx(160.0)
+
+    def test_transport_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            TECH_5NM.transport_energy_fj(-1.0)
+
+    def test_offchip_energy_word(self):
+        assert TECH_5NM.offchip_energy_word_fj() == pytest.approx(25_000.0 * 32)
+
+
+class TestLatencyHelpers:
+    def test_zero_distance_zero_cycles(self):
+        assert TECH_5NM.transport_cycles(0.0) == 0
+
+    def test_short_distance_at_least_one_cycle(self):
+        assert TECH_5NM.transport_cycles(0.01) == 1
+
+    def test_transport_cycles_rounds_up(self):
+        # 1.1 mm -> 880 ps -> ceil(4.4) = 5 cycles
+        assert TECH_5NM.transport_cycles(1.1) == 5
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            TECH_5NM.transport_cycles(-0.5)
+
+    def test_offchip_cycles_positive(self):
+        assert TECH_5NM.offchip_cycles() >= 1
+
+
+class TestVariants:
+    def test_with_returns_modified_copy(self):
+        t2 = TECH_5NM.with_(grid_pitch_mm=0.25)
+        assert t2.grid_pitch_mm == 0.25
+        assert TECH_5NM.grid_pitch_mm == 1.0  # original untouched
+
+    def test_finer_pitch_single_cycle_hop(self):
+        t2 = TECH_5NM.with_(grid_pitch_mm=0.25)
+        assert t2.hop_cycles() == 1
+
+    def test_16nm_point_differs(self):
+        assert TECH_16NM.add_energy_fj_per_bit > TECH_5NM.add_energy_fj_per_bit
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TECH_5NM.word_bits = 64  # type: ignore[misc]

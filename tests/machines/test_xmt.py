@@ -1,0 +1,139 @@
+"""XMT PRAM-on-chip: spawn blocks, prefix-sum primitive, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.machines.technology import TECH_5NM
+from repro.machines.xmt import (
+    XmtConfig,
+    XmtMachine,
+    compute,
+    ps,
+    read,
+    write,
+)
+
+
+class TestSerialSection:
+    def test_serial_charges_cycles(self):
+        xm = XmtMachine(16)
+        xm.serial(100)
+        assert xm.result.cycles == 100
+        assert xm.result.serial_instructions == 100
+
+    def test_master_memory_ops(self):
+        xm = XmtMachine(16)
+        xm.swrite(3, 42)
+        assert xm.sread(3) == 42
+        assert xm.result.cycles == 2 * xm.config.mem_latency_cycles
+
+    def test_negative_serial_rejected(self):
+        with pytest.raises(ValueError):
+            XmtMachine(4).serial(-1)
+
+
+class TestSpawn:
+    def test_parallel_doubling(self):
+        xm = XmtMachine(128, XmtConfig(n_tcus=16))
+        xm.memory[:32] = np.arange(32)
+
+        def k(tid):
+            v = yield read(tid)
+            yield write(32 + tid, 2 * v)
+
+        xm.spawn(32, k)
+        assert (xm.memory[32:64] == 2 * np.arange(32)).all()
+        assert xm.result.spawn_blocks == 1
+        assert xm.result.parallel_effects == 64  # 32 reads + 32 writes
+
+    def test_ps_returns_distinct_slots(self):
+        xm = XmtMachine(64)
+
+        def k(tid):
+            slot = yield ps(0, 1)
+            yield write(1 + slot, tid)
+
+        xm.spawn(8, k)
+        assert xm.memory[0] == 8
+        assert sorted(xm.memory[1:9].tolist()) == list(range(8))
+        assert xm.result.ps_ops == 8
+
+    def test_ps_is_deterministic_in_tid_order(self):
+        xm = XmtMachine(64)
+        slots = {}
+
+        def k(tid):
+            s = yield ps(0, 1)
+            slots[tid] = s
+
+        xm.spawn(4, k)
+        assert slots == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_write_collision_lowest_tid_wins(self):
+        xm = XmtMachine(8)
+
+        def k(tid):
+            yield write(0, tid + 50)
+
+        xm.spawn(4, k)
+        assert xm.memory[0] == 50
+
+    def test_rounds_scale_with_tcu_pressure(self):
+        """More virtual threads than TCUs: each round takes multiple TCU
+        cycles, so cycles grow when TCUs shrink."""
+        def work(n_tcus):
+            xm = XmtMachine(1024, XmtConfig(n_tcus=n_tcus))
+
+            def k(tid):
+                yield compute()
+                yield compute()
+
+            xm.spawn(256, k)
+            return xm.result.cycles
+
+        assert work(4) > work(64)
+
+    def test_spawn_zero_threads(self):
+        xm = XmtMachine(4)
+        xm.spawn(0, lambda tid: iter(()))
+        assert xm.result.spawn_blocks == 1
+
+    def test_bad_effect_rejected(self):
+        xm = XmtMachine(4)
+
+        def k(tid):
+            yield "junk"
+
+        with pytest.raises(TypeError):
+            xm.spawn(1, k)
+
+    def test_compute_only_rounds_skip_memory_latency(self):
+        cfg = XmtConfig(n_tcus=8, mem_latency_cycles=100)
+        xm_mem = XmtMachine(16, cfg)
+        xm_cpu = XmtMachine(16, cfg)
+
+        def k_mem(tid):
+            yield read(0)
+
+        def k_cpu(tid):
+            yield compute()
+
+        xm_mem.spawn(4, k_mem)
+        xm_cpu.spawn(4, k_cpu)
+        assert xm_mem.result.cycles > xm_cpu.result.cycles
+
+
+class TestEnergy:
+    def test_lighter_than_multicore_per_op(self):
+        """XMT TCU decode overhead is 1/overhead_reduction of the OoO
+        core's — the architecture's whole premise."""
+        xm = XmtMachine(16)
+
+        def k(tid):
+            yield compute()
+
+        xm.spawn(8, k)
+        e = xm.result.energy_total_fj(TECH_5NM, xm.config)
+        per_op = e / xm.result.parallel_effects
+        ooo_per_op = TECH_5NM.instruction_energy_word_fj()
+        assert per_op < ooo_per_op / 50

@@ -1,0 +1,64 @@
+"""Asymmetric read/write cost model."""
+
+import pytest
+
+from repro.models.asymmetric import (
+    AsymmetricCounts,
+    asymmetric_cache_cost,
+    asymmetric_cost,
+)
+
+
+class TestRawTraceCost:
+    def test_counts_and_cost(self):
+        trace = [("r", 0), ("w", 1), ("w", 2), ("r", 3)]
+        c = asymmetric_cost(trace, omega=5.0)
+        assert c.reads == 2 and c.writes == 2
+        assert c.cost == 2 + 5.0 * 2
+        assert c.symmetric_cost == 4
+
+    def test_omega_one_matches_symmetric(self):
+        trace = [("r", 0), ("w", 1)]
+        c = asymmetric_cost(trace, omega=1.0)
+        assert c.cost == c.symmetric_cost
+
+    def test_omega_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            asymmetric_cost([], omega=0.5)
+
+    def test_bad_record_kind(self):
+        with pytest.raises(ValueError):
+            asymmetric_cost([("x", 0)])
+
+
+class TestCacheFilteredCost:
+    def test_cached_writes_coalesce(self):
+        """Writing one cell many times costs one block write, not many."""
+        trace = [("w", 0)] * 100
+        c = asymmetric_cache_cost(trace, capacity_words=8, block_words=1, omega=10)
+        assert c.writes == 1  # final flush only
+        assert c.reads == 1   # the initial write-allocate miss
+
+    def test_final_flush_counts_dirty_residents(self):
+        trace = [("w", i) for i in range(4)]
+        c = asymmetric_cache_cost(trace, capacity_words=8, block_words=1, omega=2)
+        assert c.writes == 4  # all dirty, all flushed at end
+
+    def test_read_only_trace_has_no_writes(self):
+        trace = [("r", i) for i in range(20)]
+        c = asymmetric_cache_cost(trace, capacity_words=4, block_words=1, omega=9)
+        assert c.writes == 0
+        assert c.reads == 20  # capacity misses
+
+    def test_write_heavy_vs_read_heavy_ordering(self):
+        """With omega >> 1 a write-heavy trace must cost more than a
+        read-heavy one of the same length and locality."""
+        wheavy = [("w", i % 64) for i in range(256)]
+        rheavy = [("r", i % 64) for i in range(256)]
+        cw = asymmetric_cache_cost(wheavy, 16, 1, omega=50)
+        cr = asymmetric_cache_cost(rheavy, 16, 1, omega=50)
+        assert cw.cost > cr.cost
+
+    def test_counts_dataclass(self):
+        c = AsymmetricCounts(reads=3, writes=2, omega=4.0)
+        assert c.cost == 11.0

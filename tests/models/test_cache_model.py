@@ -1,0 +1,90 @@
+"""Ideal-cache model and multilevel analysis."""
+
+import pytest
+
+from repro.models.cache import (
+    DEFAULT_HIERARCHY,
+    HierarchySpec,
+    bound_matmul_naive,
+    bound_matmul_oblivious,
+    bound_scan,
+    ideal_cache_misses,
+    multilevel_misses,
+)
+
+
+def stream_trace(n, stride=1, base=0):
+    return [("r", base + i * stride) for i in range(n)]
+
+
+class TestIdealCacheMisses:
+    def test_streaming_misses_once_per_block(self):
+        q = ideal_cache_misses(stream_trace(64), capacity_words=16, block_words=8)
+        assert q == 64 // 8
+
+    def test_stride_defeats_blocking(self):
+        q = ideal_cache_misses(
+            stream_trace(64, stride=8), capacity_words=16, block_words=8
+        )
+        assert q == 64  # every access a new block
+
+    def test_working_set_fits_no_capacity_misses(self):
+        trace = stream_trace(16) * 10
+        q = ideal_cache_misses(trace, capacity_words=32, block_words=1)
+        assert q == 16  # cold only
+
+    def test_working_set_exceeds_lru_thrashes(self):
+        # cyclic scan of M+1 blocks under LRU misses every time
+        trace = stream_trace(17) * 10
+        q = ideal_cache_misses(trace, capacity_words=16, block_words=1)
+        assert q == 170
+
+    def test_larger_cache_never_misses_more(self):
+        trace = [("r", (7 * i) % 40) for i in range(400)]
+        q_small = ideal_cache_misses(trace, 8, 1)
+        q_big = ideal_cache_misses(trace, 32, 1)
+        assert q_big <= q_small
+
+
+class TestMultilevel:
+    def test_levels_filter_monotonically(self):
+        trace = [("r", (13 * i) % 3000) for i in range(5000)]
+        misses = multilevel_misses(
+            trace,
+            (
+                HierarchySpec(64, 1, name="L1"),
+                HierarchySpec(512, 1, name="L2"),
+                HierarchySpec(4096, 1, name="L3"),
+            ),
+        )
+        assert misses[0] >= misses[1] >= misses[2]
+
+    def test_default_hierarchy_shape(self):
+        assert len(DEFAULT_HIERARCHY) == 3
+        caps = [s.capacity_words for s in DEFAULT_HIERARCHY]
+        assert caps == sorted(caps)
+
+    def test_spec_build(self):
+        c = HierarchySpec(64, 8, 1.5, "LX").build()
+        assert c.capacity_words == 64 and c.block_words == 8
+        assert c.name == "LX" and c.distance_mm == 1.5
+
+
+class TestBoundShapes:
+    def test_oblivious_beats_naive_for_large_n(self):
+        m, b = 4096, 8
+        n = 256
+        assert bound_matmul_oblivious(n, m, b) < bound_matmul_naive(n, m, b)
+
+    def test_oblivious_improves_with_cache_size(self):
+        assert bound_matmul_oblivious(128, 16384, 8) < bound_matmul_oblivious(
+            128, 1024, 8
+        )
+
+    def test_scan_bound(self):
+        assert bound_scan(64, 8) == pytest.approx(8.0)
+
+    def test_zero_sizes(self):
+        assert bound_matmul_naive(0, 64, 8) == 0
+        assert bound_matmul_oblivious(0, 64, 8) == 0
+        assert bound_scan(0, 8) == 0

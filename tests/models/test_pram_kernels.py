@@ -1,0 +1,103 @@
+"""PRAM model separations: CRCW vs EREW, measured in steps."""
+
+import numpy as np
+import pytest
+
+from repro.models.pram import ConcurrencyMode, ConflictError, PRAM
+from repro.models.pram_kernels import (
+    broadcast_crew,
+    broadcast_erew,
+    max_crcw_quadratic,
+    or_crcw,
+    or_erew,
+)
+
+
+class TestOr:
+    @pytest.mark.parametrize("n", [1, 8, 64, 256])
+    def test_crcw_correct(self, rng, n):
+        bits = rng.integers(0, 2, size=n)
+        got, _ = or_crcw(bits)
+        assert got == int(bits.any())
+
+    @pytest.mark.parametrize("n", [1, 8, 64, 256])
+    def test_erew_correct(self, rng, n):
+        bits = rng.integers(0, 2, size=n)
+        got, _ = or_erew(bits)
+        assert got == int(bits.any())
+
+    def test_all_zero_and_all_one(self):
+        assert or_crcw(np.zeros(16, dtype=int))[0] == 0
+        assert or_crcw(np.ones(16, dtype=int))[0] == 1
+
+    def test_separation_crcw_constant_erew_log(self, rng):
+        """The model-theoretic gap, as measured step counts."""
+        steps = {}
+        for n in (64, 1024):
+            bits = rng.integers(0, 2, size=n)
+            _, p_crcw = or_crcw(bits)
+            _, p_erew = or_erew(bits)
+            steps[n] = (p_crcw.steps, p_erew.steps)
+        # CRCW: constant regardless of n
+        assert steps[64][0] == steps[1024][0] <= 2
+        # EREW: grows by ~3 steps per doubling (log-tree levels)
+        assert steps[1024][1] - steps[64][1] == pytest.approx(
+            3 * 4, abs=2
+        )
+
+    def test_crcw_trick_illegal_on_common_with_disagreement(self):
+        """Sanity: common-CRCW only works because writers agree; writers
+        disagreeing is a conflict (checked via the raw machine)."""
+        pram = PRAM(2, 2, mode=ConcurrencyMode.CRCW_COMMON)
+        with pytest.raises(ConflictError):
+            pram.par_write([0, 1], [0, 0], [1, 2])
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [1, 4, 32])
+    def test_crew_constant_steps(self, n):
+        out, pram = broadcast_crew(7, n)
+        assert (out == 7).all()
+        assert pram.steps <= 3
+
+    @pytest.mark.parametrize("n", [1, 4, 32, 128])
+    def test_erew_correct(self, n):
+        out, pram = broadcast_erew(9, n)
+        assert (out == 9).all()
+
+    def test_erew_log_steps(self):
+        _, p32 = broadcast_erew(1, 32)
+        _, p256 = broadcast_erew(1, 256)
+        # doubling rounds: 2 steps per round, 3 extra rounds
+        assert p256.steps - p32.steps == 6
+
+    def test_erew_no_concurrent_reads_needed(self):
+        out, pram = broadcast_erew(5, 64)
+        assert pram.mode is ConcurrencyMode.EREW  # ran clean under EREW
+
+
+class TestMaxQuadratic:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_finds_max(self, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(-100, 100, size=12)
+        got, _ = max_crcw_quadratic(vals)
+        assert got == vals.max()
+
+    def test_handles_ties(self):
+        got, _ = max_crcw_quadratic(np.array([3, 7, 7, 1]))
+        assert got == 7
+
+    def test_constant_steps_quadratic_work(self):
+        steps = {}
+        work = {}
+        for n in (8, 16):
+            vals = np.arange(n)
+            _, pram = max_crcw_quadratic(vals)
+            steps[n], work[n] = pram.steps, pram.work
+        assert steps[8] == steps[16] <= 4
+        assert work[16] > 3 * work[8]  # ~4x for 2x data
+
+    def test_singleton(self):
+        got, _ = max_crcw_quadratic(np.array([42]))
+        assert got == 42

@@ -1,0 +1,203 @@
+"""RAM model: assembler, interpreter, counters."""
+
+import pytest
+
+from repro.models.ram import (
+    RAM,
+    RAMError,
+    assemble,
+    sum_program,
+)
+
+
+class TestAssembler:
+    def test_assembles_sum_program(self):
+        prog = sum_program()
+        assert len(prog) == 9
+        assert "loop" in prog.labels and "done" in prog.labels
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = assemble("""
+        ; leading comment
+
+            li r0, 5   ; trailing comment
+            halt
+        """)
+        assert len(prog) == 2
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(RAMError, match="unknown opcode"):
+            assemble("frob r1, r2")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(RAMError, match="undefined label"):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(RAMError, match="duplicate label"):
+            assemble("a: li r0, 1\na: halt")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(RAMError):
+            assemble("add r1, r2")
+
+    def test_wrong_operand_kind_rejected(self):
+        with pytest.raises(RAMError):
+            assemble("ld r1, r2")  # ld needs (r2) memory operand
+
+    def test_negative_immediate(self):
+        prog = assemble("li r0, -7\nhalt")
+        ram = RAM()
+        ram.run(prog)
+        assert ram.registers[0] == -7
+
+    def test_numeric_branch_target(self):
+        prog = assemble("li r0, 1\njmp 3\nli r0, 99\nhalt")
+        ram = RAM()
+        ram.run(prog)
+        assert ram.registers[0] == 1
+
+
+class TestInterpreter:
+    def test_paper_sum_example(self):
+        """Section 2's example: load, add, increment, compare, jump."""
+        ram = RAM()
+        ram.memory.store_array(100, [3, 1, 4, 1, 5])
+        ram.run(sum_program(), registers={1: 100, 2: 5})
+        assert ram.registers[0] == 14
+
+    def test_sum_counts_scale_linearly(self):
+        counts = []
+        for n in (10, 20):
+            ram = RAM()
+            ram.memory.store_array(0, range(n))
+            c = ram.run(sum_program(), registers={1: 0, 2: n})
+            counts.append(c.total)
+        # per-iteration cost is constant: doubling n roughly doubles total
+        assert counts[1] == pytest.approx(2 * counts[0], rel=0.15)
+
+    @pytest.mark.parametrize(
+        "op,a,b,expect",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 3, 4, -1),
+            ("mul", 3, 4, 12),
+            ("div", 9, 2, 4),
+            ("div", -9, 2, -4),  # truncation toward zero
+            ("mod", 9, 2, 1),
+            ("mod", -9, 2, -1),
+            ("min", 3, 4, 3),
+            ("max", 3, 4, 4),
+        ],
+    )
+    def test_alu_ops(self, op, a, b, expect):
+        ram = RAM()
+        ram.run(assemble(f"li r1, {a}\nli r2, {b}\n{op} r0, r1, r2\nhalt"))
+        assert ram.registers[0] == expect
+
+    def test_division_by_zero(self):
+        ram = RAM()
+        with pytest.raises(RAMError, match="division by zero"):
+            ram.run(assemble("li r1, 1\nli r2, 0\ndiv r0, r1, r2\nhalt"))
+
+    @pytest.mark.parametrize(
+        "br,a,b,taken",
+        [
+            ("beq", 2, 2, True),
+            ("beq", 2, 3, False),
+            ("bne", 2, 3, True),
+            ("blt", 2, 3, True),
+            ("blt", 3, 2, False),
+            ("bge", 3, 2, True),
+            ("bge", 2, 2, True),
+        ],
+    )
+    def test_branches(self, br, a, b, taken):
+        src = f"""
+            li r1, {a}
+            li r2, {b}
+            {br} r1, r2, yes
+            li r0, 0
+            halt
+        yes: li r0, 1
+            halt
+        """
+        ram = RAM()
+        ram.run(assemble(src))
+        assert ram.registers[0] == (1 if taken else 0)
+
+    def test_load_store_roundtrip(self):
+        src = """
+            li r1, 500
+            li r2, 42
+            st (r1), r2
+            ld r3, (r1)
+            halt
+        """
+        ram = RAM()
+        ram.run(assemble(src))
+        assert ram.registers[3] == 42
+        assert ram.counts.loads == 1 and ram.counts.stores == 1
+
+    def test_uninitialized_memory_reads_zero(self):
+        ram = RAM()
+        ram.run(assemble("li r1, 999\nld r0, (r1)\nhalt"))
+        assert ram.registers[0] == 0
+
+    def test_negative_address_faults(self):
+        ram = RAM()
+        with pytest.raises(RAMError, match="negative address"):
+            ram.run(assemble("li r1, -1\nld r0, (r1)\nhalt"))
+
+    def test_max_steps_guard(self):
+        ram = RAM(max_steps=100)
+        with pytest.raises(RAMError, match="max_steps"):
+            ram.run(assemble("loop: jmp loop"))
+
+    def test_falls_off_end_without_halt(self):
+        ram = RAM()
+        ram.run(assemble("li r0, 7"))
+        assert ram.registers[0] == 7
+
+
+class TestCounters:
+    def test_classes_counted_separately(self):
+        src = """
+            li r1, 10
+            li r2, 20
+            add r3, r1, r2
+            st (r1), r3
+            ld r4, (r1)
+            jmp end
+        end: halt
+        """
+        ram = RAM()
+        c = ram.run(assemble(src))
+        assert c.moves == 2
+        assert c.alu == 1
+        assert c.stores == 1
+        assert c.loads == 1
+        assert c.branches == 1
+        assert c.total == 6
+        assert c.memory_ops == 2
+
+    def test_as_dict_keys(self):
+        ram = RAM()
+        ram.run(assemble("halt"))
+        d = ram.counts.as_dict()
+        assert set(d) == {"loads", "stores", "alu", "branches", "moves", "total"}
+
+
+class TestMemoryTrace:
+    def test_trace_records_accesses_in_order(self):
+        ram = RAM(trace_memory=True)
+        ram.run(
+            assemble("li r1, 7\nli r2, 1\nst (r1), r2\nld r0, (r1)\nhalt")
+        )
+        assert ram.memory.trace == [("w", 7), ("r", 7)]
+
+    def test_bulk_init_not_traced(self):
+        ram = RAM(trace_memory=True)
+        ram.memory.store_array(0, [1, 2, 3])
+        assert ram.memory.trace == []
+        assert ram.memory.load_array(0, 3) == [1, 2, 3]

@@ -1,0 +1,136 @@
+"""RAM program library: semantics and measured complexity classes."""
+
+import numpy as np
+import pytest
+
+from repro.models.ram import RAM
+from repro.models.ram_programs import (
+    binary_search_program,
+    bubble_sort_program,
+    dot_product_program,
+    fibonacci_program,
+    memcpy_program,
+    strided_sum_program,
+)
+
+
+def run(prog, regs, mem=None):
+    ram = RAM()
+    if mem:
+        for base, vals in mem.items():
+            ram.memory.store_array(base, vals)
+    counts = ram.run(prog, regs)
+    return ram, counts
+
+
+class TestMemcpy:
+    def test_copies(self):
+        ram, _ = run(memcpy_program(), {1: 0, 2: 100, 3: 5},
+                     {0: [9, 8, 7, 6, 5]})
+        assert ram.memory.load_array(100, 5) == [9, 8, 7, 6, 5]
+
+    def test_zero_length(self):
+        ram, c = run(memcpy_program(), {1: 0, 2: 100, 3: 0})
+        assert c.loads == 0 and c.stores == 0
+
+    def test_linear_counts(self):
+        _, c1 = run(memcpy_program(), {1: 0, 2: 100, 3: 10}, {0: [1] * 10})
+        _, c2 = run(memcpy_program(), {1: 0, 2: 100, 3: 40}, {0: [1] * 40})
+        assert c2.total == pytest.approx(4 * c1.total, rel=0.2)
+
+
+class TestBinarySearch:
+    @pytest.mark.parametrize("key,idx", [(2, 0), (11, 3), (29, 7), (15, -1)])
+    def test_finds_or_reports_absent(self, key, idx):
+        arr = [2, 5, 7, 11, 13, 17, 23, 29]
+        ram, _ = run(binary_search_program(), {1: 0, 2: len(arr), 3: key},
+                     {0: arr})
+        assert ram.registers[0] == idx
+
+    def test_logarithmic_loads(self):
+        loads = []
+        for n in (64, 4096):
+            arr = list(range(0, 2 * n, 2))
+            _, c = run(binary_search_program(), {1: 0, 2: n, 3: -5}, {0: arr})
+            loads.append(c.loads)
+        # absent key: full descent; 4096/64 = 64x data, +6 probes
+        assert loads[1] - loads[0] == 6
+
+    def test_every_element_findable(self):
+        rng = np.random.default_rng(0)
+        arr = sorted(rng.choice(1000, size=32, replace=False).tolist())
+        for i, v in enumerate(arr):
+            ram, _ = run(binary_search_program(), {1: 0, 2: 32, 3: int(v)},
+                         {0: arr})
+            assert ram.registers[0] == i
+
+
+class TestFibonacci:
+    @pytest.mark.parametrize("n,f", [(0, 0), (1, 1), (2, 1), (10, 55), (20, 6765)])
+    def test_values(self, n, f):
+        ram, _ = run(fibonacci_program(), {1: n})
+        assert ram.registers[0] == f
+
+
+class TestBubbleSort:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sorts(self, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.integers(-50, 50, size=16).tolist()
+        ram, _ = run(bubble_sort_program(), {1: 0, 2: 16}, {0: arr})
+        assert ram.memory.load_array(0, 16) == sorted(arr)
+
+    def test_quadratic_counts(self):
+        counts = []
+        for n in (8, 32):
+            arr = list(range(n, 0, -1))  # worst case
+            _, c = run(bubble_sort_program(), {1: 0, 2: n}, {0: arr})
+            counts.append(c.total)
+        assert counts[1] > 12 * counts[0]  # ~16x for 4x data
+
+    def test_already_sorted_fewer_stores(self):
+        _, c_sorted = run(bubble_sort_program(), {1: 0, 2: 16},
+                          {0: list(range(16))})
+        _, c_rev = run(bubble_sort_program(), {1: 0, 2: 16},
+                       {0: list(range(16, 0, -1))})
+        assert c_sorted.stores == 0
+        assert c_rev.stores > 0
+
+
+class TestStridedSum:
+    def test_matches_contiguous_total(self):
+        arr = list(range(32))
+        ram, _ = run(strided_sum_program(), {1: 0, 2: 32, 3: 1}, {0: arr})
+        assert ram.registers[0] == sum(arr)
+
+    def test_stride_skips(self):
+        arr = list(range(32))
+        ram, _ = run(strided_sum_program(), {1: 0, 2: 32, 3: 4}, {0: arr})
+        assert ram.registers[0] == sum(arr[::4])
+
+    def test_same_loads_different_locality(self):
+        """Same load count; the cache hierarchy tells them apart."""
+        from repro.machines.multicore import MulticoreMachine
+
+        mc = MulticoreMachine()
+        dense, _ = mc.run_single(strided_sum_program(), {1: 0, 2: 64, 3: 1},
+                                 {0: [1] * 64})
+        sparse, _ = mc.run_single(strided_sum_program(), {1: 0, 2: 512, 3: 8},
+                                  {0: [1] * 512})
+        assert dense.counts.loads == sparse.counts.loads == 64
+        assert sparse.mem_accesses > dense.mem_accesses
+
+
+class TestDotProduct:
+    def test_value(self, rng):
+        a = rng.integers(-9, 9, size=12).tolist()
+        b = rng.integers(-9, 9, size=12).tolist()
+        ram, _ = run(dot_product_program(), {1: 0, 2: 100, 3: 12},
+                     {0: a, 100: b})
+        assert ram.registers[0] == int(np.dot(a, b))
+
+    def test_mul_count(self, rng):
+        _, c = run(dot_product_program(), {1: 0, 2: 100, 3: 20},
+                   {0: [1] * 20, 100: [2] * 20})
+        # alu ops: add addr x2, mul, add acc, addi per iter = 5
+        assert c.alu == 5 * 20

@@ -1,0 +1,121 @@
+"""Work-depth model: DAG analysis and Brent's bounds."""
+
+import pytest
+
+from repro.models.workdepth import Dag, DagError, brent_bounds, greedy_schedule_length
+
+
+class TestDagConstruction:
+    def test_add_node_returns_dense_ids(self):
+        d = Dag()
+        assert [d.add_node() for _ in range(3)] == [0, 1, 2]
+
+    def test_edge_to_unknown_node(self):
+        d = Dag()
+        d.add_node()
+        with pytest.raises(DagError):
+            d.add_edge(0, 5)
+
+    def test_self_loop_rejected(self):
+        d = Dag()
+        d.add_node()
+        with pytest.raises(DagError):
+            d.add_edge(0, 0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(DagError):
+            Dag().add_node(-1)
+
+    def test_cycle_detected(self):
+        d = Dag()
+        a, b = d.add_node(), d.add_node()
+        d.add_edge(a, b)
+        d.add_edge(b, a)
+        with pytest.raises(DagError, match="cycle"):
+            d.topological_order()
+
+
+class TestAnalysis:
+    def test_chain_work_equals_span(self):
+        d = Dag.chain(10)
+        assert d.work() == 10 and d.span() == 10
+        assert d.parallelism() == 1.0
+
+    def test_independent_span_is_one(self):
+        d = Dag.independent(16)
+        assert d.work() == 16 and d.span() == 1
+        assert d.parallelism() == 16.0
+
+    def test_reduction_tree_span_logarithmic(self):
+        d = Dag.binary_tree_reduction(16)
+        assert d.work() == 31  # 16 leaves + 15 internal
+        assert d.span() == 5   # leaf + 4 tree levels
+
+    def test_weighted_span(self):
+        d = Dag()
+        a = d.add_node(5)
+        b = d.add_node(1)
+        c = d.add_node(2)
+        d.add_edge(a, c)
+        d.add_edge(b, c)
+        assert d.span() == 7  # 5 + 2 path
+        assert d.work() == 8
+
+    def test_critical_path_is_heaviest(self):
+        d = Dag()
+        a = d.add_node(5)
+        b = d.add_node(1)
+        c = d.add_node(2)
+        d.add_edge(a, c)
+        d.add_edge(b, c)
+        assert d.critical_path() == [a, c]
+
+    def test_empty_dag(self):
+        d = Dag()
+        assert d.work() == 0 and d.span() == 0
+        assert d.critical_path() == []
+        assert d.parallelism() == float("inf")
+
+    def test_random_dag_reproducible(self):
+        d1 = Dag.random_dag(20, 0.2, seed=3)
+        d2 = Dag.random_dag(20, 0.2, seed=3)
+        assert d1.successors == d2.successors
+        assert d1.durations == d2.durations
+
+    def test_edges_counted(self):
+        d = Dag.binary_tree_reduction(8)
+        assert d.n_edges == 2 * 7  # each internal node has 2 in-edges
+
+
+class TestBrentBounds:
+    def test_chain(self):
+        lo, hi = brent_bounds(10, 10, 4)
+        assert lo == hi == 10  # serial: no speedup possible
+
+    def test_independent(self):
+        lo, hi = brent_bounds(16, 1, 4)
+        assert lo == 4
+        assert hi == (16 - 1) // 4 + 1  # 4 (floor) form
+
+    def test_single_processor(self):
+        lo, hi = brent_bounds(100, 7, 1)
+        assert lo == 100 and hi == 100
+
+    def test_more_processors_than_work(self):
+        lo, hi = brent_bounds(5, 2, 100)
+        assert lo == 2
+        assert hi == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            brent_bounds(10, 11, 2)  # span > work
+        with pytest.raises(ValueError):
+            brent_bounds(10, 5, 0)
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 7, 16])
+    def test_greedy_lands_inside_bounds(self, p):
+        for seed in range(3):
+            d = Dag.random_dag(40, 0.1, seed=seed, max_duration=3)
+            lo, hi = brent_bounds(d.work(), d.span(), p)
+            t = greedy_schedule_length(d, p)
+            assert lo <= t <= hi, f"T_{p}={t} outside [{lo}, {hi}] (seed {seed})"

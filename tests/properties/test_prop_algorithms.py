@@ -1,0 +1,127 @@
+"""Property-based tests: algorithm correctness against oracles."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.edit_distance import levenshtein, wavefront_pram
+from repro.algorithms.fft import fft_iterative, fft_recursive_dif, fft_recursive_dit
+from repro.algorithms.matmul import matmul_blocked, matmul_recursive
+from repro.algorithms.scan import (
+    blelloch_scan_pram,
+    hillis_steele_scan_pram,
+    scan_fork_join,
+    segmented_scan,
+)
+from repro.algorithms.sort import mergesort_fork_join, sample_sort
+
+ints = st.integers(min_value=-1000, max_value=1000)
+pow2_sizes = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+
+
+class TestScanProperties:
+    @given(st.lists(ints, min_size=1, max_size=64))
+    def test_fork_join_scan_matches_cumsum(self, vals):
+        assert scan_fork_join(vals).value == np.cumsum(vals).tolist()
+
+    @given(pow2_sizes, st.integers(0, 2**32 - 1))
+    def test_pram_scans_agree(self, n, seed):
+        vals = np.random.default_rng(seed).integers(-99, 99, size=n)
+        a, _ = blelloch_scan_pram(vals)
+        if n >= 2:
+            b, _ = hillis_steele_scan_pram(vals)
+            assert np.array_equal(a, b)
+        assert np.array_equal(a, np.cumsum(vals))
+
+    @given(st.lists(st.tuples(ints, st.booleans()), min_size=1, max_size=50))
+    def test_segmented_scan_segment_independence(self, pairs):
+        """Each segment's scan equals a plain scan of that segment."""
+        vals = [p[0] for p in pairs]
+        flags = [1 if (i == 0 or p[1]) else 0 for i, p in enumerate(pairs)]
+        out = segmented_scan(vals, flags)
+        # split manually and compare
+        start = 0
+        for i in range(1, len(vals) + 1):
+            if i == len(vals) or flags[i]:
+                seg = vals[start:i]
+                assert out[start:i].tolist() == np.cumsum(seg).tolist()
+                start = i
+
+
+class TestSortProperties:
+    @given(st.lists(ints, max_size=100))
+    def test_mergesort_is_sorted_permutation(self, vals):
+        out = mergesort_fork_join(vals).value
+        assert out == sorted(vals)
+
+    @given(st.lists(ints, max_size=100), st.integers(1, 8))
+    def test_sample_sort_matches_numpy(self, vals, p):
+        out, stats = sample_sort(np.array(vals, dtype=np.int64), p)
+        assert np.array_equal(out, np.sort(vals))
+        assert sum(stats.bucket_sizes) == len(vals)
+
+    @given(st.lists(ints, min_size=2, max_size=64))
+    def test_mergesort_span_never_exceeds_work(self, vals):
+        res = mergesort_fork_join(vals)
+        assert res.span <= res.work
+
+
+class TestFftProperties:
+    @given(pow2_sizes, st.integers(0, 2**32 - 1))
+    @settings(max_examples=30)
+    def test_all_variants_agree_with_numpy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        want = np.fft.fft(x)
+        assert np.allclose(fft_recursive_dit(x), want)
+        assert np.allclose(fft_recursive_dif(x), want)
+        assert np.allclose(fft_iterative(x), want)
+
+    @given(pow2_sizes, st.integers(0, 2**32 - 1))
+    @settings(max_examples=20)
+    def test_linearity(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        assert np.allclose(
+            fft_iterative(x + 2 * y),
+            fft_iterative(x) + 2 * fft_iterative(y),
+        )
+
+
+class TestMatmulProperties:
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(1, 8),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25)
+    def test_blocked_and_recursive_match(self, n, bs, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-9, 9, size=(n, n))
+        b = rng.integers(-9, 9, size=(n, n))
+        want = a @ b
+        assert np.array_equal(matmul_blocked(a, b, bs), want)
+        assert np.array_equal(matmul_recursive(a, b, cutoff=max(1, bs)), want)
+
+
+class TestEditDistanceProperties:
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=12),
+        st.lists(st.integers(0, 3), min_size=1, max_size=12),
+    )
+    @settings(max_examples=40)
+    def test_wavefront_matches_serial(self, a, b):
+        assert wavefront_pram(a, b)[0] == levenshtein(a, b)[0]
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=12))
+    def test_identity_distance_zero(self, a):
+        assert levenshtein(a, a)[0] == 0
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=10),
+        st.lists(st.integers(0, 3), min_size=1, max_size=10),
+    )
+    @settings(max_examples=40)
+    def test_triangle_inequality_with_lengths(self, a, b):
+        d = levenshtein(a, b)[0]
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))

@@ -1,0 +1,132 @@
+"""Property-based tests: F&M core invariants (lowering, verify, NoC, DSL)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.default_mapper import default_mapping
+from repro.core.function import DataflowGraph
+from repro.core.lowering import lower
+from repro.core.mapping import GridSpec
+from repro.core.verify import verify_lowering
+from repro.machines.noc import Message, Noc
+from repro.machines.primitives import OneSidedMachine, Traffic, TwoSidedMachine
+
+
+def random_graph(n_ops: int, seed: int) -> DataflowGraph:
+    rng = np.random.default_rng(seed)
+    g = DataflowGraph()
+    nodes = [g.input("A", (0,)), g.const(2), g.const(3)]
+    ops = ["+", "-", "*", "min", "max"]
+    for k in range(n_ops):
+        a = nodes[int(rng.integers(len(nodes)))]
+        b = nodes[int(rng.integers(len(nodes)))]
+        nodes.append(g.op(ops[int(rng.integers(len(ops)))], a, b, index=(k,)))
+    g.mark_output(nodes[-1], "out")
+    return g
+
+
+class TestLoweringVerifyProperty:
+    @given(
+        st.integers(1, 20),
+        st.integers(0, 500),
+        st.sampled_from([(1, 1), (4, 1), (2, 2)]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_default_mapped_lowerings_always_verify(self, n_ops, seed, shape):
+        """lower(default_mapping(g)) passes full-stack verification for
+        arbitrary graphs — the pipeline is closed under its own checker."""
+        g = random_graph(n_ops, seed)
+        grid = GridSpec(*shape)
+        m = default_mapping(g, grid)
+        spec = lower(g, m, grid)
+        res = verify_lowering(g, m, spec, grid)
+        assert res.ok, res.describe()
+
+    @given(st.integers(1, 12), st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_hardware_outputs_equal_functional(self, n_ops, seed):
+        g = random_graph(n_ops, seed)
+        grid = GridSpec(4, 1)
+        m = default_mapping(g, grid)
+        spec = lower(g, m, grid)
+        inputs = {"A": lambda i: 5}
+        res = verify_lowering(g, m, spec, grid, inputs)
+        assert res.ok
+        assert res.outputs == {"out": g.evaluate(inputs)["out"]}
+
+
+class TestNocProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3),
+                      st.integers(0, 3), st.integers(0, 3),
+                      st.integers(0, 20)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30)
+    def test_latency_at_least_uncontended(self, raw):
+        noc = Noc(4, 4)
+        msgs = [
+            Message(i, (sx, sy), (dx, dy), t)
+            for i, (sx, sy, dx, dy, t) in enumerate(raw)
+        ]
+        rep = noc.simulate(msgs)
+        hop = noc.tech.hop_cycles()
+        for m in msgs:
+            dist = abs(m.src[0] - m.dst[0]) + abs(m.src[1] - m.dst[1])
+            assert rep.latency[m.mid] >= dist * hop
+            assert rep.delivery_cycle[m.mid] >= m.inject_cycle
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_permutation_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        msgs = [
+            Message(i, (int(rng.integers(4)), 0), (int(rng.integers(4)), 0),
+                    int(rng.integers(5)))
+            for i in range(8)
+        ]
+        msgs = [m for m in msgs if m.src != m.dst]
+        if not msgs:
+            return
+        noc = Noc(4, 1)
+        a = noc.simulate(msgs)
+        perm = [msgs[i] for i in rng.permutation(len(msgs))]
+        b = noc.simulate(perm)
+        assert a.delivery_cycle == b.delivery_cycle
+
+
+class TestPrimitiveProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(1, 50)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30)
+    def test_one_sided_never_slower(self, raw):
+        transfers = tuple((s, d, w) for s, d, w in raw if s != d)
+        if not transfers:
+            return
+        t = Traffic(8, transfers)
+        one = OneSidedMachine().phase(t)
+        two = TwoSidedMachine().phase(t)
+        assert one.time_cycles <= two.time_cycles
+        assert one.words == two.words
+
+    @given(st.integers(1, 200), st.integers(0, 100), st.integers(1, 256))
+    @settings(max_examples=25)
+    def test_aggregation_conserves_words(self, n, seed, agg):
+        from repro.machines.primitives import random_updates
+
+        t = random_updates(8, n, seed=seed)[0]
+        if not t.transfers:
+            return
+        plain = TwoSidedMachine().phase(t)
+        merged = TwoSidedMachine(aggregate=agg).phase(t)
+        assert merged.words == plain.words
+        assert merged.messages <= plain.messages

@@ -1,0 +1,126 @@
+"""Property-based tests: model invariants (Brent, LRU, PRAM, legality)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.default_mapper import default_mapping, serial_mapping
+from repro.core.function import DataflowGraph
+from repro.core.legality import check_legality
+from repro.core.mapping import GridSpec
+from repro.machines.cachesim import ideal_cache
+from repro.machines.grid import GridMachine
+from repro.models.pram import PRAM, ConcurrencyMode
+from repro.models.workdepth import Dag, brent_bounds
+from repro.runtime.scheduler import greedy_schedule, work_stealing_schedule
+
+
+class TestBrentProperty:
+    @given(
+        st.integers(2, 40),
+        st.floats(0.0, 0.4),
+        st.integers(0, 10_000),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_always_within_bounds(self, n, prob, seed, p):
+        d = Dag.random_dag(n, prob, seed=seed, max_duration=3)
+        lo, hi = brent_bounds(d.work(), d.span(), p)
+        s = greedy_schedule(d, p)
+        assert lo <= s.length <= hi
+        s.validate_against(d)
+
+    @given(st.integers(2, 30), st.integers(0, 10_000), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_stealing_lower_bound_and_completion(self, n, seed, p):
+        d = Dag.random_dag(n, 0.15, seed=seed)
+        s = work_stealing_schedule(d, p, seed=seed)
+        lo, _hi = brent_bounds(d.work(), d.span(), p)
+        assert s.length >= lo  # nothing beats the lower bound
+        assert len(s.start_times) == d.n_nodes
+
+
+class TestLruProperties:
+    @given(
+        st.lists(st.integers(0, 63), min_size=1, max_size=400),
+        st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=40)
+    def test_inclusion_property(self, addrs, cap):
+        small, big = ideal_cache(cap, 1), ideal_cache(4 * cap, 1)
+        for a in addrs:
+            small.access(a)
+            big.access(a)
+            assert small.resident_blocks() <= big.resident_blocks()
+        assert big.stats.misses <= small.stats.misses
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+    def test_miss_count_bounded_by_distinct_blocks_when_fitting(self, addrs):
+        c = ideal_cache(64, 1)  # everything fits
+        for a in addrs:
+            c.access(a)
+        assert c.stats.misses == len(set(addrs))
+
+
+class TestPramProperties:
+    @given(
+        st.lists(st.integers(0, 15), min_size=1, max_size=8, unique=True),
+        st.integers(0, 1000),
+    )
+    def test_crcw_arbitrary_write_picks_a_proposed_value(self, addrs, seed):
+        p = PRAM(8, 16, ConcurrencyMode.CRCW_ARBITRARY, seed=seed)
+        pids = list(range(len(addrs)))
+        vals = [100 + i for i in pids]
+        # all write the same cell
+        p.par_write(pids, [addrs[0]] * len(pids), vals)
+        assert int(p.memory[addrs[0]]) in vals
+
+    @given(st.integers(1, 16), st.integers(1, 64))
+    def test_work_conservation_under_emulation(self, p, n):
+        """read_all charges exactly n work regardless of p."""
+        pram = PRAM(p, max(n, 1))
+        pram.read_all(np.arange(n) % pram.memory.size)
+        assert pram.work == n
+        assert pram.steps == -(-n // p)
+
+
+class TestMapperProperties:
+    @given(
+        st.integers(1, 24),
+        st.sampled_from([(1, 1), (2, 1), (4, 1), (2, 2), (8, 1)]),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_default_mapping_legal_on_random_graphs(self, n_ops, shape, seed):
+        rng = np.random.default_rng(seed)
+        g = DataflowGraph()
+        nodes = [g.input("A", (0,)), g.const(1)]
+        for k in range(n_ops):
+            a = nodes[int(rng.integers(len(nodes)))]
+            b = nodes[int(rng.integers(len(nodes)))]
+            nodes.append(g.op("+", a, b, index=(k,)))
+        g.mark_output(nodes[-1], "out")
+        grid = GridSpec(*shape)
+        for mapping in (default_mapping(g, grid), serial_mapping(g, grid)):
+            assert check_legality(g, mapping, grid).ok
+
+    @given(st.integers(2, 16), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_mapped_execution_matches_pure_evaluation(self, n_ops, seed):
+        """The grid machine must agree with the mathematical function for
+        any random graph under the default mapper."""
+        rng = np.random.default_rng(seed)
+        g = DataflowGraph()
+        nodes = [g.const(int(rng.integers(-5, 6))) for _ in range(3)]
+        ops = ["+", "-", "*", "min", "max"]
+        for k in range(n_ops):
+            a = nodes[int(rng.integers(len(nodes)))]
+            b = nodes[int(rng.integers(len(nodes)))]
+            nodes.append(
+                g.op(ops[int(rng.integers(len(ops)))], a, b, index=(k,))
+            )
+        g.mark_output(nodes[-1], "out")
+        grid = GridSpec(4, 1)
+        res = GridMachine(grid).run(g, default_mapping(g, grid), {})
+        assert res.verified
+        assert res.outputs["out"] == g.evaluate({})["out"]

@@ -1,0 +1,195 @@
+"""Fork-join DSL: values, DAG shape, work/span."""
+
+import math
+
+import pytest
+
+from repro.runtime.fork_join import ForkJoin, analyze
+
+
+def sum_rec(fj, a):
+    if len(a) == 1:
+        fj.work(1)
+        return a[0]
+    mid = len(a) // 2
+    left = fj.spawn(sum_rec, a[:mid])
+    right = sum_rec(fj, a[mid:])
+    fj.sync()
+    fj.work(1)
+    return left.value + right
+
+
+class TestValues:
+    def test_recursive_sum_value(self):
+        res = analyze(sum_rec, list(range(32)))
+        assert res.value == sum(range(32))
+
+    def test_spawn_passes_kwargs(self):
+        def child(fj, a, b=0):
+            fj.work(1)
+            return a + b
+
+        def root(fj):
+            f = fj.spawn(child, 1, b=2)
+            fj.sync()
+            return f.value
+
+        assert analyze(root).value == 3
+
+    def test_future_before_sync_raises(self):
+        def root(fj):
+            f = fj.spawn(lambda fj2: 42)
+            return f.value  # no sync!
+
+        with pytest.raises(RuntimeError, match="determinacy race"):
+            analyze(root)
+
+    def test_future_after_sync_ok(self):
+        def root(fj):
+            f = fj.spawn(lambda fj2: 42)
+            fj.sync()
+            return f.value
+
+        assert analyze(root).value == 42
+
+    def test_run_not_reentrant(self):
+        fj = ForkJoin()
+
+        def root(fj2):
+            fj2.run(lambda f: None)
+
+        with pytest.raises(RuntimeError, match="not reentrant"):
+            fj.run(root)
+
+
+class TestWorkSpan:
+    def test_sum_work_linear_span_logarithmic(self):
+        n = 64
+        res = analyze(sum_rec, list(range(n)))
+        # leaves: n work; internal combines: n-1
+        assert res.work == 2 * n - 1
+        # span ~ log2(n) levels of (leaf + combine)
+        assert res.span <= 4 * math.log2(n) + 4
+        assert res.span >= math.log2(n)
+
+    def test_serial_work_only(self):
+        def root(fj):
+            fj.work(7)
+
+        res = analyze(root)
+        assert res.work == 7 and res.span == 7
+
+    def test_two_independent_children_span(self):
+        def child(fj):
+            fj.work(10)
+
+        def root(fj):
+            fj.spawn(child)
+            fj.spawn(child)
+            fj.sync()
+
+        res = analyze(root)
+        assert res.work == 20
+        assert res.span == 10  # parallel in the DAG
+
+    def test_nested_spawn_autosyncs(self):
+        """A spawned child's own children are joined before the child ends."""
+
+        def grandchild(fj):
+            fj.work(5)
+
+        def child(fj):
+            fj.spawn(grandchild)
+            # no explicit sync — auto-sync on return
+            return "done"
+
+        def root(fj):
+            f = fj.spawn(child)
+            fj.sync()
+            return f.value
+
+        res = analyze(root)
+        assert res.value == "done"
+        assert res.work == 5
+        assert res.span == 5  # grandchild is inside the join
+
+    def test_work_rejects_negative(self):
+        def root(fj):
+            fj.work(-1)
+
+        with pytest.raises(ValueError):
+            analyze(root)
+
+    def test_parallelism_property(self):
+        res = analyze(sum_rec, list(range(64)))
+        assert res.parallelism == pytest.approx(res.work / res.span)
+
+
+class TestParallelFor:
+    def test_executes_all_iterations(self):
+        hits = []
+
+        def root(fj):
+            fj.parallel_for(10, lambda fj2, i: hits.append(i))
+
+        analyze(root)
+        assert sorted(hits) == list(range(10))
+
+    def test_span_logarithmic(self):
+        def body(fj, i):
+            fj.work(1)
+
+        def root(fj):
+            fj.parallel_for(256, body)
+
+        res = analyze(root)
+        assert res.work == 256
+        assert res.span <= 2 * math.log2(256) + 4
+
+    def test_grain_reduces_dag_size(self):
+        def body(fj, i):
+            fj.work(1)
+
+        sizes = []
+        for grain in (1, 16):
+            def root(fj, g=grain):
+                fj.parallel_for(64, body, grain=g)
+
+            res = analyze(root)
+            sizes.append(res.dag.n_nodes)
+        assert sizes[1] < sizes[0]
+
+    def test_zero_iterations(self):
+        def root(fj):
+            fj.parallel_for(0, lambda fj2, i: None)
+
+        assert analyze(root).work == 0
+
+    def test_invalid_args(self):
+        def root_neg(fj):
+            fj.parallel_for(-1, lambda fj2, i: None)
+
+        with pytest.raises(ValueError):
+            analyze(root_neg)
+
+        def root_grain(fj):
+            fj.parallel_for(4, lambda fj2, i: None, grain=0)
+
+        with pytest.raises(ValueError):
+            analyze(root_grain)
+
+
+class TestDagWellFormed:
+    def test_dag_is_acyclic_and_connected_enough(self):
+        res = analyze(sum_rec, list(range(16)))
+        order = res.dag.topological_order()  # raises on a cycle
+        assert len(order) == res.dag.n_nodes
+
+    def test_sync_without_spawn_is_noop(self):
+        def root(fj):
+            fj.sync()
+            fj.work(1)
+            fj.sync()
+
+        res = analyze(root)
+        assert res.work == 1

@@ -1,0 +1,127 @@
+"""Schedulers: greedy, work stealing, centralized queue."""
+
+import pytest
+
+from repro.models.workdepth import Dag, brent_bounds
+from repro.runtime.scheduler import (
+    centralized_queue_schedule,
+    greedy_schedule,
+    work_stealing_schedule,
+)
+
+
+class TestGreedy:
+    def test_independent_tasks_perfectly_packed(self):
+        d = Dag.independent(16)
+        s = greedy_schedule(d, 4)
+        assert s.length == 4
+        assert s.utilization == pytest.approx(1.0)
+
+    def test_chain_no_speedup(self):
+        d = Dag.chain(10)
+        for p in (1, 4):
+            assert greedy_schedule(d, p).length == 10
+
+    def test_schedule_is_valid(self):
+        for seed in range(5):
+            d = Dag.random_dag(30, 0.15, seed=seed, max_duration=4)
+            s = greedy_schedule(d, 3)
+            s.validate_against(d)
+
+    def test_brent_bounds_hold(self):
+        for seed in range(5):
+            d = Dag.random_dag(50, 0.08, seed=seed, max_duration=2)
+            for p in (1, 2, 4, 8):
+                s = greedy_schedule(d, p)
+                lo, hi = brent_bounds(d.work(), d.span(), p)
+                assert lo <= s.length <= hi
+
+    def test_busy_steps_equal_work(self):
+        d = Dag.random_dag(20, 0.2, seed=1, max_duration=5)
+        s = greedy_schedule(d, 4)
+        assert s.busy_steps == d.work()
+
+    def test_more_processors_never_slower(self):
+        d = Dag.random_dag(60, 0.05, seed=2)
+        lengths = [greedy_schedule(d, p).length for p in (1, 2, 4, 8, 16)]
+        assert lengths == sorted(lengths, reverse=True) or all(
+            lengths[i] >= lengths[i + 1] for i in range(len(lengths) - 1)
+        )
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            greedy_schedule(Dag.chain(2), 0)
+
+    def test_empty_dag(self):
+        s = greedy_schedule(Dag(), 2)
+        assert s.length == 0 and s.utilization == 1.0
+
+
+class TestWorkStealing:
+    def test_correct_and_valid(self):
+        d = Dag.random_dag(40, 0.1, seed=3)
+        s = work_stealing_schedule(d, 4, seed=0)
+        assert len(s.start_times) == d.n_nodes
+        assert s.busy_steps == d.work()
+
+    def test_within_linear_slack_of_brent(self):
+        """T_P <= W/P + O(D): measure the constant, require it modest."""
+        for seed in range(4):
+            d = Dag.random_dag(80, 0.06, seed=seed)
+            for p in (2, 4, 8):
+                s = work_stealing_schedule(d, p, seed=seed)
+                w, depth = d.work(), d.span()
+                assert s.length <= w / p + 12 * depth + 8, (
+                    f"T_{p}={s.length} too far above W/P + O(D) "
+                    f"(W={w}, D={depth})"
+                )
+
+    def test_reproducible_for_fixed_seed(self):
+        d = Dag.random_dag(30, 0.1, seed=4)
+        a = work_stealing_schedule(d, 4, seed=9)
+        b = work_stealing_schedule(d, 4, seed=9)
+        assert a.length == b.length and a.assignments == b.assignments
+
+    def test_steal_stats_populated(self):
+        d = Dag.binary_tree_reduction(64)
+        s = work_stealing_schedule(d, 8, seed=1)
+        assert s.steal_attempts >= s.successful_steals >= 0
+        # a tree on 8 workers must steal at least once to use >1 worker
+        assert s.successful_steals > 0
+
+    def test_single_worker_is_serial(self):
+        d = Dag.random_dag(25, 0.1, seed=5, max_duration=3)
+        s = work_stealing_schedule(d, 1, seed=0)
+        assert s.length >= d.work()  # may idle a step on completion boundaries
+        assert s.successful_steals == 0
+
+
+class TestCentralizedQueue:
+    def test_zero_penalty_close_to_greedy(self):
+        d = Dag.random_dag(40, 0.1, seed=6)
+        g = greedy_schedule(d, 4)
+        c = centralized_queue_schedule(d, 4, dequeue_penalty=0)
+        assert c.busy_steps == g.busy_steps
+        assert c.length >= g.length  # never better than greedy
+
+    def test_penalty_serializes(self):
+        """With a big dequeue penalty, adding workers stops helping — the
+        'heavyweight mechanism' effect."""
+        d = Dag.independent(32)
+        fast = centralized_queue_schedule(d, 8, dequeue_penalty=0)
+        slow = centralized_queue_schedule(d, 8, dequeue_penalty=10)
+        assert slow.length > fast.length
+        # queue occupancy ~ 11 cycles per task regardless of p
+        assert slow.length >= 32 * 10
+
+    def test_penalty_negative_rejected(self):
+        with pytest.raises(ValueError):
+            centralized_queue_schedule(Dag.chain(2), 2, dequeue_penalty=-1)
+
+    def test_dependences_respected(self):
+        d = Dag.binary_tree_reduction(16)
+        s = centralized_queue_schedule(d, 4, dequeue_penalty=2)
+        finish = {u: s.start_times[u] + d.durations[u] for u in s.start_times}
+        for u in range(d.n_nodes):
+            for v in d.successors[u]:
+                assert s.start_times[v] >= finish[u]

@@ -1,0 +1,43 @@
+"""ReadyTracker: incremental ready-set maintenance."""
+
+import pytest
+
+from repro.models.workdepth import Dag
+from repro.runtime.tasks import ReadyTracker
+
+
+class TestReadyTracker:
+    def test_initial_ready_sources_only(self):
+        d = Dag.binary_tree_reduction(4)
+        t = ReadyTracker(d)
+        assert t.initial_ready() == [0, 1, 2, 3]
+
+    def test_completion_enables_successors(self):
+        d = Dag()
+        a, b, c = d.add_node(), d.add_node(), d.add_node()
+        d.add_edge(a, c)
+        d.add_edge(b, c)
+        t = ReadyTracker(d)
+        assert t.complete(a) == []
+        assert t.complete(b) == [c]
+
+    def test_double_completion_rejected(self):
+        d = Dag.chain(2)
+        t = ReadyTracker(d)
+        t.complete(0)
+        with pytest.raises(ValueError, match="twice"):
+            t.complete(0)
+
+    def test_all_done(self):
+        d = Dag.chain(3)
+        t = ReadyTracker(d)
+        for u in (0, 1, 2):
+            assert not t.all_done
+            t.complete(u)
+        assert t.all_done
+
+    def test_complete_many(self):
+        d = Dag.binary_tree_reduction(4)
+        t = ReadyTracker(d)
+        newly = t.complete_many([0, 1, 2, 3])
+        assert sorted(newly) == [4, 5]
