@@ -1,6 +1,8 @@
 # Convenience targets; see README for details.
 
-.PHONY: install test bench experiments examples all
+PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install test bench bench-json trace experiments examples all
 
 install:
 	pip install -e .
@@ -10,6 +12,19 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Run the full bench suite and list the machine-readable artifacts it
+# produced: per-table rows (out/<name>.json) and per-module telemetry
+# dumps (out/<module>.metrics.json).
+bench-json:
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only -q
+	@echo "machine-readable bench artifacts:"
+	@ls -1 benchmarks/out/*.json
+
+# Run the paper's worked example under the telemetry layer and print the
+# artifact paths (Chrome trace + metrics dump in obs_out/).
+trace:
+	$(PYTHONPATH_SRC) python examples/paper_worked_example.py --trace
 
 experiments: bench
 	python tools/gen_experiments.py

@@ -5,29 +5,75 @@ claims (C1-C14 in DESIGN.md), asserts the claim's tolerance, and writes its
 table to ``benchmarks/out/<bench>.txt`` so the "tables the paper would have
 had" exist as artifacts.  Run with ``pytest benchmarks/ --benchmark-only``;
 add ``-s`` to see the tables inline.
+
+Machine-readable artifacts (the bench *trajectory*):
+
+* ``benchmarks/out/<name>.json`` — each recorded table's title, columns,
+  and rows (plus optional tolerances), so successive runs can be diffed
+  numerically instead of eyeballing text tables;
+* ``benchmarks/out/<module>.metrics.json`` — every bench module runs under
+  an ``obs.session`` (autouse fixture below), so the telemetry counters of
+  all simulators it exercised land next to its tables.  Diff two runs with
+  ``python -m repro.obs.report diff``.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
+from repro import obs
 from repro.analysis.report import Table
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
+def _table_payload(table: Table) -> dict:
+    return {
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+    }
+
+
 @pytest.fixture(scope="session")
 def record_table():
-    """Print a table and persist it under benchmarks/out/."""
+    """Print tables, persist them as text AND as machine-readable JSON."""
 
     OUT_DIR.mkdir(exist_ok=True)
 
-    def _record(name: str, *tables: Table) -> None:
+    def _record(name: str, *tables: Table, tolerances: dict | None = None) -> None:
         text = "\n\n".join(t.render() for t in tables)
         (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        doc = {
+            "name": name,
+            "tables": [_table_payload(t) for t in tables],
+        }
+        if tolerances:
+            doc["tolerances"] = dict(tolerances)
+        (OUT_DIR / f"{name}.json").write_text(
+            json.dumps(doc, indent=1, sort_keys=False) + "\n"
+        )
         print()
         print(text)
 
     return _record
+
+
+@pytest.fixture(scope="module", autouse=True)
+def obs_bench_session(request):
+    """Run every bench module under one obs session; dump its metrics.
+
+    The artifact is ``benchmarks/out/<module>.metrics.json`` — one telemetry
+    dump per bench file, capturing scheduler/cache/search/NoC counters for
+    everything the module simulated.
+    """
+    name = pathlib.Path(request.module.__file__).stem
+    OUT_DIR.mkdir(exist_ok=True)
+    with obs.session(label=name) as sess:
+        yield sess
+    (OUT_DIR / f"{name}.metrics.json").write_text(
+        json.dumps(sess.metrics_dump(), indent=1) + "\n"
+    )

@@ -13,7 +13,14 @@ describes, verifies it against the serial DP, and reports the speedup and
 the implied hardware.
 
 Run:  python examples/paper_worked_example.py
+
+Pass ``--trace`` (or set ``REPRO_TRACE=1``) to run under an observability
+session: a Chrome trace (open in chrome://tracing or Perfetto) and a
+metrics dump are written to ``obs_out/`` and their paths printed.
 """
+
+import os
+import sys
 
 import numpy as np
 
@@ -88,5 +95,23 @@ def main() -> None:
           f"{len(spec.wires)} wires ({spec.total_wire_mm:.0f} mm)")
 
 
+def main_traced() -> None:
+    """Run under an obs session and report where the artifacts landed."""
+    from repro import obs
+
+    with obs.session(
+        label="paper_worked_example", out_dir="obs_out", write_on_exit=False
+    ) as sess:
+        main()
+    paths = sess.write()
+    print("\ntelemetry artifacts:")
+    print(f"  chrome trace : {paths['trace']}  (open in chrome://tracing)")
+    print(f"  metrics dump : {paths['metrics']}  "
+          "(summarize with `python -m repro.obs.report summary ...`)")
+
+
 if __name__ == "__main__":
-    main()
+    if "--trace" in sys.argv or os.environ.get("REPRO_TRACE"):
+        main_traced()
+    else:
+        main()

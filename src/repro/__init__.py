@@ -19,7 +19,10 @@ makes all of it executable:
   reduce, FFT, edit distance, BFS, sorting, matmul, stencils,
   connectivity), each in the formulations the panel contrasts;
 - :mod:`repro.analysis` — the paper's claims as data, Brent-bound
-  checking, Pareto frontiers, and table rendering.
+  checking, Pareto frontiers, and table rendering;
+- :mod:`repro.obs` — the unified telemetry layer: structured metrics,
+  span tracing with wall- and model-time, Chrome-trace export, and the
+  ``python -m repro.obs.report`` summarize/diff CLI.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every claim (C1-C14).
@@ -32,6 +35,7 @@ from repro.core.legality import check_legality
 from repro.core.cost import evaluate_cost
 from repro.core.default_mapper import default_mapping, serial_mapping
 from repro.machines.grid import GridMachine
+from repro import obs
 
 __version__ = "1.0.0"
 
@@ -46,5 +50,6 @@ __all__ = [
     "default_mapping",
     "serial_mapping",
     "GridMachine",
+    "obs",
     "__version__",
 ]

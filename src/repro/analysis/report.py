@@ -7,6 +7,7 @@ monospace, stable column order.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Sequence
 
 __all__ = ["Table", "fmt_num"]
@@ -14,19 +15,32 @@ __all__ = ["Table", "fmt_num"]
 
 def fmt_num(v: Any, sig: int = 4) -> str:
     """Compact numeric formatting: ints plain, floats to ``sig`` figures,
-    big numbers with thousands separators."""
+    big numbers with thousands separators.
+
+    Non-finite floats render as ``nan`` / ``inf`` / ``-inf`` rather than
+    falling through to exponential formatting, and the 100 <= |v| < 10 000
+    branch derives its decimal count from the magnitude so positive and
+    negative values carry the same ``sig`` significant figures (a negative
+    sign must not change how many digits appear).
+    """
     if isinstance(v, bool):
         return "yes" if v else "no"
     if isinstance(v, int):
         return f"{v:,}"
     if isinstance(v, float):
+        if math.isnan(v):
+            return "nan"
+        if math.isinf(v):
+            return "inf" if v > 0 else "-inf"
         if v == 0:
             return "0"
         a = abs(v)
         if a >= 10_000 or a < 1e-3:
             return f"{v:.{sig - 1}e}"
         if a >= 100:
-            return f"{v:,.1f}"
+            int_digits = len(str(int(a)))
+            decimals = max(0, sig - int_digits)
+            return f"{v:,.{decimals}f}"
         return f"{v:.{sig}g}"
     return str(v)
 

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.function import DataflowGraph, OP_ENERGY_FACTOR
 from repro.core.legality import LivenessSummary, compute_liveness
 from repro.core.mapping import GridSpec, Mapping
+from repro.obs import active as _obs_active
 
 __all__ = ["CostReport", "evaluate_cost"]
 
@@ -175,6 +176,23 @@ def evaluate_cost(
             energy_onchip += tech.transport_energy_fj(dist)
 
     liveness = compute_liveness(graph, mapping, grid)
+
+    sess = _obs_active()
+    if sess is not None:
+        # counters only: evaluate_cost is the inner loop of every searcher,
+        # so per-call spans would swamp the trace (searchers span per
+        # candidate instead).
+        m = sess.metrics
+        m.counter("cost.evaluations").inc()
+        m.counter("cost.cycles").add(cycles)
+        m.counter("cost.energy_total_fj").add(
+            energy_compute + energy_local + energy_onchip + energy_offchip
+        )
+        tot = energy_compute + energy_local + energy_onchip + energy_offchip
+        transport = energy_local + energy_onchip + energy_offchip
+        m.histogram("cost.communication_fraction").observe(
+            transport / tot if tot else 0.0
+        )
 
     return CostReport(
         cycles=cycles,

@@ -37,6 +37,7 @@ from repro.core.cost import CostReport, evaluate_cost
 from repro.core.default_mapper import schedule_asap, serial_mapping
 from repro.core.function import DataflowGraph
 from repro.core.mapping import GridSpec, Mapping
+from repro.obs import Session, active as _obs_active
 
 __all__ = [
     "SearchResult",
@@ -92,6 +93,14 @@ class SearchResult:
 
 def _linear_place(grid: GridSpec, k: int) -> tuple[int, int]:
     return (k % grid.width, k // grid.width)
+
+
+def _record_candidate(sess: Session | None, result: SearchResult) -> None:
+    """One evaluated mapping -> one counter tick + FoM histogram sample."""
+    if sess is None:
+        return
+    sess.metrics.counter("search.candidates").inc()
+    sess.metrics.histogram("search.candidate_fom").observe(result.fom)
 
 
 def _owner_place_fn(
@@ -161,35 +170,50 @@ def sweep_placements(
     Returns all evaluated points sorted by FoM (best first).
     """
     fom = fom or FigureOfMerit.fastest()
+    sess = _obs_active()
     results: list[SearchResult] = []
 
-    m = serial_mapping(graph, grid)
-    c = evaluate_cost(graph, m, grid)
-    results.append(SearchResult("serial", m, c, fom(c)))
-
-    place2d = _grid2d_place_fn(graph, grid)
-    if place2d is not None:
-        m = schedule_asap(graph, grid, place2d)
-        c = evaluate_cost(graph, m, grid)
-        results.append(SearchResult("block-2d", m, c, fom(c)))
-
-    p = 2
-    while p <= grid.n_places:
-        for cyclic in (False, True):
-            place = _owner_place_fn(graph, grid, p, cyclic)
-            m = schedule_asap(graph, grid, place)
+    def evaluate_point(label: str, m: Mapping) -> None:
+        if sess is None:
             c = evaluate_cost(graph, m, grid)
-            label = f"{'cyclic' if cyclic else 'block'}-p{p}"
-            results.append(SearchResult(label, m, c, fom(c)))
-        p *= 2
-    # odd grid sizes: also try using every place
-    if grid.n_places not in {1 << k for k in range(32)}:
-        for cyclic in (False, True):
-            place = _owner_place_fn(graph, grid, grid.n_places, cyclic)
-            m = schedule_asap(graph, grid, place)
-            c = evaluate_cost(graph, m, grid)
-            label = f"{'cyclic' if cyclic else 'block'}-p{grid.n_places}"
-            results.append(SearchResult(label, m, c, fom(c)))
+            r = SearchResult(label, m, c, fom(c))
+        else:
+            with sess.span("search.candidate", cat="search", label=label) as span:
+                c = evaluate_cost(graph, m, grid)
+                r = SearchResult(label, m, c, fom(c))
+                span.set_cycles(c.cycles).set(fom=r.fom)
+            _record_candidate(sess, r)
+        results.append(r)
+
+    sweep_span = (
+        sess.span("search.sweep", cat="search", places=grid.n_places)
+        if sess is not None
+        else None
+    )
+    try:
+        evaluate_point("serial", serial_mapping(graph, grid))
+
+        place2d = _grid2d_place_fn(graph, grid)
+        if place2d is not None:
+            evaluate_point("block-2d", schedule_asap(graph, grid, place2d))
+
+        p = 2
+        while p <= grid.n_places:
+            for cyclic in (False, True):
+                place = _owner_place_fn(graph, grid, p, cyclic)
+                label = f"{'cyclic' if cyclic else 'block'}-p{p}"
+                evaluate_point(label, schedule_asap(graph, grid, place))
+            p *= 2
+        # odd grid sizes: also try using every place
+        if grid.n_places not in {1 << k for k in range(32)}:
+            for cyclic in (False, True):
+                place = _owner_place_fn(graph, grid, grid.n_places, cyclic)
+                label = f"{'cyclic' if cyclic else 'block'}-p{grid.n_places}"
+                evaluate_point(label, schedule_asap(graph, grid, place))
+    finally:
+        if sweep_span is not None:
+            sweep_span.set(candidates=len(results))
+            sweep_span.__exit__()
     results.sort(key=lambda r: r.fom)
     return results
 
@@ -213,6 +237,15 @@ def exhaustive_search(
             f"search space {grid.n_places}^{len(compute)} = {n_points} exceeds "
             f"max_points={max_points}"
         )
+    sess = _obs_active()
+    span = (
+        sess.span(
+            "search.exhaustive", cat="search", points=n_points, places=grid.n_places
+        )
+        if sess is not None
+        else None
+    )
+    evaluated = 0
     best: SearchResult | None = None
     assignment = [0] * len(compute)
     while True:
@@ -222,6 +255,7 @@ def exhaustive_search(
         m = schedule_asap(graph, grid, lambda nid: node_place.get(nid, (0, 0)))
         c = evaluate_cost(graph, m, grid)
         f = fom(c)
+        evaluated += 1
         if best is None or f < best.fom:
             best = SearchResult(f"exhaustive{assignment}", m, c, f)
         # increment mixed-radix counter
@@ -237,6 +271,12 @@ def exhaustive_search(
         if k == len(assignment):
             break
     assert best is not None
+    if sess is not None:
+        sess.metrics.counter("search.candidates").add(evaluated)
+        sess.metrics.histogram("search.candidate_fom").observe(best.fom)
+        if span is not None:
+            span.set_cycles(best.cost.cycles).set(evaluated=evaluated, best_fom=best.fom)
+            span.__exit__()
     return best
 
 
@@ -276,6 +316,13 @@ def anneal(
         c = evaluate_cost(graph, m, grid)
         return m, c, fom(c)
 
+    sess = _obs_active()
+    span = (
+        sess.span("search.anneal", cat="search", steps=steps, seed=seed)
+        if sess is not None
+        else None
+    )
+    accepted = 0
     cur_m, cur_c, cur_f = evaluate(placement)
     best = SearchResult("anneal", cur_m, cur_c, cur_f)
     for step in range(steps):
@@ -287,8 +334,19 @@ def anneal(
         delta = (new_f - cur_f) / max(cur_f, 1e-12)
         if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
             cur_m, cur_c, cur_f = new_m, new_c, new_f
+            accepted += 1
             if cur_f < best.fom:
                 best = SearchResult("anneal", cur_m, cur_c, cur_f)
         else:
             placement[nid] = old
+    if sess is not None:
+        m = sess.metrics
+        m.counter("search.candidates").add(steps + 1)
+        m.counter("search.anneal_steps").add(steps)
+        m.counter("search.anneal_accepted", better="higher").add(accepted)
+        m.gauge("search.anneal_best_fom", better="lower").set(best.fom)
+        m.histogram("search.candidate_fom").observe(best.fom)
+        if span is not None:
+            span.set_cycles(best.cost.cycles).set(accepted=accepted, best_fom=best.fom)
+            span.__exit__()
     return best

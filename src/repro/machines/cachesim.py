@@ -33,10 +33,11 @@ Design choices
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.machines.technology import Technology
+from repro.obs import Session, active as _obs_active
 
 __all__ = [
     "CacheStats",
@@ -75,6 +76,17 @@ class CacheStats:
             "miss_rate": self.miss_rate,
         }
         return d
+
+
+# counter name -> goodness direction for the obs diff tool
+_CACHE_COUNTER_FIELDS = (
+    ("accesses", "lower"),
+    ("hits", "higher"),
+    ("misses", "lower"),
+    ("writebacks", "lower"),
+    ("read_misses", "lower"),
+    ("write_misses", "lower"),
+)
 
 
 class LRUCache:
@@ -129,6 +141,7 @@ class LRUCache:
         self.name = name
         self.distance_mm = distance_mm
         self.stats = CacheStats()
+        self._published = CacheStats()
         # per set: block_number -> dirty flag, in LRU order (oldest first)
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(self.n_sets)
@@ -178,6 +191,27 @@ class LRUCache:
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()
+        self._published = CacheStats()
+
+    def publish_metrics(self, sess: Session | None = None) -> None:
+        """Add this level's counter *deltas* (since the last publish) to the
+        active obs session as ``cache.<field>{level=<name>}`` counters.
+
+        Delta-based so repeated publishes never double count; the session's
+        totals therefore exactly equal the simulator's internal
+        :class:`CacheStats` for a cache observed from birth.
+        """
+        sess = sess if sess is not None else _obs_active()
+        if sess is None:
+            return
+        cur, last = self.stats, self._published
+        for field_name, better in _CACHE_COUNTER_FIELDS:
+            delta = getattr(cur, field_name) - getattr(last, field_name)
+            if delta:
+                sess.metrics.counter(
+                    f"cache.{field_name}", better=better, level=self.name
+                ).add(delta)
+        self._published = replace(cur)
 
 
 class CacheHierarchy:
@@ -194,6 +228,7 @@ class CacheHierarchy:
         self.levels = list(levels)
         self.mem_accesses = 0
         self.mem_writebacks = 0
+        self._published_mem = (0, 0)
 
     def access(self, addr: int, write: bool = False) -> int:
         """Access one word; returns the level index that hit (len(levels)
@@ -240,6 +275,24 @@ class CacheHierarchy:
         """Misses at each level, nearest first."""
         return [lvl.stats.misses for lvl in self.levels]
 
+    def publish_metrics(self, sess: Session | None = None) -> None:
+        """Publish per-level counters plus bulk-memory traffic deltas."""
+        sess = sess if sess is not None else _obs_active()
+        if sess is None:
+            return
+        for lvl in self.levels:
+            lvl.publish_metrics(sess)
+        last_acc, last_wb = self._published_mem
+        if self.mem_accesses - last_acc:
+            sess.metrics.counter("cache.mem_accesses", level="mem").add(
+                self.mem_accesses - last_acc
+            )
+        if self.mem_writebacks - last_wb:
+            sess.metrics.counter("cache.mem_writebacks", level="mem").add(
+                self.mem_writebacks - last_wb
+            )
+        self._published_mem = (self.mem_accesses, self.mem_writebacks)
+
     def energy_fj(self, tech: Technology) -> float:
         """Total data-movement energy of the trace so far.
 
@@ -280,11 +333,38 @@ def ideal_cache(capacity_words: int, block_words: int, name: str = "ideal") -> L
 
 
 def run_trace(cache: LRUCache | CacheHierarchy, trace: Trace) -> LRUCache | CacheHierarchy:
-    """Feed a ``('r'|'w', addr)`` trace through a cache or hierarchy."""
-    if isinstance(cache, CacheHierarchy):
-        for kind, addr in trace:
-            cache.access(addr, write=(kind == "w"))
-    else:
-        for kind, addr in trace:
-            cache.access(addr, write=(kind == "w"))
+    """Feed a ``('r'|'w', addr)`` trace through a cache or hierarchy.
+
+    When an obs session is active, the run is wrapped in a ``cache.run_trace``
+    span and the cache's counter deltas are published on completion; the
+    simulator itself is untouched (publishing reads the aggregate stats, so
+    the per-access hot loop carries no telemetry branches).
+    """
+    sess = _obs_active()
+    if sess is None:
+        if isinstance(cache, CacheHierarchy):
+            for kind, addr in trace:
+                cache.access(addr, write=(kind == "w"))
+        else:
+            for kind, addr in trace:
+                cache.access(addr, write=(kind == "w"))
+        return cache
+
+    label = (
+        "+".join(lvl.name for lvl in cache.levels)
+        if isinstance(cache, CacheHierarchy)
+        else cache.name
+    )
+    n = 0
+    with sess.span("cache.run_trace", cat="cache", cache=label) as span:
+        if isinstance(cache, CacheHierarchy):
+            for kind, addr in trace:
+                cache.access(addr, write=(kind == "w"))
+                n += 1
+        else:
+            for kind, addr in trace:
+                cache.access(addr, write=(kind == "w"))
+                n += 1
+        span.set(accesses=n)
+        cache.publish_metrics(sess)
     return cache

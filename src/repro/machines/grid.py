@@ -25,6 +25,7 @@ model is for a given mapping.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Any, Mapping as TMapping
 
@@ -32,8 +33,12 @@ from repro.core.cost import CostReport, evaluate_cost
 from repro.core.function import DataflowGraph, OP_TABLE
 from repro.core.legality import LegalityReport, check_legality
 from repro.core.mapping import GridSpec, Mapping
+from repro.obs import active as _obs_active
 
 __all__ = ["ExecutionResult", "GridMachine", "GridExecutionError"]
+
+# reusable no-op context for the observability-off fast path
+_NULL = contextlib.nullcontext()
 
 
 class GridExecutionError(Exception):
@@ -85,30 +90,51 @@ class GridMachine:
         with_noc: bool = False,
     ) -> ExecutionResult:
         """Run the mapped program; see class docstring for the phases."""
-        legality = check_legality(graph, mapping, self.grid)
-        if not legality.ok and self.strict:
-            legality.raise_if_illegal()
+        sess = _obs_active()
+        run_span = (
+            sess.span("grid.run", cat="grid", nodes=graph.n_nodes, with_noc=with_noc)
+            if sess is not None
+            else None
+        )
+        try:
+            with sess.span("grid.legality", cat="grid") if sess is not None else _NULL:
+                legality = check_legality(graph, mapping, self.grid)
+            if not legality.ok and self.strict:
+                legality.raise_if_illegal()
 
-        # --- phase 2: cycle-ordered execution with arrival checking ----- #
-        values = self._execute(graph, mapping, inputs or {})
+            # --- phase 2: cycle-ordered execution with arrival checking - #
+            with sess.span("grid.execute", cat="grid") if sess is not None else _NULL:
+                values = self._execute(graph, mapping, inputs or {})
 
-        # --- phase 3: verification against the pure function ------------ #
-        reference = graph.evaluate_all(inputs or {})
-        verified = True
-        for label, nid in graph.outputs.items():
-            got, want = values[nid], reference[nid]
-            if not _values_equal(got, want):
-                verified = False
-                if self.strict:
-                    raise GridExecutionError(
-                        f"output {label!r}: mapped execution produced {got!r}, "
-                        f"function says {want!r}"
-                    )
+            # --- phase 3: verification against the pure function -------- #
+            with sess.span("grid.verify", cat="grid") if sess is not None else _NULL:
+                reference = graph.evaluate_all(inputs or {})
+                verified = True
+                for label, nid in graph.outputs.items():
+                    got, want = values[nid], reference[nid]
+                    if not _values_equal(got, want):
+                        verified = False
+                        if self.strict:
+                            raise GridExecutionError(
+                                f"output {label!r}: mapped execution produced "
+                                f"{got!r}, function says {want!r}"
+                            )
 
-        cost = evaluate_cost(graph, mapping, self.grid)
-        noc_extra = 0
-        if with_noc:
-            noc_extra = self._noc_extra_cycles(graph, mapping)
+            cost = evaluate_cost(graph, mapping, self.grid)
+            noc_extra = 0
+            if with_noc:
+                noc_extra = self._noc_extra_cycles(graph, mapping)
+        finally:
+            if run_span is not None:
+                run_span.__exit__()
+        if sess is not None:
+            run_span.set_cycles(cost.cycles).set(verified=verified)
+            m = sess.metrics
+            m.counter("grid.runs").inc()
+            m.counter("grid.cycles").add(cost.cycles)
+            m.counter("grid.energy_total_fj").add(cost.energy_total_fj)
+            m.counter("grid.noc_extra_cycles").add(noc_extra)
+            m.counter("grid.verified_runs", better="higher").add(1 if verified else 0)
         outputs = {label: values[nid] for label, nid in graph.outputs.items()}
         return ExecutionResult(
             outputs=outputs,

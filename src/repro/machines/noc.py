@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.machines.technology import Technology, TECH_5NM
+from repro.obs import active as _obs_active
 
 __all__ = ["Message", "NocReport", "Noc", "xy_route"]
 
@@ -101,6 +102,12 @@ class Noc:
         Deterministic: independent of input list order (messages are sorted
         by (inject_cycle, mid) before link slots are claimed).
         """
+        sess = _obs_active()
+        span = (
+            sess.span("noc.simulate", cat="noc", messages=len(messages))
+            if sess is not None
+            else None
+        )
         hop_cycles = self.tech.hop_cycles()
         # link -> next cycle at which it can accept a message
         link_free: dict[tuple[tuple[int, int], tuple[int, int]], int] = {}
@@ -136,4 +143,22 @@ class Noc:
                 if cur > report.max_link_waiting:
                     report.max_link_waiting = cur
         report.busiest_link_messages = max(link_count.values(), default=0)
+
+        if sess is not None:
+            mesh = f"{self.width}x{self.height}"
+            m = sess.metrics
+            m.counter("noc.messages", mesh=mesh).add(len(messages))
+            m.counter("noc.total_latency_cycles", mesh=mesh).add(report.total_latency)
+            m.gauge("noc.busiest_link_messages", better="lower", mesh=mesh).set(
+                report.busiest_link_messages
+            )
+            m.gauge("noc.max_link_waiting", better="lower", mesh=mesh).set(
+                report.max_link_waiting
+            )
+            if span is not None:
+                span.set_cycles(report.makespan).set(
+                    max_latency=report.max_latency,
+                    busiest_link=report.busiest_link_messages,
+                )
+                span.__exit__()
         return report

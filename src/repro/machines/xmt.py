@@ -43,6 +43,7 @@ from typing import Callable, Generator
 import numpy as np
 
 from repro.machines.technology import Technology, TECH_5NM
+from repro.obs import active as _obs_active
 
 __all__ = ["XmtConfig", "XmtResult", "XmtMachine", "read", "write", "ps", "compute"]
 
@@ -162,6 +163,29 @@ class XmtMachine:
         """
         if n_threads < 0:
             raise ValueError("n_threads must be non-negative")
+        sess = _obs_active()
+        if sess is None:
+            self._spawn(n_threads, kernel)
+            return
+        before_cycles = self.result.cycles
+        before_rounds = self.result.rounds
+        before_effects = self.result.parallel_effects
+        before_ps = self.result.ps_ops
+        with sess.span("xmt.spawn", cat="xmt", threads=n_threads) as span:
+            self._spawn(n_threads, kernel)
+            span.set_cycles(self.result.cycles - before_cycles).set(
+                rounds=self.result.rounds - before_rounds
+            )
+        m = sess.metrics
+        m.counter("xmt.spawn_blocks").inc()
+        m.counter("xmt.cycles").add(self.result.cycles - before_cycles)
+        m.counter("xmt.rounds").add(self.result.rounds - before_rounds)
+        m.counter("xmt.parallel_effects").add(
+            self.result.parallel_effects - before_effects
+        )
+        m.counter("xmt.ps_ops").add(self.result.ps_ops - before_ps)
+
+    def _spawn(self, n_threads: int, kernel: Callable[[int], Generator]) -> None:
         cfg = self.config
         self.result.spawn_blocks += 1
         self.result.cycles += cfg.spawn_overhead_cycles

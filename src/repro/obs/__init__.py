@@ -1,0 +1,135 @@
+"""repro.obs — the unified telemetry layer.
+
+The paper's thesis is that costs (communication, cache misses, scheduler
+overhead) must be *explicit and measurable*.  The simulators in this
+package compute those costs; this subsystem records them in machine-
+readable form so runs are comparable across commits:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters / gauges
+  / histograms (``cache.misses{level=L1}``, ``scheduler.steal_attempts``);
+* :class:`~repro.obs.trace.Tracer` — nested spans with both wall-time and
+  model-time (simulated cycles) attribution;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` / Perfetto) and a flat metrics dump;
+* ``python -m repro.obs.report`` — summarize one dump, or diff two and
+  fail on regressions beyond a tolerance.
+
+Usage — observability is **opt-in and near-zero cost when off**::
+
+    from repro import obs
+
+    with obs.session(label="my-run", out_dir="obs_out") as sess:
+        ...  # any instrumented simulator call records into sess
+    # artifacts written on exit: obs_out/my-run.trace.json + .metrics.json
+
+Instrumented modules (scheduler, cachesim, cost, search, xmt, noc, grid)
+call :func:`active` once per operation; when no session is open it returns
+``None`` and the instrumentation is a single predictable branch — the
+simulators never pay per-step overhead for telemetry nobody asked for.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pathlib
+from typing import Any, Iterator
+
+from repro.obs.export import chrome_trace, metrics_dump, write_json
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "Session",
+    "session",
+    "active",
+    "enabled",
+]
+
+
+class Session:
+    """One observability session: a registry + a tracer + export plumbing."""
+
+    def __init__(self, label: str = "session", out_dir: str | pathlib.Path | None = None) -> None:
+        self.label = label
+        self.out_dir = pathlib.Path(out_dir) if out_dir is not None else None
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+
+    # -- convenience pass-throughs ------------------------------------- #
+
+    def span(self, name: str, cat: str = "repro", cycles: int | None = None, **args: Any) -> Span:
+        return self.tracer.span(name, cat=cat, cycles=cycles, **args)
+
+    def counter(self, name: str, better: str = "lower", **labels: Any) -> Counter:
+        return self.metrics.counter(name, better=better, **labels)
+
+    def gauge(self, name: str, better: str = "higher", **labels: Any) -> Gauge:
+        return self.metrics.gauge(name, better=better, **labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self.metrics.histogram(name, **labels)
+
+    # -- export --------------------------------------------------------- #
+
+    def chrome_trace(self) -> dict[str, Any]:
+        return chrome_trace(self.tracer, label=self.label)
+
+    def metrics_dump(self, extra: dict[str, Any] | None = None) -> dict[str, Any]:
+        return metrics_dump(self.metrics, label=self.label, extra=extra)
+
+    def write(self, out_dir: str | pathlib.Path | None = None) -> dict[str, pathlib.Path]:
+        """Write both artifacts; returns {"trace": path, "metrics": path}."""
+        base = pathlib.Path(out_dir) if out_dir is not None else self.out_dir
+        if base is None:
+            raise ValueError("no out_dir given to write() or session()")
+        return {
+            "trace": write_json(base / f"{self.label}.trace.json", self.chrome_trace()),
+            "metrics": write_json(
+                base / f"{self.label}.metrics.json", self.metrics_dump()
+            ),
+        }
+
+
+# ---------------------------------------------------------------------- #
+# the active-session switch.  A module-level slot, read once per
+# instrumented operation; sessions nest (the previous one is restored).
+
+_ACTIVE: Session | None = None
+
+
+def active() -> Session | None:
+    """The currently open session, or None when observability is off."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None
+
+
+@contextlib.contextmanager
+def session(
+    label: str = "session",
+    out_dir: str | pathlib.Path | None = None,
+    write_on_exit: bool = True,
+) -> Iterator[Session]:
+    """Open an observability session; instrumented simulators record into it.
+
+    If ``out_dir`` is given and ``write_on_exit`` is true, the Chrome trace
+    and the metrics dump are written on (clean or exceptional) exit.
+    """
+    global _ACTIVE
+    sess = Session(label=label, out_dir=out_dir)
+    prev = _ACTIVE
+    _ACTIVE = sess
+    try:
+        yield sess
+    finally:
+        _ACTIVE = prev
+        if sess.out_dir is not None and write_on_exit:
+            sess.write()

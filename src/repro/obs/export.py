@@ -1,0 +1,169 @@
+"""Exporters: Chrome ``trace_event`` JSON and the flat metrics dump.
+
+Two machine-readable artifacts per session:
+
+* ``<label>.trace.json`` — the Chrome Trace Event Format (the ``{
+  "traceEvents": [...] }`` object form), loadable in ``chrome://tracing``
+  or https://ui.perfetto.dev.  Spans become complete events (``"ph": "X"``)
+  with microsecond ``ts``/``dur``; model time (cycles) rides in ``args``.
+* ``<label>.metrics.json`` — schema ``repro-obs-metrics/1``: flat
+  ``counters`` / ``gauges`` / ``histograms`` maps keyed by
+  ``name{label=value}`` plus per-name ``meta`` (kind, goodness direction).
+  :mod:`repro.obs.report` summarizes and diffs these.
+
+Both formats are validated by :func:`validate_chrome_trace` /
+:func:`validate_metrics_dump`, which return a list of problems (empty
+means valid) — used by the test suite and ``repro.obs.report --self-test``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "chrome_trace",
+    "metrics_dump",
+    "validate_chrome_trace",
+    "validate_metrics_dump",
+    "write_json",
+]
+
+METRICS_SCHEMA = "repro-obs-metrics/1"
+
+
+def chrome_trace(tracer: Tracer, label: str = "repro", pid: int = 1) -> dict[str, Any]:
+    """Render a tracer's spans as a Chrome Trace Event Format document."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": f"repro:{label}"},
+        }
+    ]
+    # stable small tids: chrome renders one lane per tid
+    tid_map: dict[int, int] = {}
+
+    def tid_of(raw: int) -> int:
+        if raw not in tid_map:
+            tid_map[raw] = len(tid_map) + 1
+        return tid_map[raw]
+
+    epoch = tracer.epoch_ns
+    for s in sorted(tracer.spans, key=lambda s: s.start_ns):
+        args = dict(s.args)
+        if s.cycles is not None:
+            args["cycles"] = s.cycles
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "ph": "X",
+                "ts": (s.start_ns - epoch) / 1000.0,
+                "dur": max(s.dur_ns, 1) / 1000.0,
+                "pid": pid,
+                "tid": tid_of(s.tid),
+                "args": args,
+            }
+        )
+    for ev in tracer.instants:
+        events.append(
+            {
+                "name": ev["name"],
+                "cat": ev["cat"],
+                "ph": "i",
+                "s": "t",
+                "ts": (ev["ts_ns"] - epoch) / 1000.0,
+                "pid": pid,
+                "tid": tid_of(ev["tid"]),
+                "args": ev["args"],
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def metrics_dump(
+    registry: MetricsRegistry, label: str = "repro", extra: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """The flat metrics document for one session."""
+    doc: dict[str, Any] = {"schema": METRICS_SCHEMA, "label": label}
+    if extra:
+        doc["extra"] = dict(extra)
+    doc.update(registry.snapshot())
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# validation
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Check the Trace Event Format invariants; return problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document is not an object with a 'traceEvents' array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return ["'traceEvents' is not a non-empty array"]
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for req in ("name", "ph", "pid", "tid", "ts"):
+            if req not in ev:
+                problems.append(f"{where} ({ev.get('name')!r}): missing {req!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "B", "E", "M", "i", "C"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+        if ph == "X":
+            if "dur" not in ev:
+                problems.append(f"{where} ({ev.get('name')!r}): 'X' without dur")
+            elif not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+                problems.append(f"{where}: bad dur {ev['dur']!r}")
+        ts = ev.get("ts")
+        if ts is not None and (not isinstance(ts, (int, float)) or ts < 0):
+            problems.append(f"{where}: bad ts {ts!r}")
+    return problems
+
+
+def validate_metrics_dump(doc: Any) -> list[str]:
+    """Check a metrics dump against schema repro-obs-metrics/1."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != METRICS_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {METRICS_SCHEMA!r}")
+    for section in ("counters", "gauges", "histograms", "meta"):
+        if not isinstance(doc.get(section), dict):
+            problems.append(f"missing or non-object section {section!r}")
+    if problems:
+        return problems
+    for key, v in {**doc["counters"], **doc["gauges"]}.items():
+        if not isinstance(v, (int, float)):
+            problems.append(f"{key}: non-numeric value {v!r}")
+    for key, h in doc["histograms"].items():
+        if not isinstance(h, dict) or "count" not in h or "sum" not in h:
+            problems.append(f"{key}: malformed histogram summary")
+    for name, meta in doc["meta"].items():
+        if meta.get("kind") not in ("counter", "gauge", "histogram"):
+            problems.append(f"meta {name}: bad kind {meta.get('kind')!r}")
+        if meta.get("better") not in ("lower", "higher"):
+            problems.append(f"meta {name}: bad direction {meta.get('better')!r}")
+    return problems
+
+
+def write_json(path: str | pathlib.Path, doc: dict[str, Any]) -> pathlib.Path:
+    """Write a document as JSON, creating parent directories."""
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(doc, indent=1, sort_keys=False) + "\n")
+    return p

@@ -1,0 +1,199 @@
+"""Structured metrics: named counters, gauges, and histograms with labels.
+
+The panel's running theme is that costs must be *explicit and measurable*;
+this module is the measurement half.  A :class:`MetricsRegistry` holds
+labeled series of three kinds:
+
+``Counter``
+    Monotonically accumulating totals (cache misses, steal attempts,
+    cycles).  Each counter declares a *goodness direction* (``better=
+    "lower"`` by default) so the diff tool in :mod:`repro.obs.report` can
+    tell a regression from an improvement without guessing from names.
+``Gauge``
+    Last-write-wins instantaneous values (utilization, Pareto-front size).
+``Histogram``
+    Streaming count/sum/min/max summaries of a distribution (queue depth,
+    per-candidate figure of merit) without storing samples.
+
+Zero dependencies, no I/O: export lives in :mod:`repro.obs.export`.
+Series are cached by ``(name, labels)`` so hot paths pay one dict lookup
+per touch; instrumented code should additionally guard on
+:func:`repro.obs.active` so disabled runs pay nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "series_key"]
+
+
+def series_key(name: str, labels: dict[str, Any]) -> str:
+    """Canonical flat key: ``name`` or ``name{k1=v1,k2=v2}`` (keys sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing total for one labeled series."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def add(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (add {n})")
+        self.value += n
+
+    def inc(self) -> None:
+        self.value += 1
+
+
+class Gauge:
+    """An instantaneous last-write-wins value for one labeled series."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+class Histogram:
+    """A streaming summary (count/sum/min/max) of observed values."""
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """All metric series of one observability session.
+
+    ``counter`` / ``gauge`` / ``histogram`` create-or-return the series for
+    ``(name, labels)``; a name is bound to one kind for the registry's
+    lifetime (mixing kinds under one name raises ``TypeError``, which
+    catches typo'd instrumentation early).
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[str, Counter | Gauge | Histogram] = {}
+        self._meta: dict[str, dict[str, str]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _get(
+        self, kind: str, name: str, better: str, help_: str, labels: dict[str, Any]
+    ) -> Any:
+        key = series_key(name, labels)
+        s = self._series.get(key)
+        if s is not None:
+            if not isinstance(s, _KINDS[kind]):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(s).__name__.lower()}, requested as {kind}"
+                )
+            return s
+        meta = self._meta.setdefault(
+            name, {"kind": kind, "better": better, "help": help_}
+        )
+        if meta["kind"] != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as {meta['kind']}, "
+                f"requested as {kind}"
+            )
+        s = _KINDS[kind](name, dict(labels))
+        self._series[key] = s
+        return s
+
+    def counter(
+        self, name: str, better: str = "lower", help: str = "", **labels: Any
+    ) -> Counter:
+        if better not in ("lower", "higher"):
+            raise ValueError(f"better must be 'lower' or 'higher', got {better!r}")
+        return self._get("counter", name, better, help, labels)
+
+    def gauge(
+        self, name: str, better: str = "higher", help: str = "", **labels: Any
+    ) -> Gauge:
+        if better not in ("lower", "higher"):
+            raise ValueError(f"better must be 'lower' or 'higher', got {better!r}")
+        return self._get("gauge", name, better, help, labels)
+
+    def histogram(self, name: str, help: str = "", **labels: Any) -> Histogram:
+        return self._get("histogram", name, "lower", help, labels)
+
+    # ------------------------------------------------------------------ #
+
+    def series(self) -> list[Counter | Gauge | Histogram]:
+        """All series, in registration order."""
+        return list(self._series.values())
+
+    def get_value(self, name: str, **labels: Any) -> float | None:
+        """Value of one series (histograms: the mean), or None if absent."""
+        s = self._series.get(series_key(name, labels))
+        if s is None:
+            return None
+        return s.mean if isinstance(s, Histogram) else s.value
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat, JSON-able dump of every series (see repro-obs-metrics/1)."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, float]] = {}
+        for key, s in self._series.items():
+            if isinstance(s, Counter):
+                counters[key] = s.value
+            elif isinstance(s, Gauge):
+                gauges[key] = s.value
+            else:
+                histograms[key] = s.summary()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "meta": {n: dict(m) for n, m in sorted(self._meta.items())},
+        }

@@ -1,0 +1,325 @@
+"""CLI: summarize and diff metrics dumps.
+
+"Analytical Cost Metrics: Days of Future Past" argues cost models earn
+their keep only when predictions are systematically recorded and
+confronted with measurements.  This tool is the confrontation step::
+
+    python -m repro.obs.report summary run.metrics.json
+    python -m repro.obs.report diff base.metrics.json new.metrics.json \\
+        --tolerance 0.02 --tol scheduler.steal_attempts=0.25
+    python -m repro.obs.report --self-test
+
+``diff`` compares every counter (and gauge) series of two dumps, using
+each metric's declared goodness direction (``meta.better``) to tell a
+regression from an improvement, and **exits non-zero when any series
+worsens beyond its tolerance** — so a CI job can gate on it.  Tolerances
+are relative; ``--tol NAME=FRAC`` overrides the global ``--tolerance`` for
+one metric name (labels excluded).
+
+``--self-test`` exercises the whole layer (registry, tracer, exporters,
+validators, diff) with no filesystem access and reports pass/fail — a
+cheap CI smoke test that the telemetry layer itself still works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any
+
+from repro.obs.export import (
+    validate_chrome_trace,
+    validate_metrics_dump,
+)
+
+__all__ = ["main", "diff_dumps", "self_test", "DiffEntry"]
+
+
+def _load(path: str) -> dict[str, Any]:
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"{path}: cannot read: {exc.strerror or exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: not JSON: {exc}") from exc
+    problems = validate_metrics_dump(doc)
+    if problems:
+        raise SystemExit(f"{path}: not a valid metrics dump: {problems[0]}")
+    return doc
+
+
+def _base_name(key: str) -> str:
+    """Series key -> metric name (strip the {label=...} suffix)."""
+    return key.split("{", 1)[0]
+
+
+class DiffEntry:
+    """One compared series."""
+
+    __slots__ = ("key", "kind", "base", "new", "better", "tolerance")
+
+    def __init__(
+        self, key: str, kind: str, base: float, new: float, better: str, tolerance: float
+    ) -> None:
+        self.key = key
+        self.kind = kind
+        self.base = base
+        self.new = new
+        self.better = better
+        self.tolerance = tolerance
+
+    @property
+    def delta(self) -> float:
+        return self.new - self.base
+
+    @property
+    def worsening(self) -> float:
+        """Relative change in the *bad* direction (negative = improved)."""
+        worse = self.delta if self.better == "lower" else -self.delta
+        return worse / max(abs(self.base), 1.0)
+
+    @property
+    def regressed(self) -> bool:
+        return self.worsening > self.tolerance
+
+    @property
+    def improved(self) -> bool:
+        return self.worsening < -1e-12
+
+
+def diff_dumps(
+    base: dict[str, Any],
+    new: dict[str, Any],
+    tolerance: float = 0.02,
+    per_metric: dict[str, float] | None = None,
+    include_gauges: bool = True,
+) -> list[DiffEntry]:
+    """Compare two metrics dumps series-by-series (see module docstring)."""
+    per_metric = per_metric or {}
+    meta = {**base.get("meta", {}), **new.get("meta", {})}
+    entries: list[DiffEntry] = []
+    sections = [("counter", "counters")]
+    if include_gauges:
+        sections.append(("gauge", "gauges"))
+    for kind, section in sections:
+        b_map = base.get(section, {})
+        n_map = new.get(section, {})
+        for key in sorted(set(b_map) | set(n_map)):
+            name = _base_name(key)
+            m = meta.get(name, {})
+            better = m.get("better", "lower")
+            tol = per_metric.get(name, tolerance)
+            entries.append(
+                DiffEntry(
+                    key,
+                    kind,
+                    float(b_map.get(key, 0.0)),
+                    float(n_map.get(key, 0.0)),
+                    better,
+                    tol,
+                )
+            )
+    return entries
+
+
+def _fmt(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return f"{int(v):,}"
+    return f"{v:.6g}"
+
+
+def _print_entries(entries: list[DiffEntry], only_changed: bool) -> None:
+    rows = []
+    for e in entries:
+        if only_changed and e.delta == 0:
+            continue
+        status = "REGRESSED" if e.regressed else ("improved" if e.improved else "ok")
+        rows.append(
+            (e.key, _fmt(e.base), _fmt(e.new), _fmt(e.delta), f"{e.worsening:+.1%}", status)
+        )
+    if not rows:
+        print("no changed series")
+        return
+    headers = ("series", "base", "new", "delta", "worsening", "status")
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    doc = _load(args.file)
+    print(f"metrics dump: {args.file}  (label={doc.get('label', '?')})")
+    for section in ("counters", "gauges"):
+        items = doc.get(section, {})
+        if not items:
+            continue
+        print(f"\n{section}:")
+        width = max(len(k) for k in items)
+        for key in sorted(items):
+            print(f"  {key.ljust(width)}  {_fmt(float(items[key]))}")
+    hists = doc.get("histograms", {})
+    if hists:
+        print("\nhistograms:")
+        width = max(len(k) for k in hists)
+        for key in sorted(hists):
+            h = hists[key]
+            print(
+                f"  {key.ljust(width)}  n={h['count']}  mean={h.get('mean', 0):.4g}"
+                f"  min={h.get('min', 0):.4g}  max={h.get('max', 0):.4g}"
+            )
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    per_metric: dict[str, float] = {}
+    for spec in args.tol or []:
+        name, _, frac = spec.partition("=")
+        if not frac:
+            raise SystemExit(f"--tol wants NAME=FRACTION, got {spec!r}")
+        per_metric[name] = float(frac)
+    base, new = _load(args.base), _load(args.new)
+    entries = diff_dumps(
+        base,
+        new,
+        tolerance=args.tolerance,
+        per_metric=per_metric,
+        include_gauges=not args.counters_only,
+    )
+    _print_entries(entries, only_changed=not args.all)
+    regressed = [e for e in entries if e.regressed]
+    if regressed:
+        print(f"\n{len(regressed)} series regressed beyond tolerance:")
+        for e in regressed:
+            print(
+                f"  {e.key}: {_fmt(e.base)} -> {_fmt(e.new)} "
+                f"({e.worsening:+.1%} worse, tolerance {e.tolerance:.1%})"
+            )
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+
+
+def self_test() -> int:
+    """End-to-end smoke of the telemetry layer; returns a process exit code."""
+    from repro import obs
+
+    checks = 0
+
+    def check(cond: bool, what: str) -> None:
+        nonlocal checks
+        checks += 1
+        if not cond:
+            raise AssertionError(f"self-test failed: {what}")
+
+    try:
+        with obs.session(label="self-test") as sess:
+            with sess.span("outer", cycles=100, p=4):
+                with sess.span("inner", cycles=40):
+                    sess.counter("demo.misses", level="L1").add(7)
+                    sess.counter("demo.hits", better="higher", level="L1").add(93)
+                    sess.gauge("demo.utilization").set(0.83)
+                    h = sess.histogram("demo.queue_depth")
+                    for d in (1, 2, 5):
+                        h.observe(d)
+            sess.tracer.instant("marker", note="self-test")
+        check(obs.active() is None, "session did not deactivate")
+
+        trace_doc = json.loads(json.dumps(sess.chrome_trace()))
+        check(validate_chrome_trace(trace_doc) == [], "chrome trace invalid")
+        spans = {e["name"] for e in trace_doc["traceEvents"] if e["ph"] == "X"}
+        check({"outer", "inner"} <= spans, "spans missing from trace")
+
+        dump = json.loads(json.dumps(sess.metrics_dump()))
+        check(validate_metrics_dump(dump) == [], "metrics dump invalid")
+        check(dump["counters"]["demo.misses{level=L1}"] == 7, "counter value wrong")
+        check(dump["histograms"]["demo.queue_depth"]["count"] == 3, "histogram count")
+
+        same = diff_dumps(dump, dump)
+        check(not any(e.regressed for e in same), "identical dumps regressed")
+
+        worse = json.loads(json.dumps(dump))
+        worse["counters"]["demo.misses{level=L1}"] = 14  # lower-is-better: regression
+        worse["counters"]["demo.hits{level=L1}"] = 50  # higher-is-better: regression
+        entries = {e.key: e for e in diff_dumps(dump, worse)}
+        check(entries["demo.misses{level=L1}"].regressed, "missed a lower-is-better regression")
+        check(entries["demo.hits{level=L1}"].regressed, "missed a higher-is-better regression")
+
+        better = json.loads(json.dumps(dump))
+        better["counters"]["demo.misses{level=L1}"] = 1
+        entries = {e.key: e for e in diff_dumps(dump, better)}
+        check(
+            entries["demo.misses{level=L1}"].improved
+            and not entries["demo.misses{level=L1}"].regressed,
+            "improvement misread as regression",
+        )
+
+        entries = {
+            e.key: e
+            for e in diff_dumps(dump, worse, per_metric={"demo.misses": 2.0})
+        }
+        check(not entries["demo.misses{level=L1}"].regressed, "per-metric tolerance ignored")
+    except AssertionError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"repro.obs self-test: ok ({checks} checks)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize and diff repro.obs metrics dumps.",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the telemetry layer's end-to-end smoke test and exit",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_sum = sub.add_parser("summary", help="print one metrics dump")
+    p_sum.add_argument("file")
+    p_sum.set_defaults(func=cmd_summary)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two dumps; exit 1 on regressions beyond tolerance"
+    )
+    p_diff.add_argument("base")
+    p_diff.add_argument("new")
+    p_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="global relative tolerance for a worsening (default 0.02)",
+    )
+    p_diff.add_argument(
+        "--tol",
+        action="append",
+        metavar="NAME=FRAC",
+        help="per-metric tolerance override (repeatable)",
+    )
+    p_diff.add_argument(
+        "--counters-only", action="store_true", help="ignore gauges in the diff"
+    )
+    p_diff.add_argument(
+        "--all", action="store_true", help="also print unchanged series"
+    )
+    p_diff.set_defaults(func=cmd_diff)
+
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if not args.command:
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

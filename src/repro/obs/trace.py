@@ -1,0 +1,168 @@
+"""Span tracing with dual time attribution: wall time and model time.
+
+A :class:`Tracer` records nested :class:`Span` objects.  Each span carries
+
+* **wall time** — ``perf_counter_ns`` start/duration of the *simulation
+  code* (how long the Python simulator took), and
+* **model time** — the simulated ``cycles`` the spanned work represents
+  (what the cost model says the machine took).
+
+Keeping both on the same span is the point: the paper argues model costs
+must be confronted with measurements, and a trace where the two disagree
+wildly is exactly the "gap between the idealized model and reality" the
+benches quantify.  Spans nest lexically (a per-thread stack), so the
+Chrome ``trace_event`` exporter in :mod:`repro.obs.export` renders them as
+a flame graph.
+
+No dependencies; the tracer never touches the filesystem.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed region.  Use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "cat",
+        "tid",
+        "depth",
+        "start_ns",
+        "dur_ns",
+        "cycles",
+        "args",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        tid: int,
+        depth: int,
+        start_ns: int,
+        cycles: int | None,
+        args: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.depth = depth
+        self.start_ns = start_ns
+        self.dur_ns: int = 0
+        self.cycles = cycles
+        self.args = args
+
+    def set(self, **kv: Any) -> "Span":
+        """Attach arguments to the span (shown in the trace viewer)."""
+        self.args.update(kv)
+        return self
+
+    def set_cycles(self, cycles: int) -> "Span":
+        """Record the model time (simulated cycles) this span represents."""
+        self.cycles = int(cycles)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._tracer._close(self)
+
+    def as_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "tid": self.tid,
+            "depth": self.depth,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+        }
+        if self.cycles is not None:
+            d["cycles"] = self.cycles
+        if self.args:
+            d["args"] = dict(self.args)
+        return d
+
+
+class Tracer:
+    """Records completed spans and instant events for one session."""
+
+    def __init__(self) -> None:
+        self.epoch_ns = time.perf_counter_ns()
+        self.spans: list[Span] = []
+        self.instants: list[dict[str, Any]] = []
+        self._stacks: dict[int, list[Span]] = {}
+        self._lock = threading.Lock()
+
+    def span(
+        self, name: str, cat: str = "repro", cycles: int | None = None, **args: Any
+    ) -> Span:
+        """Open a span; close it with ``with`` or by calling ``__exit__``."""
+        tid = threading.get_ident()
+        with self._lock:
+            stack = self._stacks.setdefault(tid, [])
+            s = Span(
+                self,
+                name=name,
+                cat=cat,
+                tid=tid,
+                depth=len(stack),
+                start_ns=time.perf_counter_ns(),
+                cycles=cycles,
+                args=dict(args),
+            )
+            stack.append(s)
+        return s
+
+    def _close(self, span: Span) -> None:
+        span.dur_ns = time.perf_counter_ns() - span.start_ns
+        with self._lock:
+            stack = self._stacks.get(span.tid, [])
+            if span in stack:
+                # pop this span and anything opened after it but leaked
+                while stack and stack[-1] is not span:
+                    leaked = stack.pop()
+                    leaked.dur_ns = time.perf_counter_ns() - leaked.start_ns
+                    self.spans.append(leaked)
+                stack.pop()
+            self.spans.append(span)
+
+    def instant(self, name: str, cat: str = "repro", **args: Any) -> None:
+        """A zero-duration marker event."""
+        with self._lock:
+            self.instants.append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "tid": threading.get_ident(),
+                    "ts_ns": time.perf_counter_ns(),
+                    "args": dict(args),
+                }
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_events(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    def total_cycles(self, name: str | None = None) -> int:
+        """Sum of model-time cycles over (optionally name-filtered) spans."""
+        return sum(
+            s.cycles
+            for s in self.spans
+            if s.cycles is not None and (name is None or s.name == name)
+        )
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]

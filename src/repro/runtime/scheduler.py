@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.models.workdepth import Dag
+from repro.obs import Session, active as _obs_active
 from repro.runtime.tasks import ReadyTracker
 
 __all__ = [
@@ -38,6 +39,25 @@ __all__ = [
     "work_stealing_schedule",
     "centralized_queue_schedule",
 ]
+
+
+def _publish_schedule(sess: Session, kind: str, sched: "Schedule") -> None:
+    """Record one schedule's counters into the active obs session.
+
+    Counter semantics: totals accumulate across every schedule run in the
+    session (so a bench's dump is the whole bench); utilization is a gauge
+    holding the most recent run.
+    """
+    m = sess.metrics
+    m.counter("scheduler.runs", scheduler=kind).inc()
+    m.counter("scheduler.tasks", scheduler=kind).add(len(sched.start_times))
+    m.counter("scheduler.busy_steps", scheduler=kind).add(sched.busy_steps)
+    m.counter("scheduler.makespan_cycles", scheduler=kind).add(sched.length)
+    m.counter("scheduler.steal_attempts", scheduler=kind).add(sched.steal_attempts)
+    m.counter(
+        "scheduler.steal_successes", better="higher", scheduler=kind
+    ).add(sched.successful_steals)
+    m.gauge("scheduler.utilization", scheduler=kind).set(sched.utilization)
 
 
 @dataclass
@@ -113,6 +133,22 @@ def greedy_schedule(dag: Dag, p: int) -> Schedule:
     """
     if p < 1:
         raise ValueError("p must be positive")
+    sess = _obs_active()
+    if sess is None:
+        return _greedy_run(dag, p, None)
+    with sess.span("schedule.greedy", cat="scheduler", p=p, tasks=dag.n_nodes) as span:
+        sched = _greedy_run(dag, p, sess)
+        span.set_cycles(sched.length).set(utilization=round(sched.utilization, 4))
+    _publish_schedule(sess, "greedy", sched)
+    return sched
+
+
+def _greedy_run(dag: Dag, p: int, sess: Session | None) -> Schedule:
+    qdepth = (
+        sess.histogram("scheduler.queue_depth", scheduler="greedy")
+        if sess is not None
+        else None
+    )
     tracker = ReadyTracker(dag)
     ready: deque[int] = deque(tracker.initial_ready())
     sched = Schedule(length=0, p=p)
@@ -120,6 +156,8 @@ def greedy_schedule(dag: Dag, p: int) -> Schedule:
     free_workers = list(range(p - 1, -1, -1))
     now = 0
     while ready or running:
+        if qdepth is not None:
+            qdepth.observe(len(ready))
         # dispatch
         while ready and free_workers:
             task = ready.popleft()
@@ -157,6 +195,28 @@ def work_stealing_schedule(dag: Dag, p: int, seed: int = 0) -> Schedule:
     """
     if p < 1:
         raise ValueError("p must be positive")
+    sess = _obs_active()
+    if sess is None:
+        return _stealing_run(dag, p, seed, None)
+    with sess.span(
+        "schedule.work_stealing", cat="scheduler", p=p, tasks=dag.n_nodes, seed=seed
+    ) as span:
+        sched = _stealing_run(dag, p, seed, sess)
+        span.set_cycles(sched.length).set(
+            utilization=round(sched.utilization, 4),
+            steal_attempts=sched.steal_attempts,
+            successful_steals=sched.successful_steals,
+        )
+    _publish_schedule(sess, "work_stealing", sched)
+    return sched
+
+
+def _stealing_run(dag: Dag, p: int, seed: int, sess: Session | None) -> Schedule:
+    qdepth = (
+        sess.histogram("scheduler.queue_depth", scheduler="work_stealing")
+        if sess is not None
+        else None
+    )
     rng = np.random.default_rng(seed)
     tracker = ReadyTracker(dag)
     deques: list[deque[int]] = [deque() for _ in range(p)]
@@ -176,6 +236,8 @@ def work_stealing_schedule(dag: Dag, p: int, seed: int = 0) -> Schedule:
         now += 1
         if now > max_steps:  # pragma: no cover - defensive
             raise RuntimeError("work-stealing simulation did not converge")
+        if qdepth is not None:
+            qdepth.observe(sum(len(d) for d in deques))
         completed_this_step: list[tuple[int, int]] = []  # (worker, task)
         stealers: list[int] = []
         for w in range(p):
@@ -236,6 +298,30 @@ def centralized_queue_schedule(
         raise ValueError("p must be positive")
     if dequeue_penalty < 0:
         raise ValueError("penalty must be non-negative")
+    sess = _obs_active()
+    if sess is None:
+        return _centralized_run(dag, p, dequeue_penalty, None)
+    with sess.span(
+        "schedule.centralized",
+        cat="scheduler",
+        p=p,
+        tasks=dag.n_nodes,
+        dequeue_penalty=dequeue_penalty,
+    ) as span:
+        sched = _centralized_run(dag, p, dequeue_penalty, sess)
+        span.set_cycles(sched.length).set(utilization=round(sched.utilization, 4))
+    _publish_schedule(sess, "centralized", sched)
+    return sched
+
+
+def _centralized_run(
+    dag: Dag, p: int, dequeue_penalty: int, sess: Session | None
+) -> Schedule:
+    qdepth = (
+        sess.histogram("scheduler.queue_depth", scheduler="centralized")
+        if sess is not None
+        else None
+    )
     tracker = ReadyTracker(dag)
     ready: deque[int] = deque(tracker.initial_ready())
     sched = Schedule(length=0, p=p)
@@ -245,6 +331,8 @@ def centralized_queue_schedule(
     scheduled = 0
     total = dag.n_nodes
     while scheduled < total:
+        if qdepth is not None:
+            qdepth.observe(len(ready))
         if ready:
             task = ready.popleft()
             w = min(range(p), key=lambda i: worker_free_at[i])

@@ -1,0 +1,77 @@
+"""fmt_num: significant figures, signs, and non-finite values."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.report import fmt_num
+
+
+class TestMidRangeBranch:
+    """100 <= |v| < 10_000: decimals derived from magnitude so the total
+    significant figures stay at ``sig`` — and the sign never changes them."""
+
+    def test_three_digit_floats_get_one_decimal(self):
+        assert fmt_num(123.456) == "123.5"
+
+    def test_negative_matches_positive_width(self):
+        # regression: the old code always used one decimal, so -1234.5
+        # rendered as "-1,234.5" (5 sig figs) while 123.456 got 4
+        assert fmt_num(-123.456) == "-123.5"
+        assert fmt_num(-123.456) == "-" + fmt_num(123.456)
+
+    def test_four_digit_floats_get_no_decimals(self):
+        assert fmt_num(1234.5) == "1,234"
+        assert fmt_num(-1234.5) == "-1,234"
+
+    def test_sig_parameter_respected(self):
+        assert fmt_num(123.456, sig=5) == "123.46"
+        assert fmt_num(1234.56, sig=6) == "1,234.56"
+
+
+class TestNonFinite:
+    def test_nan(self):
+        assert fmt_num(float("nan")) == "nan"
+
+    def test_infinities(self):
+        assert fmt_num(float("inf")) == "inf"
+        assert fmt_num(float("-inf")) == "-inf"
+
+
+class TestOtherBranchesUnchanged:
+    def test_ints_and_bools(self):
+        assert fmt_num(1234567) == "1,234,567"
+        assert fmt_num(True) == "yes"
+        assert fmt_num(False) == "no"
+
+    def test_zero_and_small(self):
+        assert fmt_num(0.0) == "0"
+        assert fmt_num(0.12345) == "0.1235"
+        assert fmt_num(1e-5) == "1.000e-05"
+
+    def test_large_goes_exponential(self):
+        assert fmt_num(123456.0) == "1.235e+05"
+
+    def test_strings_pass_through(self):
+        assert fmt_num("hello") == "hello"
+
+
+class TestProperties:
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_sign_symmetry(self, v):
+        """Negating a float only ever prepends '-' (alignment invariant)."""
+        if v == 0:
+            return
+        pos, neg = fmt_num(abs(v)), fmt_num(-abs(v))
+        assert neg == "-" + pos
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12))
+    def test_round_trips_to_within_a_percent(self, v):
+        """The rendering stays numerically faithful (4 sig figs ~ 0.1%)."""
+        if v == 0 or abs(v) < 1e-3:
+            return
+        parsed = float(fmt_num(v).replace(",", ""))
+        assert math.isclose(parsed, v, rel_tol=5e-3)

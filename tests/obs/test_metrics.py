@@ -1,0 +1,88 @@
+"""MetricsRegistry: labeled series, kinds, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, series_key
+
+
+class TestSeriesKey:
+    def test_no_labels(self):
+        assert series_key("cache.hits", {}) == "cache.hits"
+
+    def test_labels_sorted(self):
+        assert (
+            series_key("cache.hits", {"level": "L1", "core": 3})
+            == "cache.hits{core=3,level=L1}"
+        )
+
+
+class TestCounters:
+    def test_accumulates(self):
+        m = MetricsRegistry()
+        m.counter("x").add(3)
+        m.counter("x").add(4)
+        assert m.get_value("x") == 7
+
+    def test_labels_separate_series(self):
+        m = MetricsRegistry()
+        m.counter("cache.hits", level="L1").add(5)
+        m.counter("cache.hits", level="L2").add(9)
+        assert m.get_value("cache.hits", level="L1") == 5
+        assert m.get_value("cache.hits", level="L2") == 9
+
+    def test_counters_cannot_decrease(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.counter("x").add(-1)
+
+    def test_kind_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("x").inc()
+        with pytest.raises(TypeError):
+            m.gauge("x")
+
+    def test_bad_direction_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.counter("x", better="sideways")
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_last_write_wins(self):
+        m = MetricsRegistry()
+        m.gauge("u").set(0.5)
+        m.gauge("u").set(0.75)
+        assert m.get_value("u") == 0.75
+
+    def test_histogram_summary(self):
+        m = MetricsRegistry()
+        h = m.histogram("depth")
+        for v in (1, 5, 3):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3 and s["min"] == 1 and s["max"] == 5
+        assert s["mean"] == pytest.approx(3.0)
+
+    def test_empty_histogram_summary(self):
+        assert Histogram("h", {}).summary()["count"] == 0
+
+
+class TestSnapshot:
+    def test_sections_and_meta(self):
+        m = MetricsRegistry()
+        m.counter("misses", level="L1").add(2)
+        m.counter("hits", better="higher", level="L1").add(8)
+        m.gauge("util").set(0.9)
+        m.histogram("q").observe(4)
+        snap = m.snapshot()
+        assert snap["counters"]["misses{level=L1}"] == 2
+        assert snap["gauges"]["util"] == 0.9
+        assert snap["histograms"]["q"]["count"] == 1
+        assert snap["meta"]["hits"]["better"] == "higher"
+        assert snap["meta"]["misses"]["better"] == "lower"
+        assert snap["meta"]["q"]["kind"] == "histogram"
+
+    def test_get_value_missing_is_none(self):
+        assert MetricsRegistry().get_value("nope") is None

@@ -1,0 +1,111 @@
+"""The `python -m repro.obs.report` CLI: summary, diff, self-test."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import METRICS_SCHEMA
+from repro.obs.report import diff_dumps, main, self_test
+
+
+def _dump(counters: dict, meta: dict | None = None) -> dict:
+    return {
+        "schema": METRICS_SCHEMA,
+        "label": "t",
+        "counters": counters,
+        "gauges": {},
+        "histograms": {},
+        "meta": meta
+        or {k.split("{", 1)[0]: {"kind": "counter", "better": "lower", "help": ""}
+            for k in counters},
+    }
+
+
+def _write(tmp_path, name, doc):
+    p = tmp_path / name
+    p.write_text(json.dumps(doc))
+    return str(p)
+
+
+class TestDiffDumps:
+    def test_regression_detected(self):
+        base = _dump({"misses": 100})
+        new = _dump({"misses": 150})
+        (entry,) = diff_dumps(base, new, tolerance=0.02)
+        assert entry.regressed and entry.worsening == pytest.approx(0.5)
+
+    def test_within_tolerance_ok(self):
+        base = _dump({"misses": 100})
+        new = _dump({"misses": 101})
+        (entry,) = diff_dumps(base, new, tolerance=0.02)
+        assert not entry.regressed
+
+    def test_higher_is_better_direction(self):
+        meta = {"hits": {"kind": "counter", "better": "higher", "help": ""}}
+        base = _dump({"hits": 100}, meta)
+        worse = _dump({"hits": 50}, meta)
+        better = _dump({"hits": 200}, meta)
+        assert diff_dumps(base, worse)[0].regressed
+        assert not diff_dumps(base, better)[0].regressed
+        assert diff_dumps(base, better)[0].improved
+
+    def test_new_series_appearing_counts_from_zero(self):
+        base = _dump({})
+        new = _dump({"misses": 10})
+        (entry,) = diff_dumps(base, new)
+        assert entry.base == 0 and entry.regressed
+
+    def test_per_metric_tolerance_strips_labels(self):
+        base = _dump({"steals{scheduler=ws}": 10})
+        new = _dump({"steals{scheduler=ws}": 15})
+        assert diff_dumps(base, new)[0].regressed
+        assert not diff_dumps(base, new, per_metric={"steals": 1.0})[0].regressed
+
+
+class TestCli:
+    def test_summary_exit_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "a.json", _dump({"misses": 3}))
+        assert main(["summary", path]) == 0
+        assert "misses" in capsys.readouterr().out
+
+    def test_diff_identical_exit_zero(self, tmp_path):
+        a = _write(tmp_path, "a.json", _dump({"misses": 3}))
+        b = _write(tmp_path, "b.json", _dump({"misses": 3}))
+        assert main(["diff", a, b]) == 0
+
+    def test_diff_regression_exit_nonzero_and_prints(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", _dump({"misses": 100}))
+        b = _write(tmp_path, "b.json", _dump({"misses": 200}))
+        assert main(["diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "misses" in out
+
+    def test_diff_tolerance_flag(self, tmp_path):
+        a = _write(tmp_path, "a.json", _dump({"misses": 100}))
+        b = _write(tmp_path, "b.json", _dump({"misses": 110}))
+        assert main(["diff", a, b]) == 1
+        assert main(["diff", a, b, "--tolerance", "0.5"]) == 0
+
+    def test_diff_per_metric_tol_flag(self, tmp_path):
+        a = _write(tmp_path, "a.json", _dump({"misses": 100, "cycles": 100}))
+        b = _write(tmp_path, "b.json", _dump({"misses": 150, "cycles": 100}))
+        assert main(["diff", a, b, "--tol", "misses=0.9"]) == 0
+
+    def test_rejects_invalid_dump(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(SystemExit):
+            main(["summary", str(bad)])
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_self_test_passes(self, capsys):
+        assert self_test() == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_self_test_flag(self):
+        assert main(["--self-test"]) == 0

@@ -1,0 +1,133 @@
+"""Tracer spans and the Chrome trace / metrics dump exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs.export import (
+    metrics_dump,
+    validate_chrome_trace,
+    validate_metrics_dump,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestTracer:
+    def test_nesting_depths(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        by_name = {s.name: s for s in t.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        # inner closed first
+        assert t.spans[0].name == "inner"
+
+    def test_wall_and_model_time(self):
+        t = Tracer()
+        with t.span("work", cycles=420) as s:
+            s.set(p=8)
+        (span,) = t.spans
+        assert span.dur_ns >= 0
+        assert span.cycles == 420
+        assert span.args == {"p": 8}
+        assert t.total_cycles() == 420
+        assert t.total_cycles("work") == 420
+        assert t.total_cycles("other") == 0
+
+    def test_leaked_child_spans_closed_with_parent(self):
+        t = Tracer()
+        outer = t.span("outer")
+        t.span("leaked")  # never explicitly closed
+        outer.__exit__()
+        assert {s.name for s in t.spans} == {"outer", "leaked"}
+
+    def test_instant_events(self):
+        t = Tracer()
+        t.instant("marker", note="hi")
+        assert t.n_events == 1
+
+
+class TestChromeExport:
+    def _session_with_activity(self):
+        with obs.session(label="t") as sess:
+            with sess.span("outer", cycles=99, p=4):
+                with sess.span("inner"):
+                    pass
+            sess.tracer.instant("tick")
+        return sess
+
+    def test_valid_and_round_trips_through_json(self):
+        sess = self._session_with_activity()
+        doc = json.loads(json.dumps(sess.chrome_trace()))
+        assert validate_chrome_trace(doc) == []
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        for e in complete:
+            for field in ("name", "ph", "ts", "dur", "pid", "tid"):
+                assert field in e
+            assert e["ts"] >= 0 and e["dur"] > 0
+        outer = next(e for e in complete if e["name"] == "outer")
+        assert outer["args"]["cycles"] == 99 and outer["args"]["p"] == 4
+
+    def test_validator_catches_missing_fields(self):
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        bad = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("dur" in p for p in validate_chrome_trace(bad))
+        bad2 = {"traceEvents": [{"name": "x", "ph": "?", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("phase" in p for p in validate_chrome_trace(bad2))
+
+
+class TestMetricsDump:
+    def test_valid_dump(self):
+        m = MetricsRegistry()
+        m.counter("c", level="L1").add(3)
+        m.gauge("g").set(1.5)
+        m.histogram("h").observe(2)
+        doc = json.loads(json.dumps(metrics_dump(m, label="x")))
+        assert validate_metrics_dump(doc) == []
+        assert doc["schema"] == "repro-obs-metrics/1"
+        assert doc["label"] == "x"
+
+    def test_validator_catches_problems(self):
+        assert validate_metrics_dump([]) != []
+        assert validate_metrics_dump({"schema": "wrong"}) != []
+        m = MetricsRegistry()
+        doc = metrics_dump(m)
+        doc["counters"]["bad"] = "not-a-number"
+        assert any("bad" in p for p in validate_metrics_dump(doc))
+
+
+class TestSession:
+    def test_session_activation_and_nesting(self):
+        assert obs.active() is None
+        with obs.session(label="a") as outer:
+            assert obs.active() is outer
+            with obs.session(label="b") as inner:
+                assert obs.active() is inner
+            assert obs.active() is outer
+        assert obs.active() is None
+        assert not obs.enabled()
+
+    def test_write_artifacts(self, tmp_path):
+        with obs.session(label="run", out_dir=tmp_path) as sess:
+            with sess.span("s", cycles=1):
+                sess.counter("c").inc()
+        trace_path = tmp_path / "run.trace.json"
+        metrics_path = tmp_path / "run.metrics.json"
+        assert trace_path.exists() and metrics_path.exists()
+        assert validate_chrome_trace(json.loads(trace_path.read_text())) == []
+        assert validate_metrics_dump(json.loads(metrics_path.read_text())) == []
+
+    def test_write_without_out_dir_raises(self):
+        import pytest
+
+        with obs.session(label="x") as sess:
+            pass
+        with pytest.raises(ValueError):
+            sess.write()
