@@ -1,0 +1,114 @@
+"""Claim C18: the fast search engine (memoization + incremental move
+re-scoring + parallel fan-out) accelerates the mapping search by >= 3x
+while producing results *identical* to the reference path.
+
+The workload is the realistic search loop: a multi-FoM structured sweep
+(time, energy, EDP over the same graph — memoization turns the repeated
+schedule+cost work into lookups) plus a simulated-annealing run (the
+incremental scorer re-prices only the moved node's edges and skips the
+liveness sweep).  Equality is not eyeballed: the differential oracle from
+``repro.testing`` checks every row, mapping, and CostReport float.
+"""
+
+import time
+
+from repro.algorithms.stencil import stencil_graph
+from repro.analysis.report import Table
+from repro.core.mapping import GridSpec
+from repro.core.memo import clear_global_caches, global_cache
+from repro.core.search import (
+    FigureOfMerit,
+    SearchEngine,
+    anneal,
+    sweep_placements,
+)
+from repro.testing import assert_search_equivalent
+
+GRID = GridSpec(8, 1)
+FOMS = [
+    ("time", FigureOfMerit.fastest()),
+    ("energy", FigureOfMerit.lowest_energy()),
+    ("edp", FigureOfMerit.edp()),
+]
+ANNEAL_STEPS = 250
+
+
+def search_campaign(graph, engine):
+    """The full loop a user actually runs: sweep under several FoMs, then
+    anneal from the best region.  Returns (sweep rows per FoM, anneal)."""
+    sweeps = {
+        name: sweep_placements(graph, GRID, fom, engine=engine)
+        for name, fom in FOMS
+    }
+    annealed = anneal(
+        graph, GRID, FigureOfMerit.edp(), steps=ANNEAL_STEPS, seed=1, engine=engine
+    )
+    return sweeps, annealed
+
+
+def test_bench_engine_speedup_with_identical_results(benchmark, record_table):
+    g = stencil_graph(32, 3)
+    # n_workers=1: this box may be single-core, so the measured win is
+    # memoization + incremental scoring; parallel equality is covered below.
+    fast_engine = SearchEngine(memoize=True, incremental=True, n_workers=1)
+
+    def measure():
+        clear_global_caches()
+        t0 = time.perf_counter()
+        ref = search_campaign(g, None)
+        t_ref = time.perf_counter() - t0
+        clear_global_caches()
+        t0 = time.perf_counter()
+        fast = search_campaign(g, fast_engine)
+        t_fast = time.perf_counter() - t0
+        return ref, fast, t_ref, t_fast
+
+    ref, fast, t_ref, t_fast = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    (ref_sweeps, ref_anneal), (fast_sweeps, fast_anneal) = ref[:2], fast[:2]
+    for name, _fom in FOMS:
+        assert_search_equivalent(
+            fast_sweeps[name], ref_sweeps[name], context=f"sweep/{name}"
+        )
+    assert_search_equivalent(fast_anneal, ref_anneal, context="anneal")
+
+    cache = global_cache("search")
+    speedup = t_ref / t_fast
+    tbl = Table(
+        "C18: search engine — reference vs fast (stencil 32x3, 3 FoMs + anneal)",
+        ["path", "wall time s", "speedup", "memo hit rate"],
+    )
+    tbl.add_row("reference", round(t_ref, 3), 1.0, "-")
+    tbl.add_row(
+        "fast (memo+incremental)",
+        round(t_fast, 3),
+        round(speedup, 2),
+        f"{cache.stats.hit_rate:.1%}",
+    )
+    record_table("c18_engine", tbl)
+    assert cache.stats.hits > 0, "the campaign must actually reuse work"
+    assert speedup >= 3.0, f"fast engine only {speedup:.2f}x over reference"
+
+
+def test_bench_parallel_driver_is_deterministic(benchmark, record_table):
+    """The multiprocessing fan-out returns byte-identical results to the
+    serial sweep — merging is by (FoM, label), never arrival order."""
+    g = stencil_graph(24, 2)
+
+    def measure():
+        clear_global_caches()
+        ref = sweep_placements(g, GRID)
+        par = sweep_placements(
+            g, GRID, engine=SearchEngine(parallel=True, n_workers=2)
+        )
+        return ref, par
+
+    ref, par = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert_search_equivalent(par, ref, context="parallel sweep")
+    tbl = Table(
+        "C18b: parallel sweep determinism (stencil 24x2, 2 workers)",
+        ["path", "candidates", "best", "best FoM"],
+    )
+    tbl.add_row("serial reference", len(ref), ref[0].label, ref[0].fom)
+    tbl.add_row("2-worker pool", len(par), par[0].label, par[0].fom)
+    record_table("c18_parallel", tbl)

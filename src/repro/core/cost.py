@@ -37,9 +37,32 @@ import numpy as np
 from repro.core.function import DataflowGraph, OP_ENERGY_FACTOR
 from repro.core.legality import LivenessSummary, compute_liveness
 from repro.core.mapping import GridSpec, Mapping
+from repro.core.memo import MemoCache, global_cache
 from repro.obs import active as _obs_active
 
-__all__ = ["CostReport", "evaluate_cost"]
+__all__ = [
+    "CostReport",
+    "evaluate_cost",
+    "evaluate_cost_cached",
+    "weighted_product_fom",
+    "IncrementalEdgeEnergy",
+]
+
+
+def weighted_product_fom(
+    cycles: float,
+    energy: float,
+    footprint: float,
+    time_weight: float,
+    energy_weight: float,
+    footprint_weight: float,
+) -> float:
+    """The weighted-product figure of merit, shared by the full and the
+    incremental scoring paths so both produce bit-identical floats."""
+    t = max(1.0, float(cycles))
+    e = max(1.0, energy)
+    f = max(1.0, float(footprint))
+    return (t ** time_weight) * (e ** energy_weight) * (f ** footprint_weight)
 
 
 @dataclass
@@ -97,10 +120,14 @@ class CostReport:
         zero metric, matching the paper's "execution time, energy per op,
         memory footprint, or some combination".
         """
-        t = max(1.0, float(self.cycles))
-        e = max(1.0, self.energy_total_fj)
-        f = max(1.0, float(self.footprint_words))
-        return (t ** time_weight) * (e ** energy_weight) * (f ** footprint_weight)
+        return weighted_product_fom(
+            self.cycles,
+            self.energy_total_fj,
+            self.footprint_words,
+            time_weight,
+            energy_weight,
+            footprint_weight,
+        )
 
     @property
     def edp(self) -> float:
@@ -206,3 +233,152 @@ def evaluate_cost(
         n_edges=n_edges,
         places_used=len(mapping.places_used()),
     )
+
+
+def evaluate_cost_cached(
+    graph: DataflowGraph,
+    mapping: Mapping,
+    grid: GridSpec,
+    cache: MemoCache | None = None,
+) -> CostReport:
+    """Content-addressed :func:`evaluate_cost`.
+
+    The key is (function hash, mapping digest, machine spec) — see
+    :meth:`DataflowGraph.fingerprint`, :meth:`Mapping.fingerprint`,
+    :meth:`GridSpec.cache_key`.  A hit returns the previously computed
+    :class:`CostReport` (treat reports as immutable); a miss evaluates and
+    populates.  Hit/miss counters land in the active obs session as
+    ``memo.*{cache=cost}`` when :meth:`MemoCache.publish_metrics` is called
+    (the searchers do this once per search).
+    """
+    cache = cache if cache is not None else global_cache("cost")
+    key = (graph.fingerprint(), mapping.fingerprint(), grid.cache_key())
+    return cache.get_or_compute(
+        key, lambda: evaluate_cost(graph, mapping, grid)
+    )
+
+
+class IncrementalEdgeEnergy:
+    """Exact incremental transport-energy accounting for single-node moves.
+
+    The transport energy of an edge depends only on its endpoints' places
+    (and off-chip flags), so relocating one node invalidates only the edges
+    incident to it.  This class keeps one (class, value) term per dataflow
+    edge — in :meth:`DataflowGraph.edges` order — and recomputes just the
+    incident terms on :meth:`move`.
+
+    **Bit-identity.**  :meth:`totals` re-sums the per-edge terms into the
+    local/on-chip/off-chip accumulators *in edge order with one sequential
+    accumulation per class* — the exact float operations
+    :func:`evaluate_cost` performs — so a search driven by these numbers
+    makes byte-for-byte the same decisions as one driven by the reference
+    path.  The re-sum is O(edges) but does no distance or energy math, which
+    is where the reference loop spends its time.  Verified by the anneal
+    differential tests and the hypothesis delta-consistency property.
+
+    The node-to-place rule mirrors the annealer's scheduling convention:
+    inputs live off-chip, any other node not in ``placement`` sits at
+    (0, 0).
+    """
+
+    _OFFCHIP, _LOCAL, _ONCHIP = 0, 1, 2
+
+    def __init__(self, graph: DataflowGraph, grid: GridSpec) -> None:
+        self.graph = graph
+        self.grid = grid
+        tech = grid.tech
+        self._pitch = tech.grid_pitch_mm
+        self._wire = tech.wire_energy_fj_per_bit_mm
+        self._bits = tech.word_bits
+        self._sram_word = tech.sram_energy_word_fj()
+        self._offchip_word = tech.offchip_energy_word_fj()
+        self._is_input = [op == "input" for op in graph.ops]
+        # edges in evaluate_cost's iteration order
+        self._edges: list[tuple[int, int]] = list(graph.edges())
+        self._incident: dict[int, list[int]] = {}
+        for eid, (u, v) in enumerate(self._edges):
+            self._incident.setdefault(u, []).append(eid)
+            self._incident.setdefault(v, []).append(eid)
+        self._cls: list[int] = [0] * len(self._edges)
+        self._val: list[float] = [0.0] * len(self._edges)
+        self._places: dict[int, tuple[int, int]] = {}
+
+        # compute energy is placement-independent: accumulate it once, in
+        # evaluate_cost's node order, so the float is identical.
+        add_word = tech.add_energy_word_fj()
+        energy_compute = 0.0
+        n_compute = 0
+        for nid in range(graph.n_nodes):
+            op = graph.ops[nid]
+            if op in ("input", "const"):
+                continue
+            n_compute += 1
+            energy_compute += OP_ENERGY_FACTOR.get(op, 1.0) * add_word
+        self.energy_compute_fj = energy_compute
+        self.n_compute = n_compute
+
+    # ------------------------------------------------------------------ #
+
+    def _place_of(self, nid: int) -> tuple[int, int]:
+        return self._places.get(nid, (0, 0))
+
+    def _edge_term(self, u: int, v: int) -> tuple[int, float]:
+        if self._is_input[u] or self._is_input[v]:
+            return self._OFFCHIP, self._offchip_word
+        ux, uy = self._place_of(u)
+        vx, vy = self._place_of(v)
+        dist = (abs(ux - vx) + abs(uy - vy)) * self._pitch
+        if dist == 0:
+            return self._LOCAL, self._sram_word
+        return self._ONCHIP, self._wire * dist * self._bits
+
+    def set_placement(self, placement: dict[int, tuple[int, int]]) -> None:
+        """Full recompute: adopt ``placement`` and re-derive every term."""
+        self._places = dict(placement)
+        for eid, (u, v) in enumerate(self._edges):
+            self._cls[eid], self._val[eid] = self._edge_term(u, v)
+
+    def move(self, nid: int, place: tuple[int, int]) -> list[tuple[int, int, float]]:
+        """Relocate one node; recompute only its incident edge terms.
+
+        Returns an undo token for :meth:`unmove` (the annealer rejects most
+        uphill moves, so cheap rollback matters as much as cheap apply).
+        """
+        undo: list[tuple[int, int, float]] = [
+            (-1, 0, 0.0)  # sentinel replaced below; keeps tuple shape uniform
+        ]
+        old_place = self._places.get(nid, (0, 0))
+        undo[0] = (nid, old_place[0], float(old_place[1]))
+        self._places[nid] = place
+        for eid in self._incident.get(nid, ()):
+            u, v = self._edges[eid]
+            undo.append((eid, self._cls[eid], self._val[eid]))
+            self._cls[eid], self._val[eid] = self._edge_term(u, v)
+        return undo
+
+    def unmove(self, undo: list[tuple[int, int, float]]) -> None:
+        """Roll back one :meth:`move` using its undo token."""
+        nid, ox, oy = undo[0]
+        self._places[nid] = (int(ox), int(oy))
+        for eid, cls, val in undo[1:]:
+            self._cls[eid] = cls
+            self._val[eid] = val
+
+    def totals(self) -> tuple[float, float, float]:
+        """(local, onchip, offchip) energy — the reference accumulation."""
+        local = onchip = offchip = 0.0
+        off_c, loc_c = self._OFFCHIP, self._LOCAL
+        for cls, val in zip(self._cls, self._val):
+            if cls == loc_c:
+                local += val
+            elif cls == off_c:
+                offchip += val
+            else:
+                onchip += val
+        return local, onchip, offchip
+
+    def energy_total_fj(self) -> float:
+        """Total energy, accumulated in :attr:`CostReport.energy_total_fj`
+        property order (compute + local + onchip + offchip)."""
+        local, onchip, offchip = self.totals()
+        return self.energy_compute_fj + local + onchip + offchip

@@ -35,7 +35,13 @@ import numpy as np
 from repro.core.function import DataflowGraph
 from repro.core.mapping import GridSpec, Mapping
 
-__all__ = ["default_mapping", "schedule_asap", "serial_mapping", "block_place_fn"]
+__all__ = [
+    "default_mapping",
+    "schedule_asap",
+    "schedule_asap_fast",
+    "serial_mapping",
+    "block_place_fn",
+]
 
 
 def block_place_fn(
@@ -132,6 +138,98 @@ def schedule_asap(
                 earliest = arrive
         t = claim(p, earliest)
         mapping.set(nid, p, t)
+    return mapping
+
+
+def schedule_asap_fast(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    place_of: Callable[[int], tuple[int, int]],
+    *,
+    inputs_offchip: bool = True,
+    input_port: tuple[int, int] = (0, 0),
+) -> Mapping:
+    """Drop-in twin of :func:`schedule_asap` that produces the *identical*
+    mapping (same integer times, same places) several times faster.
+
+    Same algorithm — ASAP list scheduling with the union-find occupancy
+    claim — but the inner loop works on plain Python lists instead of
+    per-element numpy scalar indexing, and transit cycles are memoized by
+    Manhattan distance (``transit_cycles`` is a pure function of it).
+    All arithmetic is integer, so equality with the reference is exact, not
+    approximate; the property suite checks the two schedulers node-for-node
+    on random graphs, and the search differential tests cross-check every
+    engine result built on top of this.
+
+    This is the scheduler the fast search engine uses per candidate; the
+    reference engine keeps calling :func:`schedule_asap` so differential
+    runs exercise genuinely independent code paths.
+    """
+    n = graph.n_nodes
+    mapping = Mapping(n)
+    if n == 0:
+        return mapping
+    ops = graph.ops
+    args = graph.args
+    xs = [0] * n
+    ys = [0] * n
+    ts = [0] * n
+    off = [False] * n
+    avail = [0] * n  # time at which each node's value exists
+    next_free: dict[tuple[int, int], dict[int, int]] = {}
+    transit_by_dist: dict[int, int] = {0: 0}
+    offchip_cyc = grid.tech.offchip_cycles()
+    in_x, in_y = input_port
+
+    for nid in range(n):
+        op = ops[nid]
+        if op == "input":
+            if inputs_offchip:
+                xs[nid], ys[nid] = in_x, in_y
+                off[nid] = True
+            else:
+                xs[nid], ys[nid] = place_of(nid)
+            continue
+        if op == "const":
+            xs[nid], ys[nid] = place_of(nid)
+            continue
+
+        p = place_of(nid)
+        x, y = p
+        if not grid.in_bounds(x, y):
+            raise ValueError(f"placement put node {nid} at {p}, off-grid")
+        earliest = 0
+        for u in args[nid]:
+            if off[u]:
+                arrive = avail[u] + offchip_cyc
+            else:
+                d = abs(xs[u] - x) + abs(ys[u] - y)
+                transit = transit_by_dist.get(d)
+                if transit is None:
+                    transit = grid.transit_cycles((xs[u], ys[u]), p)
+                    transit_by_dist[d] = transit
+                arrive = avail[u] + transit
+            if arrive > earliest:
+                earliest = arrive
+        # first free cycle >= earliest at p (path-compressed union-find,
+        # exactly as schedule_asap's claim())
+        parent = next_free.setdefault(p, {})
+        root = earliest
+        path = []
+        while root in parent:
+            path.append(root)
+            root = parent[root]
+        for s in path:
+            parent[s] = root
+        parent[root] = root + 1
+        xs[nid], ys[nid] = x, y
+        ts[nid] = root
+        avail[nid] = root + 1
+
+    mapping.x[:] = xs
+    mapping.y[:] = ys
+    mapping.time[:] = ts
+    mapping.offchip[:] = off
     return mapping
 
 

@@ -116,6 +116,7 @@ class DataflowGraph:
         self.outputs: dict[Any, int] = {}      # label -> node id
         self._consumers_dirty = True
         self._consumers: list[list[int]] | None = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -142,6 +143,7 @@ class DataflowGraph:
         self.index.append(index)
         self.group.append(group)
         self._consumers_dirty = True
+        self._fingerprint = None
         return nid
 
     def input(
@@ -182,6 +184,7 @@ class DataflowGraph:
         if label in self.outputs:
             raise FunctionError(f"duplicate output label {label!r}")
         self.outputs[label] = node
+        self._fingerprint = None
 
     # ------------------------------------------------------------------ #
     # structure
@@ -200,6 +203,37 @@ class DataflowGraph:
 
     def input_nodes(self) -> list[int]:
         return [i for i in range(self.n_nodes) if self.ops[i] == "input"]
+
+    def fingerprint(self) -> str:
+        """Content address of the whole graph (ops, operands, payloads,
+        indices, groups, outputs) — the "function hash" half of the search
+        memoization key.
+
+        Cached and invalidated on mutation, so repeated searcher calls pay
+        one hash per *distinct* graph state, not per cost evaluation.
+        Payloads are hashed through ``repr``; the construction API only
+        admits const values and ``(name, index)`` input keys, for which
+        ``repr`` equality tracks value equality.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            for nid in range(self.n_nodes):
+                h.update(
+                    repr(
+                        (
+                            self.ops[nid],
+                            self.args[nid],
+                            self.payload[nid],
+                            self.index[nid],
+                            self.group[nid],
+                        )
+                    ).encode()
+                )
+            h.update(repr(sorted(self.outputs.items(), key=repr)).encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def consumers(self) -> list[list[int]]:
         """Node -> list of nodes that read it (cached)."""

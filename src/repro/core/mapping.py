@@ -86,6 +86,13 @@ class GridSpec:
     def transit_cycles(self, p: tuple[int, int], q: tuple[int, int]) -> int:
         return self.tech.transport_cycles(self.distance_mm(p, q))
 
+    def cache_key(self) -> tuple:
+        """Hashable content key: the machine-spec third of the search
+        memoization key.  ``GridSpec`` and ``Technology`` are both frozen
+        dataclasses, so field equality is content equality."""
+        return (self.width, self.height, self.tech,
+                self.pe_memory_words, self.max_in_flight)
+
 
 class Mapping:
     """Space-time assignment for every node of a graph.
@@ -127,6 +134,24 @@ class Mapping:
         m.time[:] = self.time
         m.offchip[:] = self.offchip
         return m
+
+    def fingerprint(self) -> str:
+        """Content address over every array (places, times, offchip flags).
+
+        Any change to any node's space-time assignment changes the digest,
+        which is what makes memoized cost results safe: a mutated mapping
+        can never alias a stale cache entry (property-tested in
+        ``tests/properties/test_prop_memo.py``).
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(self.n_nodes.to_bytes(8, "little"))
+        h.update(np.ascontiguousarray(self.x).tobytes())
+        h.update(np.ascontiguousarray(self.y).tobytes())
+        h.update(np.ascontiguousarray(self.time).tobytes())
+        h.update(np.packbits(self.offchip).tobytes())
+        return h.hexdigest()
 
     def places_used(self) -> set[tuple[int, int]]:
         """Distinct on-chip places touched by the mapping."""

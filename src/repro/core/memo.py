@@ -1,0 +1,178 @@
+"""Content-addressed memoization for the search hot path.
+
+The F&M searchers (:mod:`repro.core.search`) evaluate the same
+(function, placement, machine) triple over and over: multi-FoM sweeps
+re-cost identical mappings once per figure of merit, annealers oscillate
+through previously visited placements, and differential test harnesses
+score the same candidates along both the fast and the reference path.
+:class:`MemoCache` makes every repeat a dictionary lookup.
+
+Keys are *content addresses*: callers hash the actual inputs
+(:meth:`~repro.core.function.DataflowGraph.fingerprint`,
+:meth:`~repro.core.mapping.Mapping.fingerprint`,
+:meth:`~repro.core.mapping.GridSpec.cache_key`) rather than object
+identities, so two structurally identical graphs built independently share
+entries, and a mutated mapping can never alias a stale result.  Soundness
+(equal key implies equal value) is property-tested in
+``tests/properties/test_prop_memo.py``.
+
+Hit/miss/eviction counts are kept locally (:attr:`MemoCache.stats`) and
+published to the PR-1 observability layer when a session is open, as
+``memo.hits{cache=<name>}`` / ``memo.misses{cache=<name>}`` counters plus a
+``memo.hit_rate{cache=<name>}`` gauge — the bench tables and the obs diff
+tool read them to prove the fast path is actually hitting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.obs import active as _obs_active
+
+__all__ = ["MemoCache", "MemoStats", "fingerprint_bytes", "global_cache", "clear_global_caches"]
+
+
+def fingerprint_bytes(*chunks: bytes) -> str:
+    """SHA-256 content address of a sequence of byte chunks."""
+    h = hashlib.sha256()
+    for c in chunks:
+        h.update(len(c).to_bytes(8, "little"))
+        h.update(c)
+    return h.hexdigest()
+
+
+@dataclass
+class MemoStats:
+    """Counters for one cache (mirrors the shape of ``CacheStats``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class MemoCache:
+    """A bounded LRU map from content-address keys to computed values.
+
+    Parameters
+    ----------
+    name:
+        Label used in obs series (``memo.hits{cache=<name>}``) and reports.
+    max_entries:
+        LRU bound; ``None`` means unbounded.  Entries are whole computed
+        results (e.g. a ``(Mapping, CostReport)`` pair), so a few tens of
+        thousands is plenty for any search this package runs.
+    """
+
+    def __init__(self, name: str = "memo", max_entries: int | None = 65_536) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive or None")
+        self.name = name
+        self.max_entries = max_entries
+        self.stats = MemoStats()
+        self._published = MemoStats()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or miss; refreshes recency."""
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting LRU past ``max_entries``."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """``get`` with a compute-on-miss fallback that populates the cache."""
+        sentinel = _MISS
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+
+    def publish_metrics(self) -> None:
+        """Add counter *deltas* since the last publish to the active obs
+        session (delta-based like the cachesim publishers, so repeated
+        publishes never double count)."""
+        sess = _obs_active()
+        if sess is None:
+            return
+        cur, last = self.stats, self._published
+        m = sess.metrics
+        if cur.hits - last.hits:
+            m.counter("memo.hits", better="higher", cache=self.name).add(
+                cur.hits - last.hits
+            )
+        if cur.misses - last.misses:
+            m.counter("memo.misses", cache=self.name).add(cur.misses - last.misses)
+        if cur.evictions - last.evictions:
+            m.counter("memo.evictions", cache=self.name).add(
+                cur.evictions - last.evictions
+            )
+        m.gauge("memo.hit_rate", better="higher", cache=self.name).set(cur.hit_rate)
+        self._published = MemoStats(cur.hits, cur.misses, cur.evictions)
+
+
+_MISS = object()
+
+# ---------------------------------------------------------------------- #
+# process-global named caches.  The search engine defaults to these so a
+# bench that sweeps the same workload under three figures of merit shares
+# one cache without threading it through every call site.
+
+_GLOBAL: dict[str, MemoCache] = {}
+
+
+def global_cache(name: str, max_entries: int | None = 65_536) -> MemoCache:
+    """The process-global cache registered under ``name`` (created lazily)."""
+    cache = _GLOBAL.get(name)
+    if cache is None:
+        cache = _GLOBAL[name] = MemoCache(name, max_entries)
+    return cache
+
+
+def clear_global_caches() -> None:
+    """Drop all entries (and stats) of every global cache — for tests and
+    for benches that must measure cold-start behaviour."""
+    for cache in _GLOBAL.values():
+        cache.clear()
+        cache.stats = MemoStats()
+        cache._published = MemoStats()

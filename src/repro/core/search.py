@@ -21,27 +21,55 @@ Three searchers, in increasing ambition:
     re-scheduled ASAP each step.  Finds irregular mappings the structured
     sweep can't express.
 
-All return :class:`SearchResult` rows; :func:`pareto_front` lives in
-:mod:`repro.analysis.pareto` and consumes them directly.
+Every searcher takes an optional :class:`SearchEngine` selecting between
+the **reference** path (the simple, auditable implementation above) and
+the **fast** path: content-addressed memoization of cost evaluations
+(:mod:`repro.core.memo`), incremental per-edge re-scoring of annealing
+moves (:class:`repro.core.cost.IncrementalEdgeEnergy`), and a
+``multiprocessing`` fan-out for the sweep and the exhaustive enumeration.
+The two paths are required to produce *identical* results — same best
+mapping, same :class:`CostReport` floats — and ``repro.testing`` ships the
+differential oracle (:func:`repro.testing.assert_search_equivalent`) that
+enforces it over every seed workload.  Ties on the figure of merit are
+broken by candidate label (sweep) or placement assignment (exhaustive),
+never by evaluation or arrival order, so serial and parallel runs agree.
+
+All searchers return :class:`SearchResult` rows; :func:`pareto_front`
+lives in :mod:`repro.analysis.pareto` and consumes them directly.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.core.cost import CostReport, evaluate_cost
-from repro.core.default_mapper import schedule_asap, serial_mapping
-from repro.core.function import DataflowGraph
+from repro.core.cost import (
+    CostReport,
+    IncrementalEdgeEnergy,
+    evaluate_cost,
+    weighted_product_fom,
+)
+from repro.core.default_mapper import (
+    schedule_asap,
+    schedule_asap_fast,
+    serial_mapping,
+)
+from repro.core.function import OP_ENERGY_FACTOR, DataflowGraph
 from repro.core.mapping import GridSpec, Mapping
+from repro.core.memo import MemoCache, global_cache
 from repro.obs import Session, active as _obs_active
 
 __all__ = [
     "SearchResult",
     "FigureOfMerit",
+    "SearchEngine",
+    "REFERENCE_ENGINE",
+    "FAST_ENGINE",
     "sweep_placements",
     "exhaustive_search",
     "anneal",
@@ -58,6 +86,12 @@ class FigureOfMerit:
 
     def __call__(self, cost: CostReport) -> float:
         return cost.figure_of_merit(self.time, self.energy, self.footprint)
+
+    def score(self, cycles: float, energy_total: float, footprint: float) -> float:
+        """FoM from raw metrics — same float path as :meth:`__call__`."""
+        return weighted_product_fom(
+            cycles, energy_total, footprint, self.time, self.energy, self.footprint
+        )
 
     @staticmethod
     def fastest() -> "FigureOfMerit":
@@ -91,6 +125,66 @@ class SearchResult:
         )
 
 
+@dataclass(frozen=True)
+class SearchEngine:
+    """Execution strategy for the searchers.
+
+    ``REFERENCE_ENGINE`` (all knobs off) is the plain path every other
+    configuration is differentially tested against.  ``FAST_ENGINE`` turns
+    everything on.  The knobs are independent:
+
+    memoize
+        Content-addressed caching of (schedule + cost) per candidate
+        placement, keyed on (function hash, placement, machine spec).
+        Multi-FoM sweeps and annealing revisits become lookups.
+    incremental
+        Annealing moves re-score only the edges incident to the moved node
+        (exact — see :class:`IncrementalEdgeEnergy`) and skip the liveness
+        sweep whenever the FoM's footprint weight is zero, recovering the
+        full report only for the returned winner.
+    parallel
+        Fan ``sweep_placements`` / ``exhaustive_search`` candidates out to
+        a ``multiprocessing`` pool.  Merging is deterministic: results are
+        combined by (FoM, label/assignment), never by arrival order.
+    n_workers
+        Pool size; ``None`` means ``os.cpu_count()``.  A resolved size of
+        one runs inline (no pool overhead).
+    cache
+        The :class:`MemoCache` to use; ``None`` means the process-global
+        ``search`` cache, shared across calls on purpose.
+    """
+
+    memoize: bool = False
+    incremental: bool = False
+    parallel: bool = False
+    n_workers: int | None = None
+    cache: MemoCache | None = field(default=None, compare=False)
+
+    @staticmethod
+    def reference() -> "SearchEngine":
+        return REFERENCE_ENGINE
+
+    @staticmethod
+    def fast(n_workers: int | None = None) -> "SearchEngine":
+        return SearchEngine(
+            memoize=True, incremental=True, parallel=True, n_workers=n_workers
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def resolved_cache(self) -> MemoCache:
+        return self.cache if self.cache is not None else global_cache("search")
+
+    def resolved_workers(self) -> int:
+        if self.n_workers is not None:
+            return max(1, self.n_workers)
+        return os.cpu_count() or 1
+
+
+REFERENCE_ENGINE = SearchEngine()
+FAST_ENGINE = SearchEngine(memoize=True, incremental=True, parallel=True)
+
+
 def _linear_place(grid: GridSpec, k: int) -> tuple[int, int]:
     return (k % grid.width, k // grid.width)
 
@@ -101,6 +195,11 @@ def _record_candidate(sess: Session | None, result: SearchResult) -> None:
         return
     sess.metrics.counter("search.candidates").inc()
     sess.metrics.histogram("search.candidate_fom").observe(result.fom)
+
+
+def _publish_engine_metrics(engine: SearchEngine | None) -> None:
+    if engine is not None and engine.memoize:
+        engine.resolved_cache().publish_metrics()
 
 
 def _owner_place_fn(
@@ -158,32 +257,170 @@ def _grid2d_place_fn(
     return place
 
 
+# ---------------------------------------------------------------------- #
+# candidate descriptors: picklable specs for the sweep's placements, so
+# the parallel driver can rebuild the place functions inside workers.
+
+_Spec = tuple[Any, ...]
+
+
+def _sweep_specs(graph: DataflowGraph, grid: GridSpec) -> list[tuple[str, _Spec]]:
+    """(label, spec) for every placement the structured sweep evaluates."""
+    specs: list[tuple[str, _Spec]] = [("serial", ("serial",))]
+    if _grid2d_place_fn(graph, grid) is not None:
+        specs.append(("block-2d", ("2d",)))
+    p = 2
+    while p <= grid.n_places:
+        for cyclic in (False, True):
+            label = f"{'cyclic' if cyclic else 'block'}-p{p}"
+            specs.append((label, ("owner", p, cyclic)))
+        p *= 2
+    # odd grid sizes: also try using every place
+    if grid.n_places not in {1 << k for k in range(32)}:
+        for cyclic in (False, True):
+            label = f"{'cyclic' if cyclic else 'block'}-p{grid.n_places}"
+            specs.append((label, ("owner", grid.n_places, cyclic)))
+    return specs
+
+
+def _spec_place_fn(
+    graph: DataflowGraph, grid: GridSpec, spec: _Spec
+) -> Callable[[int], tuple[int, int]]:
+    if spec[0] == "serial":
+        return lambda _nid: (0, 0)
+    if spec[0] == "2d":
+        place = _grid2d_place_fn(graph, grid)
+        assert place is not None, "2d spec emitted for a graph without 2-D indices"
+        return place
+    _kind, p, cyclic = spec
+    return _owner_place_fn(graph, grid, p, cyclic)
+
+
+def _places_signature(graph: DataflowGraph, place_of: Callable[[int], tuple[int, int]]) -> bytes:
+    """Content signature of a whole-graph placement (the mapping half of
+    the memo key, before scheduling)."""
+    flat: list[int] = []
+    for nid in range(graph.n_nodes):
+        x, y = place_of(nid)
+        flat.append(int(x))
+        flat.append(int(y))
+    return np.asarray(flat, dtype=np.int64).tobytes()
+
+
+# ---------------------------------------------------------------------- #
+# multiprocessing workers (top-level, so payloads pickle under any start
+# method).  OP_ENERGY_FACTOR entries registered by algorithm modules (e.g.
+# the edit-distance cell ops) are shipped along and re-applied, so spawn
+# workers charge the same energies as the parent.
+
+
+def _sweep_worker(
+    payload: tuple[DataflowGraph, GridSpec, list[tuple[str, _Spec]], dict[str, float]],
+) -> list[tuple[str, Mapping, CostReport]]:
+    graph, grid, specs, op_energy = payload
+    OP_ENERGY_FACTOR.update(op_energy)
+    out = []
+    for label, spec in specs:
+        place = _spec_place_fn(graph, grid, spec)
+        m = schedule_asap(graph, grid, place)
+        c = evaluate_cost(graph, m, grid)
+        out.append((label, m, c))
+    return out
+
+
+def _decode_assignment(lin: int, n_digits: int, base: int) -> list[int]:
+    digits = []
+    for _ in range(n_digits):
+        digits.append(lin % base)
+        lin //= base
+    return digits
+
+
+def _exhaustive_chunk_best(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    fom: "FigureOfMerit",
+    compute: list[int],
+    start: int,
+    stop: int,
+) -> tuple[float, tuple[int, ...], Mapping, CostReport, int]:
+    """Best point of the linearised assignment range [start, stop).
+
+    Selection is ``min((fom, assignment))`` — a total order independent of
+    enumeration order, which is what makes chunked/parallel enumeration
+    merge deterministically (and exactly match the serial reference).
+    """
+    assignment = _decode_assignment(start, len(compute), grid.n_places)
+    best: tuple[float, tuple[int, ...], Mapping, CostReport] | None = None
+    evaluated = 0
+    for _lin in range(start, stop):
+        node_place = {
+            nid: _linear_place(grid, assignment[k]) for k, nid in enumerate(compute)
+        }
+        m = schedule_asap(graph, grid, lambda nid: node_place.get(nid, (0, 0)))
+        c = evaluate_cost(graph, m, grid)
+        f = fom(c)
+        evaluated += 1
+        key = (f, tuple(assignment))
+        if best is None or key < (best[0], best[1]):
+            best = (f, tuple(assignment), m, c)
+        k = 0
+        while k < len(assignment):
+            assignment[k] += 1
+            if assignment[k] < grid.n_places:
+                break
+            assignment[k] = 0
+            k += 1
+    assert best is not None
+    return (*best, evaluated)
+
+
+def _exhaustive_worker(
+    payload: tuple[
+        DataflowGraph, GridSpec, "FigureOfMerit", list[int], int, int, dict[str, float]
+    ],
+) -> tuple[float, tuple[int, ...], Mapping, CostReport, int]:
+    graph, grid, fom, compute, start, stop, op_energy = payload
+    OP_ENERGY_FACTOR.update(op_energy)
+    return _exhaustive_chunk_best(graph, grid, fom, compute, start, stop)
+
+
+def _pool_map(worker: Callable[[Any], Any], payloads: list[Any], n_workers: int) -> list[Any]:
+    """Ordered pool map (order, not arrival, determines merge order)."""
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(processes=min(n_workers, len(payloads))) as pool:
+        return pool.map(worker, payloads)
+
+
+def _chunked(items: Sequence[Any], n_chunks: int) -> list[list[Any]]:
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size = -(-len(items) // n_chunks)
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+# ---------------------------------------------------------------------- #
+# the sweep
+
+
 def sweep_placements(
     graph: DataflowGraph,
     grid: GridSpec,
     fom: FigureOfMerit | None = None,
+    engine: SearchEngine | None = None,
 ) -> list[SearchResult]:
     """Evaluate serial + block/cyclic placements for p = 1, 2, 4, ...,
     plus a 2-D block placement when the graph carries 2-D indices and the
     grid has rows to use.
 
-    Returns all evaluated points sorted by FoM (best first).
+    Returns all evaluated points sorted by (FoM, label), best first — the
+    label tie-break keeps the ordering deterministic when two placements
+    cost exactly the same.  ``engine`` selects the reference or the fast
+    (memoized / parallel) evaluation path; both produce identical rows.
     """
     fom = fom or FigureOfMerit.fastest()
     sess = _obs_active()
+    specs = _sweep_specs(graph, grid)
     results: list[SearchResult] = []
-
-    def evaluate_point(label: str, m: Mapping) -> None:
-        if sess is None:
-            c = evaluate_cost(graph, m, grid)
-            r = SearchResult(label, m, c, fom(c))
-        else:
-            with sess.span("search.candidate", cat="search", label=label) as span:
-                c = evaluate_cost(graph, m, grid)
-                r = SearchResult(label, m, c, fom(c))
-                span.set_cycles(c.cycles).set(fom=r.fom)
-            _record_candidate(sess, r)
-        results.append(r)
 
     sweep_span = (
         sess.span("search.sweep", cat="search", places=grid.n_places)
@@ -191,31 +428,94 @@ def sweep_placements(
         else None
     )
     try:
-        evaluate_point("serial", serial_mapping(graph, grid))
-
-        place2d = _grid2d_place_fn(graph, grid)
-        if place2d is not None:
-            evaluate_point("block-2d", schedule_asap(graph, grid, place2d))
-
-        p = 2
-        while p <= grid.n_places:
-            for cyclic in (False, True):
-                place = _owner_place_fn(graph, grid, p, cyclic)
-                label = f"{'cyclic' if cyclic else 'block'}-p{p}"
-                evaluate_point(label, schedule_asap(graph, grid, place))
-            p *= 2
-        # odd grid sizes: also try using every place
-        if grid.n_places not in {1 << k for k in range(32)}:
-            for cyclic in (False, True):
-                place = _owner_place_fn(graph, grid, grid.n_places, cyclic)
-                label = f"{'cyclic' if cyclic else 'block'}-p{grid.n_places}"
-                evaluate_point(label, schedule_asap(graph, grid, place))
+        if engine is None or not (engine.memoize or engine.parallel):
+            for label, spec in specs:
+                place = _spec_place_fn(graph, grid, spec)
+                m = schedule_asap(graph, grid, place)
+                if sess is None:
+                    c = evaluate_cost(graph, m, grid)
+                    r = SearchResult(label, m, c, fom(c))
+                else:
+                    with sess.span(
+                        "search.candidate", cat="search", label=label
+                    ) as span:
+                        c = evaluate_cost(graph, m, grid)
+                        r = SearchResult(label, m, c, fom(c))
+                        span.set_cycles(c.cycles).set(fom=r.fom)
+                    _record_candidate(sess, r)
+                results.append(r)
+        else:
+            results = _sweep_engine(graph, grid, fom, engine, specs, sess)
     finally:
         if sweep_span is not None:
             sweep_span.set(candidates=len(results))
             sweep_span.__exit__()
-    results.sort(key=lambda r: r.fom)
+    results.sort(key=lambda r: (r.fom, r.label))
     return results
+
+
+def _sweep_engine(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    fom: FigureOfMerit,
+    engine: SearchEngine,
+    specs: list[tuple[str, _Spec]],
+    sess: Session | None,
+) -> list[SearchResult]:
+    """Memoized / parallel sweep evaluation (identical results to the
+    reference loop; scheduling via the fast exact scheduler)."""
+    cache = engine.resolved_cache()
+    gfp = graph.fingerprint()
+    gkey = grid.cache_key()
+    results: list[SearchResult] = []
+    pending: list[tuple[str, _Spec, Any]] = []  # (label, spec, memo key)
+
+    for label, spec in specs:
+        key = None
+        if engine.memoize:
+            place = _spec_place_fn(graph, grid, spec)
+            key = ("sweep", gfp, gkey, _places_signature(graph, place))
+            hit = cache.get(key)
+            if hit is not None:
+                m, c = hit
+                r = SearchResult(label, m, c, fom(c))
+                _record_candidate(sess, r)
+                results.append(r)
+                continue
+        pending.append((label, spec, key))
+
+    n_workers = engine.resolved_workers()
+    if engine.parallel and n_workers > 1 and len(pending) > 1:
+        op_energy = dict(OP_ENERGY_FACTOR)
+        chunks = _chunked([(label, spec) for label, spec, _k in pending], n_workers)
+        payloads = [(graph, grid, chunk, op_energy) for chunk in chunks]
+        evaluated = [
+            row for rows in _pool_map(_sweep_worker, payloads, n_workers) for row in rows
+        ]
+        by_label = {label: (m, c) for label, m, c in evaluated}
+        for label, _spec, key in pending:
+            m, c = by_label[label]
+            if key is not None:
+                cache.put(key, (m, c))
+            r = SearchResult(label, m, c, fom(c))
+            _record_candidate(sess, r)
+            results.append(r)
+    else:
+        for label, spec, key in pending:
+            place = _spec_place_fn(graph, grid, spec)
+            m = schedule_asap_fast(graph, grid, place)
+            c = evaluate_cost(graph, m, grid)
+            if key is not None:
+                cache.put(key, (m, c))
+            r = SearchResult(label, m, c, fom(c))
+            _record_candidate(sess, r)
+            results.append(r)
+    _publish_engine_metrics(engine)
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# exhaustive ground truth
 
 
 def exhaustive_search(
@@ -223,11 +523,17 @@ def exhaustive_search(
     grid: GridSpec,
     fom: FigureOfMerit | None = None,
     max_points: int = 200_000,
+    engine: SearchEngine | None = None,
 ) -> SearchResult:
     """Ground-truth search: every placement of every compute node.
 
     Refuses (ValueError) when the space exceeds ``max_points`` — this is a
     validation tool for tiny graphs, not a practical mapper.
+
+    Equal-FoM ties are broken by the lexicographically smallest placement
+    assignment (*not* by enumeration order), so the winner is a property of
+    the space itself: serial, chunked, and parallel enumerations all elect
+    the same mapping.
     """
     fom = fom or FigureOfMerit.fastest()
     compute = graph.compute_nodes()
@@ -245,32 +551,26 @@ def exhaustive_search(
         if sess is not None
         else None
     )
-    evaluated = 0
-    best: SearchResult | None = None
-    assignment = [0] * len(compute)
-    while True:
-        node_place = {
-            nid: _linear_place(grid, assignment[k]) for k, nid in enumerate(compute)
-        }
-        m = schedule_asap(graph, grid, lambda nid: node_place.get(nid, (0, 0)))
-        c = evaluate_cost(graph, m, grid)
-        f = fom(c)
-        evaluated += 1
-        if best is None or f < best.fom:
-            best = SearchResult(f"exhaustive{assignment}", m, c, f)
-        # increment mixed-radix counter
-        k = 0
-        while k < len(assignment):
-            assignment[k] += 1
-            if assignment[k] < grid.n_places:
-                break
-            assignment[k] = 0
-            k += 1
-        else:
-            break
-        if k == len(assignment):
-            break
-    assert best is not None
+
+    n_workers = engine.resolved_workers() if engine is not None else 1
+    if engine is not None and engine.parallel and n_workers > 1 and n_points >= 16:
+        op_energy = dict(OP_ENERGY_FACTOR)
+        bounds = np.linspace(0, n_points, min(n_workers, n_points) + 1, dtype=int)
+        payloads = [
+            (graph, grid, fom, compute, int(a), int(b), op_energy)
+            for a, b in zip(bounds[:-1], bounds[1:])
+            if b > a
+        ]
+        chunk_bests = _pool_map(_exhaustive_worker, payloads, n_workers)
+        evaluated = sum(row[4] for row in chunk_bests)
+        f, assignment, m, c, _n = min(chunk_bests, key=lambda row: (row[0], row[1]))
+    else:
+        f, assignment, m, c, evaluated = _exhaustive_chunk_best(
+            graph, grid, fom, compute, 0, n_points
+        )
+    best = SearchResult(f"exhaustive{list(assignment)}", m, c, f)
+    if engine is not None:
+        _publish_engine_metrics(engine)
     if sess is not None:
         sess.metrics.counter("search.candidates").add(evaluated)
         sess.metrics.histogram("search.candidate_fom").observe(best.fom)
@@ -278,6 +578,10 @@ def exhaustive_search(
             span.set_cycles(best.cost.cycles).set(evaluated=evaluated, best_fom=best.fom)
             span.__exit__()
     return best
+
+
+# ---------------------------------------------------------------------- #
+# simulated annealing
 
 
 def anneal(
@@ -289,14 +593,31 @@ def anneal(
     t_start: float = 0.30,
     t_end: float = 0.002,
     initial: Mapping | None = None,
+    engine: SearchEngine | None = None,
 ) -> SearchResult:
     """Simulated annealing over per-node placement, ASAP-rescheduled.
 
     Moves relocate one random compute node to a random place.  Acceptance
     uses the relative FoM change (scale-free, so one temperature schedule
-    works across problems).  Deterministic for a fixed seed.
+    works across problems).
+
+    **Reproducibility is pinned:** the only randomness is a private
+    ``numpy`` generator seeded from the integer ``seed`` argument — no
+    global RNG state is read or written, so the same (graph, grid, fom,
+    steps, seed) always walks the same trajectory, on either engine path.
+
+    With ``engine.incremental`` the move loop re-scores candidates through
+    :class:`IncrementalEdgeEnergy` (only edges incident to the moved node
+    are re-priced) and skips the liveness sweep while the FoM ignores
+    footprint; scores are bit-identical to the reference evaluation, so the
+    accept/reject trajectory — and therefore the result — is unchanged.
     """
     fom = fom or FigureOfMerit.fastest()
+    if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+        raise TypeError(
+            f"anneal seed must be an int (got {seed!r}): reruns must be "
+            "reproducible, so implicit/global seeding is not supported"
+        )
     rng = np.random.default_rng(seed)
     compute = graph.compute_nodes()
     if not compute:
@@ -311,10 +632,12 @@ def anneal(
     else:
         placement = {nid: initial.place_of(nid) for nid in compute}
 
-    def evaluate(pl: dict[int, tuple[int, int]]) -> tuple[Mapping, CostReport, float]:
-        m = schedule_asap(graph, grid, lambda nid: pl.get(nid, (0, 0)))
-        c = evaluate_cost(graph, m, grid)
-        return m, c, fom(c)
+    incremental = (
+        engine is not None and engine.incremental and fom.footprint == 0.0
+    )
+    memoize = engine is not None and engine.memoize
+    cache = engine.resolved_cache() if memoize else None
+    scorer = _AnnealScorer(graph, grid, fom, compute, incremental, cache)
 
     sess = _obs_active()
     span = (
@@ -323,22 +646,29 @@ def anneal(
         else None
     )
     accepted = 0
-    cur_m, cur_c, cur_f = evaluate(placement)
-    best = SearchResult("anneal", cur_m, cur_c, cur_f)
+    cur_m, cur_f = scorer.evaluate_initial(placement)
+    best_m, best_f = cur_m, cur_f
     for step in range(steps):
         temp = t_start * (t_end / t_start) ** (step / max(1, steps - 1))
         nid = compute[int(rng.integers(len(compute)))]
         old = placement[nid]
-        placement[nid] = _linear_place(grid, int(rng.integers(grid.n_places)))
-        new_m, new_c, new_f = evaluate(placement)
+        new_place = _linear_place(grid, int(rng.integers(grid.n_places)))
+        placement[nid] = new_place
+        new_m, new_f = scorer.evaluate_move(placement, nid, new_place)
         delta = (new_f - cur_f) / max(cur_f, 1e-12)
         if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
-            cur_m, cur_c, cur_f = new_m, new_c, new_f
+            scorer.commit()
+            cur_m, cur_f = new_m, new_f
             accepted += 1
-            if cur_f < best.fom:
-                best = SearchResult("anneal", cur_m, cur_c, cur_f)
+            if cur_f < best_f:
+                best_m, best_f = cur_m, cur_f
         else:
             placement[nid] = old
+            scorer.rollback()
+    best_c = scorer.full_report(best_m)
+    best = SearchResult("anneal", best_m, best_c, best_f)
+    if engine is not None:
+        _publish_engine_metrics(engine)
     if sess is not None:
         m = sess.metrics
         m.counter("search.candidates").add(steps + 1)
@@ -350,3 +680,131 @@ def anneal(
             span.set_cycles(best.cost.cycles).set(accepted=accepted, best_fom=best.fom)
             span.__exit__()
     return best
+
+
+class _AnnealScorer:
+    """Scores annealing candidates on either the reference or the fast path.
+
+    Reference mode: schedule + full :func:`evaluate_cost` per candidate,
+    exactly the historical behaviour.  Incremental mode: the fast exact
+    scheduler plus :class:`IncrementalEdgeEnergy`, skipping the liveness
+    sweep (sound only while the FoM's footprint weight is zero — the
+    caller guarantees it).  Optional memoization short-circuits placements
+    the walk has already scored (annealers oscillate: every rejected
+    ping-pong and every revisit is a hit).
+
+    Scores on both paths are bit-identical; ``full_report`` always goes
+    through the reference :func:`evaluate_cost`, so the returned
+    :class:`CostReport` is the same object content either way.
+    """
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        grid: GridSpec,
+        fom: FigureOfMerit,
+        compute: list[int],
+        incremental: bool,
+        cache: MemoCache | None,
+    ) -> None:
+        self.graph = graph
+        self.grid = grid
+        self.fom = fom
+        self.compute = compute
+        self.incremental = incremental
+        self.cache = cache
+        self._gfp = graph.fingerprint() if cache is not None else ""
+        self._gkey = grid.cache_key() if cache is not None else ()
+        self._pending_undo: Any = None
+        if incremental:
+            self.edges = IncrementalEdgeEnergy(graph, grid)
+            n = graph.n_nodes
+            self._dur = np.fromiter(
+                (1 if graph.is_compute(i) else 0 for i in range(n)),
+                dtype=np.int64,
+                count=n,
+            )
+        else:
+            self.edges = None
+
+    # -- shared helpers ------------------------------------------------- #
+
+    def _sig(self, placement: dict[int, tuple[int, int]]) -> bytes:
+        flat: list[int] = []
+        for nid in self.compute:
+            x, y = placement[nid]
+            flat.append(x)
+            flat.append(y)
+        return np.asarray(flat, dtype=np.int64).tobytes()
+
+    def _schedule(self, placement: dict[int, tuple[int, int]]) -> Mapping:
+        if self.incremental:
+            return schedule_asap_fast(
+                self.graph, self.grid, lambda nid: placement.get(nid, (0, 0))
+            )
+        return schedule_asap(
+            self.graph, self.grid, lambda nid: placement.get(nid, (0, 0))
+        )
+
+    def _score_scheduled(self, m: Mapping) -> tuple[float, float]:
+        """(cycles, energy_total) on the incremental path."""
+        assert self.edges is not None
+        cycles = int((m.time + self._dur).max()) if m.n_nodes else 0
+        return float(cycles), self.edges.energy_total_fj()
+
+    def _evaluate(
+        self, placement: dict[int, tuple[int, int]]
+    ) -> tuple[Mapping, float]:
+        key = None
+        if self.cache is not None:
+            key = ("anneal", self._gfp, self._gkey, self.incremental,
+                   self._sig(placement))
+            hit = self.cache.get(key)
+            if hit is not None:
+                m, f = hit
+                return m, f
+        m = self._schedule(placement)
+        if self.incremental:
+            cycles, energy = self._score_scheduled(m)
+            f = self.fom.score(cycles, energy, 1.0)
+        else:
+            c = evaluate_cost(self.graph, m, self.grid)
+            f = self.fom(c)
+        if key is not None:
+            self.cache.put(key, (m, f))
+        return m, f
+
+    # -- the annealer's protocol ---------------------------------------- #
+
+    def evaluate_initial(
+        self, placement: dict[int, tuple[int, int]]
+    ) -> tuple[Mapping, float]:
+        if self.edges is not None:
+            self.edges.set_placement(placement)
+        return self._evaluate(placement)
+
+    def evaluate_move(
+        self,
+        placement: dict[int, tuple[int, int]],
+        nid: int,
+        place: tuple[int, int],
+    ) -> tuple[Mapping, float]:
+        """Score ``placement`` after moving ``nid``; call :meth:`commit` or
+        :meth:`rollback` before the next move."""
+        if self.edges is not None:
+            # incident-edge terms always track the tentative placement, even
+            # on a memo hit, so the *next* incremental move starts exact.
+            self._pending_undo = self.edges.move(nid, place)
+        return self._evaluate(placement)
+
+    def commit(self) -> None:
+        self._pending_undo = None
+
+    def rollback(self) -> None:
+        if self.edges is not None and self._pending_undo is not None:
+            self.edges.unmove(self._pending_undo)
+        self._pending_undo = None
+
+    def full_report(self, mapping: Mapping) -> CostReport:
+        """The reference CostReport for the winner (liveness included)."""
+        return evaluate_cost(self.graph, mapping, self.grid)

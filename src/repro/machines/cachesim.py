@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
+from repro.core.memo import MemoCache, global_cache
 from repro.machines.technology import Technology
 from repro.obs import Session, active as _obs_active
 
@@ -45,6 +46,8 @@ __all__ = [
     "CacheHierarchy",
     "ideal_cache",
     "run_trace",
+    "trace_fingerprint",
+    "run_trace_cached",
 ]
 
 Trace = Iterable[tuple[str, int]]
@@ -149,6 +152,18 @@ class LRUCache:
 
     def block_of(self, addr: int) -> int:
         return addr // self.block_words
+
+    def config_key(self) -> tuple:
+        """Hashable content key of this cache's configuration (not its
+        state) — the machine-spec half of a memoized simulation key."""
+        return (
+            "lru",
+            self.capacity_words,
+            self.block_words,
+            self.assoc,
+            self.name,
+            self.distance_mm,
+        )
 
     def access(self, addr: int, write: bool = False) -> tuple[bool, bool]:
         """Access one word.  Returns ``(hit, evicted_dirty_block)``."""
@@ -271,6 +286,9 @@ class CacheHierarchy:
 
     # ------------------------------------------------------------------ #
 
+    def config_key(self) -> tuple:
+        return ("hier",) + tuple(lvl.config_key() for lvl in self.levels)
+
     def miss_counts(self) -> list[int]:
         """Misses at each level, nearest first."""
         return [lvl.stats.misses for lvl in self.levels]
@@ -368,3 +386,66 @@ def run_trace(cache: LRUCache | CacheHierarchy, trace: Trace) -> LRUCache | Cach
         span.set(accesses=n)
         cache.publish_metrics(sess)
     return cache
+
+
+# ---------------------------------------------------------------------- #
+# memoized simulation: search sweeps and claim benches replay identical
+# traces through identical configurations (one run per FoM, per engine
+# path, per tolerance setting); content-addressing makes the repeats free.
+
+
+def trace_fingerprint(trace: Sequence[tuple[str, int]]) -> str:
+    """Content address of an address trace (order-sensitive, as it must
+    be: LRU state depends on access order)."""
+    import hashlib
+
+    h = hashlib.sha256()
+    buf = bytearray()
+    for kind, addr in trace:
+        buf += b"w" if kind == "w" else b"r"
+        buf += int(addr).to_bytes(8, "little", signed=False)
+        if len(buf) >= 1 << 20:
+            h.update(bytes(buf))
+            buf.clear()
+    h.update(bytes(buf))
+    return h.hexdigest()
+
+
+def run_trace_cached(
+    spec: Sequence[tuple],
+    trace: Sequence[tuple[str, int]],
+    memo: MemoCache | None = None,
+) -> dict[str, object]:
+    """Simulate ``trace`` through the hierarchy described by ``spec``,
+    memoized on (configuration, trace content).
+
+    ``spec`` is a sequence of per-level ``LRUCache`` constructor argument
+    tuples, nearest level first — e.g. ``[(256, 8, None, "L1"), (4096, 8,
+    None, "L2")]``.  Returns a read-only result dict: one entry per level
+    name with that level's :meth:`CacheStats.as_dict`, plus
+    ``mem_accesses`` / ``mem_writebacks``.  A repeat call with the same
+    configuration and the same trace content returns the cached dict
+    without touching a simulator (hits surface as ``memo.*{cache=
+    cachesim}`` in the obs layer).  Treat the result as immutable — it is
+    shared between hits.
+
+    Unlike :func:`run_trace` this needs a *materialized* trace (a
+    sequence, not a generator): the content hash must see every access.
+    """
+    memo = memo if memo is not None else global_cache("cachesim")
+    key = ("trace", tuple(tuple(s) for s in spec), trace_fingerprint(trace))
+
+    def compute() -> dict[str, object]:
+        hierarchy = CacheHierarchy([LRUCache(*args) for args in spec])
+        for kind, addr in trace:
+            hierarchy.access(addr, write=(kind == "w"))
+        out: dict[str, object] = {
+            lvl.name: lvl.stats.as_dict() for lvl in hierarchy.levels
+        }
+        out["mem_accesses"] = hierarchy.mem_accesses
+        out["mem_writebacks"] = hierarchy.mem_writebacks
+        return out
+
+    result = memo.get_or_compute(key, compute)
+    memo.publish_metrics()
+    return result

@@ -149,6 +149,29 @@ def _print_entries(entries: list[DiffEntry], only_changed: bool) -> None:
         print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
 
 
+def derived_hit_rates(counters: dict[str, float]) -> dict[str, tuple[float, float]]:
+    """Pair ``<base>.hits{labels}`` with ``<base>.misses{labels}`` counter
+    series and derive hit rates: ``{series: (hits, lookups)}``.
+
+    Covers both the cache simulators (``cache.hits{level=L1}``) and the
+    search memoization layer (``memo.hits{cache=search}``) without either
+    having to export a redundant ratio series.
+    """
+    out: dict[str, tuple[float, float]] = {}
+    for key, hits in counters.items():
+        name = _base_name(key)
+        if not name.endswith(".hits"):
+            continue
+        miss_key = key.replace(".hits", ".misses", 1)
+        misses = counters.get(miss_key)
+        if misses is None:
+            continue
+        total = float(hits) + float(misses)
+        if total > 0:
+            out[key.replace(".hits", "", 1)] = (float(hits), total)
+    return out
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     doc = _load(args.file)
     print(f"metrics dump: {args.file}  (label={doc.get('label', '?')})")
@@ -160,6 +183,13 @@ def cmd_summary(args: argparse.Namespace) -> int:
         width = max(len(k) for k in items)
         for key in sorted(items):
             print(f"  {key.ljust(width)}  {_fmt(float(items[key]))}")
+    rates = derived_hit_rates(doc.get("counters", {}))
+    if rates:
+        print("\nderived hit rates:")
+        width = max(len(k) for k in rates)
+        for key in sorted(rates):
+            hits, total = rates[key]
+            print(f"  {key.ljust(width)}  {hits / total:.1%}  ({_fmt(hits)}/{_fmt(total)})")
     hists = doc.get("histograms", {})
     if hists:
         print("\nhistograms:")

@@ -1,0 +1,45 @@
+"""repro.testing — first-class oracles for the fast/reference split.
+
+The search engine (:mod:`repro.core.search`) ships two implementations of
+everything hot: a simple **reference** path and a memoized / incremental /
+parallel **fast** path.  That split is only safe if equivalence is checked
+mechanically, all the time — so the checkers live here in the library
+proper, not in the test tree, where benches, CI smoke steps, and downstream
+users can call them too.
+
+* :mod:`repro.testing.oracle` — differential equivalence:
+  :func:`assert_search_equivalent` (same best mapping, same
+  :class:`~repro.core.cost.CostReport`, field for field), plus the
+  mapping/report comparators it is built from.
+* :mod:`repro.testing.golden` — golden-regression fixtures: JSON snapshots
+  of CostReports for canonical workloads (the paper's edit-distance worked
+  example, the F&M matmul), compared exactly and diffed readably when a
+  cost field drifts.  ``python -m repro.testing.golden --regen``
+  regenerates the checked-in fixtures after an intentional model change.
+"""
+
+from repro.testing.golden import (
+    GoldenMismatch,
+    check_golden,
+    cost_report_to_jsonable,
+    golden_scenarios,
+)
+from repro.testing.oracle import (
+    SearchEquivalenceError,
+    assert_cost_reports_equal,
+    assert_mappings_equal,
+    assert_search_equivalent,
+    cost_report_diff,
+)
+
+__all__ = [
+    "SearchEquivalenceError",
+    "assert_cost_reports_equal",
+    "assert_mappings_equal",
+    "assert_search_equivalent",
+    "cost_report_diff",
+    "GoldenMismatch",
+    "check_golden",
+    "cost_report_to_jsonable",
+    "golden_scenarios",
+]

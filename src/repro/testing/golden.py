@@ -1,0 +1,212 @@
+"""Golden-regression fixtures for the cost model's canonical workloads.
+
+The cost model is the contract every search result rests on, so its
+numbers for the paper's own examples are pinned as checked-in JSON:
+
+* ``edit_distance_wavefront`` — the Section-3 worked example: the
+  edit-distance recurrence on P processors with the "marching
+  anti-diagonals" wavefront mapping.
+* ``matmul_broadcast`` / ``matmul_systolic`` — the F&M matmul in both
+  dataflows under the output-stationary owner mapping.
+
+``check_golden`` compares a fresh evaluation against the fixture
+**exactly** (JSON round-trips Python floats losslessly, so there is no
+tolerance to tune) and raises :class:`GoldenMismatch` with a per-field
+drift diff.  After an *intentional* model change, regenerate with::
+
+    PYTHONPATH=src python -m repro.testing.golden --regen
+
+and review the fixture diff in git — that diff is the change's measurable
+blast radius.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Callable, Iterator
+
+from repro.core.cost import CostReport, evaluate_cost
+from repro.core.mapping import GridSpec
+
+__all__ = [
+    "GoldenMismatch",
+    "cost_report_to_jsonable",
+    "check_golden",
+    "golden_scenarios",
+    "DEFAULT_FIXTURE_DIR",
+]
+
+#: Where the checked-in fixtures live, relative to the repo root.
+DEFAULT_FIXTURE_DIR = pathlib.Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+class GoldenMismatch(AssertionError):
+    """A fresh evaluation drifted from its checked-in golden fixture."""
+
+
+def cost_report_to_jsonable(report: CostReport) -> dict[str, Any]:
+    """A CostReport as a stable, JSON-serializable dict.
+
+    Includes the derived totals (what FoMs consume) and the liveness
+    summary with places flattened to ``"x,y"`` keys in sorted order.
+    """
+    return {
+        "cycles": int(report.cycles),
+        "time_ps": float(report.time_ps),
+        "energy_compute_fj": float(report.energy_compute_fj),
+        "energy_local_fj": float(report.energy_local_fj),
+        "energy_onchip_fj": float(report.energy_onchip_fj),
+        "energy_offchip_fj": float(report.energy_offchip_fj),
+        "energy_total_fj": float(report.energy_total_fj),
+        "energy_transport_fj": float(report.energy_transport_fj),
+        "communication_fraction": float(report.communication_fraction),
+        "footprint_words": int(report.footprint_words),
+        "n_compute": int(report.n_compute),
+        "n_edges": int(report.n_edges),
+        "places_used": int(report.places_used),
+        "liveness": {
+            "max_in_flight": int(report.liveness.max_in_flight),
+            "max_live_per_place": {
+                f"{x},{y}": int(v)
+                for (x, y), v in sorted(report.liveness.max_live_per_place.items())
+            },
+        },
+    }
+
+
+def _flatten(doc: Any, prefix: str = "") -> Iterator[tuple[str, Any]]:
+    if isinstance(doc, dict):
+        for k in sorted(doc):
+            yield from _flatten(doc[k], f"{prefix}{k}.")
+    else:
+        yield prefix.rstrip("."), doc
+
+
+def _diff_jsonable(got: Any, want: Any) -> list[str]:
+    """Leaf-by-leaf diff of two jsonable docs, as readable lines."""
+    g = dict(_flatten(got))
+    w = dict(_flatten(want))
+    lines = []
+    for key in sorted(set(g) | set(w)):
+        gv, wv = g.get(key, "<missing>"), w.get(key, "<missing>")
+        if gv != wv:
+            lines.append(f"{key}: got {gv!r}, fixture has {wv!r}")
+    return lines
+
+
+def check_golden(
+    name: str,
+    payload: dict[str, Any],
+    fixture_dir: pathlib.Path | str = DEFAULT_FIXTURE_DIR,
+) -> None:
+    """Compare ``payload`` against fixture ``<fixture_dir>/<name>.json``.
+
+    Raises :class:`GoldenMismatch` with a drift diff on any difference, or
+    with regeneration instructions if the fixture is missing.
+    """
+    path = pathlib.Path(fixture_dir) / f"{name}.json"
+    if not path.exists():
+        raise GoldenMismatch(
+            f"golden fixture {path} does not exist — generate it with\n"
+            "  PYTHONPATH=src python -m repro.testing.golden --regen"
+        )
+    want = json.loads(path.read_text())
+    # round-trip the payload so both sides saw the same JSON normalization
+    got = json.loads(json.dumps(payload))
+    lines = _diff_jsonable(got, want)
+    if lines:
+        raise GoldenMismatch(
+            f"cost model drifted from golden fixture {name!r} "
+            f"({len(lines)} fields):\n  "
+            + "\n  ".join(lines)
+            + "\nIf the change is intentional, regenerate with\n"
+            "  PYTHONPATH=src python -m repro.testing.golden --regen\n"
+            "and review the fixture diff."
+        )
+
+
+def golden_scenarios() -> dict[str, Callable[[], dict[str, Any]]]:
+    """Name -> thunk producing the jsonable payload for each scenario.
+
+    Thunks (not values) so the CLI and the tests build only what they ask
+    for, and so import stays cheap.
+    """
+
+    def edit_distance_wavefront() -> dict[str, Any]:
+        from repro.algorithms.edit_distance import (
+            edit_distance_graph,
+            min_length_for_wavefront,
+            wavefront_mapping,
+        )
+
+        p = 4
+        grid = GridSpec(p, 1)
+        n = max(8, min_length_for_wavefront(p, grid))
+        graph = edit_distance_graph(n, cell="paper")
+        mapping = wavefront_mapping(graph, n, p, grid)
+        payload = cost_report_to_jsonable(evaluate_cost(graph, mapping, grid))
+        payload["scenario"] = {"algorithm": "edit_distance", "cell": "paper",
+                               "n": n, "p": p, "mapping": "wavefront"}
+        return payload
+
+    def _matmul(systolic: bool) -> dict[str, Any]:
+        from repro.algorithms.matmul_fm import matmul_graph, owner_mapping
+
+        n = 4
+        grid = GridSpec(n, n)
+        graph = matmul_graph(n, systolic=systolic)
+        mapping = owner_mapping(graph, n, grid)
+        payload = cost_report_to_jsonable(evaluate_cost(graph, mapping, grid))
+        payload["scenario"] = {"algorithm": "matmul_fm", "n": n,
+                               "systolic": systolic, "mapping": "owner"}
+        return payload
+
+    return {
+        "edit_distance_wavefront": edit_distance_wavefront,
+        "matmul_broadcast": lambda: _matmul(False),
+        "matmul_systolic": lambda: _matmul(True),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.golden",
+        description="Check or regenerate the golden cost-model fixtures.",
+    )
+    parser.add_argument(
+        "--regen", action="store_true",
+        help="rewrite the fixtures from the current cost model",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_FIXTURE_DIR,
+        help=f"fixture directory (default: {DEFAULT_FIXTURE_DIR})",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for name, build in sorted(golden_scenarios().items()):
+        payload = build()
+        if args.regen:
+            args.out.mkdir(parents=True, exist_ok=True)
+            path = args.out / f"{name}.json"
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {path}")
+        else:
+            try:
+                check_golden(name, payload, args.out)
+            except GoldenMismatch as exc:
+                failures += 1
+                print(f"FAIL {name}:\n{exc}\n", file=sys.stderr)
+            else:
+                print(f"ok   {name}")
+    if failures:
+        print(f"{failures} golden scenario(s) drifted", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Differential oracle: the fast search path must equal the reference path.
+
+"Equal" here is strict: the same best mapping (every place, time, and
+off-chip flag), and the same :class:`~repro.core.cost.CostReport` down to
+float bit-identity.  The fast engine is engineered for that (it re-sums
+per-edge energies in the reference accumulation order rather than keeping
+running deltas), so any discrepancy at all means a real bug — there is no
+tolerance to hide it in.
+
+Failures render a field-by-field diff, because "assert False" with two
+40-field reports is how regressions get ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.cost import CostReport
+from repro.core.mapping import Mapping
+
+__all__ = [
+    "SearchEquivalenceError",
+    "cost_report_diff",
+    "assert_cost_reports_equal",
+    "assert_mappings_equal",
+    "assert_search_equivalent",
+]
+
+
+class SearchEquivalenceError(AssertionError):
+    """The fast and the reference search disagreed."""
+
+
+#: CostReport scalar fields compared by the oracle (liveness handled
+#: separately).  Derived properties are included on purpose: they are what
+#: benches and FoMs actually consume.
+_REPORT_FIELDS = (
+    "cycles",
+    "time_ps",
+    "energy_compute_fj",
+    "energy_local_fj",
+    "energy_onchip_fj",
+    "energy_offchip_fj",
+    "energy_total_fj",
+    "energy_transport_fj",
+    "communication_fraction",
+    "footprint_words",
+    "n_compute",
+    "n_edges",
+    "places_used",
+)
+
+
+def cost_report_diff(
+    a: CostReport, b: CostReport, a_name: str = "fast", b_name: str = "reference"
+) -> list[str]:
+    """Human-readable lines for every field where ``a`` != ``b``.
+
+    Comparison is exact (``==`` on ints and floats); an empty list means
+    the reports are equivalent.
+    """
+    lines: list[str] = []
+    for field_name in _REPORT_FIELDS:
+        va, vb = getattr(a, field_name), getattr(b, field_name)
+        if va != vb:
+            lines.append(f"{field_name}: {a_name}={va!r} {b_name}={vb!r}")
+    la, lb = a.liveness, b.liveness
+    if la.max_in_flight != lb.max_in_flight:
+        lines.append(
+            f"liveness.max_in_flight: {a_name}={la.max_in_flight!r} "
+            f"{b_name}={lb.max_in_flight!r}"
+        )
+    if la.max_live_per_place != lb.max_live_per_place:
+        places = sorted(
+            set(la.max_live_per_place) | set(lb.max_live_per_place)
+        )
+        for p in places:
+            pa = la.max_live_per_place.get(p)
+            pb = lb.max_live_per_place.get(p)
+            if pa != pb:
+                lines.append(
+                    f"liveness.max_live_per_place[{p}]: "
+                    f"{a_name}={pa!r} {b_name}={pb!r}"
+                )
+    return lines
+
+
+def assert_cost_reports_equal(
+    a: CostReport,
+    b: CostReport,
+    a_name: str = "fast",
+    b_name: str = "reference",
+    context: str = "",
+) -> None:
+    lines = cost_report_diff(a, b, a_name, b_name)
+    if lines:
+        where = f" [{context}]" if context else ""
+        raise SearchEquivalenceError(
+            f"CostReports differ{where} ({len(lines)} fields):\n  "
+            + "\n  ".join(lines)
+        )
+
+
+def assert_mappings_equal(
+    a: Mapping,
+    b: Mapping,
+    a_name: str = "fast",
+    b_name: str = "reference",
+    context: str = "",
+) -> None:
+    """Node-for-node space-time equality, reporting the first divergences."""
+    where = f" [{context}]" if context else ""
+    if a.n_nodes != b.n_nodes:
+        raise SearchEquivalenceError(
+            f"mapping sizes differ{where}: {a_name}={a.n_nodes} {b_name}={b.n_nodes}"
+        )
+    lines: list[str] = []
+    for arr_name in ("x", "y", "time", "offchip"):
+        aa, bb = getattr(a, arr_name), getattr(b, arr_name)
+        if not np.array_equal(aa, bb):
+            for nid in np.nonzero(aa != bb)[0][:5]:
+                lines.append(
+                    f"{arr_name}[{int(nid)}]: {a_name}={aa[nid]!r} {b_name}={bb[nid]!r}"
+                )
+    if lines:
+        raise SearchEquivalenceError(
+            f"mappings differ{where} (first mismatches):\n  " + "\n  ".join(lines)
+        )
+
+
+def _as_rows(result: object) -> Sequence:
+    if isinstance(result, (list, tuple)):
+        return result
+    return (result,)
+
+
+def assert_search_equivalent(
+    fast: object,
+    reference: object,
+    context: str = "",
+) -> None:
+    """The differential oracle: ``fast`` and ``reference`` search outputs
+    must be indistinguishable.
+
+    Accepts either single :class:`~repro.core.search.SearchResult` rows
+    (``exhaustive_search`` / ``anneal``) or whole result lists
+    (``sweep_placements``); lists must match row for row — same labels in
+    the same order, same FoM floats, same mappings, same reports.
+    """
+    fast_rows, ref_rows = _as_rows(fast), _as_rows(reference)
+    where = f" [{context}]" if context else ""
+    if len(fast_rows) != len(ref_rows):
+        raise SearchEquivalenceError(
+            f"result counts differ{where}: fast={len(fast_rows)} "
+            f"reference={len(ref_rows)}"
+        )
+    for i, (f, r) in enumerate(zip(fast_rows, ref_rows)):
+        ctx = f"{context}row {i} ({r.label})" if context == "" else (
+            f"{context}: row {i} ({r.label})"
+        )
+        if f.label != r.label:
+            raise SearchEquivalenceError(
+                f"labels differ [{ctx}]: fast={f.label!r} reference={r.label!r}"
+            )
+        if f.fom != r.fom:
+            raise SearchEquivalenceError(
+                f"figures of merit differ [{ctx}]: fast={f.fom!r} "
+                f"reference={r.fom!r}"
+            )
+        assert_mappings_equal(f.mapping, r.mapping, context=ctx)
+        assert_cost_reports_equal(f.cost, r.cost, context=ctx)

@@ -154,3 +154,54 @@ class TestAnneal:
         g = DataflowGraph()
         r = anneal(g, GridSpec(2, 1), steps=10)
         assert r.cost.cycles == 0
+
+
+class TestDeterminism:
+    """Search outcomes are properties of the space, never of evaluation
+    order: ties break by label (sweep) or lexicographic assignment
+    (exhaustive), and annealing is a pure function of its integer seed."""
+
+    def test_exhaustive_tie_break_is_smallest_assignment(self):
+        # a single compute node on a 2x1 grid: both placements cost the
+        # same under the time FoM, so the tie must go to assignment [0].
+        g = DataflowGraph()
+        a = g.input("A", (0,))
+        r = g.op("+", a, g.const(1, index=(0,)), index=(0,))
+        g.mark_output(r, "o")
+        best = exhaustive_search(g, GridSpec(2, 1), FigureOfMerit.fastest())
+        assert best.label == "exhaustive[0]"
+
+    def test_exhaustive_winner_is_stable_across_runs(self):
+        g = tiny_graph()
+        grid = GridSpec(2, 2)
+        runs = [exhaustive_search(g, grid) for _ in range(3)]
+        assert len({r.label for r in runs}) == 1
+        assert len({r.fom for r in runs}) == 1
+
+    def test_sweep_order_breaks_fom_ties_by_label(self):
+        g = wide_graph(12)
+        results = sweep_placements(g, GridSpec(8, 1))
+        keys = [(r.fom, r.label) for r in results]
+        assert keys == sorted(keys)
+
+    def test_anneal_rejects_non_integer_seeds(self):
+        g = tiny_graph()
+        for bad in (None, 1.5, "7", True):
+            with pytest.raises(TypeError, match="seed"):
+                anneal(g, GridSpec(2, 1), steps=5, seed=bad)
+
+    def test_anneal_does_not_touch_global_rng(self):
+        import numpy as np
+
+        np.random.seed(1234)
+        before = np.random.get_state()[1].copy()
+        anneal(tiny_graph(), GridSpec(2, 1), steps=20, seed=9)
+        assert (np.random.get_state()[1] == before).all()
+
+    def test_anneal_trajectory_is_seed_function(self):
+        g = wide_graph(8)
+        grid = GridSpec(4, 1)
+        a = anneal(g, grid, steps=100, seed=21)
+        b = anneal(g, grid, steps=100, seed=21)
+        assert a.fom == b.fom
+        assert a.mapping.fingerprint() == b.mapping.fingerprint()

@@ -1,0 +1,159 @@
+"""Differential tests: the fast search engine must equal the reference.
+
+Every searcher runs twice on every seed workload — once on
+``REFERENCE_ENGINE`` (plain loops) and once on a fast configuration
+(memoized / incremental / parallel) — and ``assert_search_equivalent``
+demands identical output: same labels, same best mappings, and
+bit-identical CostReport floats.  This is the contract that lets the fast
+path exist at all.
+"""
+
+import pytest
+
+from repro.algorithms.edit_distance import edit_distance_graph
+from repro.algorithms.fft import fft_graph
+from repro.algorithms.matmul_fm import matmul_graph
+from repro.algorithms.stencil import stencil_graph
+from repro.core.mapping import GridSpec
+from repro.core.memo import MemoCache, clear_global_caches
+from repro.core.search import (
+    FAST_ENGINE,
+    REFERENCE_ENGINE,
+    FigureOfMerit,
+    SearchEngine,
+    anneal,
+    exhaustive_search,
+    sweep_placements,
+)
+from repro.testing import assert_search_equivalent
+from tests.core.test_search import tiny_graph, wide_graph
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_global_caches()
+    yield
+    clear_global_caches()
+
+
+# (name, graph builder, grid) — one entry per DataflowGraph-producing
+# algorithm family, sized to keep the reference sweep under a second.
+WORKLOADS = [
+    ("wide", lambda: wide_graph(12), GridSpec(4, 1)),
+    ("stencil", lambda: stencil_graph(6, 2), GridSpec(4, 1)),
+    ("fft", lambda: fft_graph(8), GridSpec(4, 1)),
+    ("matmul-broadcast", lambda: matmul_graph(3, systolic=False), GridSpec(3, 3)),
+    ("matmul-systolic", lambda: matmul_graph(3, systolic=True), GridSpec(3, 3)),
+    ("edit-distance", lambda: edit_distance_graph(5, cell="paper"), GridSpec(4, 1)),
+    ("edit-distance-lev", lambda: edit_distance_graph(4, cell="lev"), GridSpec(2, 2)),
+]
+
+FOMS = [FigureOfMerit.fastest(), FigureOfMerit.edp(), FigureOfMerit(1.0, 1.0, 0.5)]
+
+
+@pytest.mark.parametrize("name,build,grid", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+class TestSweepDifferential:
+    def test_memoized_serial_equals_reference(self, name, build, grid):
+        g = build()
+        engine = SearchEngine(memoize=True, incremental=True, cache=MemoCache())
+        for fom in FOMS:
+            ref = sweep_placements(g, grid, fom)
+            fast = sweep_placements(g, grid, fom, engine=engine)
+            assert_search_equivalent(fast, ref, context=f"{name} sweep")
+
+    def test_memo_hits_are_still_equal(self, name, build, grid):
+        # second sweep over the same graph is answered from cache — the
+        # cached rows must still satisfy the oracle.
+        g = build()
+        engine = SearchEngine(memoize=True, cache=MemoCache())
+        ref = sweep_placements(g, grid)
+        sweep_placements(g, grid, engine=engine)
+        fast = sweep_placements(g, grid, engine=engine)
+        assert engine.cache.stats.hits > 0
+        assert_search_equivalent(fast, ref, context=f"{name} memoized sweep")
+
+
+def test_sweep_parallel_workers_equal_reference():
+    # one real multiprocessing run (kept small: pool startup dominates)
+    g = stencil_graph(6, 2)
+    grid = GridSpec(4, 1)
+    ref = sweep_placements(g, grid)
+    fast = sweep_placements(
+        g, grid, engine=SearchEngine(parallel=True, n_workers=2)
+    )
+    assert_search_equivalent(fast, ref, context="parallel sweep")
+
+
+def test_sweep_parallel_custom_op_energies_survive_workers():
+    # edit-distance cells register custom OP_ENERGY_FACTOR entries at
+    # import; workers must charge them identically or energies drift.
+    g = edit_distance_graph(5, cell="paper")
+    grid = GridSpec(4, 1)
+    ref = sweep_placements(g, grid, FigureOfMerit.lowest_energy())
+    fast = sweep_placements(
+        g, grid, FigureOfMerit.lowest_energy(),
+        engine=SearchEngine(parallel=True, n_workers=2),
+    )
+    assert_search_equivalent(fast, ref, context="parallel sweep custom ops")
+
+
+class TestExhaustiveDifferential:
+    def test_fast_serial_equals_reference(self):
+        g = tiny_graph()
+        grid = GridSpec(2, 2)
+        ref = exhaustive_search(g, grid)
+        fast = exhaustive_search(g, grid, engine=SearchEngine(memoize=True))
+        assert_search_equivalent(fast, ref, context="exhaustive serial")
+
+    def test_parallel_chunks_equal_reference(self):
+        g = tiny_graph()
+        grid = GridSpec(2, 2)
+        for fom in (FigureOfMerit.fastest(), FigureOfMerit.edp()):
+            ref = exhaustive_search(g, grid, fom)
+            fast = exhaustive_search(
+                g, grid, fom, engine=SearchEngine(parallel=True, n_workers=2)
+            )
+            assert_search_equivalent(fast, ref, context="exhaustive parallel")
+
+
+class TestAnnealDifferential:
+    @pytest.mark.parametrize(
+        "name,build,grid", WORKLOADS[:5], ids=[w[0] for w in WORKLOADS[:5]]
+    )
+    def test_incremental_equals_reference(self, name, build, grid):
+        g = build()
+        ref = anneal(g, grid, steps=120, seed=7)
+        fast = anneal(g, grid, steps=120, seed=7, engine=FAST_ENGINE)
+        assert_search_equivalent(fast, ref, context=f"{name} anneal")
+
+    def test_memoized_walk_equals_reference(self):
+        g = wide_graph(10)
+        grid = GridSpec(4, 1)
+        engine = SearchEngine(memoize=True, incremental=True, cache=MemoCache())
+        ref = anneal(g, grid, steps=200, seed=3)
+        fast = anneal(g, grid, steps=200, seed=3, engine=engine)
+        assert engine.cache.stats.hits > 0  # annealers revisit placements
+        assert_search_equivalent(fast, ref, context="memoized anneal")
+
+    def test_energy_fom_incremental(self):
+        g = stencil_graph(6, 2)
+        grid = GridSpec(4, 1)
+        fom = FigureOfMerit.edp()
+        ref = anneal(g, grid, fom, steps=120, seed=11)
+        fast = anneal(g, grid, fom, steps=120, seed=11, engine=FAST_ENGINE)
+        assert_search_equivalent(fast, ref, context="edp anneal")
+
+    def test_footprint_fom_falls_back_soundly(self):
+        # footprint weight != 0 disables the liveness-skipping fast path;
+        # the engine must still match the reference.
+        g = wide_graph(8)
+        grid = GridSpec(4, 1)
+        fom = FigureOfMerit(1.0, 0.0, 1.0)
+        ref = anneal(g, grid, fom, steps=80, seed=5)
+        fast = anneal(g, grid, fom, steps=80, seed=5, engine=FAST_ENGINE)
+        assert_search_equivalent(fast, ref, context="footprint anneal")
+
+
+def test_reference_engine_is_all_knobs_off():
+    assert REFERENCE_ENGINE == SearchEngine()
+    assert FAST_ENGINE.memoize and FAST_ENGINE.incremental and FAST_ENGINE.parallel

@@ -1,0 +1,56 @@
+"""Golden-regression tests: the cost model's numbers for the paper's
+canonical workloads are pinned as checked-in JSON fixtures.
+
+A failure here means the cost model's output changed.  If intentional,
+regenerate (``PYTHONPATH=src python -m repro.testing.golden --regen``)
+and review the fixture diff; if not, the readable drift diff in the
+failure message says exactly which field moved.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.testing import GoldenMismatch, check_golden, golden_scenarios
+from repro.testing.golden import DEFAULT_FIXTURE_DIR
+
+FIXTURE_DIR = pathlib.Path(__file__).parent
+SCENARIOS = golden_scenarios()
+
+
+def test_fixture_dir_resolves_here():
+    assert DEFAULT_FIXTURE_DIR == FIXTURE_DIR
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_cost_model_matches_golden(name):
+    check_golden(name, SCENARIOS[name](), FIXTURE_DIR)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_fixtures_are_checked_in_and_valid_json(name):
+    path = FIXTURE_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"{path} missing — run `PYTHONPATH=src python -m repro.testing.golden --regen`"
+    )
+    doc = json.loads(path.read_text())
+    assert doc["cycles"] > 0 and doc["energy_total_fj"] > 0
+    assert "scenario" in doc, "fixtures must record what produced them"
+
+
+def test_drift_produces_readable_diff(tmp_path):
+    name = "matmul_broadcast"
+    payload = SCENARIOS[name]()
+    fixture = dict(payload)
+    fixture["cycles"] = payload["cycles"] + 1
+    (tmp_path / f"{name}.json").write_text(json.dumps(fixture))
+    with pytest.raises(GoldenMismatch) as exc:
+        check_golden(name, payload, tmp_path)
+    msg = str(exc.value)
+    assert "cycles" in msg and "fixture has" in msg and "--regen" in msg
+
+
+def test_missing_fixture_names_the_regen_command(tmp_path):
+    with pytest.raises(GoldenMismatch, match="--regen"):
+        check_golden("no_such_scenario", {}, tmp_path)

@@ -1,0 +1,188 @@
+"""Property tests for the memoization layer's soundness.
+
+A content-addressed cache is only as safe as its keys: the properties
+here pin down (1) fingerprints are deterministic functions of content and
+change under any mutation, (2) the cached cost path returns exactly what
+the uncached path computes, (3) the fast scheduler twin and the
+incremental edge-energy accounting are bit-identical to their reference
+counterparts under arbitrary random placements and move sequences.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import IncrementalEdgeEnergy, evaluate_cost, evaluate_cost_cached
+from repro.core.default_mapper import schedule_asap, schedule_asap_fast
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec, Mapping
+from repro.core.memo import MemoCache, fingerprint_bytes
+
+GRID = GridSpec(4, 2)
+
+
+def random_graph(rng: np.random.Generator, n_inputs: int, n_ops: int) -> DataflowGraph:
+    """A random DAG: ops draw operands from earlier nodes only."""
+    g = DataflowGraph()
+    nodes = [g.input("A", (i,)) for i in range(n_inputs)]
+    for k in range(n_ops):
+        op = ("+", "*", "min", "max")[int(rng.integers(4))]
+        a = nodes[int(rng.integers(len(nodes)))]
+        b = nodes[int(rng.integers(len(nodes)))]
+        nodes.append(g.op(op, a, b, index=(k,)))
+    g.mark_output(nodes[-1], "out")
+    return g
+
+
+def random_placement(rng: np.random.Generator, graph: DataflowGraph) -> dict:
+    return {
+        nid: (int(rng.integers(GRID.width)), int(rng.integers(GRID.height)))
+        for nid in graph.compute_nodes()
+    }
+
+
+class TestFingerprintSoundness:
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_same_construction_same_graph_fingerprint(self, seed, n_in, n_ops):
+        g1 = random_graph(np.random.default_rng(seed), n_in, n_ops)
+        g2 = random_graph(np.random.default_rng(seed), n_in, n_ops)
+        assert g1.fingerprint() == g2.fingerprint()
+
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_graph_mutation_changes_fingerprint(self, seed, n_in, n_ops):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n_in, n_ops)
+        before = g.fingerprint()
+        extra = g.op("+", 0, 0, index=(99,))
+        assert g.fingerprint() != before
+        g.mark_output(extra, "extra")
+        # outputs are part of the function's identity too
+        assert g.fingerprint() != before
+
+    @given(st.integers(0, 10_000), st.integers(2, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_mapping_mutation_changes_fingerprint(self, seed, n):
+        rng = np.random.default_rng(seed)
+        m = Mapping(n)
+        for nid in range(n):
+            m.set(
+                nid,
+                (int(rng.integers(4)), int(rng.integers(2))),
+                int(rng.integers(50)),
+                offchip=bool(rng.integers(2)),
+            )
+        before = m.fingerprint()
+        assert m.copy().fingerprint() == before  # content, not identity
+        victim = int(rng.integers(n))
+        field = ("x", "y", "time", "offchip")[int(rng.integers(4))]
+        arr = getattr(m, field)
+        arr[victim] = (not arr[victim]) if field == "offchip" else arr[victim] + 1
+        assert m.fingerprint() != before
+
+    def test_fingerprint_bytes_separates_chunk_boundaries(self):
+        # (b"ab", b"c") must not collide with (b"a", b"bc")
+        assert fingerprint_bytes(b"ab", b"c") != fingerprint_bytes(b"a", b"bc")
+
+    def test_grid_key_distinguishes_machines(self):
+        keys = {
+            GridSpec(4, 2).cache_key(),
+            GridSpec(2, 4).cache_key(),
+            GridSpec(4, 2, pe_memory_words=64).cache_key(),
+            GridSpec(4, 2, max_in_flight=8).cache_key(),
+        }
+        assert len(keys) == 4
+        assert GridSpec(4, 2).cache_key() == GridSpec(4, 2).cache_key()
+
+
+class TestMemoizedCostEquality:
+    @given(st.integers(0, 10_000), st.integers(1, 4), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_cached_equals_uncached_and_hits_return_same(self, seed, n_in, n_ops):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n_in, n_ops)
+        placement = random_placement(rng, g)
+        m = schedule_asap(g, GRID, lambda nid: placement.get(nid, (0, 0)))
+        cache = MemoCache()
+        ref = evaluate_cost(g, m, GRID)
+        miss = evaluate_cost_cached(g, m, GRID, cache)
+        hit = evaluate_cost_cached(g, m, GRID, cache)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        for r in (miss, hit):
+            assert r.as_dict() == ref.as_dict()
+            assert r.liveness.max_live_per_place == ref.liveness.max_live_per_place
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_mutated_mapping_never_aliases_cache(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, 2, 6)
+        placement = random_placement(rng, g)
+        m = schedule_asap(g, GRID, lambda nid: placement.get(nid, (0, 0)))
+        cache = MemoCache()
+        evaluate_cost_cached(g, m, GRID, cache)
+        m2 = m.copy()
+        m2.time[g.compute_nodes()] += 5  # later schedule: more cycles
+        again = evaluate_cost_cached(g, m2, GRID, cache)
+        assert cache.stats.misses == 2  # new content, new key — no stale hit
+        assert again.cycles == evaluate_cost(g, m2, GRID).cycles
+
+
+class TestFastSchedulerTwin:
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(1, 14))
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_asap_fast_is_bit_identical(self, seed, n_in, n_ops):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n_in, n_ops)
+        placement = random_placement(rng, g)
+        ref = schedule_asap(g, GRID, lambda nid: placement.get(nid, (0, 0)))
+        fast = schedule_asap_fast(g, GRID, lambda nid: placement.get(nid, (0, 0)))
+        assert ref.fingerprint() == fast.fingerprint()
+
+
+class TestAnnealDeltaConsistency:
+    @given(st.integers(0, 10_000), st.integers(1, 4), st.integers(2, 12),
+           st.integers(1, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_totals_match_full_recompute(self, seed, n_in, n_ops, n_moves):
+        """After any sequence of moves (some rolled back), the incremental
+        totals equal a from-scratch recompute of the final placement —
+        bit-for-bit, not approximately."""
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n_in, n_ops)
+        placement = random_placement(rng, g)
+        inc = IncrementalEdgeEnergy(g, GRID)
+        inc.set_placement(placement)
+        for _ in range(n_moves):
+            nid = g.compute_nodes()[int(rng.integers(len(g.compute_nodes())))]
+            place = (int(rng.integers(GRID.width)), int(rng.integers(GRID.height)))
+            undo = inc.move(nid, place)
+            if rng.integers(2):  # rejected move: roll back
+                inc.unmove(undo)
+            else:
+                placement[nid] = place
+        fresh = IncrementalEdgeEnergy(g, GRID)
+        fresh.set_placement(placement)
+        assert inc.totals() == fresh.totals()
+        assert inc.energy_total_fj() == fresh.energy_total_fj()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_incremental_energy_matches_evaluate_cost(self, seed):
+        """The incremental model prices edges exactly like evaluate_cost
+        for on-chip schedules (inputs off-chip, per the annealer's
+        scheduling convention)."""
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, 3, 8)
+        placement = random_placement(rng, g)
+        m = schedule_asap(g, GRID, lambda nid: placement.get(nid, (0, 0)))
+        inc = IncrementalEdgeEnergy(g, GRID)
+        inc.set_placement(placement)
+        ref = evaluate_cost(g, m, GRID)
+        local, onchip, offchip = inc.totals()
+        assert (local, onchip, offchip) == (
+            ref.energy_local_fj, ref.energy_onchip_fj, ref.energy_offchip_fj
+        )
+        assert inc.energy_total_fj() == ref.energy_total_fj
+        assert inc.energy_compute_fj == ref.energy_compute_fj

@@ -121,6 +121,15 @@ EXPERIMENTS = [
      "multicore (which spends <0.1% of its energy on actual arithmetic), "
      "and the simple-core programmable target is ~1,100x — both meeting "
      "the quoted bands."),
+    ("C18", "Fast mapping-search engine vs reference (differentially verified)", [],
+     "bench_c18_search_engine.py",
+     ["c18_engine.txt", "c18_parallel.txt"],
+     "Infrastructure claim for C14's search: content-addressed memoization "
+     "plus incremental annealing re-scoring accelerate a realistic "
+     "multi-FoM search campaign by >=3x (asserted in-bench) while the "
+     "differential oracle (repro.testing.assert_search_equivalent) "
+     "verifies results identical to the reference path, and the 2-worker "
+     "multiprocessing sweep merges deterministically to the same rows."),
     ("A1", "Ablation: systolic forwarding vs broadcast matmul", [],
      "bench_a01_systolic_matmul.py",
      ["a01_systolic.txt"],
