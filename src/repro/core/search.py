@@ -43,6 +43,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -62,6 +63,7 @@ from repro.core.default_mapper import (
 from repro.core.function import OP_ENERGY_FACTOR, DataflowGraph
 from repro.core.mapping import GridSpec, Mapping
 from repro.core.memo import MemoCache, global_cache
+from repro.faults.inject import active as _faults_active
 from repro.obs import Session, active as _obs_active
 
 __all__ = [
@@ -149,6 +151,18 @@ class SearchEngine:
     n_workers
         Pool size; ``None`` means ``os.cpu_count()``.  A resolved size of
         one runs inline (no pool overhead).
+    task_timeout_s
+        Per-task timeout for pool results; a worker that does not answer
+        within it is treated as hung and its task is retried.  ``None``
+        means the generous module default — a hung worker can delay a
+        campaign, never stall it.
+    max_retries
+        Pool attempts beyond the first before falling back to running the
+        still-failing tasks in-process (deterministic: results merge by
+        payload index, so retries and fallbacks are bit-identical to a
+        clean run).
+    retry_backoff_s
+        Base of the exponential backoff slept between pool attempts.
     cache
         The :class:`MemoCache` to use; ``None`` means the process-global
         ``search`` cache, shared across calls on purpose.
@@ -158,6 +172,9 @@ class SearchEngine:
     incremental: bool = False
     parallel: bool = False
     n_workers: int | None = None
+    task_timeout_s: float | None = None
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
     cache: MemoCache | None = field(default=None, compare=False)
 
     @staticmethod
@@ -385,11 +402,134 @@ def _exhaustive_worker(
     return _exhaustive_chunk_best(graph, grid, fom, compute, start, stop)
 
 
-def _pool_map(worker: Callable[[Any], Any], payloads: list[Any], n_workers: int) -> list[Any]:
-    """Ordered pool map (order, not arrival, determines merge order)."""
+#: Default per-task pool timeout: generous enough that no honest workload
+#: ever hits it, bounded so a genuinely hung worker cannot stall a campaign.
+_DEFAULT_TASK_TIMEOUT_S = 300.0
+
+#: How long an injected "hang" sleeps inside the worker — far beyond any
+#: sane task timeout; the parent's pool.terminate() reaps the sleeper.
+_HANG_SLEEP_S = 3600.0
+
+#: Sentinel an injected "poison" worker returns instead of real results.
+_POISON = ("__repro_injected_poison__",)
+
+
+class _InjectedWorkerCrash(RuntimeError):
+    """The crash raised inside a pool worker by an injected fault."""
+
+
+def _chaos_task(payload: tuple[str | None, Callable[[Any], Any], Any]) -> Any:
+    """Top-level pool target: apply the injected fault action (if any),
+    otherwise run the real worker.  Faults are decided in the *parent*
+    from the deterministic plan and shipped with the payload, so workers
+    need no fault-plan state of their own."""
+    action, worker, real_payload = payload
+    if action == "crash":
+        raise _InjectedWorkerCrash("injected worker crash")
+    if action == "hang":
+        time.sleep(_HANG_SLEEP_S)  # pragma: no cover - reaped by terminate()
+    if action == "poison":
+        return _POISON
+    return worker(real_payload)
+
+
+def _pool_map(
+    worker: Callable[[Any], Any],
+    payloads: list[Any],
+    n_workers: int,
+    *,
+    timeout_s: float | None = None,
+    max_retries: int = 2,
+    backoff_s: float = 0.05,
+) -> list[Any]:
+    """Resilient ordered pool map (payload index, not arrival, determines
+    merge order — so retries, timeouts, and fallbacks are invisible in the
+    results).
+
+    Every task gets a per-result timeout; tasks that crash, hang, or
+    return a poisoned result are retried in a fresh pool (with exponential
+    backoff between attempts), and whatever still fails after
+    ``max_retries`` pool attempts runs **in-process** with the real
+    worker — a deterministic fallback, so a misbehaving pool can delay a
+    campaign but never change its answer or stall it.  Genuine worker
+    exceptions surface from the in-process run with their original
+    traceback.
+
+    When a :mod:`repro.faults` injection scope is open, worker faults from
+    the plan are applied per (task, attempt) and every injection/recovery
+    is recorded in the ledger (and as ``fault.*`` counters when an obs
+    session is also open).
+    """
+    if n_workers <= 0:
+        raise ValueError(f"_pool_map needs a positive worker count, got {n_workers}")
+    if not payloads:
+        return []
+    if timeout_s is None:
+        timeout_s = _DEFAULT_TASK_TIMEOUT_S
+    inj = _faults_active()
+    plan = inj.plan if inj is not None else None
+    sess = _obs_active()
+    results: list[Any] = [None] * len(payloads)
+    injected_kinds: dict[int, list[str]] = {}  # task index -> injected faults
+
+    def _task_recovered(i: int, how: str) -> None:
+        if inj is not None:
+            for kind in injected_kinds.pop(i, []):
+                inj.recovered(f"worker_{kind}", f"task={i} via={how}")
+
+    pending = list(range(len(payloads)))
     ctx = multiprocessing.get_context()
-    with ctx.Pool(processes=min(n_workers, len(payloads))) as pool:
-        return pool.map(worker, payloads)
+    for attempt in range(max_retries + 1):
+        if not pending:
+            break
+        if attempt > 0:
+            if backoff_s > 0:
+                time.sleep(backoff_s * (2 ** (attempt - 1)))
+            if sess is not None:
+                sess.metrics.counter("search.pool_retries").add(len(pending))
+        actions: dict[int, str] = {}
+        if plan is not None:
+            for i in pending:
+                action = plan.worker_fault(i, attempt)
+                if action is not None:
+                    actions[i] = action
+                    injected_kinds.setdefault(i, []).append(action)
+                    inj.injected(f"worker_{action}", f"task={i} attempt={attempt}")
+        failed: list[int] = []
+        pool = ctx.Pool(processes=min(n_workers, len(pending)))
+        try:
+            handles = [
+                (i, pool.apply_async(_chaos_task, ((actions.get(i), worker, payloads[i]),)))
+                for i in pending
+            ]
+            for i, handle in handles:
+                try:
+                    out = handle.get(timeout_s)
+                except multiprocessing.TimeoutError:
+                    failed.append(i)
+                except Exception:
+                    failed.append(i)
+                else:
+                    if isinstance(out, tuple) and out == _POISON:
+                        failed.append(i)
+                    else:
+                        results[i] = out
+                        _task_recovered(i, f"retry{attempt}" if attempt else "pool")
+        finally:
+            # terminate, not close: a hung worker would block join() forever
+            pool.terminate()
+            pool.join()
+        pending = failed
+
+    if pending:
+        # deterministic in-process fallback: same worker, same payloads,
+        # same merge position — bit-identical to a clean pool run.
+        if sess is not None:
+            sess.metrics.counter("search.pool_fallbacks").add(len(pending))
+        for i in pending:
+            results[i] = worker(payloads[i])
+            _task_recovered(i, "inproc")
+    return results
 
 
 def _chunked(items: Sequence[Any], n_chunks: int) -> list[list[Any]]:
@@ -490,7 +630,16 @@ def _sweep_engine(
         chunks = _chunked([(label, spec) for label, spec, _k in pending], n_workers)
         payloads = [(graph, grid, chunk, op_energy) for chunk in chunks]
         evaluated = [
-            row for rows in _pool_map(_sweep_worker, payloads, n_workers) for row in rows
+            row
+            for rows in _pool_map(
+                _sweep_worker,
+                payloads,
+                n_workers,
+                timeout_s=engine.task_timeout_s,
+                max_retries=engine.max_retries,
+                backoff_s=engine.retry_backoff_s,
+            )
+            for row in rows
         ]
         by_label = {label: (m, c) for label, m, c in evaluated}
         for label, _spec, key in pending:
@@ -561,7 +710,14 @@ def exhaustive_search(
             for a, b in zip(bounds[:-1], bounds[1:])
             if b > a
         ]
-        chunk_bests = _pool_map(_exhaustive_worker, payloads, n_workers)
+        chunk_bests = _pool_map(
+            _exhaustive_worker,
+            payloads,
+            n_workers,
+            timeout_s=engine.task_timeout_s,
+            max_retries=engine.max_retries,
+            backoff_s=engine.retry_backoff_s,
+        )
         evaluated = sum(row[4] for row in chunk_bests)
         f, assignment, m, c, _n = min(chunk_bests, key=lambda row: (row[0], row[1]))
     else:

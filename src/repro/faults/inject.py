@@ -1,0 +1,152 @@
+"""The active-injection switch and the fault ledger.
+
+Mirrors the :mod:`repro.obs` active-session pattern: a module-level slot
+holding the current :class:`Injection` (a :class:`~repro.faults.plan.
+FaultPlan` plus a ledger of what actually happened).  Instrumented layers
+(grid machine, NoC, scheduler, search pool) call :func:`active` once per
+operation; when no injection is open the hook is a single predictable
+branch and the simulators behave exactly as before — chaos is strictly
+opt-in.
+
+Every fault site that fires is recorded **twice**: once when injected and
+once when its recovery resolves (``recovered`` or ``unrecovered``), so
+the ledger can always answer "did every injected fault get handled?".
+When an observability session is also open, each record additionally
+ticks a ``fault.injected`` / ``fault.recovered`` / ``fault.unrecovered``
+counter labeled by fault kind — the PR-1 telemetry layer is how chaos
+results reach reports and CI gates.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.faults.plan import FaultPlan
+from repro.obs import active as _obs_active
+
+__all__ = ["FaultRecord", "Injection", "injection", "active"]
+
+#: Goodness direction per ledger action, for the obs diff tool.
+_BETTER = {"injected": "lower", "recovered": "higher", "unrecovered": "lower"}
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One ledger entry: what happened to one fault site."""
+
+    action: str  # "injected" | "recovered" | "unrecovered"
+    kind: str  # "pe_fail" | "link_down" | "bitflip" | "worker_*" | "executor"
+    target: str = ""
+
+    def __str__(self) -> str:
+        t = f" {self.target}" if self.target else ""
+        return f"{self.action:<11} {self.kind}{t}"
+
+
+class Injection:
+    """An open fault-injection scope: the plan plus the event ledger."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.records: list[FaultRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # recording
+
+    def _note(self, action: str, kind: str, target: str) -> None:
+        self.records.append(FaultRecord(action, kind, target))
+        sess = _obs_active()
+        if sess is not None:
+            sess.metrics.counter(
+                f"fault.{action}", better=_BETTER[action], kind=kind
+            ).inc()
+
+    def injected(self, kind: str, target: str = "") -> None:
+        self._note("injected", kind, target)
+
+    def recovered(self, kind: str, target: str = "") -> None:
+        self._note("recovered", kind, target)
+
+    def unrecovered(self, kind: str, target: str = "") -> None:
+        self._note("unrecovered", kind, target)
+
+    # ------------------------------------------------------------------ #
+    # interrogation
+
+    def count(self, action: str) -> int:
+        return sum(1 for r in self.records if r.action == action)
+
+    @property
+    def n_injected(self) -> int:
+        return self.count("injected")
+
+    @property
+    def n_recovered(self) -> int:
+        return self.count("recovered")
+
+    @property
+    def n_unrecovered(self) -> int:
+        return self.count("unrecovered")
+
+    @property
+    def all_handled(self) -> bool:
+        """True when every injected fault was resolved one way or the other.
+
+        Duplicate resolutions never occur (each injection site resolves
+        once), so handled-ness is a simple count comparison.
+        """
+        return self.n_recovered + self.n_unrecovered >= self.n_injected
+
+    def by_kind(self) -> dict[str, dict[str, int]]:
+        """``{kind: {injected: n, recovered: n, unrecovered: n}}``."""
+        out: dict[str, dict[str, int]] = {}
+        for r in self.records:
+            row = out.setdefault(
+                r.kind, {"injected": 0, "recovered": 0, "unrecovered": 0}
+            )
+            row[r.action] += 1
+        return out
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"{'kind':<16} {'injected':>8} {'recovered':>9} {'unrecovered':>11}"]
+        for kind in sorted(self.by_kind()):
+            row = self.by_kind()[kind]
+            lines.append(
+                f"{kind:<16} {row['injected']:>8} {row['recovered']:>9} "
+                f"{row['unrecovered']:>11}"
+            )
+        lines.append(
+            f"{'total':<16} {self.n_injected:>8} {self.n_recovered:>9} "
+            f"{self.n_unrecovered:>11}"
+        )
+        return lines
+
+
+# ---------------------------------------------------------------------- #
+# the active-injection slot (nests like obs sessions)
+
+_ACTIVE: Injection | None = None
+
+
+def active() -> Injection | None:
+    """The currently open injection scope, or None when chaos is off."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def injection(plan: FaultPlan) -> Iterator[Injection]:
+    """Open a fault-injection scope; instrumented layers consult it.
+
+    Scopes nest: the previous one is restored on exit.  The yielded
+    :class:`Injection` carries the ledger for post-run interrogation.
+    """
+    global _ACTIVE
+    inj = Injection(plan)
+    prev = _ACTIVE
+    _ACTIVE = inj
+    try:
+        yield inj
+    finally:
+        _ACTIVE = prev

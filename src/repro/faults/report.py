@@ -1,0 +1,284 @@
+"""CLI: run a seeded chaos campaign and report injected-vs-recovered.
+
+The acceptance bar for the fault subsystem is behavioural: a seeded chaos
+campaign (PE + link + worker + executor faults) over the edit-distance and
+matmul graphs must complete without hangs, return results bit-identical to
+the fault-free golden run whenever recovery succeeds, and account every
+injected fault as recovered or explicitly surfaced.  This tool *is* that
+campaign::
+
+    python -m repro.faults.report --seed 7
+    python -m repro.faults.report --seed 3 --pe-fail 0.2 --worker-crash 0.4 \\
+        --timeout-s 5 --require-recovered --json obs_out/chaos.json
+
+Exit codes: 0 — campaign clean (all recoveries correct); 1 — a gate flag
+(``--require-recovered`` / ``--fail-on-unrecovered``) tripped; 2 — a
+recovery *claimed* success but produced results different from the
+fault-free oracle (a resilience bug, the one thing this tool exists to
+catch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any
+
+from repro import obs
+from repro.algorithms.edit_distance import edit_distance_graph
+from repro.algorithms.matmul_fm import matmul_graph
+from repro.core.default_mapper import default_mapping
+from repro.core.mapping import GridSpec, Mapping
+from repro.core.function import DataflowGraph
+from repro.core.search import SearchEngine, sweep_placements
+from repro.faults.inject import Injection, injection
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.machines.grid import GridMachine
+from repro.machines.noc import Message, Noc
+from repro.models.workdepth import Dag
+from repro.runtime.scheduler import checkpointed_schedule
+from repro.testing import SearchEquivalenceError, assert_search_equivalent
+
+__all__ = ["main", "run_campaign"]
+
+
+def _workloads() -> list[tuple[str, DataflowGraph, dict[str, Any]]]:
+    """The campaign's grid workloads: the paper's two worked examples."""
+    edit = edit_distance_graph(5)
+    matmul = matmul_graph(3)
+    return [
+        ("edit-distance-5", edit, {"R": lambda i: (i * 7 + 3) % 5,
+                                   "Q": lambda j: (j * 3 + 1) % 5}),
+        ("matmul-3", matmul, {"A": lambda i, k: i + 2 * k + 1,
+                              "B": lambda k, j: 3 * k - j + 2}),
+    ]
+
+
+def _edge_messages(graph: DataflowGraph, mapping: Mapping) -> list[Message]:
+    """Inter-PE traffic of a mapped graph, as NoC messages (the same
+    derivation the grid machine's contention mode uses)."""
+    messages: list[Message] = []
+    mid = 0
+    for u, v in graph.edges():
+        if mapping.offchip[u] or mapping.offchip[v]:
+            continue
+        pu, pv = mapping.place_of(u), mapping.place_of(v)
+        if pu == pv:
+            continue
+        depart = int(mapping.time[u]) + (1 if graph.is_compute(u) else 0)
+        messages.append(Message(mid=mid, src=pu, dst=pv, inject_cycle=depart))
+        mid += 1
+    return messages
+
+
+def run_campaign(
+    seed: int,
+    spec: FaultSpec,
+    grid: GridSpec | None = None,
+    n_workers: int = 2,
+    timeout_s: float = 20.0,
+    max_retries: int = 2,
+) -> tuple[dict[str, Any], Injection]:
+    """One full chaos campaign; returns (summary document, fault ledger).
+
+    The summary's ``oracle`` entries compare every chaos result against
+    the fault-free golden run: any recovered component must match it
+    exactly (``ok`` false means a resilience bug, not an injected fault).
+    """
+    grid = grid or GridSpec(4, 2)
+    plan = FaultPlan(seed, spec)
+    workloads = _workloads()
+
+    # ---- golden (fault-free) pass ------------------------------------- #
+    golden: dict[str, Any] = {}
+    mappings: dict[str, Mapping] = {}
+    machine = GridMachine(grid)
+    for name, graph, inputs in workloads:
+        m = default_mapping(graph, grid)
+        mappings[name] = m
+        golden[name] = machine.run(graph, m, inputs)
+    edit_graph = workloads[0][1]
+    ref_sweep = sweep_placements(edit_graph, grid)
+    noc_messages = _edge_messages(edit_graph, mappings["edit-distance-5"])
+    golden_noc = Noc(grid.width, grid.height, tech=grid.tech).simulate(noc_messages)
+    dag = Dag.random_dag(60, 0.08, seed=seed, max_duration=3)
+
+    # ---- chaos pass ---------------------------------------------------- #
+    summary: dict[str, Any] = {
+        "seed": seed,
+        "spec": {k: getattr(spec, k) for k in (
+            "pe_fail", "link_down", "bitflip", "worker_crash", "worker_hang",
+            "worker_poison", "worker_faulty_attempts", "executor_fail")},
+        "grid": f"{grid.width}x{grid.height}",
+        "oracle": {},
+        "cost": {},
+    }
+    engine = SearchEngine(
+        parallel=True,
+        n_workers=n_workers,
+        task_timeout_s=timeout_s,
+        max_retries=max_retries,
+    )
+    # non-strict: unrecovered faults must surface in the ledger, not crash
+    chaos_machine = GridMachine(grid, strict=False)
+    with obs.session(label=f"chaos-seed{seed}", write_on_exit=False) as sess, \
+            injection(plan) as inj:
+        for name, graph, inputs in workloads:
+            res = chaos_machine.run(graph, mappings[name], inputs)
+            base = golden[name]
+            recovered_ok = res.verified and res.outputs == base.outputs
+            summary["oracle"][name] = {
+                "ok": recovered_ok or res.faults_injected > res.faults_recovered,
+                "verified": res.verified,
+                "outputs_match_golden": res.outputs == base.outputs,
+                "remapped": res.remapped,
+                "retries": res.retries,
+            }
+            summary["cost"][name] = {
+                "golden_cycles": base.cost.cycles,
+                "chaos_cycles": res.cost.cycles,
+                "extra_cycles": res.cost.cycles - base.cost.cycles,
+                "golden_energy_fj": base.cost.energy_total_fj,
+                "chaos_energy_fj": res.cost.energy_total_fj,
+            }
+
+        try:
+            chaos_sweep = sweep_placements(edit_graph, grid, engine=engine)
+            assert_search_equivalent(chaos_sweep, ref_sweep, context="chaos sweep")
+            summary["oracle"]["search"] = {"ok": True, "rows": len(chaos_sweep)}
+        except SearchEquivalenceError as exc:
+            summary["oracle"]["search"] = {"ok": False, "error": str(exc)}
+
+        noc_report = Noc(grid.width, grid.height, tech=grid.tech).simulate(
+            noc_messages
+        )
+        summary["cost"]["noc"] = {
+            "messages": len(noc_messages),
+            "golden_latency": golden_noc.total_latency,
+            "chaos_latency": noc_report.total_latency,
+            "rerouted": noc_report.rerouted,
+            "extra_hops": noc_report.extra_hops,
+            "extra_energy_fj": noc_report.extra_energy_fj,
+            "undelivered": len(noc_report.undelivered),
+        }
+        summary["oracle"]["noc"] = {
+            # undelivered messages are surfaced faults, not oracle failures
+            "ok": noc_report.rerouted + len(noc_report.undelivered) > 0
+            or noc_report.total_latency == golden_noc.total_latency,
+        }
+
+        run = checkpointed_schedule(dag, p=4, checkpoint_every=8)
+        run.schedule.validate_against(dag)
+        summary["cost"]["scheduler"] = {
+            "base_steps": run.base_length,
+            "chaos_steps": run.schedule.length,
+            "overhead_steps": run.overhead_steps,
+            "fault_step": run.fault_step,
+            "checkpoint_step": run.checkpoint_step,
+            "replayed_tasks": run.replayed_tasks,
+        }
+        summary["oracle"]["scheduler"] = {"ok": True, "faulted": run.faulted}
+
+        summary["cost"]["search"] = {
+            "pool_retries": sess.metrics.get_value("search.pool_retries") or 0,
+            "pool_fallbacks": sess.metrics.get_value("search.pool_fallbacks") or 0,
+        }
+
+    summary["ledger"] = inj.by_kind()
+    summary["totals"] = {
+        "injected": inj.n_injected,
+        "recovered": inj.n_recovered,
+        "unrecovered": inj.n_unrecovered,
+        "all_handled": inj.all_handled,
+    }
+    return summary, inj
+
+
+def _render(summary: dict[str, Any], inj: Injection) -> str:
+    lines = [
+        f"chaos campaign — seed {summary['seed']}, grid {summary['grid']}",
+        "",
+        "fault ledger",
+    ]
+    lines += ["  " + line for line in inj.summary_lines()]
+    lines += ["", "oracle (chaos vs fault-free golden run)"]
+    for name, row in summary["oracle"].items():
+        status = "ok" if row.get("ok") else "FAIL"
+        detail = ", ".join(
+            f"{k}={v}" for k, v in row.items() if k != "ok"
+        )
+        lines.append(f"  {name:<18} {status}   {detail}")
+    lines += ["", "cost of resilience"]
+    for name, row in summary["cost"].items():
+        detail = ", ".join(f"{k}={v}" for k, v in row.items())
+        lines.append(f"  {name:<18} {detail}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.report",
+        description="run a seeded chaos campaign and summarize "
+        "injected-vs-recovered faults and the cost of resilience",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--pe-fail", type=float, default=0.2)
+    parser.add_argument("--link-down", type=float, default=0.15)
+    parser.add_argument("--bitflip", type=float, default=0.1)
+    parser.add_argument("--worker-crash", type=float, default=0.3)
+    parser.add_argument("--worker-hang", type=float, default=0.0)
+    parser.add_argument("--worker-poison", type=float, default=0.2)
+    parser.add_argument("--executor-fail", type=float, default=1.0)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--timeout-s", type=float, default=20.0)
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help="also write the summary document as JSON")
+    parser.add_argument("--require-recovered", action="store_true",
+                        help="exit 1 unless at least one fault recovered")
+    parser.add_argument("--fail-on-unrecovered", action="store_true",
+                        help="exit 1 if any injected fault went unrecovered")
+    args = parser.parse_args(argv)
+
+    spec = FaultSpec(
+        pe_fail=args.pe_fail,
+        link_down=args.link_down,
+        bitflip=args.bitflip,
+        worker_crash=args.worker_crash,
+        worker_hang=args.worker_hang,
+        worker_poison=args.worker_poison,
+        executor_fail=args.executor_fail,
+    )
+    summary, inj = run_campaign(
+        args.seed, spec, n_workers=args.workers, timeout_s=args.timeout_s
+    )
+    print(_render(summary, inj))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(summary, indent=2, default=str) + "\n")
+        print(f"\nwrote {args.json}")
+
+    oracle_ok = all(row.get("ok") for row in summary["oracle"].values())
+    if not oracle_ok:
+        print("\nFAIL: a recovery claimed success but diverged from the "
+              "fault-free oracle", file=sys.stderr)
+        return 2
+    if not summary["totals"]["all_handled"]:
+        print("\nFAIL: some injected faults were neither recovered nor "
+              "surfaced", file=sys.stderr)
+        return 2
+    if args.require_recovered and summary["totals"]["recovered"] == 0:
+        print("\nFAIL: --require-recovered, but no fault recovered "
+              "(raise the probabilities or change the seed)", file=sys.stderr)
+        return 1
+    if args.fail_on_unrecovered and summary["totals"]["unrecovered"] > 0:
+        print("\nFAIL: --fail-on-unrecovered, but "
+              f"{summary['totals']['unrecovered']} faults went unrecovered",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

@@ -21,6 +21,26 @@ An optional contention-aware mode routes every message through the
 :class:`~repro.machines.noc.Noc` and reports queueing delay on top of the
 model's idealized transit times — quantifying how optimistic the pure
 model is for a given mapping.
+
+Fault resilience
+----------------
+When a :mod:`repro.faults` injection scope is open, the machine survives
+the plan's hardware faults instead of crashing:
+
+*  **PE fail-stop** — nodes mapped to dead PEs are deterministically
+   re-homed to the nearest live PE, the graph is re-scheduled ASAP on the
+   degraded grid, and the new mapping is re-checked through
+   :mod:`repro.core.legality` before running.  The honest price shows up
+   in the returned :class:`~repro.core.cost.CostReport` (longer wires,
+   later cycles).  If *every* PE is dead, strict mode raises
+   :class:`GridExecutionError`; non-strict mode records the fault as
+   unrecovered and runs on the original mapping.
+*  **Transient bit flips** — flipped compute results are caught by the
+   phase-3 verification and the execution replays clean (the flip is
+   transient); a flip that never reaches an output is counted as masked.
+
+Every injection and recovery lands in the fault ledger and (when an obs
+session is open) in ``fault.*`` counters.
 """
 
 from __future__ import annotations
@@ -30,9 +50,11 @@ from dataclasses import dataclass
 from typing import Any, Mapping as TMapping
 
 from repro.core.cost import CostReport, evaluate_cost
+from repro.core.default_mapper import schedule_asap
 from repro.core.function import DataflowGraph, OP_TABLE
 from repro.core.legality import LegalityReport, check_legality
 from repro.core.mapping import GridSpec, Mapping
+from repro.faults.inject import Injection, active as _faults_active
 from repro.obs import active as _obs_active
 
 __all__ = ["ExecutionResult", "GridMachine", "GridExecutionError"]
@@ -54,6 +76,14 @@ class ExecutionResult:
     legality: LegalityReport
     verified: bool
     noc_extra_cycles: int = 0
+    #: true when dead PEs forced a re-map onto the surviving grid
+    remapped: bool = False
+    #: fault bookkeeping for this run (counts, not identities — the
+    #: injection ledger has the per-site detail)
+    faults_injected: int = 0
+    faults_recovered: int = 0
+    #: execution replays forced by transient faults
+    retries: int = 0
 
     @property
     def cycles(self) -> int:
@@ -64,6 +94,17 @@ class ExecutionResult:
         return self.cost.energy_total_fj
 
 
+def _flip(value: Any) -> Any:
+    """Deterministic transient corruption of one value."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ 1
+    if isinstance(value, (float, complex)):
+        return value + 1.0
+    return ("<flipped>", value)
+
+
 class GridMachine:
     """Executes (function, mapping) pairs on a :class:`GridSpec`.
 
@@ -72,10 +113,10 @@ class GridMachine:
     grid:
         The grid geometry, technology, and storage bounds.
     strict:
-        If true (default), an illegal mapping or an output mismatch raises
-        :class:`GridExecutionError`; if false, the result records the
-        failure and costs are still reported (useful in search loops that
-        want to penalize rather than crash).
+        If true (default), an illegal mapping, an unrecoverable fault, or
+        an output mismatch raises :class:`GridExecutionError`; if false,
+        the result records the failure and costs are still reported
+        (useful in search loops that want to penalize rather than crash).
     """
 
     def __init__(self, grid: GridSpec, strict: bool = True) -> None:
@@ -91,34 +132,69 @@ class GridMachine:
     ) -> ExecutionResult:
         """Run the mapped program; see class docstring for the phases."""
         sess = _obs_active()
+        inj = _faults_active()
         run_span = (
             sess.span("grid.run", cat="grid", nodes=graph.n_nodes, with_noc=with_noc)
             if sess is not None
             else None
         )
+        remapped = False
+        injected = recovered = retries = 0
         try:
+            # --- phase 0: chaos — remap off fail-stopped PEs ------------- #
+            if inj is not None and inj.plan.spec.pe_fail > 0.0:
+                mapping, remapped, pe_injected, pe_recovered = self._remap_dead_pes(
+                    graph, mapping, inj, sess
+                )
+                injected += pe_injected
+                recovered += pe_recovered
+
             with sess.span("grid.legality", cat="grid") if sess is not None else _NULL:
                 legality = check_legality(graph, mapping, self.grid)
             if not legality.ok and self.strict:
                 legality.raise_if_illegal()
 
             # --- phase 2: cycle-ordered execution with arrival checking - #
+            flips_on = inj is not None and inj.plan.spec.bitflip > 0.0
             with sess.span("grid.execute", cat="grid") if sess is not None else _NULL:
-                values = self._execute(graph, mapping, inputs or {})
+                values, flipped = self._execute(
+                    graph, mapping, inputs or {}, inj if flips_on else None
+                )
+            injected += len(flipped)
 
             # --- phase 3: verification against the pure function -------- #
             with sess.span("grid.verify", cat="grid") if sess is not None else _NULL:
                 reference = graph.evaluate_all(inputs or {})
-                verified = True
-                for label, nid in graph.outputs.items():
-                    got, want = values[nid], reference[nid]
-                    if not _values_equal(got, want):
-                        verified = False
-                        if self.strict:
-                            raise GridExecutionError(
-                                f"output {label!r}: mapped execution produced "
-                                f"{got!r}, function says {want!r}"
-                            )
+                verified, mismatch = self._verify(graph, mapping, values, reference)
+
+            if flipped:
+                if verified:
+                    # corruption never reached an output: masked, benign
+                    for nid in flipped:
+                        inj.recovered("bitflip", f"node={nid} masked")
+                    recovered += len(flipped)
+                else:
+                    # transient fault: replay clean and re-verify
+                    retries = 1
+                    with (
+                        sess.span("grid.replay", cat="grid")
+                        if sess is not None
+                        else _NULL
+                    ):
+                        values, _ = self._execute(graph, mapping, inputs or {}, None)
+                    verified, mismatch = self._verify(
+                        graph, mapping, values, reference
+                    )
+                    for nid in flipped:
+                        if verified:
+                            inj.recovered("bitflip", f"node={nid} replayed")
+                        else:
+                            inj.unrecovered("bitflip", f"node={nid}")
+                    if verified:
+                        recovered += len(flipped)
+
+            if not verified and self.strict:
+                raise GridExecutionError(mismatch)
 
             cost = evaluate_cost(graph, mapping, self.grid)
             noc_extra = 0
@@ -135,6 +211,8 @@ class GridMachine:
             m.counter("grid.energy_total_fj").add(cost.energy_total_fj)
             m.counter("grid.noc_extra_cycles").add(noc_extra)
             m.counter("grid.verified_runs", better="higher").add(1 if verified else 0)
+            if retries:
+                m.counter("grid.fault_replays").add(retries)
         outputs = {label: values[nid] for label, nid in graph.outputs.items()}
         return ExecutionResult(
             outputs=outputs,
@@ -142,30 +220,143 @@ class GridMachine:
             legality=legality,
             verified=verified,
             noc_extra_cycles=noc_extra,
+            remapped=remapped,
+            faults_injected=injected,
+            faults_recovered=recovered,
+            retries=retries,
         )
 
     # ------------------------------------------------------------------ #
+
+    def _remap_dead_pes(
+        self,
+        graph: DataflowGraph,
+        mapping: Mapping,
+        inj: Injection,
+        sess: Any,
+    ) -> tuple[Mapping, bool, int, int]:
+        """Re-home nodes off fail-stopped PEs and re-schedule ASAP.
+
+        Returns ``(mapping, remapped, n_injected, n_recovered)``.  The
+        replacement PE for a dead place is the nearest live PE by
+        Manhattan distance (ties broken by (y, x) — deterministic), the
+        whole graph is re-scheduled on the degraded grid, and the result
+        is re-checked through :func:`repro.core.legality.check_legality`
+        before it is trusted.
+        """
+        plan = inj.plan
+        dead = plan.dead_pes(self.grid.width, self.grid.height)
+        if not dead:
+            return mapping, False, 0, 0
+        hit = sorted(dead & mapping.places_used())
+        if not hit:
+            return mapping, False, 0, 0
+        for p in hit:
+            inj.injected("pe_fail", f"pe=({p[0]},{p[1]})")
+        live = [p for p in self.grid.places() if p not in dead]
+        if not live:
+            if self.strict:
+                raise GridExecutionError(
+                    f"all {self.grid.n_places} PEs of the "
+                    f"{self.grid.width}x{self.grid.height} grid are "
+                    "fail-stopped under the active fault plan; nothing left "
+                    "to remap onto"
+                )
+            for p in hit:
+                inj.unrecovered("pe_fail", f"pe=({p[0]},{p[1]}) no live PE")
+            return mapping, False, len(hit), 0
+
+        def nearest_live(p: tuple[int, int]) -> tuple[int, int]:
+            return min(
+                live,
+                key=lambda q: (abs(q[0] - p[0]) + abs(q[1] - p[1]), q[1], q[0]),
+            )
+
+        replace = {p: nearest_live(p) for p in hit}
+        input_ids = [
+            nid for nid in range(graph.n_nodes) if graph.ops[nid] == "input"
+        ]
+        inputs_offchip = (
+            all(bool(mapping.offchip[nid]) for nid in input_ids)
+            if input_ids
+            else True
+        )
+
+        def place_fn(nid: int) -> tuple[int, int]:
+            p = mapping.place_of(nid)
+            return replace.get(p, p)
+
+        remapped = schedule_asap(
+            graph, self.grid, place_fn, inputs_offchip=inputs_offchip
+        )
+        report = check_legality(graph, remapped, self.grid)
+        if not report.ok:
+            if self.strict:
+                raise GridExecutionError(
+                    "remapping off dead PEs "
+                    f"{', '.join(f'({p[0]},{p[1]})' for p in hit)} produced an "
+                    f"illegal mapping: {report.violations[0]}"
+                )
+            for p in hit:
+                inj.unrecovered("pe_fail", f"pe=({p[0]},{p[1]}) remap illegal")
+            return mapping, False, len(hit), 0
+        for p in hit:
+            inj.recovered("pe_fail", f"pe=({p[0]},{p[1]})->{replace[p]}")
+        if sess is not None:
+            base = evaluate_cost(graph, mapping, self.grid)
+            after = evaluate_cost(graph, remapped, self.grid)
+            sess.metrics.counter("fault.pe_remapped_places").add(len(hit))
+            sess.metrics.histogram("fault.remap_extra_cycles").observe(
+                after.cycles - base.cycles
+            )
+        return remapped, True, len(hit), len(hit)
+
+    def _verify(
+        self,
+        graph: DataflowGraph,
+        mapping: Mapping,
+        values: list[Any],
+        reference: list[Any],
+    ) -> tuple[bool, str]:
+        """Compare mapped outputs to the pure evaluation; returns
+        ``(verified, first mismatch message)``."""
+        for label, nid in graph.outputs.items():
+            got, want = values[nid], reference[nid]
+            if not _values_equal(got, want):
+                place = mapping.place_of(nid)
+                return False, (
+                    f"output {label!r} (node {nid} at PE {place}): mapped "
+                    f"execution produced {got!r}, function says {want!r}"
+                )
+        return True, ""
 
     def _execute(
         self,
         graph: DataflowGraph,
         mapping: Mapping,
         inputs: TMapping[str, Any],
-    ) -> list[Any]:
+        inj: Injection | None,
+    ) -> tuple[list[Any], list[int]]:
         """Execute nodes in mapped-time order, checking operand arrival.
 
         This does not trust node-id order: it sorts by scheduled time, so a
         mapping that violates causality fails *here* too (belt and braces
         with the legality checker).
+
+        With an injection scope passed in, compute results named by the
+        fault plan are transiently corrupted; the flipped node ids are
+        returned so the caller can drive detection and replay.
         """
         n = graph.n_nodes
         values: list[Any] = [None] * n
         computed = [False] * n
+        flipped: list[int] = []
         order = sorted(range(n), key=lambda i: (int(mapping.time[i]), i))
         tech = self.grid.tech
         for nid in order:
             op = graph.ops[nid]
             t = int(mapping.time[nid])
+            place = mapping.place_of(nid)
             if op == "const":
                 values[nid] = graph.payload[nid]
                 computed[nid] = True
@@ -185,25 +376,31 @@ class GridMachine:
             for u in graph.args[nid]:
                 if not computed[u]:
                     raise GridExecutionError(
-                        f"node {nid} at t={t} reads operand {u} that has not "
-                        "been produced (causality violation at execution time)"
+                        f"node {nid} at PE {place} t={t} reads operand {u} "
+                        "that has not been produced (causality violation at "
+                        "execution time)"
                     )
                 avail = int(mapping.time[u]) + (1 if graph.is_compute(u) else 0)
                 if mapping.offchip[u] or mapping.offchip[nid]:
                     transit = tech.offchip_cycles()
                 else:
                     transit = self.grid.transit_cycles(
-                        mapping.place_of(u), mapping.place_of(nid)
+                        mapping.place_of(u), place
                     )
                 if t < avail + transit:
                     raise GridExecutionError(
-                        f"node {nid} at t={t} reads operand {u} arriving at "
+                        f"node {nid} at PE {place} t={t} reads operand {u} "
+                        f"(from PE {mapping.place_of(u)}) arriving at "
                         f"t={avail + transit}"
                     )
             _arity, fn = OP_TABLE[op]
             values[nid] = fn(*(values[u] for u in graph.args[nid]))
+            if inj is not None and inj.plan.bitflip(nid):
+                values[nid] = _flip(values[nid])
+                flipped.append(nid)
+                inj.injected("bitflip", f"node={nid} pe={place}")
             computed[nid] = True
-        return values
+        return values, flipped
 
     def _noc_extra_cycles(self, graph: DataflowGraph, mapping: Mapping) -> int:
         """Route every inter-PE edge through the NoC; return added latency.

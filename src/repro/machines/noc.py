@@ -1,4 +1,4 @@
-"""Network-on-chip: XY-routed mesh with link contention.
+"""Network-on-chip: XY-routed mesh with link contention and link faults.
 
 The F&M cost model charges transport by distance alone — wires are assumed
 available when a value wants to move.  Real grids arbitrate: two messages
@@ -12,13 +12,20 @@ Model
 *  2-D mesh, bidirectional links between 4-neighbours.
 *  Dimension-order (XY) routing: travel in x first, then y — deadlock-free
    and deterministic.
-*  Each message is one word (one flit).  A link accepts at most one new
-   message per cycle (pipelined wires: initiation interval 1), and a hop
-   takes ``tech.hop_cycles()`` cycles of flight.
+*  Each message carries ``size_bytes``; a word (8 bytes) is one flit.  A
+   link accepts one new flit per cycle (pipelined wires: initiation
+   interval 1), and a hop takes ``tech.hop_cycles()`` cycles of flight.
 *  Arbitration is age-based and deterministic: messages are processed in
    (inject_cycle, id) order, each claiming the earliest slot on every link
    of its route.  This is a conservative, reproducible stand-in for
    round-robin VC arbitration.
+*  **Link faults**: links named dead (explicitly, or by the active
+   :mod:`repro.faults` plan) carry no traffic.  Messages whose XY route
+   crosses a dead link are detoured over a deterministic BFS shortest
+   path around the failure, with the extra hops charged honestly in both
+   latency and transport energy (:class:`NocReport.extra_hops` /
+   ``extra_energy_fj``); messages with no surviving route are reported as
+   ``undelivered`` instead of silently dropped.
 
 Dally's bio notes he "designed ... the Torus Routing Chip which pioneered
 wormhole routing and virtual-channel flow control" — the simplified model
@@ -27,22 +34,75 @@ here is the single-flit degenerate case of exactly that machinery.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.faults.inject import active as _faults_active
+from repro.faults.plan import canonical_link
 from repro.machines.technology import Technology, TECH_5NM
 from repro.obs import active as _obs_active
 
-__all__ = ["Message", "NocReport", "Noc", "xy_route"]
+__all__ = ["Message", "NocReport", "Noc", "xy_route", "route_avoiding"]
+
+#: One flit carries one 64-bit word.
+_FLIT_BYTES = 8
+
+Place = tuple[int, int]
+Link = tuple[Place, Place]
 
 
 @dataclass(frozen=True)
 class Message:
-    """One word-sized message."""
+    """One message of ``size_bytes`` payload (default: one word).
+
+    Fields are validated at construction so malformed traffic fails with
+    an actionable message instead of deep inside :meth:`Noc.simulate`.
+    """
 
     mid: int
     src: tuple[int, int]
     dst: tuple[int, int]
     inject_cycle: int = 0
+    size_bytes: int = _FLIT_BYTES
+
+    def __post_init__(self) -> None:
+        for name in ("src", "dst"):
+            p = getattr(self, name)
+            if (
+                not isinstance(p, tuple)
+                or len(p) != 2
+                or not all(isinstance(c, int) and not isinstance(c, bool) for c in p)
+            ):
+                raise ValueError(
+                    f"message {self.mid}: {name}={p!r} must be an (x, y) tuple "
+                    "of ints"
+                )
+            if p[0] < 0 or p[1] < 0:
+                raise ValueError(
+                    f"message {self.mid}: {name}={p} has negative coordinates; "
+                    "mesh nodes live at (x >= 0, y >= 0)"
+                )
+        if self.src == self.dst:
+            raise ValueError(
+                f"message {self.mid}: src == dst == {self.src}; same-place "
+                "traffic needs no NoC — filter it out before simulating"
+            )
+        if self.size_bytes < 1:
+            raise ValueError(
+                f"message {self.mid}: size_bytes={self.size_bytes} must be "
+                ">= 1 (a message carries at least one byte)"
+            )
+        if self.inject_cycle < 0:
+            raise ValueError(
+                f"message {self.mid}: inject_cycle={self.inject_cycle} must "
+                "be >= 0 (cycle 0 is the start of time)"
+            )
+
+    @property
+    def flits(self) -> int:
+        """Payload size in flits (one word each, rounded up)."""
+        return -(-self.size_bytes // _FLIT_BYTES)
 
 
 @dataclass
@@ -53,6 +113,14 @@ class NocReport:
     latency: dict[int, int] = field(default_factory=dict)
     max_link_waiting: int = 0
     busiest_link_messages: int = 0
+    #: messages whose XY route crossed a dead link but found a detour
+    rerouted: int = 0
+    #: hops travelled beyond the (fault-free) XY routes, summed
+    extra_hops: int = 0
+    #: transport energy for those extra hops (one word per hop pitch)
+    extra_energy_fj: float = 0.0
+    #: mids with no surviving route (the mesh is partitioned around them)
+    undelivered: list[int] = field(default_factory=list)
 
     @property
     def total_latency(self) -> int:
@@ -82,33 +150,107 @@ def xy_route(src: tuple[int, int], dst: tuple[int, int]) -> list[tuple[tuple[int
     return hops
 
 
-class Noc:
-    """A W x H mesh network simulator."""
+def route_avoiding(
+    src: Place,
+    dst: Place,
+    width: int,
+    height: int,
+    dead_links: set[Link],
+) -> list[tuple[Place, Place]] | None:
+    """Deterministic shortest mesh route from ``src`` to ``dst`` avoiding
+    ``dead_links`` (canonical undirected pairs), or None if the failure
+    pattern disconnects the endpoints.
 
-    def __init__(self, width: int, height: int, tech: Technology = TECH_5NM) -> None:
+    BFS with a fixed neighbour order (+x, -x, +y, -y) — no RNG, no tie
+    ambiguity — so the same failure pattern always yields the same detour.
+    """
+    if src == dst:
+        return []
+    prev: dict[Place, Place] = {src: src}
+    frontier: deque[Place] = deque([src])
+    while frontier:
+        p = frontier.popleft()
+        if p == dst:
+            break
+        x, y = p
+        for q in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if not (0 <= q[0] < width and 0 <= q[1] < height):
+                continue
+            if q in prev or canonical_link(p, q) in dead_links:
+                continue
+            prev[q] = p
+            frontier.append(q)
+    if dst not in prev:
+        return None
+    hops: list[tuple[Place, Place]] = []
+    node = dst
+    while node != src:
+        hops.append((prev[node], node))
+        node = prev[node]
+    hops.reverse()
+    return hops
+
+
+class Noc:
+    """A W x H mesh network simulator.
+
+    ``dead_links`` (undirected node pairs) are unavailable from cycle 0;
+    links named dead by the active :mod:`repro.faults` plan are merged in
+    per :meth:`simulate` call.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        tech: Technology = TECH_5NM,
+        dead_links: Iterable[Link] | None = None,
+    ) -> None:
         if width < 1 or height < 1:
             raise ValueError("mesh must have positive extent")
         self.width = width
         self.height = height
         self.tech = tech
+        self.dead_links: set[Link] = {
+            canonical_link(a, b) for a, b in (dead_links or ())
+        }
+        for a, b in self.dead_links:
+            self._check_node(a)
+            self._check_node(b)
+            if abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+                raise ValueError(
+                    f"dead link {a} -- {b} does not join mesh neighbours"
+                )
 
     def _check_node(self, p: tuple[int, int]) -> None:
         if not (0 <= p[0] < self.width and 0 <= p[1] < self.height):
             raise ValueError(f"node {p} outside {self.width}x{self.height} mesh")
 
+    def _effective_dead_links(self) -> set[Link]:
+        inj = _faults_active()
+        if inj is None or inj.plan.spec.link_down <= 0.0:
+            return self.dead_links
+        return self.dead_links | inj.plan.dead_links(self.width, self.height)
+
     def simulate(self, messages: list[Message]) -> NocReport:
         """Deliver all messages; returns per-message latency and congestion.
 
         Deterministic: independent of input list order (messages are sorted
-        by (inject_cycle, mid) before link slots are claimed).
+        by (inject_cycle, mid) before link slots are claimed).  With dead
+        links present, affected messages detour (see module docstring);
+        the report carries the honest extra-hop latency/energy cost and
+        lists undeliverable messages rather than hiding them.
         """
         sess = _obs_active()
+        inj = _faults_active()
         span = (
             sess.span("noc.simulate", cat="noc", messages=len(messages))
             if sess is not None
             else None
         )
         hop_cycles = self.tech.hop_cycles()
+        hop_energy_fj = self.tech.transport_energy_fj(self.tech.grid_pitch_mm)
+        dead = self._effective_dead_links()
         # link -> next cycle at which it can accept a message
         link_free: dict[tuple[tuple[int, int], tuple[int, int]], int] = {}
         # link -> list of (enter_wait_cycle, start_cycle) for queue stats
@@ -119,14 +261,40 @@ class Noc:
         for msg in sorted(messages, key=lambda m: (m.inject_cycle, m.mid)):
             self._check_node(msg.src)
             self._check_node(msg.dst)
+            route = xy_route(msg.src, msg.dst)
+            if dead and any(canonical_link(a, b) in dead for a, b in route):
+                if inj is not None:
+                    inj.injected("link_down", f"mid={msg.mid}")
+                detour = route_avoiding(
+                    msg.src, msg.dst, self.width, self.height, dead
+                )
+                if detour is None:
+                    report.undelivered.append(msg.mid)
+                    if inj is not None:
+                        inj.unrecovered("link_down", f"mid={msg.mid} partitioned")
+                    continue
+                report.rerouted += 1
+                report.extra_hops += len(detour) - len(route)
+                report.extra_energy_fj += (
+                    (len(detour) - len(route)) * hop_energy_fj * msg.flits
+                )
+                if inj is not None:
+                    inj.recovered(
+                        "link_down",
+                        f"mid={msg.mid} +{len(detour) - len(route)} hops",
+                    )
+                route = detour
             t = msg.inject_cycle
-            for link in xy_route(msg.src, msg.dst):
+            flits = msg.flits
+            for link in route:
                 start = max(t, link_free.get(link, 0))
                 if start > t:
                     waits.setdefault(link, []).append((t, start))
-                link_free[link] = start + 1
+                link_free[link] = start + flits
                 link_count[link] = link_count.get(link, 0) + 1
                 t = start + hop_cycles
+            # serialization: the tail flit trails the head by flits - 1
+            t += flits - 1
             report.delivery_cycle[msg.mid] = t
             report.latency[msg.mid] = t - msg.inject_cycle
 
@@ -155,6 +323,12 @@ class Noc:
             m.gauge("noc.max_link_waiting", better="lower", mesh=mesh).set(
                 report.max_link_waiting
             )
+            if dead:
+                m.counter("noc.rerouted_messages", mesh=mesh).add(report.rerouted)
+                m.counter("noc.extra_hops", mesh=mesh).add(report.extra_hops)
+                m.counter("noc.undelivered_messages", mesh=mesh).add(
+                    len(report.undelivered)
+                )
             if span is not None:
                 span.set_cycles(report.makespan).set(
                     max_latency=report.max_latency,

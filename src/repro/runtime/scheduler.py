@@ -19,6 +19,13 @@ with full instrumentation, so the translation can be *measured*:
 
 All three return a :class:`Schedule` carrying the makespan, per-task start
 times, a per-step utilization trace, and (for stealing) steal statistics.
+
+:func:`checkpointed_schedule` wraps any of them in checkpoint/replay
+resilience: when the active :mod:`repro.faults` plan injects an executor
+fault mid-run, execution resumes from the last completed checkpoint —
+tasks finished by then keep their slots, in-flight work is re-executed —
+and the honest overhead (extra steps vs. the fault-free schedule) is
+reported instead of hidden.
 """
 
 from __future__ import annotations
@@ -26,18 +33,22 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro.faults.inject import active as _faults_active
 from repro.models.workdepth import Dag
 from repro.obs import Session, active as _obs_active
 from repro.runtime.tasks import ReadyTracker
 
 __all__ = [
     "Schedule",
+    "CheckpointedRun",
     "greedy_schedule",
     "work_stealing_schedule",
     "centralized_queue_schedule",
+    "checkpointed_schedule",
 ]
 
 
@@ -358,3 +369,134 @@ def _centralized_run(
         ready.extend(tracker.complete(task))
     sched.length = max(worker_free_at) if total else 0
     return sched
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint / replay resilience
+
+
+@dataclass
+class CheckpointedRun:
+    """Outcome of a (possibly fault-interrupted) checkpointed execution.
+
+    ``schedule`` is the *combined* schedule: tasks completed before the
+    checkpoint keep their original slots; everything else (including work
+    in flight when the executor died, which is lost and re-executed) is
+    replayed after the checkpoint.  ``overhead_steps`` is the honest cost
+    of the fault: combined makespan minus the fault-free makespan.
+    """
+
+    schedule: Schedule
+    base_length: int
+    fault_step: int | None = None
+    checkpoint_step: int = 0
+    replayed_tasks: int = 0
+    recovered: bool = True
+
+    @property
+    def faulted(self) -> bool:
+        return self.fault_step is not None
+
+    @property
+    def overhead_steps(self) -> int:
+        return self.schedule.length - self.base_length
+
+
+def _restrict_dag(dag: Dag, keep: list[int]) -> tuple[Dag, dict[int, int]]:
+    """The sub-DAG induced by ``keep`` (edges among kept nodes only).
+
+    Returns the new DAG plus the old-id -> new-id map.  ``keep`` must be
+    sorted ascending so the sub-DAG preserves the original id order.
+    """
+    idx = {u: k for k, u in enumerate(keep)}
+    sub = Dag()
+    for u in keep:
+        sub.add_node(dag.durations[u])
+    for u in keep:
+        for v in dag.successors[u]:
+            if v in idx:
+                sub.add_edge(idx[u], idx[v])
+    return sub, idx
+
+
+def checkpointed_schedule(
+    dag: Dag,
+    p: int,
+    scheduler: Callable[..., Schedule] = greedy_schedule,
+    checkpoint_every: int = 64,
+    **scheduler_kwargs,
+) -> CheckpointedRun:
+    """Run ``scheduler`` under checkpoint/replay fault resilience.
+
+    The fault-free schedule is computed first; if the active fault plan
+    injects an executor fault at step ``t``, everything completed by the
+    last checkpoint (the largest multiple of ``checkpoint_every`` not
+    after ``t``) survives, and the remaining sub-DAG — including tasks
+    that were mid-flight at the checkpoint, whose partial work is lost —
+    is re-scheduled from scratch on the same ``p`` workers.  Without an
+    injection scope (or when the plan spares this run) the fault-free
+    schedule is returned untouched, so the wrapper is free when chaos is
+    off.
+
+    Determinism: the fault step is a pure function of the plan's seed and
+    the fault-free makespan; the replay uses the same (deterministic)
+    scheduler.  The combined schedule satisfies every dependence and the
+    worker capacity bound — ``Schedule.validate_against`` accepts it.
+    """
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    base = scheduler(dag, p, **scheduler_kwargs)
+    inj = _faults_active()
+    fault_step = (
+        inj.plan.executor_fault_step(base.length) if inj is not None else None
+    )
+    if fault_step is None:
+        return CheckpointedRun(schedule=base, base_length=base.length)
+
+    inj.injected("executor", f"step={fault_step}")
+    ckpt = (fault_step // checkpoint_every) * checkpoint_every
+    finish = {u: base.start_times[u] + dag.durations[u] for u in base.start_times}
+    done = sorted(u for u, f in finish.items() if f <= ckpt)
+    rest = sorted(set(range(dag.n_nodes)) - set(done))
+    if not rest:
+        # the fault landed after all real work had finished; nothing lost
+        inj.recovered("executor", f"step={fault_step} nothing to replay")
+        return CheckpointedRun(
+            schedule=base,
+            base_length=base.length,
+            fault_step=fault_step,
+            checkpoint_step=ckpt,
+        )
+
+    sub, idx = _restrict_dag(dag, rest)
+    resume = scheduler(sub, p, **scheduler_kwargs)
+    combined = Schedule(length=ckpt + resume.length, p=p)
+    for u in done:
+        combined.start_times[u] = base.start_times[u]
+        combined.assignments[u] = base.assignments[u]
+        combined.busy_steps += dag.durations[u]
+    for u in rest:
+        k = idx[u]
+        combined.start_times[u] = ckpt + resume.start_times[k]
+        combined.assignments[u] = resume.assignments[k]
+    combined.busy_steps += resume.busy_steps
+    combined.steal_attempts = base.steal_attempts + resume.steal_attempts
+    combined.successful_steals = base.successful_steals + resume.successful_steals
+    inj.recovered("executor", f"step={fault_step} replayed {len(rest)} tasks")
+
+    run = CheckpointedRun(
+        schedule=combined,
+        base_length=base.length,
+        fault_step=fault_step,
+        checkpoint_step=ckpt,
+        replayed_tasks=len(rest),
+    )
+    sess = _obs_active()
+    if sess is not None:
+        m = sess.metrics
+        m.counter("scheduler.checkpoint_replays").inc()
+        m.counter("scheduler.replayed_tasks").add(len(rest))
+        m.counter("scheduler.replay_overhead_steps").add(
+            max(0, run.overhead_steps)
+        )
+    return run

@@ -1,0 +1,90 @@
+"""Checkpoint/replay scheduling under injected executor faults."""
+
+from repro.faults import FaultPlan, FaultSpec, injection
+from repro.models.workdepth import Dag
+from repro.runtime.scheduler import (
+    checkpointed_schedule,
+    greedy_schedule,
+    work_stealing_schedule,
+)
+
+
+def _dag(seed=0):
+    return Dag.random_dag(40, 0.1, seed=seed, max_duration=3)
+
+
+class TestNoFault:
+    def test_pass_through_without_injection(self):
+        dag = _dag()
+        run = checkpointed_schedule(dag, p=4)
+        base = greedy_schedule(dag, 4)
+        assert not run.faulted
+        assert run.fault_step is None
+        assert run.replayed_tasks == 0
+        assert run.overhead_steps == 0
+        assert run.schedule.length == base.length
+        run.schedule.validate_against(dag)
+
+    def test_pass_through_with_zero_probability(self):
+        dag = _dag()
+        with injection(FaultPlan(3, FaultSpec())):
+            run = checkpointed_schedule(dag, p=4)
+        assert not run.faulted
+        run.schedule.validate_against(dag)
+
+
+class TestFaulted:
+    SPEC = FaultSpec(executor_fail=1.0)
+
+    def test_replay_valid_and_recovered(self):
+        dag = _dag()
+        with injection(FaultPlan(5, self.SPEC)) as inj:
+            run = checkpointed_schedule(dag, p=4, checkpoint_every=8)
+        assert run.faulted
+        assert run.recovered
+        assert run.fault_step is not None
+        assert run.checkpoint_step == (run.fault_step // 8) * 8
+        assert run.checkpoint_step <= run.fault_step
+        run.schedule.validate_against(dag)
+        assert inj.n_injected == 1
+        assert inj.n_recovered == 1
+
+    def test_busy_steps_conserved(self):
+        """Replay re-executes lost work but never loses or invents any:
+        total busy steps equal the DAG's total work plus the re-executed
+        in-flight portion, and are at least the fault-free total."""
+        dag = _dag(seed=2)
+        base = greedy_schedule(dag, 4)
+        with injection(FaultPlan(1, self.SPEC)):
+            run = checkpointed_schedule(dag, p=4, checkpoint_every=8)
+        assert run.schedule.busy_steps >= base.busy_steps
+
+    def test_seed_determinism(self):
+        dag = _dag(seed=4)
+        def once(seed):
+            with injection(FaultPlan(seed, self.SPEC)):
+                return checkpointed_schedule(dag, p=3, checkpoint_every=16)
+        a, b = once(9), once(9)
+        assert a.fault_step == b.fault_step
+        assert a.schedule.start_times == b.schedule.start_times
+        assert a.schedule.assignments == b.schedule.assignments
+
+    def test_checkpoint_every_one_replays_least(self):
+        """Denser checkpoints can only shrink the replayed-task count."""
+        dag = _dag(seed=6)
+        def replayed(every):
+            with injection(FaultPlan(7, self.SPEC)):
+                return checkpointed_schedule(
+                    dag, p=4, checkpoint_every=every
+                ).replayed_tasks
+        assert replayed(1) <= replayed(64)
+
+    def test_works_with_other_schedulers(self):
+        dag = _dag(seed=8)
+        with injection(FaultPlan(2, self.SPEC)):
+            run = checkpointed_schedule(
+                dag, p=4, scheduler=work_stealing_schedule,
+                checkpoint_every=8, seed=1,
+            )
+        assert run.faulted
+        run.schedule.validate_against(dag)

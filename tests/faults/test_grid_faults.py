@@ -1,0 +1,131 @@
+"""Grid machine under injected faults: PE fail-stop remap, bitflip replay,
+and graceful degradation in non-strict mode."""
+
+import pytest
+
+from repro.algorithms.edit_distance import edit_distance_graph
+from repro.core.default_mapper import default_mapping
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec
+from repro.faults import FaultPlan, FaultSpec, injection
+from repro.machines.grid import GridExecutionError, GridMachine
+
+INPUTS = {"R": lambda i: (i * 7 + 3) % 5, "Q": lambda j: (j * 3 + 1) % 5}
+
+
+def _find_seed(pred, spec, limit=300):
+    """First seed whose plan satisfies ``pred`` — deterministic scan, so
+    the test never depends on luck at a magic constant."""
+    for seed in range(limit):
+        if pred(FaultPlan(seed, spec)):
+            return seed
+    raise AssertionError(f"no seed below {limit} satisfies the predicate")
+
+
+class TestPeFailRemap:
+    SPEC = FaultSpec(pe_fail=0.3)
+    GRID = GridSpec(4, 2)
+
+    def _partial_failure_seed(self, mapping):
+        used = mapping.places_used()
+        return _find_seed(
+            lambda plan: 0
+            < len(plan.dead_pes(4, 2) & used)
+            < self.GRID.n_places
+            and len(plan.dead_pes(4, 2)) < self.GRID.n_places,
+            self.SPEC,
+        )
+
+    def test_remap_recovers_bit_identical(self):
+        g = edit_distance_graph(4)
+        mapping = default_mapping(g, self.GRID)
+        machine = GridMachine(self.GRID)
+        golden = machine.run(g, mapping, INPUTS)
+        seed = self._partial_failure_seed(mapping)
+        with injection(FaultPlan(seed, self.SPEC)) as inj:
+            res = machine.run(g, mapping, INPUTS)
+        assert res.remapped
+        assert res.verified
+        assert res.outputs == golden.outputs
+        assert inj.n_injected > 0
+        assert inj.n_recovered == inj.n_injected
+        # the remapped schedule avoids every dead PE
+        plan = FaultPlan(seed, self.SPEC)
+        assert not (plan.dead_pes(4, 2) & mapping.places_used()) or res.remapped
+
+    def test_all_pes_dead_strict_raises(self):
+        g = edit_distance_graph(3)
+        grid = GridSpec(2, 1)
+        mapping = default_mapping(g, grid)
+        with injection(FaultPlan(0, FaultSpec(pe_fail=1.0))):
+            with pytest.raises(GridExecutionError, match="fail-stopped"):
+                GridMachine(grid, strict=True).run(g, mapping, INPUTS)
+
+    def test_all_pes_dead_nonstrict_degrades(self):
+        g = edit_distance_graph(3)
+        grid = GridSpec(2, 1)
+        mapping = default_mapping(g, grid)
+        with injection(FaultPlan(0, FaultSpec(pe_fail=1.0))) as inj:
+            res = GridMachine(grid, strict=False).run(g, mapping, INPUTS)
+        assert not res.remapped
+        assert inj.n_injected > 0
+        assert inj.n_unrecovered == inj.n_injected
+        assert inj.all_handled  # surfaced, not silently lost
+
+    def test_unused_dead_pes_are_free(self):
+        """Dead PEs the mapping never touches inject nothing."""
+        g = edit_distance_graph(3)
+        grid = GridSpec(4, 2)
+        mapping = default_mapping(g, grid)
+        used = mapping.places_used()
+        spec = FaultSpec(pe_fail=0.3)
+        seed = _find_seed(
+            lambda plan: plan.dead_pes(4, 2)
+            and not plan.dead_pes(4, 2) & used,
+            spec,
+        )
+        with injection(FaultPlan(seed, spec)) as inj:
+            res = GridMachine(grid).run(g, mapping, INPUTS)
+        assert not res.remapped
+        assert inj.n_injected == 0
+
+
+class TestBitflip:
+    def test_flip_detected_and_replayed(self):
+        g = edit_distance_graph(4)
+        grid = GridSpec(4, 1)
+        mapping = default_mapping(g, grid)
+        machine = GridMachine(grid)
+        golden = machine.run(g, mapping, INPUTS)
+        with injection(FaultPlan(1, FaultSpec(bitflip=1.0))) as inj:
+            res = machine.run(g, mapping, INPUTS)
+        assert res.retries == 1
+        assert res.verified
+        assert res.outputs == golden.outputs
+        assert inj.n_injected == len(g.compute_nodes())
+        assert inj.n_recovered == inj.n_injected
+
+    def test_masked_flip_counts_recovered_without_replay(self):
+        # min(a, -5) == -5 whatever happens to a: a flip on `a` is masked
+        g = DataflowGraph()
+        x = g.input("X", (0,))
+        zero = g.const(0)
+        a = g.op("+", x, zero)        # node 2: flip target
+        floor = g.const(-5)
+        m = g.op("min", a, floor)     # node 4: must stay clean
+        g.mark_output(m, ("out",))
+        grid = GridSpec(2, 1)
+        mapping = default_mapping(g, grid)
+        spec = FaultSpec(bitflip=0.5)
+        seed = _find_seed(
+            lambda plan: plan.bitflip(a) and not plan.bitflip(m), spec
+        )
+        with injection(FaultPlan(seed, spec)) as inj:
+            res = GridMachine(grid).run(g, mapping, {"X": lambda i: 4})
+        assert res.verified
+        assert res.retries == 0
+        assert res.outputs == {("out",): -5}
+        assert inj.n_injected == 1
+        assert inj.n_recovered == 1
+        assert any("masked" in r.target for r in inj.records
+                   if r.action == "recovered")

@@ -1,0 +1,124 @@
+"""NoC under link faults: deterministic detours with honest accounting,
+and partitioned meshes surfacing undelivered messages."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, injection
+from repro.machines.noc import Message, Noc, route_avoiding, xy_route
+
+
+class TestDetour:
+    def test_detour_pays_honest_extra_cost(self):
+        # (0,0) -> (2,0): XY route uses (0,0)--(1,0); kill it
+        dead = [((0, 0), (1, 0))]
+        msg = [Message(0, (0, 0), (2, 0))]
+        golden = Noc(3, 2).simulate(msg)
+        rep = Noc(3, 2, dead_links=dead).simulate(msg)
+        assert rep.rerouted == 1
+        assert rep.extra_hops == 2  # around via row 1: 4 hops vs 2
+        assert rep.extra_energy_fj > 0.0
+        assert rep.latency[0] > golden.latency[0]
+        assert rep.undelivered == []
+
+    def test_unaffected_messages_unchanged(self):
+        dead = [((0, 0), (1, 0))]
+        msg = [Message(0, (0, 1), (2, 1))]  # row 1 traffic never sees it
+        golden = Noc(3, 2).simulate(msg)
+        rep = Noc(3, 2, dead_links=dead).simulate(msg)
+        assert rep.rerouted == 0
+        assert rep.latency == golden.latency
+
+    def test_partitioned_mesh_surfaces_undelivered(self):
+        # 2x1 mesh has exactly one link; killing it partitions the mesh
+        rep = Noc(2, 1, dead_links=[((0, 0), (1, 0))]).simulate(
+            [Message(0, (0, 0), (1, 0))]
+        )
+        assert rep.undelivered == [0]
+        assert 0 not in rep.delivery_cycle
+
+    def test_detour_deterministic(self):
+        dead = {((1, 0), (1, 1))}
+        a = route_avoiding((1, 0), (1, 2), 3, 3, dead)
+        b = route_avoiding((1, 0), (1, 2), 3, 3, dead)
+        assert a == b
+        assert a is not None and len(a) == 4  # 2 XY hops + 2 detour hops
+
+    def test_route_avoiding_matches_xy_length_when_clear(self):
+        hops = route_avoiding((0, 0), (2, 2), 4, 4, set())
+        assert hops is not None
+        assert len(hops) == len(xy_route((0, 0), (2, 2)))
+
+    def test_plan_links_merge_with_constructor_links(self):
+        spec = FaultSpec(link_down=1.0)  # every link dead
+        with injection(FaultPlan(0, spec)) as inj:
+            rep = Noc(2, 2).simulate([Message(0, (0, 0), (1, 1))])
+        assert rep.undelivered == [0]
+        assert inj.n_injected == 1
+        assert inj.n_unrecovered == 1
+
+    def test_recovered_ledger_entries(self):
+        spec = FaultSpec(link_down=0.3)
+        # find a seed whose failures detour (not partition) this message
+        for seed in range(300):
+            plan = FaultPlan(seed, spec)
+            dead = plan.dead_links(3, 3)
+            route = xy_route((0, 0), (2, 2))
+            from repro.faults.plan import canonical_link
+
+            if not any(canonical_link(a, b) in dead for a, b in route):
+                continue
+            if route_avoiding((0, 0), (2, 2), 3, 3, dead) is None:
+                continue
+            with injection(plan) as inj:
+                rep = Noc(3, 3).simulate([Message(0, (0, 0), (2, 2))])
+            assert rep.rerouted == 1
+            assert inj.n_recovered == 1
+            return
+        raise AssertionError("no seed under 300 produced a detourable fault")
+
+
+class TestMessageValidation:
+    def test_src_equals_dst_rejected(self):
+        with pytest.raises(ValueError, match="src == dst"):
+            Message(0, (1, 1), (1, 1))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="size_bytes"):
+            Message(0, (0, 0), (1, 0), size_bytes=-4)
+        with pytest.raises(ValueError, match="size_bytes"):
+            Message(0, (0, 0), (1, 0), size_bytes=0)
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Message(0, (-1, 0), (1, 0))
+
+    def test_malformed_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="tuple"):
+            Message(0, (0, 0, 0), (1, 0))
+        with pytest.raises(ValueError, match="tuple"):
+            Message(0, (0, 0), (True, 0))
+
+    def test_negative_inject_cycle_rejected(self):
+        with pytest.raises(ValueError, match="inject_cycle"):
+            Message(0, (0, 0), (1, 0), inject_cycle=-1)
+
+    def test_out_of_bounds_endpoint_rejected_at_simulate(self):
+        noc = Noc(2, 2)
+        with pytest.raises(ValueError, match="outside"):
+            noc.simulate([Message(0, (0, 0), (5, 0))])
+
+    def test_multi_flit_serialization(self):
+        # 32 bytes = 4 flits: tail trails head by 3 cycles
+        one = Noc(3, 1).simulate([Message(0, (0, 0), (2, 0))])
+        big = Noc(3, 1).simulate([Message(0, (0, 0), (2, 0), size_bytes=32)])
+        assert big.latency[0] == one.latency[0] + 3
+
+
+class TestNocConstruction:
+    def test_dead_link_must_join_neighbours(self):
+        with pytest.raises(ValueError, match="neighbours"):
+            Noc(3, 3, dead_links=[((0, 0), (2, 0))])
+
+    def test_dead_link_must_be_in_bounds(self):
+        with pytest.raises(ValueError, match="outside"):
+            Noc(2, 2, dead_links=[((1, 1), (1, 2))])

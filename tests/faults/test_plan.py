@@ -1,0 +1,116 @@
+"""FaultPlan: determinism, validation, and probability edge cases."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, canonical_link, iter_mesh_links
+
+SPEC = FaultSpec(
+    pe_fail=0.3,
+    link_down=0.2,
+    bitflip=0.15,
+    worker_crash=0.2,
+    worker_hang=0.1,
+    worker_poison=0.1,
+    executor_fail=0.8,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(42, SPEC).schedule(6, 4, 50, 16, 100)
+        b = FaultPlan(42, SPEC).schedule(6, 4, 50, 16, 100)
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPlan(0, SPEC).schedule(6, 4, 50, 16, 100)
+        b = FaultPlan(1, SPEC).schedule(6, 4, 50, 16, 100)
+        assert a != b
+
+    def test_queries_order_independent(self):
+        """Per-site queries are pure: asking in any order, any number of
+        times, gives the same answers (no hidden RNG stream)."""
+        plan = FaultPlan(7, SPEC)
+        forward = [plan.bitflip(i) for i in range(40)]
+        backward = [plan.bitflip(i) for i in reversed(range(40))]
+        assert forward == list(reversed(backward))
+        assert plan.dead_pes(6, 4) == plan.dead_pes(6, 4)
+
+    def test_schedule_matches_lazy_queries(self):
+        """The materialized schedule is exactly what the lazy predicates
+        report — the two views can never disagree."""
+        plan = FaultPlan(11, SPEC)
+        events = plan.schedule(4, 3, 20, 8, 50)
+        pe_targets = {e.target for e in events if e.kind == "pe_fail"}
+        assert pe_targets == plan.dead_pes(4, 3)
+        flip_targets = {e.target for e in events if e.kind == "bitflip"}
+        assert flip_targets == {(n,) for n in range(20) if plan.bitflip(n)}
+
+    def test_link_queries_undirected(self):
+        plan = FaultPlan(5, SPEC)
+        for a, b in iter_mesh_links(4, 4):
+            assert plan.link_dead(a, b) == plan.link_dead(b, a)
+
+
+class TestProbabilityEdges:
+    def test_zero_probability_never_fires(self):
+        plan = FaultPlan(3, FaultSpec())
+        assert plan.dead_pes(8, 8) == set()
+        assert plan.dead_links(8, 8) == set()
+        assert not any(plan.bitflip(n) for n in range(100))
+        assert plan.executor_fault_step(1000) is None
+        assert plan.worker_fault(0, 0) is None
+
+    def test_probability_one_always_fires(self):
+        plan = FaultPlan(3, FaultSpec(pe_fail=1.0, link_down=1.0, bitflip=1.0))
+        assert plan.dead_pes(4, 4) == {(x, y) for x in range(4) for y in range(4)}
+        assert plan.dead_links(4, 4) == set(iter_mesh_links(4, 4))
+        assert all(plan.bitflip(n) for n in range(50))
+
+    def test_worker_fault_gated_by_attempts(self):
+        plan = FaultPlan(1, FaultSpec(worker_crash=1.0))
+        assert plan.worker_fault(0, 0) == "crash"
+        # beyond worker_faulty_attempts (default 1) the task runs clean
+        assert plan.worker_fault(0, 1) is None
+
+    def test_worker_fault_kind_split(self):
+        plan = FaultPlan(
+            9,
+            FaultSpec(worker_crash=0.3, worker_hang=0.3, worker_poison=0.3,
+                      worker_faulty_attempts=1),
+        )
+        kinds = {plan.worker_fault(i, 0) for i in range(200)}
+        assert kinds == {None, "crash", "hang", "poison"}
+
+    def test_executor_fault_step_in_range(self):
+        plan = FaultPlan(2, FaultSpec(executor_fail=1.0))
+        for length in (1, 5, 100):
+            step = plan.executor_fault_step(length)
+            assert step is not None and 1 <= step <= length
+        assert plan.executor_fault_step(0) is None
+
+
+class TestValidation:
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError, match="pe_fail"):
+            FaultSpec(pe_fail=1.5)
+        with pytest.raises(ValueError, match="bitflip"):
+            FaultSpec(bitflip=-0.1)
+
+    def test_worker_probs_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            FaultSpec(worker_crash=0.6, worker_hang=0.6)
+
+    def test_attempts_at_least_one(self):
+        with pytest.raises(ValueError, match="worker_faulty_attempts"):
+            FaultSpec(worker_faulty_attempts=0)
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(TypeError):
+            FaultPlan("7", SPEC)
+        with pytest.raises(TypeError):
+            FaultPlan(True, SPEC)
+
+
+def test_canonical_link_sorted():
+    assert canonical_link((1, 0), (0, 0)) == ((0, 0), (1, 0))
+    assert canonical_link((0, 0), (1, 0)) == ((0, 0), (1, 0))

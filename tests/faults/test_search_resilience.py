@@ -1,0 +1,87 @@
+"""Search under worker faults: crash / hang / poison recovered by retry or
+in-process fallback, with results bit-identical to the reference engine."""
+
+import pytest
+
+from repro import obs
+from repro.algorithms.edit_distance import edit_distance_graph
+from repro.core.mapping import GridSpec
+from repro.core.search import SearchEngine, _pool_map, sweep_placements
+from repro.faults import FaultPlan, FaultSpec, injection
+from repro.testing import assert_search_equivalent
+
+GRAPH = edit_distance_graph(3)
+GRID = GridSpec(2, 1)
+
+
+def _square(x):
+    return x * x
+
+
+def _chaos_engine(**kw):
+    return SearchEngine(
+        parallel=True,
+        n_workers=2,
+        task_timeout_s=kw.pop("task_timeout_s", 30.0),
+        max_retries=kw.pop("max_retries", 2),
+        retry_backoff_s=0.01,
+        **kw,
+    )
+
+
+class TestPoolMapGuards:
+    def test_empty_payloads_short_circuit(self):
+        assert _pool_map(_square, [], 4) == []
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError, match="positive worker count"):
+            _pool_map(_square, [1, 2], 0)
+        with pytest.raises(ValueError, match="positive worker count"):
+            _pool_map(_square, [1, 2], -3)
+
+    def test_plain_map_matches_serial(self):
+        assert _pool_map(_square, list(range(20)), 2) == [
+            x * x for x in range(20)
+        ]
+
+
+class TestWorkerFaults:
+    REFERENCE = sweep_placements(GRAPH, GRID)
+
+    def _sweep_under(self, spec, seed=0, **engine_kw):
+        with injection(FaultPlan(seed, spec)) as inj:
+            rows = sweep_placements(GRAPH, GRID, engine=_chaos_engine(**engine_kw))
+        return rows, inj
+
+    def test_crash_recovered_bit_identical(self):
+        rows, inj = self._sweep_under(FaultSpec(worker_crash=1.0))
+        assert_search_equivalent(rows, self.REFERENCE, context="crash chaos")
+        assert inj.n_injected > 0
+        assert inj.n_recovered == inj.n_injected
+
+    def test_poison_recovered_bit_identical(self):
+        rows, inj = self._sweep_under(FaultSpec(worker_poison=1.0))
+        assert_search_equivalent(rows, self.REFERENCE, context="poison chaos")
+        assert inj.n_recovered == inj.n_injected > 0
+
+    def test_hang_recovered_by_timeout(self):
+        rows, inj = self._sweep_under(
+            FaultSpec(worker_hang=1.0), task_timeout_s=1.0
+        )
+        assert_search_equivalent(rows, self.REFERENCE, context="hang chaos")
+        assert inj.n_recovered == inj.n_injected > 0
+
+    def test_persistent_crash_falls_back_in_process(self):
+        # every attempt of every task crashes: only the in-process
+        # fallback can finish, and it must still be bit-identical
+        spec = FaultSpec(worker_crash=1.0, worker_faulty_attempts=99)
+        with obs.session(label="fallback", write_on_exit=False) as sess:
+            rows, inj = self._sweep_under(spec, max_retries=1)
+        assert_search_equivalent(rows, self.REFERENCE, context="fallback chaos")
+        assert inj.n_recovered == inj.n_injected > 0
+        assert (sess.metrics.get_value("search.pool_fallbacks") or 0) > 0
+
+    def test_fault_free_plan_identical_results(self):
+        rows, inj = self._sweep_under(FaultSpec())
+        assert_search_equivalent(rows, self.REFERENCE, context="no chaos")
+        assert inj.n_injected == 0

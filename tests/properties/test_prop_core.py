@@ -69,10 +69,14 @@ class TestNocProperties:
     @settings(max_examples=30)
     def test_latency_at_least_uncontended(self, raw):
         noc = Noc(4, 4)
+        # src == dst is rejected at Message construction; filter first
         msgs = [
             Message(i, (sx, sy), (dx, dy), t)
             for i, (sx, sy, dx, dy, t) in enumerate(raw)
+            if (sx, sy) != (dx, dy)
         ]
+        if not msgs:
+            return
         rep = noc.simulate(msgs)
         hop = noc.tech.hop_cycles()
         for m in msgs:
@@ -84,12 +88,17 @@ class TestNocProperties:
     @settings(max_examples=20)
     def test_permutation_invariance(self, seed):
         rng = np.random.default_rng(seed)
-        msgs = [
-            Message(i, (int(rng.integers(4)), 0), (int(rng.integers(4)), 0),
-                    int(rng.integers(5)))
-            for i in range(8)
+        # src == dst is rejected at Message construction; filter first
+        raw = [
+            ((int(rng.integers(4)), 0), (int(rng.integers(4)), 0),
+             int(rng.integers(5)))
+            for _ in range(8)
         ]
-        msgs = [m for m in msgs if m.src != m.dst]
+        msgs = [
+            Message(i, src, dst, t)
+            for i, (src, dst, t) in enumerate(raw)
+            if src != dst
+        ]
         if not msgs:
             return
         noc = Noc(4, 1)

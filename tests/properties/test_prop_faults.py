@@ -1,0 +1,71 @@
+"""Property tests for the fault-injection subsystem.
+
+Two properties the whole chaos layer stands on:
+
+1. A :class:`FaultPlan` is a pure function of its seed — the same seed
+   always yields the identical fault schedule, whatever the query order.
+2. Worker faults plus retries never change search results: a faulted
+   parallel sweep is bit-identical to ``SearchEngine.reference()``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.edit_distance import edit_distance_graph
+from repro.core.mapping import GridSpec
+from repro.core.search import SearchEngine, sweep_placements
+from repro.faults import FaultPlan, FaultSpec, injection
+from repro.testing import assert_search_equivalent
+
+GRAPH = edit_distance_graph(3)
+GRID = GridSpec(2, 1)
+REFERENCE = sweep_placements(GRAPH, GRID, engine=SearchEngine.reference())
+
+prob = st.floats(0.0, 1.0, allow_nan=False, width=32)
+
+
+@given(
+    seed=st.integers(0, 2**63 - 1),
+    pe=prob,
+    link=prob,
+    flip=prob,
+)
+@settings(max_examples=50, deadline=None)
+def test_same_seed_identical_schedule(seed, pe, link, flip):
+    spec = FaultSpec(pe_fail=pe, link_down=link, bitflip=flip,
+                     worker_crash=0.5, executor_fail=0.5)
+    a = FaultPlan(seed, spec).schedule(5, 3, 30, 10, 60)
+    b = FaultPlan(seed, spec).schedule(5, 3, 30, 10, 60)
+    assert a == b
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_plan_queries_are_pure(seed):
+    spec = FaultSpec(pe_fail=0.4, link_down=0.3, bitflip=0.2)
+    plan = FaultPlan(seed, spec)
+    assert plan.dead_pes(4, 4) == plan.dead_pes(4, 4)
+    assert plan.dead_links(4, 4) == plan.dead_links(4, 4)
+    assert [plan.bitflip(n) for n in range(20)] == [
+        plan.bitflip(n) for n in range(20)
+    ]
+
+
+@given(
+    seed=st.integers(0, 1000),
+    crash=st.floats(0.0, 0.5, allow_nan=False),
+    poison=st.floats(0.0, 0.5, allow_nan=False),
+)
+@settings(max_examples=5, deadline=None)
+def test_worker_faults_never_change_results(seed, crash, poison):
+    """Crashed/poisoned workers are retried (or run in-process); the
+    merged result must stay bit-identical to the reference engine."""
+    spec = FaultSpec(worker_crash=crash, worker_poison=poison)
+    engine = SearchEngine(
+        parallel=True, n_workers=2, task_timeout_s=30.0,
+        max_retries=2, retry_backoff_s=0.01,
+    )
+    with injection(FaultPlan(seed, spec)) as inj:
+        rows = sweep_placements(GRAPH, GRID, engine=engine)
+    assert_search_equivalent(rows, REFERENCE, context=f"chaos seed={seed}")
+    assert inj.n_recovered == inj.n_injected  # every fault recovered

@@ -130,6 +130,17 @@ EXPERIMENTS = [
      "differential oracle (repro.testing.assert_search_equivalent) "
      "verifies results identical to the reference path, and the 2-worker "
      "multiprocessing sweep merges deterministically to the same rows."),
+    ("C19", "Deterministic fault injection and the cost of resilience", [],
+     "bench_c19_fault_overhead.py",
+     ["c19_fault_overhead.txt", "c19_zero_fault.txt"],
+     "Robustness claim for the whole stack: under a seeded chaos plan "
+     "(fail-stopped PEs, dead mesh links, transient bitflips, "
+     "crashed/hung/poisoned search workers, a dying executor) the grid "
+     "machine remaps, the NoC detours, the search retries, and the "
+     "scheduler checkpoint-replays — with every recovered result "
+     "bit-identical to the fault-free golden run, every injected fault "
+     "accounted recovered-or-surfaced in the fault.* counters, and the "
+     "extra cycles/hops/energy of resilience measured, not hidden."),
     ("A1", "Ablation: systolic forwarding vs broadcast matmul", [],
      "bench_a01_systolic_matmul.py",
      ["a01_systolic.txt"],
