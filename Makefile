@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-json trace experiments examples all
+.PHONY: install test bench bench-json trace serve serve-smoke experiments examples all
 
 install:
 	pip install -e .
@@ -25,6 +25,16 @@ bench-json:
 # artifact paths (Chrome trace + metrics dump in obs_out/).
 trace:
 	$(PYTHONPATH_SRC) python examples/paper_worked_example.py --trace
+
+# Start the batched evaluation service on localhost:8077 (see README
+# "Serving"); POST JSON to /v1/requests, GET /healthz and /stats.
+serve:
+	$(PYTHONPATH_SRC) python -m repro.serve.server --port 8077 --shards 2
+
+# The CI serving gate: 40 concurrent mixed-kind requests, every one
+# served or explicitly shed, served searches oracle-diffed vs direct calls.
+serve-smoke:
+	$(PYTHONPATH_SRC) python tools/serve_smoke.py --shards 2 --requests 40
 
 experiments: bench
 	python tools/gen_experiments.py

@@ -10,35 +10,37 @@ kernel — and reports the time/energy/footprint Pareto frontier plus the
 per-FoM winners.  The "completely serial to minimum-depth" span of the
 space is checked explicitly: the sweep's fastest point must approach the
 function's inherent depth, and its serial point must equal the work.
+
+All searching goes through the stable :mod:`repro.api` facade — the same
+calls a served ``search`` request executes (workloads are named registry
+entries, figures of merit are weight dicts).
 """
 
 
-from repro.algorithms.fft import fft_graph
-from repro.algorithms.stencil import stencil_graph
+from repro import api
 from repro.analysis.pareto import pareto_front
 from repro.analysis.report import Table
 from repro.core.function import DataflowGraph
-from repro.core.mapping import GridSpec
-from repro.core.search import (
-    FigureOfMerit,
-    anneal,
-    exhaustive_search,
-    sweep_placements,
-)
 
-GRID = GridSpec(8, 1)
+MACHINE = api.MachineSpec(8, 1)
+EDP = {"time": 1, "energy": 1}
+# `steps` means stencil time-steps here, not anneal steps — a WorkloadSpec
+# keeps workload params separate from search knobs.
+STENCIL_32x3 = api.WorkloadSpec.of("stencil", n=32, steps=3)
 
 
-def search_workload(graph):
-    swept = sweep_placements(graph, GRID, FigureOfMerit.edp())
-    annealed = anneal(graph, GRID, FigureOfMerit.edp(), steps=300, seed=1)
+def search_workload(spec, seed):
+    swept = api.search(spec, MACHINE, fom=EDP)
+    annealed = api.search(
+        spec, MACHINE, fom=EDP, method="anneal", steps=300, seed=seed
+    )[0]
     return swept, annealed
 
 
-def test_bench_pareto_frontier(benchmark, record_table):
-    g = stencil_graph(32, 3)
+def test_bench_pareto_frontier(benchmark, record_table, bench_opts):
     swept, annealed = benchmark.pedantic(
-        lambda: search_workload(g), rounds=1, iterations=1
+        lambda: search_workload(STENCIL_32x3, bench_opts.seed),
+        rounds=1, iterations=1,
     )
     points = swept + [annealed]
     front = pareto_front(points, lambda r: r.metrics())
@@ -58,8 +60,8 @@ def test_bench_serial_to_min_depth_span(benchmark, record_table):
     """The space spans 'completely serial' to near the function's depth."""
 
     def measure():
-        g = fft_graph(32, "dit")
-        swept = sweep_placements(g, GRID, FigureOfMerit.fastest())
+        g = api.compile("fft", n=32, variant="dit")
+        swept = api.search(g, MACHINE, fom={"time": 1})
         serial = next(r for r in swept if r.label == "serial")
         fastest = swept[0]
         return g, serial, fastest
@@ -69,7 +71,7 @@ def test_bench_serial_to_min_depth_span(benchmark, record_table):
         "C14b: FFT-32 — the serial-to-parallel span of the mapping space",
         ["point", "cycles", "reference"],
     )
-    offload = GRID.tech.offchip_cycles()
+    offload = MACHINE.grid().tech.offchip_cycles()
     tbl.add_row("function work (ops)", g.work(), "serial lower bound")
     tbl.add_row("serial mapping", serial.cost.cycles, "~ work + load latency")
     tbl.add_row("fastest swept mapping", fastest.cost.cycles, "")
@@ -87,14 +89,14 @@ def test_bench_fom_changes_the_winner(benchmark, record_table):
     the 'or some combination' clause has teeth."""
 
     def measure():
-        g = stencil_graph(48, 2)
+        spec = api.WorkloadSpec.of("stencil", n=48, steps=2)
         winners = {}
         for name, fom in (
-            ("time", FigureOfMerit.fastest()),
-            ("energy", FigureOfMerit.lowest_energy()),
-            ("edp", FigureOfMerit.edp()),
+            ("time", {"time": 1}),
+            ("energy", {"energy": 1}),
+            ("edp", EDP),
         ):
-            winners[name] = sweep_placements(g, GRID, fom)[0]
+            winners[name] = api.search(spec, MACHINE, fom=fom)[0]
         return winners
 
     winners = benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -116,7 +118,11 @@ def test_bench_fom_changes_the_winner(benchmark, record_table):
 
 def test_bench_exhaustive_validates_heuristics(benchmark, record_table):
     """Ground truth on a tiny kernel: the sweep/anneal winners are within
-    a small factor of the true optimum."""
+    a small factor of the true optimum.
+
+    The kernel is hand-built — the facade accepts a raw DataflowGraph
+    wherever it accepts a registry name.
+    """
 
     def measure():
         g = DataflowGraph()
@@ -126,11 +132,10 @@ def test_bench_exhaustive_validates_heuristics(benchmark, record_table):
         t = g.op("*", s, s, index=(1,))
         u = g.op("+", t, s, index=(2,))
         g.mark_output(u, "o")
-        grid = GridSpec(3, 1)
-        fom = FigureOfMerit.edp()
-        best = exhaustive_search(g, grid, fom)
-        swept = sweep_placements(g, grid, fom)[0]
-        ann = anneal(g, grid, fom, steps=200, seed=0)
+        machine = api.MachineSpec(3, 1)
+        best = api.search(g, machine, fom=EDP, method="exhaustive")[0]
+        swept = api.search(g, machine, fom=EDP)[0]
+        ann = api.search(g, machine, fom=EDP, method="anneal", steps=200, seed=0)[0]
         return best, swept, ann
 
     best, swept, ann = benchmark.pedantic(measure, rounds=1, iterations=1)

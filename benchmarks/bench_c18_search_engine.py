@@ -8,58 +8,60 @@ schedule+cost work into lookups) plus a simulated-annealing run (the
 incremental scorer re-prices only the moved node's edges and skips the
 liveness sweep).  Equality is not eyeballed: the differential oracle from
 ``repro.testing`` checks every row, mapping, and CostReport float.
+
+The campaign drives the :mod:`repro.api` facade (with an explicit
+``engine=``) — the same calls the serve shards execute with their warm
+engines, so this bench also certifies the path the service takes.
 """
 
 import time
 
-from repro.algorithms.stencil import stencil_graph
+from repro import api
 from repro.analysis.report import Table
-from repro.core.mapping import GridSpec
 from repro.core.memo import clear_global_caches, global_cache
-from repro.core.search import (
-    FigureOfMerit,
-    SearchEngine,
-    anneal,
-    sweep_placements,
-)
+from repro.core.search import SearchEngine
 from repro.testing import assert_search_equivalent
 
-GRID = GridSpec(8, 1)
+MACHINE = api.MachineSpec(8, 1)
+STENCIL_32x3 = api.WorkloadSpec.of("stencil", n=32, steps=3)
 FOMS = [
-    ("time", FigureOfMerit.fastest()),
-    ("energy", FigureOfMerit.lowest_energy()),
-    ("edp", FigureOfMerit.edp()),
+    ("time", {"time": 1}),
+    ("energy", {"energy": 1}),
+    ("edp", {"time": 1, "energy": 1}),
 ]
 ANNEAL_STEPS = 250
 
 
-def search_campaign(graph, engine):
+def search_campaign(spec, engine, seed):
     """The full loop a user actually runs: sweep under several FoMs, then
     anneal from the best region.  Returns (sweep rows per FoM, anneal)."""
     sweeps = {
-        name: sweep_placements(graph, GRID, fom, engine=engine)
+        name: api.search(spec, MACHINE, fom=fom, engine=engine)
         for name, fom in FOMS
     }
-    annealed = anneal(
-        graph, GRID, FigureOfMerit.edp(), steps=ANNEAL_STEPS, seed=1, engine=engine
-    )
+    annealed = api.search(
+        spec, MACHINE, fom=FOMS[-1][1], method="anneal",
+        steps=ANNEAL_STEPS, seed=seed, engine=engine,
+    )[0]
     return sweeps, annealed
 
 
-def test_bench_engine_speedup_with_identical_results(benchmark, record_table):
-    g = stencil_graph(32, 3)
+def test_bench_engine_speedup_with_identical_results(
+    benchmark, record_table, bench_opts
+):
     # n_workers=1: this box may be single-core, so the measured win is
     # memoization + incremental scoring; parallel equality is covered below.
     fast_engine = SearchEngine(memoize=True, incremental=True, n_workers=1)
+    seed = bench_opts.seed
 
     def measure():
         clear_global_caches()
         t0 = time.perf_counter()
-        ref = search_campaign(g, None)
+        ref = search_campaign(STENCIL_32x3, None, seed)
         t_ref = time.perf_counter() - t0
         clear_global_caches()
         t0 = time.perf_counter()
-        fast = search_campaign(g, fast_engine)
+        fast = search_campaign(STENCIL_32x3, fast_engine, seed)
         t_fast = time.perf_counter() - t0
         return ref, fast, t_ref, t_fast
 
@@ -90,25 +92,29 @@ def test_bench_engine_speedup_with_identical_results(benchmark, record_table):
     assert speedup >= 3.0, f"fast engine only {speedup:.2f}x over reference"
 
 
-def test_bench_parallel_driver_is_deterministic(benchmark, record_table):
+def test_bench_parallel_driver_is_deterministic(
+    benchmark, record_table, bench_opts
+):
     """The multiprocessing fan-out returns byte-identical results to the
     serial sweep — merging is by (FoM, label), never arrival order."""
-    g = stencil_graph(24, 2)
+    spec = api.WorkloadSpec.of("stencil", n=24, steps=2)
+    workers = max(2, bench_opts.workers)
 
     def measure():
         clear_global_caches()
-        ref = sweep_placements(g, GRID)
-        par = sweep_placements(
-            g, GRID, engine=SearchEngine(parallel=True, n_workers=2)
+        ref = api.search(spec, MACHINE)
+        par = api.search(
+            spec, MACHINE,
+            engine=SearchEngine(parallel=True, n_workers=workers),
         )
         return ref, par
 
     ref, par = benchmark.pedantic(measure, rounds=1, iterations=1)
     assert_search_equivalent(par, ref, context="parallel sweep")
     tbl = Table(
-        "C18b: parallel sweep determinism (stencil 24x2, 2 workers)",
+        f"C18b: parallel sweep determinism (stencil 24x2, {workers} workers)",
         ["path", "candidates", "best", "best FoM"],
     )
     tbl.add_row("serial reference", len(ref), ref[0].label, ref[0].fom)
-    tbl.add_row("2-worker pool", len(par), par[0].label, par[0].fom)
+    tbl.add_row(f"{workers}-worker pool", len(par), par[0].label, par[0].fom)
     record_table("c18_parallel", tbl)

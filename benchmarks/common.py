@@ -1,0 +1,98 @@
+"""Shared configuration surface for the claim benchmarks.
+
+Every bench used to hard-code its seed, output directory, and worker
+count; this module unifies them behind one option set::
+
+    --seed N      base RNG seed for stochastic searchers   (default 1)
+    --out DIR     artifact directory                       (default benchmarks/out)
+    --json        also emit machine-readable JSON tables   (default on)
+    --workers N   worker processes for parallel benches    (default 2)
+
+The same options are honored everywhere they can appear:
+
+* ``repro-bench`` (the console script, :func:`repro.cli.bench_main`)
+  parses them and forwards to pytest via ``REPRO_BENCH_*`` environment
+  variables;
+* ``benchmarks/conftest.py`` reads them back (:func:`options_from_env`)
+  so the ``bench_opts`` fixture gives each bench the resolved values;
+* standalone tools may call :func:`add_bench_arguments` on their own
+  parser to stay flag-compatible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+from dataclasses import dataclass
+
+_DEFAULT_OUT = pathlib.Path(__file__).parent / "out"
+
+__all__ = [
+    "BenchOptions",
+    "add_bench_arguments",
+    "options_from_args",
+    "options_from_env",
+    "to_env",
+]
+
+
+@dataclass(frozen=True)
+class BenchOptions:
+    """The resolved common options every bench sees."""
+
+    seed: int = 1
+    out: pathlib.Path = _DEFAULT_OUT
+    json: bool = True
+    workers: int = 2
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared bench flags to any parser (idempotent surface)."""
+    parser.add_argument(
+        "--seed", type=int, default=BenchOptions.seed,
+        help="base RNG seed for stochastic searchers (anneal etc.)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=_DEFAULT_OUT,
+        help="directory for bench artifacts (tables, metrics dumps)",
+    )
+    parser.add_argument(
+        "--json", dest="json", action="store_true", default=True,
+        help="emit machine-readable JSON tables next to the text ones",
+    )
+    parser.add_argument(
+        "--no-json", dest="json", action="store_false",
+        help="text tables only",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=BenchOptions.workers,
+        help="worker processes for parallel benches (clamped to the host)",
+    )
+    return parser
+
+
+def options_from_args(args: argparse.Namespace) -> BenchOptions:
+    return BenchOptions(
+        seed=args.seed, out=args.out, json=bool(args.json), workers=args.workers
+    )
+
+
+def to_env(options: BenchOptions) -> dict[str, str]:
+    """Serialize options for the pytest hop (``repro-bench`` -> conftest)."""
+    return {
+        "REPRO_BENCH_SEED": str(options.seed),
+        "REPRO_BENCH_OUT": str(options.out),
+        "REPRO_BENCH_JSON": "1" if options.json else "0",
+        "REPRO_BENCH_WORKERS": str(options.workers),
+    }
+
+
+def options_from_env(environ: dict[str, str] | None = None) -> BenchOptions:
+    env = os.environ if environ is None else environ
+    return BenchOptions(
+        seed=int(env.get("REPRO_BENCH_SEED", BenchOptions.seed)),
+        out=pathlib.Path(env.get("REPRO_BENCH_OUT", _DEFAULT_OUT)),
+        json=env.get("REPRO_BENCH_JSON", "1") != "0",
+        workers=int(env.get("REPRO_BENCH_WORKERS", BenchOptions.workers)),
+    )

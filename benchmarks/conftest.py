@@ -21,13 +21,28 @@ from __future__ import annotations
 
 import json
 import pathlib
+import sys
 
 import pytest
 
 from repro import obs
 from repro.analysis.report import Table
 
-OUT_DIR = pathlib.Path(__file__).parent / "out"
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from common import options_from_env  # noqa: E402 (benchmarks/common.py)
+
+OPTIONS = options_from_env()
+OUT_DIR = OPTIONS.out
+
+
+@pytest.fixture(scope="session")
+def bench_opts():
+    """The shared --seed/--out/--json/--workers options (see common.py).
+
+    ``repro-bench`` forwards its flags here through ``REPRO_BENCH_*`` env
+    vars; a bare ``pytest benchmarks/`` run sees the defaults.
+    """
+    return OPTIONS
 
 
 def _table_payload(table: Table) -> dict:
@@ -42,20 +57,21 @@ def _table_payload(table: Table) -> dict:
 def record_table():
     """Print tables, persist them as text AND as machine-readable JSON."""
 
-    OUT_DIR.mkdir(exist_ok=True)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
 
     def _record(name: str, *tables: Table, tolerances: dict | None = None) -> None:
         text = "\n\n".join(t.render() for t in tables)
         (OUT_DIR / f"{name}.txt").write_text(text + "\n")
-        doc = {
-            "name": name,
-            "tables": [_table_payload(t) for t in tables],
-        }
-        if tolerances:
-            doc["tolerances"] = dict(tolerances)
-        (OUT_DIR / f"{name}.json").write_text(
-            json.dumps(doc, indent=1, sort_keys=False) + "\n"
-        )
+        if OPTIONS.json:
+            doc = {
+                "name": name,
+                "tables": [_table_payload(t) for t in tables],
+            }
+            if tolerances:
+                doc["tolerances"] = dict(tolerances)
+            (OUT_DIR / f"{name}.json").write_text(
+                json.dumps(doc, indent=1, sort_keys=False) + "\n"
+            )
         print()
         print(text)
 
@@ -71,7 +87,7 @@ def obs_bench_session(request):
     everything the module simulated.
     """
     name = pathlib.Path(request.module.__file__).stem
-    OUT_DIR.mkdir(exist_ok=True)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     with obs.session(label=name) as sess:
         yield sess
     (OUT_DIR / f"{name}.metrics.json").write_text(

@@ -1,88 +1,67 @@
 """Quickstart: the Function-and-Mapping model in five minutes.
 
-Builds a small dataflow program, maps it three ways (serial, default
-mapper, hand placement), checks legality, predicts cost, runs it on the
-grid machine, and lowers the best mapping to a hardware description —
-the full F&M story from the paper's Section 3 on one page.
+Builds a small dataflow program through the stable :mod:`repro.api`
+facade, maps it two ways (serial, default mapper), checks legality,
+predicts cost, runs it on the grid machine, and lowers the best mapping
+to a hardware description — the full F&M story from the paper's
+Section 3 on one page.
+
+Everything here goes through ``repro.api`` — the same entry point the
+benchmarks and the serving layer (``repro-serve``) use, so what you see
+is exactly what a served request computes.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    DataflowGraph,
-    GridMachine,
-    GridSpec,
-    check_legality,
-    default_mapping,
-    evaluate_cost,
-    serial_mapping,
-)
+from repro import GridMachine, api
 from repro.analysis.report import Table
 from repro.core.lowering import lower
 
 
-def build_function(n: int) -> DataflowGraph:
-    """out = sum of squares of an n-element input vector.
-
-    Pure dataflow: "no ordering - other than that imposed by data
-    dependencies - is specified".
-    """
-    g = DataflowGraph()
-    squares = []
-    for i in range(n):
-        x = g.input("x", (i,))
-        squares.append(g.op("*", x, x, index=(i,), group="sq"))
-    # balanced reduction tree over the squares
-    frontier = squares
-    while len(frontier) > 1:
-        nxt = []
-        for k in range(0, len(frontier) - 1, 2):
-            nxt.append(g.op("+", frontier[k], frontier[k + 1],
-                            index=(k,), group="tree"))
-        if len(frontier) % 2:
-            nxt.append(frontier[-1])
-        frontier = nxt
-    g.mark_output(frontier[0], "sum_sq")
-    return g
-
-
 def main() -> None:
     n = 32
-    g = build_function(n)
+    # "sum_squares" is a registry workload: out = sum of squares of an
+    # n-element input vector, squared in parallel then tree-reduced.
+    g = api.compile("sum_squares", n=n)
     print(f"function: {g}")
     print(f"  inherent work {g.work()} ops, depth {g.depth()}, "
           f"parallelism {g.parallelism():.1f}\n")
 
-    grid = GridSpec(8, 1)  # 8 PEs in a row, 1 mm apart, 5 nm technology
-    machine = GridMachine(grid)
+    machine = api.MachineSpec(8, 1)  # 8 PEs in a row, 5 nm technology
+    runner = GridMachine(machine.grid())
     inputs = {"x": {(i,): i + 1 for i in range(n)}}
     expected = sum((i + 1) ** 2 for i in range(n))
 
     tbl = Table(
-        "three mappings of the same function",
+        "two mappings of the same function",
         ["mapping", "legal", "cycles", "energy (fJ)", "comm share", "PEs"],
     )
-    for name, mapping in (
-        ("serial (one PE)", serial_mapping(g, grid)),
-        ("default mapper", default_mapping(g, grid)),
-    ):
-        report = check_legality(g, mapping, grid)
-        cost = evaluate_cost(g, mapping, grid)
-        result = machine.run(g, mapping, inputs)
+    for name, mapper in (("serial (one PE)", "serial"),
+                         ("default mapper", "default")):
+        res = api.evaluate("sum_squares", machine, mapper=mapper,
+                           check=True, n=n)
+        result = runner.run(g, res.mapping, inputs)
         assert result.outputs["sum_sq"] == expected
         tbl.add_row(
             name,
-            report.ok,
-            cost.cycles,
-            cost.energy_total_fj,
-            f"{cost.communication_fraction:.1%}",
-            cost.places_used,
+            res.legality.ok,
+            res.cost.cycles,
+            res.cost.energy_total_fj,
+            f"{res.cost.communication_fraction:.1%}",
+            res.cost.places_used,
         )
     tbl.print()
 
+    # search the mapping space for the energy-delay-product winner
+    best = api.search("sum_squares", machine, fom={"time": 1, "energy": 1},
+                      n=n)[0]
+    print(f"\nbest EDP mapping from the sweep: {best.label} "
+          f"({best.cost.cycles} cycles, {best.cost.energy_total_fj:.0f} fJ)")
+
     # lower the default mapping to a structural hardware description
-    spec = lower(g, default_mapping(g, grid), grid)
-    print("lowered hardware (mechanical, per the paper):")
+    default = api.evaluate("sum_squares", machine, n=n)
+    spec = lower(g, default.mapping, machine.grid())
+    print("\nlowered hardware (mechanical, per the paper):")
     print(spec.render(max_rom_lines=3))
 
 

@@ -6,6 +6,13 @@ The paper is a position paper: its "system" is a set of computational cost
 models and its "evaluation" is a set of quantitative claims.  This package
 makes all of it executable:
 
+- :mod:`repro.api` — **the stable public facade**: ``compile`` /
+  ``evaluate`` / ``search`` / ``simulate`` (+ ``score``) with typed,
+  JSON-able request dataclasses — the one entry point the serving layer,
+  the benchmarks, and the examples share;
+- :mod:`repro.serve` — the batched async evaluation service: JSON
+  protocol, per-tick batcher with backpressure, and a shard pool of
+  persistent warm-cache workers fronted by an HTTP server;
 - :mod:`repro.core` — Dally's Function-and-Mapping model (dataflow graphs,
   space-time mappings, legality, cost, idioms, composition, search,
   lowering, recomputation);
@@ -22,34 +29,86 @@ makes all of it executable:
   checking, Pareto frontiers, and table rendering;
 - :mod:`repro.obs` — the unified telemetry layer: structured metrics,
   span tracing with wall- and model-time, Chrome-trace export, and the
-  ``python -m repro.obs.report`` summarize/diff CLI.
+  ``python -m repro.obs.report`` summarize/diff CLI;
+- :mod:`repro.faults` — deterministic fault injection and the chaos
+  campaign CLI.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every claim (C1-C14).
+paper-vs-measured record of every claim (C1-C20).
+
+Compatibility
+-------------
+The convenience re-exports ``check_legality`` / ``evaluate_cost`` /
+``default_mapping`` / ``serial_mapping`` at this top level are
+**deprecated shims**: they keep working, but emit a
+:class:`DeprecationWarning` pointing at :mod:`repro.api` (or the
+canonical defining module, which never warns).
 """
+
+from __future__ import annotations
+
+import warnings
 
 from repro.machines.technology import Technology, TECH_5NM
 from repro.core.function import DataflowGraph
 from repro.core.mapping import GridSpec, Mapping
-from repro.core.legality import check_legality
-from repro.core.cost import evaluate_cost
-from repro.core.default_mapper import default_mapping, serial_mapping
 from repro.machines.grid import GridMachine
-from repro import obs
+from repro import api, obs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # the stable facade
+    "api",
+    "obs",
+    # core value types (stable)
     "Technology",
     "TECH_5NM",
     "DataflowGraph",
     "GridSpec",
     "Mapping",
-    "check_legality",
-    "evaluate_cost",
-    "default_mapping",
-    "serial_mapping",
     "GridMachine",
-    "obs",
     "__version__",
 ]
+
+#: Deprecated top-level re-exports -> (canonical "module:attr", facade hint).
+_DEPRECATED_SHIMS = {
+    "check_legality": (
+        "repro.core.legality:check_legality",
+        "repro.api.evaluate(..., check=True)",
+    ),
+    "evaluate_cost": (
+        "repro.core.cost:evaluate_cost",
+        "repro.api.evaluate(...)",
+    ),
+    "default_mapping": (
+        "repro.core.default_mapper:default_mapping",
+        'repro.api.evaluate(..., mapper="default")',
+    ),
+    "serial_mapping": (
+        "repro.core.default_mapper:serial_mapping",
+        'repro.api.evaluate(..., mapper="serial")',
+    ),
+}
+
+
+def __getattr__(name: str):
+    """Lazy deprecation shims for the pre-facade top-level entry points."""
+    shim = _DEPRECATED_SHIMS.get(name)
+    if shim is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    canonical, facade = shim
+    mod_name, attr = canonical.split(":")
+    warnings.warn(
+        f"'repro.{name}' is deprecated: use {facade} (or import "
+        f"{attr} from {mod_name}, which never warns)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(mod_name), attr)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(_DEPRECATED_SHIMS))

@@ -1,0 +1,518 @@
+"""repro.api — the stable public facade over the F&M toolkit.
+
+One import, four verbs, every capability::
+
+    from repro import api
+
+    g = api.compile("stencil", n=16, steps=2)          # function
+    ev = api.evaluate(g, api.MachineSpec(8, 1))        # cost of one mapping
+    rows = api.search("stencil", (8, 1), method="sweep")  # mapping search
+    stats = api.simulate([(256, 8, None, "L1")], trace)   # cache simulation
+
+Everything the serving layer (:mod:`repro.serve`), the benchmarks, and
+the examples need goes through these entry points, so there is exactly
+one behaviour to test: the serve workers call the same functions a
+library user calls, which is what makes the served-vs-direct
+bit-identity oracle meaningful.
+
+Design rules
+------------
+*  **Typed requests.** :class:`WorkloadSpec` / :class:`MachineSpec` /
+   :class:`FomSpec` are small frozen dataclasses with lossless JSON
+   round-trips (``as_jsonable`` / ``from_jsonable``) — the wire protocol
+   in :mod:`repro.serve.protocol` is a direct serialization of them.
+*  **No new math.** The facade only routes to the library
+   (:func:`repro.core.cost.evaluate_cost`, the searchers in
+   :mod:`repro.core.search`, :func:`repro.machines.cachesim.
+   run_trace_cached`); results are the library's own objects, so the
+   PR-2 differential oracle applies unchanged.
+*  **Registry, not pickles.** Functions are named workloads compiled
+   from parameters (``compile("matmul", n=4)``), never serialized graph
+   objects — a JSON request can therefore describe any workload without
+   trusting the sender with code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping as TMapping, Sequence
+
+from repro.core.cost import CostReport, evaluate_cost, evaluate_cost_cached
+from repro.core.default_mapper import (
+    default_mapping,
+    schedule_asap,
+    serial_mapping,
+)
+from repro.core.function import DataflowGraph
+from repro.core.legality import LegalityReport, check_legality
+from repro.core.mapping import GridSpec, Mapping
+from repro.core.memo import MemoCache
+from repro.core.search import (
+    FigureOfMerit,
+    SearchEngine,
+    SearchResult,
+    anneal,
+    exhaustive_search,
+    sweep_placements,
+)
+from repro.machines.cachesim import run_trace_cached
+
+__all__ = [
+    "WorkloadSpec",
+    "MachineSpec",
+    "FomSpec",
+    "EvaluateResult",
+    "ApiError",
+    "workload_names",
+    "register_workload",
+    "unregister_workload",
+    "compile",
+    "evaluate",
+    "search",
+    "simulate",
+    "score",
+    "SEARCH_METHODS",
+    "MAPPERS",
+]
+
+#: Search methods :func:`search` accepts.
+SEARCH_METHODS = ("sweep", "anneal", "exhaustive")
+
+#: Built-in mapping strategies :func:`evaluate` accepts.
+MAPPERS = ("default", "serial")
+
+_SCALARS = (int, float, str, bool)
+
+
+class ApiError(ValueError):
+    """A malformed facade request (unknown workload, bad params, ...).
+
+    The serve layer maps this to the ``INVALID_REQUEST`` rejection code;
+    anything else a facade call raises is a genuine internal error.
+    """
+
+
+# ---------------------------------------------------------------------- #
+# typed request dataclasses
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, parameterized function from the workload registry.
+
+    ``params`` is a sorted tuple of (name, scalar) pairs so the spec is
+    hashable and its JSON form is canonical — two specs describing the
+    same workload compare (and content-address) equal.
+    """
+
+    name: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        for key, value in self.params:
+            if not isinstance(key, str) or not isinstance(value, _SCALARS):
+                raise ApiError(
+                    f"workload param {key!r}={value!r} must be a (str, scalar) pair"
+                )
+
+    @staticmethod
+    def of(name: str, **params: Any) -> "WorkloadSpec":
+        return WorkloadSpec(name, tuple(sorted(params.items())))
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def as_jsonable(self) -> dict[str, Any]:
+        return {"name": self.name, "params": self.as_dict()}
+
+    @staticmethod
+    def from_jsonable(doc: Any) -> "WorkloadSpec":
+        if isinstance(doc, str):
+            return WorkloadSpec.of(doc)
+        if not isinstance(doc, dict) or "name" not in doc:
+            raise ApiError(f"workload spec must be a name or {{name, params}}: {doc!r}")
+        params = doc.get("params", {})
+        if not isinstance(params, dict):
+            raise ApiError(f"workload params must be an object: {params!r}")
+        return WorkloadSpec.of(str(doc["name"]), **params)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The target machine, JSON-able: a W x H grid (defaults elsewhere).
+
+    Only the geometry is exposed over the wire for now; technology and
+    storage-bound knobs keep their library defaults, so a spec is always
+    reproducible from its JSON form alone.
+    """
+
+    width: int
+    height: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ApiError(
+                f"machine grid must have positive extent, got "
+                f"{self.width}x{self.height}"
+            )
+
+    def grid(self) -> GridSpec:
+        return GridSpec(self.width, self.height)
+
+    def as_jsonable(self) -> dict[str, int]:
+        return {"width": self.width, "height": self.height}
+
+    @staticmethod
+    def from_jsonable(doc: Any) -> "MachineSpec":
+        if isinstance(doc, (list, tuple)) and len(doc) == 2:
+            return MachineSpec(int(doc[0]), int(doc[1]))
+        if isinstance(doc, dict) and "width" in doc:
+            return MachineSpec(int(doc["width"]), int(doc.get("height", 1)))
+        raise ApiError(f"machine spec must be [w, h] or {{width, height}}: {doc!r}")
+
+
+@dataclass(frozen=True)
+class FomSpec:
+    """Weights of the weighted-product figure of merit (lower is better)."""
+
+    time: float = 1.0
+    energy: float = 0.0
+    footprint: float = 0.0
+
+    def fom(self) -> FigureOfMerit:
+        return FigureOfMerit(self.time, self.energy, self.footprint)
+
+    def as_jsonable(self) -> dict[str, float]:
+        return {"time": self.time, "energy": self.energy, "footprint": self.footprint}
+
+    @staticmethod
+    def from_jsonable(doc: Any) -> "FomSpec":
+        if doc is None:
+            return FomSpec()
+        if isinstance(doc, dict):
+            extra = set(doc) - {"time", "energy", "footprint"}
+            if extra:
+                raise ApiError(f"unknown FoM weights: {sorted(extra)}")
+            spec = FomSpec(
+                float(doc.get("time", 0.0)),
+                float(doc.get("energy", 0.0)),
+                float(doc.get("footprint", 0.0)),
+            )
+            # an explicit dict means exactly these weights (omitted = 0) —
+            # {"energy": 1} is energy-only, not EDP-by-default
+            if spec.time == spec.energy == spec.footprint == 0.0:
+                raise ApiError("FoM weights must include a positive weight")
+            return spec
+        raise ApiError(f"FoM spec must be {{time, energy, footprint}}: {doc!r}")
+
+
+@dataclass
+class EvaluateResult:
+    """One mapped evaluation: the mapping, its cost, and (optionally) the
+    figure of merit and legality report the caller asked for."""
+
+    mapping: Mapping
+    cost: CostReport
+    fom: float | None = None
+    legality: LegalityReport | None = None
+
+
+# ---------------------------------------------------------------------- #
+# the workload registry
+
+
+def _sum_squares_graph(n: int = 32) -> DataflowGraph:
+    """The quickstart function: sum of squares of an n-vector, squared in
+    parallel then reduced by a balanced tree."""
+    if n < 1:
+        raise ApiError(f"sum_squares needs n >= 1, got {n}")
+    g = DataflowGraph()
+    frontier = []
+    for i in range(n):
+        x = g.input("x", (i,))
+        frontier.append(g.op("*", x, x, index=(i,), group="sq"))
+    while len(frontier) > 1:
+        nxt = []
+        for k in range(0, len(frontier) - 1, 2):
+            nxt.append(
+                g.op("+", frontier[k], frontier[k + 1], index=(k,), group="tree")
+            )
+        if len(frontier) % 2:
+            nxt.append(frontier[-1])
+        frontier = nxt
+    g.mark_output(frontier[0], "sum_sq")
+    return g
+
+
+def _stencil(n: int = 16, steps: int = 2) -> DataflowGraph:
+    from repro.algorithms.stencil import stencil_graph
+
+    return stencil_graph(n, steps)
+
+
+def _matmul(n: int = 3, systolic: bool = False) -> DataflowGraph:
+    from repro.algorithms.matmul_fm import matmul_graph
+
+    return matmul_graph(n, systolic=systolic)
+
+
+def _edit_distance(n: int = 8, cell: str = "paper") -> DataflowGraph:
+    from repro.algorithms.edit_distance import edit_distance_graph
+
+    return edit_distance_graph(n, cell=cell)
+
+
+def _fft(n: int = 8, variant: str = "dit") -> DataflowGraph:
+    from repro.algorithms.fft import fft_graph
+
+    return fft_graph(n, variant=variant)
+
+
+#: name -> builder(**params) -> DataflowGraph.  Lazily imported so the
+#: facade costs nothing until a workload is compiled.
+_WORKLOADS: dict[str, Callable[..., DataflowGraph]] = {
+    "sum_squares": _sum_squares_graph,
+    "stencil": _stencil,
+    "matmul": _matmul,
+    "edit_distance": _edit_distance,
+    "fft": _fft,
+}
+
+#: per-process compile cache: WorkloadSpec -> DataflowGraph.  Graphs are
+#: treated as immutable after construction everywhere in this package, so
+#: sharing one instance across requests is safe and keeps shard workers
+#: warm between requests.
+_COMPILED: dict[WorkloadSpec, DataflowGraph] = {}
+
+
+def workload_names() -> list[str]:
+    """The registered workload names, sorted."""
+    return sorted(_WORKLOADS)
+
+
+def register_workload(name: str, builder: Callable[..., DataflowGraph]) -> None:
+    """Register (or replace) a named workload builder.
+
+    Builders must be deterministic pure functions of their keyword
+    parameters — the serve layer relies on a spec compiling to the same
+    graph in every process.
+    """
+    _WORKLOADS[name] = builder
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a registered workload (and its compiled graphs)."""
+    _WORKLOADS.pop(name, None)
+    for spec in [s for s in _COMPILED if s.name == name]:
+        del _COMPILED[spec]
+
+
+def _as_workload(workload: Any, params: dict[str, Any]) -> WorkloadSpec:
+    if isinstance(workload, WorkloadSpec):
+        if params:
+            raise ApiError("pass params inside the WorkloadSpec, not alongside it")
+        return workload
+    if isinstance(workload, str):
+        return WorkloadSpec.of(workload, **params)
+    raise ApiError(f"workload must be a name or WorkloadSpec, got {workload!r}")
+
+
+def _as_grid(machine: Any) -> GridSpec:
+    if isinstance(machine, GridSpec):
+        return machine
+    if isinstance(machine, MachineSpec):
+        return machine.grid()
+    return MachineSpec.from_jsonable(machine).grid()
+
+
+def _as_fom(fom: Any) -> FigureOfMerit:
+    if fom is None:
+        return FigureOfMerit.fastest()
+    if isinstance(fom, FigureOfMerit):
+        return fom
+    if isinstance(fom, FomSpec):
+        return fom.fom()
+    return FomSpec.from_jsonable(fom).fom()
+
+
+# ---------------------------------------------------------------------- #
+# the four verbs (plus score)
+
+
+def compile(workload: Any, **params: Any) -> DataflowGraph:  # noqa: A001
+    """Build the dataflow graph for a named workload.
+
+    ``workload`` may be a registry name (with ``**params``), a
+    :class:`WorkloadSpec`, or an already-built :class:`DataflowGraph`
+    (returned unchanged, so callers can be generic).
+    """
+    if isinstance(workload, DataflowGraph):
+        if params:
+            raise ApiError("cannot apply params to an already-built graph")
+        return workload
+    spec = _as_workload(workload, params)
+    cached = _COMPILED.get(spec)
+    if cached is not None:
+        return cached
+    builder = _WORKLOADS.get(spec.name)
+    if builder is None:
+        raise ApiError(
+            f"unknown workload {spec.name!r}; registered: {workload_names()}"
+        )
+    try:
+        graph = builder(**spec.as_dict())
+    except ApiError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ApiError(f"bad params for workload {spec.name!r}: {exc}") from exc
+    _COMPILED[spec] = graph
+    return graph
+
+
+def evaluate(
+    workload: Any,
+    machine: Any,
+    mapper: str = "default",
+    fom: Any = None,
+    check: bool = False,
+    cached: bool = False,
+    cache: MemoCache | None = None,
+    **params: Any,
+) -> EvaluateResult:
+    """Map a workload with a built-in mapper and predict its cost.
+
+    ``mapper`` selects :data:`MAPPERS` (``"default"`` or ``"serial"``);
+    ``check=True`` additionally runs the legality checker; ``cached=True``
+    routes through the content-addressed memo
+    (:func:`repro.core.cost.evaluate_cost_cached`) — bit-identical to the
+    direct evaluation, just free on repeats.
+    """
+    graph = compile(workload, **params)
+    grid = _as_grid(machine)
+    if mapper == "default":
+        mapping = default_mapping(graph, grid)
+    elif mapper == "serial":
+        mapping = serial_mapping(graph, grid)
+    else:
+        raise ApiError(f"unknown mapper {mapper!r}; expected one of {MAPPERS}")
+    if cached:
+        cost = evaluate_cost_cached(graph, mapping, grid, cache)
+    else:
+        cost = evaluate_cost(graph, mapping, grid)
+    result = EvaluateResult(mapping=mapping, cost=cost, fom=_as_fom(fom)(cost))
+    if check:
+        result.legality = check_legality(graph, mapping, grid)
+    return result
+
+
+def search(
+    workload: Any,
+    machine: Any,
+    fom: Any = None,
+    method: str = "sweep",
+    engine: SearchEngine | None = None,
+    steps: int = 2_000,
+    seed: int = 0,
+    max_points: int = 200_000,
+    **params: Any,
+) -> list[SearchResult]:
+    """Search the mapping space of a workload; always returns a row list.
+
+    ``method`` selects :data:`SEARCH_METHODS`: ``"sweep"`` returns every
+    evaluated point (best first), ``"anneal"`` and ``"exhaustive"`` return
+    a single-row list with the winner.  ``engine`` picks the reference or
+    the fast path — by the PR-2 differential oracle the rows are
+    bit-identical either way, which is what lets the serve workers run
+    warm fast engines while promising library-identical answers.
+    """
+    graph = compile(workload, **params)
+    grid = _as_grid(machine)
+    fig = _as_fom(fom)
+    if method == "sweep":
+        return sweep_placements(graph, grid, fig, engine=engine)
+    if method == "anneal":
+        return [anneal(graph, grid, fig, steps=steps, seed=seed, engine=engine)]
+    if method == "exhaustive":
+        return [
+            exhaustive_search(graph, grid, fig, max_points=max_points, engine=engine)
+        ]
+    raise ApiError(f"unknown method {method!r}; expected one of {SEARCH_METHODS}")
+
+
+def simulate(
+    levels: Sequence[Sequence[Any]],
+    trace: Sequence[tuple[str, int]],
+    memo: MemoCache | None = None,
+) -> dict[str, Any]:
+    """Run an address trace through a cache hierarchy, memoized.
+
+    ``levels`` is nearest-first ``(capacity_words, block_words, assoc,
+    name)`` rows; ``trace`` is a materialized ``('r'|'w', addr)``
+    sequence.  Returns the per-level stats dict of
+    :func:`repro.machines.cachesim.run_trace_cached` (treat as
+    immutable — it is shared between memo hits).
+    """
+    if not levels:
+        raise ApiError("simulate needs at least one cache level")
+    spec: list[tuple] = []
+    for row in levels:
+        if not isinstance(row, (list, tuple)) or not 2 <= len(row) <= 4:
+            raise ApiError(
+                f"cache level must be (capacity, block[, assoc[, name]]): {row!r}"
+            )
+        spec.append(tuple(row))
+    clean: list[tuple[str, int]] = []
+    for entry in trace:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or entry[0] not in ("r", "w")
+        ):
+            raise ApiError(f"trace entries must be ('r'|'w', addr): {entry!r}")
+        clean.append((entry[0], int(entry[1])))
+    try:
+        return run_trace_cached(spec, clean, memo=memo)
+    except (TypeError, ValueError) as exc:
+        raise ApiError(f"bad cache level spec: {exc}") from exc
+
+
+def score(
+    workload: Any,
+    machine: Any,
+    placement: Any,
+    fom: Any = None,
+    check: bool = False,
+    **params: Any,
+) -> EvaluateResult:
+    """Score one explicit placement of a workload's compute nodes.
+
+    ``placement`` is either a list of ``(x, y)`` pairs — one per compute
+    node, in :meth:`DataflowGraph.compute_nodes` order (the same
+    convention as the exhaustive searcher's assignments) — or a
+    ``{nid: (x, y)}`` mapping.  Non-compute nodes ride along at (0, 0),
+    exactly as the searchers place them.
+    """
+    graph = compile(workload, **params)
+    grid = _as_grid(machine)
+    compute = graph.compute_nodes()
+    if isinstance(placement, TMapping):
+        by_node = {int(nid): (int(p[0]), int(p[1])) for nid, p in placement.items()}
+    else:
+        pairs = list(placement)
+        if len(pairs) != len(compute):
+            raise ApiError(
+                f"placement has {len(pairs)} entries for {len(compute)} "
+                "compute nodes (order follows graph.compute_nodes())"
+            )
+        by_node = {
+            nid: (int(p[0]), int(p[1])) for nid, p in zip(compute, pairs)
+        }
+    for nid, (x, y) in by_node.items():
+        if not grid.in_bounds(x, y):
+            raise ApiError(f"placement for node {nid} off-grid: ({x}, {y})")
+    mapping = schedule_asap(graph, grid, lambda nid: by_node.get(nid, (0, 0)))
+    cost = evaluate_cost(graph, mapping, grid)
+    result = EvaluateResult(mapping=mapping, cost=cost, fom=_as_fom(fom)(cost))
+    if check:
+        result.legality = check_legality(graph, mapping, grid)
+    return result

@@ -1,0 +1,94 @@
+"""Console entry points (see ``[project.scripts]`` in pyproject.toml).
+
+``repro-bench`` runs the claim benchmarks with the unified option set
+from ``benchmarks/common.py`` — one flag surface instead of per-bench
+conventions::
+
+    repro-bench                      # every bench
+    repro-bench -k c18 --seed 7      # one bench, custom seed
+    repro-bench --workers 4 --out /tmp/bench-out
+
+The options travel to ``benchmarks/conftest.py`` via ``REPRO_BENCH_*``
+environment variables, so a plain ``pytest benchmarks/ --benchmark-only``
+still works (with the defaults).
+
+``repro-serve`` lives in :mod:`repro.serve.server`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+__all__ = ["bench_main"]
+
+
+def _find_benchmarks_dir(start: pathlib.Path) -> pathlib.Path | None:
+    """The benchmarks/ tree ships with the repo, not the wheel: walk up
+    from ``start`` looking for it (cwd-relative invocation)."""
+    for candidate in (start, *start.parents):
+        bench = candidate / "benchmarks"
+        if (bench / "conftest.py").is_file():
+            return bench
+    return None
+
+
+def bench_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the claim benchmarks (pytest-benchmark) with the "
+        "unified --seed/--out/--json/--workers option set.",
+    )
+    parser.add_argument(
+        "-k", dest="select", default=None,
+        help="pytest -k expression selecting benches (e.g. 'c18 or c20')",
+    )
+    parser.add_argument(
+        "--benchmarks-dir", type=pathlib.Path, default=None,
+        help="path to the benchmarks/ tree (default: found from cwd)",
+    )
+    parser.add_argument(
+        "--collect-only", action="store_true",
+        help="list the selected benches without running them",
+    )
+
+    bench_dir = _find_benchmarks_dir(pathlib.Path.cwd())
+    # the shared flags live next to the benches; attach them when found
+    if bench_dir is not None:
+        sys.path.insert(0, str(bench_dir))
+    try:
+        from common import add_bench_arguments, options_from_args, to_env
+    except ImportError:
+        print(
+            "repro-bench: cannot find benchmarks/common.py — run from the "
+            "repository (or pass --benchmarks-dir)",
+            file=sys.stderr,
+        )
+        return 2
+    add_bench_arguments(parser)
+    args = parser.parse_args(argv)
+    if args.benchmarks_dir is not None:
+        bench_dir = args.benchmarks_dir
+    if bench_dir is None or not (bench_dir / "conftest.py").is_file():
+        print(
+            f"repro-bench: no benchmarks/ tree at {bench_dir or pathlib.Path.cwd()}",
+            file=sys.stderr,
+        )
+        return 2
+
+    os.environ.update(to_env(options_from_args(args)))
+    pytest_args = [str(bench_dir), "--benchmark-only", "-q", "-s"]
+    if args.select:
+        pytest_args += ["-k", args.select]
+    if args.collect_only:
+        pytest_args.append("--collect-only")
+
+    import pytest
+
+    return int(pytest.main(pytest_args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as repro-bench
+    sys.exit(bench_main())

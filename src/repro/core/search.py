@@ -462,6 +462,9 @@ def _pool_map(
     """
     if n_workers <= 0:
         raise ValueError(f"_pool_map needs a positive worker count, got {n_workers}")
+    # Oversized requests (callers tuning for other machines) clamp to the
+    # host: beyond cpu_count a transient pool only adds fork + IPC overhead.
+    n_workers = min(n_workers, os.cpu_count() or 1)
     if not payloads:
         return []
     if timeout_s is None:

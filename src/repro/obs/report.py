@@ -172,6 +172,27 @@ def derived_hit_rates(counters: dict[str, float]) -> dict[str, tuple[float, floa
     return out
 
 
+def derived_serve_rates(counters: dict[str, float]) -> dict[str, float]:
+    """Service-level rates from the ``serve.*`` counters, when present:
+    ``shed_rate`` (explicit rejections / admitted) plus the recovery
+    counters normalized per served request.  Empty when the dump has no
+    serving activity."""
+    served = float(counters.get("serve.served", 0.0))
+    shed = sum(
+        float(v)
+        for k, v in counters.items()
+        if _base_name(k) == "serve.rejections"
+    )
+    total = served + shed
+    if total <= 0:
+        return {}
+    out = {"serve.shed_rate": shed / total}
+    for name in ("serve.shard_restarts", "serve.batch_retries", "serve.inproc_fallbacks"):
+        if counters.get(name):
+            out[f"{name}_per_1k_served"] = 1e3 * float(counters[name]) / max(served, 1.0)
+    return out
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     doc = _load(args.file)
     print(f"metrics dump: {args.file}  (label={doc.get('label', '?')})")
@@ -190,6 +211,14 @@ def cmd_summary(args: argparse.Namespace) -> int:
         for key in sorted(rates):
             hits, total = rates[key]
             print(f"  {key.ljust(width)}  {hits / total:.1%}  ({_fmt(hits)}/{_fmt(total)})")
+    serve_rates = derived_serve_rates(doc.get("counters", {}))
+    if serve_rates:
+        print("\nderived serving rates:")
+        width = max(len(k) for k in serve_rates)
+        for key in sorted(serve_rates):
+            v = serve_rates[key]
+            shown = f"{v:.1%}" if key.endswith("rate") else f"{v:.3g}"
+            print(f"  {key.ljust(width)}  {shown}")
     hists = doc.get("histograms", {})
     if hists:
         print("\nhistograms:")

@@ -137,6 +137,40 @@ class Tracer:
                 stack.pop()
             self.spans.append(span)
 
+    def record(
+        self,
+        name: str,
+        *,
+        start_ns: int,
+        dur_ns: int,
+        cat: str = "repro",
+        cycles: int | None = None,
+        **args: Any,
+    ) -> Span:
+        """Record an already-timed span without opening it.
+
+        For regions timed elsewhere — e.g. a server request whose lifetime
+        crosses threads (admission on the caller's thread, completion on
+        the tick thread).  Cross-thread regions must not use the
+        :meth:`span` context manager: the per-thread stack would treat
+        concurrent requests as leaked children of each other.  Recorded
+        spans land at depth 0 and never touch the stacks.
+        """
+        s = Span(
+            self,
+            name=name,
+            cat=cat,
+            tid=threading.get_ident(),
+            depth=0,
+            start_ns=start_ns,
+            cycles=cycles,
+            args={k: v for k, v in args.items() if v is not None},
+        )
+        s.dur_ns = int(dur_ns)
+        with self._lock:
+            self.spans.append(s)
+        return s
+
     def instant(self, name: str, cat: str = "repro", **args: Any) -> None:
         """A zero-duration marker event."""
         with self._lock:

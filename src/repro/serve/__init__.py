@@ -1,0 +1,68 @@
+"""repro.serve — the batched async evaluation service.
+
+The serving layer turns the :mod:`repro.api` facade into a service:
+JSON requests (``evaluate`` / ``search`` / ``simulate`` / ``score``) are
+admitted into a bounded queue, coalesced per tick into compatible
+batches, and routed by content hash to a pool of persistent worker
+processes holding warm memo caches.  Backpressure is explicit — a full
+queue, an expired deadline, or a draining server answer with a rejection
+code, never a silent drop — and a crashed shard never loses an accepted
+request (in-flight ledger + bounded retries + deterministic in-process
+fallback).  Served results are **bit-identical** to direct library
+calls, which the differential oracle enforces in the serve tests.
+
+Layering (each module usable on its own):
+
+* :mod:`~repro.serve.protocol` — request/response schema, rejection
+  codes, JSON converters, and the one executor shards and fallbacks share;
+* :mod:`~repro.serve.batcher` — bounded admission queue, deadlines,
+  batch formation, content-hash routing;
+* :mod:`~repro.serve.shards` — the persistent warm-cache worker pool and
+  its crash/hang recovery state machine (PR-3 fault plans apply);
+* :mod:`~repro.serve.server` — the tick loop tying it together, plus the
+  stdlib HTTP front (``repro-serve`` / ``python -m repro.serve.server``);
+* :mod:`~repro.serve.client` — :class:`LocalClient` (in-process) and
+  :class:`HttpClient` (urllib), same typed surface.
+
+See DESIGN.md §8 and the README "Serving" section.
+"""
+
+from __future__ import annotations
+
+from repro.serve.protocol import (
+    DEADLINE_EXCEEDED,
+    INTERNAL_ERROR,
+    INVALID_REQUEST,
+    KINDS,
+    OK,
+    QUEUE_FULL,
+    REJECTION_CODES,
+    SHUTTING_DOWN,
+    ProtocolError,
+    Request,
+    Response,
+    execute_request,
+)
+from repro.serve.server import EvaluationServer, ServerConfig, serve_http
+from repro.serve.client import HttpClient, LocalClient, ServeError
+
+__all__ = [
+    "KINDS",
+    "OK",
+    "QUEUE_FULL",
+    "DEADLINE_EXCEEDED",
+    "SHUTTING_DOWN",
+    "INVALID_REQUEST",
+    "INTERNAL_ERROR",
+    "REJECTION_CODES",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "execute_request",
+    "EvaluationServer",
+    "ServerConfig",
+    "serve_http",
+    "LocalClient",
+    "HttpClient",
+    "ServeError",
+]

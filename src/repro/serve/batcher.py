@@ -1,0 +1,194 @@
+"""Admission queue, deadlines, and per-tick batch formation.
+
+The server admits requests into a **bounded** queue (backpressure: a full
+queue rejects immediately with ``QUEUE_FULL``), then once per tick drains
+whatever arrived and groups *compatible* requests into batches.  Two
+requests are compatible when they share a batch key::
+
+    (kind, workload-ish identity, machine geometry)
+
+i.e. work a shard can serve from one warm context: a batch of search
+requests over the same (workload, grid) compiles the graph once and hits
+the same memo partition; mixed kinds or mixed workloads never share a
+batch.  The key is also what routes a batch to its shard —
+:func:`route` hashes it with SHA-256, so the same workload always lands
+on the same shard and that shard's caches stay hot for it (shard-affinity
+caching, the property the C20 bench measures).
+
+Deadlines are enforced at the queue: a request whose deadline passes
+before a shard accepts its batch is shed with ``DEADLINE_EXCEEDED`` — an
+explicit answer, never a silent drop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.serve.protocol import Request, Response
+
+__all__ = ["Ticket", "PendingQueue", "Batch", "batch_key", "form_batches", "route"]
+
+
+@dataclass
+class Ticket:
+    """One admitted request's journey through the server.
+
+    Created at admission; fulfilled exactly once (with a served result or
+    an explicit rejection).  ``accepted_ns``/``dispatch_ns`` are
+    ``perf_counter_ns`` stamps used for wait/service attribution and for
+    the per-request obs span.
+    """
+
+    request: Request
+    accepted_ns: int
+    deadline_ns: int | None
+    response: Response | None = None
+    dispatch_ns: int | None = None
+    _done: threading.Event = field(default_factory=threading.Event)
+
+    def fulfill(self, response: Response) -> None:
+        if self.response is None:  # first answer wins; never double-fulfill
+            self.response = response
+            self._done.set()
+
+    @property
+    def fulfilled(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> Response | None:
+        """Block until the ticket resolves; None only on timeout."""
+        self._done.wait(timeout)
+        return self.response
+
+    def expired(self, now_ns: int) -> bool:
+        return self.deadline_ns is not None and now_ns > self.deadline_ns
+
+
+class PendingQueue:
+    """The bounded admission queue (thread-safe).
+
+    ``max_size`` bounds *undispatched* work: requests waiting here count;
+    requests already on a shard do not (the shard pool bounds those via
+    its per-shard in-flight window).  ``admit`` never blocks — admission
+    control must answer instantly for backpressure to mean anything.
+    """
+
+    def __init__(self, max_size: int) -> None:
+        if max_size < 1:
+            raise ValueError(f"queue bound must be positive, got {max_size}")
+        self.max_size = max_size
+        self._lock = threading.Lock()
+        self._items: list[Ticket] = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def admit(self, ticket: Ticket) -> bool:
+        """Append if there is room; False means reject with QUEUE_FULL."""
+        with self._lock:
+            if len(self._items) >= self.max_size:
+                return False
+            self._items.append(ticket)
+            return True
+
+    def putback(self, tickets: list[Ticket]) -> None:
+        """Return drained-but-undispatched tickets to the queue head,
+        preserving arrival order (used when every shard is saturated)."""
+        if tickets:
+            with self._lock:
+                self._items[:0] = tickets
+
+    def drain(self) -> list[Ticket]:
+        with self._lock:
+            items, self._items = self._items, []
+            return items
+
+    def shed_expired(self, now_ns: int | None = None) -> tuple[list[Ticket], list[Ticket]]:
+        """Split the queue into (live, expired); expired leave the queue."""
+        now = time.perf_counter_ns() if now_ns is None else now_ns
+        with self._lock:
+            live = [t for t in self._items if not t.expired(now)]
+            expired = [t for t in self._items if t.expired(now)]
+            self._items = live
+            return live, expired
+
+
+# ---------------------------------------------------------------------- #
+# batch formation
+
+
+@dataclass
+class Batch:
+    """Compatible requests served together by one shard in one round trip."""
+
+    id: int
+    key: tuple
+    tickets: list[Ticket]
+
+    def __len__(self) -> int:
+        return len(self.tickets)
+
+
+def _canonical(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def batch_key(request: Request) -> tuple:
+    """The compatibility key: kind + the payload fields that pin which
+    warm context serves the request.
+
+    ``evaluate``/``search``/``score`` group by (workload, machine);
+    ``simulate`` groups by hierarchy configuration.  Everything else in
+    the payload (FoM weights, seeds, placements, traces) varies freely
+    within a batch.
+    """
+    p = request.payload
+    if request.kind == "simulate":
+        return (request.kind, _canonical(p.get("levels")))
+    return (
+        request.kind,
+        _canonical(p.get("workload")),
+        _canonical(p.get("machine")),
+    )
+
+
+def form_batches(
+    tickets: Iterable[Ticket], max_batch: int, next_id: int
+) -> tuple[list[Batch], int]:
+    """Group tickets by batch key, splitting groups at ``max_batch``.
+
+    Grouping preserves arrival order within a key, and batch ids are
+    assigned in first-arrival order of their key — deterministic given
+    the admission order, which the batching-invariance property test
+    relies on.  Returns (batches, next unused batch id).
+    """
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be positive, got {max_batch}")
+    groups: dict[tuple, list[Ticket]] = {}
+    for t in tickets:
+        groups.setdefault(batch_key(t.request), []).append(t)
+    batches: list[Batch] = []
+    for key, group in groups.items():
+        for i in range(0, len(group), max_batch):
+            batches.append(Batch(next_id, key, group[i : i + max_batch]))
+            next_id += 1
+    return batches, next_id
+
+
+def route(key: tuple, n_shards: int) -> int:
+    """Stable shard index for a batch key.
+
+    SHA-256 rather than ``hash()``: Python's string hashing is salted per
+    process, and routing must agree across restarts so warm state is
+    actually reused (and so tests can predict placement).
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    digest = hashlib.sha256(_canonical(list(key)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards

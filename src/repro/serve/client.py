@@ -1,0 +1,187 @@
+"""Clients for the evaluation service.
+
+:class:`LocalClient` wraps an in-process :class:`EvaluationServer` —
+what the tests and benches use (no sockets, same semantics).
+:class:`HttpClient` speaks the JSON protocol over HTTP with stdlib
+``urllib`` only.
+
+Both expose the same surface: ``request(Request) -> Response`` plus
+typed conveniences (``evaluate`` / ``search`` / ``simulate`` / ``score``)
+that build protocol payloads from the same arguments the
+:mod:`repro.api` facade takes — so swapping a direct ``api.search(...)``
+call for ``client.search(...)`` is mechanical, and the differential
+oracle can compare the two paths bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Sequence
+
+from repro.serve.protocol import Request, Response
+
+__all__ = ["LocalClient", "HttpClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A request was not served: carries the full rejection Response."""
+
+    def __init__(self, response: Response) -> None:
+        super().__init__(f"{response.code}: {response.detail}")
+        self.response = response
+
+
+class _ClientBase:
+    """The typed convenience surface shared by both transports."""
+
+    def request(self, request: Request, timeout_s: float | None = None) -> Response:
+        raise NotImplementedError
+
+    def call(self, request: Request, timeout_s: float | None = None) -> dict[str, Any]:
+        """Request and unwrap: the OK result dict, or :class:`ServeError`."""
+        response = self.request(request, timeout_s)
+        if not response.ok:
+            raise ServeError(response)
+        assert response.result is not None
+        return response.result
+
+    # -- per-kind conveniences (payload shapes match repro.api) --------- #
+
+    @staticmethod
+    def _workload(workload: Any, params: dict[str, Any]) -> dict[str, Any]:
+        doc: dict[str, Any] = {"workload": workload}
+        if params:
+            doc["workload"] = {"name": workload, "params": params}
+        return doc
+
+    def evaluate(
+        self,
+        workload: str,
+        machine: Sequence[int],
+        mapper: str = "default",
+        fom: dict[str, float] | None = None,
+        deadline_s: float | None = None,
+        **params: Any,
+    ) -> dict[str, Any]:
+        payload = {
+            **self._workload(workload, params),
+            "machine": list(machine),
+            "mapper": mapper,
+        }
+        if fom:
+            payload["fom"] = fom
+        return self.call(Request("evaluate", payload, deadline_s=deadline_s))
+
+    def search(
+        self,
+        workload: str,
+        machine: Sequence[int],
+        method: str = "sweep",
+        fom: dict[str, float] | None = None,
+        seed: int = 0,
+        steps: int = 2000,
+        deadline_s: float | None = None,
+        **params: Any,
+    ) -> dict[str, Any]:
+        payload = {
+            **self._workload(workload, params),
+            "machine": list(machine),
+            "method": method,
+            "seed": seed,
+            "steps": steps,
+        }
+        if fom:
+            payload["fom"] = fom
+        return self.call(Request("search", payload, deadline_s=deadline_s))
+
+    def simulate(
+        self,
+        levels: Sequence[Sequence[Any]],
+        trace: Sequence[Sequence[Any]],
+        deadline_s: float | None = None,
+    ) -> dict[str, Any]:
+        payload = {
+            "levels": [list(l) for l in levels],
+            "trace": [list(t) for t in trace],
+        }
+        return self.call(Request("simulate", payload, deadline_s=deadline_s))
+
+    def score(
+        self,
+        workload: str,
+        machine: Sequence[int],
+        placement: Sequence[Sequence[int]],
+        fom: dict[str, float] | None = None,
+        deadline_s: float | None = None,
+        **params: Any,
+    ) -> dict[str, Any]:
+        payload = {
+            **self._workload(workload, params),
+            "machine": list(machine),
+            "placement": [list(p) for p in placement],
+        }
+        if fom:
+            payload["fom"] = fom
+        return self.call(Request("score", payload, deadline_s=deadline_s))
+
+
+class LocalClient(_ClientBase):
+    """Drive an in-process :class:`EvaluationServer` directly."""
+
+    def __init__(self, server: Any) -> None:
+        self.server = server
+
+    def request(self, request: Request, timeout_s: float | None = None) -> Response:
+        return self.server.request(request, timeout_s)
+
+
+class HttpClient(_ClientBase):
+    """Speak the JSON protocol to a remote server over HTTP (stdlib only)."""
+
+    #: bounded retry on connection-level failures (reset / refused before
+    #: the request was accepted); the protocol body never got through, so
+    #: resending cannot duplicate work
+    connect_retries = 3
+
+    def __init__(self, base_url: str, timeout_s: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def request(self, request: Request, timeout_s: float | None = None) -> Response:
+        body = json.dumps(request.as_jsonable()).encode()
+        req = urllib.request.Request(
+            f"{self.base_url}/v1/requests",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        timeout = timeout_s if timeout_s is not None else self.timeout_s
+        for attempt in range(self.connect_retries + 1):
+            try:
+                with urllib.request.urlopen(req, timeout=timeout) as resp:
+                    doc = json.loads(resp.read())
+                break
+            except urllib.error.HTTPError as exc:
+                # rejections ride on 4xx with a full Response body
+                doc = json.loads(exc.read())
+                break
+            except (ConnectionResetError, ConnectionRefusedError):
+                if attempt == self.connect_retries:
+                    raise
+                time.sleep(0.05 * (attempt + 1))
+            except urllib.error.URLError as exc:
+                if attempt == self.connect_retries or not isinstance(
+                    exc.reason, (ConnectionResetError, ConnectionRefusedError)
+                ):
+                    raise
+                time.sleep(0.05 * (attempt + 1))
+        return Response.from_jsonable(doc)
+
+    def healthz(self) -> dict[str, Any]:
+        with urllib.request.urlopen(
+            f"{self.base_url}/healthz", timeout=self.timeout_s
+        ) as resp:
+            return json.loads(resp.read())

@@ -1,0 +1,358 @@
+"""The serve wire protocol: JSON requests, JSON responses, one executor.
+
+A request is ``{"kind": <verb>, "payload": {...}}`` where the verbs map
+one-to-one onto the :mod:`repro.api` facade:
+
+``evaluate``
+    ``{workload, machine, mapper?, fom?, cached?}`` — cost one built-in
+    mapping of a registered workload.
+``search``
+    ``{workload, machine, fom?, method?, steps?, seed?, max_points?}`` —
+    run a mapping search; the response carries every row with its full
+    mapping and cost report, so the differential oracle can compare a
+    served answer against a direct library call bit for bit.
+``simulate``
+    ``{levels, trace}`` — trace-driven cache simulation.
+``score``
+    ``{workload, machine, placement, fom?}`` — score one explicit
+    placement.
+
+:func:`execute_request` is the **only** executor: shard workers, the
+in-process crash fallback, the smoke tool, and the bit-identity tests all
+call it, so "served result == direct library call" reduces to "JSON
+round-trip is lossless" — and Python's ``json`` round-trips floats by
+shortest-repr exactly, which the oracle then verifies end to end.
+
+Rejection codes are explicit and machine-readable: a client can always
+tell "your request was malformed" (``INVALID_REQUEST``) from "the server
+chose not to serve you" (``QUEUE_FULL``, ``DEADLINE_EXCEEDED``,
+``SHUTTING_DOWN``) from "the server broke" (``INTERNAL_ERROR``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import api
+from repro.core.cost import CostReport
+from repro.core.legality import LivenessSummary
+from repro.core.mapping import Mapping
+from repro.core.memo import MemoCache
+from repro.core.search import SearchEngine, SearchResult
+from repro.testing.golden import cost_report_to_jsonable
+
+__all__ = [
+    "KINDS",
+    "OK",
+    "QUEUE_FULL",
+    "DEADLINE_EXCEEDED",
+    "SHUTTING_DOWN",
+    "INVALID_REQUEST",
+    "INTERNAL_ERROR",
+    "REJECTION_CODES",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "execute_request",
+    "mapping_to_jsonable",
+    "mapping_from_jsonable",
+    "cost_report_from_jsonable",
+    "search_rows_from_result",
+    "search_results_from_rows",
+]
+
+#: Request verbs, mapping one-to-one onto the :mod:`repro.api` facade.
+KINDS = ("evaluate", "search", "simulate", "score")
+
+OK = "OK"
+#: Backpressure: the bounded admission queue is full; retry later.
+QUEUE_FULL = "QUEUE_FULL"
+#: Load shedding: the request's deadline expired before a shard took it.
+DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
+#: The server is draining; no new work is admitted.
+SHUTTING_DOWN = "SHUTTING_DOWN"
+#: The request itself is malformed (unknown kind/workload, bad params).
+INVALID_REQUEST = "INVALID_REQUEST"
+#: The server failed while executing a well-formed request.
+INTERNAL_ERROR = "INTERNAL_ERROR"
+
+#: Codes that mean "explicitly shed", as opposed to failed.
+REJECTION_CODES = (QUEUE_FULL, DEADLINE_EXCEEDED, SHUTTING_DOWN)
+
+
+class ProtocolError(ValueError):
+    """A malformed request (maps to ``INVALID_REQUEST``)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of service: a verb plus its JSON-able payload.
+
+    ``id`` is assigned by the server when empty; ``deadline_s`` is the
+    per-request service deadline measured from admission (``None`` means
+    the server default).
+    """
+
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    id: str = ""
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ProtocolError(f"unknown request kind {self.kind!r}; one of {KINDS}")
+        if not isinstance(self.payload, dict):
+            raise ProtocolError(f"payload must be an object, got {self.payload!r}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ProtocolError(f"deadline_s must be positive, got {self.deadline_s}")
+
+    def as_jsonable(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"kind": self.kind, "payload": self.payload}
+        if self.id:
+            doc["id"] = self.id
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        return doc
+
+    @staticmethod
+    def from_jsonable(doc: Any) -> "Request":
+        if not isinstance(doc, dict) or "kind" not in doc:
+            raise ProtocolError(f"request must be {{kind, payload, ...}}: {doc!r}")
+        extra = set(doc) - {"kind", "payload", "id", "deadline_s"}
+        if extra:
+            raise ProtocolError(f"unknown request fields: {sorted(extra)}")
+        deadline = doc.get("deadline_s")
+        return Request(
+            kind=str(doc["kind"]),
+            payload=doc.get("payload", {}),
+            id=str(doc.get("id", "")),
+            deadline_s=float(deadline) if deadline is not None else None,
+        )
+
+
+@dataclass
+class Response:
+    """The answer to one request.
+
+    ``ok`` iff ``code == "OK"``; otherwise ``code`` is a rejection or
+    error code and ``detail`` says why.  ``shard``/``batch`` record the
+    routing decision (``None`` for requests that never reached a shard,
+    ``shard == -1`` for the in-process fallback); ``wait_ms`` /
+    ``service_ms`` split the latency into queueing and execution.
+    """
+
+    id: str
+    kind: str
+    code: str = OK
+    result: dict[str, Any] | None = None
+    detail: str = ""
+    shard: int | None = None
+    batch: int | None = None
+    wait_ms: float = 0.0
+    service_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.code == OK
+
+    @property
+    def shed(self) -> bool:
+        """Explicitly load-shed (as opposed to failed or served)."""
+        return self.code in REJECTION_CODES
+
+    def as_jsonable(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "code": self.code,
+            "ok": self.ok,
+            "result": self.result,
+            "detail": self.detail,
+            "shard": self.shard,
+            "batch": self.batch,
+            "wait_ms": self.wait_ms,
+            "service_ms": self.service_ms,
+        }
+
+    @staticmethod
+    def from_jsonable(doc: Any) -> "Response":
+        if not isinstance(doc, dict) or "code" not in doc:
+            raise ProtocolError(f"response must be {{id, code, ...}}: {doc!r}")
+        return Response(
+            id=str(doc.get("id", "")),
+            kind=str(doc.get("kind", "")),
+            code=str(doc["code"]),
+            result=doc.get("result"),
+            detail=str(doc.get("detail", "")),
+            shard=doc.get("shard"),
+            batch=doc.get("batch"),
+            wait_ms=float(doc.get("wait_ms", 0.0)),
+            service_ms=float(doc.get("service_ms", 0.0)),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# lossless object <-> JSON converters.  json round-trips Python floats by
+# shortest repr, so "bit-identical through the wire" is a real property
+# (asserted by the serve test suite with the PR-2 differential oracle).
+
+
+def mapping_to_jsonable(mapping: Mapping) -> dict[str, Any]:
+    return {
+        "x": mapping.x.tolist(),
+        "y": mapping.y.tolist(),
+        "time": mapping.time.tolist(),
+        "offchip": [bool(v) for v in mapping.offchip],
+    }
+
+
+def mapping_from_jsonable(doc: dict[str, Any]) -> Mapping:
+    xs = doc["x"]
+    m = Mapping(len(xs))
+    for nid, (x, y, t, off) in enumerate(
+        zip(xs, doc["y"], doc["time"], doc["offchip"])
+    ):
+        m.set(nid, (int(x), int(y)), int(t), bool(off))
+    return m
+
+
+def cost_report_from_jsonable(doc: dict[str, Any]) -> CostReport:
+    """Invert :func:`repro.testing.golden.cost_report_to_jsonable`.
+
+    Only the constructor fields are read back; the derived properties
+    (totals, fractions) recompute from identical floats in the identical
+    order, so the reconstruction is bit-identical to the original.
+    """
+    live = doc["liveness"]
+    per_place = {
+        (int(k.split(",")[0]), int(k.split(",")[1])): int(v)
+        for k, v in live["max_live_per_place"].items()
+    }
+    return CostReport(
+        cycles=int(doc["cycles"]),
+        time_ps=float(doc["time_ps"]),
+        energy_compute_fj=float(doc["energy_compute_fj"]),
+        energy_local_fj=float(doc["energy_local_fj"]),
+        energy_onchip_fj=float(doc["energy_onchip_fj"]),
+        energy_offchip_fj=float(doc["energy_offchip_fj"]),
+        liveness=LivenessSummary(
+            max_live_per_place=per_place,
+            max_in_flight=int(live["max_in_flight"]),
+        ),
+        n_compute=int(doc["n_compute"]),
+        n_edges=int(doc["n_edges"]),
+        places_used=int(doc["places_used"]),
+    )
+
+
+def search_rows_from_result(rows: list[SearchResult]) -> list[dict[str, Any]]:
+    return [
+        {
+            "label": r.label,
+            "fom": float(r.fom),
+            "mapping": mapping_to_jsonable(r.mapping),
+            "cost": cost_report_to_jsonable(r.cost),
+        }
+        for r in rows
+    ]
+
+
+def search_results_from_rows(rows: list[dict[str, Any]]) -> list[SearchResult]:
+    """Reconstruct full :class:`SearchResult` objects from a served search
+    response — the form the differential oracle consumes."""
+    return [
+        SearchResult(
+            label=str(row["label"]),
+            mapping=mapping_from_jsonable(row["mapping"]),
+            cost=cost_report_from_jsonable(row["cost"]),
+            fom=float(row["fom"]),
+        )
+        for row in rows
+    ]
+
+
+def _evaluate_result_jsonable(res: api.EvaluateResult) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "mapping": mapping_to_jsonable(res.mapping),
+        "cost": cost_report_to_jsonable(res.cost),
+        "fom": float(res.fom) if res.fom is not None else None,
+    }
+    if res.legality is not None:
+        doc["legal"] = res.legality.ok
+        doc["violations"] = [str(v) for v in res.legality.violations]
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# the one executor
+
+
+def execute_request(
+    request: Request,
+    engine: SearchEngine | None = None,
+    memo: MemoCache | None = None,
+) -> dict[str, Any]:
+    """Execute one request through the :mod:`repro.api` facade.
+
+    ``engine`` (search) and ``memo`` (evaluate/simulate caches) carry a
+    worker's warm state; passing ``None`` everywhere gives the plain
+    reference path.  Both paths return bit-identical results — that is
+    the PR-2 engine contract, and the serve tests re-verify it through
+    the wire.
+
+    Raises :class:`ProtocolError` for malformed payloads; any other
+    exception is a genuine internal error the caller maps to
+    ``INTERNAL_ERROR``.
+    """
+    p = dict(request.payload)
+    try:
+        if request.kind == "evaluate":
+            res = api.evaluate(
+                api.WorkloadSpec.from_jsonable(_need(p, "workload")),
+                api.MachineSpec.from_jsonable(_need(p, "machine")),
+                mapper=str(p.get("mapper", "default")),
+                fom=p.get("fom"),
+                check=bool(p.get("check", False)),
+                cached=memo is not None,
+                cache=memo,
+            )
+            return _evaluate_result_jsonable(res)
+        if request.kind == "search":
+            rows = api.search(
+                api.WorkloadSpec.from_jsonable(_need(p, "workload")),
+                api.MachineSpec.from_jsonable(_need(p, "machine")),
+                fom=p.get("fom"),
+                method=str(p.get("method", "sweep")),
+                engine=engine,
+                steps=int(p.get("steps", 2_000)),
+                seed=int(p.get("seed", 0)),
+                max_points=int(p.get("max_points", 200_000)),
+            )
+            return {"rows": search_rows_from_result(rows)}
+        if request.kind == "simulate":
+            stats = api.simulate(
+                _need(p, "levels"), _need(p, "trace"), memo=memo
+            )
+            return json.loads(json.dumps(stats))  # decouple from the shared memo
+        if request.kind == "score":
+            res = api.score(
+                api.WorkloadSpec.from_jsonable(_need(p, "workload")),
+                api.MachineSpec.from_jsonable(_need(p, "machine")),
+                _need(p, "placement"),
+                fom=p.get("fom"),
+                check=bool(p.get("check", False)),
+            )
+            return _evaluate_result_jsonable(res)
+    except api.ApiError as exc:
+        raise ProtocolError(str(exc)) from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad {request.kind} payload: {exc!r}") from exc
+    raise ProtocolError(f"unknown request kind {request.kind!r}")
+
+
+def _need(payload: dict[str, Any], key: str) -> Any:
+    if key not in payload:
+        raise ProtocolError(f"payload missing required field {key!r}")
+    return payload[key]

@@ -1,0 +1,507 @@
+"""The evaluation server: admission -> tick batcher -> shard pool.
+
+:class:`EvaluationServer` is the embeddable core (what the tests, the
+bench, and the HTTP front all drive):
+
+*  ``submit`` performs instant admission control against the bounded
+   queue (``QUEUE_FULL`` / ``SHUTTING_DOWN`` are decided on the caller's
+   thread — backpressure never waits in line);
+*  a single **tick thread** runs the whole service loop: shed expired
+   requests, form compatible batches, dispatch them to shards with free
+   in-flight windows, collect completions, recover crashed shards;
+*  every admitted request is resolved exactly once — served, or rejected
+   with an explicit code.  "Accepted but lost" cannot happen: undispatched
+   tickets live in the queue, dispatched ones in the pool's in-flight
+   ledger, and both ends drain through :meth:`_fulfill`.
+
+Telemetry (when an obs session is open): ``serve.requests{kind}``,
+``serve.rejections{code}``, ``serve.batches`` + ``serve.batch_size``,
+``serve.wait_ms`` / ``serve.service_ms`` histograms, shard restart /
+retry / fallback counters from the pool, and one ``serve.request`` span
+per served request on the real timeline (via :meth:`Tracer.record`).
+
+``python -m repro.serve.server`` starts the HTTP front — a thin
+stdlib ``ThreadingHTTPServer`` translating ``POST /v1/requests`` to
+:meth:`EvaluationServer.request` (see README "Serving" for the curl
+example).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro import obs
+from repro.obs import active as _obs_active
+from repro.serve.batcher import Batch, PendingQueue, Ticket, form_batches, route
+from repro.serve.protocol import (
+    DEADLINE_EXCEEDED,
+    INTERNAL_ERROR,
+    INVALID_REQUEST,
+    OK,
+    QUEUE_FULL,
+    SHUTTING_DOWN,
+    ProtocolError,
+    Request,
+    Response,
+)
+from repro.serve.shards import BatchResult, ShardPool
+
+__all__ = ["ServerConfig", "EvaluationServer", "main"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one server instance.
+
+    n_shards:
+        Persistent worker processes.  Throughput scales with shards both
+        by CPU parallelism and by aggregate warm-cache capacity (each
+        shard holds ``shard_cache_entries`` memo entries for its slice of
+        the key space).
+    max_queue:
+        Bound on *admitted but undispatched* requests; admission beyond
+        it rejects with ``QUEUE_FULL``.
+    max_batch:
+        Cap on compatible requests served in one shard round trip.
+    tick_s:
+        The batching tick: how long arrivals are allowed to coalesce.
+    default_deadline_s:
+        Deadline for requests that do not carry their own; expiry before
+        dispatch sheds with ``DEADLINE_EXCEEDED``.
+    batch_timeout_s / max_retries:
+        Shard recovery policy (see :class:`ShardPool`).
+    max_inflight_per_shard:
+        Dispatch window per shard; saturated shards push work back into
+        the bounded queue, which is what makes ``QUEUE_FULL`` reachable.
+    shard_cache_entries:
+        LRU bound of each shard's memo caches (``None`` = unbounded).
+    """
+
+    n_shards: int = 2
+    max_queue: int = 128
+    max_batch: int = 8
+    tick_s: float = 0.002
+    default_deadline_s: float = 30.0
+    batch_timeout_s: float = 60.0
+    max_retries: int = 2
+    max_inflight_per_shard: int = 2
+    shard_cache_entries: int | None = 4096
+
+
+class EvaluationServer:
+    """The batched async evaluation service (embeddable core)."""
+
+    def __init__(self, config: ServerConfig | None = None, **overrides: Any) -> None:
+        if config is None:
+            config = ServerConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a ServerConfig or keyword overrides")
+        self.config = config
+        self.queue = PendingQueue(config.max_queue)
+        self.pool: ShardPool | None = None
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._next_batch = 0
+        self._running = False
+        self._stopping = False
+        self._thread: threading.Thread | None = None
+        self._by_batch: dict[int, Batch] = {}
+        self.served = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def start(self) -> "EvaluationServer":
+        if self._running:
+            return self
+        self.pool = ShardPool(
+            self.config.n_shards,
+            cache_entries=self.config.shard_cache_entries,
+            batch_timeout_s=self.config.batch_timeout_s,
+            max_retries=self.config.max_retries,
+            max_inflight=self.config.max_inflight_per_shard,
+        )
+        self._running = True
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._tick_loop, name="serve-tick", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop serving.  ``drain=True`` serves everything already
+        admitted first; either way new submissions reject immediately."""
+        if not self._running:
+            return
+        self._stopping = True
+        if drain:
+            deadline = time.monotonic() + timeout_s
+            while (
+                (len(self.queue) or (self.pool and self.pool.inflight_total))
+                and time.monotonic() < deadline
+            ):
+                time.sleep(self.config.tick_s)
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for ticket in self.queue.drain():
+            self._fulfill(ticket, SHUTTING_DOWN, None, "server stopped")
+        if self.pool is not None:
+            self.pool.stop()
+            self.pool = None
+
+    def __enter__(self) -> "EvaluationServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # the client edge
+
+    def submit(self, request: Request) -> Ticket:
+        """Admit (or instantly reject) one request; never blocks.
+
+        The returned ticket resolves exactly once — ``ticket.wait()`` for
+        the response.  Rejections (full queue, shutdown) come back as
+        already-fulfilled tickets, so callers handle one shape.
+        """
+        now = time.perf_counter_ns()
+        with self._lock:
+            self._seq += 1
+            if not request.id:
+                request = Request(
+                    request.kind, request.payload, f"r{self._seq}",
+                    request.deadline_s,
+                )
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        ticket = Ticket(
+            request=request,
+            accepted_ns=now,
+            deadline_ns=now + int(deadline_s * 1e9),
+        )
+        sess = _obs_active()
+        if sess is not None:
+            sess.metrics.counter("serve.requests", kind=request.kind).inc()
+        if self._stopping or not self._running:
+            self._fulfill(ticket, SHUTTING_DOWN, None, "server not accepting work")
+        elif not self.queue.admit(ticket):
+            self._fulfill(
+                ticket, QUEUE_FULL, None,
+                f"admission queue at capacity ({self.config.max_queue})",
+            )
+        return ticket
+
+    def request(self, request: Request, timeout_s: float | None = None) -> Response:
+        """Submit and wait: the synchronous convenience edge."""
+        ticket = self.submit(request)
+        timeout = (
+            timeout_s
+            if timeout_s is not None
+            else (request.deadline_s or self.config.default_deadline_s)
+            + self.config.batch_timeout_s * (self.config.max_retries + 2)
+        )
+        response = ticket.wait(timeout)
+        if response is None:  # pragma: no cover - server wedged; fail loudly
+            return Response(
+                id=request.id, kind=request.kind, code=INTERNAL_ERROR,
+                detail=f"no response within {timeout}s",
+            )
+        return response
+
+    def stats(self) -> dict[str, Any]:
+        pool = self.pool
+        return {
+            "running": self._running,
+            "queue_depth": len(self.queue),
+            "inflight": pool.inflight_total if pool else 0,
+            "served": self.served,
+            "rejected": self.rejected,
+            "shard_restarts": pool.restarts_total if pool else 0,
+            "batch_retries": pool.batch_retries if pool else 0,
+            "inproc_fallbacks": pool.inproc_fallbacks if pool else 0,
+            "config": {
+                "n_shards": self.config.n_shards,
+                "max_queue": self.config.max_queue,
+                "max_batch": self.config.max_batch,
+                "tick_s": self.config.tick_s,
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # the tick loop (single thread owns batching, dispatch, completion)
+
+    def _tick_loop(self) -> None:
+        assert self.pool is not None
+        while self._running:
+            try:
+                self._tick()
+            except Exception:  # pragma: no cover - keep serving; log once
+                import traceback
+
+                traceback.print_exc()
+            time.sleep(self.config.tick_s)
+
+    def _tick(self) -> None:
+        pool = self.pool
+        if pool is None:
+            return
+        # 1. completions first: frees in-flight windows for this tick
+        for done in pool.poll():
+            self._fulfill_batch(done)
+        # 2. drain everything waiting; shed what expired in the queue
+        #    (checked on the drained snapshot, so a request can never slip
+        #    past its deadline into a batch)
+        drained = self.queue.drain()
+        now = time.perf_counter_ns()
+        tickets = [t for t in drained if not t.expired(now)]
+        for ticket in drained:
+            if ticket.expired(now):
+                self._fulfill(
+                    ticket, DEADLINE_EXCEEDED, None,
+                    "deadline expired before a shard accepted the request",
+                )
+        # 3. form batches from the live ones; dispatch what fits
+        if tickets:
+            batches, self._next_batch = form_batches(
+                tickets, self.config.max_batch, self._next_batch
+            )
+            sess = _obs_active()
+            for batch in batches:
+                shard_index = route(batch.key, pool.n_shards)
+                if not pool.can_accept(shard_index):
+                    self.queue.putback(batch.tickets)
+                    continue
+                now = time.perf_counter_ns()
+                for t in batch.tickets:
+                    t.dispatch_ns = now
+                self._by_batch[batch.id] = batch
+                pool.dispatch(
+                    batch.id, shard_index,
+                    [t.request.as_jsonable() for t in batch.tickets],
+                )
+                if sess is not None:
+                    sess.metrics.counter("serve.batches").inc()
+                    sess.metrics.histogram("serve.batch_size").observe(len(batch))
+        # 4. recovery: crashed/hung shards respawn; exhausted batches
+        #    complete in-process right here
+        for done in pool.check():
+            self._fulfill_batch(done)
+        sess = _obs_active()
+        if sess is not None:
+            sess.metrics.gauge("serve.queue_depth", better="lower").set(
+                len(self.queue)
+            )
+
+    # ------------------------------------------------------------------ #
+    # fulfillment
+
+    def _fulfill_batch(self, done: BatchResult) -> None:
+        batch = self._by_batch.pop(done.batch_id, None)
+        if batch is None:
+            return
+        for ticket, (code, out) in zip(batch.tickets, done.outs):
+            if code == OK:
+                self._fulfill(ticket, OK, out, "", done.shard, done.batch_id)
+            else:
+                self._fulfill(ticket, code, None, str(out), done.shard, done.batch_id)
+
+    def _fulfill(
+        self,
+        ticket: Ticket,
+        code: str,
+        result: dict[str, Any] | None,
+        detail: str = "",
+        shard: int | None = None,
+        batch: int | None = None,
+    ) -> None:
+        now = time.perf_counter_ns()
+        dispatched = ticket.dispatch_ns or now
+        wait_ms = (dispatched - ticket.accepted_ns) / 1e6
+        service_ms = (now - dispatched) / 1e6 if ticket.dispatch_ns else 0.0
+        response = Response(
+            id=ticket.request.id,
+            kind=ticket.request.kind,
+            code=code,
+            result=result,
+            detail=detail,
+            shard=shard,
+            batch=batch,
+            wait_ms=wait_ms,
+            service_ms=service_ms,
+        )
+        ticket.fulfill(response)
+        if code == OK:
+            self.served += 1
+        else:
+            self.rejected += 1
+        sess = _obs_active()
+        if sess is not None:
+            m = sess.metrics
+            if code == OK:
+                m.counter("serve.served", better="higher").inc()
+                m.histogram("serve.wait_ms").observe(wait_ms)
+                m.histogram("serve.service_ms").observe(service_ms)
+            else:
+                m.counter("serve.rejections", code=code).inc()
+            sess.tracer.record(
+                "serve.request",
+                start_ns=ticket.accepted_ns,
+                dur_ns=now - ticket.accepted_ns,
+                cat="serve",
+                kind=ticket.request.kind,
+                code=code,
+                shard=shard,
+            )
+
+
+# ---------------------------------------------------------------------- #
+# the HTTP front (stdlib only, threads; each handler thread blocks on its
+# ticket while the tick thread does the actual serving)
+
+
+def _make_handler(server: EvaluationServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args: Any) -> None:  # quiet by default
+            pass
+
+        def _send(self, status: int, doc: dict[str, Any]) -> None:
+            body = json.dumps(doc).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            if self.path == "/healthz":
+                self._send(200, {"ok": True, **server.stats()})
+            elif self.path == "/stats":
+                self._send(200, server.stats())
+            else:
+                self._send(404, {"error": f"no such endpoint {self.path!r}"})
+
+        def do_POST(self) -> None:
+            if self.path not in ("/v1/requests", "/"):
+                self._send(404, {"error": f"no such endpoint {self.path!r}"})
+                return
+            doc: Any = None
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                doc = json.loads(self.rfile.read(length) or b"{}")
+                request = Request.from_jsonable(doc)
+            except (ProtocolError, json.JSONDecodeError, ValueError) as exc:
+                rid = str(doc.get("id", "")) if isinstance(doc, dict) else ""
+                self._send(
+                    400,
+                    Response(
+                        id=rid, kind="", code=INVALID_REQUEST, detail=str(exc)
+                    ).as_jsonable(),
+                )
+                return
+            response = server.request(request)
+            status = 200 if response.ok else (429 if response.shed else 400)
+            self._send(status, response.as_jsonable())
+
+    return Handler
+
+
+class _HttpFront(ThreadingHTTPServer):
+    daemon_threads = True
+    # the default listen backlog (5) resets bursts of concurrent clients
+    # long before the admission queue gets a say; raise it so backpressure
+    # is answered by QUEUE_FULL, not a TCP connection reset
+    request_queue_size = 128
+
+
+def serve_http(
+    server: EvaluationServer, host: str = "127.0.0.1", port: int = 8077
+) -> ThreadingHTTPServer:
+    """Bind the HTTP front to an (already started) evaluation server.
+
+    Returns the bound ``ThreadingHTTPServer``; call ``serve_forever`` (or
+    run it from a thread) and ``shutdown`` like any stdlib server.  Port
+    0 picks a free port (``httpd.server_address[1]`` has the choice).
+    """
+    return _HttpFront((host, port), _make_handler(server))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Batched async evaluation service over the repro.api facade.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8077)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--max-queue", type=int, default=128)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--tick-ms", type=float, default=2.0)
+    parser.add_argument("--deadline-s", type=float, default=30.0)
+    parser.add_argument(
+        "--cache-entries", type=int, default=4096,
+        help="per-shard memo LRU bound (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--obs-out", default=None,
+        help="write a Chrome trace + metrics dump to this directory on exit",
+    )
+    args = parser.parse_args(argv)
+
+    config = ServerConfig(
+        n_shards=args.shards,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        tick_s=args.tick_ms / 1e3,
+        default_deadline_s=args.deadline_s,
+        shard_cache_entries=args.cache_entries or None,
+    )
+    ctx = (
+        obs.session(label="repro-serve", out_dir=args.obs_out)
+        if args.obs_out
+        else None
+    )
+    server = EvaluationServer(config)
+    try:
+        if ctx is not None:
+            ctx.__enter__()
+        server.start()
+        httpd = serve_http(server, args.host, args.port)
+        host, port = httpd.server_address[:2]
+        print(
+            f"repro-serve: {config.n_shards} shard(s) on http://{host}:{port} "
+            f"(POST /v1/requests, GET /healthz)",
+            flush=True,
+        )
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+    finally:
+        server.stop()
+        if ctx is not None:
+            ctx.__exit__(None, None, None)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,341 @@
+"""The shard pool: persistent warm-cache worker processes.
+
+Unlike the transient pools of :mod:`repro.core.search` (spawned per
+call), serve shards are **long-lived**: each worker process holds a
+bounded :class:`~repro.core.memo.MemoCache` pair (search + cost/trace
+memo) and a fast :class:`~repro.core.search.SearchEngine` wired to it, so
+state stays warm *between* requests.  Batches route by content
+(:func:`repro.serve.batcher.route`), giving each shard affinity for a
+slice of the workload space — adding shards multiplies the aggregate warm
+cache, which is exactly the scaling the C20 bench measures.
+
+Resilience follows the PR-3 playbook (same policy as ``_pool_map``, lifted
+to persistent workers):
+
+*  every dispatched batch stays in the parent's in-flight ledger until a
+   result is acked — a crashed or hung shard never loses an accepted
+   request;
+*  a dead process (or a batch overdue past ``batch_timeout_s``) triggers
+   respawn + re-dispatch, at most ``max_retries`` times per batch;
+*  batches that still fail run **in-process** through the same
+   :func:`~repro.serve.protocol.execute_request` — a deterministic
+   fallback that is bit-identical to a healthy shard, so recovery is
+   invisible in the results;
+*  with a :mod:`repro.faults` injection scope open, the deterministic
+   plan's worker faults (``crash`` / ``hang``) are applied per
+   (batch, attempt) by sending the shard a control message, and every
+   injection/recovery lands in the ledger as ``shard_crash`` /
+   ``shard_hang`` — the chaos-campaign machinery works on the serving
+   layer unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.function import OP_ENERGY_FACTOR
+from repro.core.memo import MemoCache
+from repro.core.search import SearchEngine
+from repro.faults.inject import active as _faults_active
+from repro.obs import active as _obs_active
+from repro.serve.protocol import (
+    INTERNAL_ERROR,
+    INVALID_REQUEST,
+    OK,
+    ProtocolError,
+    Request,
+    execute_request,
+)
+
+__all__ = ["ShardPool", "BatchResult", "IN_PROCESS_SHARD"]
+
+#: ``shard`` value reported for batches served by the in-process fallback.
+IN_PROCESS_SHARD = -1
+
+#: Exit code of an injected shard crash (visible in tests and logs).
+_CRASH_EXIT = 17
+
+#: How long an injected hang sleeps — far past any sane batch timeout; the
+#: parent's terminate() reaps the sleeper.
+_HANG_SLEEP_S = 3600.0
+
+
+@dataclass
+class BatchResult:
+    """One completed batch: per-request (code, result-or-detail) rows."""
+
+    batch_id: int
+    shard: int
+    outs: list[tuple[str, Any]]
+
+
+@dataclass
+class _InFlight:
+    batch_id: int
+    requests: list[dict[str, Any]]
+    dispatch_ns: int
+    attempts: int = 0
+    injected: list[str] = field(default_factory=list)
+
+
+class _Shard:
+    """Parent-side handle for one worker process."""
+
+    def __init__(self, index: int, ctx, cache_entries: int | None) -> None:
+        self.index = index
+        self.ctx = ctx
+        self.cache_entries = cache_entries
+        self.restarts = -1  # first spawn() brings it to 0
+        self.inflight: dict[int, _InFlight] = {}
+        self.proc: multiprocessing.Process | None = None
+        self.inbox = None
+        self.outbox = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        self.inbox = self.ctx.Queue()
+        self.outbox = self.ctx.Queue()
+        self.proc = self.ctx.Process(
+            target=_shard_main,
+            args=(self.index, self.inbox, self.outbox, self.cache_entries),
+            daemon=True,
+        )
+        self.proc.start()
+        self.restarts += 1
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    def reap(self) -> None:
+        """Terminate the process (idempotent; safe on the already-dead)."""
+        if self.proc is not None:
+            self.proc.terminate()
+            self.proc.join()
+        self.proc = None
+
+
+def _shard_main(index: int, inbox, outbox, cache_entries: int | None) -> None:
+    """Worker loop: warm caches + the one protocol executor.
+
+    Messages: ``("batch", id, op_energy, [request dicts])`` to serve,
+    ``("crash",)`` / ``("hang",)`` for injected faults, ``None`` to exit.
+    """
+    search_cache = MemoCache(f"serve-search-{index}", cache_entries)
+    memo = MemoCache(f"serve-memo-{index}", cache_entries)
+    engine = SearchEngine(
+        memoize=True, incremental=True, parallel=False, cache=search_cache
+    )
+    while True:
+        msg = inbox.get()
+        if msg is None:
+            return
+        if msg[0] == "crash":
+            os._exit(_CRASH_EXIT)
+        if msg[0] == "hang":  # pragma: no cover - reaped by terminate()
+            time.sleep(_HANG_SLEEP_S)
+            continue
+        _tag, batch_id, op_energy, request_docs = msg
+        OP_ENERGY_FACTOR.update(op_energy)
+        outs: list[tuple[str, Any]] = []
+        for doc in request_docs:
+            try:
+                req = Request.from_jsonable(doc)
+                outs.append((OK, execute_request(req, engine=engine, memo=memo)))
+            except ProtocolError as exc:
+                outs.append((INVALID_REQUEST, str(exc)))
+            except Exception as exc:  # surfaced per-request, batch survives
+                outs.append((INTERNAL_ERROR, repr(exc)))
+        outbox.put((index, batch_id, outs))
+
+
+class ShardPool:
+    """The pool of persistent shards plus the recovery state machine.
+
+    Single-owner: ``dispatch`` / ``poll`` / ``check`` are called from the
+    server's tick thread only (construction and ``kill_shard`` may come
+    from elsewhere — process handles tolerate that).
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        cache_entries: int | None = 4096,
+        batch_timeout_s: float = 60.0,
+        max_retries: int = 2,
+        max_inflight: int = 2,
+        ctx: Any = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        self.n_shards = n_shards
+        self.batch_timeout_s = batch_timeout_s
+        self.max_retries = max_retries
+        self.max_inflight = max_inflight
+        self._ctx = ctx if ctx is not None else multiprocessing.get_context()
+        self._shards = [
+            _Shard(i, self._ctx, cache_entries) for i in range(n_shards)
+        ]
+        self.inproc_fallbacks = 0
+        self.batch_retries = 0
+
+    # ------------------------------------------------------------------ #
+    # capacity + dispatch
+
+    def can_accept(self, shard_index: int) -> bool:
+        return len(self._shards[shard_index].inflight) < self.max_inflight
+
+    def dispatch(
+        self, batch_id: int, shard_index: int, requests: list[dict[str, Any]]
+    ) -> None:
+        """Send a batch to its shard and open its in-flight ledger entry."""
+        shard = self._shards[shard_index]
+        entry = _InFlight(
+            batch_id, requests, dispatch_ns=time.perf_counter_ns()
+        )
+        shard.inflight[batch_id] = entry
+        self._send(shard, entry)
+
+    def _send(self, shard: _Shard, entry: _InFlight) -> None:
+        inj = _faults_active()
+        if inj is not None:
+            action = inj.plan.worker_fault(entry.batch_id, entry.attempts)
+            if action in ("crash", "hang"):
+                kind = f"shard_{action}"
+                entry.injected.append(kind)
+                inj.injected(
+                    kind,
+                    f"batch={entry.batch_id} shard={shard.index} "
+                    f"attempt={entry.attempts}",
+                )
+                shard.inbox.put((action,))
+                if action == "hang":
+                    return  # the batch never arrives; timeout recovery fires
+        shard.inbox.put(
+            ("batch", entry.batch_id, dict(OP_ENERGY_FACTOR), entry.requests)
+        )
+
+    # ------------------------------------------------------------------ #
+    # completion + recovery
+
+    def poll(self) -> list[BatchResult]:
+        """Drain every shard's outbox; ack and return completed batches."""
+        done: list[BatchResult] = []
+        for shard in self._shards:
+            while True:
+                try:
+                    index, batch_id, outs = shard.outbox.get_nowait()
+                except (queue_mod.Empty, OSError, EOFError):
+                    break
+                entry = shard.inflight.pop(batch_id, None)
+                if entry is None:
+                    continue  # stale result from a recovered predecessor
+                self._resolve_injected(entry)
+                done.append(BatchResult(batch_id, index, outs))
+        return done
+
+    def check(self) -> list[BatchResult]:
+        """Detect dead/hung shards; respawn, re-dispatch, or fall back.
+
+        Returns batches completed via the in-process fallback (so the
+        caller fulfills them like any poll() result).  Re-dispatched
+        batches simply show up in a later poll.
+        """
+        now = time.perf_counter_ns()
+        timeout_ns = int(self.batch_timeout_s * 1e9)
+        fallback_done: list[BatchResult] = []
+        for shard in self._shards:
+            overdue = any(
+                now - e.dispatch_ns > timeout_ns for e in shard.inflight.values()
+            )
+            if shard.alive() and not overdue:
+                continue
+            if not shard.inflight and shard.alive():
+                continue  # healthy-idle even if a stale timeout raced
+            shard.reap()
+            orphans = list(shard.inflight.values())
+            shard.inflight.clear()
+            shard.spawn()
+            self._count("serve.shard_restarts")
+            for entry in orphans:
+                entry.attempts += 1
+                if entry.attempts <= self.max_retries:
+                    self.batch_retries += 1
+                    self._count("serve.batch_retries")
+                    entry.dispatch_ns = time.perf_counter_ns()
+                    shard.inflight[entry.batch_id] = entry
+                    self._send(shard, entry)
+                else:
+                    self.inproc_fallbacks += 1
+                    self._count("serve.inproc_fallbacks")
+                    outs = _execute_in_process(entry.requests)
+                    self._resolve_injected(entry)
+                    fallback_done.append(
+                        BatchResult(entry.batch_id, IN_PROCESS_SHARD, outs)
+                    )
+        return fallback_done
+
+    def _resolve_injected(self, entry: _InFlight) -> None:
+        inj = _faults_active()
+        if inj is not None:
+            for kind in entry.injected:
+                inj.recovered(kind, f"batch={entry.batch_id}")
+            entry.injected.clear()
+
+    @staticmethod
+    def _count(name: str) -> None:
+        sess = _obs_active()
+        if sess is not None:
+            sess.metrics.counter(name).inc()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle + introspection
+
+    @property
+    def inflight_total(self) -> int:
+        return sum(len(s.inflight) for s in self._shards)
+
+    @property
+    def restarts_total(self) -> int:
+        return sum(s.restarts for s in self._shards)
+
+    def kill_shard(self, index: int) -> None:
+        """Hard-kill one worker (tests and chaos drills); recovery is the
+        job of the next ``check()``."""
+        shard = self._shards[index]
+        if shard.proc is not None:
+            shard.proc.kill()
+            shard.proc.join()
+
+    def stop(self) -> None:
+        for shard in self._shards:
+            try:
+                shard.inbox.put(None)
+            except (ValueError, OSError):  # already torn down
+                pass
+        deadline = time.monotonic() + 2.0
+        for shard in self._shards:
+            if shard.proc is not None:
+                shard.proc.join(max(0.0, deadline - time.monotonic()))
+            shard.reap()
+
+
+def _execute_in_process(request_docs: list[dict[str, Any]]) -> list[tuple[str, Any]]:
+    """The deterministic last resort: the same executor, reference path,
+    in the server process — bit-identical to a healthy shard."""
+    outs: list[tuple[str, Any]] = []
+    for doc in request_docs:
+        try:
+            req = Request.from_jsonable(doc)
+            outs.append((OK, execute_request(req)))
+        except ProtocolError as exc:
+            outs.append((INVALID_REQUEST, str(exc)))
+        except Exception as exc:
+            outs.append((INTERNAL_ERROR, repr(exc)))
+    return outs

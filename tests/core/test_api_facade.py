@@ -1,0 +1,154 @@
+"""The repro.api facade: typed specs, the four verbs, equivalence with
+the underlying library calls, and the top-level deprecation shims."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.cost import evaluate_cost
+from repro.core.default_mapper import default_mapping, serial_mapping
+from repro.core.mapping import GridSpec
+from repro.core.search import FigureOfMerit, sweep_placements
+from repro.testing.oracle import assert_search_equivalent
+
+
+# ---------------------------------------------------------------------- #
+# specs
+
+
+def test_workload_spec_is_canonical_and_jsonable():
+    a = api.WorkloadSpec.of("stencil", steps=2, n=8)
+    b = api.WorkloadSpec.of("stencil", n=8, steps=2)
+    assert a == b  # param order never matters
+    doc = json.loads(json.dumps(a.as_jsonable()))
+    assert api.WorkloadSpec.from_jsonable(doc) == a
+    assert api.WorkloadSpec.from_jsonable("fft") == api.WorkloadSpec.of("fft")
+
+
+def test_machine_spec_accepts_common_shapes():
+    for form in ([4, 2], (4, 2), {"width": 4, "height": 2}):
+        spec = api.MachineSpec.from_jsonable(form)
+        assert (spec.width, spec.height) == (4, 2)
+        assert spec.grid() == GridSpec(4, 2)
+    with pytest.raises(api.ApiError):
+        api.MachineSpec.from_jsonable([0, 2])
+
+
+def test_fom_spec_weights_are_exact():
+    assert api.FomSpec.from_jsonable({"time": 1}).fom() == FigureOfMerit.fastest()
+    assert (
+        api.FomSpec.from_jsonable({"energy": 1}).fom()
+        == FigureOfMerit.lowest_energy()
+    )
+    assert (
+        api.FomSpec.from_jsonable({"time": 1, "energy": 1}).fom()
+        == FigureOfMerit.edp()
+    )
+    with pytest.raises(api.ApiError):
+        api.FomSpec.from_jsonable({"speed": 1})
+    with pytest.raises(api.ApiError):
+        api.FomSpec.from_jsonable({})
+
+
+# ---------------------------------------------------------------------- #
+# the verbs
+
+
+def test_compile_memoizes_and_validates():
+    g1 = api.compile("stencil", n=8)
+    g2 = api.compile(api.WorkloadSpec.of("stencil", n=8))
+    assert g1 is g2  # same spec -> same compiled graph object
+    with pytest.raises(api.ApiError):
+        api.compile("no_such_workload")
+    with pytest.raises(api.ApiError):
+        api.compile("stencil", bogus=1)
+
+
+def test_evaluate_equals_library_calls():
+    g = api.compile("fft", n=16)
+    grid = GridSpec(4, 1)
+    for mapper, build in (("default", default_mapping), ("serial", serial_mapping)):
+        res = api.evaluate("fft", (4, 1), mapper=mapper, check=True, n=16)
+        direct = evaluate_cost(g, build(g, grid), grid)
+        assert res.cost.cycles == direct.cycles
+        assert res.cost.energy_total_fj == direct.energy_total_fj
+        assert res.legality is not None and res.legality.ok
+    with pytest.raises(api.ApiError):
+        api.evaluate("fft", (4, 1), mapper="random", n=16)
+
+
+def test_search_equals_library_sweep():
+    served = api.search("stencil", (4, 1), fom={"time": 1, "energy": 1}, n=10)
+    direct = sweep_placements(
+        api.compile("stencil", n=10), GridSpec(4, 1), FigureOfMerit.edp()
+    )
+    assert_search_equivalent(served, direct, context="facade-sweep")
+    # anneal and exhaustive return one-row lists
+    assert len(api.search("stencil", (2, 1), method="anneal", steps=50, n=6)) == 1
+    with pytest.raises(api.ApiError):
+        api.search("stencil", (2, 1), method="bogosearch", n=6)
+
+
+def test_simulate_validates_and_runs():
+    stats = api.simulate([[32, 4, None, "L1"]], [("r", a) for a in range(64)])
+    assert stats["L1"]["accesses"] == 64
+    with pytest.raises(api.ApiError):
+        api.simulate([], [("r", 0)])
+    with pytest.raises(api.ApiError):
+        api.simulate([[32, 4, None, "L1"]], [("x", 0)])
+
+
+def test_score_accepts_list_and_dict_placements():
+    by_list = api.score("matmul", (2, 1), [(0, 0)] * 12, n=2)
+    nodes = api.compile("matmul", n=2).compute_nodes()
+    by_dict = api.score(
+        "matmul", (2, 1), {nid: (0, 0) for nid in nodes}, n=2
+    )
+    assert by_list.fom == by_dict.fom
+    with pytest.raises(api.ApiError):
+        api.score("matmul", (2, 1), [(0, 0)], n=2)  # wrong length
+
+
+def test_register_workload_round_trips():
+    api.register_workload("tiny_test_wl", lambda n=2: api.compile("matmul", n=n))
+    try:
+        assert "tiny_test_wl" in api.workload_names()
+        assert api.compile("tiny_test_wl", n=2) is api.compile("matmul", n=2)
+    finally:
+        api.unregister_workload("tiny_test_wl")
+    assert "tiny_test_wl" not in api.workload_names()
+
+
+# ---------------------------------------------------------------------- #
+# the top level
+
+
+def test_explicit_all_and_version():
+    assert repro.__version__ == "1.1.0"
+    assert "api" in repro.__all__
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_deprecated_shims_warn_and_still_work():
+    for name in ("check_legality", "evaluate_cost", "default_mapping",
+                 "serial_mapping"):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            obj = getattr(repro, name)
+        assert callable(obj)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught), name
+        assert any("repro.api" in str(w.message) for w in caught), name
+    # canonical submodule imports never warn
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        from repro.core.cost import evaluate_cost as _ec  # noqa: F401
+    assert not caught
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_symbol
+    assert "check_legality" in dir(repro)

@@ -1,0 +1,94 @@
+"""Backpressure and load shedding answer with explicit rejection codes —
+never a silent drop, never an unbounded queue."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve import (
+    DEADLINE_EXCEEDED,
+    QUEUE_FULL,
+    REJECTION_CODES,
+    SHUTTING_DOWN,
+    EvaluationServer,
+    Request,
+)
+from repro.serve.batcher import PendingQueue, Ticket
+
+
+def _search_request(seed=0):
+    return Request(
+        "search",
+        {"workload": {"name": "stencil", "params": {"n": 16}},
+         "machine": [4, 1], "seed": seed},
+    )
+
+
+def test_queue_full_rejects_instantly():
+    # a tiny queue and a tick loop that cannot drain: hold the tick thread
+    # hostage by not starting the server at all -- use the queue directly
+    q = PendingQueue(2)
+    now = time.perf_counter_ns()
+    t1, t2, t3 = (
+        Ticket(_search_request(i), accepted_ns=now, deadline_ns=None)
+        for i in range(3)
+    )
+    assert q.admit(t1) and q.admit(t2)
+    assert not q.admit(t3)  # third one bounces
+
+
+def test_server_sheds_with_queue_full_code():
+    srv = EvaluationServer(
+        n_shards=1, max_queue=2, max_batch=1, tick_s=0.05,
+        max_inflight_per_shard=1,
+    ).start()
+    try:
+        # submit a burst far beyond queue + in-flight capacity in one tick
+        tickets = [srv.submit(_search_request(i)) for i in range(12)]
+        rejected_now = [
+            t.response.code for t in tickets if t.response is not None
+        ]
+        assert QUEUE_FULL in rejected_now, "burst must bounce off the bounded queue"
+        # every accepted request still resolves (served, or shed explicitly)
+        resps = [t.wait(120) for t in tickets]
+        assert all(r is not None for r in resps)
+        codes = {r.code for r in resps}
+        assert codes <= {"OK"} | set(REJECTION_CODES)
+    finally:
+        srv.stop()
+
+
+def test_deadline_exceeded_is_explicit():
+    srv = EvaluationServer(n_shards=1, tick_s=0.02).start()
+    try:
+        # a deadline that expires before the next tick can dispatch it
+        t = srv.submit(
+            Request("search", _search_request().payload, deadline_s=1e-9)
+        )
+        resp = t.wait(30)
+        assert resp is not None
+        assert resp.code == DEADLINE_EXCEEDED
+        assert "deadline" in resp.detail
+    finally:
+        srv.stop()
+
+
+def test_shutting_down_rejects_new_work():
+    srv = EvaluationServer(n_shards=1, tick_s=0.002).start()
+    srv.stop()
+    resp = srv.submit(_search_request()).wait(5)
+    assert resp is not None and resp.code == SHUTTING_DOWN
+
+
+def test_rejections_counted_in_stats():
+    srv = EvaluationServer(n_shards=1, tick_s=0.02).start()
+    try:
+        t = srv.submit(
+            Request("search", _search_request().payload, deadline_s=1e-9)
+        )
+        assert t.wait(30).code == DEADLINE_EXCEEDED
+        assert srv.stats()["rejected"] >= 1
+    finally:
+        srv.stop()

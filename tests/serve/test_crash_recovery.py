@@ -1,0 +1,116 @@
+"""A crashed shard never loses an accepted request: the in-flight ledger
+re-dispatches (bounded) and falls back in-process, bit-identically."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import api
+from repro.faults.inject import injection
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.serve import EvaluationServer, LocalClient, Request
+from repro.serve.protocol import search_results_from_rows
+from repro.serve.shards import IN_PROCESS_SHARD, ShardPool
+from repro.testing.oracle import assert_search_equivalent
+
+
+def _search_request(seed):
+    return Request(
+        "search",
+        {"workload": {"name": "stencil", "params": {"n": 12}},
+         "machine": [4, 1], "seed": seed},
+    )
+
+
+def test_killed_shards_lose_zero_accepted_requests():
+    srv = EvaluationServer(
+        n_shards=2, tick_s=0.002, batch_timeout_s=0.5, max_retries=2
+    ).start()
+    try:
+        # warm the pool, then kill every shard with work in flight
+        assert LocalClient(srv).evaluate("matmul", (2, 2), n=2)["cost"]
+        tickets = [srv.submit(_search_request(s)) for s in range(6)]
+        time.sleep(0.01)
+        srv.pool.kill_shard(0)
+        srv.pool.kill_shard(1)
+        resps = [t.wait(90) for t in tickets]
+        assert all(r is not None and r.ok for r in resps), [
+            (r.code, r.detail) for r in resps if r is not None
+        ]
+        # recovery actually happened: the tick loop respawns killed shards
+        # (whether or not the kill caught a batch mid-flight)
+        deadline = time.monotonic() + 10
+        while srv.pool.restarts_total < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert srv.pool.restarts_total >= 1
+        # recovered results are bit-identical to the direct library call
+        for t, r in zip(tickets, resps):
+            direct = api.search(
+                "stencil", (4, 1), seed=t.request.payload["seed"], n=12
+            )
+            assert_search_equivalent(
+                search_results_from_rows(r.result["rows"]),
+                direct,
+                context="post-crash",
+            )
+    finally:
+        srv.stop()
+
+
+def test_exhausted_retries_fall_back_in_process():
+    """A batch that dies on every attempt completes via the in-process
+    reference path (shard == IN_PROCESS_SHARD), not an error."""
+    pool = ShardPool(1, batch_timeout_s=0.3, max_retries=1)
+    try:
+        reqs = [
+            Request("evaluate", {"workload": "matmul", "machine": [2, 2]}).as_jsonable()
+        ]
+        pool.dispatch(0, 0, reqs)
+        done = []
+        deadline = time.monotonic() + 30
+        # never poll(): kill the worker on every attempt, so completion can
+        # only come from check()'s retry-exhausted in-process fallback
+        while not done and time.monotonic() < deadline:
+            pool.kill_shard(0)
+            time.sleep(0.02)
+            done = pool.check()
+        assert done, "batch never completed"
+        assert done[0].shard == IN_PROCESS_SHARD
+        assert pool.inproc_fallbacks == 1
+        code, result = done[0].outs[0]
+        assert code == "OK"
+        from repro.testing.golden import cost_report_to_jsonable
+
+        assert result["cost"] == cost_report_to_jsonable(
+            api.evaluate("matmul", (2, 2)).cost
+        )
+    finally:
+        pool.stop()
+
+
+def test_fault_plan_injects_shard_crashes_with_ledger():
+    """PR-3 chaos plans apply to the serving layer: injected shard crashes
+    are recorded, recovered, and invisible in the results."""
+    plan = FaultPlan(
+        seed=7, spec=FaultSpec(worker_crash=1.0, worker_faulty_attempts=2)
+    )
+    with injection(plan) as inj:
+        srv = EvaluationServer(
+            n_shards=1, tick_s=0.002, batch_timeout_s=0.5, max_retries=2
+        ).start()
+        try:
+            resp = srv.request(_search_request(3), timeout_s=90)
+            assert resp.ok, (resp.code, resp.detail)
+            direct = api.search("stencil", (4, 1), seed=3, n=12)
+            assert_search_equivalent(
+                search_results_from_rows(resp.result["rows"]),
+                direct,
+                context="chaos-serve",
+            )
+        finally:
+            srv.stop()
+    assert inj.n_injected > 0, "the plan must actually have fired"
+    assert "shard_crash" in inj.by_kind()
+    assert inj.all_handled, "\n".join(inj.summary_lines())

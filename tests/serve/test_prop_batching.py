@@ -1,0 +1,78 @@
+"""Property: batching is invisible in the results.
+
+However requests are interleaved, ordered, or split into batches, every
+request gets the same answer it would get alone — batch formation changes
+throughput, never results.  Also: formation itself partitions tickets
+(no loss, no duplication) and respects the size cap.
+"""
+
+from __future__ import annotations
+
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.batcher import Ticket, batch_key, form_batches, route
+from repro.serve.protocol import Request, execute_request
+
+# small, fast workloads; params chosen so several distinct keys exist
+_JOBS = [
+    ("stencil", {"n": 6}, [2, 1]),
+    ("stencil", {"n": 6}, [3, 1]),
+    ("sum_squares", {"n": 6}, [2, 1]),
+    ("matmul", {"n": 2}, [2, 1]),
+]
+
+
+def _request(job_index: int, seed: int) -> Request:
+    name, params, machine = _JOBS[job_index % len(_JOBS)]
+    return Request(
+        "evaluate",
+        {"workload": {"name": name, "params": params}, "machine": machine,
+         "mapper": "serial" if seed % 2 else "default"},
+    )
+
+
+def _ticket(req: Request) -> Ticket:
+    return Ticket(req, accepted_ns=time.perf_counter_ns(), deadline_ns=None)
+
+
+@given(
+    jobs=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=10
+    ),
+    max_batch=st.integers(1, 4),
+)
+@settings(max_examples=10, deadline=None)
+def test_formation_partitions_tickets(jobs, max_batch):
+    tickets = [_ticket(_request(j, s)) for j, s in jobs]
+    batches, next_id = form_batches(tickets, max_batch, 0)
+    seen = [t for b in batches for t in b.tickets]
+    assert sorted(map(id, seen)) == sorted(map(id, tickets))  # exact partition
+    assert next_id == len(batches)
+    for b in batches:
+        assert 1 <= len(b) <= max_batch
+        assert all(batch_key(t.request) == b.key for t in b.tickets)
+        assert 0 <= route(b.key, 3) < 3
+
+
+@given(
+    jobs=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=6
+    ),
+    max_batch=st.integers(1, 3),
+)
+@settings(max_examples=10, deadline=None)
+def test_batched_execution_equals_solo_execution(jobs, max_batch):
+    """Executing requests grouped by the batcher gives byte-identical
+    JSON results to executing each alone, in any grouping."""
+    requests = [_request(j, s) for j, s in jobs]
+    solo = [execute_request(r) for r in requests]
+    batches, _ = form_batches([_ticket(r) for r in requests], max_batch, 0)
+    by_req: dict[int, object] = {}
+    for b in batches:
+        for t in b.tickets:
+            by_req[id(t.request)] = execute_request(t.request)
+    for req, expect in zip(requests, solo):
+        assert by_req[id(req)] == expect

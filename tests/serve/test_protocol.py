@@ -1,0 +1,127 @@
+"""Protocol layer: request validation, JSON round trips, and the one
+executor's bit-identity with direct facade calls."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.core.memo import MemoCache
+from repro.core.search import SearchEngine
+from repro.serve.protocol import (
+    KINDS,
+    OK,
+    REJECTION_CODES,
+    ProtocolError,
+    Request,
+    Response,
+    cost_report_from_jsonable,
+    execute_request,
+    mapping_from_jsonable,
+    mapping_to_jsonable,
+    search_results_from_rows,
+)
+from repro.testing.golden import cost_report_to_jsonable
+from repro.testing.oracle import assert_search_equivalent
+
+
+def test_request_rejects_unknown_kind_and_fields():
+    with pytest.raises(ProtocolError):
+        Request("transmogrify", {})
+    with pytest.raises(ProtocolError):
+        Request.from_jsonable({"kind": "search", "bogus": 1})
+    with pytest.raises(ProtocolError):
+        Request.from_jsonable(["not", "a", "dict"])
+
+
+def test_request_roundtrip():
+    req = Request("search", {"workload": "fft", "machine": [4, 1]}, "r9", 2.5)
+    back = Request.from_jsonable(json.loads(json.dumps(req.as_jsonable())))
+    assert back == req
+
+
+def test_response_flags():
+    ok = Response(id="a", kind="search", code=OK, result={})
+    assert ok.ok and not ok.shed
+    for code in REJECTION_CODES:
+        r = Response(id="a", kind="search", code=code, detail="x")
+        assert r.shed and not r.ok
+    doc = json.loads(json.dumps(ok.as_jsonable()))
+    assert Response.from_jsonable(doc).ok
+
+
+def test_mapping_roundtrip_is_exact():
+    res = api.evaluate("stencil", (4, 1), n=8)
+    back = mapping_from_jsonable(
+        json.loads(json.dumps(mapping_to_jsonable(res.mapping)))
+    )
+    assert (back.x == res.mapping.x).all()
+    assert (back.y == res.mapping.y).all()
+    assert (back.time == res.mapping.time).all()
+    assert (back.offchip == res.mapping.offchip).all()
+
+
+def test_cost_report_roundtrip_is_bit_identical():
+    res = api.evaluate("fft", (4, 1), n=16)
+    doc = json.loads(json.dumps(cost_report_to_jsonable(res.cost)))
+    back = cost_report_from_jsonable(doc)
+    assert back.cycles == res.cost.cycles
+    assert back.time_ps == res.cost.time_ps
+    assert back.energy_total_fj == res.cost.energy_total_fj
+    assert back.energy_offchip_fj == res.cost.energy_offchip_fj
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_execute_request_needs_required_fields(kind):
+    with pytest.raises(ProtocolError):
+        execute_request(Request(kind, {}))
+
+
+def test_executor_matches_direct_search_bit_for_bit():
+    req = Request(
+        "search",
+        {"workload": {"name": "stencil", "params": {"n": 12}}, "machine": [4, 1]},
+    )
+    # reference path (no warm state) and warm-engine path must both match
+    direct = api.search("stencil", (4, 1), n=12)
+    for engine in (
+        None,
+        SearchEngine(memoize=True, incremental=True, cache=MemoCache("t")),
+    ):
+        out = execute_request(req, engine=engine)
+        served = search_results_from_rows(
+            json.loads(json.dumps(out))["rows"]
+        )
+        assert_search_equivalent(served, direct, context="protocol-executor")
+
+
+def test_executor_evaluate_matches_direct():
+    out = execute_request(
+        Request("evaluate", {"workload": "matmul", "machine": [2, 2]})
+    )
+    direct = api.evaluate("matmul", (2, 2))
+    assert out["cost"] == cost_report_to_jsonable(direct.cost)
+
+
+def test_executor_simulate_and_score():
+    trace = [["r", a] for a in range(64)] * 2
+    out = execute_request(
+        Request("simulate", {"levels": [[32, 4, None, "L1"]], "trace": trace})
+    )
+    assert out["L1"]["accesses"] == 128
+    placement = [[0, 0]] * 12
+    score_out = execute_request(
+        Request(
+            "score",
+            {
+                "workload": {"name": "matmul", "params": {"n": 2}},
+                "machine": [2, 1],
+                "placement": placement,
+            },
+        )
+    )
+    direct = api.score("matmul", (2, 1), placement, n=2)
+    assert score_out["cost"] == cost_report_to_jsonable(direct.cost)
+    assert score_out["fom"] == direct.fom

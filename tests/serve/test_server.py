@@ -1,0 +1,126 @@
+"""The served path returns bit-identical results to direct facade calls —
+under concurrency, through batching, and over HTTP."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import api, obs
+from repro.serve import (
+    EvaluationServer,
+    HttpClient,
+    LocalClient,
+    Request,
+)
+from repro.serve.protocol import search_results_from_rows
+from repro.serve.server import serve_http
+from repro.testing.golden import cost_report_to_jsonable
+from repro.testing.oracle import assert_search_equivalent
+
+
+@pytest.fixture(scope="module")
+def server():
+    with EvaluationServer(n_shards=2, tick_s=0.002) as srv:
+        yield srv
+
+
+def test_concurrent_clients_bit_identical_to_direct_api(server):
+    """Many threads, mixed workloads: every served search equals the
+    direct library call, row for row, float for float."""
+    jobs = [
+        ("stencil", {"n": 10}, (4, 1)),
+        ("stencil", {"n": 12}, (4, 1)),
+        ("fft", {"n": 16}, (4, 1)),
+        ("fft", {"n": 8}, (2, 2)),
+        ("matmul", {"n": 2}, (2, 2)),
+        ("sum_squares", {"n": 16}, (4, 1)),
+    ] * 2
+    results: dict[int, object] = {}
+
+    def run(i, name, params, machine):
+        c = LocalClient(server)
+        results[i] = c.search(name, machine, **params)
+
+    threads = [
+        threading.Thread(target=run, args=(i, *job)) for i, job in enumerate(jobs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(results) == len(jobs)
+    for i, (name, params, machine) in enumerate(jobs):
+        served = search_results_from_rows(results[i]["rows"])
+        direct = api.search(name, machine, **params)
+        assert_search_equivalent(served, direct, context=f"served/{name}{params}")
+
+
+def test_batching_actually_happens(server):
+    """Same-key requests submitted together share a batch id."""
+    reqs = [
+        Request("evaluate", {"workload": {"name": "stencil", "params": {"n": 8}},
+                             "machine": [4, 1], "mapper": m})
+        for m in ("default", "serial", "default", "serial")
+    ]
+    tickets = [server.submit(r) for r in reqs]
+    resps = [t.wait(60) for t in tickets]
+    assert all(r.ok for r in resps)
+    assert len({r.batch for r in resps}) == 1  # one batch served them all
+    assert len({r.id for r in resps}) == len(resps)  # distinct ids
+
+
+def test_server_records_obs_metrics():
+    with obs.session(label="serve-test") as sess:
+        with EvaluationServer(n_shards=1, tick_s=0.002) as srv:
+            LocalClient(srv).evaluate("matmul", (2, 2), n=2)
+        dump = sess.metrics_dump()
+    assert dump["counters"]["serve.requests{kind=evaluate}"] == 1
+    assert dump["counters"]["serve.served"] == 1
+    spans = sess.tracer.find("serve.request")
+    assert len(spans) == 1 and spans[0].args["code"] == "OK"
+
+
+def test_http_front_end_to_end():
+    with EvaluationServer(n_shards=1, tick_s=0.002) as srv:
+        httpd = serve_http(srv, port=0)
+        port = httpd.server_address[1]
+        t = threading.Thread(target=httpd.serve_forever, daemon=True)
+        t.start()
+        try:
+            client = HttpClient(f"http://127.0.0.1:{port}")
+            assert client.healthz()["ok"]
+            out = client.search("stencil", (4, 1), n=10)
+            served = search_results_from_rows(out["rows"])
+            direct = api.search("stencil", (4, 1), n=10)
+            assert_search_equivalent(served, direct, context="http")
+            ev = client.evaluate("matmul", (2, 2), n=2)
+            assert ev["cost"] == cost_report_to_jsonable(
+                api.evaluate("matmul", (2, 2), n=2).cost
+            )
+            # malformed request -> HTTP 400 with INVALID_REQUEST body
+            req = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/requests",
+                data=json.dumps({"kind": "nope"}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=30)
+            assert err.value.code == 400
+            assert json.loads(err.value.read())["code"] == "INVALID_REQUEST"
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+
+def test_invalid_workload_is_a_per_request_error(server):
+    resp = server.request(
+        Request("search", {"workload": "no_such_thing", "machine": [2, 1]})
+    )
+    assert resp.code == "INVALID_REQUEST"
+    assert "no_such_thing" in resp.detail

@@ -1,0 +1,148 @@
+"""CI smoke for the serving layer: start a real HTTP server, fire >= 32
+concurrent mixed-kind requests, and require every one to either succeed
+or be shed with an explicit rejection code — then diff a served search
+against the direct library call with the differential oracle.
+
+Exit codes: 0 = pass; 1 = a response was lost, errored, or diverged.
+
+Run:  PYTHONPATH=src python tools/serve_smoke.py [--shards 2] [--requests 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro import api, obs
+from repro.serve import (
+    REJECTION_CODES,
+    EvaluationServer,
+    HttpClient,
+    Request,
+    Response,
+)
+from repro.serve.protocol import search_results_from_rows
+from repro.serve.server import serve_http
+from repro.testing.oracle import SearchEquivalenceError, assert_search_equivalent
+
+
+def _mixed_requests(n: int) -> list[Request]:
+    """A deterministic mixed-kind stream: all four verbs, several keys."""
+    reqs: list[Request] = []
+    for i in range(n):
+        kind = ("search", "evaluate", "simulate", "score")[i % 4]
+        if kind == "search":
+            reqs.append(Request("search", {
+                "workload": {"name": "stencil", "params": {"n": 8 + 2 * (i % 3)}},
+                "machine": [4, 1],
+            }))
+        elif kind == "evaluate":
+            reqs.append(Request("evaluate", {
+                "workload": {"name": "fft", "params": {"n": 8 << (i % 2)}},
+                "machine": [4, 1],
+                "mapper": "serial" if i % 8 else "default",
+            }))
+        elif kind == "simulate":
+            reqs.append(Request("simulate", {
+                "levels": [[64, 4, None, "L1"], [512, 8, None, "L2"]],
+                "trace": [["r", (a * (1 + i % 3)) % 256] for a in range(128)],
+            }))
+        else:
+            reqs.append(Request("score", {
+                "workload": {"name": "matmul", "params": {"n": 2}},
+                "machine": [2, 1],
+                "placement": [[0, 0]] * 12,
+            }))
+    return reqs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=40)
+    args = parser.parse_args(argv)
+    if args.requests < 32:
+        parser.error("--requests must be >= 32 (the smoke's concurrency floor)")
+
+    failures: list[str] = []
+    with obs.session(label="serve-smoke") as sess:
+        with EvaluationServer(n_shards=args.shards, tick_s=0.002) as srv:
+            httpd = serve_http(srv, port=0)
+            port = httpd.server_address[1]
+            threading.Thread(target=httpd.serve_forever, daemon=True).start()
+            base = f"http://127.0.0.1:{port}"
+            print(f"serve_smoke: {args.shards} shard(s) on {base}, "
+                  f"{args.requests} concurrent mixed-kind requests")
+
+            reqs = _mixed_requests(args.requests)
+            responses: list[Response | None] = [None] * len(reqs)
+
+            def fire(i: int, req: Request) -> None:
+                responses[i] = HttpClient(base, timeout_s=300).request(req)
+
+            threads = [
+                threading.Thread(target=fire, args=(i, r))
+                for i, r in enumerate(reqs)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            ok = shed = 0
+            for i, resp in enumerate(responses):
+                if resp is None:
+                    failures.append(f"request {i}: no response")
+                elif resp.ok:
+                    ok += 1
+                elif resp.code in REJECTION_CODES:
+                    shed += 1
+                else:
+                    failures.append(
+                        f"request {i} ({reqs[i].kind}): {resp.code}: {resp.detail}"
+                    )
+            print(f"  {ok} served, {shed} explicitly shed, "
+                  f"{len(failures)} failed")
+
+            # oracle: one served search per distinct key vs the direct call
+            checked = set()
+            for req, resp in zip(reqs, responses):
+                if req.kind != "search" or resp is None or not resp.ok:
+                    continue
+                key = req.payload["workload"]["params"]["n"]
+                if key in checked:
+                    continue
+                checked.add(key)
+                direct = api.search("stencil", (4, 1), n=key)
+                try:
+                    assert_search_equivalent(
+                        search_results_from_rows(resp.result["rows"]),
+                        direct,
+                        context=f"serve-smoke/n={key}",
+                    )
+                except SearchEquivalenceError as exc:
+                    failures.append(f"oracle: {exc}")
+            print(f"  differential oracle: {len(checked)} served searches "
+                  "bit-identical to direct calls")
+            httpd.shutdown()
+            httpd.server_close()
+        stats = srv.stats()
+
+    counters = sess.metrics_dump()["counters"]
+    print(f"  serve.served={counters.get('serve.served', 0):.0f} "
+          f"shard_restarts={stats['shard_restarts']} "
+          f"fallbacks={stats['inproc_fallbacks']}")
+    if ok == 0:
+        failures.append("nothing was served at all")
+    if failures:
+        print("serve_smoke: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("serve_smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
