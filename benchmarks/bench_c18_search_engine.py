@@ -24,6 +24,10 @@ from repro.testing import assert_search_equivalent
 
 MACHINE = api.MachineSpec(8, 1)
 STENCIL_32x3 = api.WorkloadSpec.of("stencil", n=32, steps=3)
+
+#: the true reference path — with the compiled backend now the session
+#: default, ``engine=None`` would silently measure compiled-vs-fast.
+REFERENCE_ENGINE = SearchEngine()
 FOMS = [
     ("time", {"time": 1}),
     ("energy", {"energy": 1}),
@@ -57,7 +61,7 @@ def test_bench_engine_speedup_with_identical_results(
     def measure():
         clear_global_caches()
         t0 = time.perf_counter()
-        ref = search_campaign(STENCIL_32x3, None, seed)
+        ref = search_campaign(STENCIL_32x3, REFERENCE_ENGINE, seed)
         t_ref = time.perf_counter() - t0
         clear_global_caches()
         t0 = time.perf_counter()
@@ -102,7 +106,7 @@ def test_bench_parallel_driver_is_deterministic(
 
     def measure():
         clear_global_caches()
-        ref = api.search(spec, MACHINE)
+        ref = api.search(spec, MACHINE, engine=REFERENCE_ENGINE)
         par = api.search(
             spec, MACHINE,
             engine=SearchEngine(parallel=True, n_workers=workers),

@@ -45,11 +45,14 @@ def _requests():
 def _drive(n_shards: int) -> tuple[float, int, list]:
     """Closed-loop rounds over the key mix; returns (steady-state seconds,
     requests served, last round's responses)."""
+    # disk_cache off: the shared on-disk tier would let the 1-shard run
+    # pre-warm the 4-shard run, corrupting the scaling measurement
     with EvaluationServer(
         n_shards=n_shards,
         shard_cache_entries=CACHE_ENTRIES,
         max_batch=4,
         tick_s=0.001,
+        disk_cache=False,
     ) as srv:
         last = []
         t_measured = 0.0

@@ -1,0 +1,331 @@
+"""Claim C21: the compiled flat-graph kernel core accelerates the full
+search campaign >= 3x over the reference interpreter — bit-identically —
+and the persistent on-disk memo store makes a cold process restart >= 5x
+faster than recomputing.
+
+Three measurements:
+
+*  **campaign** — the C18 search loop (three-FoM structured sweep +
+   anneal) on the reference path versus the compiled engine
+   (``FlatProgram`` lowering + vectorized placement/energy kernels +
+   incremental anneal state).  Equality is checked row-by-row by the
+   differential oracle, not eyeballed.
+*  **disk restart** — the same campaign with the memo cache backed by a
+   :class:`~repro.core.memo.DiskMemoStore`: the "cold" run computes and
+   persists, the "warm" run simulates a process restart (fresh in-memory
+   cache, same store directory) and must reload every result
+   bit-identically.
+*  **cache replay** — an address trace through a two-level hierarchy:
+   per-access reference loop versus the array replayer
+   (:func:`repro.compiled.replay_into`), equal final stats required.
+
+Standalone mode (what the CI ``bench-smoke`` job runs)::
+
+    PYTHONPATH=src python benchmarks/bench_c21_compiled_core.py --json --smoke
+
+exits nonzero on any divergence or if the campaign speedup falls under
+the smoke gate (1.5x — deliberately lower than the pytest gate so a
+noisy shared runner does not flake the build).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import sys
+import tempfile
+import time
+
+from repro import api
+from repro.analysis.report import Table
+from repro.core.memo import DiskMemoStore, MemoCache, clear_global_caches
+from repro.core.search import SearchEngine
+from repro.machines.cachesim import CacheHierarchy, LRUCache, run_trace
+from repro.testing import assert_search_equivalent
+
+MACHINE = api.MachineSpec(8, 1)
+FOMS = [
+    ("time", {"time": 1}),
+    ("energy", {"energy": 1}),
+    ("edp", {"time": 1, "energy": 1}),
+]
+
+#: full-size campaign (the pytest bench and ``--json`` without ``--smoke``)
+FULL = {"workload": api.WorkloadSpec.of("stencil", n=32, steps=3), "steps": 250}
+#: CI smoke sizing: same shape, small enough for a shared runner
+SMOKE = {"workload": api.WorkloadSpec.of("stencil", n=16, steps=2), "steps": 150}
+
+REFERENCE_ENGINE = SearchEngine()
+TRACE_LEN = 60_000
+CACHE_SPEC = [(256, 8, 2, "L1"), (4096, 16, 4, "L2")]
+
+
+def search_campaign(spec, engine, seed, steps):
+    """Sweep under three FoMs, then anneal — the C18 user loop."""
+    sweeps = {
+        name: api.search(spec, MACHINE, fom=fom, engine=engine)
+        for name, fom in FOMS
+    }
+    annealed = api.search(
+        spec, MACHINE, fom=FOMS[-1][1], method="anneal",
+        steps=steps, seed=seed, engine=engine,
+    )[0]
+    return sweeps, annealed
+
+
+def assert_campaigns_equal(a, b) -> None:
+    (sweeps_a, anneal_a), (sweeps_b, anneal_b) = a, b
+    for name, _fom in FOMS:
+        assert_search_equivalent(sweeps_a[name], sweeps_b[name],
+                                 context=f"sweep/{name}")
+    assert_search_equivalent(anneal_a, anneal_b, context="anneal")
+
+
+def _fresh_programs() -> None:
+    from repro.compiled import clear_programs
+
+    clear_programs()
+
+
+def run_campaign_pair(sizing, seed):
+    """(reference campaign, compiled campaign, t_ref, t_compiled)."""
+    compiled_engine = SearchEngine(memoize=True, incremental=True, compiled=True)
+    clear_global_caches()
+    _fresh_programs()
+    t0 = time.perf_counter()
+    ref = search_campaign(sizing["workload"], REFERENCE_ENGINE, seed,
+                          sizing["steps"])
+    t_ref = time.perf_counter() - t0
+    clear_global_caches()
+    _fresh_programs()
+    t0 = time.perf_counter()
+    comp = search_campaign(sizing["workload"], compiled_engine, seed,
+                           sizing["steps"])
+    t_comp = time.perf_counter() - t0
+    return ref, comp, t_ref, t_comp
+
+
+def run_disk_restart(sizing, seed, root):
+    """(cold campaign, warm campaign, t_cold, t_warm, store stats)."""
+
+    def engine_on(store: DiskMemoStore) -> SearchEngine:
+        return SearchEngine(
+            memoize=True, incremental=True, compiled=True,
+            cache=MemoCache("c21-disk", store=store),
+        )
+
+    # double the anneal: its memo entry is one key, so the warm run pays
+    # one disk read for it no matter how long the cold trajectory was —
+    # exactly the asymmetry a persistent store is for
+    steps = sizing["steps"] * 2
+    cold_store = DiskMemoStore("bench-c21", root=root)
+    clear_global_caches()
+    _fresh_programs()
+    t0 = time.perf_counter()
+    cold = search_campaign(sizing["workload"], engine_on(cold_store), seed,
+                           steps)
+    t_cold = time.perf_counter() - t0
+
+    # a "restart": fresh in-memory cache and store handle, same directory
+    warm_store = DiskMemoStore("bench-c21", root=root)
+    clear_global_caches()
+    _fresh_programs()
+    t0 = time.perf_counter()
+    warm = search_campaign(sizing["workload"], engine_on(warm_store), seed,
+                           steps)
+    t_warm = time.perf_counter() - t0
+    ok, corrupt = warm_store.verify()
+    return cold, warm, t_cold, t_warm, {
+        "entries": ok, "corrupt": corrupt,
+        "disk_hits": warm_store.stats.hits,
+    }
+
+
+def run_replay_pair(seed):
+    """(reference stats, compiled stats, t_ref, t_compiled)."""
+    rng = random.Random(seed)
+    trace = [
+        ("w" if rng.random() < 0.3 else "r", rng.randrange(0, 1 << 14))
+        for _ in range(TRACE_LEN)
+    ]
+
+    def build() -> CacheHierarchy:
+        return CacheHierarchy([LRUCache(*row) for row in CACHE_SPEC])
+
+    ref_cache, comp_cache = build(), build()
+    t0 = time.perf_counter()
+    run_trace(ref_cache, trace, backend="reference")
+    t_ref = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_trace(comp_cache, trace, backend="compiled")
+    t_comp = time.perf_counter() - t0
+
+    def stats(c: CacheHierarchy) -> dict:
+        out = {lvl.name: lvl.stats.as_dict() for lvl in c.levels}
+        out["mem_accesses"] = c.mem_accesses
+        out["mem_writebacks"] = c.mem_writebacks
+        return out
+
+    return stats(ref_cache), stats(comp_cache), t_ref, t_comp
+
+
+# ---------------------------------------------------------------------- #
+# pytest benches
+
+
+def test_bench_compiled_campaign_speedup(benchmark, record_table, bench_opts):
+    seed = bench_opts.seed
+
+    def measure():
+        return run_campaign_pair(FULL, seed)
+
+    ref, comp, t_ref, t_comp = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert_campaigns_equal(comp, ref)
+    speedup = t_ref / t_comp
+    tbl = Table(
+        "C21: compiled kernel core vs reference (stencil 32x3, 3 FoMs + anneal)",
+        ["path", "wall time s", "speedup"],
+    )
+    tbl.add_row("reference", round(t_ref, 3), 1.0)
+    tbl.add_row("compiled", round(t_comp, 3), round(speedup, 2))
+    record_table("c21_compiled_campaign", tbl)
+    assert speedup >= 3.0, f"compiled core only {speedup:.2f}x over reference"
+
+
+def test_bench_disk_memo_restart(benchmark, record_table, bench_opts, tmp_path):
+    seed = bench_opts.seed
+
+    def measure():
+        return run_disk_restart(FULL, seed, str(tmp_path / "store"))
+
+    cold, warm, t_cold, t_warm, stats = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert_campaigns_equal(warm, cold)
+    assert stats["corrupt"] == 0, f"corrupt disk entries: {stats}"
+    assert stats["disk_hits"] > 0, "warm run must hit the disk store"
+    speedup = t_cold / t_warm
+    tbl = Table(
+        "C21b: disk memo store — cold compute vs warm restart (same campaign)",
+        ["run", "wall time s", "speedup", "disk hits"],
+    )
+    tbl.add_row("cold (compute+persist)", round(t_cold, 3), 1.0, 0)
+    tbl.add_row("warm (restart)", round(t_warm, 3), round(speedup, 2),
+                stats["disk_hits"])
+    record_table("c21_disk_restart", tbl)
+    assert speedup >= 5.0, f"warm restart only {speedup:.2f}x over cold"
+
+
+def test_bench_cache_replay(benchmark, record_table, bench_opts):
+    def measure():
+        return run_replay_pair(bench_opts.seed)
+
+    ref_stats, comp_stats, t_ref, t_comp = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert comp_stats == ref_stats, (
+        f"replay stats diverge: {comp_stats} != {ref_stats}"
+    )
+    speedup = t_ref / max(t_comp, 1e-9)
+    tbl = Table(
+        f"C21c: cache trace replay — per-access loop vs array kernel "
+        f"({TRACE_LEN} accesses, 2 levels)",
+        ["path", "wall time s", "speedup"],
+    )
+    tbl.add_row("reference loop", round(t_ref, 3), 1.0)
+    tbl.add_row("compiled replay", round(t_comp, 3), round(speedup, 2))
+    record_table("c21_cache_replay", tbl)
+
+
+# ---------------------------------------------------------------------- #
+# standalone mode (CI smoke gate)
+
+
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    from common import add_bench_arguments, options_from_args
+
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench-c21",
+        description="Compiled kernel core vs reference: speedup + parity gate.",
+    )
+    add_bench_arguments(parser)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizing + relaxed 1.5x gate (what CI runs per commit)",
+    )
+    args = parser.parse_args(argv)
+    opts = options_from_args(args)
+    sizing = SMOKE if args.smoke else FULL
+    campaign_gate = 1.5 if args.smoke else 3.0
+    restart_gate = 1.5 if args.smoke else 5.0
+
+    failures: list[str] = []
+    metrics: dict = {"mode": "smoke" if args.smoke else "full",
+                     "seed": opts.seed, "gate": campaign_gate}
+
+    ref, comp, t_ref, t_comp = run_campaign_pair(sizing, opts.seed)
+    try:
+        assert_campaigns_equal(comp, ref)
+    except AssertionError as exc:
+        failures.append(f"campaign divergence: {exc}")
+    campaign_speedup = t_ref / max(t_comp, 1e-9)
+    metrics["campaign"] = {
+        "t_reference_s": t_ref, "t_compiled_s": t_comp,
+        "speedup": campaign_speedup,
+    }
+    if campaign_speedup < campaign_gate:
+        failures.append(
+            f"campaign speedup {campaign_speedup:.2f}x < gate {campaign_gate}x"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="bench-c21-store-") as root:
+        cold, warm, t_cold, t_warm, store_stats = run_disk_restart(
+            sizing, opts.seed, root
+        )
+    try:
+        assert_campaigns_equal(warm, cold)
+    except AssertionError as exc:
+        failures.append(f"disk restart divergence: {exc}")
+    restart_speedup = t_cold / max(t_warm, 1e-9)
+    metrics["disk_restart"] = {
+        "t_cold_s": t_cold, "t_warm_s": t_warm, "speedup": restart_speedup,
+        **store_stats,
+    }
+    if store_stats["corrupt"]:
+        failures.append(f"corrupt disk entries: {store_stats}")
+    if restart_speedup < restart_gate:
+        failures.append(
+            f"warm restart speedup {restart_speedup:.2f}x < gate {restart_gate}x"
+        )
+
+    ref_stats, comp_stats, t_r, t_c = run_replay_pair(opts.seed)
+    if comp_stats != ref_stats:
+        failures.append("cache replay stats diverge")
+    metrics["cache_replay"] = {
+        "t_reference_s": t_r, "t_compiled_s": t_c,
+        "speedup": t_r / max(t_c, 1e-9),
+    }
+    metrics["ok"] = not failures
+    metrics["failures"] = failures
+
+    if opts.json:
+        opts.out.mkdir(parents=True, exist_ok=True)
+        path = opts.out / "c21_compiled_core.main.json"
+        path.write_text(json.dumps(metrics, indent=1) + "\n")
+        print(f"wrote {path}")
+    print(
+        f"campaign {campaign_speedup:.2f}x, restart {restart_speedup:.2f}x, "
+        f"replay {metrics['cache_replay']['speedup']:.2f}x "
+        f"({metrics['mode']}, gate {campaign_gate}x)"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

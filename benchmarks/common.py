@@ -7,6 +7,8 @@ count; this module unifies them behind one option set::
     --out DIR     artifact directory                       (default benchmarks/out)
     --json        also emit machine-readable JSON tables   (default on)
     --workers N   worker processes for parallel benches    (default 2)
+    --backend B   evaluation backend for backend-aware benches
+                  (reference | fast | compiled; default: session default)
 
 The same options are honored everywhere they can appear:
 
@@ -45,6 +47,16 @@ class BenchOptions:
     out: pathlib.Path = _DEFAULT_OUT
     json: bool = True
     workers: int = 2
+    backend: str | None = None
+
+    def engine(self):
+        """The :class:`~repro.core.search.SearchEngine` for ``backend``
+        (``None`` resolves through ``$REPRO_BACKEND`` to the session
+        default, normally ``compiled``)."""
+        from repro.compiled import resolve_backend
+        from repro.core.search import engine_for_backend
+
+        return engine_for_backend(resolve_backend(self.backend))
 
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
@@ -69,12 +81,18 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPar
         "--workers", type=int, default=BenchOptions.workers,
         help="worker processes for parallel benches (clamped to the host)",
     )
+    parser.add_argument(
+        "--backend", choices=("reference", "fast", "compiled"), default=None,
+        help="evaluation backend for backend-aware benches "
+        "(default: the session default, normally compiled)",
+    )
     return parser
 
 
 def options_from_args(args: argparse.Namespace) -> BenchOptions:
     return BenchOptions(
-        seed=args.seed, out=args.out, json=bool(args.json), workers=args.workers
+        seed=args.seed, out=args.out, json=bool(args.json), workers=args.workers,
+        backend=getattr(args, "backend", None),
     )
 
 
@@ -85,6 +103,7 @@ def to_env(options: BenchOptions) -> dict[str, str]:
         "REPRO_BENCH_OUT": str(options.out),
         "REPRO_BENCH_JSON": "1" if options.json else "0",
         "REPRO_BENCH_WORKERS": str(options.workers),
+        "REPRO_BENCH_BACKEND": options.backend or "",
     }
 
 
@@ -95,4 +114,5 @@ def options_from_env(environ: dict[str, str] | None = None) -> BenchOptions:
         out=pathlib.Path(env.get("REPRO_BENCH_OUT", _DEFAULT_OUT)),
         json=env.get("REPRO_BENCH_JSON", "1") != "0",
         workers=int(env.get("REPRO_BENCH_WORKERS", BenchOptions.workers)),
+        backend=env.get("REPRO_BENCH_BACKEND") or None,
     )

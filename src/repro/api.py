@@ -52,6 +52,7 @@ from repro.core.search import (
     SearchEngine,
     SearchResult,
     anneal,
+    engine_for_backend,
     exhaustive_search,
     sweep_placements,
 )
@@ -335,6 +336,17 @@ def _as_fom(fom: Any) -> FigureOfMerit:
     return FomSpec.from_jsonable(fom).fom()
 
 
+def _resolve_backend(backend: Any) -> str:
+    """Resolve/validate a ``backend=`` argument, mapping bad names to
+    :class:`ApiError` like every other malformed facade request."""
+    from repro.compiled import resolve_backend
+
+    try:
+        return resolve_backend(backend)
+    except ValueError as exc:
+        raise ApiError(str(exc)) from exc
+
+
 # ---------------------------------------------------------------------- #
 # the four verbs (plus score)
 
@@ -377,6 +389,7 @@ def evaluate(
     check: bool = False,
     cached: bool = False,
     cache: MemoCache | None = None,
+    backend: str | None = None,
     **params: Any,
 ) -> EvaluateResult:
     """Map a workload with a built-in mapper and predict its cost.
@@ -385,10 +398,13 @@ def evaluate(
     ``check=True`` additionally runs the legality checker; ``cached=True``
     routes through the content-addressed memo
     (:func:`repro.core.cost.evaluate_cost_cached`) — bit-identical to the
-    direct evaluation, just free on repeats.
+    direct evaluation, just free on repeats.  ``backend`` selects the
+    reference or the compiled cost kernel (``None`` = ``$REPRO_BACKEND``
+    or the compiled default); the report is bit-identical either way.
     """
     graph = compile(workload, **params)
     grid = _as_grid(machine)
+    resolved = _resolve_backend(backend)
     if mapper == "default":
         mapping = default_mapping(graph, grid)
     elif mapper == "serial":
@@ -396,7 +412,11 @@ def evaluate(
     else:
         raise ApiError(f"unknown mapper {mapper!r}; expected one of {MAPPERS}")
     if cached:
-        cost = evaluate_cost_cached(graph, mapping, grid, cache)
+        cost = evaluate_cost_cached(graph, mapping, grid, cache, backend=resolved)
+    elif resolved == "compiled":
+        from repro.compiled import evaluate_cost_compiled, get_program
+
+        cost = evaluate_cost_compiled(get_program(graph, grid), mapping)
     else:
         cost = evaluate_cost(graph, mapping, grid)
     result = EvaluateResult(mapping=mapping, cost=cost, fom=_as_fom(fom)(cost))
@@ -414,20 +434,28 @@ def search(
     steps: int = 2_000,
     seed: int = 0,
     max_points: int = 200_000,
+    backend: str | None = None,
     **params: Any,
 ) -> list[SearchResult]:
     """Search the mapping space of a workload; always returns a row list.
 
     ``method`` selects :data:`SEARCH_METHODS`: ``"sweep"`` returns every
     evaluated point (best first), ``"anneal"`` and ``"exhaustive"`` return
-    a single-row list with the winner.  ``engine`` picks the reference or
-    the fast path — by the PR-2 differential oracle the rows are
-    bit-identical either way, which is what lets the serve workers run
-    warm fast engines while promising library-identical answers.
+    a single-row list with the winner.  ``engine`` picks an exact engine
+    configuration; ``backend`` names one (``"reference"`` | ``"fast"`` |
+    ``"compiled"``, ``None`` = ``$REPRO_BACKEND`` or the compiled
+    default) — pass at most one of the two.  By the differential oracle
+    the rows are bit-identical across engines, which is what lets the
+    serve workers run warm compiled engines while promising
+    library-identical answers.
     """
     graph = compile(workload, **params)
     grid = _as_grid(machine)
     fig = _as_fom(fom)
+    if engine is not None and backend is not None:
+        raise ApiError("pass either engine= or backend=, not both")
+    if engine is None:
+        engine = engine_for_backend(_resolve_backend(backend))
     if method == "sweep":
         return sweep_placements(graph, grid, fig, engine=engine)
     if method == "anneal":
@@ -443,17 +471,22 @@ def simulate(
     levels: Sequence[Sequence[Any]],
     trace: Sequence[tuple[str, int]],
     memo: MemoCache | None = None,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Run an address trace through a cache hierarchy, memoized.
 
     ``levels`` is nearest-first ``(capacity_words, block_words, assoc,
     name)`` rows; ``trace`` is a materialized ``('r'|'w', addr)``
-    sequence.  Returns the per-level stats dict of
+    sequence.  ``backend`` selects the reference per-access loop or the
+    compiled array replayer (``None`` = ``$REPRO_BACKEND`` or the
+    compiled default); the stats are identical either way.  Returns the
+    per-level stats dict of
     :func:`repro.machines.cachesim.run_trace_cached` (treat as
     immutable — it is shared between memo hits).
     """
     if not levels:
         raise ApiError("simulate needs at least one cache level")
+    resolved = _resolve_backend(backend)
     spec: list[tuple] = []
     for row in levels:
         if not isinstance(row, (list, tuple)) or not 2 <= len(row) <= 4:
@@ -471,7 +504,7 @@ def simulate(
             raise ApiError(f"trace entries must be ('r'|'w', addr): {entry!r}")
         clean.append((entry[0], int(entry[1])))
     try:
-        return run_trace_cached(spec, clean, memo=memo)
+        return run_trace_cached(spec, clean, memo=memo, backend=resolved)
     except (TypeError, ValueError) as exc:
         raise ApiError(f"bad cache level spec: {exc}") from exc
 
@@ -482,6 +515,7 @@ def score(
     placement: Any,
     fom: Any = None,
     check: bool = False,
+    backend: str | None = None,
     **params: Any,
 ) -> EvaluateResult:
     """Score one explicit placement of a workload's compute nodes.
@@ -490,7 +524,9 @@ def score(
     node, in :meth:`DataflowGraph.compute_nodes` order (the same
     convention as the exhaustive searcher's assignments) — or a
     ``{nid: (x, y)}`` mapping.  Non-compute nodes ride along at (0, 0),
-    exactly as the searchers place them.
+    exactly as the searchers place them.  ``backend`` selects the
+    reference or the compiled schedule/cost kernels; the result is
+    bit-identical either way.
     """
     graph = compile(workload, **params)
     grid = _as_grid(machine)
@@ -510,8 +546,21 @@ def score(
     for nid, (x, y) in by_node.items():
         if not grid.in_bounds(x, y):
             raise ApiError(f"placement for node {nid} off-grid: ({x}, {y})")
-    mapping = schedule_asap(graph, grid, lambda nid: by_node.get(nid, (0, 0)))
-    cost = evaluate_cost(graph, mapping, grid)
+    if _resolve_backend(backend) == "compiled":
+        from repro.compiled import (
+            evaluate_cost_compiled,
+            get_program,
+            schedule_compiled,
+        )
+
+        fp = get_program(graph, grid)
+        px = [by_node.get(nid, (0, 0))[0] for nid in range(fp.n_nodes)]
+        py = [by_node.get(nid, (0, 0))[1] for nid in range(fp.n_nodes)]
+        mapping = schedule_compiled(fp, px, py)
+        cost = evaluate_cost_compiled(fp, mapping)
+    else:
+        mapping = schedule_asap(graph, grid, lambda nid: by_node.get(nid, (0, 0)))
+        cost = evaluate_cost(graph, mapping, grid)
     result = EvaluateResult(mapping=mapping, cost=cost, fom=_as_fom(fom)(cost))
     if check:
         result.legality = check_legality(graph, mapping, grid)

@@ -1,0 +1,75 @@
+"""The compiled evaluation backend.
+
+``repro`` keeps two implementations of every hot model evaluation:
+
+* the **reference** path — per-node/per-edge Python loops, written to
+  mirror the paper's prose (``core.cost``, ``core.default_mapper``,
+  ``machines.cachesim``);
+* the **compiled** path (this package) — a one-time lowering of
+  (graph, grid) into a :class:`FlatProgram` of flat arrays and lookup
+  tables, plus kernels that evaluate placements, schedules, and cache
+  traces over those arrays.
+
+The two are **bit-identical** — same floats, same ints, same error
+messages — enforced by the differential oracle, golden fixtures, and
+hypothesis properties.  The compiled path is therefore the default;
+select explicitly via ``backend=`` on the :mod:`repro.api` verbs, an
+explicit ``SearchEngine``, or the ``REPRO_BACKEND`` environment
+variable (``reference`` | ``fast`` | ``compiled``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from .cachekernel import flatten_trace, replay_into, replay_trace, trace_digest
+from .kernels import (
+    CompiledAnnealState,
+    edge_energy_totals,
+    evaluate_cost_compiled,
+    schedule_compiled,
+)
+from .program import FlatProgram, clear_programs, get_program, places_signature
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "default_backend",
+    "resolve_backend",
+    "FlatProgram",
+    "get_program",
+    "clear_programs",
+    "places_signature",
+    "schedule_compiled",
+    "edge_energy_totals",
+    "evaluate_cost_compiled",
+    "CompiledAnnealState",
+    "flatten_trace",
+    "trace_digest",
+    "replay_into",
+    "replay_trace",
+]
+
+BACKENDS = ("reference", "fast", "compiled")
+DEFAULT_BACKEND = "compiled"
+
+#: environment override consulted whenever no backend is passed explicitly
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def default_backend() -> str:
+    """The session-wide default backend: ``$REPRO_BACKEND`` if set (and
+    valid), else ``"compiled"``."""
+    return resolve_backend(None)
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate an explicit backend name, or resolve ``None`` through the
+    environment to the default."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend

@@ -1,0 +1,185 @@
+"""Array-backed cache-trace replay.
+
+The reference :func:`repro.machines.cachesim.run_trace` pays full Python
+dispatch per access (tuple unpack, modulo, OrderedDict probe).  The
+replayer here decomposes the same simulation along two independences the
+reference semantics guarantee:
+
+* **per-level streams** — level *i* only ever sees the accesses that
+  missed at level *i-1*, and within one access the probe+install pair at
+  a level is atomic; so the hierarchy factors into one pass per level
+  over a filtered (kinds, addrs) stream, with the block/set arithmetic
+  for the whole stream vectorized up front;
+* **per-set independence** — LRU state at a level is per-set, so each
+  set's accesses can be replayed contiguously (a stable argsort groups
+  them without reordering within a set), and consecutive same-block
+  accesses within a set collapse into one probe plus guaranteed hits.
+
+The replay mutates *real* :class:`LRUCache` / :class:`CacheHierarchy`
+objects — stats, resident sets, LRU order, and dirty bits all end
+byte-identical to a per-access reference run (pinned by the parity and
+hypothesis tests).
+
+Dirty-bit rules reproduced exactly: hierarchies mark blocks dirty only
+at level 0 (so deeper levels never write back, and ``mem_writebacks``
+can only move on a single-level hierarchy); a standalone ``LRUCache``
+dirties on any write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.machines.cachesim import CacheHierarchy, LRUCache
+
+__all__ = ["flatten_trace", "trace_digest", "replay_into", "replay_trace"]
+
+#: packed record matching trace_fingerprint's byte stream: one kind byte
+#: (b"r"/b"w") + the address as 8-byte little-endian unsigned.
+_REC_DTYPE = np.dtype([("k", "S1"), ("a", "<u8")])
+assert _REC_DTYPE.itemsize == 9, "record dtype must be packed"
+
+
+def flatten_trace(trace) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize a ``('r'|'w', addr)`` trace into (kinds, addrs) arrays
+    (kind 1 = write).  Accepts any iterable; generators are drained."""
+    trace = trace if isinstance(trace, (list, tuple)) else list(trace)
+    n = len(trace)
+    kinds = np.zeros(n, dtype=np.uint8)
+    addrs = np.zeros(n, dtype=np.int64)
+    if n:
+        ks, ads = zip(*trace)
+        kinds[:] = [1 if k == "w" else 0 for k in ks]
+        addrs[:] = ads
+    return kinds, addrs
+
+
+def trace_digest(kinds: np.ndarray, addrs: np.ndarray) -> str:
+    """sha256 of the flattened trace — hex-identical to
+    :func:`repro.machines.cachesim.trace_fingerprint` on the same trace,
+    so memo entries are shared across backends."""
+    if addrs.size and bool((addrs < 0).any()):
+        # the reference fingerprint's int.to_bytes(signed=False) error
+        raise OverflowError("can't convert negative int to unsigned")
+    rec = np.empty(addrs.size, dtype=_REC_DTYPE)
+    rec["k"] = b"r"
+    rec["k"][kinds != 0] = b"w"
+    rec["a"] = addrs.astype("<u8")
+    return hashlib.sha256(rec.tobytes()).hexdigest()
+
+
+def _replay_level(
+    lvl: LRUCache, kinds: np.ndarray, addrs: np.ndarray, dirty_on_write: bool
+) -> tuple[np.ndarray, int]:
+    """Replay one level's probe stream against its real set state.
+
+    Returns (miss mask over the stream, dirty-eviction count).  Stats are
+    applied to ``lvl.stats``; set contents/order/dirty bits end exactly
+    as the per-access loop leaves them.
+    """
+    n = int(addrs.size)
+    miss_mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        return miss_mask, 0
+    blocks = addrs // lvl.block_words
+    if lvl.n_sets == 1:
+        segments = [np.arange(n)]
+        seg_sets = [0]
+    else:
+        sets = blocks % lvl.n_sets
+        order = np.argsort(sets, kind="stable")
+        sorted_sets = sets[order]
+        bounds = np.nonzero(sorted_sets[1:] != sorted_sets[:-1])[0] + 1
+        segments = np.split(order, bounds)
+        seg_sets = [int(sorted_sets[b]) for b in np.concatenate(([0], bounds))]
+    hits = misses = rmiss = wmiss = wb = 0
+    assoc = lvl.assoc
+    for seg, set_idx in zip(segments, seg_sets):
+        blks = blocks[seg].tolist()
+        kin = kinds[seg].tolist()
+        # prefix write counts: any-write-in-[a, b) is one subtraction
+        wcount = [0] * (len(kin) + 1)
+        acc = 0
+        for j, k in enumerate(kin):
+            acc += k
+            wcount[j + 1] = acc
+        sd = lvl._sets[set_idx]
+        # run boundaries: consecutive same-block accesses to one set are
+        # a single probe plus guaranteed hits with no recency change
+        m = len(blks)
+        a = 0
+        while a < m:
+            b_end = a + 1
+            blk = blks[a]
+            while b_end < m and blks[b_end] == blk:
+                b_end += 1
+            run_len = b_end - a
+            if blk in sd:
+                sd.move_to_end(blk)
+                hits += run_len
+                if dirty_on_write and wcount[b_end] - wcount[a]:
+                    sd[blk] = True
+            else:
+                misses += 1
+                if kin[a]:
+                    wmiss += 1
+                else:
+                    rmiss += 1
+                if len(sd) >= assoc:
+                    _victim, dirty = sd.popitem(last=False)
+                    if dirty:
+                        wb += 1
+                sd[blk] = bool(dirty_on_write and kin[a])
+                hits += run_len - 1
+                if dirty_on_write and wcount[b_end] - wcount[a + 1]:
+                    sd[blk] = True
+                miss_mask[seg[a]] = True
+            a = b_end
+    st = lvl.stats
+    st.accesses += n
+    st.hits += hits
+    st.misses += misses
+    st.read_misses += rmiss
+    st.write_misses += wmiss
+    st.writebacks += wb
+    return miss_mask, wb
+
+
+def replay_into(
+    cache: LRUCache | CacheHierarchy, kinds: np.ndarray, addrs: np.ndarray
+) -> LRUCache | CacheHierarchy:
+    """Replay a flattened trace into a real cache or hierarchy — the
+    array-backed equivalent of feeding it through ``run_trace``."""
+    if isinstance(cache, CacheHierarchy):
+        k, a = kinds, addrs
+        last = len(cache.levels) - 1
+        for i, lvl in enumerate(cache.levels):
+            miss_mask, wb = _replay_level(lvl, k, a, dirty_on_write=(i == 0))
+            if wb and i == last:
+                cache.mem_writebacks += wb
+            sel = np.nonzero(miss_mask)[0]
+            k = k[sel]
+            a = a[sel]
+        cache.mem_accesses += int(a.size)
+    else:
+        if addrs.size and bool((addrs < 0).any()):
+            first = int(addrs[np.nonzero(addrs < 0)[0][0]])
+            raise ValueError(f"negative address {first}")
+        _replay_level(cache, kinds, addrs, dirty_on_write=True)
+    return cache
+
+
+def replay_trace(spec, kinds: np.ndarray, addrs: np.ndarray) -> dict[str, object]:
+    """Build the hierarchy described by ``spec`` (per-level LRUCache
+    constructor tuples), replay, and return the ``run_trace_cached``
+    result shape."""
+    hierarchy = CacheHierarchy([LRUCache(*args) for args in spec])
+    replay_into(hierarchy, kinds, addrs)
+    out: dict[str, object] = {
+        lvl.name: lvl.stats.as_dict() for lvl in hierarchy.levels
+    }
+    out["mem_accesses"] = hierarchy.mem_accesses
+    out["mem_writebacks"] = hierarchy.mem_writebacks
+    return out

@@ -1,0 +1,290 @@
+"""Array kernels over a :class:`FlatProgram`.
+
+Each kernel is the compiled twin of one reference hot loop and is
+bit-identical to it by construction (see the summation contract in
+:mod:`repro.compiled.program`):
+
+* :func:`schedule_compiled`     — ``default_mapper.schedule_asap`` /
+  ``schedule_asap_fast``;
+* :func:`edge_energy_totals`    — the edge loop of ``cost.evaluate_cost``
+  for a whole placement at once;
+* :func:`evaluate_cost_compiled`— ``cost.evaluate_cost`` end to end;
+* :class:`CompiledAnnealState`  — ``cost.IncrementalEdgeEnergy`` with
+  batched incident-edge re-pricing instead of per-edge Python re-summing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost import CostReport
+from repro.core.legality import compute_liveness
+from repro.core.mapping import Mapping
+from repro.obs import active as _obs_active
+
+from .program import FlatProgram, KIND_COMPUTE, KIND_INPUT
+
+__all__ = [
+    "schedule_compiled",
+    "edge_energy_totals",
+    "evaluate_cost_compiled",
+    "CompiledAnnealState",
+]
+
+
+def _as_list(v) -> list:
+    return v.tolist() if isinstance(v, np.ndarray) else list(v)
+
+
+def schedule_compiled(fp: FlatProgram, px, py) -> Mapping:
+    """ASAP schedule for the placement ``(px[nid], py[nid])``.
+
+    Bit-identical to ``schedule_asap(graph, grid, place_fn)`` with the
+    default off-chip inputs at port (0, 0): same greedy id-order slot
+    claims (path-compressed next-free chains per place), same transit
+    rounding (via the program's distance table), same off-grid
+    ``ValueError``.  ``px``/``py`` may be numpy arrays or plain lists.
+    """
+    n = fp.n_nodes
+    mapping = Mapping(n)
+    if n == 0:
+        return mapping
+    xs, ys = _as_list(px), _as_list(py)
+    ts = [0] * n
+    off = [False] * n
+    avail = [0] * n
+    width, height = fp.grid.width, fp.grid.height
+    offchip_cyc = fp.offchip_cyc
+    kinds = fp.op_kind
+    args_list = fp.args_list
+    transit = fp._transit
+    next_free: dict[tuple[int, int], dict[int, int]] = {}
+    for nid in range(n):
+        kind = kinds[nid]
+        if kind == KIND_INPUT:
+            xs[nid] = 0
+            ys[nid] = 0
+            off[nid] = True
+            continue
+        if kind != KIND_COMPUTE:  # const: pinned at its place, t=0
+            continue
+        x, y = xs[nid], ys[nid]
+        if not (0 <= x < width and 0 <= y < height):
+            raise ValueError(f"placement put node {nid} at {(x, y)}, off-grid")
+        earliest = 0
+        for u in args_list[nid]:
+            if off[u]:
+                arrive = avail[u] + offchip_cyc
+            else:
+                d = abs(xs[u] - x) + abs(ys[u] - y)
+                if d >= len(transit):
+                    fp.transit_table(d)
+                arrive = avail[u] + transit[d]
+            if arrive > earliest:
+                earliest = arrive
+        parent = next_free.get((x, y))
+        if parent is None:
+            parent = next_free[(x, y)] = {}
+        root = earliest
+        path = []
+        while root in parent:
+            path.append(root)
+            root = parent[root]
+        for s in path:
+            parent[s] = root
+        parent[root] = root + 1
+        ts[nid] = root
+        avail[nid] = root + 1
+    mapping.x[:] = xs
+    mapping.y[:] = ys
+    mapping.time[:] = ts
+    mapping.offchip[:] = off
+    return mapping
+
+
+def edge_energy_totals(
+    fp: FlatProgram, x: np.ndarray, y: np.ndarray, offchip: np.ndarray
+) -> tuple[float, float, float]:
+    """(local, onchip, offchip) edge-energy sums for a whole placement.
+
+    Classification and distances are vectorized; each class total then
+    reproduces the reference's sequential accumulation exactly — local
+    and off-chip via repeated-add tables, on-chip by an in-order sum of
+    table terms (the only order-dependent class).
+    """
+    if fp.n_edges == 0:
+        return 0.0, 0.0, 0.0
+    src, dst = fp.edge_src, fp.edge_dst
+    off = offchip[src] | offchip[dst]
+    d = np.abs(x[src] - x[dst]) + np.abs(y[src] - y[dst])
+    n_off = int(off.sum())
+    live = ~off
+    n_local = int((live & (d == 0)).sum())
+    codes = d[live & (d != 0)]
+    onchip = 0.0
+    if codes.size:
+        term = fp.term_table(int(codes.max()))
+        for c in codes.tolist():
+            onchip += term[c]
+    return fp.rs_local.sums(n_local), onchip, fp.rs_offchip.sums(n_off)
+
+
+def evaluate_cost_compiled(fp: FlatProgram, mapping: Mapping) -> CostReport:
+    """``evaluate_cost`` through the compiled kernels.
+
+    Cycles, all four energy classes, liveness, and the obs counters come
+    out identical to the reference — liveness deliberately reuses the
+    reference ``compute_liveness`` (it is not on the per-candidate hot
+    path of any search; the winner's full report is computed once).
+    """
+    graph, grid = fp.graph, fp.grid
+    if mapping.n_nodes != fp.n_nodes:
+        raise ValueError(
+            f"mapping has {mapping.n_nodes} nodes, graph has {fp.n_nodes}"
+        )
+    cycles = mapping.makespan(graph)
+    time_ps = cycles * grid.tech.cycle_ps
+    energy_compute = fp.energy_compute_fj
+    energy_local, energy_onchip, energy_offchip = edge_energy_totals(
+        fp, mapping.x, mapping.y, mapping.offchip
+    )
+    liveness = compute_liveness(graph, mapping, grid)
+    sess = _obs_active()
+    if sess is not None:
+        m = sess.metrics
+        m.counter("cost.evaluations").inc()
+        m.counter("cost.cycles").add(cycles)
+        m.counter("cost.energy_total_fj").add(
+            energy_compute + energy_local + energy_onchip + energy_offchip
+        )
+        tot = energy_compute + energy_local + energy_onchip + energy_offchip
+        transport = energy_local + energy_onchip + energy_offchip
+        m.histogram("cost.communication_fraction").observe(
+            transport / tot if tot else 0.0
+        )
+    return CostReport(
+        cycles=cycles,
+        time_ps=time_ps,
+        energy_compute_fj=energy_compute,
+        energy_local_fj=energy_local,
+        energy_onchip_fj=energy_onchip,
+        energy_offchip_fj=energy_offchip,
+        liveness=liveness,
+        n_compute=fp.n_compute,
+        n_edges=fp.n_edges,
+        places_used=len(mapping.places_used()),
+    )
+
+
+class CompiledAnnealState:
+    """Incremental edge-energy state for move-based search.
+
+    The compiled replacement for ``cost.IncrementalEdgeEnergy``: the
+    edge class split (off-chip = touches an input; local = same place;
+    on-chip = rest) is identical, but a move re-prices only the moved
+    node's incident live edges through integer distance updates, and
+    ``totals()`` is table lookups plus one in-order on-chip sum instead
+    of three per-edge Python re-summations.
+
+    ``xs``/``ys`` (plain lists) and ``x``/``y`` (int64 arrays) both
+    track the current tentative placement — the lists feed
+    :func:`schedule_compiled`, the arrays feed vectorized signatures.
+    """
+
+    def __init__(self, fp: FlatProgram) -> None:
+        self.fp = fp
+        n = fp.n_nodes
+        self.xs = [0] * n
+        self.ys = [0] * n
+        self.x = np.zeros(n, dtype=np.int64)
+        self.y = np.zeros(n, dtype=np.int64)
+        self._live_ids = np.nonzero(~fp.edge_touch_input)[0]  # edge order
+        self.n_offchip = int(fp.edge_touch_input.sum())
+        self._d = np.zeros(fp.n_edges, dtype=np.int64)
+        self.n_local = 0
+        self._src = fp.edge_src.tolist()
+        self._dst = fp.edge_dst.tolist()
+        incident: list[list[int]] = [[] for _ in range(n)]
+        for eid in self._live_ids.tolist():
+            incident[self._src[eid]].append(eid)
+            incident[self._dst[eid]].append(eid)
+        self._incident = incident
+
+    def set_placement(self, placement: dict[int, tuple[int, int]]) -> None:
+        """Reset to ``placement`` (nodes absent from it sit at (0, 0),
+        exactly like ``IncrementalEdgeEnergy.set_placement``)."""
+        n = self.fp.n_nodes
+        self.xs = [0] * n
+        self.ys = [0] * n
+        for nid, (a, b) in placement.items():
+            self.xs[nid] = int(a)
+            self.ys[nid] = int(b)
+        self.x[:] = self.xs
+        self.y[:] = self.ys
+        src, dst = self.fp.edge_src, self.fp.edge_dst
+        if self.fp.n_edges:
+            self._d = np.abs(self.x[src] - self.x[dst]) + np.abs(
+                self.y[src] - self.y[dst]
+            )
+        live_d = self._d[self._live_ids]
+        self.n_local = int((live_d == 0).sum())
+
+    def move(self, nid: int, place: tuple[int, int]):
+        """Tentatively move ``nid``; returns an undo token for
+        :meth:`unmove`.  Only the incident live edges are re-priced."""
+        eids = self._incident[nid]
+        d = self._d
+        undo = (nid, self.xs[nid], self.ys[nid], [int(d[e]) for e in eids],
+                self.n_local)
+        a, b = int(place[0]), int(place[1])
+        self.xs[nid] = a
+        self.ys[nid] = b
+        self.x[nid] = a
+        self.y[nid] = b
+        xs, ys = self.xs, self.ys
+        n_local = self.n_local
+        for e in eids:
+            u, v = self._src[e], self._dst[e]
+            nd = abs(xs[u] - xs[v]) + abs(ys[u] - ys[v])
+            od = int(d[e])
+            if od != nd:
+                if od == 0:
+                    n_local -= 1
+                elif nd == 0:
+                    n_local += 1
+                d[e] = nd
+        self.n_local = n_local
+        return undo
+
+    def unmove(self, undo) -> None:
+        """Revert a tentative :meth:`move`."""
+        nid, ox, oy, old_d, old_local = undo
+        self.xs[nid] = ox
+        self.ys[nid] = oy
+        self.x[nid] = ox
+        self.y[nid] = oy
+        d = self._d
+        for e, od in zip(self._incident[nid], old_d):
+            d[e] = od
+        self.n_local = old_local
+
+    def totals(self) -> tuple[float, float, float]:
+        """(local, onchip, offchip) — same floats as the reference
+        ``IncrementalEdgeEnergy.totals`` re-summation."""
+        fp = self.fp
+        codes = self._d[self._live_ids]
+        codes = codes[codes > 0]
+        onchip = 0.0
+        if codes.size:
+            term = fp.term_table(int(codes.max()))
+            for c in codes.tolist():
+                onchip += term[c]
+        return (
+            fp.rs_local.sums(self.n_local),
+            onchip,
+            fp.rs_offchip.sums(self.n_offchip),
+        )
+
+    def energy_total_fj(self) -> float:
+        local, onchip, offchip = self.totals()
+        return self.fp.energy_compute_fj + local + onchip + offchip

@@ -1,0 +1,335 @@
+"""Lowering: one-time compilation of (graph, grid) into a FlatProgram.
+
+The reference evaluators (:func:`repro.core.cost.evaluate_cost`, the
+schedulers in :mod:`repro.core.default_mapper`) walk Python objects —
+``graph.ops`` strings, per-edge generator traversal, per-node closures —
+on every single candidate mapping.  A search evaluates thousands of
+candidates over the *same* graph on the *same* grid, so everything that
+depends only on (graph, grid) can be computed once and reused:
+
+* CSR adjacency and flat edge arrays (``edge_src``/``edge_dst`` in
+  exactly :meth:`DataflowGraph.edges` order, which is the float-sum
+  order of the reference cost loop);
+* integer op-kind codes and per-node durations (no string compares in
+  the scheduler's inner loop);
+* per-index placement arrays so the structured sweep's owner-computes /
+  2-D placements vectorize (one numpy expression per candidate instead
+  of one closure call per node);
+* technology lookup tables: transit cycles and on-chip transport energy
+  by Manhattan distance, plus *repeated-add tables* for the constant
+  per-edge local/off-chip energies (see below);
+* the placement-independent compute energy, accumulated once with the
+  reference's own sequential loop.
+
+**Summation contract.**  numpy sums are pairwise, the reference sums are
+sequential, and the differential oracle compares floats with ``==``; so
+the kernels never use ``ndarray.sum`` for energy.  The local and
+off-chip edge classes add one *constant* value per edge, so their
+reference accumulation is a pure function of the edge count:
+``S(0)=0, S(k)=fl(S(k-1)+v)``.  :class:`_RepeatedSum` materializes that
+table lazily, making whole-class totals O(1) lookups that are
+bit-identical to the reference loop.  The on-chip class (value varies by
+distance) is summed in edge order through the distance->energy table —
+a short Python loop over precomputed floats, with no per-edge distance
+or energy arithmetic left in it.
+
+Programs are content-addressed: the cache key is (graph fingerprint,
+grid cache key, the op-energy factors the graph actually uses), so a
+mutated graph or a re-registered energy factor can never alias a stale
+lowering.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.function import DataflowGraph, OP_ENERGY_FACTOR
+from repro.core.mapping import GridSpec
+from repro.obs import active as _obs_active
+
+__all__ = ["FlatProgram", "get_program", "clear_programs", "places_signature"]
+
+#: op-kind codes (scheduler inner loop works on ints, never strings)
+KIND_INPUT, KIND_CONST, KIND_COMPUTE = 0, 1, 2
+
+
+class _RepeatedSum:
+    """Sequential-sum table for a repeated constant addend.
+
+    ``sums(k)`` returns the float produced by adding ``value`` to 0.0
+    exactly ``k`` times in order — the accumulation the reference cost
+    loop performs for a class whose every edge contributes the same
+    value.  Grown lazily and cached, so repeated totals are O(1).
+    """
+
+    __slots__ = ("value", "table")
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+        self.table = [0.0]
+
+    def sums(self, count: int) -> float:
+        t = self.table
+        if count >= len(t):
+            acc = t[-1]
+            v = self.value
+            for _ in range(len(t), count + 1):
+                acc += v
+                t.append(acc)
+        return t[count]
+
+
+class FlatProgram:
+    """The lowered, array-form twin of one (DataflowGraph, GridSpec) pair.
+
+    Everything here is a pure function of the graph and the grid; the
+    kernels in :mod:`repro.compiled.kernels` combine it with a placement
+    to produce schedules and costs bit-identical to the reference path.
+    """
+
+    def __init__(self, graph: DataflowGraph, grid: GridSpec) -> None:
+        self.graph = graph
+        self.grid = grid
+        tech = grid.tech
+        n = graph.n_nodes
+        self.n_nodes = n
+
+        # --- nodes ----------------------------------------------------- #
+        kinds = []
+        for op in graph.ops:
+            if op == "input":
+                kinds.append(KIND_INPUT)
+            elif op == "const":
+                kinds.append(KIND_CONST)
+            else:
+                kinds.append(KIND_COMPUTE)
+        self.op_kind: list[int] = kinds
+        self.args_list: list[tuple[int, ...]] = [tuple(a) for a in graph.args]
+        self.is_compute = np.fromiter(
+            (k == KIND_COMPUTE for k in kinds), dtype=bool, count=n
+        )
+        self.is_input = np.fromiter(
+            (k == KIND_INPUT for k in kinds), dtype=bool, count=n
+        )
+        self.dur = self.is_compute.astype(np.int64)
+        self.n_compute = int(self.is_compute.sum())
+
+        # --- edges (CSR; data order == graph.edges() order) ------------ #
+        counts = np.fromiter((len(a) for a in self.args_list), np.int64, count=n)
+        self.n_edges = int(counts.sum())
+        self.arg_indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        self.edge_src = np.fromiter(
+            (u for args in self.args_list for u in args),
+            dtype=np.int32,
+            count=self.n_edges,
+        )
+        self.edge_dst = np.repeat(
+            np.arange(n, dtype=np.int32), counts
+        ) if n else np.zeros(0, dtype=np.int32)
+        self.edge_touch_input = (
+            self.is_input[self.edge_src] | self.is_input[self.edge_dst]
+            if self.n_edges
+            else np.zeros(0, dtype=bool)
+        )
+        # out-edge CSR (by source), for the wavefront leveling kernel
+        if self.n_edges:
+            order = np.argsort(self.edge_src, kind="stable")
+            self.out_dst = self.edge_dst[order]
+            self.out_indptr = np.concatenate(
+                ([0], np.cumsum(np.bincount(self.edge_src, minlength=n)))
+            ).astype(np.int64)
+        else:
+            self.out_dst = np.zeros(0, dtype=np.int32)
+            self.out_indptr = np.zeros(n + 1, dtype=np.int64)
+        self.indeg = counts
+
+        # --- logical indices (vectorized sweep placements) -------------- #
+        idx0 = np.zeros(n, dtype=np.int64)
+        idx1 = np.zeros(n, dtype=np.int64)
+        has_idx = np.zeros(n, dtype=bool)
+        has_idx2 = np.zeros(n, dtype=bool)
+        for nid in range(n):
+            idx = graph.index[nid]
+            if idx:
+                has_idx[nid] = True
+                idx0[nid] = int(idx[0])
+                if len(idx) >= 2:
+                    has_idx2[nid] = True
+                    idx1[nid] = int(idx[1])
+        self.idx0, self.idx1 = idx0, idx1
+        self.has_idx, self.has_idx2 = has_idx, has_idx2
+        # extent conventions mirror _owner_place_fn / _grid2d_place_fn
+        self.owner_max_i = max(0, int(idx0[has_idx].max())) if has_idx.any() else 0
+        if has_idx2.any():
+            self.g2_max_i = int(idx0[has_idx2].max())
+            self.g2_max_j = int(idx1[has_idx2].max())
+        else:
+            self.g2_max_i = self.g2_max_j = -1
+
+        # --- technology scalars + lazy lookup tables -------------------- #
+        self.pitch = tech.grid_pitch_mm
+        self.offchip_cyc = tech.offchip_cycles()
+        self.cycle_ps = tech.cycle_ps
+        self.rs_local = _RepeatedSum(tech.sram_energy_word_fj())
+        self.rs_offchip = _RepeatedSum(tech.offchip_energy_word_fj())
+        self._tech = tech
+        self._transit: list[int] = [0]
+        self._term: list[float] = [0.0]
+
+        # --- compute energy: placement-independent, reference order ----- #
+        add_word = tech.add_energy_word_fj()
+        energy_compute = 0.0
+        for nid in range(n):
+            op = graph.ops[nid]
+            if op in ("input", "const"):
+                continue
+            energy_compute += OP_ENERGY_FACTOR.get(op, 1.0) * add_word
+        self.energy_compute_fj = energy_compute
+
+    # ------------------------------------------------------------------ #
+    # lookup tables (lazily grown; list identity is stable)
+
+    def transit_table(self, max_dist: int) -> list[int]:
+        """Transit cycles by Manhattan hop distance, through ``max_dist``."""
+        t = self._transit
+        while len(t) <= max_dist:
+            t.append(self._tech.transport_cycles(len(t) * self.pitch))
+        return t
+
+    def term_table(self, max_dist: int) -> list[float]:
+        """On-chip transport energy by Manhattan distance — exactly
+        ``tech.transport_energy_fj(d * pitch)``, the reference per-edge
+        float for an on-chip edge at distance ``d``."""
+        t = self._term
+        while len(t) <= max_dist:
+            t.append(self._tech.transport_energy_fj(len(t) * self.pitch))
+        return t
+
+    # ------------------------------------------------------------------ #
+    # vectorized sweep placements (bit-identical to _spec_place_fn)
+
+    def places_serial(self) -> tuple[np.ndarray, np.ndarray]:
+        z = np.zeros(self.n_nodes, dtype=np.int64)
+        return z, z.copy()
+
+    def places_owner(self, p: int, cyclic: bool) -> tuple[np.ndarray, np.ndarray]:
+        """Owner-computes over index[0]: block or cyclic distribution —
+        the array form of ``_owner_place_fn``."""
+        extent = self.owner_max_i + 1
+        block = max(1, -(-extent // p))
+        if cyclic:
+            linear = self.idx0 % p
+        else:
+            linear = np.minimum(self.idx0 // block, p - 1)
+        linear = np.where(self.has_idx, linear, 0)
+        return linear % self.grid.width, linear // self.grid.width
+
+    def places_grid2d(self) -> tuple[np.ndarray, np.ndarray]:
+        """2-D owner-computes — the array form of ``_grid2d_place_fn``."""
+        assert self.g2_max_i >= 0, "2d placement needs 2-D-indexed nodes"
+        h, w = self.grid.height, self.grid.width
+        bi = max(1, -(-(self.g2_max_i + 1) // h))
+        bj = max(1, -(-(self.g2_max_j + 1) // w))
+        py = np.where(self.has_idx, np.minimum(self.idx0 // bi, h - 1), 0)
+        px = np.where(self.has_idx2, np.minimum(self.idx1 // bj, w - 1), 0)
+        return px.astype(np.int64), py.astype(np.int64)
+
+    def places_for_spec(self, spec: tuple[Any, ...]) -> tuple[np.ndarray, np.ndarray]:
+        """Placement arrays for one sweep candidate descriptor."""
+        if spec[0] == "serial":
+            return self.places_serial()
+        if spec[0] == "2d":
+            return self.places_grid2d()
+        _kind, p, cyclic = spec
+        return self.places_owner(p, cyclic)
+
+    # ------------------------------------------------------------------ #
+    # vectorized ASAP leveling
+
+    def asap_levels(self) -> np.ndarray:
+        """Dependency levels by wavefront relaxation, fully array-driven.
+
+        ``level[v] = max(level[u] for u in args) + dur[v]`` — the
+        dependency-depth recurrence of :meth:`DataflowGraph.depth`, so
+        ``asap_levels().max() == graph.depth()``.  Each wave is one set
+        of vectorized gathers/scatters; the number of waves is the graph
+        depth, not the node count.
+        """
+        n = self.n_nodes
+        level = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return level
+        bound = np.zeros(n, dtype=np.int64)  # max level over settled preds
+        indeg = self.indeg.copy()
+        frontier = np.nonzero(indeg == 0)[0]
+        out_indptr, out_dst = self.out_indptr, self.out_dst
+        while frontier.size:
+            level[frontier] = bound[frontier] + self.dur[frontier]
+            starts = out_indptr[frontier]
+            counts = out_indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            offsets = np.repeat(np.cumsum(counts) - counts, counts)
+            flat = np.repeat(starts, counts) + (np.arange(total) - offsets)
+            dsts = out_dst[flat]
+            srcs = np.repeat(frontier, counts)
+            np.maximum.at(bound, dsts, level[srcs])
+            np.subtract.at(indeg, dsts, 1)
+            frontier = np.unique(dsts[indeg[dsts] == 0])
+        return level
+
+
+def places_signature(px: np.ndarray, py: np.ndarray) -> bytes:
+    """The byte signature ``repro.core.search._places_signature`` derives
+    from a place function, computed from placement arrays instead —
+    interleaved ``x0, y0, x1, y1, ...`` int64, identical bytes."""
+    flat = np.empty((len(px), 2), dtype=np.int64)
+    flat[:, 0] = px
+    flat[:, 1] = py
+    return flat.tobytes()
+
+
+# ---------------------------------------------------------------------- #
+# the content-addressed program cache
+
+_PROGRAMS: dict[tuple, FlatProgram] = {}
+_MAX_PROGRAMS = 64
+
+
+def _energy_factors_key(graph: DataflowGraph) -> tuple:
+    """The op-energy factors this graph's cost depends on; part of the
+    program cache key so re-registered factors invalidate lowerings."""
+    ops = sorted(set(graph.ops))
+    return tuple((op, OP_ENERGY_FACTOR.get(op, 1.0)) for op in ops)
+
+
+def get_program(graph: DataflowGraph, grid: GridSpec) -> FlatProgram:
+    """The (cached) lowering of ``graph`` onto ``grid``.
+
+    Keyed on content (graph fingerprint, grid cache key, energy
+    factors), so structurally identical graphs built independently share
+    one lowering.  Counted in the obs layer as ``compiled.lowerings`` /
+    ``compiled.program_cache_hits``.
+    """
+    key = (graph.fingerprint(), grid.cache_key(), _energy_factors_key(graph))
+    fp = _PROGRAMS.get(key)
+    sess = _obs_active()
+    if fp is not None:
+        if sess is not None:
+            sess.metrics.counter("compiled.program_cache_hits", better="higher").inc()
+        return fp
+    fp = FlatProgram(graph, grid)
+    if len(_PROGRAMS) >= _MAX_PROGRAMS:
+        _PROGRAMS.pop(next(iter(_PROGRAMS)))
+    _PROGRAMS[key] = fp
+    if sess is not None:
+        sess.metrics.counter("compiled.lowerings").inc()
+    return fp
+
+
+def clear_programs() -> None:
+    """Drop every cached lowering (tests, cold-start benches)."""
+    _PROGRAMS.clear()

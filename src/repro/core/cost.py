@@ -240,6 +240,7 @@ def evaluate_cost_cached(
     mapping: Mapping,
     grid: GridSpec,
     cache: MemoCache | None = None,
+    backend: str | None = None,
 ) -> CostReport:
     """Content-addressed :func:`evaluate_cost`.
 
@@ -247,15 +248,29 @@ def evaluate_cost_cached(
     :meth:`DataflowGraph.fingerprint`, :meth:`Mapping.fingerprint`,
     :meth:`GridSpec.cache_key`.  A hit returns the previously computed
     :class:`CostReport` (treat reports as immutable); a miss evaluates and
-    populates.  Hit/miss counters land in the active obs session as
-    ``memo.*{cache=cost}`` when :meth:`MemoCache.publish_metrics` is called
-    (the searchers do this once per search).
+    populates.  ``backend="compiled"`` computes misses through the
+    compiled kernels (bit-identical, so entries are interchangeable
+    across backends and the key carries no backend component).  Hit/miss
+    counters are published to the active obs session as
+    ``memo.*{cache=<name>}`` on every call — including the disk tier's
+    ``memo.disk_*`` when the cache has one — so cached evaluation is
+    visible in ``repro.obs.report`` without waiting for a searcher.
     """
     cache = cache if cache is not None else global_cache("cost")
     key = (graph.fingerprint(), mapping.fingerprint(), grid.cache_key())
-    return cache.get_or_compute(
-        key, lambda: evaluate_cost(graph, mapping, grid)
-    )
+
+    def compute() -> CostReport:
+        from repro.compiled import resolve_backend  # lazy: import cycle
+
+        if resolve_backend(backend) == "compiled":
+            from repro.compiled import evaluate_cost_compiled, get_program
+
+            return evaluate_cost_compiled(get_program(graph, grid), mapping)
+        return evaluate_cost(graph, mapping, grid)
+
+    report = cache.get_or_compute(key, compute)
+    cache.publish_metrics()
+    return report
 
 
 class IncrementalEdgeEnergy:

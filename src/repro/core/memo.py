@@ -26,13 +26,26 @@ tool read them to prove the fast path is actually hitting.
 from __future__ import annotations
 
 import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
 from repro.obs import active as _obs_active
 
-__all__ = ["MemoCache", "MemoStats", "fingerprint_bytes", "global_cache", "clear_global_caches"]
+__all__ = [
+    "MemoCache",
+    "MemoStats",
+    "DiskMemoStore",
+    "DiskStoreStats",
+    "fingerprint_bytes",
+    "global_cache",
+    "clear_global_caches",
+]
 
 
 def fingerprint_bytes(*chunks: bytes) -> str:
@@ -80,13 +93,25 @@ class MemoCache:
         LRU bound; ``None`` means unbounded.  Entries are whole computed
         results (e.g. a ``(Mapping, CostReport)`` pair), so a few tens of
         thousands is plenty for any search this package runs.
+    store:
+        Optional persistent :class:`DiskMemoStore` tier.  On an in-memory
+        miss the store is probed (a disk hit counts as a cache hit and is
+        promoted into memory); every :meth:`put` writes through.  This is
+        how serve shards survive restarts warm and how ``_pool_map``
+        workers share results across process boundaries.
     """
 
-    def __init__(self, name: str = "memo", max_entries: int | None = 65_536) -> None:
+    def __init__(
+        self,
+        name: str = "memo",
+        max_entries: int | None = 65_536,
+        store: "DiskMemoStore | None" = None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive or None")
         self.name = name
         self.max_entries = max_entries
+        self.store = store
         self.stats = MemoStats()
         self._published = MemoStats()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
@@ -98,21 +123,37 @@ class MemoCache:
         return key in self._entries
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """Look up ``key``, counting a hit or miss; refreshes recency."""
+        """Look up ``key``, counting a hit or miss; refreshes recency.
+
+        With a persistent ``store`` attached, an in-memory miss probes the
+        disk tier; a disk hit is promoted into memory and counted as a
+        hit of this cache."""
         if key in self._entries:
             self.stats.hits += 1
             self._entries.move_to_end(key)
             return self._entries[key]
+        if self.store is not None:
+            found, value = self.store.get(key)
+            if found:
+                self.stats.hits += 1
+                self._insert(key, value)
+                return value
         self.stats.misses += 1
         return default
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) an entry, evicting LRU past ``max_entries``."""
+    def _insert(self, key: Hashable, value: Any) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
         if self.max_entries is not None and len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting LRU past ``max_entries``;
+        writes through to the persistent store when one is attached."""
+        self._insert(key, value)
+        if self.store is not None:
+            self.store.put(key, value)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """``get`` with a compute-on-miss fallback that populates the cache."""
@@ -149,9 +190,250 @@ class MemoCache:
             )
         m.gauge("memo.hit_rate", better="higher", cache=self.name).set(cur.hit_rate)
         self._published = MemoStats(cur.hits, cur.misses, cur.evictions)
+        if self.store is not None:
+            self.store.publish_metrics()
 
 
 _MISS = object()
+
+
+# ---------------------------------------------------------------------- #
+# the persistent tier
+
+
+@dataclass
+class DiskStoreStats:
+    """Counters for one :class:`DiskMemoStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "errors": self.errors,
+        }
+
+
+class DiskMemoStore:
+    """A content-addressed on-disk memo tier shared across processes.
+
+    Layout: ``<root>/v<repro.__version__>/<namespace>/<d[:2]>/<d[2:]>.pkl``
+    where ``d`` is the SHA-256 of ``repr(key)`` — the same hashable
+    content-address tuples :class:`MemoCache` is keyed on, whose reprs
+    are deterministic across processes.  Versioning the directory means a
+    release that changes any model semantics invalidates the whole store
+    by construction, with no migration logic.
+
+    Durability contract (this is what the chaos tests pin):
+
+    * writes are atomic — pickle to a same-directory temp file, then
+      ``os.replace`` — so a killed worker can leave at most a stale temp
+      file, never a torn entry;
+    * reads tolerate anything: a missing, truncated, or garbage file is
+      a miss (and is unlinked), never an exception;
+    * an unwritable root degrades the store to a no-op rather than
+      failing construction (sandboxes, read-only homes).
+
+    The size cap is enforced by an mtime-LRU sweep (hits refresh mtime)
+    that runs every few writes; stale temp files older than an hour are
+    collected by the same sweep.
+    """
+
+    #: default cap on the bytes one namespace may occupy
+    DEFAULT_MAX_BYTES = 256 << 20
+    #: sweep every this many writes
+    _SWEEP_EVERY = 64
+    #: temp files older than this are presumed orphaned by a dead writer
+    _TMP_TTL_S = 3600.0
+
+    def __init__(
+        self,
+        namespace: str = "memo",
+        root: str | os.PathLike | None = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        version: str | None = None,
+    ) -> None:
+        if version is None:
+            from repro import __version__ as version  # lazy: avoids cycle
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+                os.path.expanduser("~"), ".cache", "repro"
+            )
+        self.namespace = namespace
+        self.max_bytes = max_bytes
+        self.root = pathlib.Path(root)
+        self.dir = self.root / f"v{version}" / namespace
+        self.stats = DiskStoreStats()
+        self._published = DiskStoreStats()
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            self.enabled = True
+        except OSError:
+            self.enabled = False
+
+    # ------------------------------------------------------------------ #
+
+    def _path(self, key: Hashable) -> pathlib.Path:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return self.dir / digest[:2] / f"{digest[2:]}.pkl"
+
+    def get(self, key: Hashable) -> tuple[bool, Any]:
+        """Probe the store; returns ``(found, value)``.  Never raises on
+        store trouble — corruption and races degrade to misses."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return False, None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                value = pickle.load(f)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:
+            # truncated/garbage entry: drop it so it cannot keep costing
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        try:
+            os.utime(path)  # refresh mtime: the sweep's LRU signal
+        except OSError:
+            pass
+        return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Atomically persist one entry (temp file + ``os.replace``)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        tmp = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            tmp = None
+        except Exception:
+            self.stats.errors += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            return
+        self.stats.writes += 1
+        if self.stats.writes % self._SWEEP_EVERY == 0:
+            self.sweep()
+
+    # ------------------------------------------------------------------ #
+
+    def _entries_on_disk(self) -> list[tuple[float, int, pathlib.Path]]:
+        out: list[tuple[float, int, pathlib.Path]] = []
+        if not self.enabled:
+            return out
+        now = time.time()
+        try:
+            for sub in self.dir.iterdir():
+                if not sub.is_dir():
+                    continue
+                for p in sub.iterdir():
+                    try:
+                        st = p.stat()
+                    except OSError:
+                        continue
+                    if p.name.startswith(".tmp-"):
+                        # orphaned writer temp: collect once clearly stale
+                        if now - st.st_mtime > self._TMP_TTL_S:
+                            try:
+                                os.unlink(p)
+                            except OSError:
+                                pass
+                        continue
+                    out.append((st.st_mtime, st.st_size, p))
+        except OSError:
+            pass
+        return out
+
+    def sweep(self, max_bytes: int | None = None) -> int:
+        """Evict oldest-first until the namespace fits the byte cap.
+        Returns the number of entries removed."""
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        entries = self._entries_on_disk()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        if total <= cap:
+            return removed
+        for _mtime, size, path in sorted(entries):
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            if total <= cap:
+                break
+        self.stats.evictions += removed
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entries_on_disk())
+
+    def clear(self) -> None:
+        for _mtime, _size, path in self._entries_on_disk():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def verify(self) -> tuple[int, int]:
+        """Integrity scan: unpickle every entry.  Returns (ok, corrupt) —
+        the chaos tests assert corrupt == 0 after injected worker faults."""
+        ok = corrupt = 0
+        for _mtime, _size, path in self._entries_on_disk():
+            try:
+                with open(path, "rb") as f:
+                    pickle.load(f)
+                ok += 1
+            except Exception:
+                corrupt += 1
+        return ok, corrupt
+
+    # ------------------------------------------------------------------ #
+
+    def publish_metrics(self) -> None:
+        """Publish counter deltas as ``memo.disk_*{store=<namespace>}``."""
+        sess = _obs_active()
+        if sess is None:
+            return
+        cur, last = self.stats, self._published
+        m = sess.metrics
+        pairs = (
+            ("memo.disk_hits", cur.hits - last.hits, "higher"),
+            ("memo.disk_misses", cur.misses - last.misses, None),
+            ("memo.disk_writes", cur.writes - last.writes, None),
+            ("memo.disk_evictions", cur.evictions - last.evictions, None),
+            ("memo.disk_errors", cur.errors - last.errors, None),
+        )
+        for name, delta, better in pairs:
+            if delta:
+                if better:
+                    m.counter(name, better=better, store=self.namespace).add(delta)
+                else:
+                    m.counter(name, store=self.namespace).add(delta)
+        self._published = DiskStoreStats(**cur.as_dict())
 
 # ---------------------------------------------------------------------- #
 # process-global named caches.  The search engine defaults to these so a

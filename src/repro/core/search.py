@@ -72,6 +72,8 @@ __all__ = [
     "SearchEngine",
     "REFERENCE_ENGINE",
     "FAST_ENGINE",
+    "COMPILED_ENGINE",
+    "engine_for_backend",
     "sweep_placements",
     "exhaustive_search",
     "anneal",
@@ -163,6 +165,13 @@ class SearchEngine:
         clean run).
     retry_backoff_s
         Base of the exponential backoff slept between pool attempts.
+    compiled
+        Evaluate candidates through the compiled kernels of
+        :mod:`repro.compiled` — the graph/grid pair is lowered once into
+        a :class:`~repro.compiled.FlatProgram` and every schedule/cost
+        becomes an array-kernel call.  Bit-identical to the reference
+        path (same floats, same tie-breaks, same memo keys — entries are
+        interchangeable with the other engines' caches).
     cache
         The :class:`MemoCache` to use; ``None`` means the process-global
         ``search`` cache, shared across calls on purpose.
@@ -175,6 +184,7 @@ class SearchEngine:
     task_timeout_s: float | None = None
     max_retries: int = 2
     retry_backoff_s: float = 0.05
+    compiled: bool = False
     cache: MemoCache | None = field(default=None, compare=False)
 
     @staticmethod
@@ -185,6 +195,15 @@ class SearchEngine:
     def fast(n_workers: int | None = None) -> "SearchEngine":
         return SearchEngine(
             memoize=True, incremental=True, parallel=True, n_workers=n_workers
+        )
+
+    @staticmethod
+    def compiled_engine(n_workers: int | None = None) -> "SearchEngine":
+        """Memoized + incremental + compiled kernels.  Parallel fan-out is
+        deliberately off: the kernels win by making one process fast, and
+        pools can be layered on explicitly when a campaign wants both."""
+        return SearchEngine(
+            memoize=True, incremental=True, compiled=True, n_workers=n_workers
         )
 
     # ------------------------------------------------------------------ #
@@ -200,6 +219,21 @@ class SearchEngine:
 
 REFERENCE_ENGINE = SearchEngine()
 FAST_ENGINE = SearchEngine(memoize=True, incremental=True, parallel=True)
+COMPILED_ENGINE = SearchEngine(memoize=True, incremental=True, compiled=True)
+
+
+def engine_for_backend(backend: str) -> SearchEngine:
+    """The shared engine instance implementing a named backend
+    (``reference`` | ``fast`` | ``compiled``)."""
+    if backend == "reference":
+        return REFERENCE_ENGINE
+    if backend == "fast":
+        return FAST_ENGINE
+    if backend == "compiled":
+        return COMPILED_ENGINE
+    raise ValueError(
+        f"unknown backend {backend!r}; expected 'reference', 'fast', or 'compiled'"
+    )
 
 
 def _linear_place(grid: GridSpec, k: int) -> tuple[int, int]:
@@ -345,6 +379,25 @@ def _sweep_worker(
     return out
 
 
+def _sweep_worker_compiled(
+    payload: tuple[DataflowGraph, GridSpec, list[tuple[str, _Spec]], dict[str, float]],
+) -> list[tuple[str, Mapping, CostReport]]:
+    """The compiled twin of :func:`_sweep_worker` — one lowering per
+    worker (programs are process-global, so chunks share it)."""
+    graph, grid, specs, op_energy = payload
+    OP_ENERGY_FACTOR.update(op_energy)
+    from repro.compiled import evaluate_cost_compiled, get_program, schedule_compiled
+
+    fp = get_program(graph, grid)
+    out = []
+    for label, spec in specs:
+        px, py = fp.places_for_spec(spec)
+        m = schedule_compiled(fp, px, py)
+        c = evaluate_cost_compiled(fp, m)
+        out.append((label, m, c))
+    return out
+
+
 def _decode_assignment(lin: int, n_digits: int, base: int) -> list[int]:
     digits = []
     for _ in range(n_digits):
@@ -392,6 +445,75 @@ def _exhaustive_chunk_best(
     return (*best, evaluated)
 
 
+def _exhaustive_chunk_best_compiled(
+    graph: DataflowGraph,
+    grid: GridSpec,
+    fom: "FigureOfMerit",
+    compute: list[int],
+    start: int,
+    stop: int,
+) -> tuple[float, tuple[int, ...], Mapping, CostReport, int]:
+    """Compiled twin of :func:`_exhaustive_chunk_best`: same odometer,
+    same ``min((fom, assignment))`` selection, but each point goes
+    through the compiled scheduler and — while the FoM ignores footprint,
+    which makes the liveness sweep irrelevant to the score (``x ** 0.0 ==
+    1.0`` exactly) — a liveness-free energy total.  The winner's full
+    report is recomputed at the end, so the returned ``CostReport`` is
+    complete and identical to the reference's."""
+    from repro.compiled import (
+        edge_energy_totals,
+        evaluate_cost_compiled,
+        get_program,
+        schedule_compiled,
+    )
+
+    fp = get_program(graph, grid)
+    n = fp.n_nodes
+    places = grid.n_places
+    width = grid.width
+    xs_of = [k % width for k in range(places)]
+    ys_of = [k // width for k in range(places)]
+    assignment = _decode_assignment(start, len(compute), places)
+    xs = [0] * n
+    ys = [0] * n
+    for k, nid in enumerate(compute):
+        xs[nid] = xs_of[assignment[k]]
+        ys[nid] = ys_of[assignment[k]]
+    skip_liveness = fom.footprint == 0.0
+    best: tuple[float, tuple[int, ...], Mapping] | None = None
+    evaluated = 0
+    for _lin in range(start, stop):
+        m = schedule_compiled(fp, xs, ys)
+        if skip_liveness:
+            cycles = int((m.time + fp.dur).max()) if n else 0
+            local, onchip, offchip = edge_energy_totals(fp, m.x, m.y, m.offchip)
+            energy = fp.energy_compute_fj + local + onchip + offchip
+            f = fom.score(float(cycles), energy, 1.0)
+        else:
+            f = fom(evaluate_cost_compiled(fp, m))
+        evaluated += 1
+        key = (f, tuple(assignment))
+        if best is None or key < (best[0], best[1]):
+            best = (f, tuple(assignment), m)
+        k = 0
+        while k < len(assignment):
+            assignment[k] += 1
+            if assignment[k] < places:
+                nid = compute[k]
+                xs[nid] = xs_of[assignment[k]]
+                ys[nid] = ys_of[assignment[k]]
+                break
+            assignment[k] = 0
+            nid = compute[k]
+            xs[nid] = xs_of[0]
+            ys[nid] = ys_of[0]
+            k += 1
+    assert best is not None
+    f, a, m = best
+    c = evaluate_cost_compiled(fp, m)
+    return (f, a, m, c, evaluated)
+
+
 def _exhaustive_worker(
     payload: tuple[
         DataflowGraph, GridSpec, "FigureOfMerit", list[int], int, int, dict[str, float]
@@ -400,6 +522,16 @@ def _exhaustive_worker(
     graph, grid, fom, compute, start, stop, op_energy = payload
     OP_ENERGY_FACTOR.update(op_energy)
     return _exhaustive_chunk_best(graph, grid, fom, compute, start, stop)
+
+
+def _exhaustive_worker_compiled(
+    payload: tuple[
+        DataflowGraph, GridSpec, "FigureOfMerit", list[int], int, int, dict[str, float]
+    ],
+) -> tuple[float, tuple[int, ...], Mapping, CostReport, int]:
+    graph, grid, fom, compute, start, stop, op_energy = payload
+    OP_ENERGY_FACTOR.update(op_energy)
+    return _exhaustive_chunk_best_compiled(graph, grid, fom, compute, start, stop)
 
 
 #: Default per-task pool timeout: generous enough that no honest workload
@@ -571,7 +703,7 @@ def sweep_placements(
         else None
     )
     try:
-        if engine is None or not (engine.memoize or engine.parallel):
+        if engine is None or not (engine.memoize or engine.parallel or engine.compiled):
             for label, spec in specs:
                 place = _spec_place_fn(graph, grid, spec)
                 m = schedule_asap(graph, grid, place)
@@ -605,19 +737,30 @@ def _sweep_engine(
     specs: list[tuple[str, _Spec]],
     sess: Session | None,
 ) -> list[SearchResult]:
-    """Memoized / parallel sweep evaluation (identical results to the
-    reference loop; scheduling via the fast exact scheduler)."""
+    """Memoized / parallel / compiled sweep evaluation (identical results
+    to the reference loop; scheduling via the fast exact scheduler or the
+    compiled kernels)."""
     cache = engine.resolved_cache()
     gfp = graph.fingerprint()
     gkey = grid.cache_key()
+    fp = None
+    if engine.compiled:
+        from repro.compiled import get_program, places_signature
+
+        fp = get_program(graph, grid)
     results: list[SearchResult] = []
     pending: list[tuple[str, _Spec, Any]] = []  # (label, spec, memo key)
 
     for label, spec in specs:
         key = None
         if engine.memoize:
-            place = _spec_place_fn(graph, grid, spec)
-            key = ("sweep", gfp, gkey, _places_signature(graph, place))
+            if fp is not None:
+                px, py = fp.places_for_spec(spec)
+                sig = places_signature(px, py)
+            else:
+                place = _spec_place_fn(graph, grid, spec)
+                sig = _places_signature(graph, place)
+            key = ("sweep", gfp, gkey, sig)
             hit = cache.get(key)
             if hit is not None:
                 m, c = hit
@@ -632,10 +775,11 @@ def _sweep_engine(
         op_energy = dict(OP_ENERGY_FACTOR)
         chunks = _chunked([(label, spec) for label, spec, _k in pending], n_workers)
         payloads = [(graph, grid, chunk, op_energy) for chunk in chunks]
+        worker = _sweep_worker_compiled if engine.compiled else _sweep_worker
         evaluated = [
             row
             for rows in _pool_map(
-                _sweep_worker,
+                worker,
                 payloads,
                 n_workers,
                 timeout_s=engine.task_timeout_s,
@@ -653,10 +797,17 @@ def _sweep_engine(
             _record_candidate(sess, r)
             results.append(r)
     else:
+        if fp is not None:
+            from repro.compiled import evaluate_cost_compiled, schedule_compiled
         for label, spec, key in pending:
-            place = _spec_place_fn(graph, grid, spec)
-            m = schedule_asap_fast(graph, grid, place)
-            c = evaluate_cost(graph, m, grid)
+            if fp is not None:
+                px, py = fp.places_for_spec(spec)
+                m = schedule_compiled(fp, px, py)
+                c = evaluate_cost_compiled(fp, m)
+            else:
+                place = _spec_place_fn(graph, grid, spec)
+                m = schedule_asap_fast(graph, grid, place)
+                c = evaluate_cost(graph, m, grid)
             if key is not None:
                 cache.put(key, (m, c))
             r = SearchResult(label, m, c, fom(c))
@@ -704,6 +855,7 @@ def exhaustive_search(
         else None
     )
 
+    compiled = engine is not None and engine.compiled
     n_workers = engine.resolved_workers() if engine is not None else 1
     if engine is not None and engine.parallel and n_workers > 1 and n_points >= 16:
         op_energy = dict(OP_ENERGY_FACTOR)
@@ -714,7 +866,7 @@ def exhaustive_search(
             if b > a
         ]
         chunk_bests = _pool_map(
-            _exhaustive_worker,
+            _exhaustive_worker_compiled if compiled else _exhaustive_worker,
             payloads,
             n_workers,
             timeout_s=engine.task_timeout_s,
@@ -723,6 +875,10 @@ def exhaustive_search(
         )
         evaluated = sum(row[4] for row in chunk_bests)
         f, assignment, m, c, _n = min(chunk_bests, key=lambda row: (row[0], row[1]))
+    elif compiled:
+        f, assignment, m, c, evaluated = _exhaustive_chunk_best_compiled(
+            graph, grid, fom, compute, 0, n_points
+        )
     else:
         f, assignment, m, c, evaluated = _exhaustive_chunk_best(
             graph, grid, fom, compute, 0, n_points
@@ -795,8 +951,9 @@ def anneal(
         engine is not None and engine.incremental and fom.footprint == 0.0
     )
     memoize = engine is not None and engine.memoize
+    compiled = engine is not None and engine.compiled
     cache = engine.resolved_cache() if memoize else None
-    scorer = _AnnealScorer(graph, grid, fom, compute, incremental, cache)
+    scorer = _AnnealScorer(graph, grid, fom, compute, incremental, cache, compiled)
 
     sess = _obs_active()
     span = (
@@ -865,17 +1022,30 @@ class _AnnealScorer:
         compute: list[int],
         incremental: bool,
         cache: MemoCache | None,
+        compiled: bool = False,
     ) -> None:
         self.graph = graph
         self.grid = grid
         self.fom = fom
         self.compute = compute
         self.incremental = incremental
+        self.compiled = compiled
         self.cache = cache
         self._gfp = graph.fingerprint() if cache is not None else ""
         self._gkey = grid.cache_key() if cache is not None else ()
         self._pending_undo: Any = None
-        if incremental:
+        self.fp = None
+        if compiled:
+            from repro.compiled import CompiledAnnealState, get_program
+
+            self.fp = get_program(graph, grid)
+            self._compute_arr = np.asarray(compute, dtype=np.int64)
+            if incremental:
+                self.edges = CompiledAnnealState(self.fp)
+                self._dur = self.fp.dur
+            else:
+                self.edges = None
+        elif incremental:
             self.edges = IncrementalEdgeEnergy(graph, grid)
             n = graph.n_nodes
             self._dur = np.fromiter(
@@ -889,14 +1059,35 @@ class _AnnealScorer:
     # -- shared helpers ------------------------------------------------- #
 
     def _sig(self, placement: dict[int, tuple[int, int]]) -> bytes:
-        flat: list[int] = []
+        if self.compiled and self.incremental:
+            # the anneal state's arrays already track the tentative
+            # placement; two gathers replace the per-node Python loop.
+            # Byte-identical: same compute-node order, same int64 pairs.
+            state = self.edges
+            flat = np.empty((len(self.compute), 2), dtype=np.int64)
+            flat[:, 0] = state.x[self._compute_arr]
+            flat[:, 1] = state.y[self._compute_arr]
+            return flat.tobytes()
+        flat_l: list[int] = []
         for nid in self.compute:
             x, y = placement[nid]
-            flat.append(x)
-            flat.append(y)
-        return np.asarray(flat, dtype=np.int64).tobytes()
+            flat_l.append(x)
+            flat_l.append(y)
+        return np.asarray(flat_l, dtype=np.int64).tobytes()
 
     def _schedule(self, placement: dict[int, tuple[int, int]]) -> Mapping:
+        if self.compiled:
+            from repro.compiled import schedule_compiled
+
+            if self.edges is not None:
+                return schedule_compiled(self.fp, self.edges.xs, self.edges.ys)
+            n = self.fp.n_nodes
+            xs = [0] * n
+            ys = [0] * n
+            for nid, (a, b) in placement.items():
+                xs[nid] = a
+                ys[nid] = b
+            return schedule_compiled(self.fp, xs, ys)
         if self.incremental:
             return schedule_asap_fast(
                 self.graph, self.grid, lambda nid: placement.get(nid, (0, 0))
@@ -926,6 +1117,10 @@ class _AnnealScorer:
         if self.incremental:
             cycles, energy = self._score_scheduled(m)
             f = self.fom.score(cycles, energy, 1.0)
+        elif self.compiled:
+            from repro.compiled import evaluate_cost_compiled
+
+            f = self.fom(evaluate_cost_compiled(self.fp, m))
         else:
             c = evaluate_cost(self.graph, m, self.grid)
             f = self.fom(c)

@@ -350,14 +350,46 @@ def ideal_cache(capacity_words: int, block_words: int, name: str = "ideal") -> L
     return LRUCache(capacity_words, block_words, assoc=None, name=name)
 
 
-def run_trace(cache: LRUCache | CacheHierarchy, trace: Trace) -> LRUCache | CacheHierarchy:
+def run_trace(
+    cache: LRUCache | CacheHierarchy,
+    trace: Trace,
+    backend: str | None = None,
+) -> LRUCache | CacheHierarchy:
     """Feed a ``('r'|'w', addr)`` trace through a cache or hierarchy.
+
+    ``backend`` selects the evaluation path (default: the session-wide
+    backend, normally ``compiled``): the compiled path flattens the trace
+    into arrays and replays it through
+    :func:`repro.compiled.replay_into` — same final stats, residency, LRU
+    order, and dirty bits as the per-access loop, just without per-access
+    Python dispatch.  The reference loop remains below, selected by
+    ``backend="reference"`` (or ``"fast"``).
 
     When an obs session is active, the run is wrapped in a ``cache.run_trace``
     span and the cache's counter deltas are published on completion; the
     simulator itself is untouched (publishing reads the aggregate stats, so
     the per-access hot loop carries no telemetry branches).
     """
+    from repro.compiled import resolve_backend
+
+    if resolve_backend(backend) == "compiled":
+        from repro.compiled import flatten_trace, replay_into
+
+        kinds, addrs = flatten_trace(trace)
+        sess = _obs_active()
+        if sess is None:
+            return replay_into(cache, kinds, addrs)
+        label = (
+            "+".join(lvl.name for lvl in cache.levels)
+            if isinstance(cache, CacheHierarchy)
+            else cache.name
+        )
+        with sess.span("cache.run_trace", cat="cache", cache=label) as span:
+            replay_into(cache, kinds, addrs)
+            span.set(accesses=int(addrs.size))
+            cache.publish_metrics(sess)
+        return cache
+
     sess = _obs_active()
     if sess is None:
         if isinstance(cache, CacheHierarchy):
@@ -415,6 +447,7 @@ def run_trace_cached(
     spec: Sequence[tuple],
     trace: Sequence[tuple[str, int]],
     memo: MemoCache | None = None,
+    backend: str | None = None,
 ) -> dict[str, object]:
     """Simulate ``trace`` through the hierarchy described by ``spec``,
     memoized on (configuration, trace content).
@@ -431,8 +464,24 @@ def run_trace_cached(
 
     Unlike :func:`run_trace` this needs a *materialized* trace (a
     sequence, not a generator): the content hash must see every access.
+
+    ``backend="compiled"`` (the session default) hashes and replays the
+    trace through the array kernels; the digest is hex-identical to
+    :func:`trace_fingerprint` and the result dict is bit-identical, so
+    memo entries are shared across backends.
     """
     memo = memo if memo is not None else global_cache("cachesim")
+    from repro.compiled import resolve_backend
+
+    if resolve_backend(backend) == "compiled":
+        from repro.compiled import flatten_trace, replay_trace, trace_digest
+
+        kinds, addrs = flatten_trace(trace)
+        key = ("trace", tuple(tuple(s) for s in spec), trace_digest(kinds, addrs))
+        result = memo.get_or_compute(key, lambda: replay_trace(spec, kinds, addrs))
+        memo.publish_metrics()
+        return result
+
     key = ("trace", tuple(tuple(s) for s in spec), trace_fingerprint(trace))
 
     def compute() -> dict[str, object]:

@@ -82,6 +82,10 @@ class ServerConfig:
         the bounded queue, which is what makes ``QUEUE_FULL`` reachable.
     shard_cache_entries:
         LRU bound of each shard's memo caches (``None`` = unbounded).
+    disk_cache:
+        Back every shard's memo caches with the shared on-disk
+        content-addressed store (:class:`repro.core.memo.DiskMemoStore`),
+        so restarted shards — and whole server restarts — start warm.
     """
 
     n_shards: int = 2
@@ -93,6 +97,7 @@ class ServerConfig:
     max_retries: int = 2
     max_inflight_per_shard: int = 2
     shard_cache_entries: int | None = 4096
+    disk_cache: bool = True
 
 
 class EvaluationServer:
@@ -128,6 +133,7 @@ class EvaluationServer:
             batch_timeout_s=self.config.batch_timeout_s,
             max_retries=self.config.max_retries,
             max_inflight=self.config.max_inflight_per_shard,
+            disk_cache=self.config.disk_cache,
         )
         self._running = True
         self._stopping = False
@@ -459,6 +465,10 @@ def main(argv: list[str] | None = None) -> int:
         help="per-shard memo LRU bound (0 = unbounded)",
     )
     parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="disable the shared on-disk memo store tier",
+    )
+    parser.add_argument(
         "--obs-out", default=None,
         help="write a Chrome trace + metrics dump to this directory on exit",
     )
@@ -471,6 +481,7 @@ def main(argv: list[str] | None = None) -> int:
         tick_s=args.tick_ms / 1e3,
         default_deadline_s=args.deadline_s,
         shard_cache_entries=args.cache_entries or None,
+        disk_cache=not args.no_disk_cache,
     )
     ctx = (
         obs.session(label="repro-serve", out_dir=args.obs_out)

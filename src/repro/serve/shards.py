@@ -86,10 +86,13 @@ class _InFlight:
 class _Shard:
     """Parent-side handle for one worker process."""
 
-    def __init__(self, index: int, ctx, cache_entries: int | None) -> None:
+    def __init__(
+        self, index: int, ctx, cache_entries: int | None, disk_cache: bool
+    ) -> None:
         self.index = index
         self.ctx = ctx
         self.cache_entries = cache_entries
+        self.disk_cache = disk_cache
         self.restarts = -1  # first spawn() brings it to 0
         self.inflight: dict[int, _InFlight] = {}
         self.proc: multiprocessing.Process | None = None
@@ -102,7 +105,13 @@ class _Shard:
         self.outbox = self.ctx.Queue()
         self.proc = self.ctx.Process(
             target=_shard_main,
-            args=(self.index, self.inbox, self.outbox, self.cache_entries),
+            args=(
+                self.index,
+                self.inbox,
+                self.outbox,
+                self.cache_entries,
+                self.disk_cache,
+            ),
             daemon=True,
         )
         self.proc.start()
@@ -119,16 +128,38 @@ class _Shard:
         self.proc = None
 
 
-def _shard_main(index: int, inbox, outbox, cache_entries: int | None) -> None:
+def _shard_main(
+    index: int,
+    inbox,
+    outbox,
+    cache_entries: int | None,
+    disk_cache: bool = True,
+) -> None:
     """Worker loop: warm caches + the one protocol executor.
 
     Messages: ``("batch", id, op_energy, [request dicts])`` to serve,
     ``("crash",)`` / ``("hang",)`` for injected faults, ``None`` to exit.
+
+    With ``disk_cache`` on (the default) the in-memory memo pair sits on
+    top of the shared :class:`~repro.core.memo.DiskMemoStore` tiers — the
+    store namespaces are deliberately *not* per-shard, so a restarted (or
+    newly added) shard starts warm from every other shard's past work.
     """
-    search_cache = MemoCache(f"serve-search-{index}", cache_entries)
-    memo = MemoCache(f"serve-memo-{index}", cache_entries)
+    from repro.compiled import default_backend
+    from repro.core.memo import DiskMemoStore
+
+    search_store = DiskMemoStore("serve-search") if disk_cache else None
+    memo_store = DiskMemoStore("serve-memo") if disk_cache else None
+    search_cache = MemoCache(
+        f"serve-search-{index}", cache_entries, store=search_store
+    )
+    memo = MemoCache(f"serve-memo-{index}", cache_entries, store=memo_store)
     engine = SearchEngine(
-        memoize=True, incremental=True, parallel=False, cache=search_cache
+        memoize=True,
+        incremental=True,
+        parallel=False,
+        compiled=default_backend() == "compiled",
+        cache=search_cache,
     )
     while True:
         msg = inbox.get()
@@ -169,6 +200,7 @@ class ShardPool:
         max_retries: int = 2,
         max_inflight: int = 2,
         ctx: Any = None,
+        disk_cache: bool = True,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"need at least one shard, got {n_shards}")
@@ -180,7 +212,8 @@ class ShardPool:
         self.max_inflight = max_inflight
         self._ctx = ctx if ctx is not None else multiprocessing.get_context()
         self._shards = [
-            _Shard(i, self._ctx, cache_entries) for i in range(n_shards)
+            _Shard(i, self._ctx, cache_entries, disk_cache)
+            for i in range(n_shards)
         ]
         self.inproc_fallbacks = 0
         self.batch_retries = 0

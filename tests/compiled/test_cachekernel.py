@@ -1,0 +1,170 @@
+"""The array-backed cache replayer versus the per-access reference loop.
+
+Equality here is *state* equality, not just stats: after replaying the
+same trace, every set's residency, LRU order, and dirty bits must match
+the reference simulator exactly — the replayer mutates real
+:class:`LRUCache` objects, so a divergence would poison any code that
+keeps simulating afterwards.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.memo import MemoCache
+from repro.compiled import flatten_trace, replay_into, replay_trace, trace_digest
+from repro.machines.cachesim import (
+    CacheHierarchy,
+    LRUCache,
+    run_trace,
+    run_trace_cached,
+    trace_fingerprint,
+)
+
+SPECS = [
+    [(256, 8, None, "L1")],                                  # direct-ish single
+    [(64, 4, 1, "L1")],                                      # direct-mapped
+    [(64, 4, 2, "L1"), (512, 16, 4, "L2")],                  # classic two-level
+    [(32, 4, 1, "L1"), (128, 8, 2, "L2"), (1024, 16, None, "L3")],
+    [(16, 2, 2, "tiny"), (64, 2, None, "L2")],               # same block sizes
+]
+
+
+def build(spec):
+    levels = [LRUCache(*row) for row in spec]
+    return CacheHierarchy(levels) if len(levels) > 1 else levels[0]
+
+
+def full_state(cache):
+    """Stats + per-set residency/order/dirty of every level + mem counters."""
+    if isinstance(cache, CacheHierarchy):
+        return (
+            [(asdict(lvl.stats), [list(s.items()) for s in lvl._sets])
+             for lvl in cache.levels],
+            cache.mem_accesses,
+            cache.mem_writebacks,
+        )
+    return (asdict(cache.stats), [list(s.items()) for s in cache._sets])
+
+
+def random_trace(seed, n, addr_space, write_frac=0.3):
+    rng = random.Random(seed)
+    return [
+        ("w" if rng.random() < write_frac else "r", rng.randrange(addr_space))
+        for _ in range(n)
+    ]
+
+
+class TestDigest:
+    @pytest.mark.parametrize("trace", [
+        [],
+        [("r", 0)],
+        [("w", 2**40)],
+        random_trace(1, 500, 4096),
+    ])
+    def test_hex_identical_to_reference_fingerprint(self, trace):
+        kinds, addrs = flatten_trace(trace)
+        assert trace_digest(kinds, addrs) == trace_fingerprint(trace)
+
+    def test_negative_address_error_matches_reference(self):
+        trace = [("r", -1)]
+        with pytest.raises(OverflowError) as ref_err:
+            trace_fingerprint(trace)
+        kinds, addrs = flatten_trace(trace)
+        with pytest.raises(OverflowError) as comp_err:
+            trace_digest(kinds, addrs)
+        assert str(comp_err.value) == str(ref_err.value)
+
+
+class TestReplayStateParity:
+    @pytest.mark.parametrize("spec", SPECS)
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_random_traces(self, spec, seed):
+        trace = random_trace(seed, 4000, 2048)
+        ref, comp = build(spec), build(spec)
+        run_trace(ref, trace, backend="reference")
+        kinds, addrs = flatten_trace(trace)
+        replay_into(comp, kinds, addrs)
+        assert full_state(comp) == full_state(ref)
+
+    def test_empty_trace(self):
+        ref, comp = build(SPECS[2]), build(SPECS[2])
+        kinds, addrs = flatten_trace([])
+        replay_into(comp, kinds, addrs)
+        assert full_state(comp) == full_state(ref)
+
+    def test_standalone_lru_writebacks(self):
+        # force dirty evictions: writes cycling through 3x capacity
+        trace = [("w", a * 4) for a in range(48)] * 3
+        ref, comp = LRUCache(64, 4), LRUCache(64, 4)
+        run_trace(ref, trace, backend="reference")
+        kinds, addrs = flatten_trace(trace)
+        replay_into(comp, kinds, addrs)
+        assert comp.stats.writebacks > 0
+        assert full_state(comp) == full_state(ref)
+
+    def test_run_collapse_repeated_block(self):
+        # long same-block runs exercise the run-collapse fast path,
+        # including trailing-write dirty marking inside a collapsed run
+        trace = (
+            [("r", 0)] * 10 + [("w", 1)] * 5 + [("r", 2)] * 7
+            + [("r", 64)] + [("w", 0), ("r", 1)] * 6
+        )
+        for spec in SPECS:
+            ref, comp = build(spec), build(spec)
+            run_trace(ref, trace, backend="reference")
+            kinds, addrs = flatten_trace(trace)
+            replay_into(comp, kinds, addrs)
+            assert full_state(comp) == full_state(ref)
+
+    def test_negative_address_raises_like_reference(self):
+        trace = [("r", 4), ("r", -3)]
+        ref, comp = LRUCache(64, 4), LRUCache(64, 4)
+        with pytest.raises(ValueError) as ref_err:
+            run_trace(ref, trace, backend="reference")
+        kinds, addrs = flatten_trace(trace)
+        with pytest.raises(ValueError) as comp_err:
+            replay_into(comp, kinds, addrs)
+        assert str(comp_err.value) == str(ref_err.value)
+
+    def test_resumed_simulation_stays_identical(self):
+        """Replay must leave the cache usable: continuing access-by-access
+        afterwards matches a reference that ran everything in the loop."""
+        head, tail = random_trace(3, 1500, 1024), random_trace(4, 500, 1024)
+        ref, comp = build(SPECS[2]), build(SPECS[2])
+        run_trace(ref, head + tail, backend="reference")
+        kinds, addrs = flatten_trace(head)
+        replay_into(comp, kinds, addrs)
+        for kind, addr in tail:
+            comp.access(addr, write=(kind == "w"))
+        assert full_state(comp) == full_state(ref)
+
+
+class TestRunTraceDispatch:
+    def test_backends_agree(self):
+        trace = random_trace(11, 3000, 4096)
+        ref, comp = build(SPECS[3]), build(SPECS[3])
+        run_trace(ref, trace, backend="reference")
+        run_trace(comp, trace, backend="compiled")
+        assert full_state(comp) == full_state(ref)
+
+    def test_cached_results_shared_across_backends(self):
+        trace = random_trace(5, 2000, 2048)
+        spec = SPECS[2]
+        memo = MemoCache("t")
+        ref = run_trace_cached(spec, trace, memo=memo, backend="reference")
+        comp = run_trace_cached(spec, trace, memo=memo, backend="compiled")
+        assert comp == ref
+        assert memo.stats.hits == 1  # compiled run hit the reference entry
+
+    def test_replay_trace_result_shape(self):
+        trace = random_trace(9, 1000, 1024)
+        spec = SPECS[2]
+        kinds, addrs = flatten_trace(trace)
+        got = replay_trace(spec, kinds, addrs)
+        want = run_trace_cached(spec, trace, memo=MemoCache("x"),
+                                backend="reference")
+        assert got == want

@@ -1,0 +1,88 @@
+"""Chaos: injected worker faults must never corrupt the disk memo store.
+
+The scenario the store exists for: a parallel compiled sweep persists its
+results; workers crash / hang / return poison mid-campaign; recovery
+(retry, then in-process fallback) completes the sweep bit-identically;
+and a *restarted* process — fresh in-memory cache, same store directory —
+reloads everything without recomputing and without reading a single torn
+entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.memo import DiskMemoStore, MemoCache
+from repro.core.search import SearchEngine, sweep_placements
+from repro.faults import FaultPlan, FaultSpec, injection
+from repro.testing import assert_search_equivalent
+from repro import api
+from repro.core.mapping import GridSpec
+
+GRAPH = api.compile("stencil", n=6, steps=2)
+GRID = GridSpec(2, 2)
+REFERENCE = sweep_placements(GRAPH, GRID, engine=None)
+
+
+def chaos_engine(root, **kw) -> SearchEngine:
+    return SearchEngine(
+        parallel=True,
+        n_workers=2,
+        compiled=True,
+        memoize=True,
+        incremental=True,
+        cache=MemoCache("chaos", store=DiskMemoStore("chaos", root=root)),
+        task_timeout_s=kw.pop("task_timeout_s", 30.0),
+        max_retries=kw.pop("max_retries", 2),
+        retry_backoff_s=0.01,
+        **kw,
+    )
+
+
+@pytest.mark.parametrize("spec,engine_kw", [
+    (FaultSpec(worker_crash=1.0), {}),
+    (FaultSpec(worker_poison=1.0), {}),
+    (FaultSpec(worker_hang=1.0), {"task_timeout_s": 1.0}),
+])
+def test_faulted_sweep_leaves_store_clean_and_warm(tmp_path, spec, engine_kw):
+    root = tmp_path / "store"
+    with injection(FaultPlan(11, spec)) as inj:
+        rows = sweep_placements(
+            GRAPH, GRID, engine=chaos_engine(root, **engine_kw)
+        )
+    assert inj.n_injected > 0
+    assert inj.n_recovered == inj.n_injected
+    assert_search_equivalent(rows, REFERENCE, context="chaos sweep")
+
+    # nothing torn on disk, despite every worker having been faulted
+    audit = DiskMemoStore("chaos", root=root)
+    ok, corrupt = audit.verify()
+    assert corrupt == 0
+    assert ok > 0  # the campaign actually persisted its results
+
+    # "restart": fresh memory, same disk — everything reloads, nothing
+    # recomputes, and the rows are bit-identical to the faulted run
+    warm_cache = MemoCache("chaos", store=DiskMemoStore("chaos", root=root))
+    warm = sweep_placements(
+        GRAPH, GRID,
+        engine=SearchEngine(memoize=True, incremental=True, compiled=True,
+                            cache=warm_cache),
+    )
+    assert_search_equivalent(warm, rows, context="warm restart after chaos")
+    assert warm_cache.stats.misses == 0
+    assert warm_cache.store.stats.hits == warm_cache.stats.hits
+
+
+def test_fallback_only_campaign_still_persists(tmp_path):
+    """Every attempt of every task faulted: only the in-process fallback
+    finishes — and its results still land in the store intact."""
+    root = tmp_path / "store"
+    spec = FaultSpec(worker_crash=1.0, worker_faulty_attempts=99)
+    with injection(FaultPlan(5, spec)) as inj:
+        rows = sweep_placements(
+            GRAPH, GRID, engine=chaos_engine(root, max_retries=1)
+        )
+    assert inj.n_injected > 0
+    assert_search_equivalent(rows, REFERENCE, context="fallback chaos")
+    ok, corrupt = DiskMemoStore("chaos", root=root).verify()
+    assert corrupt == 0 and ok > 0

@@ -1,0 +1,179 @@
+"""The persistent on-disk memo tier: durability, sharing, degradation.
+
+The store's contract is deliberately boring — atomic writes, reads that
+never raise, version-keyed invalidation, LRU byte cap — because every
+interesting property of the system above it (cross-process warm starts,
+shard restarts, chaos survival) reduces to those four.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+
+from repro import obs
+from repro.core.memo import DiskMemoStore, MemoCache
+
+
+class TestRoundtrip:
+    def test_value_survives_across_store_instances(self, tmp_path):
+        a = DiskMemoStore("t", root=tmp_path)
+        a.put(("sweep", b"\x00fp", ("grid", 4, 2), b"sig"), {"cost": 1.5})
+        b = DiskMemoStore("t", root=tmp_path)
+        found, value = b.get(("sweep", b"\x00fp", ("grid", 4, 2), b"sig"))
+        assert found and value == {"cost": 1.5}
+        assert b.stats.hits == 1 and a.stats.writes == 1
+
+    def test_miss_is_a_clean_miss(self, tmp_path):
+        store = DiskMemoStore("t", root=tmp_path)
+        found, value = store.get(("absent",))
+        assert not found and value is None
+        assert store.stats.misses == 1 and store.stats.errors == 0
+
+    def test_namespaces_are_disjoint(self, tmp_path):
+        a = DiskMemoStore("alpha", root=tmp_path)
+        b = DiskMemoStore("beta", root=tmp_path)
+        a.put(("k",), 1)
+        assert b.get(("k",)) == (False, None)
+
+    def test_version_keys_the_directory(self, tmp_path):
+        old = DiskMemoStore("t", root=tmp_path, version="1.0.0")
+        old.put(("k",), "stale-model-output")
+        new = DiskMemoStore("t", root=tmp_path, version="2.0.0")
+        assert new.get(("k",)) == (False, None)  # invalidated by release
+        assert DiskMemoStore("t", root=tmp_path, version="1.0.0").get(
+            ("k",)
+        ) == (True, "stale-model-output")
+
+
+class TestDurability:
+    def test_corrupt_entry_degrades_to_miss_and_is_unlinked(self, tmp_path):
+        store = DiskMemoStore("t", root=tmp_path)
+        store.put(("k",), [1, 2, 3])
+        path = store._path(("k",))
+        path.write_bytes(b"\x80\x05garbage")
+        found, _ = store.get(("k",))
+        assert not found
+        assert store.stats.errors == 1
+        assert not path.exists()  # dropped: cannot keep costing misses
+        ok, corrupt = store.verify()
+        assert (ok, corrupt) == (0, 0)
+
+    def test_truncated_entry_degrades_to_miss(self, tmp_path):
+        store = DiskMemoStore("t", root=tmp_path)
+        store.put(("k",), list(range(1000)))
+        path = store._path(("k",))
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.get(("k",)) == (False, None)
+
+    def test_unusable_root_degrades_to_noop(self, tmp_path):
+        # a root that cannot be a directory (its parent is a plain file);
+        # chmod tricks don't work here because tests may run as root
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        store = DiskMemoStore("t", root=blocker / "sub")
+        assert not store.enabled
+        store.put(("k",), 1)  # no raise
+        assert store.get(("k",)) == (False, None)
+        assert len(store) == 0
+
+    def test_stale_tmp_files_are_collected(self, tmp_path):
+        store = DiskMemoStore("t", root=tmp_path)
+        store.put(("k",), 1)
+        sub = store._path(("k",)).parent
+        orphan = sub / ".tmp-orphan"
+        orphan.write_bytes(b"partial")
+        old = 1_000_000.0
+        os.utime(orphan, (old, old))
+        store._entries_on_disk()
+        assert not orphan.exists()
+
+    def test_sweep_enforces_byte_cap_oldest_first(self, tmp_path):
+        store = DiskMemoStore("t", root=tmp_path)
+        payload = b"x" * 2048
+        for i in range(8):
+            store.put(("k", i), payload)
+            # distinct mtimes so LRU order is deterministic
+            os.utime(store._path(("k", i)), (1_000_000.0 + i, 1_000_000.0 + i))
+        removed = store.sweep(max_bytes=3 * 2100)
+        assert removed > 0
+        assert store.stats.evictions == removed
+        # the oldest entries went first; the newest survives
+        assert store.get(("k", 7))[0]
+        assert not store.get(("k", 0))[0]
+
+    def test_verify_counts_corruption(self, tmp_path):
+        store = DiskMemoStore("t", root=tmp_path)
+        for i in range(4):
+            store.put(("k", i), i)
+        store._path(("k", 2)).write_bytes(b"not a pickle")
+        ok, corrupt = store.verify()
+        assert (ok, corrupt) == (3, 1)
+
+
+class TestMemoCacheTier:
+    def test_mem_miss_probes_store_and_promotes(self, tmp_path):
+        store = DiskMemoStore("t", root=tmp_path)
+        warmer = MemoCache("w", store=store)
+        warmer.put(("k",), "v")  # write-through
+
+        fresh = MemoCache("w", store=DiskMemoStore("t", root=tmp_path))
+        assert fresh.get(("k",)) == "v"   # served from disk
+        assert fresh.stats.hits == 1      # a disk hit is a cache hit
+        # promoted: second get never touches the store again
+        disk_hits = fresh.store.stats.hits
+        assert fresh.get(("k",)) == "v"
+        assert fresh.store.stats.hits == disk_hits
+
+    def test_get_or_compute_skips_compute_on_disk_hit(self, tmp_path):
+        MemoCache("w", store=DiskMemoStore("t", root=tmp_path)).put(("k",), 41)
+        fresh = MemoCache("w", store=DiskMemoStore("t", root=tmp_path))
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 99
+
+        assert fresh.get_or_compute(("k",), compute) == 41
+        assert not calls
+
+    def test_publish_metrics_includes_store_counters(self, tmp_path):
+        with obs.session(label="t", write_on_exit=False) as sess:
+            cache = MemoCache("w", store=DiskMemoStore("t", root=tmp_path))
+            cache.put(("k",), 1)
+            cache.publish_metrics()
+            names = {s.name for s in sess.metrics.series()}
+        assert "memo.disk_writes" in names
+
+
+def _worker_put(root: str, rank: int) -> None:
+    store = DiskMemoStore("shared", root=root)
+    cache = MemoCache("shared", store=store)
+    cache.put(("from", rank), {"rank": rank})
+
+
+class TestCrossProcess:
+    def test_entries_written_by_children_are_visible_here(self, tmp_path):
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_worker_put, args=(str(tmp_path), rank))
+            for rank in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        reader = MemoCache("shared", store=DiskMemoStore("shared", root=tmp_path))
+        for rank in range(3):
+            assert reader.get(("from", rank)) == {"rank": rank}
+        ok, corrupt = reader.store.verify()
+        assert corrupt == 0 and ok == 3
+
+    def test_pickle_protocol_is_stable_for_plain_values(self, tmp_path):
+        # entries must be loadable by any process with the same code
+        store = DiskMemoStore("t", root=tmp_path)
+        store.put(("k",), {"cycles": 12, "energy": 3.5})
+        raw = store._path(("k",)).read_bytes()
+        assert pickle.loads(raw) == {"cycles": 12, "energy": 3.5}

@@ -1,0 +1,213 @@
+"""Differential parity: the compiled backend versus the reference path.
+
+Every searcher, the placement lowering, the schedule kernel, and the api
+facade must produce **bit-identical** results on the compiled backend —
+same floats, same mappings, same labels, same error messages.  The
+checks go through :func:`repro.testing.assert_search_equivalent`, the
+same oracle the fast engine is held to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.default_mapper import schedule_asap
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec
+from repro.core.memo import MemoCache
+from repro.core.search import (
+    COMPILED_ENGINE,
+    FigureOfMerit,
+    SearchEngine,
+    anneal,
+    engine_for_backend,
+    exhaustive_search,
+    sweep_placements,
+)
+from repro.compiled import (
+    get_program,
+    resolve_backend,
+    schedule_compiled,
+)
+from repro.testing import assert_search_equivalent
+
+CASES = [
+    ("stencil", {"n": 8, "steps": 2}, GridSpec(4, 2)),
+    ("fft", {"n": 8}, GridSpec(8, 1)),
+    ("sum_squares", {"n": 12}, GridSpec(2, 2)),
+    ("matmul", {"n": 3}, GridSpec(4, 1)),
+]
+FOMS = [FigureOfMerit.fastest(), FigureOfMerit(1.0, 1.0, 0.0),
+        FigureOfMerit(1.0, 1.0, 0.5)]
+
+
+def compiled_engine() -> SearchEngine:
+    """A compiled engine with a private cache (no cross-test bleed)."""
+    return SearchEngine(
+        memoize=True, incremental=True, compiled=True, cache=MemoCache("t")
+    )
+
+
+def graph_for(name: str, params: dict) -> DataflowGraph:
+    return api.compile(name, **params)
+
+
+class TestSearcherParity:
+    @pytest.mark.parametrize("name,params,grid", CASES)
+    def test_sweep_bit_identical(self, name, params, grid):
+        g = graph_for(name, params)
+        for fom in FOMS:
+            ref = sweep_placements(g, grid, fom, engine=None)
+            comp = sweep_placements(g, grid, fom, engine=compiled_engine())
+            assert_search_equivalent(comp, ref, context=f"sweep/{name}")
+
+    @pytest.mark.parametrize("name,params,grid", CASES)
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_anneal_bit_identical(self, name, params, grid, seed):
+        g = graph_for(name, params)
+        for fom in FOMS:
+            ref = anneal(g, grid, fom, steps=80, seed=seed, engine=None)
+            comp = anneal(
+                g, grid, fom, steps=80, seed=seed, engine=compiled_engine()
+            )
+            assert_search_equivalent(comp, ref, context=f"anneal/{name}")
+
+    def test_anneal_memo_shared_with_fast_engine(self):
+        """Compiled and fast anneal share one memo key: a compiled run
+        warms the cache for the fast engine (and vice versa)."""
+        g = graph_for("stencil", {"n": 8, "steps": 2})
+        grid = GridSpec(4, 2)
+        cache = MemoCache("shared")
+        fom = FigureOfMerit(1.0, 1.0, 0.0)
+        first = anneal(
+            g, grid, fom, steps=60, seed=1,
+            engine=SearchEngine(memoize=True, incremental=True, compiled=True,
+                                cache=cache),
+        )
+        hits_before, misses_before = cache.stats.hits, cache.stats.misses
+        second = anneal(
+            g, grid, fom, steps=60, seed=1,
+            engine=SearchEngine(memoize=True, incremental=True, cache=cache),
+        )
+        # the fast engine finds the compiled run's entry: no new compute
+        assert cache.stats.hits > hits_before
+        assert cache.stats.misses == misses_before
+        assert_search_equivalent(second, first, context="cross-engine memo")
+
+    def test_exhaustive_bit_identical(self):
+        g = graph_for("sum_squares", {"n": 5})
+        grid = GridSpec(2, 1)
+        for fom in FOMS:
+            ref = exhaustive_search(g, grid, fom, max_points=200_000, engine=None)
+            comp = exhaustive_search(
+                g, grid, fom, max_points=200_000, engine=compiled_engine()
+            )
+            assert_search_equivalent(comp, ref, context="exhaustive")
+
+
+class TestScheduleKernel:
+    @pytest.mark.parametrize("name,params,grid", CASES)
+    def test_schedule_matches_reference(self, name, params, grid):
+        g = graph_for(name, params)
+        fp = get_program(g, grid)
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            place = {
+                nid: (int(rng.integers(grid.width)), int(rng.integers(grid.height)))
+                for nid in g.compute_nodes()
+            }
+            ref = schedule_asap(g, grid, lambda nid: place.get(nid, (0, 0)))
+            px = [place.get(nid, (0, 0))[0] for nid in range(g.n_nodes)]
+            py = [place.get(nid, (0, 0))[1] for nid in range(g.n_nodes)]
+            comp = schedule_compiled(fp, px, py)
+            assert ref.fingerprint() == comp.fingerprint()
+
+    def test_offgrid_error_message_parity(self):
+        g = graph_for("sum_squares", {"n": 4})
+        grid = GridSpec(2, 1)
+        fp = get_program(g, grid)
+        bad = {nid: (5, 0) for nid in g.compute_nodes()}
+        with pytest.raises(ValueError) as ref_err:
+            schedule_asap(g, grid, lambda nid: bad.get(nid, (0, 0)))
+        px = [bad.get(nid, (0, 0))[0] for nid in range(g.n_nodes)]
+        py = [bad.get(nid, (0, 0))[1] for nid in range(g.n_nodes)]
+        with pytest.raises(ValueError) as comp_err:
+            schedule_compiled(fp, px, py)
+        assert str(comp_err.value) == str(ref_err.value)
+
+    @pytest.mark.parametrize("name,params,grid", CASES)
+    def test_asap_levels_match_depth_recurrence(self, name, params, grid):
+        g = graph_for(name, params)
+        fp = get_program(g, grid)
+        levels = fp.asap_levels()
+        # the work-depth recurrence: level = max(level of args) + dur
+        expect = [0] * g.n_nodes
+        for v in range(g.n_nodes):
+            args = fp.args_list[v]
+            base = max((expect[u] for u in args), default=0)
+            expect[v] = base + int(fp.dur[v])
+        assert levels.tolist() == expect
+        assert int(levels.max(initial=0)) == g.depth()
+
+
+class TestBackendSelection:
+    def test_engine_for_backend_mapping(self):
+        assert engine_for_backend("compiled") is COMPILED_ENGINE
+        assert engine_for_backend("reference").compiled is False
+        assert not engine_for_backend("reference").memoize
+        assert engine_for_backend("fast").memoize
+        assert not engine_for_backend("fast").compiled
+        with pytest.raises(ValueError, match="unknown backend"):
+            engine_for_backend("turbo")
+
+    def test_resolve_backend_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == "compiled"
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        assert resolve_backend(None) == "reference"
+        assert resolve_backend("fast") == "fast"  # explicit beats env
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("turbo")
+
+    def test_api_search_backend_parity(self):
+        rows_ref = api.search("stencil", (4, 2), backend="reference",
+                              n=8, steps=2)
+        rows_comp = api.search("stencil", (4, 2), backend="compiled",
+                               n=8, steps=2)
+        assert_search_equivalent(rows_comp, rows_ref, context="api sweep")
+
+    def test_api_rejects_engine_plus_backend(self):
+        with pytest.raises(api.ApiError, match="not both"):
+            api.search("stencil", (4, 2), engine=SearchEngine(),
+                       backend="compiled", n=8, steps=2)
+        with pytest.raises(api.ApiError, match="unknown backend"):
+            api.search("stencil", (4, 2), backend="turbo", n=8, steps=2)
+        with pytest.raises(api.ApiError, match="unknown backend"):
+            api.evaluate("stencil", (4, 2), backend="turbo", n=8, steps=2)
+
+    def test_api_evaluate_and_score_backend_parity(self):
+        ref = api.evaluate("fft", (4, 1), fom={"time": 1, "energy": 1},
+                           backend="reference", n=8)
+        comp = api.evaluate("fft", (4, 1), fom={"time": 1, "energy": 1},
+                            backend="compiled", n=8)
+        assert comp.cost.as_dict() == ref.cost.as_dict()
+        assert comp.fom == ref.fom
+        assert comp.mapping.fingerprint() == ref.mapping.fingerprint()
+
+        g = api.compile("sum_squares", n=5)
+        pairs = [(i % 2, (i // 2) % 2) for i in range(len(g.compute_nodes()))]
+        s_ref = api.score("sum_squares", (2, 2), pairs, backend="reference", n=5)
+        s_comp = api.score("sum_squares", (2, 2), pairs, backend="compiled", n=5)
+        assert s_comp.cost.as_dict() == s_ref.cost.as_dict()
+        assert s_comp.mapping.fingerprint() == s_ref.mapping.fingerprint()
+
+    def test_api_simulate_backend_parity(self):
+        trace = [("w" if i % 3 == 0 else "r", (i * 17) % 512) for i in range(400)]
+        levels = [(64, 4, 2, "L1"), (512, 16, None, "L2")]
+        ref = api.simulate(levels, trace, memo=MemoCache("a"),
+                           backend="reference")
+        comp = api.simulate(levels, trace, memo=MemoCache("b"),
+                            backend="compiled")
+        assert comp == ref

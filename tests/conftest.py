@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 import pytest
 
 from repro.core.mapping import GridSpec
 from repro.machines.technology import TECH_5NM, Technology
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_memo():
+    """Point the on-disk memo store at a throwaway directory for the whole
+    run, so tests (and the shard subprocesses they spawn, which inherit
+    the environment) never touch the developer's real ``~/.cache/repro``."""
+    prior = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-test-cache-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            yield tmp
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = prior
 
 
 @pytest.fixture

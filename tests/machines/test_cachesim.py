@@ -170,3 +170,44 @@ class TestHierarchy:
         h = self._hier()
         run_trace(h, [("r", 0), ("w", 1), ("r", 0)])
         assert h.levels[0].stats.accesses == 3
+
+
+class TestRecordedTraceStatsPinned:
+    """Golden micro-test: exact stats of a recorded trace.
+
+    The LRU update (an ``OrderedDict.move_to_end`` on hit) and the
+    eviction order it implies are pinned by exact counter values — any
+    change to recency handling, set indexing, or writeback accounting
+    shows up here as a concrete number, on both backends.
+    """
+
+    # a recorded mixed trace: two hot blocks, a cold sweep that evicts
+    # them, then a return to the (now cold-again) hot set
+    TRACE = (
+        [("r", 0), ("w", 8), ("r", 0), ("r", 8), ("w", 0)]
+        + [("r", a) for a in range(16, 80, 8)]
+        + [("r", 0), ("r", 8)]
+    )
+
+    @pytest.mark.parametrize("backend", ["reference", "compiled"])
+    def test_exact_stats(self, backend):
+        c = LRUCache(32, 8, None, "L1")  # 4 fully-associative frames
+        run_trace(c, self.TRACE, backend=backend)
+        s = c.stats
+        assert (s.accesses, s.hits, s.misses) == (15, 3, 12)
+        assert (s.read_misses, s.write_misses) == (11, 1)
+        # both hot blocks were dirty when the cold sweep evicted them
+        assert s.writebacks == 2
+        assert s.hits / s.accesses == 3 / 15
+
+    @pytest.mark.parametrize("backend", ["reference", "compiled"])
+    def test_exact_hierarchy_stats(self, backend):
+        h = CacheHierarchy([LRUCache(32, 8, None, "L1"),
+                            LRUCache(128, 8, None, "L2")])
+        run_trace(h, self.TRACE, backend=backend)
+        l1, l2 = h.levels
+        assert (l1.stats.hits, l1.stats.misses) == (3, 12)
+        # L2 sees only L1's misses; the final two re-reads hit there
+        assert l2.stats.accesses == 12
+        assert (l2.stats.hits, l2.stats.misses) == (2, 10)
+        assert h.mem_accesses == 10

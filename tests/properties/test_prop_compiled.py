@@ -1,0 +1,161 @@
+"""Hypothesis properties: the compiled backend is bit-identical to the
+reference on *arbitrary* random graphs, placements, move sequences, and
+cache traces — not just the curated workloads of the unit tests.
+
+The contract pinned here is exact equality, never approximate: equal
+``CostReport.as_dict()`` floats, equal schedule arrays, equal incremental
+energy totals after any (partially rolled-back) move sequence, and equal
+cache statistics on random traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import IncrementalEdgeEnergy, evaluate_cost
+from repro.core.default_mapper import schedule_asap
+from repro.core.function import DataflowGraph
+from repro.core.mapping import GridSpec
+from repro.compiled import (
+    CompiledAnnealState,
+    FlatProgram,
+    evaluate_cost_compiled,
+    flatten_trace,
+    replay_into,
+    schedule_compiled,
+)
+from repro.machines.cachesim import CacheHierarchy, LRUCache, run_trace
+
+GRID = GridSpec(4, 2)
+
+
+def random_graph(rng: np.random.Generator, n_inputs: int, n_ops: int) -> DataflowGraph:
+    """A random DAG: ops draw operands from earlier nodes only."""
+    g = DataflowGraph()
+    nodes = [g.input("A", (i,)) for i in range(n_inputs)]
+    for k in range(n_ops):
+        op = ("+", "*", "min", "max")[int(rng.integers(4))]
+        a = nodes[int(rng.integers(len(nodes)))]
+        b = nodes[int(rng.integers(len(nodes)))]
+        nodes.append(g.op(op, a, b, index=(k,)))
+    g.mark_output(nodes[-1], "out")
+    return g
+
+
+def random_placement(rng: np.random.Generator, graph: DataflowGraph) -> dict:
+    return {
+        nid: (int(rng.integers(GRID.width)), int(rng.integers(GRID.height)))
+        for nid in graph.compute_nodes()
+    }
+
+
+def placement_arrays(graph: DataflowGraph, placement: dict) -> tuple[list, list]:
+    px = [placement.get(nid, (0, 0))[0] for nid in range(graph.n_nodes)]
+    py = [placement.get(nid, (0, 0))[1] for nid in range(graph.n_nodes)]
+    return px, py
+
+
+class TestCostAndScheduleParity:
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(1, 14))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_report_bit_identical(self, seed, n_in, n_ops):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n_in, n_ops)
+        placement = random_placement(rng, g)
+        m = schedule_asap(g, GRID, lambda nid: placement.get(nid, (0, 0)))
+        ref = evaluate_cost(g, m, GRID)
+        comp = evaluate_cost_compiled(FlatProgram(g, GRID), m)
+        assert comp.as_dict() == ref.as_dict()
+        assert comp.liveness.max_live_per_place == ref.liveness.max_live_per_place
+        assert comp.liveness.max_in_flight == ref.liveness.max_in_flight
+        assert (comp.n_compute, comp.n_edges, comp.places_used) == (
+            ref.n_compute, ref.n_edges, ref.places_used
+        )
+
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(1, 14))
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_arrays_bit_identical(self, seed, n_in, n_ops):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n_in, n_ops)
+        placement = random_placement(rng, g)
+        ref = schedule_asap(g, GRID, lambda nid: placement.get(nid, (0, 0)))
+        fp = FlatProgram(g, GRID)
+        comp = schedule_compiled(fp, *placement_arrays(g, placement))
+        for field in ("x", "y", "time", "offchip"):
+            assert np.array_equal(getattr(ref, field), getattr(comp, field)), field
+
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(1, 14))
+    @settings(max_examples=30, deadline=None)
+    def test_levels_match_depth_recurrence(self, seed, n_in, n_ops):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n_in, n_ops)
+        fp = FlatProgram(g, GRID)
+        levels = fp.asap_levels()
+        assert int(levels.max(initial=0)) == g.depth()
+
+
+class TestIncrementalStateParity:
+    @given(st.integers(0, 10_000), st.integers(1, 4), st.integers(2, 12),
+           st.integers(1, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_move_sequences_match_reference_incremental(
+        self, seed, n_in, n_ops, n_moves
+    ):
+        """The compiled anneal state tracks the reference incremental
+        model through any move/unmove sequence — equal per-class totals
+        and equal total energy, bit-for-bit."""
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n_in, n_ops)
+        placement = random_placement(rng, g)
+        ref = IncrementalEdgeEnergy(g, GRID)
+        ref.set_placement(placement)
+        comp = CompiledAnnealState(FlatProgram(g, GRID))
+        comp.set_placement(placement)
+        compute = g.compute_nodes()
+        for _ in range(n_moves):
+            nid = compute[int(rng.integers(len(compute)))]
+            place = (int(rng.integers(GRID.width)), int(rng.integers(GRID.height)))
+            undo_ref = ref.move(nid, place)
+            undo_comp = comp.move(nid, place)
+            if rng.integers(2):
+                ref.unmove(undo_ref)
+                comp.unmove(undo_comp)
+            assert comp.totals() == ref.totals()
+        assert comp.energy_total_fj() == ref.energy_total_fj()
+
+
+class TestCacheReplayParity:
+    @given(
+        st.integers(0, 10_000),
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 1023)),
+            min_size=0, max_size=300,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_trace_stats_identical(self, seed, raw):
+        trace = [("w" if w else "r", a) for w, a in raw]
+        rng = np.random.default_rng(seed)
+        spec = [
+            (int(rng.choice([32, 64])), int(rng.choice([2, 4])),
+             int(rng.choice([1, 2])) if rng.integers(2) else None, "L1"),
+            (512, 8, None, "L2"),
+        ]
+
+        def build():
+            return CacheHierarchy([LRUCache(*row) for row in spec])
+
+        ref, comp = build(), build()
+        run_trace(ref, trace, backend="reference")
+        kinds, addrs = flatten_trace(trace)
+        replay_into(comp, kinds, addrs)
+        for a, b in zip(ref.levels, comp.levels):
+            assert a.stats.as_dict() == b.stats.as_dict()
+            assert [list(s.items()) for s in a._sets] == [
+                list(s.items()) for s in b._sets
+            ]
+        assert (ref.mem_accesses, ref.mem_writebacks) == (
+            comp.mem_accesses, comp.mem_writebacks
+        )
