@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-json trace serve serve-smoke experiments examples all
+.PHONY: install test bench bench-json bench-gate obs-overhead trace serve serve-smoke experiments examples all
 
 install:
 	pip install -e .
@@ -21,13 +21,26 @@ bench-json:
 	@echo "machine-readable bench artifacts:"
 	@ls -1 benchmarks/out/*.json
 
+# Perf-trajectory gate: run the C21 smoke bench and compare its metrics
+# JSON against the recorded baseline (override with BASE=path.json).
+# Warn-only here and in CI's first run; record a baseline with
+#   cp benchmarks/out/c21_compiled_core.main.json .bench-baseline/
+bench-gate:
+	$(PYTHONPATH_SRC) python benchmarks/bench_c21_compiled_core.py --json --smoke
+	python tools/bench_gate.py $(or $(BASE),.bench-baseline/c21_compiled_core.main.json) benchmarks/out/c21_compiled_core.main.json --ignore seed --warn-only
+
+# Assert telemetry stays affordable: the instrumented C21 smoke campaign
+# must run within 5% of the same campaign with no obs session.
+obs-overhead:
+	$(PYTHONPATH_SRC) python benchmarks/bench_c22_obs_overhead.py --json --smoke
+
 # Run the paper's worked example under the telemetry layer and print the
 # artifact paths (Chrome trace + metrics dump in obs_out/).
 trace:
 	$(PYTHONPATH_SRC) python examples/paper_worked_example.py --trace
 
 # Start the batched evaluation service on localhost:8077 (see README
-# "Serving"); POST JSON to /v1/requests, GET /healthz and /stats.
+# "Serving"); POST JSON to /v1/requests, GET /healthz, /metrics, /stats.
 serve:
 	$(PYTHONPATH_SRC) python -m repro.serve.server --port 8077 --shards 2
 

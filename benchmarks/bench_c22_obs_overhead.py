@@ -1,0 +1,157 @@
+"""Claim C22: telemetry is affordable — running the C21 smoke campaign
+under a full observability session (counters + histograms + spans +
+cross-process aggregation) costs <= 5% wall time over running it dark.
+
+The obs layer's design contract since PR 1 is "a single predictable
+branch when off, cheap when on": instrumented hot paths call
+``obs.active()`` once per operation, series lookups are one dict probe,
+and histogram observation is O(1) bucket arithmetic.  This bench pins
+the "cheap when on" half now that PR 6 made sessions *more* loaded
+(log2 bucket upkeep, delta cursors, span batches riding worker
+responses) — if instrumentation creep ever makes telemetry expensive,
+this gate catches it before the serving stack inherits the cost.
+
+Method: run the compiled C21 smoke campaign (three-FoM sweep + anneal,
+the heaviest instrumented path in the repo) ``ROUNDS`` times with no
+session and the same ``ROUNDS`` times inside ``obs.session``; compare
+best-of-rounds wall times (min is the standard noise filter for
+same-work timing comparisons).  Caches and compiled programs are reset
+between runs so every run does identical work.
+
+Standalone mode (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_c22_obs_overhead.py --smoke
+
+exits nonzero when overhead exceeds the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro import obs
+from repro.analysis.report import Table
+from repro.core.memo import clear_global_caches
+from repro.core.search import SearchEngine
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+#: telemetry may cost at most this factor over the dark run
+OVERHEAD_GATE = 1.05
+#: timing rounds per arm; best-of is compared
+ROUNDS = 3
+
+
+def _campaign_parts():
+    from bench_c21_compiled_core import SMOKE, _fresh_programs, search_campaign
+
+    return SMOKE, _fresh_programs, search_campaign
+
+
+def _timed_run(sizing, seed, with_obs: bool) -> float:
+    _sizing, fresh_programs, search_campaign = _campaign_parts()
+    engine = SearchEngine(memoize=True, incremental=True, compiled=True)
+    clear_global_caches()
+    fresh_programs()
+    if with_obs:
+        with obs.session(label="c22-overhead"):
+            t0 = time.perf_counter()
+            search_campaign(sizing["workload"], engine, seed, sizing["steps"])
+            return time.perf_counter() - t0
+    t0 = time.perf_counter()
+    search_campaign(sizing["workload"], engine, seed, sizing["steps"])
+    return time.perf_counter() - t0
+
+
+def measure_overhead(seed: int, rounds: int = ROUNDS) -> tuple[float, float]:
+    """(best dark wall time, best instrumented wall time), interleaved so
+    thermal/load drift hits both arms equally."""
+    sizing, _, _ = _campaign_parts()
+    dark: list[float] = []
+    lit: list[float] = []
+    for _ in range(rounds):
+        dark.append(_timed_run(sizing, seed, with_obs=False))
+        lit.append(_timed_run(sizing, seed, with_obs=True))
+    return min(dark), min(lit)
+
+
+# ---------------------------------------------------------------------- #
+# pytest bench
+
+
+def test_bench_obs_overhead(benchmark, record_table, bench_opts):
+    t_dark, t_lit = benchmark.pedantic(
+        lambda: measure_overhead(bench_opts.seed), rounds=1, iterations=1
+    )
+    overhead = t_lit / max(t_dark, 1e-9)
+    tbl = Table(
+        "C22: telemetry overhead on the C21 smoke campaign (best of "
+        f"{ROUNDS})",
+        ["arm", "wall time s", "ratio"],
+    )
+    tbl.add_row("no session", round(t_dark, 3), 1.0)
+    tbl.add_row("obs.session", round(t_lit, 3), round(overhead, 4))
+    record_table("c22_obs_overhead", tbl)
+    assert overhead <= OVERHEAD_GATE, (
+        f"telemetry costs {overhead:.3f}x (> {OVERHEAD_GATE}x gate)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# standalone mode (CI smoke gate)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from common import add_bench_arguments, options_from_args
+
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench-c22",
+        description="Telemetry overhead gate: obs on vs off on the C21 smoke campaign.",
+    )
+    add_bench_arguments(parser)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="accepted for CI symmetry (the campaign is always smoke-sized)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=ROUNDS,
+        help=f"timing rounds per arm, best-of compared (default {ROUNDS})",
+    )
+    args = parser.parse_args(argv)
+    opts = options_from_args(args)
+
+    t_dark, t_lit = measure_overhead(opts.seed, rounds=args.rounds)
+    overhead = t_lit / max(t_dark, 1e-9)
+    metrics = {
+        "t_dark_s": t_dark,
+        "t_instrumented_s": t_lit,
+        "overhead_ratio": overhead,
+        "gate": OVERHEAD_GATE,
+        "rounds": args.rounds,
+        "ok": overhead <= OVERHEAD_GATE,
+    }
+    if opts.json:
+        opts.out.mkdir(parents=True, exist_ok=True)
+        path = opts.out / "c22_obs_overhead.main.json"
+        path.write_text(json.dumps(metrics, indent=1) + "\n")
+        print(f"wrote {path}")
+    print(
+        f"telemetry overhead {overhead:.3f}x "
+        f"(dark {t_dark:.2f}s, instrumented {t_lit:.2f}s, gate {OVERHEAD_GATE}x)"
+    )
+    if overhead > OVERHEAD_GATE:
+        print(
+            f"FAIL: overhead {overhead:.3f}x exceeds {OVERHEAD_GATE}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

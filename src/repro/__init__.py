@@ -55,7 +55,7 @@ from repro.core.mapping import GridSpec, Mapping
 from repro.machines.grid import GridMachine
 from repro import api, obs
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # the stable facade

@@ -65,6 +65,7 @@ from repro.core.mapping import GridSpec, Mapping
 from repro.core.memo import MemoCache, global_cache
 from repro.faults.inject import active as _faults_active
 from repro.obs import Session, active as _obs_active
+from repro.obs.distributed import TelemetryAggregator as _TelemetryAggregator
 
 __all__ = [
     "SearchResult",
@@ -550,19 +551,53 @@ class _InjectedWorkerCrash(RuntimeError):
     """The crash raised inside a pool worker by an injected fault."""
 
 
-def _chaos_task(payload: tuple[str | None, Callable[[Any], Any], Any]) -> Any:
+class _TaskOutput:
+    """A pool task's result plus the telemetry it produced (picklable)."""
+
+    __slots__ = ("value", "telemetry")
+
+    def __init__(self, value: Any, telemetry: dict[str, Any] | None) -> None:
+        self.value = value
+        self.telemetry = telemetry
+
+
+def _chaos_task(
+    payload: tuple[str | None, Callable[[Any], Any], Any, bool, int]
+) -> Any:
     """Top-level pool target: apply the injected fault action (if any),
     otherwise run the real worker.  Faults are decided in the *parent*
     from the deterministic plan and shipped with the payload, so workers
-    need no fault-plan state of their own."""
-    action, worker, real_payload = payload
+    need no fault-plan state of their own.
+
+    With ``collect`` set (the parent has an obs session open), the worker
+    runs under its own child session and the result comes back wrapped in
+    :class:`_TaskOutput` carrying the task's metric/span deltas — the
+    parent merges them under a ``process=pool-<pid>`` label, so counters
+    incremented inside transient pool workers (including fault-retried
+    attempts) survive the pool.
+    """
+    action, worker, real_payload, collect, index = payload
     if action == "crash":
         raise _InjectedWorkerCrash("injected worker crash")
     if action == "hang":
         time.sleep(_HANG_SLEEP_S)  # pragma: no cover - reaped by terminate()
     if action == "poison":
         return _POISON
-    return worker(real_payload)
+    if not collect:
+        return worker(real_payload)
+    from repro import obs
+    from repro.obs.distributed import ChildTelemetry
+
+    process = f"pool-{os.getpid()}"
+    child = obs.Session(label=process)
+    obs.activate(child)
+    telemetry = ChildTelemetry(child, process=process)
+    try:
+        with child.tracer.span("pool.task", cat="pool", task=index):
+            value = worker(real_payload)
+    finally:
+        obs.activate(None)
+    return _TaskOutput(value, telemetry.flush())
 
 
 def _pool_map(
@@ -634,7 +669,21 @@ def _pool_map(
         pool = ctx.Pool(processes=min(n_workers, len(pending)))
         try:
             handles = [
-                (i, pool.apply_async(_chaos_task, ((actions.get(i), worker, payloads[i]),)))
+                (
+                    i,
+                    pool.apply_async(
+                        _chaos_task,
+                        (
+                            (
+                                actions.get(i),
+                                worker,
+                                payloads[i],
+                                sess is not None,
+                                i,
+                            ),
+                        ),
+                    ),
+                )
                 for i in pending
             ]
             for i, handle in handles:
@@ -648,6 +697,10 @@ def _pool_map(
                     if isinstance(out, tuple) and out == _POISON:
                         failed.append(i)
                     else:
+                        if isinstance(out, _TaskOutput):
+                            if sess is not None and out.telemetry is not None:
+                                _TelemetryAggregator(sess).absorb(out.telemetry)
+                            out = out.value
                         results[i] = out
                         _task_recovered(i, f"retry{attempt}" if attempt else "pool")
         finally:

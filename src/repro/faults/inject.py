@@ -13,13 +13,16 @@ once when its recovery resolves (``recovered`` or ``unrecovered``), so
 the ledger can always answer "did every injected fault get handled?".
 When an observability session is also open, each record additionally
 ticks a ``fault.injected`` / ``fault.recovered`` / ``fault.unrecovered``
-counter labeled by fault kind — the PR-1 telemetry layer is how chaos
-results reach reports and CI gates.
+counter labeled by fault kind, and each recovery observes the elapsed
+time since its (oldest outstanding) injection into a
+``fault.recovery_ms{kind=...}`` histogram — so chaos campaigns report
+per-injection recovery latency percentiles, not just counts.
 """
 
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -51,13 +54,28 @@ class Injection:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self.records: list[FaultRecord] = []
+        # per-kind FIFO of injection timestamps: resolution pops the
+        # oldest outstanding injection of its kind, which is the right
+        # pairing because targets are free-form strings that differ
+        # between the inject and resolve sides
+        self._pending_ns: dict[str, list[int]] = {}
 
     # ------------------------------------------------------------------ #
     # recording
 
     def _note(self, action: str, kind: str, target: str) -> None:
         self.records.append(FaultRecord(action, kind, target))
+        now = time.perf_counter_ns()
         sess = _obs_active()
+        if action == "injected":
+            self._pending_ns.setdefault(kind, []).append(now)
+        else:
+            queue = self._pending_ns.get(kind)
+            injected_ns = queue.pop(0) if queue else None
+            if sess is not None and action == "recovered" and injected_ns is not None:
+                sess.metrics.histogram("fault.recovery_ms", kind=kind).observe(
+                    (now - injected_ns) / 1e6
+                )
         if sess is not None:
             sess.metrics.counter(
                 f"fault.{action}", better=_BETTER[action], kind=kind

@@ -34,20 +34,33 @@ import contextlib
 import pathlib
 from typing import Any, Iterator
 
+from repro.obs.distributed import (
+    ChildTelemetry,
+    MetricsSnapshot,
+    SnapshotCursor,
+    SpanBatch,
+    TelemetryAggregator,
+)
 from repro.obs.export import chrome_trace, metrics_dump, write_json
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "ChildTelemetry",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsSnapshot",
+    "SnapshotCursor",
     "Span",
+    "SpanBatch",
+    "TelemetryAggregator",
     "Tracer",
     "Session",
     "session",
     "active",
+    "activate",
     "enabled",
 ]
 
@@ -110,6 +123,24 @@ def active() -> Session | None:
 
 def enabled() -> bool:
     return _ACTIVE is not None
+
+
+def activate(sess: Session | None) -> Session | None:
+    """Install ``sess`` as the active session; returns the previous one.
+
+    The non-context-manager install for long-lived owners (the serve
+    front end installs its own session for the server's lifetime so
+    ``/metrics`` works without the caller opening one).  The caller is
+    responsible for restoring the returned previous session — typically::
+
+        prev = obs.activate(my_session)
+        try: ...
+        finally: obs.activate(prev)
+    """
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = sess
+    return prev
 
 
 @contextlib.contextmanager

@@ -1,0 +1,289 @@
+"""Cross-process telemetry: snapshots children ship, merging parents do.
+
+Since the serving stack went multi-process (shard workers, search pools,
+chaos campaigns), counters incremented inside a child process died with
+that process.  This module closes the gap with three pieces, all
+zero-dependency and JSON-able so payloads ride any transport the repo
+already uses (pickled worker queues, HTTP bodies, files):
+
+:class:`MetricsSnapshot`
+    A serializable capture of a child's :class:`~repro.obs.metrics.
+    MetricsRegistry`.  With a :class:`SnapshotCursor` it carries only
+    *deltas* since the previous capture — counters ship
+    cumulative-minus-published, histograms ship per-bucket count deltas
+    plus cumulative min/max (idempotent under re-merge), gauges are
+    last-write-wins — so a child can flush on every response without
+    double-counting.
+:class:`SpanBatch`
+    The spans a child completed since the last capture, serialized via
+    ``Span.as_dict``.  ``start_ns`` values are absolute
+    ``perf_counter_ns`` readings; on Linux that clock is CLOCK_MONOTONIC
+    (system-wide), so the parent can place child spans on its own
+    timeline without clock negotiation.
+:class:`TelemetryAggregator`
+    Parent-side sink: merges snapshots into the parent registry with a
+    ``process`` label added to every series, and adopts span batches via
+    :meth:`~repro.obs.trace.Tracer.record_foreign` so the session's
+    Chrome trace renders each child as its own process lane.
+
+:class:`ChildTelemetry` bundles a session + cursor into the one-call
+``flush()`` children use; :func:`telemetry_payload` / :meth:`
+TelemetryAggregator.absorb` define the wire document both ends agree on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import Histogram, MetricsRegistry, parse_series_key
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "ChildTelemetry",
+    "MetricsSnapshot",
+    "SnapshotCursor",
+    "SpanBatch",
+    "TelemetryAggregator",
+]
+
+
+class SnapshotCursor:
+    """What one process has already published, so captures ship deltas.
+
+    Tracks per-series published counter values, published histogram
+    states, and the index of the last shipped span.  One cursor per
+    (registry, consumer) pair; feeding it to :meth:`MetricsSnapshot.
+    capture` / :meth:`SpanBatch.capture` advances it.
+    """
+
+    __slots__ = ("counters", "hists", "span_index")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.hists: dict[str, dict[str, Any]] = {}
+        self.span_index: int = 0
+
+
+class MetricsSnapshot:
+    """A serializable (delta) capture of one registry.
+
+    ``counters`` maps flat series keys to deltas (or cumulative totals
+    when captured without a cursor), ``gauges`` to current values,
+    ``histograms`` to mergeable :meth:`~repro.obs.metrics.Histogram.
+    state` documents, and ``meta`` carries per-name kind/direction so
+    the merging side registers series with the right goodness direction.
+    """
+
+    __slots__ = ("process", "counters", "gauges", "histograms", "meta")
+
+    def __init__(
+        self,
+        process: str | None = None,
+        counters: dict[str, float] | None = None,
+        gauges: dict[str, float] | None = None,
+        histograms: dict[str, dict[str, Any]] | None = None,
+        meta: dict[str, dict[str, str]] | None = None,
+    ) -> None:
+        self.process = process
+        self.counters = counters or {}
+        self.gauges = gauges or {}
+        self.histograms = histograms or {}
+        self.meta = meta or {}
+
+    @classmethod
+    def capture(
+        cls,
+        registry: MetricsRegistry,
+        cursor: SnapshotCursor | None = None,
+        process: str | None = None,
+    ) -> "MetricsSnapshot":
+        """Capture the registry; with a cursor, only what changed since."""
+        snap = cls(process=process)
+        for s in registry.series():
+            key = _series_key_of(s)
+            if isinstance(s, Histogram):
+                state = s.state()
+                if cursor is not None:
+                    published = cursor.hists.get(key)
+                    if published is not None:
+                        state = _hist_delta(state, published)
+                    cursor.hists[key] = s.state()
+                if state["count"]:
+                    snap.histograms[key] = state
+            elif type(s).__name__ == "Gauge":
+                snap.gauges[key] = s.value
+            else:  # Counter
+                delta = s.value
+                if cursor is not None:
+                    delta -= cursor.counters.get(key, 0.0)
+                    cursor.counters[key] = s.value
+                if delta:
+                    snap.counters[key] = delta
+        full = registry.snapshot()["meta"]
+        names = {parse_series_key(k)[0] for k in snap.counters}
+        names |= {parse_series_key(k)[0] for k in snap.gauges}
+        names |= {parse_series_key(k)[0] for k in snap.histograms}
+        snap.meta = {n: full[n] for n in sorted(names) if n in full}
+        return snap
+
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def to_jsonable(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": self.histograms,
+            "meta": self.meta,
+        }
+        if self.process is not None:
+            doc["process"] = self.process
+        return doc
+
+    @classmethod
+    def from_jsonable(cls, doc: dict[str, Any]) -> "MetricsSnapshot":
+        return cls(
+            process=doc.get("process"),
+            counters=dict(doc.get("counters", {})),
+            gauges=dict(doc.get("gauges", {})),
+            histograms=dict(doc.get("histograms", {})),
+            meta=dict(doc.get("meta", {})),
+        )
+
+
+def _series_key_of(s: Any) -> str:
+    from repro.obs.metrics import series_key
+
+    return series_key(s.name, s.labels)
+
+
+def _hist_delta(cur: dict[str, Any], published: dict[str, Any]) -> dict[str, Any]:
+    """Bucket/count/sum deltas; min/max stay cumulative (merge is idempotent)."""
+    pub_buckets = published.get("buckets", {})
+    buckets = {
+        b: n - pub_buckets.get(b, 0)
+        for b, n in cur.get("buckets", {}).items()
+        if n - pub_buckets.get(b, 0)
+    }
+    return {
+        "count": cur["count"] - published["count"],
+        "sum": cur["sum"] - published["sum"],
+        "min": cur.get("min"),
+        "max": cur.get("max"),
+        "buckets": buckets,
+    }
+
+
+class SpanBatch:
+    """Spans one process completed since the cursor's last capture."""
+
+    __slots__ = ("process", "spans")
+
+    def __init__(self, process: str, spans: list[dict[str, Any]]) -> None:
+        self.process = process
+        self.spans = spans
+
+    @classmethod
+    def capture(
+        cls,
+        tracer: Tracer,
+        cursor: SnapshotCursor | None = None,
+        process: str = "child",
+    ) -> "SpanBatch":
+        start = cursor.span_index if cursor is not None else 0
+        spans = [s.as_dict() for s in tracer.spans[start:]]
+        if cursor is not None:
+            cursor.span_index = start + len(spans)
+        return cls(process=process, spans=spans)
+
+    def empty(self) -> bool:
+        return not self.spans
+
+    def to_jsonable(self) -> list[dict[str, Any]]:
+        return self.spans
+
+
+class ChildTelemetry:
+    """Child-process side: one session + one cursor + one-call flush.
+
+    ``flush()`` returns the wire payload (or ``None`` when nothing
+    happened since the last flush) that :meth:`TelemetryAggregator.
+    absorb` consumes on the parent side.  Payloads are plain dicts of
+    JSON-able values so they pickle over worker queues and serialize
+    over HTTP alike.
+    """
+
+    __slots__ = ("session", "process", "cursor")
+
+    def __init__(self, session: Any, process: str) -> None:
+        self.session = session
+        self.process = process
+        self.cursor = SnapshotCursor()
+
+    def flush(self) -> dict[str, Any] | None:
+        snap = MetricsSnapshot.capture(
+            self.session.metrics, self.cursor, process=self.process
+        )
+        batch = SpanBatch.capture(
+            self.session.tracer, self.cursor, process=self.process
+        )
+        if snap.empty() and batch.empty():
+            return None
+        payload: dict[str, Any] = {"process": self.process}
+        if not snap.empty():
+            payload["metrics"] = snap.to_jsonable()
+        if not batch.empty():
+            payload["spans"] = batch.to_jsonable()
+        return payload
+
+
+class TelemetryAggregator:
+    """Parent-side sink merging child payloads into one session.
+
+    Counters add their deltas, gauges last-write-win, histograms merge
+    bucket states exactly; every merged series gains a ``process`` label
+    so per-process breakdowns survive aggregation.  Spans are adopted
+    onto the parent tracer's ``foreign`` map, which the Chrome exporter
+    renders as separate process lanes in the *same* trace file.
+    """
+
+    __slots__ = ("session",)
+
+    def __init__(self, session: Any) -> None:
+        self.session = session
+
+    def absorb(self, payload: dict[str, Any] | None) -> None:
+        """Consume one :meth:`ChildTelemetry.flush` payload (None is a no-op)."""
+        if not payload:
+            return
+        process = payload.get("process") or "child"
+        if "metrics" in payload:
+            self.merge_metrics(MetricsSnapshot.from_jsonable(payload["metrics"]))
+        if "spans" in payload:
+            self.session.tracer.record_foreign(process, list(payload["spans"]))
+
+    def merge_metrics(self, snap: MetricsSnapshot) -> None:
+        reg: MetricsRegistry = self.session.metrics
+        for key, delta in snap.counters.items():
+            name, labels = parse_series_key(key)
+            labels = self._label(labels, snap.process)
+            better = snap.meta.get(name, {}).get("better", "lower")
+            if delta > 0:
+                reg.counter(name, better=better, **labels).add(delta)
+            else:
+                reg.counter(name, better=better, **labels)  # register at 0
+        for key, value in snap.gauges.items():
+            name, labels = parse_series_key(key)
+            labels = self._label(labels, snap.process)
+            better = snap.meta.get(name, {}).get("better", "higher")
+            reg.gauge(name, better=better, **labels).set(value)
+        for key, state in snap.histograms.items():
+            name, labels = parse_series_key(key)
+            labels = self._label(labels, snap.process)
+            reg.histogram(name, **labels).merge_state(state)
+
+    @staticmethod
+    def _label(labels: dict[str, str], process: str | None) -> dict[str, str]:
+        if process is not None and "process" not in labels:
+            labels = {**labels, "process": process}
+        return labels

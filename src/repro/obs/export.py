@@ -87,6 +87,42 @@ def chrome_trace(tracer: Tracer, label: str = "repro", pid: int = 1) -> dict[str
                 "args": ev["args"],
             }
         )
+    # spans adopted from other processes: one Chrome pid lane per process.
+    # Child start_ns values are absolute CLOCK_MONOTONIC readings, so they
+    # align with the parent epoch; clamp the rare pre-epoch span to 0.
+    for extra_pid, (process, spans) in enumerate(
+        sorted(tracer.foreign.items()), start=pid + 1
+    ):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": extra_pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": f"repro:{process}"},
+            }
+        )
+        sub_tids: dict[Any, int] = {}
+        for d in sorted(spans, key=lambda d: d.get("start_ns", 0)):
+            raw_tid = d.get("tid", 0)
+            if raw_tid not in sub_tids:
+                sub_tids[raw_tid] = len(sub_tids) + 1
+            args = dict(d.get("args", {}))
+            if d.get("cycles") is not None:
+                args["cycles"] = d["cycles"]
+            events.append(
+                {
+                    "name": d["name"],
+                    "cat": d.get("cat", "repro"),
+                    "ph": "X",
+                    "ts": max((d.get("start_ns", epoch) - epoch) / 1000.0, 0.0),
+                    "dur": max(d.get("dur_ns", 0), 1) / 1000.0,
+                    "pid": extra_pid,
+                    "tid": sub_tids[raw_tid],
+                    "args": args,
+                }
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -13,7 +13,10 @@ labeled series of three kinds:
     Last-write-wins instantaneous values (utilization, Pareto-front size).
 ``Histogram``
     Streaming count/sum/min/max summaries of a distribution (queue depth,
-    per-candidate figure of merit) without storing samples.
+    per-candidate figure of merit) without storing samples, plus fixed
+    log2-spaced bucket counts, so percentiles (p50/p95/p99) are
+    computable and two histograms — possibly from different processes —
+    merge exactly (:meth:`Histogram.merge_state`).
 
 Zero dependencies, no I/O: export lives in :mod:`repro.obs.export`.
 Series are cached by ``(name, labels)`` so hot paths pay one dict lookup
@@ -23,9 +26,17 @@ per touch; instrumented code should additionally guard on
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "series_key"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "series_key",
+    "parse_series_key",
+]
 
 
 def series_key(name: str, labels: dict[str, Any]) -> str:
@@ -34,6 +45,25 @@ def series_key(name: str, labels: dict[str, Any]) -> str:
         return name
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`series_key`: ``name{k=v,...}`` -> (name, labels).
+
+    Label values come back as strings (the flat key stringifies them);
+    that is lossless for the merge use case — re-serializing with
+    :func:`series_key` reproduces the identical key.
+    """
+    if "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner.rstrip("}").split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return name, labels
 
 
 class Counter:
@@ -69,10 +99,32 @@ class Gauge:
         self.value = float(v)
 
 
-class Histogram:
-    """A streaming summary (count/sum/min/max) of observed values."""
+#: Bucket index bounds for the log2 histogram buckets: values outside
+#: [2**_BUCKET_LO, 2**_BUCKET_HI] clamp into the edge buckets.
+_BUCKET_LO = -40
+_BUCKET_HI = 89
 
-    __slots__ = ("name", "labels", "count", "sum", "min", "max")
+
+def _bucket_of(v: float) -> int:
+    """Log2 bucket index of a value: the bucket holds values <= 2**index.
+
+    Non-positive values land in the dedicated floor bucket (below
+    ``_BUCKET_LO``), so the scheme covers queue depths of zero as well as
+    sub-nanosecond and multi-terasample magnitudes.
+    """
+    if v <= 0 or v != v:  # non-positive and NaN both pin to the floor
+        return _BUCKET_LO - 1
+    return min(max(math.ceil(math.log2(v)), _BUCKET_LO), _BUCKET_HI)
+
+
+class Histogram:
+    """A streaming summary (count/sum/min/max + log2 buckets) of a
+    distribution.  Buckets make percentiles computable without storing
+    samples and make two histograms mergeable exactly — the property the
+    cross-process aggregation in :mod:`repro.obs.distributed` relies on.
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "buckets")
 
     def __init__(self, name: str, labels: dict[str, Any]) -> None:
         self.name = name
@@ -81,6 +133,7 @@ class Histogram:
         self.sum: float = 0.0
         self.min: float = float("inf")
         self.max: float = float("-inf")
+        self.buckets: dict[int, int] = {}
 
     def observe(self, v: float) -> None:
         v = float(v)
@@ -90,10 +143,32 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        b = _bucket_of(v)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 1]) from the log2 buckets.
+
+        Returns the upper bound of the bucket where the cumulative count
+        crosses ``q * count``, clamped into [min, max] — exact to within
+        one power of two, which is plenty for latency reporting.
+        """
+        if not self.count:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile wants q in [0, 1], got {q}")
+        threshold = q * self.count
+        seen = 0
+        for b in sorted(self.buckets):
+            seen += self.buckets[b]
+            if seen >= threshold:
+                upper = 0.0 if b < _BUCKET_LO else 2.0 ** b
+                return min(max(upper, self.min), self.max)
+        return self.max  # pragma: no cover - cumulative always reaches count
 
     def summary(self) -> dict[str, float]:
         if not self.count:
@@ -104,7 +179,39 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
         }
+
+    # -- cross-process merge state -------------------------------------- #
+
+    def state(self) -> dict[str, Any]:
+        """The JSON-able mergeable state (what snapshots ship)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(b): n for b, n in self.buckets.items()},
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Count/sum/buckets add; min/max combine — so merging a sequence of
+        cumulative snapshots of the same source is idempotent for min/max
+        and additive for the delta-shipped counts.
+        """
+        self.count += int(state["count"])
+        self.sum += float(state["sum"])
+        if state.get("min") is not None:
+            self.min = min(self.min, float(state["min"]))
+        if state.get("max") is not None:
+            self.max = max(self.max, float(state["max"]))
+        for b, n in state.get("buckets", {}).items():
+            b = int(b)
+            self.buckets[b] = self.buckets.get(b, 0) + int(n)
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

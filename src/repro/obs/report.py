@@ -14,7 +14,15 @@ each metric's declared goodness direction (``meta.better``) to tell a
 regression from an improvement, and **exits non-zero when any series
 worsens beyond its tolerance** — so a CI job can gate on it.  Tolerances
 are relative; ``--tol NAME=FRAC`` overrides the global ``--tolerance`` for
-one metric name (labels excluded).
+one metric name (labels excluded).  Series present in only one dump are
+reported as ``base-only`` / ``new-only`` and never gated — appearing or
+vanishing series signal an instrumentation-shape change, not a metric
+movement.
+
+``summary`` also understands aggregated multi-process dumps (the
+:class:`~repro.obs.distributed.TelemetryAggregator` output, where child
+series carry a ``process`` label): it appends a per-process breakdown so
+one glance shows which shard or pool worker contributed what.
 
 ``--self-test`` exercises the whole layer (registry, tracer, exporters,
 validators, diff) with no filesystem access and reports pass/fail — a
@@ -34,7 +42,7 @@ from repro.obs.export import (
     validate_metrics_dump,
 )
 
-__all__ = ["main", "diff_dumps", "self_test", "DiffEntry"]
+__all__ = ["main", "diff_dumps", "self_test", "DiffEntry", "process_breakdown"]
 
 
 def _load(path: str) -> dict[str, Any]:
@@ -56,12 +64,26 @@ def _base_name(key: str) -> str:
 
 
 class DiffEntry:
-    """One compared series."""
+    """One compared series.
+
+    ``base``/``new`` are None when the series exists in only one dump.
+    One-sided series are reported (``base-only`` / ``new-only``) but never
+    gated: a series appearing or vanishing between runs means the workload
+    or its instrumentation changed shape, not that a shared metric moved.
+    Treating absence as zero (the old behavior) flagged every freshly
+    instrumented counter as an infinite regression.
+    """
 
     __slots__ = ("key", "kind", "base", "new", "better", "tolerance")
 
     def __init__(
-        self, key: str, kind: str, base: float, new: float, better: str, tolerance: float
+        self,
+        key: str,
+        kind: str,
+        base: float | None,
+        new: float | None,
+        better: str,
+        tolerance: float,
     ) -> None:
         self.key = key
         self.kind = kind
@@ -71,22 +93,38 @@ class DiffEntry:
         self.tolerance = tolerance
 
     @property
+    def one_sided(self) -> bool:
+        return self.base is None or self.new is None
+
+    @property
     def delta(self) -> float:
+        if self.one_sided:
+            return 0.0
         return self.new - self.base
 
     @property
     def worsening(self) -> float:
         """Relative change in the *bad* direction (negative = improved)."""
+        if self.one_sided:
+            return 0.0
         worse = self.delta if self.better == "lower" else -self.delta
         return worse / max(abs(self.base), 1.0)
 
     @property
     def regressed(self) -> bool:
-        return self.worsening > self.tolerance
+        return not self.one_sided and self.worsening > self.tolerance
 
     @property
     def improved(self) -> bool:
-        return self.worsening < -1e-12
+        return not self.one_sided and self.worsening < -1e-12
+
+    @property
+    def status(self) -> str:
+        if self.one_sided:
+            return "base-only" if self.new is None else "new-only"
+        if self.regressed:
+            return "REGRESSED"
+        return "improved" if self.improved else "ok"
 
 
 def diff_dumps(
@@ -111,12 +149,14 @@ def diff_dumps(
             m = meta.get(name, {})
             better = m.get("better", "lower")
             tol = per_metric.get(name, tolerance)
+            b_val = b_map.get(key)
+            n_val = n_map.get(key)
             entries.append(
                 DiffEntry(
                     key,
                     kind,
-                    float(b_map.get(key, 0.0)),
-                    float(n_map.get(key, 0.0)),
+                    None if b_val is None else float(b_val),
+                    None if n_val is None else float(n_val),
                     better,
                     tol,
                 )
@@ -124,7 +164,9 @@ def diff_dumps(
     return entries
 
 
-def _fmt(v: float) -> str:
+def _fmt(v: float | None) -> str:
+    if v is None:
+        return "-"
     if v == int(v) and abs(v) < 1e15:
         return f"{int(v):,}"
     return f"{v:.6g}"
@@ -133,12 +175,11 @@ def _fmt(v: float) -> str:
 def _print_entries(entries: list[DiffEntry], only_changed: bool) -> None:
     rows = []
     for e in entries:
-        if only_changed and e.delta == 0:
+        if only_changed and e.delta == 0 and not e.one_sided:
             continue
-        status = "REGRESSED" if e.regressed else ("improved" if e.improved else "ok")
-        rows.append(
-            (e.key, _fmt(e.base), _fmt(e.new), _fmt(e.delta), f"{e.worsening:+.1%}", status)
-        )
+        worsening = "-" if e.one_sided else f"{e.worsening:+.1%}"
+        delta = "-" if e.one_sided else _fmt(e.delta)
+        rows.append((e.key, _fmt(e.base), _fmt(e.new), delta, worsening, e.status))
     if not rows:
         print("no changed series")
         return
@@ -193,6 +234,28 @@ def derived_serve_rates(counters: dict[str, float]) -> dict[str, float]:
     return out
 
 
+def process_breakdown(doc: dict[str, Any]) -> dict[str, dict[str, int]]:
+    """Distinct ``process`` label values with per-section series counts.
+
+    ``{process: {counters: n, gauges: n, histograms: n}}`` — empty when
+    the dump is single-process (no series carries a ``process`` label).
+    """
+    from repro.obs.metrics import parse_series_key
+
+    out: dict[str, dict[str, int]] = {}
+    for section in ("counters", "gauges", "histograms"):
+        for key in doc.get(section, {}):
+            _, labels = parse_series_key(key)
+            proc = labels.get("process")
+            if proc is None:
+                continue
+            row = out.setdefault(
+                proc, {"counters": 0, "gauges": 0, "histograms": 0}
+            )
+            row[section] += 1
+    return out
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     doc = _load(args.file)
     print(f"metrics dump: {args.file}  (label={doc.get('label', '?')})")
@@ -228,6 +291,16 @@ def cmd_summary(args: argparse.Namespace) -> int:
             print(
                 f"  {key.ljust(width)}  n={h['count']}  mean={h.get('mean', 0):.4g}"
                 f"  min={h.get('min', 0):.4g}  max={h.get('max', 0):.4g}"
+            )
+    procs = process_breakdown(doc)
+    if procs:
+        print("\nper-process series (aggregated multi-process dump):")
+        width = max(len(k) for k in procs)
+        for proc in sorted(procs):
+            row = procs[proc]
+            print(
+                f"  {proc.ljust(width)}  counters={row['counters']}"
+                f"  gauges={row['gauges']}  histograms={row['histograms']}"
             )
     return 0
 

@@ -101,6 +101,9 @@ class Tracer:
         self.epoch_ns = time.perf_counter_ns()
         self.spans: list[Span] = []
         self.instants: list[dict[str, Any]] = []
+        #: spans adopted from other processes, keyed by process label
+        #: (see :meth:`record_foreign`); exported as separate Chrome pids.
+        self.foreign: dict[str, list[dict[str, Any]]] = {}
         self._stacks: dict[int, list[Span]] = {}
         self._lock = threading.Lock()
 
@@ -171,6 +174,19 @@ class Tracer:
             self.spans.append(s)
         return s
 
+    def record_foreign(self, process: str, spans: list[dict[str, Any]]) -> None:
+        """Adopt already-serialized spans from another process.
+
+        ``spans`` is a list of :meth:`Span.as_dict` documents whose
+        ``start_ns`` values are absolute ``perf_counter_ns`` readings in
+        the *child* process.  On Linux ``perf_counter_ns`` is
+        CLOCK_MONOTONIC, which is system-wide, so child timestamps align
+        with this tracer's epoch directly — the exporter renders each
+        foreign process as its own Chrome pid lane.
+        """
+        with self._lock:
+            self.foreign.setdefault(process, []).extend(spans)
+
     def instant(self, name: str, cat: str = "repro", **args: Any) -> None:
         """A zero-duration marker event."""
         with self._lock:
@@ -188,7 +204,11 @@ class Tracer:
 
     @property
     def n_events(self) -> int:
-        return len(self.spans) + len(self.instants)
+        return (
+            len(self.spans)
+            + len(self.instants)
+            + sum(len(v) for v in self.foreign.values())
+        )
 
     def total_cycles(self, name: str | None = None) -> int:
         """Sum of model-time cycles over (optionally name-filtered) spans."""

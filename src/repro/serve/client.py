@@ -64,6 +64,7 @@ class _ClientBase:
         mapper: str = "default",
         fom: dict[str, float] | None = None,
         deadline_s: float | None = None,
+        trace_id: str = "",
         **params: Any,
     ) -> dict[str, Any]:
         payload = {
@@ -73,7 +74,9 @@ class _ClientBase:
         }
         if fom:
             payload["fom"] = fom
-        return self.call(Request("evaluate", payload, deadline_s=deadline_s))
+        return self.call(
+            Request("evaluate", payload, deadline_s=deadline_s, trace_id=trace_id)
+        )
 
     def search(
         self,
@@ -84,6 +87,7 @@ class _ClientBase:
         seed: int = 0,
         steps: int = 2000,
         deadline_s: float | None = None,
+        trace_id: str = "",
         **params: Any,
     ) -> dict[str, Any]:
         payload = {
@@ -95,19 +99,24 @@ class _ClientBase:
         }
         if fom:
             payload["fom"] = fom
-        return self.call(Request("search", payload, deadline_s=deadline_s))
+        return self.call(
+            Request("search", payload, deadline_s=deadline_s, trace_id=trace_id)
+        )
 
     def simulate(
         self,
         levels: Sequence[Sequence[Any]],
         trace: Sequence[Sequence[Any]],
         deadline_s: float | None = None,
+        trace_id: str = "",
     ) -> dict[str, Any]:
         payload = {
             "levels": [list(l) for l in levels],
             "trace": [list(t) for t in trace],
         }
-        return self.call(Request("simulate", payload, deadline_s=deadline_s))
+        return self.call(
+            Request("simulate", payload, deadline_s=deadline_s, trace_id=trace_id)
+        )
 
     def score(
         self,
@@ -116,6 +125,7 @@ class _ClientBase:
         placement: Sequence[Sequence[int]],
         fom: dict[str, float] | None = None,
         deadline_s: float | None = None,
+        trace_id: str = "",
         **params: Any,
     ) -> dict[str, Any]:
         payload = {
@@ -125,7 +135,9 @@ class _ClientBase:
         }
         if fom:
             payload["fom"] = fom
-        return self.call(Request("score", payload, deadline_s=deadline_s))
+        return self.call(
+            Request("score", payload, deadline_s=deadline_s, trace_id=trace_id)
+        )
 
 
 class LocalClient(_ClientBase):
@@ -183,5 +195,13 @@ class HttpClient(_ClientBase):
     def healthz(self) -> dict[str, Any]:
         with urllib.request.urlopen(
             f"{self.base_url}/healthz", timeout=self.timeout_s
+        ) as resp:
+            return json.loads(resp.read())
+
+    def metrics(self) -> dict[str, Any]:
+        """Fetch the live ``/metrics`` exposition (repro-obs-metrics/1
+        dump with cross-process series plus the latency_ms block)."""
+        with urllib.request.urlopen(
+            f"{self.base_url}/metrics", timeout=self.timeout_s
         ) as resp:
             return json.loads(resp.read())

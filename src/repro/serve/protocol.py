@@ -92,13 +92,18 @@ class Request:
 
     ``id`` is assigned by the server when empty; ``deadline_s`` is the
     per-request service deadline measured from admission (``None`` means
-    the server default).
+    the server default).  ``trace_id`` is the request-scoped trace
+    correlation id: clients may supply their own, the server generates
+    one at admission otherwise, and every span the request produces — in
+    the server process and inside shard workers — carries it, so one
+    request yields one coherent cross-process trace.
     """
 
     kind: str
     payload: dict[str, Any] = field(default_factory=dict)
     id: str = ""
     deadline_s: float | None = None
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -114,13 +119,15 @@ class Request:
             doc["id"] = self.id
         if self.deadline_s is not None:
             doc["deadline_s"] = self.deadline_s
+        if self.trace_id:
+            doc["trace_id"] = self.trace_id
         return doc
 
     @staticmethod
     def from_jsonable(doc: Any) -> "Request":
         if not isinstance(doc, dict) or "kind" not in doc:
             raise ProtocolError(f"request must be {{kind, payload, ...}}: {doc!r}")
-        extra = set(doc) - {"kind", "payload", "id", "deadline_s"}
+        extra = set(doc) - {"kind", "payload", "id", "deadline_s", "trace_id"}
         if extra:
             raise ProtocolError(f"unknown request fields: {sorted(extra)}")
         deadline = doc.get("deadline_s")
@@ -129,6 +136,7 @@ class Request:
             payload=doc.get("payload", {}),
             id=str(doc.get("id", "")),
             deadline_s=float(deadline) if deadline is not None else None,
+            trace_id=str(doc.get("trace_id", "")),
         )
 
 
@@ -141,6 +149,8 @@ class Response:
     routing decision (``None`` for requests that never reached a shard,
     ``shard == -1`` for the in-process fallback); ``wait_ms`` /
     ``service_ms`` split the latency into queueing and execution.
+    ``trace_id`` echoes the request's trace correlation id so a client
+    can find its spans in the server's exported Chrome trace.
     """
 
     id: str
@@ -152,6 +162,7 @@ class Response:
     batch: int | None = None
     wait_ms: float = 0.0
     service_ms: float = 0.0
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -174,6 +185,7 @@ class Response:
             "batch": self.batch,
             "wait_ms": self.wait_ms,
             "service_ms": self.service_ms,
+            "trace_id": self.trace_id,
         }
 
     @staticmethod
@@ -190,6 +202,7 @@ class Response:
             batch=doc.get("batch"),
             wait_ms=float(doc.get("wait_ms", 0.0)),
             service_ms=float(doc.get("service_ms", 0.0)),
+            trace_id=str(doc.get("trace_id", "")),
         )
 
 

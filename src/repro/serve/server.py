@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import threading
 import time
@@ -120,6 +121,8 @@ class EvaluationServer:
         self._by_batch: dict[int, Batch] = {}
         self.served = 0
         self.rejected = 0
+        self._own_session: obs.Session | None = None
+        self._prev_session: obs.Session | None = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -127,6 +130,12 @@ class EvaluationServer:
     def start(self) -> "EvaluationServer":
         if self._running:
             return self
+        # /metrics must answer even when the caller never opened an obs
+        # session: install our own for the server's lifetime.  A session
+        # the caller already opened wins (and collects our telemetry).
+        if _obs_active() is None:
+            self._own_session = obs.Session(label="serve")
+            self._prev_session = obs.activate(self._own_session)
         self.pool = ShardPool(
             self.config.n_shards,
             cache_entries=self.config.shard_cache_entries,
@@ -165,6 +174,10 @@ class EvaluationServer:
         if self.pool is not None:
             self.pool.stop()
             self.pool = None
+        if self._own_session is not None:
+            obs.activate(self._prev_session)
+            self._own_session = None
+            self._prev_session = None
 
     def __enter__(self) -> "EvaluationServer":
         return self.start()
@@ -185,11 +198,16 @@ class EvaluationServer:
         now = time.perf_counter_ns()
         with self._lock:
             self._seq += 1
-            if not request.id:
-                request = Request(
-                    request.kind, request.payload, f"r{self._seq}",
-                    request.deadline_s,
-                )
+            seq = self._seq
+        if not request.id or not request.trace_id:
+            # trace ids are pid-qualified so traces merged across server
+            # runs (or processes) never collide
+            request = Request(
+                request.kind, request.payload,
+                request.id or f"r{seq}",
+                request.deadline_s,
+                request.trace_id or f"t{os.getpid():x}-{seq:x}",
+            )
         deadline_s = (
             request.deadline_s
             if request.deadline_s is not None
@@ -307,11 +325,18 @@ class EvaluationServer:
         #    complete in-process right here
         for done in pool.check():
             self._fulfill_batch(done)
+        # 5. sample load signals every tick: gauges for "now", plus a
+        #    histogram of queue depth so /metrics can report p95 occupancy
+        #    (a gauge alone is last-write-wins and usually reads 0 at rest)
         sess = _obs_active()
         if sess is not None:
-            sess.metrics.gauge("serve.queue_depth", better="lower").set(
-                len(self.queue)
-            )
+            depth = len(self.queue)
+            sess.metrics.gauge("serve.queue_depth", better="lower").set(depth)
+            sess.metrics.histogram("serve.queue_depth_sampled").observe(depth)
+            for i, n in enumerate(pool.inflight_by_shard()):
+                sess.metrics.gauge(
+                    "serve.shard_inflight", better="lower", shard=i
+                ).set(n)
 
     # ------------------------------------------------------------------ #
     # fulfillment
@@ -349,6 +374,7 @@ class EvaluationServer:
             batch=batch,
             wait_ms=wait_ms,
             service_ms=service_ms,
+            trace_id=ticket.request.trace_id,
         )
         ticket.fulfill(response)
         if code == OK:
@@ -372,12 +398,61 @@ class EvaluationServer:
                 kind=ticket.request.kind,
                 code=code,
                 shard=shard,
+                trace_id=ticket.request.trace_id or None,
             )
 
 
 # ---------------------------------------------------------------------- #
 # the HTTP front (stdlib only, threads; each handler thread blocks on its
 # ticket while the tick thread does the actual serving)
+
+
+def _metrics_doc(server: EvaluationServer) -> dict[str, Any]:
+    """The ``/metrics`` JSON exposition: the full repro-obs-metrics/1 dump
+    of the active session (counters carry ``process`` labels for series
+    merged from shard workers) plus a ``latency_ms`` convenience block
+    with p50/p95/p99 pulled from the serve histograms."""
+    sess = _obs_active()
+    if sess is None:  # pragma: no cover - the server installs its own
+        return {"enabled": False, "detail": "no obs session active"}
+    doc = sess.metrics_dump(extra={"stats": server.stats()})
+    doc["enabled"] = True
+    latency: dict[str, dict[str, float]] = {}
+    for short, key in (
+        ("wait", "serve.wait_ms"),
+        ("service", "serve.service_ms"),
+        ("queue_depth", "serve.queue_depth_sampled"),
+    ):
+        h = doc["histograms"].get(key)
+        if h and h.get("count"):
+            latency[short] = {
+                "p50": h["p50"], "p95": h["p95"], "p99": h["p99"],
+                "mean": h["mean"], "max": h["max"], "count": h["count"],
+            }
+    doc["latency_ms"] = latency
+    return doc
+
+
+def _healthz_doc(server: EvaluationServer) -> dict[str, Any]:
+    """The ``/healthz`` JSON: overall ok, per-shard liveness, and the
+    shared disk-store status (enabled/writable/entry counts)."""
+    pool = server.pool
+    shards = pool.liveness() if pool is not None else []
+    disk: dict[str, Any] = {"enabled": server.config.disk_cache}
+    if server.config.disk_cache:
+        from repro.core.memo import DiskMemoStore
+
+        stores = {ns: DiskMemoStore(ns) for ns in ("serve-search", "serve-memo")}
+        disk["writable"] = all(s.enabled for s in stores.values())
+        disk["root"] = str(next(iter(stores.values())).root)
+        disk["entries"] = {ns: len(s) for ns, s in stores.items()}
+    return {
+        "ok": bool(server.stats()["running"]),
+        **server.stats(),
+        "shards": shards,
+        "shards_alive": sum(1 for s in shards if s["alive"]),
+        "disk_store": disk,
+    }
 
 
 def _make_handler(server: EvaluationServer):
@@ -397,7 +472,9 @@ def _make_handler(server: EvaluationServer):
 
         def do_GET(self) -> None:
             if self.path == "/healthz":
-                self._send(200, {"ok": True, **server.stats()})
+                self._send(200, _healthz_doc(server))
+            elif self.path == "/metrics":
+                self._send(200, _metrics_doc(server))
             elif self.path == "/stats":
                 self._send(200, server.stats())
             else:

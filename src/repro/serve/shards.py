@@ -43,6 +43,7 @@ from repro.core.memo import MemoCache
 from repro.core.search import SearchEngine
 from repro.faults.inject import active as _faults_active
 from repro.obs import active as _obs_active
+from repro.obs.distributed import TelemetryAggregator
 from repro.serve.protocol import (
     INTERNAL_ERROR,
     INVALID_REQUEST,
@@ -128,6 +129,11 @@ class _Shard:
         self.proc = None
 
 
+#: ``batch_id`` of the final telemetry-only message a shard emits on
+#: clean shutdown (no batch result rides along).
+_FLUSH_BATCH = -1
+
+
 def _shard_main(
     index: int,
     inbox,
@@ -139,14 +145,27 @@ def _shard_main(
 
     Messages: ``("batch", id, op_energy, [request dicts])`` to serve,
     ``("crash",)`` / ``("hang",)`` for injected faults, ``None`` to exit.
+    Results go back as ``(index, batch_id, outs, telemetry)`` — the
+    fourth element piggybacks the shard's metric/span deltas since its
+    previous message (``None`` when nothing changed), and a final
+    telemetry-only ``(index, _FLUSH_BATCH, None, telemetry)`` flushes on
+    clean shutdown.  Counters incremented in this process therefore
+    survive it: the parent merges them under a ``process=shard-<i>``
+    label (:class:`repro.obs.distributed.TelemetryAggregator`).
 
     With ``disk_cache`` on (the default) the in-memory memo pair sits on
     top of the shared :class:`~repro.core.memo.DiskMemoStore` tiers — the
     store namespaces are deliberately *not* per-shard, so a restarted (or
     newly added) shard starts warm from every other shard's past work.
     """
+    from repro import obs
     from repro.compiled import default_backend
     from repro.core.memo import DiskMemoStore
+    from repro.obs.distributed import ChildTelemetry
+
+    sess = obs.Session(label=f"shard-{index}")
+    obs.activate(sess)
+    telemetry = ChildTelemetry(sess, process=f"shard-{index}")
 
     search_store = DiskMemoStore("serve-search") if disk_cache else None
     memo_store = DiskMemoStore("serve-memo") if disk_cache else None
@@ -164,6 +183,9 @@ def _shard_main(
     while True:
         msg = inbox.get()
         if msg is None:
+            search_cache.publish_metrics()
+            memo.publish_metrics()
+            outbox.put((index, _FLUSH_BATCH, None, telemetry.flush()))
             return
         if msg[0] == "crash":
             os._exit(_CRASH_EXIT)
@@ -173,15 +195,29 @@ def _shard_main(
         _tag, batch_id, op_energy, request_docs = msg
         OP_ENERGY_FACTOR.update(op_energy)
         outs: list[tuple[str, Any]] = []
-        for doc in request_docs:
-            try:
-                req = Request.from_jsonable(doc)
-                outs.append((OK, execute_request(req, engine=engine, memo=memo)))
-            except ProtocolError as exc:
-                outs.append((INVALID_REQUEST, str(exc)))
-            except Exception as exc:  # surfaced per-request, batch survives
-                outs.append((INTERNAL_ERROR, repr(exc)))
-        outbox.put((index, batch_id, outs))
+        with sess.tracer.span(
+            "shard.batch", cat="shard", batch=batch_id, size=len(request_docs)
+        ):
+            for doc in request_docs:
+                try:
+                    req = Request.from_jsonable(doc)
+                    with sess.tracer.span(
+                        "shard.request",
+                        cat="shard",
+                        kind=req.kind,
+                        batch=batch_id,
+                        **({"trace_id": req.trace_id} if req.trace_id else {}),
+                    ):
+                        outs.append(
+                            (OK, execute_request(req, engine=engine, memo=memo))
+                        )
+                except ProtocolError as exc:
+                    outs.append((INVALID_REQUEST, str(exc)))
+                except Exception as exc:  # surfaced per-request, batch survives
+                    outs.append((INTERNAL_ERROR, repr(exc)))
+        search_cache.publish_metrics()
+        memo.publish_metrics()
+        outbox.put((index, batch_id, outs, telemetry.flush()))
 
 
 class ShardPool:
@@ -258,14 +294,23 @@ class ShardPool:
     # completion + recovery
 
     def poll(self) -> list[BatchResult]:
-        """Drain every shard's outbox; ack and return completed batches."""
+        """Drain every shard's outbox; ack and return completed batches.
+
+        Telemetry piggybacked on each message is merged into the active
+        obs session (with a ``process=shard-<i>`` label) before the batch
+        is acked — even stale results from a recovered predecessor still
+        deliver their counters, since the work genuinely happened.
+        """
         done: list[BatchResult] = []
         for shard in self._shards:
             while True:
                 try:
-                    index, batch_id, outs = shard.outbox.get_nowait()
+                    index, batch_id, outs, telemetry = shard.outbox.get_nowait()
                 except (queue_mod.Empty, OSError, EOFError):
                     break
+                self._absorb(telemetry)
+                if batch_id == _FLUSH_BATCH:
+                    continue  # telemetry-only shutdown flush
                 entry = shard.inflight.pop(batch_id, None)
                 if entry is None:
                     continue  # stale result from a recovered predecessor
@@ -327,6 +372,15 @@ class ShardPool:
         if sess is not None:
             sess.metrics.counter(name).inc()
 
+    @staticmethod
+    def _absorb(telemetry: dict[str, Any] | None) -> None:
+        """Merge one piggybacked telemetry payload into the active session."""
+        if telemetry is None:
+            return
+        sess = _obs_active()
+        if sess is not None:
+            TelemetryAggregator(sess).absorb(telemetry)
+
     # ------------------------------------------------------------------ #
     # lifecycle + introspection
 
@@ -337,6 +391,22 @@ class ShardPool:
     @property
     def restarts_total(self) -> int:
         return sum(s.restarts for s in self._shards)
+
+    def inflight_by_shard(self) -> list[int]:
+        """Per-shard in-flight ledger sizes (for the tick gauges)."""
+        return [len(s.inflight) for s in self._shards]
+
+    def liveness(self) -> list[dict[str, Any]]:
+        """Per-shard health rows for the ``/healthz`` endpoint."""
+        return [
+            {
+                "shard": s.index,
+                "alive": s.alive(),
+                "inflight": len(s.inflight),
+                "restarts": s.restarts,
+            }
+            for s in self._shards
+        ]
 
     def kill_shard(self, index: int) -> None:
         """Hard-kill one worker (tests and chaos drills); recovery is the
@@ -356,6 +426,10 @@ class ShardPool:
         for shard in self._shards:
             if shard.proc is not None:
                 shard.proc.join(max(0.0, deadline - time.monotonic()))
+        # collect the final telemetry flush each worker emits on clean
+        # shutdown (crashed workers simply have nothing queued)
+        self.poll()
+        for shard in self._shards:
             shard.reap()
 
 

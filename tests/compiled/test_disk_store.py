@@ -111,6 +111,39 @@ class TestDurability:
         ok, corrupt = store.verify()
         assert (ok, corrupt) == (3, 1)
 
+    def test_verify_is_read_only_and_idempotent(self, tmp_path):
+        """verify() scans without mutating: the corrupt entry stays on
+        disk (only get() drops it) and stats never tick."""
+        store = DiskMemoStore("t", root=tmp_path)
+        store.put(("k",), 1)
+        path = store._path(("k",))
+        path.write_bytes(b"not a pickle")
+        before = store.stats.as_dict()
+        assert store.verify() == store.verify() == (0, 1)
+        assert path.exists()
+        assert store.stats.as_dict() == before
+
+    def test_corruption_surfaces_in_obs_counters(self, tmp_path):
+        """The full corrupted-entry story under an obs session: verify()
+        reports it, the degrading get() ticks error+miss stats, and
+        publish_metrics() exports them as memo.disk_* counter series."""
+        store = DiskMemoStore("t", root=tmp_path)
+        for i in range(3):
+            store.put(("k", i), i)
+        store._path(("k", 1)).write_bytes(b"\x80\x05garbage")
+        assert store.verify() == (2, 1)
+        with obs.session(label="t", write_on_exit=False) as sess:
+            assert store.get(("k", 1)) == (False, None)  # degrade + unlink
+            assert store.get(("k", 0)) == (True, 0)
+            store.publish_metrics()
+            counters = sess.metrics_dump()["counters"]
+        assert counters["memo.disk_errors{store=t}"] == 1
+        assert counters["memo.disk_misses{store=t}"] == 1
+        assert counters["memo.disk_hits{store=t}"] == 1
+        assert counters["memo.disk_writes{store=t}"] == 3
+        # the bad entry was dropped by get(): the store self-healed
+        assert store.verify() == (2, 0)
+
 
 class TestMemoCacheTier:
     def test_mem_miss_probes_store_and_promotes(self, tmp_path):

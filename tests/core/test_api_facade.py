@@ -129,7 +129,7 @@ def test_register_workload_round_trips():
 
 
 def test_explicit_all_and_version():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
     assert "api" in repro.__all__
     for name in repro.__all__:
         assert getattr(repro, name) is not None

@@ -1,0 +1,182 @@
+"""Cross-process telemetry plumbing: snapshots, cursors, span batches,
+and the parent-side aggregator (repro.obs.distributed).
+
+Everything here runs in one process — the child side is just a second
+Session object — because the wire format is plain JSON-able dicts; the
+multi-process integration is covered by tests/serve/test_telemetry.py
+and tests/core/test_search.py.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.distributed import (
+    ChildTelemetry,
+    MetricsSnapshot,
+    SnapshotCursor,
+    SpanBatch,
+    TelemetryAggregator,
+)
+from repro.obs.export import validate_chrome_trace, validate_metrics_dump
+
+
+def _child(label: str = "child-1") -> obs.Session:
+    return obs.Session(label=label)
+
+
+class TestSnapshotDeltas:
+    def test_counter_ships_delta_not_cumulative(self):
+        sess = _child()
+        cur = SnapshotCursor()
+        sess.metrics.counter("x.total").add(5)
+        first = MetricsSnapshot.capture(sess.metrics, cur)
+        assert first.counters["x.total"] == 5
+        sess.metrics.counter("x.total").add(2)
+        second = MetricsSnapshot.capture(sess.metrics, cur)
+        assert second.counters["x.total"] == 2
+
+    def test_unchanged_series_omitted(self):
+        sess = _child()
+        cur = SnapshotCursor()
+        sess.metrics.counter("x.total").add(5)
+        MetricsSnapshot.capture(sess.metrics, cur)
+        again = MetricsSnapshot.capture(sess.metrics, cur)
+        assert "x.total" not in again.counters
+        assert again.empty()
+
+    def test_without_cursor_ships_cumulative(self):
+        sess = _child()
+        sess.metrics.counter("x.total").add(5)
+        snap = MetricsSnapshot.capture(sess.metrics)
+        snap2 = MetricsSnapshot.capture(sess.metrics)
+        assert snap.counters["x.total"] == snap2.counters["x.total"] == 5
+
+    def test_gauges_always_shipped(self):
+        sess = _child()
+        cur = SnapshotCursor()
+        sess.metrics.gauge("depth").set(3)
+        MetricsSnapshot.capture(sess.metrics, cur)
+        again = MetricsSnapshot.capture(sess.metrics, cur)
+        assert again.gauges["depth"] == 3  # last-write-wins, never delta'd
+
+    def test_histogram_delta_buckets(self):
+        sess = _child()
+        cur = SnapshotCursor()
+        h = sess.metrics.histogram("lat_ms")
+        h.observe(1.0)
+        h.observe(4.0)
+        first = MetricsSnapshot.capture(sess.metrics, cur)
+        assert first.histograms["lat_ms"]["count"] == 2
+        h.observe(16.0)
+        second = MetricsSnapshot.capture(sess.metrics, cur)
+        state = second.histograms["lat_ms"]
+        assert state["count"] == 1
+        assert state["sum"] == pytest.approx(16.0)
+        # min/max stay cumulative so re-merging is idempotent for them
+        assert state["min"] == pytest.approx(1.0)
+        assert state["max"] == pytest.approx(16.0)
+
+
+class TestAggregator:
+    def test_merge_adds_process_label(self):
+        child = _child()
+        child.metrics.counter("memo.hits", better="higher", cache="search").add(3)
+        snap = MetricsSnapshot.capture(child.metrics, process="shard-0")
+        parent = obs.Session(label="parent")
+        TelemetryAggregator(parent).merge_metrics(snap)
+        dump = parent.metrics_dump()
+        assert dump["counters"]["memo.hits{cache=search,process=shard-0}"] == 3
+        assert validate_metrics_dump(dump) == []
+
+    def test_merge_preserves_goodness_direction(self):
+        child = _child()
+        child.metrics.counter("memo.hits", better="higher").add(1)
+        child.metrics.counter("memo.misses", better="lower").add(1)
+        snap = MetricsSnapshot.capture(child.metrics, process="p")
+        parent = obs.Session(label="parent")
+        TelemetryAggregator(parent).merge_metrics(snap)
+        meta = parent.metrics_dump()["meta"]
+        assert meta["memo.hits"]["better"] == "higher"
+        assert meta["memo.misses"]["better"] == "lower"
+
+    def test_repeated_flushes_sum_exactly(self):
+        child = _child()
+        tel = ChildTelemetry(child, process="w-1")
+        parent = obs.Session(label="parent")
+        agg = TelemetryAggregator(parent)
+        for _ in range(3):
+            child.metrics.counter("ops").add(2)
+            child.metrics.histogram("lat_ms").observe(5.0)
+            agg.absorb(tel.flush())
+        dump = parent.metrics_dump()
+        assert dump["counters"]["ops{process=w-1}"] == 6
+        h = dump["histograms"]["lat_ms{process=w-1}"]
+        assert h["count"] == 3 and h["sum"] == pytest.approx(15.0)
+
+    def test_payload_survives_json_round_trip(self):
+        child = _child()
+        tel = ChildTelemetry(child, process="w-1")
+        child.metrics.counter("ops").add(4)
+        with child.tracer.span("child.work", cat="test"):
+            pass
+        payload = json.loads(json.dumps(tel.flush()))
+        parent = obs.Session(label="parent")
+        TelemetryAggregator(parent).absorb(payload)
+        assert parent.metrics_dump()["counters"]["ops{process=w-1}"] == 4
+        assert len(parent.tracer.foreign["w-1"]) == 1
+
+    def test_absorb_none_is_noop(self):
+        parent = obs.Session(label="parent")
+        TelemetryAggregator(parent).absorb(None)
+        assert parent.metrics_dump()["counters"] == {}
+
+
+class TestChildTelemetry:
+    def test_flush_none_when_idle(self):
+        tel = ChildTelemetry(_child(), process="w")
+        assert tel.flush() is None
+        assert tel.flush() is None
+
+    def test_flush_ships_only_new_spans(self):
+        child = _child()
+        tel = ChildTelemetry(child, process="w")
+        with child.tracer.span("a", cat="t"):
+            pass
+        first = tel.flush()
+        assert [s["name"] for s in first["spans"]] == ["a"]
+        with child.tracer.span("b", cat="t"):
+            pass
+        second = tel.flush()
+        assert [s["name"] for s in second["spans"]] == ["b"]
+
+
+class TestForeignSpanExport:
+    def test_child_spans_render_as_extra_process_lanes(self):
+        child = _child("shard-0")
+        tel = ChildTelemetry(child, process="shard-0")
+        with child.tracer.span("shard.request", cat="shard", kind="search"):
+            pass
+        parent = obs.Session(label="serve")
+        with parent.tracer.span("serve.request", cat="serve"):
+            pass
+        TelemetryAggregator(parent).absorb(tel.flush())
+        doc = parent.chrome_trace()
+        assert validate_chrome_trace(doc) == []
+        events = doc["traceEvents"]
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert len(pids) == 2  # parent lane + one child lane
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"serve.request", "shard.request"} <= names
+
+    def test_span_batch_capture_respects_cursor(self):
+        child = _child()
+        cur = SnapshotCursor()
+        with child.tracer.span("one", cat="t"):
+            pass
+        batch = SpanBatch.capture(child.tracer, cur, process="w")
+        assert len(batch.spans) == 1
+        assert SpanBatch.capture(child.tracer, cur, process="w").empty()

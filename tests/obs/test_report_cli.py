@@ -51,11 +51,27 @@ class TestDiffDumps:
         assert not diff_dumps(base, better)[0].regressed
         assert diff_dumps(base, better)[0].improved
 
-    def test_new_series_appearing_counts_from_zero(self):
+    def test_new_series_appearing_is_reported_not_gated(self):
         base = _dump({})
         new = _dump({"misses": 10})
         (entry,) = diff_dumps(base, new)
-        assert entry.base == 0 and entry.regressed
+        assert entry.base is None and entry.one_sided
+        assert entry.status == "new-only"
+        assert not entry.regressed and not entry.improved
+
+    def test_asymmetric_dumps_one_sided_both_ways(self):
+        # Series unique to either side surface with a distinct status and
+        # zero worsening; the shared series still gates normally.
+        base = _dump({"misses": 100, "old.counter": 5})
+        new = _dump({"misses": 150, "fresh.counter": 7})
+        entries = {e.key: e for e in diff_dumps(base, new)}
+        assert entries["old.counter"].status == "base-only"
+        assert entries["old.counter"].new is None
+        assert entries["fresh.counter"].status == "new-only"
+        assert entries["fresh.counter"].worsening == 0.0
+        assert not entries["old.counter"].regressed
+        assert not entries["fresh.counter"].regressed
+        assert entries["misses"].regressed  # shared series still gated
 
     def test_per_metric_tolerance_strips_labels(self):
         base = _dump({"steals{scheduler=ws}": 10})
@@ -68,7 +84,30 @@ class TestCli:
     def test_summary_exit_zero(self, tmp_path, capsys):
         path = _write(tmp_path, "a.json", _dump({"misses": 3}))
         assert main(["summary", path]) == 0
-        assert "misses" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "misses" in out
+        assert "per-process" not in out  # single-process dump: no breakdown
+
+    def test_summary_renders_multi_process_breakdown(self, tmp_path, capsys):
+        doc = _dump(
+            {
+                "cost.cycles{process=shard-0}": 5,
+                "cost.cycles{process=shard-1}": 3,
+                "serve.served": 2,
+            }
+        )
+        path = _write(tmp_path, "agg.json", doc)
+        assert main(["summary", path]) == 0
+        out = capsys.readouterr().out
+        assert "per-process" in out
+        assert "shard-0" in out and "shard-1" in out
+
+    def test_diff_asymmetric_keys_exit_zero(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", _dump({"misses": 3}))
+        b = _write(tmp_path, "b.json", _dump({"other.counter": 9}))
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "base-only" in out and "new-only" in out
 
     def test_diff_identical_exit_zero(self, tmp_path):
         a = _write(tmp_path, "a.json", _dump({"misses": 3}))

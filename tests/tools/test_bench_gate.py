@@ -1,0 +1,133 @@
+"""The perf-regression gate over bench metrics JSONs (tools/bench_gate.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate",
+    pathlib.Path(__file__).resolve().parents[2] / "tools" / "bench_gate.py",
+)
+bench_gate = importlib.util.module_from_spec(_SPEC)
+# register before exec: the GateEntry dataclass resolves its (stringified)
+# annotations through sys.modules at class-creation time
+sys.modules["bench_gate"] = bench_gate
+_SPEC.loader.exec_module(bench_gate)
+
+#: a realistic c21-style metrics doc
+BASE = {
+    "mode": "smoke",
+    "seed": 1,
+    "campaign": {"t_reference_s": 2.0, "t_compiled_s": 1.0, "speedup": 2.0},
+    "disk_restart": {"t_cold_s": 1.0, "t_warm_s": 0.5, "speedup": 2.0},
+    "ok": True,
+}
+
+
+def _with(path: str, value: float) -> dict:
+    doc = json.loads(json.dumps(BASE))
+    section, leaf = path.split(".")
+    doc[section][leaf] = value
+    return doc
+
+
+def _write(tmp_path, name, doc):
+    p = tmp_path / name
+    p.write_text(json.dumps(doc))
+    return str(p)
+
+
+class TestDirections:
+    def test_speedup_is_higher_better(self):
+        assert bench_gate.direction_of("campaign.speedup") == "higher"
+
+    def test_timings_are_lower_better(self):
+        assert bench_gate.direction_of("campaign.t_compiled_s") == "lower"
+        assert bench_gate.direction_of("serve.wait_ms") == "lower"
+
+    def test_counts_are_informational(self):
+        assert bench_gate.direction_of("seed") is None
+        assert bench_gate.direction_of("disk_restart.entries") is None
+
+
+class TestCompare:
+    def test_twenty_percent_speedup_drop_is_flagged(self):
+        """The PR's pinned scenario: a synthetic 20% regression on a
+        higher-is-better key fails the default-ish gate."""
+        new = _with("campaign.speedup", 1.6)  # 2.0 -> 1.6 = -20%
+        entries = bench_gate.compare(BASE, new, tolerance=0.15)
+        by_key = {e.key: e for e in entries}
+        e = by_key["campaign.speedup"]
+        assert e.regressed and e.status == "REGRESSED"
+        assert e.worsening == pytest.approx(0.2)
+
+    def test_within_tolerance_passes(self):
+        new = _with("campaign.t_compiled_s", 1.1)  # +10% < 25% default
+        entries = bench_gate.compare(BASE, new)
+        assert not any(e.regressed for e in entries)
+
+    def test_improvement_is_not_a_regression(self):
+        new = _with("campaign.t_compiled_s", 0.5)
+        by_key = {e.key: e for e in bench_gate.compare(BASE, new)}
+        e = by_key["campaign.t_compiled_s"]
+        assert not e.regressed and e.status == "improved"
+
+    def test_one_sided_keys_reported_never_gated(self):
+        new = json.loads(json.dumps(BASE))
+        del new["disk_restart"]
+        new["cache_replay"] = {"t_compiled_s": 9999.0}
+        by_key = {e.key: e for e in bench_gate.compare(BASE, new)}
+        assert by_key["disk_restart.speedup"].status == "baseline-only"
+        assert by_key["cache_replay.t_compiled_s"].status == "new-only"
+        assert not any(e.regressed for e in by_key.values() if e.one_sided)
+
+    def test_informational_keys_never_gate(self):
+        new = json.loads(json.dumps(BASE))
+        new["seed"] = 999
+        by_key = {e.key: e for e in bench_gate.compare(BASE, new)}
+        assert by_key["seed"].status == "info" and not by_key["seed"].regressed
+
+    def test_per_key_tolerance_and_ignore(self):
+        new = _with("campaign.speedup", 1.6)
+        loose = bench_gate.compare(BASE, new, per_key={"campaign.speedup": 0.5})
+        assert not any(e.regressed for e in loose)
+        ignored = bench_gate.compare(BASE, new, ignore={"campaign.speedup"})
+        assert "campaign.speedup" not in {e.key for e in ignored}
+
+    def test_booleans_are_not_metrics(self):
+        flat = bench_gate.flatten_metrics(BASE)
+        assert "ok" not in flat
+        assert flat["campaign.speedup"] == 2.0
+
+
+class TestCli:
+    def test_regression_exits_one(self, tmp_path, capsys):
+        b = _write(tmp_path, "b.json", BASE)
+        n = _write(tmp_path, "n.json", _with("campaign.speedup", 1.6))
+        assert bench_gate.main([b, n, "--tolerance", "0.15"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_warn_only_exits_zero(self, tmp_path):
+        b = _write(tmp_path, "b.json", BASE)
+        n = _write(tmp_path, "n.json", _with("campaign.speedup", 1.6))
+        assert bench_gate.main([b, n, "--tolerance", "0.15", "--warn-only"]) == 0
+
+    def test_missing_baseline_exits_zero(self, tmp_path, capsys):
+        n = _write(tmp_path, "n.json", BASE)
+        assert bench_gate.main([str(tmp_path / "absent.json"), n]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_bad_json_exits_two(self, tmp_path):
+        b = _write(tmp_path, "b.json", BASE)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert bench_gate.main([b, str(bad)]) == 2
+
+    def test_identical_inputs_exit_zero(self, tmp_path):
+        b = _write(tmp_path, "b.json", BASE)
+        assert bench_gate.main([b, b]) == 0

@@ -1,0 +1,255 @@
+"""Perf-regression gate over two bench metrics JSONs.
+
+The CI ``bench-smoke`` job uploads a metrics artifact per run (e.g.
+``benchmarks/out/c21_compiled_core.main.json``).  This tool turns those
+artifacts into an automated perf-trajectory gate: given a baseline and a
+new dump, it flattens every numeric leaf to a dotted key
+(``campaign.speedup``, ``disk_restart.t_warm_s``), classifies each key's
+goodness direction, computes relative deltas, and fails when a gated key
+worsens beyond the tolerance.
+
+Direction heuristics (override per key with ``--tol key=frac`` to widen,
+or ignore a key entirely with ``--ignore key``):
+
+* keys containing ``speedup``, ``hit``, ``throughput``, or ``rate``
+  are **higher-better**;
+* keys whose last component starts with ``t_`` or ends with ``_s`` /
+  ``_ms`` / ``_ns``, or containing ``miss`` / ``error`` / ``corrupt``,
+  are **lower-better**;
+* everything else (seeds, gates, counts) is informational — reported,
+  never gated.
+
+Exit codes: 0 = within tolerance, 1 = regression (suppressed by
+``--warn-only``), 2 = usage/baseline trouble.  A *missing baseline file*
+exits 0 with a warning — the first CI run has no history to gate
+against, and the workflow treats that as "record, don't judge".
+
+Run::
+
+    python tools/bench_gate.py baseline.json new.json [--tolerance 0.25]
+        [--tol campaign.speedup=0.5] [--ignore seed] [--warn-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["GateEntry", "flatten_metrics", "direction_of", "compare", "main"]
+
+#: default: a gated key may worsen by up to this fraction before failing.
+#: Bench timings on shared CI runners are noisy; 25% is deliberately wide
+#: (the per-bench gates inside the benches themselves stay strict).
+DEFAULT_TOLERANCE = 0.25
+
+_HIGHER_HINTS = ("speedup", "hit", "throughput", "rate")
+_LOWER_HINTS = ("miss", "error", "corrupt")
+_TIME_SUFFIXES = ("_s", "_ms", "_ns")
+
+
+def flatten_metrics(doc: Any, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested JSON document as dotted keys.
+
+    Booleans and non-numeric leaves are skipped — ``ok``/``failures``
+    style fields are verdicts of the producing bench, not measurements.
+    """
+    out: dict[str, float] = {}
+    if isinstance(doc, dict):
+        for k, v in doc.items():
+            key = f"{prefix}.{k}" if prefix else str(k)
+            if isinstance(v, dict):
+                out.update(flatten_metrics(v, key))
+            elif isinstance(v, bool):
+                continue
+            elif isinstance(v, (int, float)):
+                out[key] = float(v)
+    return out
+
+
+def direction_of(key: str) -> str | None:
+    """``"higher"`` / ``"lower"`` for gated keys, None for informational."""
+    lowered = key.lower()
+    if any(h in lowered for h in _HIGHER_HINTS):
+        return "higher"
+    if any(h in lowered for h in _LOWER_HINTS):
+        return "lower"
+    leaf = lowered.rsplit(".", 1)[-1]
+    if leaf.startswith("t_") or leaf.endswith(_TIME_SUFFIXES):
+        return "lower"
+    return None
+
+
+@dataclass
+class GateEntry:
+    """One compared metric: values, direction, and the applied tolerance."""
+
+    key: str
+    base: float | None
+    new: float | None
+    direction: str | None  # "higher" | "lower" | None (informational)
+    tolerance: float
+
+    @property
+    def one_sided(self) -> bool:
+        return self.base is None or self.new is None
+
+    @property
+    def worsening(self) -> float:
+        """Relative change in the *bad* direction (negative = improved)."""
+        if self.one_sided or self.direction is None:
+            return 0.0
+        denom = max(abs(self.base), 1e-12)
+        delta = (self.new - self.base) / denom
+        return delta if self.direction == "lower" else -delta
+
+    @property
+    def regressed(self) -> bool:
+        return (
+            not self.one_sided
+            and self.direction is not None
+            and self.worsening > self.tolerance
+        )
+
+    @property
+    def status(self) -> str:
+        if self.one_sided:
+            return "baseline-only" if self.new is None else "new-only"
+        if self.direction is None:
+            return "info"
+        if self.regressed:
+            return "REGRESSED"
+        return "improved" if self.worsening < 0 else "ok"
+
+
+def compare(
+    base_doc: Any,
+    new_doc: Any,
+    tolerance: float = DEFAULT_TOLERANCE,
+    per_key: dict[str, float] | None = None,
+    ignore: set[str] | None = None,
+) -> list[GateEntry]:
+    """Compare two metrics documents key by key.
+
+    Keys present in only one input are reported (``baseline-only`` /
+    ``new-only``) but never gated: a bench added or removed between runs
+    is a topology change, not a regression.
+    """
+    base = flatten_metrics(base_doc)
+    new = flatten_metrics(new_doc)
+    per_key = per_key or {}
+    ignore = ignore or set()
+    entries: list[GateEntry] = []
+    for key in sorted(set(base) | set(new)):
+        if key in ignore:
+            continue
+        entries.append(
+            GateEntry(
+                key=key,
+                base=base.get(key),
+                new=new.get(key),
+                direction=direction_of(key),
+                tolerance=per_key.get(key, tolerance),
+            )
+        )
+    return entries
+
+
+def _fmt(v: float | None) -> str:
+    return "-" if v is None else f"{v:.4g}"
+
+
+def _report_lines(entries: list[GateEntry]) -> Iterator[str]:
+    yield f"{'metric':<40} {'base':>10} {'new':>10} {'change':>8}  status"
+    for e in entries:
+        if e.one_sided or e.direction is None:
+            change = "-"
+        else:
+            raw = e.worsening if e.direction == "lower" else -e.worsening
+            change = f"{raw * 100:+.1f}%"
+        yield (
+            f"{e.key:<40} {_fmt(e.base):>10} {_fmt(e.new):>10} "
+            f"{change:>8}  {e.status}"
+        )
+
+
+def _parse_tol(values: list[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for item in values:
+        key, _, frac = item.partition("=")
+        if not frac:
+            raise argparse.ArgumentTypeError(
+                f"--tol wants key=fraction, got {item!r}"
+            )
+        out[key] = float(frac)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench-gate",
+        description="Fail when a bench metrics JSON regresses past tolerance.",
+    )
+    parser.add_argument("baseline", help="baseline metrics JSON (e.g. last main run)")
+    parser.add_argument("new", help="freshly produced metrics JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"allowed relative worsening (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--tol", action="append", default=[], metavar="KEY=FRAC",
+        help="per-key tolerance override (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="KEY",
+        help="exclude a key from the report entirely (repeatable)",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but always exit 0 (first-run CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    base_path = pathlib.Path(args.baseline)
+    if not base_path.exists():
+        print(
+            f"bench-gate: no baseline at {base_path} — nothing to gate "
+            "against (first run?); passing",
+        )
+        return 0
+    try:
+        base_doc = json.loads(base_path.read_text())
+        new_doc = json.loads(pathlib.Path(args.new).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench-gate: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+
+    entries = compare(
+        base_doc, new_doc,
+        tolerance=args.tolerance,
+        per_key=_parse_tol(args.tol),
+        ignore=set(args.ignore),
+    )
+    for line in _report_lines(entries):
+        print(line)
+    regressions = [e for e in entries if e.regressed]
+    if regressions:
+        for e in regressions:
+            print(
+                f"bench-gate: {e.key} worsened {e.worsening * 100:.1f}% "
+                f"(> {e.tolerance * 100:.0f}% tolerance)",
+                file=sys.stderr,
+            )
+        if args.warn_only:
+            print("bench-gate: warn-only mode, passing anyway")
+            return 0
+        return 1
+    print(f"bench-gate: {len(entries)} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -170,6 +170,18 @@ EXPERIMENTS = [
      "reruns the standalone bench (--smoke --json, gates relaxed to "
      "1.5x) and uploads c21_compiled_core.main.json; divergence from the "
      "reference fails the job before any speedup is read."),
+    ("C22", "Telemetry overhead: instrumented within 5% of dark", [],
+     "bench_c22_obs_overhead.py",
+     ["c22_obs_overhead.txt"],
+     "Observability-infrastructure claim: running the C21 smoke campaign "
+     "under a full obs session (counters, log2-bucket histograms, spans, "
+     "cross-process delta snapshots) costs at most 5% wall time over the "
+     "same campaign with no session, best-of-3 interleaved rounds.  This "
+     "pins the 'cheap when on' half of the obs layer's contract (the "
+     "'one branch when off' half is enforced by "
+     "tests/obs/test_instrumentation.py), so instrumentation creep "
+     "cannot silently tax the serving stack — the CI bench-smoke job "
+     "reruns it standalone and fails past the 1.05x gate."),
     ("A1", "Ablation: systolic forwarding vs broadcast matmul", [],
      "bench_a01_systolic_matmul.py",
      ["a01_systolic.txt"],

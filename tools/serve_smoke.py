@@ -1,7 +1,10 @@
 """CI smoke for the serving layer: start a real HTTP server, fire >= 32
 concurrent mixed-kind requests, and require every one to either succeed
 or be shed with an explicit rejection code — then diff a served search
-against the direct library call with the differential oracle.
+against the direct library call with the differential oracle, and probe
+the live introspection endpoints (``/metrics`` must be a well-formed
+metrics dump carrying nonzero shard-side counters with ``process``
+labels; ``/healthz`` must report every shard alive).
 
 Exit codes: 0 = pass; 1 = a response was lost, errored, or diverged.
 
@@ -11,10 +14,14 @@ Run:  PYTHONPATH=src python tools/serve_smoke.py [--shards 2] [--requests 40]
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import threading
+import urllib.request
 
 from repro import api, obs
+from repro.obs.export import validate_metrics_dump
+from repro.obs.metrics import parse_series_key
 from repro.serve import (
     REJECTION_CODES,
     EvaluationServer,
@@ -55,6 +62,49 @@ def _mixed_requests(n: int) -> list[Request]:
                 "placement": [[0, 0]] * 12,
             }))
     return reqs
+
+
+def _check_introspection(base: str, n_shards: int, failures: list[str]) -> None:
+    """GET /metrics and /healthz; append to ``failures`` on any problem."""
+
+    def get_json(path: str) -> dict:
+        with urllib.request.urlopen(f"{base}{path}", timeout=30) as r:
+            return json.loads(r.read())
+
+    try:
+        metrics = get_json("/metrics")
+    except Exception as exc:
+        failures.append(f"/metrics: {exc}")
+        return
+    problems = validate_metrics_dump(metrics)
+    if problems:
+        failures.append(f"/metrics: invalid dump: {problems[0]}")
+    shard_counters = {
+        k: v
+        for k, v in metrics.get("counters", {}).items()
+        if str(parse_series_key(k)[1].get("process", "")).startswith("shard-")
+    }
+    if not shard_counters or not any(v > 0 for v in shard_counters.values()):
+        failures.append("/metrics: no nonzero shard-process counters merged")
+    if metrics.get("counters", {}).get("serve.served", 0) <= 0:
+        failures.append("/metrics: serve.served is zero")
+
+    try:
+        health = get_json("/healthz")
+    except Exception as exc:
+        failures.append(f"/healthz: {exc}")
+        return
+    if not health.get("ok"):
+        failures.append(f"/healthz: not ok: {health}")
+    if health.get("shards_alive") != n_shards:
+        failures.append(
+            f"/healthz: {health.get('shards_alive')}/{n_shards} shards alive"
+        )
+    print(
+        f"  introspection: /metrics carries {len(shard_counters)} "
+        f"shard-process series; /healthz reports "
+        f"{health.get('shards_alive')}/{n_shards} shards alive"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -125,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
                     failures.append(f"oracle: {exc}")
             print(f"  differential oracle: {len(checked)} served searches "
                   "bit-identical to direct calls")
+            _check_introspection(base, args.shards, failures)
             httpd.shutdown()
             httpd.server_close()
         stats = srv.stats()
